@@ -1,0 +1,108 @@
+//! Microbenchmarks of the computational substrates.
+
+use adp_bench::{bench_corpus, bench_dataset, planted_votes};
+use adp_classifier::{LogRegConfig, LogisticRegression, Targets};
+use adp_data::DatasetId;
+use adp_glasso::{graphical_lasso, GlassoConfig};
+use adp_labelmodel::{DawidSkene, LabelModel, TripletMetal};
+use adp_lf::CandidateSpace;
+use adp_linalg::{covariance_matrix, Cholesky, Matrix};
+use adp_text::TfidfVectorizer;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_tfidf(c: &mut Criterion) {
+    let corpus = bench_corpus(500);
+    c.bench_function("tfidf_fit_transform_500_docs", |b| {
+        b.iter_batched(
+            TfidfVectorizer::default,
+            |mut v| black_box(v.fit_transform(&corpus)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let base = Matrix::from_fn(40, 40, |i, j| (((i * 31 + j * 17) % 13) as f64 - 6.0) / 6.0);
+    let mut spd = base.matmul(&base.transpose()).expect("square product");
+    spd.add_diagonal(40.0).expect("square");
+    c.bench_function("cholesky_factor_40x40", |b| {
+        b.iter(|| black_box(Cholesky::factor(&spd).expect("SPD")))
+    });
+}
+
+fn bench_glasso(c: &mut Criterion) {
+    let data = Matrix::from_fn(300, 20, |i, j| {
+        (((i * 7 + j * 13) % 23) as f64 - 11.0) * 0.1 + (i % 3) as f64 * 0.05 * j as f64
+    });
+    let cov = covariance_matrix(&data).expect("non-empty data");
+    c.bench_function("graphical_lasso_p20", |b| {
+        b.iter(|| {
+            black_box(
+                graphical_lasso(&cov, GlassoConfig::default()).expect("well-posed"),
+            )
+        })
+    });
+}
+
+fn bench_label_models(c: &mut Criterion) {
+    let votes = planted_votes(2000, 25, 0.4, 3);
+    c.bench_function("triplet_fit_2000x25", |b| {
+        b.iter(|| {
+            let mut m = TripletMetal::new(2);
+            m.fit(black_box(&votes), None).expect("fit succeeds");
+            black_box(m)
+        })
+    });
+    c.bench_function("dawid_skene_fit_2000x25", |b| {
+        b.iter(|| {
+            let mut m = DawidSkene::new(2);
+            m.fit(black_box(&votes), None).expect("fit succeeds");
+            black_box(m)
+        })
+    });
+}
+
+fn bench_logreg(c: &mut Criterion) {
+    let data = bench_dataset(DatasetId::Imdb);
+    let rows: Vec<usize> = (0..data.train.len()).collect();
+    let labels = data.train.labels.clone();
+    c.bench_function("logreg_fit_sparse_tfidf", |b| {
+        b.iter(|| {
+            let mut m = LogisticRegression::new(
+                2,
+                adp_linalg::Features::ncols(&data.train.features),
+                LogRegConfig {
+                    max_iters: 50,
+                    ..LogRegConfig::default()
+                },
+            );
+            m.fit(&data.train.features, &rows, Targets::Hard(&labels), None)
+                .expect("fit succeeds");
+            black_box(m)
+        })
+    });
+}
+
+fn bench_candidate_space(c: &mut Criterion) {
+    let data = bench_dataset(DatasetId::Youtube);
+    c.bench_function("candidate_space_build_text", |b| {
+        b.iter(|| black_box(CandidateSpace::build(&data.train)))
+    });
+    let space = CandidateSpace::build(&data.train);
+    c.bench_function("candidates_for_query", |b| {
+        b.iter(|| black_box(space.candidates_for(&data.train, &data.train, 5, 1, 0.6)))
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tfidf,
+        bench_cholesky,
+        bench_glasso,
+        bench_label_models,
+        bench_logreg,
+        bench_candidate_space
+);
+criterion_main!(kernels);

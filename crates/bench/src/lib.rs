@@ -1,0 +1,74 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Three bench targets live in `benches/`:
+//!
+//! * `kernels` — microbenchmarks of the computational substrates (TF-IDF,
+//!   graphical lasso, label models, logistic regression, samplers);
+//! * `paper_tables` — one benchmark per paper table (2, 3, 4, 5), each
+//!   running the corresponding experiment configuration at bench scale;
+//! * `paper_fig3` — one benchmark per Figure 3 method on a common dataset.
+//!
+//! Benchmarks run miniature versions of the experiments (tiny scale, short
+//! budgets) so `cargo bench` finishes in minutes; the experiment binaries
+//! in `adp-experiments` regenerate the full artefacts.
+
+use adp_data::{generate, DatasetId, Scale, SplitDataset};
+use adp_lf::LabelMatrix;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic tiny dataset for session benches.
+pub fn bench_dataset(id: DatasetId) -> SplitDataset {
+    generate(id, Scale::Tiny, 99).expect("bench dataset generates")
+}
+
+/// Planted weak-label matrix for label-model benches: `m` LFs with linearly
+/// spaced accuracies, firing with probability `cov` on `n` instances.
+pub fn planted_votes(n: usize, m: usize, cov: f64, seed: u64) -> LabelMatrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<i8>> = (0..n)
+        .map(|_| {
+            let y = usize::from(rng.gen::<f64>() < 0.5);
+            (0..m)
+                .map(|j| {
+                    if rng.gen::<f64>() < cov {
+                        let acc = 0.6 + 0.35 * (j as f64 / m.max(1) as f64);
+                        let correct = rng.gen::<f64>() < acc;
+                        (if correct { y } else { 1 - y }) as i8
+                    } else {
+                        adp_lf::ABSTAIN
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    LabelMatrix::from_votes(&rows).expect("rows share a length")
+}
+
+/// Synthetic documents for text-pipeline benches.
+pub fn bench_corpus(n_docs: usize) -> Vec<String> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    (0..n_docs)
+        .map(|_| {
+            let len = 8 + rng.gen_range(0..20);
+            (0..len)
+                .map(|_| format!("w{:03}", rng.gen_range(0..400)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let d = bench_dataset(DatasetId::Youtube);
+        assert!(d.train.len() >= 100);
+        let m = planted_votes(50, 5, 0.6, 1);
+        assert_eq!(m.n_instances(), 50);
+        assert_eq!(m.n_lfs(), 5);
+        assert_eq!(bench_corpus(10).len(), 10);
+    }
+}

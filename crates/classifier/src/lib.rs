@@ -1,0 +1,25 @@
+//! Logistic regression and evaluation metrics.
+//!
+//! The paper trains logistic regression in two places: the *active-learning
+//! model* `f_a` on the pseudo-labelled subset, and the *downstream model* on
+//! aggregated (possibly probabilistic) labels over TF-IDF features. This
+//! crate provides one implementation for both, generic over
+//! [`adp_linalg::Features`] so dense tabular data and sparse TF-IDF matrices
+//! share a code path, with:
+//!
+//! * hard or soft (probabilistic) targets — training on soft labels is the
+//!   "train the end model with probabilistic labels" path of §2.1;
+//! * optional per-sample weights;
+//! * training restricted to a row subset without copying the matrix
+//!   (the labelled pool grows one instance per iteration);
+//! * deterministic full-batch gradient descent with Nesterov momentum and a
+//!   Lipschitz-derived step size (no learning-rate tuning, reproducible
+//!   across runs).
+
+pub mod error;
+pub mod logreg;
+pub mod metrics;
+
+pub use error::ClassifierError;
+pub use logreg::{FitSummary, LogRegConfig, LogisticRegression, Targets};
+pub use metrics::{accuracy, confusion_matrix, f1_binary, log_loss, macro_f1};

@@ -1,0 +1,129 @@
+//! Classification metrics.
+
+/// Fraction of positions where `preds[i] == labels[i]`.
+///
+/// # Panics
+/// Panics when the slices differ in length (caller bug, not data).
+pub fn accuracy(preds: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "accuracy: length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count() as f64
+        / preds.len() as f64
+}
+
+/// `counts[t][p]` = number of instances with true class `t` predicted `p`.
+pub fn confusion_matrix(preds: &[usize], labels: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(preds.len(), labels.len(), "confusion_matrix: length mismatch");
+    let mut counts = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &t) in preds.iter().zip(labels) {
+        counts[t][p] += 1;
+    }
+    counts
+}
+
+/// F1 of the positive class (class 1) for binary tasks; 0 when the positive
+/// class never appears in predictions or labels.
+pub fn f1_binary(preds: &[usize], labels: &[usize]) -> f64 {
+    let cm = confusion_matrix(preds, labels, 2);
+    let tp = cm[1][1] as f64;
+    let fp = cm[0][1] as f64;
+    let fneg = cm[1][0] as f64;
+    if 2.0 * tp + fp + fneg == 0.0 {
+        0.0
+    } else {
+        2.0 * tp / (2.0 * tp + fp + fneg)
+    }
+}
+
+/// Unweighted mean of per-class F1 scores.
+pub fn macro_f1(preds: &[usize], labels: &[usize], n_classes: usize) -> f64 {
+    let cm = confusion_matrix(preds, labels, n_classes);
+    let mut total = 0.0;
+    for c in 0..n_classes {
+        let tp = cm[c][c] as f64;
+        let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| cm[t][c] as f64).sum();
+        let fneg: f64 = (0..n_classes).filter(|&p| p != c).map(|p| cm[c][p] as f64).sum();
+        total += if 2.0 * tp + fp + fneg == 0.0 {
+            0.0
+        } else {
+            2.0 * tp / (2.0 * tp + fp + fneg)
+        };
+    }
+    total / n_classes as f64
+}
+
+/// Mean negative log-likelihood of the true class; probabilities clamped to
+/// `1e-15` so certain-but-wrong predictions stay finite.
+pub fn log_loss(probas: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(probas.len(), labels.len(), "log_loss: length mismatch");
+    if probas.is_empty() {
+        return 0.0;
+    }
+    probas
+        .iter()
+        .zip(labels)
+        .map(|(p, &l)| -p[l].max(1e-15).ln())
+        .sum::<f64>()
+        / probas.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_check() {
+        accuracy(&[1], &[1, 0]);
+    }
+
+    #[test]
+    fn confusion_matrix_cells() {
+        let cm = confusion_matrix(&[1, 0, 1, 1], &[1, 0, 0, 1], 2);
+        assert_eq!(cm[1][1], 2); // tp
+        assert_eq!(cm[0][0], 1); // tn
+        assert_eq!(cm[0][1], 1); // fp
+        assert_eq!(cm[1][0], 0); // fn
+    }
+
+    #[test]
+    fn f1_binary_known_value() {
+        // tp=2, fp=1, fn=0 => F1 = 4/5.
+        assert!((f1_binary(&[1, 0, 1, 1], &[1, 0, 0, 1]) - 0.8).abs() < 1e-12);
+        // No positives anywhere.
+        assert_eq!(f1_binary(&[0, 0], &[0, 0]), 0.0);
+        // Perfect prediction.
+        assert_eq!(f1_binary(&[1, 0], &[1, 0]), 1.0);
+    }
+
+    #[test]
+    fn macro_f1_symmetric() {
+        // Perfect prediction => macro F1 = 1.
+        assert_eq!(macro_f1(&[0, 1, 2], &[0, 1, 2], 3), 1.0);
+        // All wrong => 0.
+        assert_eq!(macro_f1(&[1, 2, 0], &[0, 1, 2], 3), 0.0);
+    }
+
+    #[test]
+    fn log_loss_values() {
+        let probas = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
+        let ll = log_loss(&probas, &[0, 1]);
+        let expect = -(0.9_f64.ln() + 0.8_f64.ln()) / 2.0;
+        assert!((ll - expect).abs() < 1e-12);
+        // Zero-probability truth is clamped, not infinite.
+        assert!(log_loss(&[vec![0.0, 1.0]], &[0]).is_finite());
+        assert_eq!(log_loss(&[], &[]), 0.0);
+    }
+}

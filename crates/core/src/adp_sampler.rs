@@ -1,0 +1,194 @@
+//! The ADP sampler (paper §3.3, Eq. 2).
+//!
+//! ```text
+//!   x* = argmax_x  Ent(f_a(x))^α · Ent(f_l(x, Λ*))^(1−α)
+//! ```
+//!
+//! α trades off the two models: 0.5 for textual datasets, 0.99 for tabular
+//! ones in the paper's experiments (tabular tasks are easy for the AL model,
+//! so its uncertainty dominates). Before a model exists its entropy is taken
+//! as maximal (uniform), so iteration 1 degenerates to a uniform-random
+//! draw.
+
+use adp_sampler::{Sampler, SamplerContext};
+use rand::{Rng, SeedableRng};
+
+/// Entropy-product sampler combining the AL model and the label model.
+#[derive(Debug)]
+pub struct AdpSampler {
+    alpha: f64,
+    rng: rand::rngs::StdRng,
+}
+
+impl AdpSampler {
+    /// An ADP sampler with trade-off factor `alpha ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when `alpha` is outside `[0, 1]` — it is a fixed experiment
+    /// constant in the paper, so a bad value is a programming error.
+    pub fn new(alpha: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0,1], got {alpha}"
+        );
+        AdpSampler {
+            alpha,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The trade-off factor in use.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Sampler for AdpSampler {
+    fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize> {
+        let max_h = (ctx.train.n_classes as f64).ln();
+        let mut best: Option<(usize, f64)> = None;
+        let mut ties = 0usize;
+        for i in ctx.unqueried() {
+            let h_al = match ctx.al_probs {
+                Some(p) => adp_linalg::entropy(&p[i]),
+                None => max_h,
+            };
+            let h_lm = match ctx.lm_probs {
+                Some(p) => adp_linalg::entropy(&p[i]),
+                None => max_h,
+            };
+            let score = h_al.powf(self.alpha) * h_lm.powf(1.0 - self.alpha);
+            match best {
+                None => {
+                    best = Some((i, score));
+                    ties = 1;
+                }
+                Some((_, b)) if score > b + 1e-15 => {
+                    best = Some((i, score));
+                    ties = 1;
+                }
+                Some((_, b)) if (score - b).abs() <= 1e-15 => {
+                    ties += 1;
+                    if self.rng.gen_range(0..ties) == 0 {
+                        best = Some((i, score));
+                    }
+                }
+                _ => {}
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "ADP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{Dataset, FeatureSet, Task};
+    use adp_linalg::Matrix;
+
+    fn pool(n: usize) -> Dataset {
+        Dataset {
+            name: "p".into(),
+            task: Task::OccupancyPrediction,
+            n_classes: 2,
+            features: FeatureSet::Dense(Matrix::zeros(n, 1)),
+            labels: vec![0; n],
+            texts: None,
+            encoded_docs: None,
+        }
+    }
+
+    fn probs(ps: &[f64]) -> Vec<Vec<f64>> {
+        ps.iter().map(|&p| vec![1.0 - p, p]).collect()
+    }
+
+    fn ctx<'a>(
+        d: &'a Dataset,
+        queried: &'a [bool],
+        al: Option<&'a [Vec<f64>]>,
+        lm: Option<&'a [Vec<f64>]>,
+    ) -> SamplerContext<'a> {
+        SamplerContext {
+            train: d,
+            queried,
+            al_probs: al,
+            lm_probs: lm,
+            n_labeled: 0,
+            space: None,
+            seen_lfs: None,
+        }
+    }
+
+    #[test]
+    fn alpha_one_follows_al_model_only() {
+        let d = pool(3);
+        let queried = vec![false; 3];
+        let al = probs(&[0.9, 0.5, 0.7]); // entropy max at index 1
+        let lm = probs(&[0.5, 0.99, 0.5]); // would pull away from 1
+        let mut s = AdpSampler::new(1.0, 0);
+        assert_eq!(s.select(&ctx(&d, &queried, Some(&al), Some(&lm))), Some(1));
+    }
+
+    #[test]
+    fn alpha_zero_follows_label_model_only() {
+        let d = pool(3);
+        let queried = vec![false; 3];
+        let al = probs(&[0.5, 0.9, 0.9]);
+        let lm = probs(&[0.9, 0.52, 0.9]);
+        let mut s = AdpSampler::new(0.0, 0);
+        assert_eq!(s.select(&ctx(&d, &queried, Some(&al), Some(&lm))), Some(1));
+    }
+
+    #[test]
+    fn balanced_alpha_mixes_models() {
+        let d = pool(3);
+        let queried = vec![false; 3];
+        // Index 0: AL uncertain, LM certain. Index 1: both moderately
+        // uncertain. Index 2: both certain. Geometric mean favours index 1.
+        let al = probs(&[0.5, 0.65, 0.95]);
+        let lm = probs(&[0.99, 0.65, 0.95]);
+        let mut s = AdpSampler::new(0.5, 0);
+        assert_eq!(s.select(&ctx(&d, &queried, Some(&al), Some(&lm))), Some(1));
+    }
+
+    #[test]
+    fn missing_models_give_uniform_random_first_pick() {
+        let d = pool(30);
+        let queried = vec![false; 30];
+        let a = AdpSampler::new(0.5, 7).select(&ctx(&d, &queried, None, None));
+        let b = AdpSampler::new(0.5, 7).select(&ctx(&d, &queried, None, None));
+        assert_eq!(a, b);
+        let picks: std::collections::HashSet<_> = (0..4)
+            .filter_map(|s| AdpSampler::new(0.5, s).select(&ctx(&d, &queried, None, None)))
+            .collect();
+        assert!(picks.len() > 1, "first pick never varies");
+    }
+
+    #[test]
+    fn respects_queried_mask_and_exhaustion() {
+        let d = pool(2);
+        let queried = vec![true, false];
+        let al = probs(&[0.5, 0.9]);
+        let mut s = AdpSampler::new(0.5, 0);
+        assert_eq!(s.select(&ctx(&d, &queried, Some(&al), None)), Some(1));
+        let all = vec![true, true];
+        assert_eq!(s.select(&ctx(&d, &all, Some(&al), None)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1]")]
+    fn rejects_bad_alpha() {
+        AdpSampler::new(1.5, 0);
+    }
+
+    #[test]
+    fn name_and_alpha_accessors() {
+        let s = AdpSampler::new(0.99, 0);
+        assert_eq!(s.name(), "ADP");
+        assert_eq!(s.alpha(), 0.99);
+    }
+}

@@ -1,0 +1,40 @@
+//! **ActiveDP** — the interactive labelling framework of Guan & Koudas,
+//! *ActiveDP: Bridging Active Learning and Data Programming* (EDBT 2024).
+//!
+//! ActiveDP runs an iterative loop (paper Figure 1). In the **training
+//! phase**, each iteration:
+//!
+//! 1. the [`AdpSampler`] (§3.3, Eq. 2) picks the query instance whose
+//!    uncertainty is highest under a geometric mixture of the
+//!    active-learning model and the label model;
+//! 2. the user (an [`Oracle`]; experiments use the simulated user of
+//!    §4.1.4) inspects the instance and returns a label function;
+//! 3. the query instance receives a *pseudo-label* — the LF's vote on its
+//!    own query — and joins the AL model's training set;
+//! 4. [`LabelPick`] (§3.4) prunes LFs worse than random on the validation
+//!    split and keeps the subset forming the Markov blanket of the label
+//!    under a graphical-lasso dependency estimate;
+//! 5. the label model (MeTaL-style triplet estimator by default) refits on
+//!    the selected LFs and the AL model refits on the pseudo-labelled set.
+//!
+//! In the **inference phase**, [`confusion`] (§3.2, Eq. 1) aggregates both
+//! models' predictions under a confidence threshold tuned on the validation
+//! split, and the downstream classifier trains on the aggregated labels.
+//!
+//! [`ActiveDpSession`] orchestrates the whole loop and exposes the ablation
+//! switches of Table 3 (`use_labelpick`, `use_confusion`) plus the sampler
+//! choices of Table 4.
+
+pub mod adp_sampler;
+pub mod confusion;
+pub mod error;
+pub mod labelpick;
+pub mod oracle;
+pub mod session;
+
+pub use adp_sampler::AdpSampler;
+pub use confusion::{aggregate, tune_threshold, AggregatedLabels};
+pub use error::ActiveDpError;
+pub use labelpick::{LabelPick, LabelPickConfig};
+pub use oracle::Oracle;
+pub use session::{ActiveDpSession, EvalReport, SamplerChoice, SessionConfig, StepOutcome};

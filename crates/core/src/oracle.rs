@@ -1,0 +1,59 @@
+//! The user abstraction: anything that can answer a query instance with a
+//! label function.
+//!
+//! The evaluation protocol plugs in the simulated user of §4.1.4
+//! ([`adp_lf::SimulatedUser`]); an interactive deployment would implement
+//! [`Oracle`] over a real UI.
+
+use adp_data::Dataset;
+use adp_lf::{CandidateSpace, LabelFunction, SimulatedUser};
+
+/// A source of label functions in response to query instances.
+pub trait Oracle: Send {
+    /// Inspects instance `idx` of `query_dataset` and (optionally) returns
+    /// a new label function. `None` still consumes the iteration's budget,
+    /// mirroring a user who cannot think of a rule for the instance.
+    fn respond(
+        &mut self,
+        space: &CandidateSpace,
+        train: &Dataset,
+        query_dataset: &Dataset,
+        idx: usize,
+    ) -> Option<LabelFunction>;
+}
+
+impl Oracle for SimulatedUser {
+    fn respond(
+        &mut self,
+        space: &CandidateSpace,
+        train: &Dataset,
+        query_dataset: &Dataset,
+        idx: usize,
+    ) -> Option<LabelFunction> {
+        SimulatedUser::respond(self, space, train, query_dataset, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{FeatureSet, Task};
+    use adp_linalg::CsrMatrix;
+
+    #[test]
+    fn simulated_user_implements_oracle() {
+        let d = Dataset {
+            name: "t".into(),
+            task: Task::SpamClassification,
+            n_classes: 2,
+            features: FeatureSet::Sparse(CsrMatrix::empty(2, 1)),
+            labels: vec![1, 0],
+            texts: None,
+            encoded_docs: Some(vec![vec![0], vec![0]]),
+        };
+        let space = CandidateSpace::build(&d);
+        let mut user: Box<dyn Oracle> = Box::new(SimulatedUser::with_defaults(0));
+        // Token 0 has accuracy 0.5 on each label -> below threshold -> None.
+        assert!(user.respond(&space, &d, &d, 0).is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for dataset construction.
+
+use std::fmt;
+
+/// Errors produced while building or validating datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A generator spec is internally inconsistent.
+    InvalidSpec {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Labels and features disagree in length.
+    LengthMismatch {
+        /// Number of feature rows.
+        features: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A split ratio set does not sum to 1 or contains non-positives.
+    BadSplit {
+        /// The offending ratios.
+        ratios: (f64, f64, f64),
+    },
+    /// Requested dataset is empty after scaling.
+    EmptyDataset {
+        /// Dataset name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidSpec { reason } => write!(f, "invalid generator spec: {reason}"),
+            DataError::LengthMismatch { features, labels } => {
+                write!(f, "{features} feature rows but {labels} labels")
+            }
+            DataError::BadSplit { ratios } => write!(
+                f,
+                "split ratios must be positive and sum to 1, got {:?}",
+                ratios
+            ),
+            DataError::EmptyDataset { name } => write!(f, "dataset {name} is empty after scaling"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DataError::LengthMismatch {
+            features: 3,
+            labels: 5,
+        };
+        assert_eq!(e.to_string(), "3 feature rows but 5 labels");
+        assert!(DataError::EmptyDataset {
+            name: "youtube".into()
+        }
+        .to_string()
+        .contains("youtube"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Datasets for the ActiveDP reproduction.
+//!
+//! The paper evaluates on six textual datasets (Youtube Spam, IMDB, Yelp,
+//! Amazon, Bios-PT, Bios-JP) and two tabular ones (Occupancy, Census).
+//! Those corpora are not shippable here, so this crate provides *synthetic
+//! equivalents*: generators that control exactly the two interfaces the
+//! algorithms consume — the feature matrix and the label-function space —
+//! and are tuned per dataset so the induced difficulty ordering matches the
+//! paper (see DESIGN.md §1 for the substitution argument).
+//!
+//! Public surface:
+//! * [`Dataset`] / [`SplitDataset`] — features (dense or TF-IDF sparse),
+//!   ground-truth labels, raw texts and encoded token ids for textual data;
+//! * [`registry::generate`] — the eight named datasets of Table 2 at any
+//!   scale factor;
+//! * [`split::split_indices`] — the 80/10/10 shuffled partition helper.
+
+pub mod dataset;
+pub mod error;
+pub mod registry;
+pub mod split;
+pub mod synth;
+
+pub use dataset::{Dataset, FeatureSet, SplitDataset, Task};
+pub use error::DataError;
+pub use registry::{generate, DatasetId, Scale};
+pub use split::split_indices;

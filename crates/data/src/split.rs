@@ -1,0 +1,79 @@
+//! Shuffled train/validation/test partitioning (paper §4.1.1: 80/10/10).
+
+use crate::error::DataError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomly partitions `0..n` into train/valid/test index sets with the
+/// given ratios (which must be positive and sum to 1 within 1e-9).
+///
+/// The validation and test sets receive `round(n·ratio)` elements and the
+/// training set the remainder, so every index lands in exactly one split.
+pub fn split_indices(
+    n: usize,
+    ratios: (f64, f64, f64),
+    seed: u64,
+) -> Result<(Vec<usize>, Vec<usize>, Vec<usize>), DataError> {
+    let (tr, va, te) = ratios;
+    if tr <= 0.0 || va <= 0.0 || te <= 0.0 || ((tr + va + te) - 1.0).abs() > 1e-9 {
+        return Err(DataError::BadSplit { ratios });
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_valid = (va * n as f64).round() as usize;
+    let n_test = (te * n as f64).round() as usize;
+    let n_train = n.saturating_sub(n_valid + n_test);
+    let train = idx[..n_train].to_vec();
+    let valid = idx[n_train..n_train + n_valid].to_vec();
+    let test = idx[n_train + n_valid..].to_vec();
+    Ok((train, valid, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        let (tr, va, te) = split_indices(100, (0.8, 0.1, 0.1), 7).unwrap();
+        assert_eq!(tr.len(), 80);
+        assert_eq!(va.len(), 10);
+        assert_eq!(te.len(), 10);
+        let all: HashSet<usize> = tr.iter().chain(&va).chain(&te).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = split_indices(50, (0.8, 0.1, 0.1), 42).unwrap();
+        let b = split_indices(50, (0.8, 0.1, 0.1), 42).unwrap();
+        assert_eq!(a, b);
+        let c = split_indices(50, (0.8, 0.1, 0.1), 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn actually_shuffles() {
+        let (tr, _, _) = split_indices(1000, (0.8, 0.1, 0.1), 1).unwrap();
+        // The first 800 natural numbers in order would be astronomically
+        // unlikely after a shuffle.
+        assert_ne!(tr, (0..800).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_bad_ratios() {
+        assert!(split_indices(10, (0.9, 0.2, 0.1), 0).is_err());
+        assert!(split_indices(10, (1.0, 0.0, 0.0), 0).is_err());
+        assert!(split_indices(10, (-0.5, 1.0, 0.5), 0).is_err());
+    }
+
+    #[test]
+    fn small_n_never_panics() {
+        for n in 0..5 {
+            let (tr, va, te) = split_indices(n, (0.8, 0.1, 0.1), 3).unwrap();
+            assert_eq!(tr.len() + va.len() + te.len(), n);
+        }
+    }
+}

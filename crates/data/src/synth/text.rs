@@ -1,0 +1,323 @@
+//! Synthetic keyword-mixture text corpora.
+//!
+//! Each binary dataset is defined by two pools of signal *concepts* (one
+//! pool per class) and a pool of uninformative *background words*. A
+//! document of class `y` activates each class-`y` concept independently
+//! with probability `p_c` and each opposite-class concept with probability
+//! `p_c · leak_c`; an active concept emits each of its 1–3 synonym variant
+//! words with probability `variant_activation`; background words are drawn
+//! uniformly. With balanced classes every variant's keyword LF `w → y` has
+//! accuracy `1 / (1 + leak_c)`, and variants of the same concept are
+//! strongly correlated — the redundancy LabelPick's Markov-blanket
+//! selection exists to prune (paper §3.4). Irreducible label-flip noise
+//! caps the downstream model's attainable accuracy, reproducing each
+//! dataset's difficulty ordering.
+
+use crate::dataset::{Dataset, FeatureSet, SplitDataset, Task};
+use crate::error::DataError;
+use adp_text::{TfidfVectorizer, TokenizerConfig};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters for one textual dataset.
+#[derive(Debug, Clone)]
+pub struct TextSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Task category (Table 2).
+    pub task: Task,
+    /// Split sizes.
+    pub n_train: usize,
+    /// Validation size.
+    pub n_valid: usize,
+    /// Test size.
+    pub n_test: usize,
+    /// P(Y = 1).
+    pub class_balance: f64,
+    /// Signal concepts per class.
+    pub n_signal_per_class: usize,
+    /// In-class activation probability range for signal concepts.
+    pub signal_freq: (f64, f64),
+    /// Leak-ratio range; LF accuracy = 1/(1+leak) under balanced classes.
+    pub leak: (f64, f64),
+    /// Synonym variants per concept (uniform inclusive range). Sizes above
+    /// one create correlated keyword LFs.
+    pub variants_per_signal: (usize, usize),
+    /// P(variant word emitted | concept active).
+    pub variant_activation: f64,
+    /// Background vocabulary size.
+    pub n_background: usize,
+    /// Background words per document (uniform inclusive range).
+    pub background_per_doc: (usize, usize),
+    /// Irreducible label-flip probability.
+    pub label_noise: f64,
+}
+
+impl TextSpec {
+    fn validate(&self) -> Result<(), DataError> {
+        let bad = |reason: String| Err(DataError::InvalidSpec { reason });
+        if self.n_train == 0 || self.n_valid == 0 || self.n_test == 0 {
+            return bad("split sizes must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.class_balance) {
+            return bad(format!("class_balance {} outside [0,1]", self.class_balance));
+        }
+        if !(0.0..0.5).contains(&self.label_noise) {
+            return bad(format!("label_noise {} outside [0,0.5)", self.label_noise));
+        }
+        for (lo, hi, what) in [
+            (self.signal_freq.0, self.signal_freq.1, "signal_freq"),
+            (self.leak.0, self.leak.1, "leak"),
+        ] {
+            if lo < 0.0 || hi > 2.0 || lo > hi {
+                return bad(format!("{what} range ({lo}, {hi}) invalid"));
+            }
+        }
+        if self.n_signal_per_class == 0 {
+            return bad("need at least one signal concept per class".into());
+        }
+        if self.variants_per_signal.0 == 0 || self.variants_per_signal.0 > self.variants_per_signal.1 {
+            return bad(format!(
+                "variants_per_signal range {:?} invalid",
+                self.variants_per_signal
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.variant_activation) {
+            return bad(format!(
+                "variant_activation {} outside [0,1]",
+                self.variant_activation
+            ));
+        }
+        Ok(())
+    }
+}
+
+struct Concept {
+    variants: Vec<String>,
+    class: usize,
+    freq: f64,
+    leak: f64,
+}
+
+/// Generates a [`SplitDataset`] from `spec`, deterministically in `seed`.
+///
+/// TF-IDF is fitted on the training documents only; validation/test are
+/// transformed with the training vocabulary, matching the standard pipeline.
+pub fn generate_text(spec: &TextSpec, seed: u64) -> Result<SplitDataset, DataError> {
+    spec.validate()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // Per-concept parameters.
+    let mut signals = Vec::with_capacity(2 * spec.n_signal_per_class);
+    for class in 0..2usize {
+        for idx in 0..spec.n_signal_per_class {
+            let n_variants =
+                rng.gen_range(spec.variants_per_signal.0..=spec.variants_per_signal.1);
+            signals.push(Concept {
+                variants: (0..n_variants)
+                    .map(|v| format!("s{class}c{idx:03}v{v}"))
+                    .collect(),
+                class,
+                freq: rng.gen_range(spec.signal_freq.0..=spec.signal_freq.1),
+                leak: rng.gen_range(spec.leak.0..=spec.leak.1),
+            });
+        }
+    }
+    let background: Vec<String> = (0..spec.n_background).map(|i| format!("bg{i:04}")).collect();
+
+    let total = spec.n_train + spec.n_valid + spec.n_test;
+    let mut texts = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    let mut words: Vec<&str> = Vec::new();
+    for _ in 0..total {
+        let y = usize::from(rng.gen::<f64>() < spec.class_balance);
+        words.clear();
+        for s in &signals {
+            let p = if s.class == y { s.freq } else { s.freq * s.leak };
+            if rng.gen::<f64>() < p {
+                // Concept active: emit correlated synonym variants.
+                for v in &s.variants {
+                    if rng.gen::<f64>() < spec.variant_activation {
+                        words.push(v);
+                    }
+                }
+            }
+        }
+        if !background.is_empty() {
+            let n_bg = rng.gen_range(spec.background_per_doc.0..=spec.background_per_doc.1);
+            for _ in 0..n_bg {
+                words.push(&background[rng.gen_range(0..background.len())]);
+            }
+        }
+        words.shuffle(&mut rng);
+        texts.push(words.join(" "));
+        let observed = if rng.gen::<f64>() < spec.label_noise { 1 - y } else { y };
+        labels.push(observed);
+    }
+
+    let train_texts = &texts[..spec.n_train];
+    let valid_texts = &texts[spec.n_train..spec.n_train + spec.n_valid];
+    let test_texts = &texts[spec.n_train + spec.n_valid..];
+
+    let mut vectorizer = TfidfVectorizer::new(TokenizerConfig::default(), 2, 0.98, 50_000);
+    vectorizer.fit(&texts[..spec.n_train]);
+    let vocab = vectorizer.vocabulary().clone();
+
+    let make = |docs: &[String], labels: &[usize], what: &str| -> Dataset {
+        let tf = vectorizer.transform(docs);
+        Dataset {
+            name: spec.name.clone(),
+            task: spec.task,
+            n_classes: 2,
+            features: FeatureSet::Sparse(tf.matrix),
+            labels: labels.to_vec(),
+            texts: Some(docs.to_vec()),
+            encoded_docs: Some(tf.encoded_docs),
+        }
+        .tap_validate(what)
+    };
+
+    let split = SplitDataset {
+        train: make(train_texts, &labels[..spec.n_train], "train"),
+        valid: make(
+            valid_texts,
+            &labels[spec.n_train..spec.n_train + spec.n_valid],
+            "valid",
+        ),
+        test: make(test_texts, &labels[spec.n_train + spec.n_valid..], "test"),
+        vocab: Some(vocab),
+    };
+    split.validate()?;
+    Ok(split)
+}
+
+trait TapValidate {
+    fn tap_validate(self, what: &str) -> Self;
+}
+
+impl TapValidate for Dataset {
+    fn tap_validate(self, what: &str) -> Self {
+        debug_assert!(self.validate().is_ok(), "invalid {what} split");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn small_spec() -> TextSpec {
+        TextSpec {
+            name: "unit-text".into(),
+            task: Task::SpamClassification,
+            n_train: 300,
+            n_valid: 60,
+            n_test: 60,
+            class_balance: 0.5,
+            n_signal_per_class: 15,
+            signal_freq: (0.05, 0.3),
+            leak: (0.05, 0.5),
+            variants_per_signal: (1, 3),
+            variant_activation: 0.8,
+            n_background: 60,
+            background_per_doc: (3, 8),
+            label_noise: 0.03,
+        }
+    }
+
+    #[test]
+    fn shapes_and_validity() {
+        let ds = generate_text(&small_spec(), 1).unwrap();
+        assert_eq!(ds.train.len(), 300);
+        assert_eq!(ds.valid.len(), 60);
+        assert_eq!(ds.test.len(), 60);
+        assert!(ds.is_textual());
+        assert!(ds.vocab.is_some());
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_text(&small_spec(), 9).unwrap();
+        let b = generate_text(&small_spec(), 9).unwrap();
+        assert_eq!(a.train.texts, b.train.texts);
+        assert_eq!(a.train.labels, b.train.labels);
+        let c = generate_text(&small_spec(), 10).unwrap();
+        assert_ne!(a.train.texts, c.train.texts);
+    }
+
+    #[test]
+    fn classes_roughly_balanced() {
+        let ds = generate_text(&small_spec(), 2).unwrap();
+        let balance = ds.train.class_balance();
+        assert!((balance[1] - 0.5).abs() < 0.1, "balance {:?}", balance);
+    }
+
+    #[test]
+    fn signal_words_predict_labels() {
+        // A class-1 signal word should appear far more often in class-1 docs.
+        let ds = generate_text(&small_spec(), 3).unwrap();
+        let vocab = ds.vocab.as_ref().unwrap();
+        // find any class-1 signal word present in the vocabulary
+        let id = (0..15)
+            .filter_map(|i| vocab.id(&format!("s1c{i:03}v0")))
+            .next()
+            .expect("some signal word in vocab");
+        let docs = ds.train.encoded_docs.as_ref().unwrap();
+        let mut in_c1 = 0usize;
+        let mut in_c0 = 0usize;
+        for (doc, &y) in docs.iter().zip(&ds.train.labels) {
+            if doc.contains(&id) {
+                if y == 1 {
+                    in_c1 += 1;
+                } else {
+                    in_c0 += 1;
+                }
+            }
+        }
+        assert!(in_c1 > in_c0, "in_c1={in_c1} in_c0={in_c0}");
+    }
+
+    #[test]
+    fn tfidf_features_align_with_docs() {
+        let ds = generate_text(&small_spec(), 4).unwrap();
+        let m = ds.train.features.as_sparse();
+        assert_eq!(m.nrows(), ds.train.len());
+        assert_eq!(m.ncols(), ds.vocab.as_ref().unwrap().len());
+    }
+
+    #[test]
+    fn rejects_invalid_specs() {
+        let mut s = small_spec();
+        s.n_train = 0;
+        assert!(generate_text(&s, 0).is_err());
+        let mut s = small_spec();
+        s.label_noise = 0.6;
+        assert!(generate_text(&s, 0).is_err());
+        let mut s = small_spec();
+        s.leak = (0.9, 0.2);
+        assert!(generate_text(&s, 0).is_err());
+        let mut s = small_spec();
+        s.n_signal_per_class = 0;
+        assert!(generate_text(&s, 0).is_err());
+    }
+
+    #[test]
+    fn label_noise_flips_some_labels() {
+        let mut s = small_spec();
+        s.label_noise = 0.0;
+        let clean = generate_text(&s, 5).unwrap();
+        s.label_noise = 0.3;
+        let noisy = generate_text(&s, 5).unwrap();
+        // Same rng stream up to the flip decisions => documents identical,
+        // labels partially flipped.
+        let diff = clean
+            .train
+            .labels
+            .iter()
+            .zip(&noisy.train.labels)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(diff > 0);
+    }
+}

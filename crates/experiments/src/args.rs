@@ -1,0 +1,179 @@
+//! Minimal command-line options shared by the experiment binaries.
+
+use crate::protocol::ProtocolConfig;
+use adp_data::{DatasetId, Scale};
+
+/// Parsed binary options.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Paper-scale protocol (300 iterations, 5 seeds, full data).
+    pub full: bool,
+    /// Restrict to specific datasets.
+    pub datasets: Option<Vec<DatasetId>>,
+    /// Override iteration count.
+    pub iterations: Option<usize>,
+    /// Override seed count.
+    pub seeds: Option<usize>,
+    /// Output directory for CSVs.
+    pub out_dir: String,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            full: false,
+            datasets: None,
+            iterations: None,
+            seeds: None,
+            out_dir: "results".into(),
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parses `--full`, `--dataset <name>` (repeatable), `--iters N`,
+    /// `--seeds N`, `--out DIR`. Unknown flags abort with a usage message.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<RunOpts, String> {
+        let mut opts = RunOpts::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--dataset" => {
+                    let name = args.next().ok_or("--dataset needs a name")?;
+                    let id = parse_dataset(&name)?;
+                    opts.datasets.get_or_insert_with(Vec::new).push(id);
+                }
+                "--iters" => {
+                    let n = args.next().ok_or("--iters needs a number")?;
+                    opts.iterations = Some(n.parse().map_err(|_| format!("bad --iters {n}"))?);
+                }
+                "--seeds" => {
+                    let n = args.next().ok_or("--seeds needs a number")?;
+                    opts.seeds = Some(n.parse().map_err(|_| format!("bad --seeds {n}"))?);
+                }
+                "--out" => {
+                    opts.out_dir = args.next().ok_or("--out needs a directory")?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag {other}; supported: --full --dataset <name> --iters N --seeds N --out DIR"
+                    ));
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The protocol this invocation asks for.
+    pub fn protocol(&self) -> ProtocolConfig {
+        let mut cfg = if self.full {
+            ProtocolConfig::paper()
+        } else {
+            ProtocolConfig::reduced()
+        };
+        if let Some(iters) = self.iterations {
+            cfg.iterations = iters.max(cfg.eval_every);
+        }
+        if let Some(seeds) = self.seeds {
+            cfg.seeds = (1..=seeds.max(1) as u64).collect();
+        }
+        cfg
+    }
+
+    /// The datasets this invocation covers (default: all eight).
+    pub fn dataset_list(&self) -> Vec<DatasetId> {
+        self.datasets
+            .clone()
+            .unwrap_or_else(|| DatasetId::all().to_vec())
+    }
+
+    /// Scale description for logging.
+    pub fn describe(&self) -> String {
+        let cfg = self.protocol();
+        format!(
+            "{} scale, {} iterations, eval every {}, {} seeds",
+            match cfg.scale {
+                Scale::Paper => "paper",
+                Scale::Reduced => "reduced (~20%)",
+                Scale::Tiny => "tiny",
+                Scale::Custom(_) => "custom",
+            },
+            cfg.iterations,
+            cfg.eval_every,
+            cfg.seeds.len()
+        )
+    }
+}
+
+fn parse_dataset(name: &str) -> Result<DatasetId, String> {
+    let lower = name.to_lowercase();
+    DatasetId::all()
+        .into_iter()
+        .find(|id| id.name().to_lowercase() == lower)
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset {name}; expected one of {}",
+                DatasetId::all()
+                    .iter()
+                    .map(|d| d.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunOpts, String> {
+        RunOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_reduced_scale() {
+        let opts = parse(&[]).unwrap();
+        assert!(!opts.full);
+        let cfg = opts.protocol();
+        assert_eq!(cfg.iterations, 100);
+        assert_eq!(cfg.seeds.len(), 2);
+        assert_eq!(opts.dataset_list().len(), 8);
+    }
+
+    #[test]
+    fn full_flag_selects_paper_protocol() {
+        let cfg = parse(&["--full"]).unwrap().protocol();
+        assert_eq!(cfg.iterations, 300);
+        assert_eq!(cfg.seeds.len(), 5);
+        assert_eq!(cfg.scale, Scale::Paper);
+    }
+
+    #[test]
+    fn dataset_filter_and_overrides() {
+        let opts = parse(&[
+            "--dataset", "youtube", "--dataset", "Census", "--iters", "50", "--seeds", "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            opts.dataset_list(),
+            vec![DatasetId::Youtube, DatasetId::Census]
+        );
+        let cfg = opts.protocol();
+        assert_eq!(cfg.iterations, 50);
+        assert_eq!(cfg.seeds, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_dataset() {
+        assert!(parse(&["--nope"]).is_err());
+        assert!(parse(&["--dataset", "mnist"]).is_err());
+        assert!(parse(&["--iters", "abc"]).is_err());
+    }
+
+    #[test]
+    fn describe_mentions_scale() {
+        assert!(parse(&[]).unwrap().describe().contains("reduced"));
+        assert!(parse(&["--full"]).unwrap().describe().contains("paper"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Regenerates **Figure 3**: end-to-end performance comparison between
+//! ActiveDP and the baseline methods, plus the §4.2 average-improvement
+//! summary.
+//!
+//! For every dataset it prints the per-method test-accuracy series (one
+//! point per 10 queries — the paper's performance curves) and a final AUC
+//! table. Nemo runs on textual datasets only, as in the paper.
+
+use adp_experiments::{run_framework_curve, write_csv, Method, RunOpts, TableWriter};
+use std::path::Path;
+
+fn main() {
+    let opts = match RunOpts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = opts.protocol();
+    println!("Figure 3: End-to-end performance comparison ({})", opts.describe());
+
+    let mut auc_table = TableWriter::new(&["Dataset", "ActiveDP", "Nemo", "IWS", "RLF", "US"]);
+    let mut curve_table = TableWriter::new(&["Dataset", "Method", "Iteration", "TestAccuracy"]);
+    // Average improvement of ActiveDP over each baseline (§4.2 text).
+    let mut gaps: std::collections::HashMap<&'static str, Vec<f64>> = Default::default();
+
+    for id in opts.dataset_list() {
+        println!("\n=== {} ===", id.name());
+        let mut aucs: Vec<String> = vec![id.name().to_string()];
+        let mut activedp_auc = None;
+        for method in Method::all() {
+            if !method.supports(id) {
+                aucs.push("-".to_string());
+                continue;
+            }
+            let curve = match run_framework_curve(id, method, &cfg) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{} on {} failed: {e}", method.label(), id.name());
+                    aucs.push("err".to_string());
+                    continue;
+                }
+            };
+            let series: Vec<String> = curve
+                .points
+                .iter()
+                .map(|&(it, a)| format!("{it}:{a:.3}"))
+                .collect();
+            println!("{:>9}  {}", method.label(), series.join(" "));
+            for &(it, a) in &curve.points {
+                curve_table.add_row(vec![
+                    id.name().to_string(),
+                    method.label().to_string(),
+                    it.to_string(),
+                    format!("{a:.4}"),
+                ]);
+            }
+            let auc = curve.auc();
+            aucs.push(format!("{auc:.4}"));
+            match method {
+                Method::ActiveDp => activedp_auc = Some(auc),
+                _ => {
+                    if let Some(adp) = activedp_auc {
+                        gaps.entry(method.label()).or_default().push(adp - auc);
+                    }
+                }
+            }
+        }
+        auc_table.add_row(aucs);
+    }
+
+    println!("\nAverage test accuracy during the run (area under the curve):");
+    println!("{}", auc_table.render());
+
+    println!("ActiveDP average improvement over baselines (paper §4.2: Nemo +4.4%, IWS +13.5%, RLF +2.6%, US +6.5%):");
+    for method in ["Nemo", "IWS", "RLF", "US"] {
+        if let Some(diffs) = gaps.get(method) {
+            let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+            println!("  vs {method:<5} {:+.1}%", mean * 100.0);
+        }
+    }
+
+    let out_dir = Path::new(&opts.out_dir);
+    for (name, table) in [("fig3_auc.csv", &auc_table), ("fig3_curves.csv", &curve_table)] {
+        let path = out_dir.join(name);
+        match write_csv(&path, table) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Regenerates **Table 4**: performance of ActiveDP with different sample
+//! selectors (Passive, US, LAL, SEU, ADP).
+
+use activedp::{SamplerChoice, SessionConfig};
+use adp_experiments::{run_session_curve, write_csv, RunOpts, TableWriter};
+use std::path::Path;
+
+fn main() {
+    let opts = match RunOpts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = opts.protocol();
+    println!(
+        "Table 4: Performance of ActiveDP with different sample selectors ({})",
+        opts.describe()
+    );
+    println!();
+
+    let samplers = [
+        SamplerChoice::Passive,
+        SamplerChoice::Uncertainty,
+        SamplerChoice::Lal,
+        SamplerChoice::Seu,
+        SamplerChoice::Adp,
+    ];
+
+    let datasets = opts.dataset_list();
+    let mut header: Vec<&str> = vec!["Sampler"];
+    let names: Vec<String> = datasets.iter().map(|d| d.name().to_string()).collect();
+    header.extend(names.iter().map(|s| s.as_str()));
+    let mut table = TableWriter::new(&header);
+
+    // Track per-dataset winners to report how often ADP comes out on top
+    // (paper: best on 7 of 8 datasets).
+    let mut best: Vec<(String, f64)> = vec![(String::new(), f64::NEG_INFINITY); datasets.len()];
+    for sampler in samplers {
+        let mut row = vec![sampler.label().to_string()];
+        for (k, &id) in datasets.iter().enumerate() {
+            let result = run_session_curve(id, sampler.label(), &cfg, move |textual, seed| {
+                SessionConfig {
+                    sampler,
+                    ..SessionConfig::paper_defaults(textual, seed)
+                }
+            });
+            match result {
+                Ok(curve) => {
+                    let auc = curve.auc();
+                    if auc > best[k].1 {
+                        best[k] = (sampler.label().to_string(), auc);
+                    }
+                    row.push(format!("{auc:.4}"));
+                }
+                Err(e) => {
+                    eprintln!("{} on {} failed: {e}", sampler.label(), id.name());
+                    row.push("err".to_string());
+                }
+            }
+        }
+        table.add_row(row);
+    }
+
+    println!("{}", table.render());
+    let adp_wins = best.iter().filter(|(label, _)| label == "ADP").count();
+    println!(
+        "ADP wins on {adp_wins} of {} datasets (paper: 7 of 8)",
+        datasets.len()
+    );
+    let out = Path::new(&opts.out_dir).join("table4_samplers.csv");
+    match write_csv(&out, &table) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

@@ -1,0 +1,20 @@
+//! The evaluation protocol of paper §4.1.3 and the machinery behind every
+//! table and figure.
+//!
+//! The protocol simulates `iterations` rounds of human supervision,
+//! evaluates the downstream model every `eval_every` rounds, repeats over
+//! several seeds, and reports the *average test accuracy during the run* —
+//! the area under the performance curve the paper's tables print.
+//!
+//! Binaries in `src/bin/` regenerate each artefact:
+//! `table2`, `fig2`, `fig3`, `table3`, `table4`, `table5`.
+
+pub mod args;
+pub mod protocol;
+pub mod tables;
+
+pub use args::RunOpts;
+pub use protocol::{
+    run_framework_curve, run_session_curve, Curve, Method, ProtocolConfig,
+};
+pub use tables::{format_row, write_csv, TableWriter};

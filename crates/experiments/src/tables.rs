@@ -1,0 +1,155 @@
+//! Table formatting and CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Formats one aligned table row.
+pub fn format_row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, &w) in cells.iter().zip(widths) {
+        let _ = write!(out, "{cell:<w$}  ");
+    }
+    out.trim_end().to_string()
+}
+
+/// Accumulates a table and renders it aligned, plus as CSV.
+#[derive(Debug, Default, Clone)]
+pub struct TableWriter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TableWriter {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    /// Panics on a column-count mismatch — table construction is test/
+    /// binary code where that is a bug.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has {} cells, header has {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the CSV form.
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a CSV file, creating parent directories.
+pub fn write_csv(path: &Path, table: &TableWriter) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, table.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableWriter {
+        let mut t = TableWriter::new(&["Name", "Acc"]);
+        t.add_row(vec!["Youtube".into(), "0.889".into()]);
+        t.add_row(vec!["IMDB".into(), "0.801".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("Name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("Youtube"));
+        // Columns aligned: "Acc" column starts at the same offset everywhere.
+        let pos_header = lines[0].find("Acc").unwrap();
+        let pos_row = lines[2].find("0.889").unwrap();
+        assert_eq!(pos_header, pos_row);
+    }
+
+    #[test]
+    fn csv_output_and_escaping() {
+        let mut t = TableWriter::new(&["a", "b"]);
+        t.add_row(vec!["x,y".into(), "quote\"d".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"quote\"\"d\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn add_row_checks_arity() {
+        let mut t = TableWriter::new(&["a"]);
+        t.add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("adp_tables_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        write_csv(&path, &sample()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("Name,Acc"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

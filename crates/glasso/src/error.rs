@@ -1,0 +1,61 @@
+//! Error type for the graphical lasso.
+
+use adp_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced by [`crate::graphical_lasso`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlassoError {
+    /// The covariance matrix is not square.
+    NotSquare {
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// The covariance matrix is not symmetric.
+    NotSymmetric,
+    /// The covariance matrix contains NaN/inf.
+    NonFinite,
+    /// The ℓ1 penalty is negative or non-finite.
+    BadPenalty {
+        /// Offending penalty.
+        rho: f64,
+    },
+    /// The inner lasso solver failed.
+    Inner(LinalgError),
+}
+
+impl fmt::Display for GlassoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlassoError::NotSquare { shape } => {
+                write!(f, "covariance must be square, got {}x{}", shape.0, shape.1)
+            }
+            GlassoError::NotSymmetric => write!(f, "covariance must be symmetric"),
+            GlassoError::NonFinite => write!(f, "covariance contains non-finite values"),
+            GlassoError::BadPenalty { rho } => write!(f, "invalid penalty rho = {rho}"),
+            GlassoError::Inner(e) => write!(f, "inner lasso failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GlassoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GlassoError::Inner(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = GlassoError::Inner(LinalgError::Empty { what: "x" });
+        assert!(e.to_string().contains("inner lasso"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&GlassoError::NotSymmetric).is_none());
+    }
+}

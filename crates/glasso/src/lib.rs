@@ -1,0 +1,341 @@
+//! Graphical lasso: ℓ1-penalised sparse inverse-covariance estimation.
+//!
+//! Implements the block coordinate descent of Friedman, Hastie & Tibshirani
+//! (2008) — the algorithm the paper cites for LabelPick's dependency-
+//! structure learning (§3.4). Each column update solves an ℓ1-penalised
+//! quadratic subproblem with `adp_linalg::lasso_quadratic_cd`, warm-started
+//! across sweeps.
+//!
+//! [`markov_blanket`] then reads the non-zero pattern of the estimated
+//! precision matrix: variables with non-zero partial correlation to the
+//! target form its Markov blanket (Pearl 1988), which LabelPick uses to
+//! select the LF subset adjacent to the class label.
+
+pub mod error;
+
+pub use error::GlassoError;
+
+use adp_linalg::lasso::LassoConfig;
+use adp_linalg::{lasso_quadratic_cd, Matrix};
+
+/// Graphical-lasso hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GlassoConfig {
+    /// ℓ1 penalty ρ on off-diagonal precision entries.
+    pub rho: f64,
+    /// Convergence tolerance on the mean absolute change of `W` per sweep,
+    /// relative to the mean absolute off-diagonal of `S`.
+    pub tol: f64,
+    /// Maximum number of full column sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for GlassoConfig {
+    fn default() -> Self {
+        GlassoConfig {
+            rho: 0.05,
+            tol: 1e-4,
+            max_sweeps: 100,
+        }
+    }
+}
+
+/// Output of [`graphical_lasso`].
+#[derive(Debug, Clone)]
+pub struct GlassoResult {
+    /// Estimated (regularised) covariance `W ≈ Θ⁻¹`.
+    pub covariance: Matrix,
+    /// Estimated sparse precision matrix `Θ`.
+    pub precision: Matrix,
+    /// Sweeps performed until convergence.
+    pub sweeps: usize,
+}
+
+/// Runs the graphical lasso on an empirical covariance matrix `s`.
+///
+/// `s` must be square and symmetric (within 1e-8). Zero-variance variables
+/// are handled by the ridge the penalty adds to the diagonal.
+pub fn graphical_lasso(s: &Matrix, cfg: GlassoConfig) -> Result<GlassoResult, GlassoError> {
+    let p = s.nrows();
+    if s.ncols() != p {
+        return Err(GlassoError::NotSquare { shape: s.shape() });
+    }
+    if !s.all_finite() {
+        return Err(GlassoError::NonFinite);
+    }
+    if !s.is_symmetric(1e-8) {
+        return Err(GlassoError::NotSymmetric);
+    }
+    if cfg.rho < 0.0 || !cfg.rho.is_finite() {
+        return Err(GlassoError::BadPenalty { rho: cfg.rho });
+    }
+    if p == 0 {
+        return Ok(GlassoResult {
+            covariance: Matrix::zeros(0, 0),
+            precision: Matrix::zeros(0, 0),
+            sweeps: 0,
+        });
+    }
+    if p == 1 {
+        let w = s[(0, 0)] + cfg.rho;
+        let mut cov = Matrix::zeros(1, 1);
+        cov[(0, 0)] = w;
+        let mut prec = Matrix::zeros(1, 1);
+        prec[(0, 0)] = 1.0 / w.max(1e-12);
+        return Ok(GlassoResult {
+            covariance: cov,
+            precision: prec,
+            sweeps: 0,
+        });
+    }
+
+    // W = S + rho I.
+    let mut w = s.clone();
+    w.add_diagonal(cfg.rho).expect("square by construction");
+
+    // Warm-started betas, one per column.
+    let mut betas = vec![vec![0.0f64; p - 1]; p];
+    let others: Vec<Vec<usize>> = (0..p)
+        .map(|j| (0..p).filter(|&k| k != j).collect())
+        .collect();
+
+    // Convergence scale: mean |off-diagonal of S|.
+    let mut off_sum = 0.0;
+    for i in 0..p {
+        for j in 0..p {
+            if i != j {
+                off_sum += s[(i, j)].abs();
+            }
+        }
+    }
+    let scale = (off_sum / (p * (p - 1)) as f64).max(1e-12);
+
+    let lasso_cfg = LassoConfig {
+        tol: 1e-6,
+        max_sweeps: 1000,
+    };
+    let mut sweeps = 0;
+    for sweep in 1..=cfg.max_sweeps {
+        sweeps = sweep;
+        let mut delta_sum = 0.0;
+        for j in 0..p {
+            let idx = &others[j];
+            let w11 = w.submatrix(idx, idx);
+            let s12: Vec<f64> = idx.iter().map(|&k| s[(k, j)]).collect();
+            lasso_quadratic_cd(&w11, &s12, cfg.rho, &mut betas[j], lasso_cfg)
+                .map_err(GlassoError::Inner)?;
+            // w12 = W11 · beta.
+            let w12 = w11.matvec(&betas[j]).expect("shapes align");
+            for (pos, &k) in idx.iter().enumerate() {
+                delta_sum += (w[(k, j)] - w12[pos]).abs();
+                w[(k, j)] = w12[pos];
+                w[(j, k)] = w12[pos];
+            }
+        }
+        let avg_delta = delta_sum / (p * (p - 1)) as f64;
+        if avg_delta < cfg.tol * scale {
+            break;
+        }
+    }
+
+    // Recover the precision matrix from the final (W, beta) pairs.
+    let mut prec = Matrix::zeros(p, p);
+    for j in 0..p {
+        let idx = &others[j];
+        let w12: Vec<f64> = idx.iter().map(|&k| w[(k, j)]).collect();
+        let denom = w[(j, j)] - adp_linalg::dot(&w12, &betas[j]);
+        let theta_jj = 1.0 / denom.max(1e-12);
+        prec[(j, j)] = theta_jj;
+        for (pos, &k) in idx.iter().enumerate() {
+            prec[(k, j)] = -betas[j][pos] * theta_jj;
+        }
+    }
+    // Column-wise recovery leaves small asymmetries; symmetrise.
+    prec.symmetrize().expect("square by construction");
+
+    Ok(GlassoResult {
+        covariance: w,
+        precision: prec,
+        sweeps,
+    })
+}
+
+/// Variables with non-zero partial correlation to `target`: the indices `k`
+/// with `|Θ[target, k]| > tol`, excluding `target` itself.
+pub fn markov_blanket(precision: &Matrix, target: usize, tol: f64) -> Vec<usize> {
+    (0..precision.ncols())
+        .filter(|&k| k != target && precision[(target, k)].abs() > tol)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_linalg::covariance_matrix;
+    use rand::{Rng, SeedableRng};
+
+    fn diag(values: &[f64]) -> Matrix {
+        let mut m = Matrix::zeros(values.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_covariance_gives_diagonal_precision() {
+        let s = diag(&[2.0, 4.0, 0.5]);
+        let res = graphical_lasso(&s, GlassoConfig::default()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    let expect = 1.0 / (s[(i, i)] + 0.05);
+                    assert!((res.precision[(i, j)] - expect).abs() < 1e-6);
+                } else {
+                    assert_eq!(res.precision[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_penalty_matches_matrix_inverse() {
+        let s = Matrix::from_rows(&[vec![1.0, 0.5], vec![0.5, 1.0]]).unwrap();
+        let cfg = GlassoConfig {
+            rho: 0.0,
+            tol: 1e-8,
+            max_sweeps: 500,
+        };
+        let res = graphical_lasso(&s, cfg).unwrap();
+        // inv([[1,.5],[.5,1]]) = [[4/3, -2/3], [-2/3, 4/3]]
+        assert!((res.precision[(0, 0)] - 4.0 / 3.0).abs() < 1e-3);
+        assert!((res.precision[(0, 1)] + 2.0 / 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn large_penalty_removes_all_edges() {
+        let s = Matrix::from_rows(&[vec![1.0, 0.8], vec![0.8, 1.0]]).unwrap();
+        let cfg = GlassoConfig {
+            rho: 1.0,
+            ..GlassoConfig::default()
+        };
+        let res = graphical_lasso(&s, cfg).unwrap();
+        assert_eq!(res.precision[(0, 1)], 0.0);
+        assert!(markov_blanket(&res.precision, 0, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn recovers_chain_structure() {
+        // AR(1) chain X0 → X1 → X2 → X3: precision is tridiagonal; glasso
+        // should find edges only between neighbours.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 4000;
+        let p = 4;
+        let mut data = Matrix::zeros(n, p);
+        for i in 0..n {
+            let mut prev = 0.0;
+            for j in 0..p {
+                let noise: f64 = {
+                    // Box-Muller
+                    let u1: f64 = rng.gen::<f64>().max(1e-12);
+                    let u2: f64 = rng.gen();
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                };
+                let x = if j == 0 { noise } else { 0.7 * prev + noise };
+                data[(i, j)] = x;
+                prev = x;
+            }
+        }
+        let s = covariance_matrix(&data).unwrap();
+        let cfg = GlassoConfig {
+            rho: 0.3,
+            ..GlassoConfig::default()
+        };
+        let res = graphical_lasso(&s, cfg).unwrap();
+        // Neighbour edges clearly present...
+        for j in 0..p - 1 {
+            assert!(
+                res.precision[(j, j + 1)].abs() > 0.1,
+                "missing edge {j}-{}",
+                j + 1
+            );
+        }
+        // ...distant pairs (conditionally independent in truth) much weaker.
+        assert!(res.precision[(0, 2)].abs() < 0.05, "{}", res.precision[(0, 2)]);
+        assert!(res.precision[(0, 3)].abs() < 0.05);
+        assert!(res.precision[(1, 3)].abs() < 0.05);
+        // Markov blanket of the middle node = its neighbours.
+        let mb = markov_blanket(&res.precision, 1, 0.05);
+        assert_eq!(mb, vec![0, 2]);
+    }
+
+    #[test]
+    fn precision_is_symmetric() {
+        let s = Matrix::from_rows(&[
+            vec![1.0, 0.3, 0.1],
+            vec![0.3, 1.0, 0.2],
+            vec![0.1, 0.2, 1.0],
+        ])
+        .unwrap();
+        let res = graphical_lasso(&s, GlassoConfig::default()).unwrap();
+        assert!(res.precision.is_symmetric(1e-9));
+        assert!(res.covariance.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn handles_zero_variance_variable() {
+        // Variable 1 is constant: S row/col zero. The ridge keeps it solvable.
+        let s = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0]]).unwrap();
+        let res = graphical_lasso(&s, GlassoConfig::default()).unwrap();
+        assert!(res.precision.all_finite());
+        assert_eq!(res.precision[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let empty = graphical_lasso(&Matrix::zeros(0, 0), GlassoConfig::default()).unwrap();
+        assert_eq!(empty.precision.shape(), (0, 0));
+        let one = graphical_lasso(&diag(&[2.0]), GlassoConfig::default()).unwrap();
+        assert!((one.precision[(0, 0)] - 1.0 / 2.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            graphical_lasso(&Matrix::zeros(2, 3), GlassoConfig::default()).unwrap_err(),
+            GlassoError::NotSquare { .. }
+        ));
+        let asym = Matrix::from_rows(&[vec![1.0, 0.5], vec![0.1, 1.0]]).unwrap();
+        assert!(matches!(
+            graphical_lasso(&asym, GlassoConfig::default()).unwrap_err(),
+            GlassoError::NotSymmetric
+        ));
+        let mut nan = Matrix::zeros(2, 2);
+        nan[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            graphical_lasso(&nan, GlassoConfig::default()).unwrap_err(),
+            GlassoError::NonFinite
+        ));
+        let s = Matrix::identity(2);
+        let bad = GlassoConfig {
+            rho: -1.0,
+            ..GlassoConfig::default()
+        };
+        assert!(matches!(
+            graphical_lasso(&s, bad).unwrap_err(),
+            GlassoError::BadPenalty { .. }
+        ));
+    }
+
+    #[test]
+    fn markov_blanket_respects_tolerance() {
+        let mut prec = Matrix::identity(3);
+        prec[(0, 1)] = 0.5;
+        prec[(1, 0)] = 0.5;
+        prec[(0, 2)] = 1e-8;
+        prec[(2, 0)] = 1e-8;
+        assert_eq!(markov_blanket(&prec, 0, 1e-6), vec![1]);
+        assert_eq!(markov_blanket(&prec, 0, 1e-10), vec![1, 2]);
+        assert_eq!(markov_blanket(&prec, 2, 1e-6), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,103 @@
+//! Generative label models: aggregate weak LF votes into probabilistic
+//! labels (paper §2.1's `f_l`).
+//!
+//! Three models are provided:
+//!
+//! * [`MajorityVote`] — the standard unweighted baseline;
+//! * [`DawidSkene`] — EM over per-LF confusion matrices (the classic
+//!   generative model; handles any number of classes and models abstention
+//!   rates per class);
+//! * [`TripletMetal`] — closed-form method-of-moments estimation of LF
+//!   accuracies from pairwise agreement statistics, the same second-moment
+//!   identity MeTaL's matrix-completion estimator exploits (Ratner et al.
+//!   2019), specialised to binary tasks — which covers all eight paper
+//!   datasets. The paper's experiments use MeTaL as the label model, so
+//!   [`TripletMetal`] is the default in the ActiveDP session.
+//!
+//! All models implement [`LabelModel`]: `fit` on a [`LabelMatrix`], then
+//! `predict_proba` on vote rows.
+
+pub mod dawid_skene;
+pub mod error;
+pub mod majority;
+pub mod triplet;
+
+pub use dawid_skene::DawidSkene;
+pub use error::LabelModelError;
+pub use majority::MajorityVote;
+pub use triplet::TripletMetal;
+
+use adp_lf::LabelMatrix;
+
+/// A generative model over weak labels.
+pub trait LabelModel: Send {
+    /// Fits the model to a label matrix. `class_balance`, when given, fixes
+    /// the class prior (the paper tunes MeTaL with the validation balance);
+    /// otherwise models estimate or default to uniform.
+    fn fit(
+        &mut self,
+        matrix: &LabelMatrix,
+        class_balance: Option<&[f64]>,
+    ) -> Result<(), LabelModelError>;
+
+    /// Posterior class distribution for one row of votes (`-1` = abstain).
+    /// Rows where every LF abstains yield the class prior.
+    fn predict_proba(&self, votes: &[i8]) -> Vec<f64>;
+
+    /// Number of classes.
+    fn n_classes(&self) -> usize;
+}
+
+/// Applies `model` to every instance of `matrix`.
+pub fn predict_all(model: &dyn LabelModel, matrix: &LabelMatrix) -> Vec<Vec<f64>> {
+    (0..matrix.n_instances())
+        .map(|i| model.predict_proba(matrix.row(i)))
+        .collect()
+}
+
+/// Which label model a pipeline should instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelModelKind {
+    /// Unweighted majority vote.
+    MajorityVote,
+    /// Dawid-Skene EM.
+    DawidSkene,
+    /// Triplet method (MeTaL-style); binary tasks only.
+    Triplet,
+}
+
+/// Factory for boxed label models.
+pub fn make_model(kind: LabelModelKind, n_classes: usize) -> Box<dyn LabelModel> {
+    match kind {
+        LabelModelKind::MajorityVote => Box::new(MajorityVote::new(n_classes)),
+        LabelModelKind::DawidSkene => Box::new(DawidSkene::new(n_classes)),
+        LabelModelKind::Triplet => Box::new(TripletMetal::new(n_classes)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_constructs_all_kinds() {
+        for kind in [
+            LabelModelKind::MajorityVote,
+            LabelModelKind::DawidSkene,
+            LabelModelKind::Triplet,
+        ] {
+            let m = make_model(kind, 2);
+            assert_eq!(m.n_classes(), 2);
+        }
+    }
+
+    #[test]
+    fn predict_all_shapes() {
+        let matrix = LabelMatrix::empty(3);
+        let mut mv = MajorityVote::new(2);
+        mv.fit(&matrix, None).unwrap();
+        let probs = predict_all(&mv, &matrix);
+        assert_eq!(probs.len(), 3);
+        assert_eq!(probs[0], vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Triplet method-of-moments label model (MeTaL-style, binary tasks).
+//!
+//! Encode votes as ±1 (class 1 → +1, class 0 → −1, abstain → 0) and let
+//! `a_j = E[λ_j · Y]`. Under class-conditional independence of the LFs the
+//! second moments satisfy `E[λ_i λ_j] = a_i a_j`, so for any triplet
+//! `(i, j, k)`:
+//!
+//! ```text
+//!   |a_i| = sqrt( |E[λ_i λ_j] · E[λ_i λ_k] / E[λ_j λ_k]| )
+//! ```
+//!
+//! This is the same second-moment identity MeTaL's matrix-completion
+//! estimator inverts (Ratner et al. 2019) and FlyingSquid popularised in
+//! closed form. Signs are resolved by the better-than-random assumption the
+//! paper's candidate filter enforces (accuracy > 0.6 ⇒ `a_j > 0`). The
+//! recovered `a_j` are converted to firing-conditional accuracies and
+//! aggregated with a naive-Bayes posterior.
+
+use crate::error::{resolve_balance, LabelModelError};
+use crate::LabelModel;
+use adp_lf::{LabelMatrix, ABSTAIN};
+
+/// Triplet-estimated label model for binary tasks.
+#[derive(Debug, Clone)]
+pub struct TripletMetal {
+    n_classes: usize,
+    /// Firing-conditional accuracy per LF.
+    accuracies: Vec<f64>,
+    prior: Vec<f64>,
+    /// Accuracy assigned to LFs when moments are unusable (fewer than three
+    /// LFs, or degenerate overlap). Matches the candidate filter's floor.
+    pub default_accuracy: f64,
+    /// Accuracy estimates are clamped into `[clamp, 1 − clamp]` so log-odds
+    /// stay finite.
+    pub clamp: f64,
+}
+
+impl TripletMetal {
+    /// A triplet model; `n_classes` must be 2 (checked at `fit`).
+    pub fn new(n_classes: usize) -> Self {
+        TripletMetal {
+            n_classes,
+            accuracies: vec![],
+            prior: vec![0.5, 0.5],
+            default_accuracy: 0.7,
+            clamp: 0.05,
+        }
+    }
+
+    /// Estimated firing-conditional accuracies (after `fit`).
+    pub fn accuracies(&self) -> &[f64] {
+        &self.accuracies
+    }
+
+    fn signed(v: i8) -> f64 {
+        match v {
+            ABSTAIN => 0.0,
+            0 => -1.0,
+            _ => 1.0,
+        }
+    }
+}
+
+impl LabelModel for TripletMetal {
+    fn fit(
+        &mut self,
+        matrix: &LabelMatrix,
+        class_balance: Option<&[f64]>,
+    ) -> Result<(), LabelModelError> {
+        if self.n_classes != 2 {
+            return Err(LabelModelError::BinaryOnly {
+                n_classes: self.n_classes,
+            });
+        }
+        self.prior = resolve_balance(class_balance, 2)?;
+        let n = matrix.n_instances();
+        let m = matrix.n_lfs();
+        for i in 0..n {
+            for &v in matrix.row(i) {
+                if v != ABSTAIN && v as usize >= 2 {
+                    return Err(LabelModelError::VoteOutOfRange { vote: v, n_classes: 2 });
+                }
+            }
+        }
+        if m == 0 {
+            self.accuracies.clear();
+            return Ok(());
+        }
+        // Per-LF firing rate (needed to condition a_j on firing).
+        let mut fire_rate = vec![0.0f64; m];
+        for i in 0..n {
+            for (j, &v) in matrix.row(i).iter().enumerate() {
+                if v != ABSTAIN {
+                    fire_rate[j] += 1.0;
+                }
+            }
+        }
+        for f in &mut fire_rate {
+            *f /= n.max(1) as f64;
+        }
+
+        if m < 3 || n == 0 {
+            self.accuracies = vec![self.default_accuracy; m];
+            return Ok(());
+        }
+
+        // Pairwise signed second moments M_jk = E[λ_j λ_k].
+        let mut moments = vec![vec![0.0f64; m]; m];
+        for i in 0..n {
+            let row = matrix.row(i);
+            for j in 0..m {
+                let sj = Self::signed(row[j]);
+                if sj == 0.0 {
+                    continue;
+                }
+                for k in (j + 1)..m {
+                    let sk = Self::signed(row[k]);
+                    if sk != 0.0 {
+                        moments[j][k] += sj * sk;
+                    }
+                }
+            }
+        }
+        let inv_n = 1.0 / n as f64;
+        for j in 0..m {
+            for k in (j + 1)..m {
+                moments[j][k] *= inv_n;
+                moments[k][j] = moments[j][k];
+            }
+        }
+
+        // Estimate |a_j| as the median over all usable triplets (j, k, l).
+        const MIN_MOMENT: f64 = 1e-4;
+        let mut accs = Vec::with_capacity(m);
+        let mut estimates: Vec<f64> = Vec::new();
+        for j in 0..m {
+            estimates.clear();
+            for k in 0..m {
+                if k == j {
+                    continue;
+                }
+                for l in (k + 1)..m {
+                    if l == j {
+                        continue;
+                    }
+                    let (mjk, mjl, mkl) = (moments[j][k], moments[j][l], moments[k][l]);
+                    if mjk.abs() < MIN_MOMENT || mjl.abs() < MIN_MOMENT || mkl.abs() < MIN_MOMENT {
+                        continue;
+                    }
+                    let est = (mjk * mjl / mkl).abs().sqrt();
+                    if est.is_finite() {
+                        estimates.push(est.min(1.0));
+                    }
+                }
+            }
+            let a_j = if estimates.is_empty() {
+                // No usable triplet: fall back to the prior accuracy.
+                fire_rate[j] * (2.0 * self.default_accuracy - 1.0)
+            } else {
+                estimates.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+                estimates[estimates.len() / 2]
+            };
+            // a_j = E[λ_j Y] ≈ P(fire) · (2·acc − 1) ⇒ acc = (a_j/P(fire)+1)/2.
+            let acc = if fire_rate[j] > 0.0 {
+                ((a_j / fire_rate[j]) + 1.0) / 2.0
+            } else {
+                self.default_accuracy
+            };
+            accs.push(acc.clamp(self.clamp, 1.0 - self.clamp));
+        }
+        self.accuracies = accs;
+        Ok(())
+    }
+
+    fn predict_proba(&self, votes: &[i8]) -> Vec<f64> {
+        // Naive-Bayes log odds for Y = 1.
+        let mut log_odds = (self.prior[1] / self.prior[0]).ln();
+        for (j, &v) in votes.iter().enumerate().take(self.accuracies.len()) {
+            if v == ABSTAIN {
+                continue;
+            }
+            let acc = self.accuracies[j];
+            let w = (acc / (1.0 - acc)).ln();
+            log_odds += Self::signed(v) * w;
+        }
+        let p1 = 1.0 / (1.0 + (-log_odds).exp());
+        vec![1.0 - p1, p1]
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dawid_skene::tests::planted;
+
+    #[test]
+    fn recovers_planted_accuracies() {
+        let accs = [0.9, 0.8, 0.7, 0.6, 0.85];
+        let (lm, _) = planted(&accs, 0.7, 6000, 1);
+        let mut t = TripletMetal::new(2);
+        t.fit(&lm, Some(&[0.5, 0.5])).unwrap();
+        for (j, &a) in accs.iter().enumerate() {
+            let est = t.accuracies()[j];
+            assert!((est - a).abs() < 0.08, "LF {j}: est {est} vs true {a}");
+        }
+    }
+
+    #[test]
+    fn posterior_weights_good_lfs_higher() {
+        let accs = [0.95, 0.55, 0.55];
+        let (lm, labels) = planted(&accs, 1.0, 4000, 2);
+        let mut t = TripletMetal::new(2);
+        t.fit(&lm, Some(&[0.5, 0.5])).unwrap();
+        let mut correct = 0usize;
+        for i in 0..lm.n_instances() {
+            let p = t.predict_proba(lm.row(i));
+            if adp_linalg::argmax(&p).unwrap() == labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / lm.n_instances() as f64;
+        // Should track the best LF (0.95), not the majority (~0.60).
+        assert!(acc > 0.88, "triplet accuracy {acc:.3}");
+    }
+
+    #[test]
+    fn fewer_than_three_lfs_uses_default() {
+        let (lm, _) = planted(&[0.9, 0.8], 1.0, 500, 3);
+        let mut t = TripletMetal::new(2);
+        t.fit(&lm, None).unwrap();
+        assert_eq!(t.accuracies(), &[0.7, 0.7]);
+    }
+
+    #[test]
+    fn empty_matrix_and_all_abstain_rows() {
+        let lm = LabelMatrix::empty(5);
+        let mut t = TripletMetal::new(2);
+        t.fit(&lm, Some(&[0.3, 0.7])).unwrap();
+        let p = t.predict_proba(&[]);
+        assert!((p[1] - 0.7).abs() < 1e-9);
+        let p = t.predict_proba(&[ABSTAIN, ABSTAIN]);
+        assert!((p[1] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_multiclass() {
+        let mut t = TripletMetal::new(3);
+        assert!(matches!(
+            t.fit(&LabelMatrix::empty(0), None).unwrap_err(),
+            LabelModelError::BinaryOnly { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_votes() {
+        let lm = LabelMatrix::from_votes(&[vec![2]]).unwrap();
+        let mut t = TripletMetal::new(2);
+        assert!(t.fit(&lm, None).is_err());
+    }
+
+    #[test]
+    fn accuracies_are_clamped() {
+        // Perfectly correlated LFs can push estimates to 1; clamp bounds.
+        let (lm, _) = planted(&[1.0, 1.0, 1.0, 1.0], 1.0, 1000, 4);
+        let mut t = TripletMetal::new(2);
+        t.fit(&lm, None).unwrap();
+        for &a in t.accuracies() {
+            assert!(a <= 0.95 && a >= 0.05);
+        }
+    }
+
+    #[test]
+    fn prior_shifts_posterior() {
+        let (lm, _) = planted(&[0.8, 0.8, 0.8], 0.5, 2000, 5);
+        let mut t = TripletMetal::new(2);
+        t.fit(&lm, Some(&[0.9, 0.1])).unwrap();
+        // A single weak positive vote should not overcome a strong prior.
+        let p = t.predict_proba(&[ABSTAIN, 1, ABSTAIN]);
+        assert!(p[0] > 0.3, "prior should temper the vote: {p:?}");
+    }
+}

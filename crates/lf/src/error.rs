@@ -1,0 +1,54 @@
+//! Error type for label-function operations.
+
+use std::fmt;
+
+/// Errors produced by `adp-lf`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LfError {
+    /// An LF family was applied to an incompatible dataset (e.g. a keyword
+    /// LF on tabular data).
+    IncompatibleDataset {
+        /// What was attempted.
+        what: &'static str,
+    },
+    /// Index out of range.
+    IndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Container length.
+        len: usize,
+    },
+    /// The label matrix would be malformed.
+    BadMatrix {
+        /// Reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LfError::IncompatibleDataset { what } => {
+                write!(f, "incompatible dataset for {what}")
+            }
+            LfError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range (len {len})")
+            }
+            LfError::BadMatrix { reason } => write!(f, "bad label matrix: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(LfError::IndexOutOfRange { index: 5, len: 3 }
+            .to_string()
+            .contains("5"));
+    }
+}

@@ -1,0 +1,303 @@
+//! The two label-function families used in the paper's evaluation.
+
+use adp_data::Dataset;
+use adp_text::Vocabulary;
+
+/// The abstain vote: the LF makes no prediction on the instance.
+pub const ABSTAIN: i8 = -1;
+
+/// Comparison direction of a decision stump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StumpOp {
+    /// Fires when `x_j <= threshold`.
+    Le,
+    /// Fires when `x_j >= threshold`.
+    Ge,
+}
+
+impl StumpOp {
+    /// Both directions.
+    pub fn both() -> [StumpOp; 2] {
+        [StumpOp::Le, StumpOp::Ge]
+    }
+
+    /// Evaluates the comparison.
+    #[inline]
+    pub fn matches(self, value: f64, threshold: f64) -> bool {
+        match self {
+            StumpOp::Le => value <= threshold,
+            StumpOp::Ge => value >= threshold,
+        }
+    }
+}
+
+/// A label function: votes `label` on the instances it covers, abstains
+/// elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelFunction {
+    /// Text LF `keyword → label` (fires when the document contains the
+    /// vocabulary token).
+    Keyword {
+        /// Vocabulary id of the trigger token.
+        token: u32,
+        /// Voted class.
+        label: usize,
+    },
+    /// Tabular LF `x_j (≤|≥) v → label` (paper §4.1.4 decision stumps with
+    /// the query instance's own value as the boundary).
+    Stump {
+        /// Feature index.
+        feature: usize,
+        /// Decision boundary.
+        threshold: f64,
+        /// Comparison direction.
+        op: StumpOp,
+        /// Voted class.
+        label: usize,
+    },
+}
+
+/// Hashable identity of an LF, used to filter previously returned LFs
+/// (§4.1.4) without relying on float `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LfKey {
+    /// Keyword LF identity.
+    Keyword(u32, usize),
+    /// Stump LF identity with the threshold's bit pattern.
+    Stump(usize, u64, StumpOp, usize),
+}
+
+impl LabelFunction {
+    /// The class this LF votes for.
+    pub fn label(&self) -> usize {
+        match self {
+            LabelFunction::Keyword { label, .. } => *label,
+            LabelFunction::Stump { label, .. } => *label,
+        }
+    }
+
+    /// Stable identity for dedup purposes.
+    pub fn key(&self) -> LfKey {
+        match self {
+            LabelFunction::Keyword { token, label } => LfKey::Keyword(*token, *label),
+            LabelFunction::Stump {
+                feature,
+                threshold,
+                op,
+                label,
+            } => LfKey::Stump(*feature, threshold.to_bits(), *op, *label),
+        }
+    }
+
+    /// Evaluates the LF on instance `i` of `dataset`: the voted label, or
+    /// [`ABSTAIN`].
+    ///
+    /// # Panics
+    /// Panics when the LF family does not match the dataset modality (keyword
+    /// LFs need encoded documents, stumps need dense features); pipelines
+    /// construct LFs from the dataset's own candidate space, so a mismatch is
+    /// a programming error.
+    #[inline]
+    pub fn apply(&self, dataset: &Dataset, i: usize) -> i8 {
+        match self {
+            LabelFunction::Keyword { token, label } => {
+                let docs = dataset
+                    .encoded_docs
+                    .as_ref()
+                    .expect("keyword LF on non-text dataset");
+                if docs[i].contains(token) {
+                    *label as i8
+                } else {
+                    ABSTAIN
+                }
+            }
+            LabelFunction::Stump {
+                feature,
+                threshold,
+                op,
+                label,
+            } => {
+                let x = dataset.features.as_dense()[(i, *feature)];
+                if op.matches(x, *threshold) {
+                    *label as i8
+                } else {
+                    ABSTAIN
+                }
+            }
+        }
+    }
+
+    /// Fraction of `dataset` instances the LF fires on.
+    pub fn coverage(&self, dataset: &Dataset) -> f64 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let fired = (0..dataset.len()).filter(|&i| self.apply(dataset, i) != ABSTAIN).count();
+        fired as f64 / dataset.len() as f64
+    }
+
+    /// Accuracy on the covered subset of `dataset` (ground-truth labels),
+    /// or `None` when the LF never fires.
+    pub fn accuracy(&self, dataset: &Dataset) -> Option<f64> {
+        let mut fired = 0usize;
+        let mut correct = 0usize;
+        for i in 0..dataset.len() {
+            let v = self.apply(dataset, i);
+            if v != ABSTAIN {
+                fired += 1;
+                if v as usize == dataset.labels[i] {
+                    correct += 1;
+                }
+            }
+        }
+        if fired == 0 {
+            None
+        } else {
+            Some(correct as f64 / fired as f64)
+        }
+    }
+
+    /// Human-readable description, e.g. `"check" -> 1` or `x3 >= 0.25 -> 0`.
+    pub fn describe(&self, vocab: Option<&Vocabulary>) -> String {
+        match self {
+            LabelFunction::Keyword { token, label } => match vocab {
+                Some(v) => format!("\"{}\" -> {}", v.token(*token), label),
+                None => format!("token#{token} -> {label}"),
+            },
+            LabelFunction::Stump {
+                feature,
+                threshold,
+                op,
+                label,
+            } => {
+                let sym = match op {
+                    StumpOp::Le => "<=",
+                    StumpOp::Ge => ">=",
+                };
+                format!("x{feature} {sym} {threshold:.3} -> {label}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{Dataset, FeatureSet, Task};
+    use adp_linalg::Matrix;
+
+    pub(crate) fn text_dataset() -> Dataset {
+        // 4 docs over a 3-token vocabulary:
+        //   doc0: {0,1}  y=1
+        //   doc1: {0}    y=1
+        //   doc2: {2}    y=0
+        //   doc3: {0,2}  y=0
+        Dataset {
+            name: "t".into(),
+            task: Task::SpamClassification,
+            n_classes: 2,
+            features: FeatureSet::Sparse(adp_linalg::CsrMatrix::empty(4, 3)),
+            labels: vec![1, 1, 0, 0],
+            texts: None,
+            encoded_docs: Some(vec![vec![0, 1], vec![0], vec![2], vec![0, 2]]),
+        }
+    }
+
+    pub(crate) fn tabular_dataset() -> Dataset {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        Dataset {
+            name: "tab".into(),
+            task: Task::OccupancyPrediction,
+            n_classes: 2,
+            features: FeatureSet::Dense(x),
+            labels: vec![0, 0, 1, 1],
+            texts: None,
+            encoded_docs: None,
+        }
+    }
+
+    #[test]
+    fn keyword_apply_and_coverage() {
+        let d = text_dataset();
+        let lf = LabelFunction::Keyword { token: 0, label: 1 };
+        assert_eq!(lf.apply(&d, 0), 1);
+        assert_eq!(lf.apply(&d, 2), ABSTAIN);
+        assert!((lf.coverage(&d) - 0.75).abs() < 1e-12);
+        // Fires on docs 0,1,3; correct on 0,1 => accuracy 2/3.
+        assert!((lf.accuracy(&d).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stump_apply_both_ops() {
+        let d = tabular_dataset();
+        let ge = LabelFunction::Stump {
+            feature: 0,
+            threshold: 2.0,
+            op: StumpOp::Ge,
+            label: 1,
+        };
+        assert_eq!(ge.apply(&d, 3), 1);
+        assert_eq!(ge.apply(&d, 1), ABSTAIN);
+        assert_eq!(ge.accuracy(&d), Some(1.0));
+        let le = LabelFunction::Stump {
+            feature: 0,
+            threshold: 1.0,
+            op: StumpOp::Le,
+            label: 0,
+        };
+        assert_eq!(le.apply(&d, 0), 0);
+        assert!((le.coverage(&d) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_none_when_never_fires() {
+        let d = text_dataset();
+        let lf = LabelFunction::Keyword {
+            token: 99,
+            label: 0,
+        };
+        assert_eq!(lf.accuracy(&d), None);
+        assert_eq!(lf.coverage(&d), 0.0);
+    }
+
+    #[test]
+    fn keys_distinguish_lfs() {
+        let a = LabelFunction::Keyword { token: 1, label: 0 };
+        let b = LabelFunction::Keyword { token: 1, label: 1 };
+        assert_ne!(a.key(), b.key());
+        let s1 = LabelFunction::Stump {
+            feature: 0,
+            threshold: 1.0,
+            op: StumpOp::Le,
+            label: 0,
+        };
+        let s2 = LabelFunction::Stump {
+            feature: 0,
+            threshold: 1.0,
+            op: StumpOp::Ge,
+            label: 0,
+        };
+        assert_ne!(s1.key(), s2.key());
+        assert_eq!(s1.key(), s1.clone().key());
+    }
+
+    #[test]
+    fn describe_with_vocab() {
+        let lf = LabelFunction::Stump {
+            feature: 2,
+            threshold: 0.5,
+            op: StumpOp::Ge,
+            label: 1,
+        };
+        assert_eq!(lf.describe(None), "x2 >= 0.500 -> 1");
+        let kw = LabelFunction::Keyword { token: 0, label: 1 };
+        assert_eq!(kw.describe(None), "token#0 -> 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "keyword LF on non-text")]
+    fn keyword_on_tabular_panics() {
+        let d = tabular_dataset();
+        LabelFunction::Keyword { token: 0, label: 1 }.apply(&d, 0);
+    }
+}

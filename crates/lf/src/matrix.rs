@@ -1,0 +1,358 @@
+//! The weak-label matrix `W` with `W[i][j] = λ_j(x_i)` (paper §2.1).
+
+use crate::error::LfError;
+use crate::lf::{LabelFunction, ABSTAIN};
+use adp_data::Dataset;
+
+/// Dense n×m matrix of weak labels (`-1` = abstain), stored row-major in
+/// `i8` — every paper task is binary and class counts stay below 128.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelMatrix {
+    n: usize,
+    m: usize,
+    data: Vec<i8>,
+}
+
+impl LabelMatrix {
+    /// An n×0 matrix (no LFs yet).
+    pub fn empty(n: usize) -> Self {
+        LabelMatrix {
+            n,
+            m: 0,
+            data: vec![],
+        }
+    }
+
+    /// Builds a matrix directly from vote rows (all rows must share a
+    /// length). Useful for tests and for models that synthesise votes.
+    pub fn from_votes(rows: &[Vec<i8>]) -> Result<Self, LfError> {
+        let n = rows.len();
+        let m = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n * m);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != m {
+                return Err(LfError::BadMatrix {
+                    reason: format!("row {i} has {} votes, expected {m}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(LabelMatrix { n, m, data })
+    }
+
+    /// Evaluates `lfs` on every instance of `dataset`.
+    pub fn from_lfs(lfs: &[LabelFunction], dataset: &Dataset) -> Self {
+        let n = dataset.len();
+        let m = lfs.len();
+        let mut data = vec![ABSTAIN; n * m];
+        for (j, lf) in lfs.iter().enumerate() {
+            for i in 0..n {
+                data[i * m + j] = lf.apply(dataset, i);
+            }
+        }
+        LabelMatrix { n, m, data }
+    }
+
+    /// Number of instances.
+    pub fn n_instances(&self) -> usize {
+        self.n
+    }
+
+    /// Number of LFs.
+    pub fn n_lfs(&self) -> usize {
+        self.m
+    }
+
+    /// Row `i`: one vote per LF.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[i8] {
+        &self.data[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Vote of LF `j` on instance `i`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i8 {
+        self.data[i * self.m + j]
+    }
+
+    /// Overwrites a vote (used by the Revising-LF baseline, which corrects
+    /// LF outputs on user-labelled instances).
+    pub fn set(&mut self, i: usize, j: usize, v: i8) -> Result<(), LfError> {
+        if i >= self.n {
+            return Err(LfError::IndexOutOfRange { index: i, len: self.n });
+        }
+        if j >= self.m {
+            return Err(LfError::IndexOutOfRange { index: j, len: self.m });
+        }
+        self.data[i * self.m + j] = v;
+        Ok(())
+    }
+
+    /// Appends one LF evaluated on `dataset` as a new column.
+    pub fn push_lf(&mut self, lf: &LabelFunction, dataset: &Dataset) -> Result<(), LfError> {
+        if dataset.len() != self.n {
+            return Err(LfError::BadMatrix {
+                reason: format!("dataset has {} rows, matrix has {}", dataset.len(), self.n),
+            });
+        }
+        let m_new = self.m + 1;
+        let mut data = vec![ABSTAIN; self.n * m_new];
+        for i in 0..self.n {
+            data[i * m_new..i * m_new + self.m].copy_from_slice(self.row(i));
+            data[i * m_new + self.m] = lf.apply(dataset, i);
+        }
+        self.m = m_new;
+        self.data = data;
+        Ok(())
+    }
+
+    /// New matrix keeping only the columns in `cols` (in order).
+    pub fn select_columns(&self, cols: &[usize]) -> Result<LabelMatrix, LfError> {
+        for &c in cols {
+            if c >= self.m {
+                return Err(LfError::IndexOutOfRange { index: c, len: self.m });
+            }
+        }
+        let m = cols.len();
+        let mut data = Vec::with_capacity(self.n * m);
+        for i in 0..self.n {
+            let row = self.row(i);
+            data.extend(cols.iter().map(|&c| row[c]));
+        }
+        Ok(LabelMatrix { n: self.n, m, data })
+    }
+
+    /// New matrix keeping only the rows in `rows` (in order).
+    pub fn select_rows(&self, rows: &[usize]) -> Result<LabelMatrix, LfError> {
+        for &r in rows {
+            if r >= self.n {
+                return Err(LfError::IndexOutOfRange { index: r, len: self.n });
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * self.m);
+        for &r in rows {
+            data.extend_from_slice(self.row(r));
+        }
+        Ok(LabelMatrix {
+            n: rows.len(),
+            m: self.m,
+            data,
+        })
+    }
+
+    /// `true` when at least one LF fires on instance `i`.
+    #[inline]
+    pub fn has_vote(&self, i: usize) -> bool {
+        self.row(i).iter().any(|&v| v != ABSTAIN)
+    }
+
+    /// Fraction of instances with at least one non-abstain vote.
+    pub fn coverage(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (0..self.n).filter(|&i| self.has_vote(i)).count() as f64 / self.n as f64
+    }
+
+    /// Fraction of instances LF `j` fires on.
+    pub fn lf_coverage(&self, j: usize) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (0..self.n).filter(|&i| self.get(i, j) != ABSTAIN).count() as f64 / self.n as f64
+    }
+
+    /// Accuracy of LF `j` against `labels` over its covered instances;
+    /// `None` when it never fires.
+    pub fn lf_accuracy(&self, j: usize, labels: &[usize]) -> Option<f64> {
+        let mut fired = 0usize;
+        let mut correct = 0usize;
+        for i in 0..self.n {
+            let v = self.get(i, j);
+            if v != ABSTAIN {
+                fired += 1;
+                if v as usize == labels[i] {
+                    correct += 1;
+                }
+            }
+        }
+        (fired > 0).then(|| correct as f64 / fired as f64)
+    }
+
+    /// Fraction of instances where ≥2 LFs fire (overlap, Snorkel's metric).
+    pub fn overlap(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (0..self.n)
+            .filter(|&i| self.row(i).iter().filter(|&&v| v != ABSTAIN).count() >= 2)
+            .count() as f64
+            / self.n as f64
+    }
+
+    /// Fraction of instances where two firing LFs disagree.
+    pub fn conflict(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (0..self.n)
+            .filter(|&i| {
+                let mut first: Option<i8> = None;
+                self.row(i).iter().any(|&v| {
+                    if v == ABSTAIN {
+                        return false;
+                    }
+                    match first {
+                        None => {
+                            first = Some(v);
+                            false
+                        }
+                        Some(f) => v != f,
+                    }
+                })
+            })
+            .count() as f64
+            / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lf::StumpOp;
+    use adp_data::{FeatureSet, Task};
+    use adp_linalg::Matrix;
+
+    fn dataset() -> Dataset {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        Dataset {
+            name: "tab".into(),
+            task: Task::OccupancyPrediction,
+            n_classes: 2,
+            features: FeatureSet::Dense(x),
+            labels: vec![0, 0, 1, 1],
+            texts: None,
+            encoded_docs: None,
+        }
+    }
+
+    fn lfs() -> Vec<LabelFunction> {
+        vec![
+            LabelFunction::Stump {
+                feature: 0,
+                threshold: 2.0,
+                op: StumpOp::Ge,
+                label: 1,
+            },
+            LabelFunction::Stump {
+                feature: 0,
+                threshold: 1.0,
+                op: StumpOp::Le,
+                label: 0,
+            },
+            // Deliberately wrong LF: fires on everything voting 1.
+            LabelFunction::Stump {
+                feature: 0,
+                threshold: -10.0,
+                op: StumpOp::Ge,
+                label: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn from_lfs_layout() {
+        let m = LabelMatrix::from_lfs(&lfs(), &dataset());
+        assert_eq!(m.n_instances(), 4);
+        assert_eq!(m.n_lfs(), 3);
+        assert_eq!(m.row(0), &[ABSTAIN, 0, 1]);
+        assert_eq!(m.row(3), &[1, ABSTAIN, 1]);
+    }
+
+    #[test]
+    fn coverage_overlap_conflict() {
+        let m = LabelMatrix::from_lfs(&lfs(), &dataset());
+        assert_eq!(m.coverage(), 1.0); // LF3 fires everywhere
+        assert_eq!(m.overlap(), 1.0); // every row has >= 2 votes
+        // rows 0,1: votes {0,1} conflict; rows 2,3: votes {1,1} agree.
+        assert!((m.conflict() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lf_stats() {
+        let m = LabelMatrix::from_lfs(&lfs(), &dataset());
+        let labels = dataset().labels;
+        assert!((m.lf_coverage(0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.lf_accuracy(0, &labels), Some(1.0));
+        assert_eq!(m.lf_accuracy(2, &labels), Some(0.5));
+    }
+
+    #[test]
+    fn push_lf_appends_column() {
+        let d = dataset();
+        let mut m = LabelMatrix::empty(4);
+        assert_eq!(m.n_lfs(), 0);
+        assert!(!m.has_vote(0));
+        m.push_lf(&lfs()[0], &d).unwrap();
+        m.push_lf(&lfs()[1], &d).unwrap();
+        assert_eq!(m.n_lfs(), 2);
+        assert_eq!(m.row(3), &[1, ABSTAIN]);
+        let full = LabelMatrix::from_lfs(&lfs()[..2], &d);
+        assert_eq!(m, full);
+    }
+
+    #[test]
+    fn select_columns_and_rows() {
+        let m = LabelMatrix::from_lfs(&lfs(), &dataset());
+        let sub = m.select_columns(&[2, 0]).unwrap();
+        assert_eq!(sub.n_lfs(), 2);
+        assert_eq!(sub.row(3), &[1, 1]);
+        assert!(m.select_columns(&[5]).is_err());
+        let rows = m.select_rows(&[3, 0]).unwrap();
+        assert_eq!(rows.n_instances(), 2);
+        assert_eq!(rows.row(0), m.row(3));
+        assert!(m.select_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn set_overwrites_votes() {
+        let mut m = LabelMatrix::from_lfs(&lfs(), &dataset());
+        m.set(0, 2, 0).unwrap();
+        assert_eq!(m.get(0, 2), 0);
+        assert!(m.set(9, 0, 0).is_err());
+        assert!(m.set(0, 9, 0).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_stats_are_zero() {
+        let m = LabelMatrix::empty(0);
+        assert_eq!(m.coverage(), 0.0);
+        assert_eq!(m.overlap(), 0.0);
+        assert_eq!(m.conflict(), 0.0);
+    }
+
+    #[test]
+    fn from_votes_roundtrip_and_validation() {
+        let m = LabelMatrix::from_votes(&[vec![1, ABSTAIN], vec![0, 1]]).unwrap();
+        assert_eq!(m.n_instances(), 2);
+        assert_eq!(m.n_lfs(), 2);
+        assert_eq!(m.row(0), &[1, ABSTAIN]);
+        assert!(LabelMatrix::from_votes(&[vec![1], vec![0, 1]]).is_err());
+        let empty = LabelMatrix::from_votes(&[]).unwrap();
+        assert_eq!(empty.n_instances(), 0);
+    }
+
+    #[test]
+    fn accuracy_none_for_never_firing() {
+        let d = dataset();
+        let never = LabelFunction::Stump {
+            feature: 0,
+            threshold: 100.0,
+            op: StumpOp::Ge,
+            label: 1,
+        };
+        let m = LabelMatrix::from_lfs(&[never], &d);
+        assert_eq!(m.lf_accuracy(0, &d.labels), None);
+        assert_eq!(m.lf_coverage(0), 0.0);
+    }
+}

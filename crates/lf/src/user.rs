@@ -1,0 +1,261 @@
+//! The simulated user of paper §4.1.4.
+//!
+//! Given a query instance the user builds the candidate-LF set (accuracy
+//! above `acc_threshold`, keyword inside / boundary at the instance),
+//! removes LFs returned in earlier iterations, and samples one with
+//! probability proportional to LF coverage. Under label noise (Table 5) a
+//! fraction of queries instead draws from the candidate set of the *flipped*
+//! label, producing LFs that remain above the accuracy threshold globally
+//! but misfire on their own query instance.
+
+use crate::candidates::{Candidate, CandidateSpace};
+use crate::lf::{LabelFunction, LfKey};
+use adp_data::Dataset;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Simulated-user parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UserConfig {
+    /// Candidate accuracy threshold τ_acc (paper: 0.6).
+    pub acc_threshold: f64,
+    /// Fraction of queries answered with a flipped-label LF (Table 5's
+    /// label-noise rate; 0 reproduces the main experiments).
+    pub noise_rate: f64,
+}
+
+impl Default for UserConfig {
+    fn default() -> Self {
+        UserConfig {
+            acc_threshold: 0.6,
+            noise_rate: 0.0,
+        }
+    }
+}
+
+/// Stateful simulated user: remembers previously returned LFs and its own
+/// RNG stream so runs are reproducible given a seed.
+#[derive(Debug)]
+pub struct SimulatedUser {
+    config: UserConfig,
+    returned: HashSet<LfKey>,
+    rng: rand::rngs::StdRng,
+}
+
+impl SimulatedUser {
+    /// A user with `config`, seeded deterministically.
+    pub fn new(config: UserConfig, seed: u64) -> Self {
+        SimulatedUser {
+            config,
+            returned: HashSet::new(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Convenience constructor with the paper's defaults.
+    pub fn with_defaults(seed: u64) -> Self {
+        SimulatedUser::new(UserConfig::default(), seed)
+    }
+
+    /// The accuracy threshold in use.
+    pub fn acc_threshold(&self) -> f64 {
+        self.config.acc_threshold
+    }
+
+    /// Number of distinct LFs returned so far.
+    pub fn n_returned(&self) -> usize {
+        self.returned.len()
+    }
+
+    /// Responds to a query on instance `idx` of `query_dataset` (ground
+    /// truth comes from `query_dataset.labels`, as in the paper's
+    /// simulation). Returns `None` when every candidate was already
+    /// returned or none exists — the iteration's budget is still spent.
+    pub fn respond(
+        &mut self,
+        space: &CandidateSpace,
+        train: &Dataset,
+        query_dataset: &Dataset,
+        idx: usize,
+    ) -> Option<LabelFunction> {
+        let true_label = query_dataset.labels[idx];
+        let flip = self.config.noise_rate > 0.0 && self.rng.gen::<f64>() < self.config.noise_rate;
+        let target = if flip {
+            debug_assert!(query_dataset.n_classes == 2, "noise flip assumes binary");
+            1 - true_label
+        } else {
+            true_label
+        };
+        let candidates = space.candidates_for(
+            train,
+            query_dataset,
+            idx,
+            target,
+            self.config.acc_threshold,
+        );
+        let fresh: Vec<&Candidate> = candidates
+            .iter()
+            .filter(|c| !self.returned.contains(&c.lf.key()))
+            .collect();
+        if fresh.is_empty() {
+            return None;
+        }
+        let total: f64 = fresh.iter().map(|c| c.coverage).sum();
+        let mut draw = self.rng.gen::<f64>() * total;
+        let mut chosen = fresh[fresh.len() - 1];
+        for c in &fresh {
+            draw -= c.coverage;
+            if draw <= 0.0 {
+                chosen = c;
+                break;
+            }
+        }
+        self.returned.insert(chosen.lf.key());
+        Some(chosen.lf.clone())
+    }
+
+    /// IWS-style verification: the simulated expert marks a candidate LF as
+    /// accurate when its true training accuracy exceeds the threshold.
+    pub fn verify(&self, candidate: &Candidate) -> bool {
+        candidate.accuracy > self.config.acc_threshold
+    }
+
+    /// Instance-labelling supervision (uncertainty sampling / Revising LF):
+    /// the simulated user returns the true label.
+    pub fn label_instance(&self, dataset: &Dataset, idx: usize) -> usize {
+        dataset.labels[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{FeatureSet, Task};
+    use adp_linalg::CsrMatrix;
+
+    fn text_train() -> Dataset {
+        // tokens: 0 in docs {0,1,2} (classes 1,1,0), 1 in {0,1} (1,1),
+        //         2 in {2,3} (0,0).
+        Dataset {
+            name: "t".into(),
+            task: Task::SpamClassification,
+            n_classes: 2,
+            features: FeatureSet::Sparse(CsrMatrix::empty(4, 3)),
+            labels: vec![1, 1, 0, 0],
+            texts: None,
+            encoded_docs: Some(vec![vec![0, 1], vec![0, 1], vec![0, 2], vec![2]]),
+        }
+    }
+
+    #[test]
+    fn returns_candidate_matching_true_label() {
+        let d = text_train();
+        let space = CandidateSpace::build(&d);
+        let mut user = SimulatedUser::with_defaults(1);
+        let lf = user.respond(&space, &d, &d, 0).expect("candidates exist");
+        assert_eq!(lf.label(), 1);
+        // LF fires on the query instance.
+        assert_ne!(lf.apply(&d, 0), crate::lf::ABSTAIN);
+    }
+
+    #[test]
+    fn never_repeats_an_lf() {
+        let d = text_train();
+        let space = CandidateSpace::build(&d);
+        let mut user = SimulatedUser::with_defaults(2);
+        let mut seen = HashSet::new();
+        // Query doc 0 repeatedly: it has 2 candidates (tokens 0 and 1).
+        let mut produced = 0;
+        for _ in 0..5 {
+            if let Some(lf) = user.respond(&space, &d, &d, 0) {
+                assert!(seen.insert(lf.key()), "duplicate LF returned");
+                produced += 1;
+            }
+        }
+        assert_eq!(produced, 2);
+        assert_eq!(user.n_returned(), 2);
+    }
+
+    #[test]
+    fn returns_none_without_candidates() {
+        let mut d = text_train();
+        // Doc 3 = {2}; token 2 votes class 0 with acc 1.0, but the true
+        // label of doc 3 is 0 — candidates exist. Rewrite doc 3 to contain
+        // nothing so no candidate exists.
+        d.encoded_docs.as_mut().unwrap()[3] = vec![];
+        let space = CandidateSpace::build(&d);
+        let mut user = SimulatedUser::with_defaults(3);
+        assert!(user.respond(&space, &d, &d, 3).is_none());
+    }
+
+    #[test]
+    fn noise_produces_misfiring_lfs() {
+        let d = text_train();
+        let space = CandidateSpace::build(&d);
+        let mut user = SimulatedUser::new(
+            UserConfig {
+                acc_threshold: 0.6,
+                noise_rate: 1.0,
+            },
+            4,
+        );
+        // Query doc 2 (true label 0) with guaranteed flip: target label 1.
+        // Token 0 has acc(·,1) = 2/3 > 0.6, so a flipped LF exists and its
+        // vote (1) disagrees with the query's true label (0).
+        let lf = user.respond(&space, &d, &d, 2).expect("noisy candidate");
+        assert_eq!(lf.label(), 1);
+        assert_ne!(lf.apply(&d, 2) as usize, d.labels[2]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = text_train();
+        let space = CandidateSpace::build(&d);
+        let run = |seed| {
+            let mut u = SimulatedUser::with_defaults(seed);
+            (0..4)
+                .map(|i| u.respond(&space, &d, &d, i).map(|lf| lf.key()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn verify_thresholds_accuracy() {
+        let user = SimulatedUser::with_defaults(0);
+        let c = |acc| Candidate {
+            lf: LabelFunction::Keyword { token: 0, label: 1 },
+            accuracy: acc,
+            coverage: 0.5,
+        };
+        assert!(user.verify(&c(0.7)));
+        assert!(!user.verify(&c(0.6)));
+        assert!(!user.verify(&c(0.2)));
+    }
+
+    #[test]
+    fn label_instance_returns_truth() {
+        let d = text_train();
+        let user = SimulatedUser::with_defaults(0);
+        assert_eq!(user.label_instance(&d, 0), 1);
+        assert_eq!(user.label_instance(&d, 3), 0);
+    }
+
+    #[test]
+    fn coverage_weighting_prefers_frequent_tokens() {
+        // token 0 coverage 0.75, token 1 coverage 0.5 — over many fresh
+        // users, token 0 must be drawn more often for query doc 0.
+        let d = text_train();
+        let space = CandidateSpace::build(&d);
+        let mut count0 = 0;
+        for seed in 0..200 {
+            let mut u = SimulatedUser::with_defaults(seed);
+            if let Some(LabelFunction::Keyword { token: 0, .. }) = u.respond(&space, &d, &d, 0) {
+                count0 += 1;
+            }
+        }
+        // Expected ≈ 200 * 0.75/1.25 = 120.
+        assert!(count0 > 95, "token-0 draws: {count0}");
+        assert!(count0 < 145, "token-0 draws: {count0}");
+    }
+}

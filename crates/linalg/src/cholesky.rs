@@ -1,0 +1,192 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::dense::Matrix;
+use crate::error::LinalgError;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read, so callers may pass matrices
+    /// whose upper triangle carries rounding noise.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn factor_l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Inverse of the factored matrix, column by column.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// `log det A = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for B with distinct entries => SPD.
+        Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 6.0, 3.0],
+            vec![1.0, 3.0, 4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = ch.factor_l().matmul(&ch.factor_l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+    }
+
+    #[test]
+    fn log_det_matches_identity() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_diagonal() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = 8.0;
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - (16.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_bad_len() {
+        let ch = Cholesky::factor(&Matrix::identity(3)).unwrap();
+        assert!(ch.solve(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! Row-major dense matrix.
+
+use crate::error::LinalgError;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense matrix of `f64`.
+///
+/// Kept intentionally minimal: the workspace only needs construction,
+/// element access, row slices, matrix products and a handful of reductions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows`×`cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a closure evaluated at each `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row vectors. All rows must share a length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, LinalgError> {
+        if rows.is_empty() {
+            return Err(LinalgError::Empty { what: "rows" });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_rows",
+                    left: (i, cols),
+                    right: (i, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix that owns `data` laid out row-major.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_vec",
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| crate::ops::dot(self.row(i), v))
+            .collect())
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// `self += alpha * other`, elementwise.
+    pub fn scaled_add(&mut self, alpha: f64, other: &Matrix) -> Result<(), LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "scaled_add",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiply every element by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Add `alpha` to the main diagonal (matrix must be square).
+    pub fn add_diagonal(&mut self, alpha: f64) -> Result<(), LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        for i in 0..self.rows {
+            self[(i, i)] += alpha;
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element, or 0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// `true` when `|a_ij - a_ji| <= tol` for all pairs.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Overwrites the matrix with `(A + Aᵀ)/2`; the matrix must be square.
+    pub fn symmetrize(&mut self) -> Result<(), LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let v = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = v;
+                self[(j, i)] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the submatrix given by the (ordered) row and column index sets.
+    pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Matrix {
+        Matrix::from_fn(row_idx.len(), col_idx.len(), |i, j| {
+            self[(row_idx[i], col_idx[j])]
+        })
+    }
+
+    /// `true` when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2x2(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_rows(&[vec![a, b], vec![c, d]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(matches!(
+            Matrix::from_rows(&[]).unwrap_err(),
+            LinalgError::Empty { .. }
+        ));
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m2x2(1.0, 2.0, 3.0, 4.0);
+        let b = m2x2(5.0, 6.0, 7.0, 8.0);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, m2x2(19.0, 22.0, 43.0, 50.0));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m2x2(1.5, -2.0, 0.25, 9.0);
+        assert_eq!(a.matmul(&Matrix::identity(2)).unwrap(), a);
+        assert_eq!(Matrix::identity(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = m2x2(1.0, 2.0, 3.0, 4.0);
+        let v = vec![5.0, 6.0];
+        assert_eq!(a.matvec(&v).unwrap(), vec![17.0, 39.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn scaled_add_and_scale() {
+        let mut a = m2x2(1.0, 1.0, 1.0, 1.0);
+        let b = m2x2(1.0, 2.0, 3.0, 4.0);
+        a.scaled_add(2.0, &b).unwrap();
+        assert_eq!(a, m2x2(3.0, 5.0, 7.0, 9.0));
+        a.scale(0.5);
+        assert_eq!(a, m2x2(1.5, 2.5, 3.5, 4.5));
+    }
+
+    #[test]
+    fn add_diagonal_square_only() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_diagonal(3.0).unwrap();
+        assert_eq!(a, m2x2(3.0, 0.0, 0.0, 3.0));
+        let mut r = Matrix::zeros(2, 3);
+        assert!(r.add_diagonal(1.0).is_err());
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let s = m2x2(2.0, 1.0, 1.0, 2.0);
+        assert!(s.is_symmetric(0.0));
+        let mut a = m2x2(2.0, 1.0, 3.0, 2.0);
+        assert!(!a.is_symmetric(1e-12));
+        a.symmetrize().unwrap();
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn submatrix_picks_rows_cols() {
+        let a = Matrix::from_fn(3, 3, |i, j| (3 * i + j) as f64);
+        let s = a.submatrix(&[0, 2], &[1, 2]);
+        assert_eq!(s, m2x2(1.0, 2.0, 7.0, 8.0));
+    }
+
+    #[test]
+    fn frob_and_max_abs() {
+        let a = m2x2(3.0, 0.0, -4.0, 0.0);
+        assert!((a.frob_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let a = m2x2(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(a.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(a.all_finite());
+        a[(0, 1)] = f64::NAN;
+        assert!(!a.all_finite());
+    }
+}

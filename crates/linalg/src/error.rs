@@ -1,0 +1,96 @@
+//! Error type shared by the linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by the `adp-linalg` crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. matmul of 2×3 by 2×2).
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        left: (usize, usize),
+        /// Shape of the right/second operand.
+        right: (usize, usize),
+    },
+    /// A matrix expected to be symmetric positive definite was not.
+    NotPositiveDefinite {
+        /// Pivot index at which factorization broke down.
+        pivot: usize,
+    },
+    /// The input matrix must be square.
+    NotSquare {
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// An empty input where at least one element/row is required.
+    Empty {
+        /// Description of the offending argument.
+        what: &'static str,
+    },
+    /// Solver failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Description of the solver.
+        what: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// Input contained NaN or infinite entries.
+    NonFinite {
+        /// Description of the offending argument.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Empty { what } => write!(f, "empty input: {what}"),
+            LinalgError::DidNotConverge { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+            LinalgError::NonFinite { what } => write!(f, "non-finite values in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (2, 2),
+        };
+        assert_eq!(e.to_string(), "shape mismatch in matmul: 2x3 vs 2x2");
+    }
+
+    #[test]
+    fn display_not_pd() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&LinalgError::Empty { what: "rows" });
+    }
+}

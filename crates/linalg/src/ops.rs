@@ -1,0 +1,158 @@
+//! Vector helpers: dot products, norms, softmax, entropy.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds when lengths differ (callers guarantee shapes).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance (denominator `n`); 0 for slices of length < 2.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+/// `log Σ exp(a_i)` computed stably. Returns `-inf` for an empty slice.
+pub fn log_sum_exp(a: &[f64]) -> f64 {
+    let m = a.iter().fold(f64::NEG_INFINITY, |acc, &x| acc.max(x));
+    if !m.is_finite() {
+        return m;
+    }
+    m + a.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Turns logits into a probability distribution in place (stable softmax).
+pub fn softmax_inplace(logits: &mut [f64]) {
+    let lse = log_sum_exp(logits);
+    for l in logits.iter_mut() {
+        *l = (*l - lse).exp();
+    }
+}
+
+/// Shannon entropy `−Σ p log p` (natural log); zero-probability terms
+/// contribute nothing. Negative inputs are clamped to 0 to absorb floating
+/// point dust from softmax outputs.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter()
+        .map(|&pi| {
+            let pi = pi.max(0.0);
+            if pi > 0.0 {
+                -pi * pi.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Index of the maximum element; ties break toward the smallest index.
+/// Returns `None` for an empty slice.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn mean_variance_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        // Huge logits must not overflow.
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut l = vec![0.0, (2.0_f64).ln()];
+        softmax_inplace(&mut l);
+        assert!((l.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((l[1] / l[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_known_values() {
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+        let h = entropy(&[0.5, 0.5]);
+        assert!((h - (2.0_f64).ln()).abs() < 1e-12);
+        // Tiny negative dust is clamped rather than producing NaN.
+        assert!(entropy(&[1.0, -1e-18]).is_finite());
+    }
+
+    #[test]
+    fn entropy_uniform_is_max() {
+        let u = entropy(&[0.25; 4]);
+        let skew = entropy(&[0.7, 0.1, 0.1, 0.1]);
+        assert!(u > skew);
+        assert!((u - (4.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_tie_breaks_low_index() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[-1.0]), Some(0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Ridge regression via the normal equations.
+//!
+//! Used by the LAL sampler (regressing expected error reduction on model
+//! state features) and by IWS's LF-accuracy regression. Problems are tiny
+//! (tens of features), so the dense normal-equation route is appropriate.
+
+use crate::cholesky::Cholesky;
+use crate::dense::Matrix;
+use crate::error::LinalgError;
+
+/// Fits `w = argmin ‖Xw − y‖² + λ‖w‖²` and returns `w`.
+///
+/// `x` has one sample per row. `lambda` must be positive, which also
+/// guarantees the normal equations are solvable regardless of rank.
+pub fn ridge_regression(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    let (n, d) = x.shape();
+    if y.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "ridge_regression",
+            left: (n, d),
+            right: (y.len(), 1),
+        });
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty { what: "samples" });
+    }
+    if lambda <= 0.0 || !lambda.is_finite() {
+        return Err(LinalgError::NonFinite { what: "lambda" });
+    }
+    // Gram matrix XᵀX + λI.
+    let mut gram = Matrix::zeros(d, d);
+    for i in 0..n {
+        let row = x.row(i);
+        for j in 0..d {
+            let xj = row[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for k in j..d {
+                gram[(j, k)] += xj * row[k];
+            }
+        }
+    }
+    for j in 0..d {
+        for k in j..d {
+            gram[(k, j)] = gram[(j, k)];
+        }
+        gram[(j, j)] += lambda;
+    }
+    // Xᵀy.
+    let mut xty = vec![0.0; d];
+    for i in 0..n {
+        crate::ops::axpy(y[i], x.row(i), &mut xty);
+    }
+    Cholesky::factor(&gram)?.solve(&xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_map_with_small_lambda() {
+        // y = 2 x0 - 3 x1, plenty of samples, λ→0 recovers the weights.
+        let x = Matrix::from_fn(30, 2, |i, j| ((i * 3 + j * 5) % 7) as f64 - 3.0);
+        let y: Vec<f64> = (0..30).map(|i| 2.0 * x[(i, 0)] - 3.0 * x[(i, 1)]).collect();
+        let w = ridge_regression(&x, &y, 1e-8).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-4);
+        assert!((w[1] + 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shrinks_towards_zero_with_large_lambda() {
+        let x = Matrix::from_fn(10, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let w_small = ridge_regression(&x, &y, 1e-6).unwrap()[0];
+        let w_big = ridge_regression(&x, &y, 1e6).unwrap()[0];
+        assert!(w_small > 0.99);
+        assert!(w_big.abs() < 0.01);
+    }
+
+    #[test]
+    fn handles_rank_deficient_design() {
+        // Two identical columns: OLS is ill-posed, ridge is fine.
+        let x = Matrix::from_fn(5, 2, |i, _| i as f64);
+        let y: Vec<f64> = (0..5).map(|i| 2.0 * i as f64).collect();
+        let w = ridge_regression(&x, &y, 0.1).unwrap();
+        assert!(w.iter().all(|wi| wi.is_finite()));
+        // Symmetric problem → symmetric solution.
+        assert!((w[0] - w[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let x = Matrix::zeros(3, 2);
+        assert!(ridge_regression(&x, &[1.0, 2.0], 0.1).is_err());
+        assert!(ridge_regression(&x, &[1.0, 2.0, 3.0], 0.0).is_err());
+        let empty = Matrix::zeros(0, 2);
+        assert!(ridge_regression(&empty, &[], 0.1).is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! Compressed-sparse-row matrices and the [`Features`] row-access trait.
+//!
+//! TF-IDF matrices for the text datasets are extremely sparse (documents
+//! touch a few dozen of thousands of vocabulary terms), so the classifier
+//! stack works through [`Features`], implemented both here for [`CsrMatrix`]
+//! and in [`crate::dense`]'s [`Matrix`].
+
+use crate::dense::Matrix;
+use crate::error::LinalgError;
+
+/// Row-wise access to a feature matrix, the only interface the logistic
+/// regression needs. Implemented for dense [`Matrix`] and [`CsrMatrix`].
+pub trait Features: Sync {
+    /// Number of samples (rows).
+    fn nrows(&self) -> usize;
+    /// Number of features (columns).
+    fn ncols(&self) -> usize;
+    /// `⟨x_i, w⟩` for row `i`.
+    fn row_dot(&self, i: usize, w: &[f64]) -> f64;
+    /// `out += alpha · x_i`.
+    fn row_axpy(&self, i: usize, alpha: f64, out: &mut [f64]);
+    /// `‖x_i‖²`.
+    fn row_sq_norm(&self, i: usize) -> f64;
+}
+
+impl Features for Matrix {
+    fn nrows(&self) -> usize {
+        Matrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        Matrix::ncols(self)
+    }
+    fn row_dot(&self, i: usize, w: &[f64]) -> f64 {
+        crate::ops::dot(self.row(i), w)
+    }
+    fn row_axpy(&self, i: usize, alpha: f64, out: &mut [f64]) {
+        crate::ops::axpy(alpha, self.row(i), out);
+    }
+    fn row_sq_norm(&self, i: usize) -> f64 {
+        crate::ops::dot(self.row(i), self.row(i))
+    }
+}
+
+/// Immutable CSR matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// An empty matrix with `nrows` rows and `ncols` columns, no stored values.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: vec![],
+            values: vec![],
+        }
+    }
+
+    /// Number of stored (explicit) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(column indices, values)` of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Dense matrix-vector product `self · v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.ncols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "csr_matvec",
+                left: (self.nrows, self.ncols),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.nrows).map(|i| self.row_dot(i, v)).collect())
+    }
+
+    /// Per-column sum of stored values.
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.ncols];
+        for (&j, &x) in self.indices.iter().zip(&self.values) {
+            sums[j as usize] += x;
+        }
+        sums
+    }
+
+    /// Per-column count of stored entries (document frequency when rows are
+    /// documents).
+    pub fn column_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.ncols];
+        for &j in &self.indices {
+            counts[j as usize] += 1;
+        }
+        counts
+    }
+
+    /// L2-normalises every non-empty row in place.
+    pub fn l2_normalize_rows(&mut self) {
+        for i in 0..self.nrows {
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            let norm: f64 = self.values[lo..hi].iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for x in &mut self.values[lo..hi] {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+
+    /// Dense copy (tests/debugging only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            let (idx, vals) = self.row(i);
+            for (&j, &x) in idx.iter().zip(vals) {
+                m[(i, j as usize)] = x;
+            }
+        }
+        m
+    }
+
+    /// Keeps only the rows in `rows` (in the given order).
+    pub fn select_rows(&self, rows: &[usize]) -> CsrMatrix {
+        let mut b = CsrBuilder::new(self.ncols);
+        for &r in rows {
+            let (idx, vals) = self.row(r);
+            b.push_row_raw(idx, vals);
+        }
+        b.finish()
+    }
+}
+
+impl Features for CsrMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    #[inline]
+    fn row_dot(&self, i: usize, w: &[f64]) -> f64 {
+        let (idx, vals) = self.row(i);
+        idx.iter()
+            .zip(vals)
+            .map(|(&j, &x)| x * w[j as usize])
+            .sum()
+    }
+    #[inline]
+    fn row_axpy(&self, i: usize, alpha: f64, out: &mut [f64]) {
+        let (idx, vals) = self.row(i);
+        for (&j, &x) in idx.iter().zip(vals) {
+            out[j as usize] += alpha * x;
+        }
+    }
+    fn row_sq_norm(&self, i: usize) -> f64 {
+        let (_, vals) = self.row(i);
+        vals.iter().map(|x| x * x).sum()
+    }
+}
+
+/// Incremental row-by-row CSR constructor.
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// A builder for matrices with `ncols` columns and no rows yet.
+    pub fn new(ncols: usize) -> Self {
+        CsrBuilder {
+            ncols,
+            indptr: vec![0],
+            indices: vec![],
+            values: vec![],
+        }
+    }
+
+    /// Appends a row given `(column, value)` pairs; the pairs are sorted by
+    /// column, duplicate columns are summed and explicit zeros dropped.
+    ///
+    /// # Panics
+    /// Panics if any column index is out of range — feeding a builder indices
+    /// beyond `ncols` is a programming error, not an input condition.
+    pub fn push_row(&mut self, mut entries: Vec<(u32, f64)>) {
+        entries.sort_unstable_by_key(|&(j, _)| j);
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(entries.len());
+        for (j, x) in entries {
+            assert!(
+                (j as usize) < self.ncols,
+                "column {} out of range (ncols={})",
+                j,
+                self.ncols
+            );
+            match merged.last_mut() {
+                Some((last_j, last_x)) if *last_j == j => *last_x += x,
+                _ => merged.push((j, x)),
+            }
+        }
+        for (j, x) in merged {
+            if x != 0.0 {
+                self.indices.push(j);
+                self.values.push(x);
+            }
+        }
+        self.indptr.push(self.indices.len());
+    }
+
+    /// Appends an already sorted, deduplicated row (used by `select_rows`).
+    fn push_row_raw(&mut self, idx: &[u32], vals: &[f64]) {
+        self.indices.extend_from_slice(idx);
+        self.values.extend_from_slice(vals);
+        self.indptr.push(self.indices.len());
+    }
+
+    /// Number of rows pushed so far.
+    pub fn nrows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Finalises the matrix.
+    pub fn finish(self) -> CsrMatrix {
+        CsrMatrix {
+            nrows: self.indptr.len() - 1,
+            ncols: self.ncols,
+            indptr: self.indptr,
+            indices: self.indices,
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [0 3 0]
+        let mut b = CsrBuilder::new(3);
+        b.push_row(vec![(0, 1.0), (2, 2.0)]);
+        b.push_row(vec![]);
+        b.push_row(vec![(1, 3.0)]);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let m = sample();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 3);
+        let (idx, vals) = m.row(0);
+        assert_eq!(idx, &[0, 2]);
+        assert_eq!(vals, &[1.0, 2.0]);
+        let (idx, _) = m.row(1);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn push_row_sorts_and_merges_duplicates() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row(vec![(3, 1.0), (1, 2.0), (3, 4.0), (0, 0.0)]);
+        let m = b.finish();
+        let (idx, vals) = m.row(0);
+        assert_eq!(idx, &[1, 3]);
+        assert_eq!(vals, &[2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_row_panics_on_bad_column() {
+        let mut b = CsrBuilder::new(2);
+        b.push_row(vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&v).unwrap(), vec![7.0, 0.0, 6.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d[(0, 2)], 2.0);
+        assert_eq!(d[(1, 1)], 0.0);
+        assert_eq!(d[(2, 1)], 3.0);
+    }
+
+    #[test]
+    fn column_stats() {
+        let m = sample();
+        assert_eq!(m.column_sums(), vec![1.0, 3.0, 2.0]);
+        assert_eq!(m.column_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let mut m = sample();
+        m.l2_normalize_rows();
+        let (_, vals) = m.row(0);
+        let norm: f64 = vals.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+        // Empty rows untouched.
+        assert_eq!(m.row(1).1.len(), 0);
+    }
+
+    #[test]
+    fn features_trait_dense_sparse_agree() {
+        let m = sample();
+        let d = m.to_dense();
+        let w = vec![0.5, -1.0, 2.0];
+        for i in 0..3 {
+            assert!((Features::row_dot(&m, i, &w) - Features::row_dot(&d, i, &w)).abs() < 1e-12);
+            assert!((Features::row_sq_norm(&m, i) - Features::row_sq_norm(&d, i)).abs() < 1e-12);
+            let mut out_s = vec![0.0; 3];
+            let mut out_d = vec![0.0; 3];
+            Features::row_axpy(&m, i, 2.0, &mut out_s);
+            Features::row_axpy(&d, i, 2.0, &mut out_d);
+            assert_eq!(out_s, out_d);
+        }
+    }
+
+    #[test]
+    fn select_rows_preserves_content() {
+        let m = sample();
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.nrows(), 2);
+        let (idx, vals) = s.row(0);
+        assert_eq!((idx, vals), (&[1u32][..], &[3.0][..]));
+        let (idx, vals) = s.row(1);
+        assert_eq!((idx, vals), (&[0u32, 2][..], &[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::empty(2, 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.matvec(&[0.0; 5]).unwrap(), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Query-by-committee (Seung, Opper & Sompolinsky, COLT 1992).
+//!
+//! Not part of the paper's Table 4 but cited in its related work (§2.2);
+//! provided as an extension so the sampler study can be widened. A
+//! committee of logistic-regression models is trained on bootstrap
+//! resamples of the labelled pool; the next query is the instance with the
+//! highest *vote entropy* — the classic disagreement measure. Ties (and
+//! the cold start, where no labelled pool exists) break uniformly.
+
+use crate::{Sampler, SamplerContext};
+use adp_classifier::{LogRegConfig, LogisticRegression, Targets};
+use adp_linalg::Features;
+use rand::{Rng, SeedableRng};
+
+/// Query-by-committee sampler over bootstrap logistic regressions.
+///
+/// Unlike the purely context-driven samplers, QBC needs the labelled pool
+/// itself: callers supply it through [`Committee::set_labeled`] whenever
+/// the pool changes (the ActiveDP session does this with its
+/// pseudo-labelled set).
+#[derive(Debug)]
+pub struct Committee {
+    rng: rand::rngs::StdRng,
+    /// Committee size (paper-typical: 5).
+    pub n_members: usize,
+    /// Candidates scored per selection (subsampled for cost).
+    pub max_candidates: usize,
+    labeled: Vec<usize>,
+    labels: Vec<usize>,
+}
+
+impl Committee {
+    /// A committee sampler with `n_members` bootstrap members.
+    pub fn new(seed: u64, n_members: usize) -> Self {
+        Committee {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            n_members: n_members.max(2),
+            max_candidates: 256,
+            labeled: vec![],
+            labels: vec![],
+        }
+    }
+
+    /// Updates the labelled pool the committee trains on.
+    pub fn set_labeled(&mut self, labeled: &[usize], labels: &[usize]) {
+        debug_assert_eq!(labeled.len(), labels.len());
+        self.labeled = labeled.to_vec();
+        self.labels = labels.to_vec();
+    }
+
+    /// Trains the committee on bootstrap resamples and returns per-member
+    /// hard votes for `candidates`.
+    fn votes<F: Features + ?Sized>(
+        &mut self,
+        x: &F,
+        n_classes: usize,
+        candidates: &[usize],
+    ) -> Option<Vec<Vec<usize>>> {
+        let n = self.labeled.len();
+        if n < 2 {
+            return None;
+        }
+        let cfg = LogRegConfig {
+            max_iters: 80,
+            ..LogRegConfig::default()
+        };
+        let mut votes = vec![Vec::with_capacity(candidates.len()); self.n_members];
+        for member_votes in votes.iter_mut() {
+            // Bootstrap resample of the labelled pool.
+            let mut rows = Vec::with_capacity(n);
+            let mut ys = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = self.rng.gen_range(0..n);
+                rows.push(self.labeled[k]);
+                ys.push(self.labels[k]);
+            }
+            let mut model = LogisticRegression::new(n_classes, x.ncols(), cfg);
+            if model.fit(x, &rows, Targets::Hard(&ys), None).is_err() {
+                return None;
+            }
+            for &i in candidates {
+                member_votes.push(model.predict(x, i));
+            }
+        }
+        Some(votes)
+    }
+}
+
+/// Vote entropy of one candidate's committee votes.
+fn vote_entropy(votes: &[usize], n_classes: usize) -> f64 {
+    let mut counts = vec![0.0f64; n_classes];
+    for &v in votes {
+        counts[v] += 1.0;
+    }
+    let total: f64 = counts.iter().sum();
+    for c in &mut counts {
+        *c /= total;
+    }
+    adp_linalg::entropy(&counts)
+}
+
+impl Sampler for Committee {
+    fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize> {
+        let pool: Vec<usize> = ctx.unqueried().collect();
+        if pool.is_empty() {
+            return None;
+        }
+        let candidates: Vec<usize> = if pool.len() <= self.max_candidates {
+            pool.clone()
+        } else {
+            let mut copy = pool.clone();
+            let mut picked = Vec::with_capacity(self.max_candidates);
+            for k in 0..self.max_candidates {
+                let j = k + self.rng.gen_range(0..copy.len() - k);
+                copy.swap(k, j);
+                picked.push(copy[k]);
+            }
+            picked
+        };
+        let n_classes = ctx.train.n_classes;
+        let Some(votes) =
+            self.votes(&ctx.train.features, n_classes, &candidates)
+        else {
+            // Cold start: uniform random.
+            return Some(pool[self.rng.gen_range(0..pool.len())]);
+        };
+        let mut best: Option<(usize, f64)> = None;
+        let mut ties = 0usize;
+        for (k, &i) in candidates.iter().enumerate() {
+            let member_votes: Vec<usize> = votes.iter().map(|m| m[k]).collect();
+            let h = vote_entropy(&member_votes, n_classes);
+            match best {
+                None => {
+                    best = Some((i, h));
+                    ties = 1;
+                }
+                Some((_, bh)) if h > bh + 1e-12 => {
+                    best = Some((i, h));
+                    ties = 1;
+                }
+                Some((_, bh)) if (h - bh).abs() <= 1e-12 => {
+                    ties += 1;
+                    if self.rng.gen_range(0..ties) == 0 {
+                        best = Some((i, h));
+                    }
+                }
+                _ => {}
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "QBC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::pool;
+
+    fn ctx<'a>(d: &'a adp_data::Dataset, queried: &'a [bool]) -> SamplerContext<'a> {
+        SamplerContext {
+            train: d,
+            queried,
+            al_probs: None,
+            lm_probs: None,
+            n_labeled: 0,
+            space: None,
+            seen_lfs: None,
+        }
+    }
+
+    #[test]
+    fn vote_entropy_values() {
+        assert_eq!(vote_entropy(&[1, 1, 1], 2), 0.0);
+        let h = vote_entropy(&[0, 1, 0, 1], 2);
+        assert!((h - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_start_is_random_but_valid() {
+        let d = pool(10);
+        let queried = vec![false; 10];
+        let mut qbc = Committee::new(3, 5);
+        let pick = qbc.select(&ctx(&d, &queried)).unwrap();
+        assert!(!queried[pick]);
+    }
+
+    #[test]
+    fn disagreement_targets_the_boundary() {
+        // Pool = line of points, classes split at the middle; with labels at
+        // the extremes the committee disagrees most near the centre.
+        let d = pool(40);
+        let queried = vec![false; 40];
+        let mut qbc = Committee::new(4, 7);
+        qbc.set_labeled(&[0, 1, 38, 39], &[0, 0, 1, 1]);
+        let pick = qbc.select(&ctx(&d, &queried)).unwrap();
+        assert!(
+            (8..32).contains(&pick),
+            "expected a near-boundary pick, got {pick}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = pool(20);
+        let queried = vec![false; 20];
+        let run = |seed| {
+            let mut qbc = Committee::new(seed, 5);
+            qbc.set_labeled(&[0, 19], &[0, 1]);
+            qbc.select(&ctx(&d, &queried))
+        };
+        assert_eq!(run(6), run(6));
+    }
+
+    #[test]
+    fn exhausted_pool_returns_none() {
+        let d = pool(3);
+        let queried = vec![true; 3];
+        let mut qbc = Committee::new(0, 3);
+        assert_eq!(qbc.select(&ctx(&d, &queried)), None);
+    }
+
+    #[test]
+    fn committee_size_floor() {
+        let qbc = Committee::new(0, 0);
+        assert_eq!(qbc.n_members, 2);
+        assert_eq!(qbc.name(), "QBC");
+    }
+}

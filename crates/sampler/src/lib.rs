@@ -1,0 +1,155 @@
+//! Active-learning sample selectors (paper §4.3.2, Table 4).
+//!
+//! Everything a selector may consult lives in [`SamplerContext`]; the
+//! [`Sampler`] trait then picks the next query instance from the unqueried
+//! pool. Implemented here:
+//!
+//! * [`Passive`] — uniform random (the "Passive" row of Table 4);
+//! * [`Uncertainty`] — maximum predictive entropy (Lewis 1995);
+//! * [`Lal`] — "learning active learning" (Konyushkova et al. 2017): a
+//!   regressor trained offline on Monte-Carlo AL episodes predicts each
+//!   candidate's expected error reduction;
+//! * [`Seu`] — Nemo's select-by-expected-utility (Hsieh et al. 2022):
+//!   scores an instance by the expected utility of the LFs a user would
+//!   create from it;
+//! * [`Committee`] — query-by-committee vote entropy (Seung et al. 1992),
+//!   an extension beyond Table 4 from the paper's related-work section.
+//!
+//! The paper's own ADP sampler needs both the AL model and the label model
+//! and lives with the rest of the ActiveDP framework in the `activedp`
+//! crate, implementing the same trait.
+
+pub mod committee;
+pub mod lal;
+pub mod passive;
+pub mod seu;
+pub mod uncertainty;
+
+pub use committee::Committee;
+pub use lal::Lal;
+pub use passive::Passive;
+pub use seu::Seu;
+pub use uncertainty::Uncertainty;
+
+use adp_data::Dataset;
+use adp_lf::{CandidateSpace, LfKey};
+use std::collections::HashSet;
+
+/// Everything a sampler may look at when choosing the next query.
+pub struct SamplerContext<'a> {
+    /// The unlabeled pool (the training split).
+    pub train: &'a Dataset,
+    /// `queried[i]` is true once instance `i` has been shown to the user.
+    pub queried: &'a [bool],
+    /// Active-learning model probabilities per pool instance, when trained.
+    pub al_probs: Option<&'a [Vec<f64>]>,
+    /// Label-model probabilities per pool instance, when LFs exist.
+    pub lm_probs: Option<&'a [Vec<f64>]>,
+    /// Number of labelled/pseudo-labelled instances so far.
+    pub n_labeled: usize,
+    /// Candidate-LF space (needed by SEU).
+    pub space: Option<&'a CandidateSpace>,
+    /// LFs already returned by the user (SEU discounts them).
+    pub seen_lfs: Option<&'a HashSet<LfKey>>,
+}
+
+impl<'a> SamplerContext<'a> {
+    /// Indices not yet queried.
+    pub fn unqueried(&self) -> impl Iterator<Item = usize> + '_ {
+        self.queried
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &q)| (!q).then_some(i))
+    }
+
+    /// The "primary" model distribution for instance `i`: the AL model when
+    /// available, else the label model, else uniform.
+    pub fn primary_probs(&self, i: usize) -> Vec<f64> {
+        if let Some(p) = self.al_probs {
+            return p[i].clone();
+        }
+        if let Some(p) = self.lm_probs {
+            return p[i].clone();
+        }
+        vec![1.0 / self.train.n_classes as f64; self.train.n_classes]
+    }
+}
+
+/// A query-instance selector.
+pub trait Sampler: Send {
+    /// Picks the next instance to show the user, or `None` when the pool is
+    /// exhausted.
+    fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize>;
+
+    /// Short name for tables/logs.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use adp_data::{Dataset, FeatureSet, Task};
+    use adp_linalg::Matrix;
+
+    /// A tiny tabular pool with one feature equal to the index.
+    pub fn pool(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 1, |i, _| i as f64);
+        Dataset {
+            name: "pool".into(),
+            task: Task::OccupancyPrediction,
+            n_classes: 2,
+            features: FeatureSet::Dense(x),
+            labels: (0..n).map(|i| usize::from(i >= n / 2)).collect(),
+            texts: None,
+            encoded_docs: None,
+        }
+    }
+
+    /// Probability rows with the given positive-class probabilities.
+    pub fn probs(ps: &[f64]) -> Vec<Vec<f64>> {
+        ps.iter().map(|&p| vec![1.0 - p, p]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::{pool, probs};
+
+    #[test]
+    fn context_unqueried_iterates_pool() {
+        let d = pool(4);
+        let queried = vec![false, true, false, true];
+        let ctx = SamplerContext {
+            train: &d,
+            queried: &queried,
+            al_probs: None,
+            lm_probs: None,
+            n_labeled: 0,
+            space: None,
+            seen_lfs: None,
+        };
+        assert_eq!(ctx.unqueried().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn primary_probs_fallback_chain() {
+        let d = pool(2);
+        let queried = vec![false, false];
+        let al = probs(&[0.9, 0.9]);
+        let lm = probs(&[0.2, 0.2]);
+        let mut ctx = SamplerContext {
+            train: &d,
+            queried: &queried,
+            al_probs: Some(&al),
+            lm_probs: Some(&lm),
+            n_labeled: 0,
+            space: None,
+            seen_lfs: None,
+        };
+        assert_eq!(ctx.primary_probs(0)[1], 0.9);
+        ctx.al_probs = None;
+        assert_eq!(ctx.primary_probs(0)[1], 0.2);
+        ctx.lm_probs = None;
+        assert_eq!(ctx.primary_probs(0), vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Uncertainty sampling (Lewis 1995): maximum predictive entropy.
+
+use crate::{Sampler, SamplerContext};
+use rand::{Rng, SeedableRng};
+
+/// Selects the unqueried instance with the highest predictive entropy under
+/// the context's primary model (AL model, else label model). Before any
+/// model exists every instance ties at maximum entropy; ties break randomly
+/// so the cold start is not index-biased.
+#[derive(Debug)]
+pub struct Uncertainty {
+    rng: rand::rngs::StdRng,
+}
+
+impl Uncertainty {
+    /// An uncertainty sampler with a deterministic tie-break stream.
+    pub fn new(seed: u64) -> Self {
+        Uncertainty {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Sampler for Uncertainty {
+    fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut ties = 0usize;
+        for i in ctx.unqueried() {
+            let h = adp_linalg::entropy(&ctx.primary_probs(i));
+            match best {
+                None => {
+                    best = Some((i, h));
+                    ties = 1;
+                }
+                Some((_, bh)) if h > bh + 1e-12 => {
+                    best = Some((i, h));
+                    ties = 1;
+                }
+                Some((_, bh)) if (h - bh).abs() <= 1e-12 => {
+                    // Reservoir sampling over tied maxima.
+                    ties += 1;
+                    if self.rng.gen_range(0..ties) == 0 {
+                        best = Some((i, h));
+                    }
+                }
+                _ => {}
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "US"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{pool, probs};
+
+    #[test]
+    fn picks_most_uncertain() {
+        let d = pool(4);
+        let queried = vec![false; 4];
+        let al = probs(&[0.9, 0.55, 0.99, 0.2]);
+        let ctx = SamplerContext {
+            train: &d,
+            queried: &queried,
+            al_probs: Some(&al),
+            lm_probs: None,
+            n_labeled: 0,
+            space: None,
+            seen_lfs: None,
+        };
+        assert_eq!(Uncertainty::new(0).select(&ctx), Some(1));
+    }
+
+    #[test]
+    fn respects_queried_mask() {
+        let d = pool(3);
+        let queried = vec![false, true, false];
+        let al = probs(&[0.9, 0.5, 0.8]);
+        let ctx = SamplerContext {
+            train: &d,
+            queried: &queried,
+            al_probs: Some(&al),
+            lm_probs: None,
+            n_labeled: 0,
+            space: None,
+            seen_lfs: None,
+        };
+        // Index 1 is most uncertain but already queried; 2 is next.
+        assert_eq!(Uncertainty::new(0).select(&ctx), Some(2));
+    }
+
+    #[test]
+    fn cold_start_ties_break_randomly_but_deterministically() {
+        let d = pool(20);
+        let queried = vec![false; 20];
+        let ctx = SamplerContext {
+            train: &d,
+            queried: &queried,
+            al_probs: None,
+            lm_probs: None,
+            n_labeled: 0,
+            space: None,
+            seen_lfs: None,
+        };
+        let a = Uncertainty::new(5).select(&ctx);
+        let b = Uncertainty::new(5).select(&ctx);
+        assert_eq!(a, b);
+        // Different seeds spread over the pool (probabilistic but with 20
+        // candidates two fixed seeds colliding is unlikely; use three).
+        let picks: std::collections::HashSet<_> = (0..3)
+            .map(|s| Uncertainty::new(s).select(&ctx).unwrap())
+            .collect();
+        assert!(picks.len() > 1, "ties never vary: {picks:?}");
+    }
+
+    #[test]
+    fn exhausted_pool_returns_none() {
+        let d = pool(2);
+        let queried = vec![true, true];
+        let ctx = SamplerContext {
+            train: &d,
+            queried: &queried,
+            al_probs: None,
+            lm_probs: None,
+            n_labeled: 0,
+            space: None,
+            seen_lfs: None,
+        };
+        assert_eq!(Uncertainty::new(0).select(&ctx), None);
+    }
+}

@@ -1,0 +1,18 @@
+//! Text feature pipeline: tokenizer → vocabulary → TF-IDF.
+//!
+//! Reimplements the scikit-learn TF-IDF path the paper uses for its textual
+//! datasets ("we extract the TF-IDF representation of the input text"):
+//! raw term counts weighted by smoothed inverse document frequency and
+//! L2-normalised per document, emitted as a [`adp_linalg::CsrMatrix`].
+//!
+//! The same [`Vocabulary`] doubles as the id space for keyword label
+//! functions in `adp-lf`: an LF "check → SPAM" is stored as the vocabulary
+//! id of "check", so LF evaluation is a set lookup on encoded documents.
+
+pub mod tfidf;
+pub mod tokenize;
+pub mod vocab;
+
+pub use tfidf::{TfidfMatrix, TfidfVectorizer};
+pub use tokenize::{tokenize, TokenizerConfig};
+pub use vocab::{Vocabulary, VocabularyBuilder};

@@ -1,0 +1,234 @@
+//! TF-IDF vectorisation (scikit-learn compatible weighting).
+//!
+//! * term frequency = raw in-document count,
+//! * idf(t) = ln((1 + n) / (1 + df(t))) + 1   (smooth idf),
+//! * every row L2-normalised.
+
+use crate::tokenize::{tokenize, TokenizerConfig};
+use crate::vocab::{Vocabulary, VocabularyBuilder};
+use adp_linalg::{CsrBuilder, CsrMatrix};
+use std::collections::HashMap;
+
+/// The TF-IDF design matrix together with the vocabulary that indexes it.
+#[derive(Debug, Clone)]
+pub struct TfidfMatrix {
+    /// Documents × vocabulary, L2-normalised rows.
+    pub matrix: CsrMatrix,
+    /// Encoded documents: vocabulary ids per document (duplicates preserved,
+    /// OOV dropped). Used by `adp-lf` for keyword-LF evaluation.
+    pub encoded_docs: Vec<Vec<u32>>,
+}
+
+/// Fits a vocabulary + idf weights on a corpus and transforms documents.
+#[derive(Debug, Clone)]
+pub struct TfidfVectorizer {
+    tokenizer: TokenizerConfig,
+    min_df: u32,
+    max_df_ratio: f64,
+    max_vocab: usize,
+    vocab: Option<Vocabulary>,
+    idf: Vec<f64>,
+}
+
+impl Default for TfidfVectorizer {
+    fn default() -> Self {
+        TfidfVectorizer {
+            tokenizer: TokenizerConfig::default(),
+            min_df: 2,
+            max_df_ratio: 0.9,
+            max_vocab: 50_000,
+            vocab: None,
+            idf: vec![],
+        }
+    }
+}
+
+impl TfidfVectorizer {
+    /// A vectorizer with explicit pruning knobs.
+    pub fn new(tokenizer: TokenizerConfig, min_df: u32, max_df_ratio: f64, max_vocab: usize) -> Self {
+        TfidfVectorizer {
+            tokenizer,
+            min_df,
+            max_df_ratio,
+            max_vocab,
+            vocab: None,
+            idf: vec![],
+        }
+    }
+
+    /// Fits the vocabulary and idf table on `docs`.
+    pub fn fit(&mut self, docs: &[String]) {
+        let mut builder = VocabularyBuilder::new();
+        let tokenized: Vec<Vec<String>> = docs
+            .iter()
+            .map(|d| tokenize(d, self.tokenizer))
+            .collect();
+        for t in &tokenized {
+            builder.add_doc(t);
+        }
+        let vocab = builder.finish(self.min_df, self.max_df_ratio, self.max_vocab);
+        let n = docs.len() as f64;
+        self.idf = (0..vocab.len() as u32)
+            .map(|id| ((1.0 + n) / (1.0 + vocab.doc_freq(id) as f64)).ln() + 1.0)
+            .collect();
+        self.vocab = Some(vocab);
+    }
+
+    /// The fitted vocabulary.
+    ///
+    /// # Panics
+    /// Panics when called before [`TfidfVectorizer::fit`].
+    pub fn vocabulary(&self) -> &Vocabulary {
+        self.vocab.as_ref().expect("TfidfVectorizer not fitted")
+    }
+
+    /// idf weight of a vocabulary id.
+    pub fn idf(&self, id: u32) -> f64 {
+        self.idf[id as usize]
+    }
+
+    /// Transforms documents with the fitted vocabulary.
+    ///
+    /// # Panics
+    /// Panics when called before [`TfidfVectorizer::fit`].
+    pub fn transform(&self, docs: &[String]) -> TfidfMatrix {
+        let vocab = self.vocabulary();
+        let mut b = CsrBuilder::new(vocab.len());
+        let mut encoded_docs = Vec::with_capacity(docs.len());
+        let mut counts: HashMap<u32, f64> = HashMap::new();
+        for doc in docs {
+            let tokens = tokenize(doc, self.tokenizer);
+            let ids = vocab.encode(&tokens);
+            counts.clear();
+            for &id in &ids {
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
+            let entries: Vec<(u32, f64)> = counts
+                .iter()
+                .map(|(&id, &tf)| (id, tf * self.idf[id as usize]))
+                .collect();
+            b.push_row(entries);
+            encoded_docs.push(ids);
+        }
+        let mut matrix = b.finish();
+        matrix.l2_normalize_rows();
+        TfidfMatrix {
+            matrix,
+            encoded_docs,
+        }
+    }
+
+    /// `fit` followed by `transform` on the same corpus.
+    pub fn fit_transform(&mut self, docs: &[String]) -> TfidfMatrix {
+        self.fit(docs);
+        self.transform(docs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "check out my channel".into(),
+            "check the reviews".into(),
+            "great product great price".into(),
+            "terrible product".into(),
+        ]
+    }
+
+    fn fitted() -> (TfidfVectorizer, TfidfMatrix) {
+        let mut v = TfidfVectorizer::new(TokenizerConfig::default(), 1, 1.0, usize::MAX);
+        let m = v.fit_transform(&corpus());
+        (v, m)
+    }
+
+    #[test]
+    fn shapes_match_corpus() {
+        let (v, m) = fitted();
+        assert_eq!(m.matrix.nrows(), 4);
+        assert_eq!(m.matrix.ncols(), v.vocabulary().len());
+        assert_eq!(m.encoded_docs.len(), 4);
+    }
+
+    #[test]
+    fn rows_are_unit_norm() {
+        let (_, m) = fitted();
+        for i in 0..m.matrix.nrows() {
+            let (_, vals) = m.matrix.row(i);
+            let norm: f64 = vals.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "row {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn idf_formula_matches_sklearn_smooth() {
+        let (v, _) = fitted();
+        let vocab = v.vocabulary();
+        let id = vocab.id("check").unwrap();
+        // "check" appears in 2 of 4 docs: idf = ln(5/3) + 1.
+        let expected = (5.0_f64 / 3.0).ln() + 1.0;
+        assert!((v.idf(id) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rarer_terms_weigh_more() {
+        let (v, m) = fitted();
+        let vocab = v.vocabulary();
+        // doc 0 contains "check" (df=2) and "channel" (df=1), both once.
+        let check = vocab.id("check").unwrap();
+        let channel = vocab.id("channel").unwrap();
+        let d = m.matrix.to_dense();
+        assert!(d[(0, channel as usize)] > d[(0, check as usize)]);
+    }
+
+    #[test]
+    fn repeated_terms_raise_tf() {
+        let (v, m) = fitted();
+        let vocab = v.vocabulary();
+        let great = vocab.id("great").unwrap();
+        let product = vocab.id("product").unwrap();
+        let d = m.matrix.to_dense();
+        // "great" occurs twice in doc 2 and is rarer than "product".
+        assert!(d[(2, great as usize)] > d[(2, product as usize)]);
+    }
+
+    #[test]
+    fn transform_unseen_doc_drops_oov() {
+        let (v, _) = fitted();
+        let out = v.transform(&["check the zzzz".to_string()]);
+        let vocab = v.vocabulary();
+        assert_eq!(
+            out.encoded_docs[0],
+            vec![vocab.id("check").unwrap(), vocab.id("the").unwrap()]
+        );
+        // Row still unit-norm despite the dropped token.
+        let (_, vals) = out.matrix.row(0);
+        let norm: f64 = vals.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_document_yields_empty_row() {
+        let (v, _) = fitted();
+        let out = v.transform(&["".to_string()]);
+        assert_eq!(out.matrix.row(0).0.len(), 0);
+        assert!(out.encoded_docs[0].is_empty());
+    }
+
+    #[test]
+    fn min_df_two_removes_singletons() {
+        let mut v = TfidfVectorizer::new(TokenizerConfig::default(), 2, 1.0, usize::MAX);
+        v.fit(&corpus());
+        assert!(v.vocabulary().id("channel").is_none());
+        assert!(v.vocabulary().id("check").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn transform_before_fit_panics() {
+        let v = TfidfVectorizer::default();
+        v.transform(&["x".to_string()]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Unicode-naive word tokenizer.
+//!
+//! Splits on anything that is not alphanumeric, lowercases, and drops tokens
+//! shorter than a configurable minimum. The synthetic corpora in `adp-data`
+//! are plain space-separated words, but the tokenizer stays robust to real
+//! text (punctuation, mixed case, digits).
+
+/// Tokenizer settings.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenizerConfig {
+    /// Lowercase tokens before emitting.
+    pub lowercase: bool,
+    /// Minimum token length in characters; shorter tokens are dropped.
+    pub min_len: usize,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            lowercase: true,
+            min_len: 2,
+        }
+    }
+}
+
+/// Tokenizes `text` into owned tokens according to `cfg`.
+pub fn tokenize(text: &str, cfg: TokenizerConfig) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            if cfg.lowercase {
+                current.extend(ch.to_lowercase());
+            } else {
+                current.push(ch);
+            }
+        } else if !current.is_empty() {
+            flush(&mut current, &mut tokens, cfg.min_len);
+        }
+    }
+    if !current.is_empty() {
+        flush(&mut current, &mut tokens, cfg.min_len);
+    }
+    tokens
+}
+
+fn flush(current: &mut String, tokens: &mut Vec<String>, min_len: usize) {
+    if current.chars().count() >= min_len {
+        tokens.push(std::mem::take(current));
+    } else {
+        current.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        let t = tokenize("check out, my channel!", TokenizerConfig::default());
+        assert_eq!(t, vec!["check", "out", "my", "channel"]);
+    }
+
+    #[test]
+    fn lowercases_by_default() {
+        let t = tokenize("Check OUT", TokenizerConfig::default());
+        assert_eq!(t, vec!["check", "out"]);
+    }
+
+    #[test]
+    fn preserves_case_when_disabled() {
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            min_len: 1,
+        };
+        assert_eq!(tokenize("Check", cfg), vec!["Check"]);
+    }
+
+    #[test]
+    fn drops_short_tokens() {
+        let t = tokenize("a an the i", TokenizerConfig::default());
+        assert_eq!(t, vec!["an", "the"]);
+    }
+
+    #[test]
+    fn min_len_one_keeps_everything() {
+        let cfg = TokenizerConfig {
+            lowercase: true,
+            min_len: 1,
+        };
+        assert_eq!(tokenize("a b", cfg), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn handles_digits_and_mixed() {
+        let t = tokenize("room 42 is occupied-now", TokenizerConfig::default());
+        assert_eq!(t, vec!["room", "42", "is", "occupied", "now"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("", TokenizerConfig::default()).is_empty());
+        assert!(tokenize("!!! ... ??", TokenizerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        let cfg = TokenizerConfig {
+            lowercase: true,
+            min_len: 2,
+        };
+        assert_eq!(tokenize("Café prêt", cfg), vec!["café", "prêt"]);
+    }
+}

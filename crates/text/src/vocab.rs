@@ -1,0 +1,219 @@
+//! Vocabulary construction with document-frequency pruning.
+
+use std::collections::HashMap;
+
+/// Immutable token ↔ id mapping with per-token document frequencies.
+///
+/// Ids are assigned deterministically: tokens are ranked by descending
+/// document frequency, ties broken lexicographically, so two builds over the
+/// same corpus produce identical id spaces regardless of hash order.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+    doc_freq: Vec<u32>,
+    n_docs: usize,
+}
+
+impl Vocabulary {
+    /// Number of tokens in the vocabulary.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// `true` when no token survived pruning.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Number of documents the vocabulary was built from.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Id of `token`, if present.
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Token string for `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn token(&self, id: u32) -> &str {
+        &self.id_to_token[id as usize]
+    }
+
+    /// Document frequency of the token with this id.
+    pub fn doc_freq(&self, id: u32) -> u32 {
+        self.doc_freq[id as usize]
+    }
+
+    /// Encodes a tokenized document into ids, silently dropping
+    /// out-of-vocabulary tokens. Duplicates are preserved.
+    pub fn encode(&self, tokens: &[String]) -> Vec<u32> {
+        tokens.iter().filter_map(|t| self.id(t)).collect()
+    }
+}
+
+/// Streaming vocabulary builder: feed documents, then prune and freeze.
+#[derive(Debug, Default)]
+pub struct VocabularyBuilder {
+    doc_freq: HashMap<String, u32>,
+    n_docs: usize,
+}
+
+impl VocabularyBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one document's distinct tokens.
+    pub fn add_doc(&mut self, tokens: &[String]) {
+        self.n_docs += 1;
+        let mut seen: Vec<&String> = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            if !seen.contains(&t) {
+                seen.push(t);
+                *self.doc_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Freezes the vocabulary.
+    ///
+    /// * `min_df` — drop tokens appearing in fewer than this many documents;
+    /// * `max_df_ratio` — drop tokens appearing in more than this fraction of
+    ///   documents (stopword pruning);
+    /// * `max_size` — keep at most this many tokens (highest df first),
+    ///   `usize::MAX` for unbounded.
+    pub fn finish(self, min_df: u32, max_df_ratio: f64, max_size: usize) -> Vocabulary {
+        let max_df = (max_df_ratio * self.n_docs as f64).ceil() as u32;
+        let mut kept: Vec<(String, u32)> = self
+            .doc_freq
+            .into_iter()
+            .filter(|&(_, df)| df >= min_df && df <= max_df)
+            .collect();
+        kept.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        kept.truncate(max_size);
+
+        let mut token_to_id = HashMap::with_capacity(kept.len());
+        let mut id_to_token = Vec::with_capacity(kept.len());
+        let mut doc_freq = Vec::with_capacity(kept.len());
+        for (i, (tok, df)) in kept.into_iter().enumerate() {
+            token_to_id.insert(tok.clone(), i as u32);
+            id_to_token.push(tok);
+            doc_freq.push(df);
+        }
+        Vocabulary {
+            token_to_id,
+            id_to_token,
+            doc_freq,
+            n_docs: self.n_docs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn small_vocab() -> Vocabulary {
+        let mut b = VocabularyBuilder::new();
+        b.add_doc(&toks(&["spam", "check", "channel"]));
+        b.add_doc(&toks(&["check", "reviews"]));
+        b.add_doc(&toks(&["spam", "check"]));
+        b.finish(1, 1.0, usize::MAX)
+    }
+
+    #[test]
+    fn ids_ranked_by_df_then_lexicographic() {
+        let v = small_vocab();
+        // df: check=3, spam=2, channel=1, reviews=1.
+        assert_eq!(v.id("check"), Some(0));
+        assert_eq!(v.id("spam"), Some(1));
+        assert_eq!(v.id("channel"), Some(2));
+        assert_eq!(v.id("reviews"), Some(3));
+        assert_eq!(v.token(0), "check");
+        assert_eq!(v.doc_freq(0), 3);
+    }
+
+    #[test]
+    fn duplicate_tokens_count_once_per_doc() {
+        let mut b = VocabularyBuilder::new();
+        b.add_doc(&toks(&["spam", "spam", "spam"]));
+        let v = b.finish(1, 1.0, usize::MAX);
+        assert_eq!(v.doc_freq(v.id("spam").unwrap()), 1);
+    }
+
+    #[test]
+    fn min_df_prunes_rare_tokens() {
+        let mut b = VocabularyBuilder::new();
+        b.add_doc(&toks(&["common", "rare"]));
+        b.add_doc(&toks(&["common"]));
+        let v = b.finish(2, 1.0, usize::MAX);
+        assert_eq!(v.len(), 1);
+        assert!(v.id("rare").is_none());
+    }
+
+    #[test]
+    fn max_df_prunes_stopwords() {
+        let mut b = VocabularyBuilder::new();
+        for _ in 0..10 {
+            b.add_doc(&toks(&["the", "word"]));
+        }
+        b.add_doc(&toks(&["word2"]));
+        // "the"/"word" appear in 10/11 docs > 0.8 ratio.
+        let v = b.finish(1, 0.8, usize::MAX);
+        assert!(v.id("the").is_none());
+        assert!(v.id("word2").is_some());
+    }
+
+    #[test]
+    fn max_size_keeps_most_frequent() {
+        let v = {
+            let mut b = VocabularyBuilder::new();
+            b.add_doc(&toks(&["a1", "b2"]));
+            b.add_doc(&toks(&["a1"]));
+            b
+        }
+        .finish(1, 1.0, 1);
+        assert_eq!(v.len(), 1);
+        assert!(v.id("a1").is_some());
+    }
+
+    #[test]
+    fn encode_drops_oov_keeps_duplicates() {
+        let v = small_vocab();
+        let enc = v.encode(&toks(&["check", "unknown", "check"]));
+        assert_eq!(enc, vec![0, 0]);
+    }
+
+    #[test]
+    fn empty_builder_yields_empty_vocab() {
+        let v = VocabularyBuilder::new().finish(1, 1.0, usize::MAX);
+        assert!(v.is_empty());
+        assert_eq!(v.n_docs(), 0);
+    }
+
+    #[test]
+    fn determinism_across_builds() {
+        let build = || {
+            let mut b = VocabularyBuilder::new();
+            b.add_doc(&toks(&["x", "y", "z"]));
+            b.add_doc(&toks(&["y", "z"]));
+            b.add_doc(&toks(&["z"]));
+            b.finish(1, 1.0, usize::MAX)
+        };
+        let v1 = build();
+        let v2 = build();
+        for t in ["x", "y", "z"] {
+            assert_eq!(v1.id(t), v2.id(t));
+        }
+    }
+}

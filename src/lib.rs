@@ -1,0 +1,48 @@
+//! # ActiveDP reproduction — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *ActiveDP: Bridging Active Learning
+//! and Data Programming* (Guan & Koudas, EDBT 2024). This facade re-exports
+//! every workspace crate under one roof so the examples and downstream
+//! users can depend on a single package:
+//!
+//! * [`core`] (`activedp`) — the ActiveDP framework itself: the
+//!   [`core::ActiveDpSession`] loop, ConFusion aggregation, the ADP
+//!   sampler and LabelPick LF selection;
+//! * [`baselines`] — Nemo, IWS, Revising-LF and uncertainty sampling under
+//!   a common [`baselines::Framework`] trait;
+//! * [`data`] — the eight synthetic benchmark datasets of Table 2;
+//! * [`lf`] — label functions, label matrices and the simulated user;
+//! * [`labelmodel`] — majority vote, Dawid-Skene EM and the triplet
+//!   (MeTaL-style) label model;
+//! * [`glasso`] — graphical lasso and Markov-blanket extraction;
+//! * [`classifier`] — logistic regression and metrics;
+//! * [`sampler`] — passive/uncertainty/LAL/SEU selectors;
+//! * [`text`] — tokenizer, vocabulary, TF-IDF;
+//! * [`linalg`] — the dense/sparse kernels everything is built on;
+//! * [`experiments`] — the §4 evaluation protocol and table/figure runners.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use activedp_repro::core::{ActiveDpSession, SessionConfig};
+//! use activedp_repro::data::{generate, DatasetId, Scale};
+//!
+//! let data = generate(DatasetId::Youtube, Scale::Tiny, 7).unwrap();
+//! let config = SessionConfig::paper_defaults(true, 7);
+//! let mut session = ActiveDpSession::new(&data, config).unwrap();
+//! session.run(15).unwrap();
+//! let report = session.evaluate_downstream().unwrap();
+//! assert!(report.test_accuracy > 0.4);
+//! ```
+
+pub use activedp as core;
+pub use adp_baselines as baselines;
+pub use adp_classifier as classifier;
+pub use adp_data as data;
+pub use adp_experiments as experiments;
+pub use adp_glasso as glasso;
+pub use adp_labelmodel as labelmodel;
+pub use adp_lf as lf;
+pub use adp_linalg as linalg;
+pub use adp_sampler as sampler;
+pub use adp_text as text;
