@@ -158,7 +158,7 @@ impl<'a> Iws<'a> {
             }
         }
         // Need both outcomes before the regression is meaningful.
-        if ys.iter().any(|&y| y == 1.0) && ys.iter().any(|&y| y == 0.0) {
+        if ys.contains(&1.0) && ys.contains(&0.0) {
             if let Ok(x) = Matrix::from_rows(&rows) {
                 self.weights = ridge_regression(&x, &ys, 1e-2).ok();
             }
@@ -179,7 +179,9 @@ impl<'a> Iws<'a> {
             })
             .collect();
         scored.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
         });
         scored.truncate(self.max_final_lfs);
         let mut out: Vec<usize> = scored.into_iter().map(|(j, _)| j).collect();
@@ -212,7 +214,9 @@ impl Framework for Iws<'_> {
                 .max_by(|&a, &b| {
                     let ua = self.predicted(a) * self.candidates[a].coverage;
                     let ub = self.predicted(b) * self.candidates[b].coverage;
-                    ua.partial_cmp(&ub).expect("finite utilities").then(b.cmp(&a))
+                    ua.partial_cmp(&ub)
+                        .expect("finite utilities")
+                        .then(b.cmp(&a))
                 })
                 .expect("non-empty unverified set")
         };

@@ -168,7 +168,10 @@ mod tests {
         for &(i, y) in &rlf.corrections {
             for j in 0..rlf.train_matrix.n_lfs() {
                 let v = rlf.train_matrix.get(i, j);
-                assert!(v == ABSTAIN || v as usize == y, "unrevised vote at ({i},{j})");
+                assert!(
+                    v == ABSTAIN || v as usize == y,
+                    "unrevised vote at ({i},{j})"
+                );
             }
         }
     }

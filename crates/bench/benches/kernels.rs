@@ -37,11 +37,7 @@ fn bench_glasso(c: &mut Criterion) {
     });
     let cov = covariance_matrix(&data).expect("non-empty data");
     c.bench_function("graphical_lasso_p20", |b| {
-        b.iter(|| {
-            black_box(
-                graphical_lasso(&cov, GlassoConfig::default()).expect("well-posed"),
-            )
-        })
+        b.iter(|| black_box(graphical_lasso(&cov, GlassoConfig::default()).expect("well-posed")))
     });
 }
 
@@ -84,6 +80,46 @@ fn bench_logreg(c: &mut Criterion) {
     });
 }
 
+/// Serial vs parallel batch-gradient descent on a dense 12k×64 problem —
+/// the speedup this prints is the headline number for the `adp-linalg`
+/// `parallel` routing (the two paths are asserted bitwise identical in
+/// `adp-classifier`'s tests).
+fn bench_logreg_grad_parallel(c: &mut Criterion) {
+    let n = 12_000;
+    let d = 64;
+    let x = Matrix::from_fn(n, d, |i, j| {
+        let signal = if (i % 2 == 0) == (j % 2 == 0) {
+            0.8
+        } else {
+            -0.8
+        };
+        signal + (((i * 31 + j * 17) % 23) as f64 - 11.0) * 0.03
+    });
+    let rows: Vec<usize> = (0..n).collect();
+    let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+    for (name, parallel) in [
+        ("logreg_grad_serial_12000x64", false),
+        ("logreg_grad_parallel_12000x64", true),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = LogisticRegression::new(
+                    2,
+                    d,
+                    LogRegConfig {
+                        max_iters: 10,
+                        parallel,
+                        ..LogRegConfig::default()
+                    },
+                );
+                m.fit(&x, &rows, Targets::Hard(&labels), None)
+                    .expect("fit succeeds");
+                black_box(m)
+            })
+        });
+    }
+}
+
 fn bench_candidate_space(c: &mut Criterion) {
     let data = bench_dataset(DatasetId::Youtube);
     c.bench_function("candidate_space_build_text", |b| {
@@ -103,6 +139,7 @@ criterion_group!(
         bench_glasso,
         bench_label_models,
         bench_logreg,
+        bench_logreg_grad_parallel,
         bench_candidate_space
 );
 criterion_main!(kernels);

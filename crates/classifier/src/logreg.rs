@@ -1,7 +1,18 @@
 //! Multinomial logistic regression.
 
 use crate::error::ClassifierError;
+use adp_linalg::parallel::{self, Execution};
 use adp_linalg::{Features, Matrix};
+
+/// Rows per parallel gradient chunk. Fixed (machine-independent): the
+/// gradient is always accumulated chunk-wise and reduced in chunk order, so
+/// the fitted weights are bitwise identical whether the chunks run on one
+/// thread or eight.
+const GRAD_CHUNK: usize = 1024;
+/// Minimum batch size before threads pay for themselves.
+const MIN_PARALLEL_ROWS: usize = 2048;
+/// Minimum prediction count before threads pay for themselves.
+const MIN_PARALLEL_PREDICT: usize = 4096;
 
 /// Training targets: hard class labels or soft distributions, one entry per
 /// training row (parallel to the `rows` argument of
@@ -32,6 +43,11 @@ pub struct LogRegConfig {
     pub max_iters: usize,
     /// Stop when the gradient's max-norm falls below this.
     pub tol: f64,
+    /// Run batch-gradient accumulation and bulk prediction on scoped
+    /// threads when the batch is large enough. The result is bitwise
+    /// identical either way (chunk-wise accumulation is always used); this
+    /// switch only controls scheduling.
+    pub parallel: bool,
 }
 
 impl Default for LogRegConfig {
@@ -40,6 +56,7 @@ impl Default for LogRegConfig {
             l2: 1e-3,
             max_iters: 200,
             tol: 1e-4,
+            parallel: true,
         }
     }
 }
@@ -129,8 +146,7 @@ impl LogisticRegression {
 
         // Lipschitz bound for the mean softmax CE gradient:
         //   L <= 0.5 * mean ||x||^2 (+1 for the intercept) + l2.
-        let mean_sq: f64 =
-            rows.iter().map(|&r| x.row_sq_norm(r) + 1.0).sum::<f64>() / n as f64;
+        let mean_sq: f64 = rows.iter().map(|&r| x.row_sq_norm(r) + 1.0).sum::<f64>() / n as f64;
         let lipschitz = 0.5 * mean_sq + self.config.l2;
         let step = 1.0 / lipschitz.max(1e-12);
 
@@ -141,47 +157,69 @@ impl LogisticRegression {
         let mut prev_b = self.bias.clone();
         let mut grad_w = Matrix::zeros(k, d);
         let mut grad_b = vec![0.0; k];
-        let mut scores = vec![0.0; k];
         let mut summary = FitSummary {
             iterations: 0,
             grad_norm: f64::INFINITY,
             converged: false,
         };
+        let exec = if self.config.parallel {
+            parallel::auto(n, MIN_PARALLEL_ROWS)
+        } else {
+            Execution::Serial
+        };
 
         for iter in 1..=self.config.max_iters {
-            // Gradient at the look-ahead point (v_w, v_b).
+            // Gradient at the look-ahead point (v_w, v_b), accumulated over
+            // fixed-size row chunks and reduced in chunk order (bitwise
+            // deterministic regardless of thread count).
+            let (v_w_ref, v_b_ref, w_ref) = (&v_w, &v_b, &w);
+            let parts = parallel::map_chunks(n, GRAD_CHUNK, exec, |range| {
+                let mut gw = vec![0.0; k * d];
+                let mut gb = vec![0.0; k];
+                let mut scores = vec![0.0; k];
+                for pos in range {
+                    let r = rows[pos];
+                    for c in 0..k {
+                        scores[c] = x.row_dot(r, v_w_ref.row(c)) + v_b_ref[c];
+                    }
+                    adp_linalg::softmax_inplace(&mut scores);
+                    let wi = w_ref[pos] / n as f64;
+                    for c in 0..k {
+                        let target_c = match &targets {
+                            Targets::Hard(t) => {
+                                if t[pos] == c {
+                                    1.0
+                                } else {
+                                    0.0
+                                }
+                            }
+                            Targets::Soft(t) => t[pos][c],
+                        };
+                        let delta = wi * (scores[c] - target_c);
+                        if delta != 0.0 {
+                            x.row_axpy(r, delta, &mut gw[c * d..(c + 1) * d]);
+                            gb[c] += delta;
+                        }
+                    }
+                }
+                (gw, gb)
+            });
             grad_w.scale(0.0);
             grad_b.iter_mut().for_each(|g| *g = 0.0);
-            for (pos, &r) in rows.iter().enumerate() {
+            for (gw, gb) in parts {
                 for c in 0..k {
-                    scores[c] = x.row_dot(r, v_w.row(c)) + v_b[c];
-                }
-                adp_linalg::softmax_inplace(&mut scores);
-                let wi = w[pos] / n as f64;
-                for c in 0..k {
-                    let target_c = match &targets {
-                        Targets::Hard(t) => {
-                            if t[pos] == c {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        }
-                        Targets::Soft(t) => t[pos][c],
-                    };
-                    let delta = wi * (scores[c] - target_c);
-                    if delta != 0.0 {
-                        x.row_axpy(r, delta, grad_w.row_mut(c));
-                        grad_b[c] += delta;
+                    for (acc, g) in grad_w.row_mut(c).iter_mut().zip(&gw[c * d..(c + 1) * d]) {
+                        *acc += g;
                     }
+                    grad_b[c] += gb[c];
                 }
             }
             // L2 on weights.
             grad_w.scaled_add(self.config.l2, &v_w).expect("same shape");
 
-            let grad_norm = grad_w.max_abs().max(
-                grad_b.iter().fold(0.0_f64, |m, g| m.max(g.abs())),
-            );
+            let grad_norm = grad_w
+                .max_abs()
+                .max(grad_b.iter().fold(0.0_f64, |m, g| m.max(g.abs())));
             summary = FitSummary {
                 iterations: iter,
                 grad_norm,
@@ -191,11 +229,7 @@ impl LogisticRegression {
             // Gradient step from the look-ahead point.
             let mut new_w = v_w.clone();
             new_w.scaled_add(-step, &grad_w).expect("same shape");
-            let new_b: Vec<f64> = v_b
-                .iter()
-                .zip(&grad_b)
-                .map(|(b, g)| b - step * g)
-                .collect();
+            let new_b: Vec<f64> = v_b.iter().zip(&grad_b).map(|(b, g)| b - step * g).collect();
 
             // Nesterov momentum.
             let momentum = (iter as f64 - 1.0) / (iter as f64 + 2.0);
@@ -229,9 +263,21 @@ impl LogisticRegression {
         scores
     }
 
-    /// Probabilities for every row of `x`.
+    /// Probabilities for every row of `x`. Rows are independent, so this
+    /// runs chunk-parallel on large inputs (identical output either way).
     pub fn predict_proba_all<F: Features + ?Sized>(&self, x: &F) -> Vec<Vec<f64>> {
-        (0..x.nrows()).map(|i| self.predict_proba(x, i)).collect()
+        let n = x.nrows();
+        let exec = if self.config.parallel {
+            parallel::auto(n, MIN_PARALLEL_PREDICT)
+        } else {
+            Execution::Serial
+        };
+        parallel::map_chunks(n, GRAD_CHUNK, exec, |range| {
+            range.map(|i| self.predict_proba(x, i)).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Hard prediction for row `i`.
@@ -357,9 +403,7 @@ mod tests {
     fn fits_separable_data() {
         let (x, y) = blobs(40);
         let mut m = LogisticRegression::new(2, 2, LogRegConfig::default());
-        let s = m
-            .fit(&x, &all_rows(40), Targets::Hard(&y), None)
-            .unwrap();
+        let s = m.fit(&x, &all_rows(40), Targets::Hard(&y), None).unwrap();
         assert!(s.iterations > 0);
         let correct = (0..40).filter(|&i| m.predict(&x, i) == y[i]).count();
         assert_eq!(correct, 40);
@@ -379,7 +423,8 @@ mod tests {
             })
             .collect();
         let mut hard = LogisticRegression::new(2, 2, LogRegConfig::default());
-        hard.fit(&x, &all_rows(30), Targets::Hard(&y), None).unwrap();
+        hard.fit(&x, &all_rows(30), Targets::Hard(&y), None)
+            .unwrap();
         let mut softm = LogisticRegression::new(2, 2, LogRegConfig::default());
         softm
             .fit(&x, &all_rows(30), Targets::Soft(&soft), None)
@@ -402,7 +447,8 @@ mod tests {
             })
             .collect();
         let mut m = LogisticRegression::new(2, 2, LogRegConfig::default());
-        m.fit(&x, &all_rows(30), Targets::Soft(&soft), None).unwrap();
+        m.fit(&x, &all_rows(30), Targets::Soft(&soft), None)
+            .unwrap();
         // Prediction should match the majority side but stay close to 0.7.
         let p = m.predict_proba(&x, 0);
         assert!(p[0] > 0.5);
@@ -501,14 +547,46 @@ mod tests {
         assert!(m
             .fit(&x, &[0], Targets::Soft(&[vec![0.9, 0.3]]), None)
             .is_err());
-        assert!(m
-            .fit(&x, &[0], Targets::Hard(&[0]), Some(&[-1.0]))
-            .is_err());
+        assert!(m.fit(&x, &[0], Targets::Hard(&[0]), Some(&[-1.0])).is_err());
         assert!(m
             .fit(&x, &[0, 1], Targets::Hard(&[0, 1]), Some(&[0.0, 0.0]))
             .is_err());
         let mut wrong_dim = LogisticRegression::new(2, 5, LogRegConfig::default());
         assert!(wrong_dim.fit(&x, &[0], Targets::Hard(&[0]), None).is_err());
+    }
+
+    #[test]
+    fn parallel_fit_is_bitwise_identical_to_serial() {
+        // Several gradient chunks, awkward (non-multiple) length.
+        let n = 3 * super::GRAD_CHUNK + 77;
+        let (x, y) = blobs(n);
+        let fit_with = |parallel: bool| {
+            let mut m = LogisticRegression::new(
+                2,
+                2,
+                LogRegConfig {
+                    parallel,
+                    max_iters: 40,
+                    ..LogRegConfig::default()
+                },
+            );
+            m.fit(&x, &all_rows(n), Targets::Hard(&y), None).unwrap();
+            m
+        };
+        let serial = fit_with(false);
+        let parallel = fit_with(true);
+        for c in 0..2 {
+            for (a, b) in serial
+                .weights()
+                .row(c)
+                .iter()
+                .zip(parallel.weights().row(c))
+            {
+                assert!(a.to_bits() == b.to_bits(), "{a:e} vs {b:e}");
+            }
+        }
+        let (ps, pp) = (serial.predict_proba_all(&x), parallel.predict_proba_all(&x));
+        assert_eq!(ps, pp);
     }
 
     #[test]

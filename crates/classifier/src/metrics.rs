@@ -9,17 +9,16 @@ pub fn accuracy(preds: &[usize], labels: &[usize]) -> f64 {
     if preds.is_empty() {
         return 0.0;
     }
-    preds
-        .iter()
-        .zip(labels)
-        .filter(|(p, l)| p == l)
-        .count() as f64
-        / preds.len() as f64
+    preds.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / preds.len() as f64
 }
 
 /// `counts[t][p]` = number of instances with true class `t` predicted `p`.
 pub fn confusion_matrix(preds: &[usize], labels: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
-    assert_eq!(preds.len(), labels.len(), "confusion_matrix: length mismatch");
+    assert_eq!(
+        preds.len(),
+        labels.len(),
+        "confusion_matrix: length mismatch"
+    );
     let mut counts = vec![vec![0usize; n_classes]; n_classes];
     for (&p, &t) in preds.iter().zip(labels) {
         counts[t][p] += 1;
@@ -47,8 +46,14 @@ pub fn macro_f1(preds: &[usize], labels: &[usize], n_classes: usize) -> f64 {
     let mut total = 0.0;
     for c in 0..n_classes {
         let tp = cm[c][c] as f64;
-        let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| cm[t][c] as f64).sum();
-        let fneg: f64 = (0..n_classes).filter(|&p| p != c).map(|p| cm[c][p] as f64).sum();
+        let fp: f64 = (0..n_classes)
+            .filter(|&t| t != c)
+            .map(|t| cm[t][c] as f64)
+            .sum();
+        let fneg: f64 = (0..n_classes)
+            .filter(|&p| p != c)
+            .map(|p| cm[c][p] as f64)
+            .sum();
         total += if 2.0 * tp + fp + fneg == 0.0 {
             0.0
         } else {

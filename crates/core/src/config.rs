@@ -1,0 +1,116 @@
+//! Session configuration: the ablation switches of Table 3 and the sampler
+//! choices of Table 4.
+
+use crate::error::ActiveDpError;
+use crate::labelpick::LabelPickConfig;
+use adp_classifier::LogRegConfig;
+use adp_labelmodel::LabelModelKind;
+
+/// Which sample selector drives the training loop (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerChoice {
+    /// The paper's ADP sampler (Eq. 2).
+    Adp,
+    /// Uniform random.
+    Passive,
+    /// Uncertainty sampling on the AL model.
+    Uncertainty,
+    /// Learning active learning.
+    Lal,
+    /// Nemo's select-by-expected-utility.
+    Seu,
+    /// Query-by-committee vote entropy (extension beyond the paper's
+    /// Table 4; see §2.2's related work).
+    Qbc,
+}
+
+impl SamplerChoice {
+    /// Table 4 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SamplerChoice::Adp => "ADP",
+            SamplerChoice::Passive => "Passive",
+            SamplerChoice::Uncertainty => "US",
+            SamplerChoice::Lal => "LAL",
+            SamplerChoice::Seu => "SEU",
+            SamplerChoice::Qbc => "QBC",
+        }
+    }
+}
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// ADP sampler trade-off α (paper: 0.5 text, 0.99 tabular).
+    pub alpha: f64,
+    /// Simulated-user candidate accuracy threshold τ_acc (paper: 0.6).
+    pub acc_threshold: f64,
+    /// Simulated-user label-noise rate (Table 5; 0 in the main experiments).
+    pub noise_rate: f64,
+    /// Which label model aggregates the LFs.
+    pub label_model: LabelModelKind,
+    /// Ablation switch: LabelPick LF selection (§3.4).
+    pub use_labelpick: bool,
+    /// Ablation switch: ConFusion aggregation (§3.2).
+    pub use_confusion: bool,
+    /// LabelPick hyperparameters.
+    pub labelpick: LabelPickConfig,
+    /// Query-instance selector.
+    pub sampler: SamplerChoice,
+    /// AL-model training hyperparameters.
+    pub al_logreg: LogRegConfig,
+    /// Downstream-model training hyperparameters.
+    pub downstream_logreg: LogRegConfig,
+    /// Master seed: user, samplers and tie-breaks derive from it.
+    pub seed: u64,
+}
+
+impl SessionConfig {
+    /// The paper's configuration for a dataset of the given modality.
+    pub fn paper_defaults(textual: bool, seed: u64) -> Self {
+        SessionConfig {
+            alpha: if textual { 0.5 } else { 0.99 },
+            acc_threshold: 0.6,
+            noise_rate: 0.0,
+            label_model: LabelModelKind::Triplet,
+            use_labelpick: true,
+            use_confusion: true,
+            labelpick: LabelPickConfig::default(),
+            sampler: SamplerChoice::Adp,
+            al_logreg: LogRegConfig::default(),
+            downstream_logreg: LogRegConfig {
+                max_iters: 150,
+                ..LogRegConfig::default()
+            },
+            seed,
+        }
+    }
+
+    /// Table 3 ablation: all user LFs train the label model, no aggregation.
+    pub fn ablation_baseline(textual: bool, seed: u64) -> Self {
+        SessionConfig {
+            use_labelpick: false,
+            use_confusion: false,
+            ..SessionConfig::paper_defaults(textual, seed)
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ActiveDpError> {
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(ActiveDpError::BadConfig {
+                reason: format!("alpha {} outside [0,1]", self.alpha),
+            });
+        }
+        if !(0.0..1.0).contains(&self.acc_threshold) {
+            return Err(ActiveDpError::BadConfig {
+                reason: format!("acc_threshold {} outside [0,1)", self.acc_threshold),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.noise_rate) {
+            return Err(ActiveDpError::BadConfig {
+                reason: format!("noise_rate {} outside [0,1]", self.noise_rate),
+            });
+        }
+        Ok(())
+    }
+}

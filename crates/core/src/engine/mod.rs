@@ -1,0 +1,222 @@
+//! The staged ActiveDP engine.
+//!
+//! The training loop of paper Figure 1 is decomposed into four stages, each
+//! an independently testable module operating on a shared
+//! [`SessionState`]:
+//!
+//! 1. [`sampling`] — pick the next query instance (§3.3);
+//! 2. [`querying`] — ask the oracle, fold the returned LF into the state
+//!    (§3.1);
+//! 3. [`training`] — LabelPick + label-model and AL-model refits (§3.4);
+//! 4. [`inference`] — ConFusion aggregation and downstream evaluation
+//!    (§3.2, run on demand rather than per iteration).
+//!
+//! [`Engine`] wires the stages together; samplers, oracles, label models
+//! and classifiers all plug in behind their existing traits. The
+//! [`ActiveDpSession`](crate::ActiveDpSession) facade preserves the
+//! original monolithic API on top of this engine, and the
+//! `engine_matches_golden_trajectory` integration test pins the staged
+//! loop to the pre-refactor trajectory seed-for-seed.
+
+pub mod inference;
+pub mod querying;
+pub mod sampling;
+pub mod state;
+pub mod training;
+
+pub use inference::EvalReport;
+pub use querying::QueryingStage;
+pub use sampling::SamplingStage;
+pub use state::SessionState;
+pub use training::TrainingStage;
+
+use crate::config::SessionConfig;
+use crate::error::ActiveDpError;
+use crate::oracle::Oracle;
+use adp_data::SplitDataset;
+use adp_lf::{LabelFunction, SimulatedUser, UserConfig};
+
+/// One phase of the loop: a named transformation of the shared state.
+///
+/// `Input`/`Output` differ per stage (the sampler produces a query index,
+/// the querying stage consumes it), so the trait is generic over both; the
+/// uniform shape is what makes each stage drivable in isolation from tests
+/// and from custom outer loops.
+pub trait Stage {
+    /// Per-call input (e.g. the query instance for the querying stage).
+    type Input<'i>;
+    /// What the stage produces.
+    type Output;
+
+    /// Stage name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage once against the shared state.
+    fn run(
+        &mut self,
+        data: &SplitDataset,
+        state: &mut SessionState,
+        input: Self::Input<'_>,
+    ) -> Result<Self::Output, ActiveDpError>;
+}
+
+/// What one training iteration did.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// The query instance, or `None` when the pool was exhausted.
+    pub query: Option<usize>,
+    /// The LF the oracle returned, if any.
+    pub lf: Option<LabelFunction>,
+    /// Total LFs collected so far.
+    pub n_lfs: usize,
+    /// LFs currently selected by LabelPick.
+    pub n_selected: usize,
+}
+
+/// The staged ActiveDP engine: sampling → querying → training per step,
+/// inference on demand.
+pub struct Engine<'a> {
+    data: &'a SplitDataset,
+    config: SessionConfig,
+    state: SessionState,
+    sampling: SamplingStage,
+    querying: QueryingStage,
+    training: TrainingStage,
+}
+
+impl<'a> Engine<'a> {
+    /// An engine with the simulated user of §4.1.4 as the oracle.
+    pub fn new(data: &'a SplitDataset, config: SessionConfig) -> Result<Self, ActiveDpError> {
+        let user = SimulatedUser::new(
+            UserConfig {
+                acc_threshold: config.acc_threshold,
+                noise_rate: config.noise_rate,
+            },
+            config.seed ^ 0x5EED_0001,
+        );
+        Self::with_oracle(data, config, Box::new(user))
+    }
+
+    /// An engine with a custom oracle (e.g. an interactive UI).
+    pub fn with_oracle(
+        data: &'a SplitDataset,
+        config: SessionConfig,
+        oracle: Box<dyn Oracle>,
+    ) -> Result<Self, ActiveDpError> {
+        config.validate()?;
+        Ok(Engine {
+            state: SessionState::new(data),
+            sampling: SamplingStage::from_config(&config),
+            querying: QueryingStage::new(data, oracle),
+            training: TrainingStage::from_config(data, &config),
+            data,
+            config,
+        })
+    }
+
+    /// The dataset split the engine runs over.
+    pub fn data(&self) -> &'a SplitDataset {
+        self.data
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The shared loop state (read-only; the stages own mutation).
+    pub fn state(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// One training iteration of Figure 1 (left): sampling → querying →
+    /// training.
+    pub fn step(&mut self) -> Result<StepOutcome, ActiveDpError> {
+        self.state.iteration += 1;
+        let query = self
+            .sampling
+            .select(self.data, self.querying.space(), &mut self.state);
+        let Some(query) = query else {
+            return Ok(self.outcome(None, None));
+        };
+        let lf = self.querying.query(self.data, &mut self.state, query)?;
+        if lf.is_some() {
+            self.training.refit(self.data, &mut self.state)?;
+        }
+        Ok(self.outcome(Some(query), lf))
+    }
+
+    /// Runs `iterations` training steps.
+    pub fn run(&mut self, iterations: usize) -> Result<(), ActiveDpError> {
+        for _ in 0..iterations {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Inference phase: tunes τ on the validation split (when ConFusion is
+    /// enabled) and aggregates labels for the training pool.
+    pub fn aggregate_train_labels(
+        &self,
+    ) -> Result<crate::confusion::AggregatedLabels, ActiveDpError> {
+        inference::aggregate_train_labels(self.data, &self.config, &self.training, &self.state)
+    }
+
+    /// Trains the downstream model on the aggregated labels and evaluates
+    /// it on the test split.
+    pub fn evaluate_downstream(&self) -> Result<EvalReport, ActiveDpError> {
+        inference::evaluate_downstream(self.data, &self.config, &self.training, &self.state)
+    }
+
+    fn outcome(&self, query: Option<usize>, lf: Option<LabelFunction>) -> StepOutcome {
+        StepOutcome {
+            iteration: self.state.iteration,
+            query,
+            lf,
+            n_lfs: self.state.lfs.len(),
+            n_selected: self.state.selected.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{generate, DatasetId, Scale};
+
+    #[test]
+    fn engine_runs_and_evaluates() {
+        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
+        let mut e = Engine::new(&data, SessionConfig::paper_defaults(true, 5)).unwrap();
+        e.run(10).unwrap();
+        assert_eq!(e.state().iteration, 10);
+        assert!(!e.state().lfs.is_empty());
+        let r = e.evaluate_downstream().unwrap();
+        assert!((0.0..=1.0).contains(&r.test_accuracy));
+    }
+
+    #[test]
+    fn stage_names_are_distinct() {
+        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
+        let cfg = SessionConfig::paper_defaults(true, 5);
+        let sampling = SamplingStage::from_config(&cfg);
+        let training = TrainingStage::from_config(&data, &cfg);
+        let querying = QueryingStage::new(&data, Box::new(SimulatedUser::with_defaults(0)));
+        let names = [
+            Stage::name(&sampling),
+            Stage::name(&querying),
+            Stage::name(&training),
+        ];
+        assert_eq!(names, ["sampling", "querying", "training"]);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
+        let mut cfg = SessionConfig::paper_defaults(true, 0);
+        cfg.alpha = 2.0;
+        assert!(Engine::new(&data, cfg).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Stage 2 — **querying**: show the query instance to the oracle, collect
+//! the returned label function, and fold it into the shared state (vote
+//! matrices, pseudo-labelled pool; paper §3.1).
+
+use super::state::SessionState;
+use super::Stage;
+use crate::error::ActiveDpError;
+use crate::oracle::Oracle;
+use adp_data::SplitDataset;
+use adp_lf::{CandidateSpace, LabelFunction, ABSTAIN};
+
+/// Owns the oracle and the candidate-LF space it draws from.
+pub struct QueryingStage {
+    space: CandidateSpace,
+    oracle: Box<dyn Oracle>,
+}
+
+impl QueryingStage {
+    /// Builds the per-dataset candidate space and wraps `oracle`.
+    pub fn new(data: &SplitDataset, oracle: Box<dyn Oracle>) -> Self {
+        QueryingStage {
+            space: CandidateSpace::build(&data.train),
+            oracle,
+        }
+    }
+
+    /// The candidate-LF space (shared with the sampling stage's SEU
+    /// selector).
+    pub fn space(&self) -> &CandidateSpace {
+        &self.space
+    }
+
+    /// Asks the oracle about `query`. When an LF comes back, appends its
+    /// votes to both matrices and pseudo-labels the query instance with the
+    /// LF's own vote. Returns the LF (already recorded in `state`).
+    pub fn query(
+        &mut self,
+        data: &SplitDataset,
+        state: &mut SessionState,
+        query: usize,
+    ) -> Result<Option<LabelFunction>, ActiveDpError> {
+        let lf = self
+            .oracle
+            .respond(&self.space, &data.train, &data.train, query);
+        if let Some(lf) = &lf {
+            state.seen_keys.insert(lf.key());
+            state.train_matrix.push_lf(lf, &data.train)?;
+            state.valid_matrix.push_lf(lf, &data.valid)?;
+            state.lfs.push(lf.clone());
+            // Pseudo-label: the LF's vote on its own query instance (§3.1).
+            // Candidate LFs always fire on their query by construction.
+            let vote = lf.apply(&data.train, query);
+            debug_assert_ne!(vote, ABSTAIN, "candidate LF must fire on its query");
+            state.query_indices.push(query);
+            state.pseudo_labels.push(vote as usize);
+        }
+        Ok(lf)
+    }
+}
+
+impl Stage for QueryingStage {
+    type Input<'i> = usize;
+    type Output = Option<LabelFunction>;
+
+    fn name(&self) -> &'static str {
+        "querying"
+    }
+
+    fn run(
+        &mut self,
+        data: &SplitDataset,
+        state: &mut SessionState,
+        query: usize,
+    ) -> Result<Option<LabelFunction>, ActiveDpError> {
+        self.query(data, state, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{generate, DatasetId, Scale};
+    use adp_lf::{SimulatedUser, UserConfig};
+
+    fn stage(data: &SplitDataset, seed: u64) -> QueryingStage {
+        let user = SimulatedUser::new(
+            UserConfig {
+                acc_threshold: 0.6,
+                noise_rate: 0.0,
+            },
+            seed,
+        );
+        QueryingStage::new(data, Box::new(user))
+    }
+
+    #[test]
+    fn lf_is_recorded_in_every_structure() {
+        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
+        let mut q = stage(&data, 5);
+        let mut state = SessionState::new(&data);
+        // Find a query the simulated user answers.
+        let answered = (0..data.train.len())
+            .find_map(|i| q.query(&data, &mut state, i).unwrap().map(|lf| (i, lf)));
+        let (query, lf) = answered.expect("user answers some instance");
+        assert_eq!(state.lfs.last().unwrap().key(), lf.key());
+        assert!(state.seen_keys.contains(&lf.key()));
+        assert_eq!(state.train_matrix.n_lfs(), state.lfs.len());
+        assert_eq!(state.valid_matrix.n_lfs(), state.lfs.len());
+        let (qi, pseudo) = state.pseudo_labelled().last().unwrap();
+        assert_eq!(qi, query);
+        assert_eq!(pseudo, lf.apply(&data.train, query) as usize);
+    }
+
+    #[test]
+    fn unanswered_query_leaves_state_untouched() {
+        // Two instances sharing one token with opposite labels: every
+        // candidate LF has accuracy 0.5, below the user's threshold, so the
+        // oracle can never answer.
+        let train = adp_data::Dataset {
+            name: "t".into(),
+            task: adp_data::Task::SpamClassification,
+            n_classes: 2,
+            features: adp_data::FeatureSet::Sparse(adp_linalg::CsrMatrix::empty(2, 1)),
+            labels: vec![1, 0],
+            texts: None,
+            encoded_docs: Some(vec![vec![0], vec![0]]),
+        };
+        let data = SplitDataset {
+            valid: train.clone(),
+            test: train.clone(),
+            train,
+            vocab: None,
+        };
+        let user = SimulatedUser::new(
+            UserConfig {
+                acc_threshold: 0.6,
+                noise_rate: 0.0,
+            },
+            5,
+        );
+        let mut q = QueryingStage::new(&data, Box::new(user));
+        let mut state = SessionState::new(&data);
+        assert!(q.query(&data, &mut state, 0).unwrap().is_none());
+        assert!(state.lfs.is_empty());
+        assert_eq!(state.train_matrix.n_lfs(), 0);
+        assert!(state.pseudo_labelled().next().is_none());
+    }
+}

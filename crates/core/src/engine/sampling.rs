@@ -1,0 +1,155 @@
+//! Stage 1 — **sampling**: pick the next query instance from the
+//! unqueried pool (paper §3.3 for the ADP sampler; Table 4 for the
+//! alternatives).
+
+use super::state::SessionState;
+use super::Stage;
+use crate::adp_sampler::AdpSampler;
+use crate::config::{SamplerChoice, SessionConfig};
+use crate::error::ActiveDpError;
+use adp_data::SplitDataset;
+use adp_lf::CandidateSpace;
+use adp_sampler::{Committee, Lal, Passive, Sampler, SamplerContext, Seu, Uncertainty};
+
+/// The session's selector: trait objects for the context-driven samplers,
+/// concrete storage for QBC (it must be fed the labelled pool each step).
+enum SessionSampler {
+    Boxed(Box<dyn Sampler>),
+    Qbc(Committee),
+}
+
+impl SessionSampler {
+    fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize> {
+        match self {
+            SessionSampler::Boxed(s) => s.select(ctx),
+            SessionSampler::Qbc(c) => c.select(ctx),
+        }
+    }
+}
+
+/// Owns the configured sampler and the candidate-LF space handle the
+/// context-driven samplers (SEU) consult.
+pub struct SamplingStage {
+    sampler: SessionSampler,
+}
+
+impl SamplingStage {
+    /// Builds the sampler named by `config.sampler`, seeded from the master
+    /// seed.
+    pub fn from_config(config: &SessionConfig) -> Self {
+        let seed = config.seed ^ 0x5EED_0002;
+        let sampler = match config.sampler {
+            SamplerChoice::Adp => {
+                SessionSampler::Boxed(Box::new(AdpSampler::new(config.alpha, seed)))
+            }
+            SamplerChoice::Passive => SessionSampler::Boxed(Box::new(Passive::new(seed))),
+            SamplerChoice::Uncertainty => SessionSampler::Boxed(Box::new(Uncertainty::new(seed))),
+            SamplerChoice::Lal => SessionSampler::Boxed(Box::new(Lal::with_defaults(seed))),
+            SamplerChoice::Seu => SessionSampler::Boxed(Box::new(Seu::new(seed))),
+            SamplerChoice::Qbc => SessionSampler::Qbc(Committee::new(seed, 5)),
+        };
+        SamplingStage { sampler }
+    }
+
+    /// Selects the next query instance given the shared `space` of
+    /// candidate LFs, marking it queried in `state`. Returns `None` when
+    /// the pool is exhausted.
+    pub fn select(
+        &mut self,
+        data: &SplitDataset,
+        space: &CandidateSpace,
+        state: &mut SessionState,
+    ) -> Option<usize> {
+        if let SessionSampler::Qbc(qbc) = &mut self.sampler {
+            qbc.set_labeled(&state.query_indices, &state.pseudo_labels);
+        }
+        let query = {
+            let ctx = SamplerContext {
+                train: &data.train,
+                queried: &state.queried,
+                al_probs: state.al_probs_train.as_deref(),
+                lm_probs: state.lm_probs_train.as_deref(),
+                n_labeled: state.query_indices.len(),
+                space: Some(space),
+                seen_lfs: Some(&state.seen_keys),
+            };
+            self.sampler.select(&ctx)
+        };
+        if let Some(query) = query {
+            state.queried[query] = true;
+        }
+        query
+    }
+}
+
+impl Stage for SamplingStage {
+    type Input<'i> = &'i CandidateSpace;
+    type Output = Option<usize>;
+
+    fn name(&self) -> &'static str {
+        "sampling"
+    }
+
+    fn run(
+        &mut self,
+        data: &SplitDataset,
+        state: &mut SessionState,
+        space: &CandidateSpace,
+    ) -> Result<Option<usize>, ActiveDpError> {
+        Ok(self.select(data, space, state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{generate, DatasetId, Scale};
+
+    fn stage_with(choice: SamplerChoice) -> (SplitDataset, CandidateSpace, SamplingStage) {
+        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
+        let space = CandidateSpace::build(&data.train);
+        let cfg = SessionConfig {
+            sampler: choice,
+            ..SessionConfig::paper_defaults(true, 5)
+        };
+        let stage = SamplingStage::from_config(&cfg);
+        (data, space, stage)
+    }
+
+    #[test]
+    fn selects_unqueried_instances_and_marks_them() {
+        let (data, space, mut stage) = stage_with(SamplerChoice::Adp);
+        let mut state = SessionState::new(&data);
+        let q = stage.select(&data, &space, &mut state).unwrap();
+        assert!(state.queried[q]);
+        let q2 = stage.select(&data, &space, &mut state).unwrap();
+        assert_ne!(q, q2, "second pick must avoid the queried instance");
+    }
+
+    #[test]
+    fn exhausted_pool_returns_none() {
+        let (data, space, mut stage) = stage_with(SamplerChoice::Passive);
+        let mut state = SessionState::new(&data);
+        state.queried = vec![true; data.train.len()];
+        assert!(stage.select(&data, &space, &mut state).is_none());
+    }
+
+    #[test]
+    fn every_choice_builds_and_selects() {
+        for choice in [
+            SamplerChoice::Adp,
+            SamplerChoice::Passive,
+            SamplerChoice::Uncertainty,
+            SamplerChoice::Lal,
+            SamplerChoice::Seu,
+            SamplerChoice::Qbc,
+        ] {
+            let (data, space, mut stage) = stage_with(choice);
+            let mut state = SessionState::new(&data);
+            assert!(
+                stage.select(&data, &space, &mut state).is_some(),
+                "{choice:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Stage 3 — **training**: LabelPick LF selection (§3.4), label-model refit
+//! on the selected columns, AL-model refit on the pseudo-labelled pool, and
+//! the refresh of both models' cached training-split predictions.
+
+use super::state::SessionState;
+use super::Stage;
+use crate::config::SessionConfig;
+use crate::error::ActiveDpError;
+use crate::labelpick::LabelPick;
+use adp_classifier::{LogisticRegression, Targets};
+use adp_data::SplitDataset;
+use adp_labelmodel::{make_model, LabelModel};
+use adp_lf::LabelMatrix;
+
+/// Owns the pluggable models (label model, AL model) and the LabelPick
+/// selector.
+pub struct TrainingStage {
+    labelpick: LabelPick,
+    label_model: Box<dyn LabelModel>,
+    al_model: LogisticRegression,
+    class_balance: Vec<f64>,
+    use_labelpick: bool,
+}
+
+impl TrainingStage {
+    /// Builds the models from the session configuration.
+    pub fn from_config(data: &SplitDataset, config: &SessionConfig) -> Self {
+        let n_classes = data.train.n_classes;
+        TrainingStage {
+            labelpick: LabelPick::new(config.labelpick),
+            label_model: make_model(config.label_model, n_classes),
+            al_model: LogisticRegression::new(
+                n_classes,
+                adp_linalg::Features::ncols(&data.train.features),
+                config.al_logreg,
+            ),
+            class_balance: data.valid.class_balance(),
+            use_labelpick: config.use_labelpick,
+        }
+    }
+
+    /// Refits LabelPick, the label model and the AL model after the LF set
+    /// or pseudo-labelled set changed.
+    pub fn refit(
+        &mut self,
+        data: &SplitDataset,
+        state: &mut SessionState,
+    ) -> Result<(), ActiveDpError> {
+        // LabelPick (or all LFs when ablated).
+        state.selected = if self.use_labelpick {
+            let query_matrix = state.query_votes_matrix(data)?;
+            self.labelpick.select(
+                &query_matrix,
+                &state.pseudo_labels,
+                &state.valid_matrix,
+                &data.valid.labels,
+                data.train.n_classes,
+            )?
+        } else {
+            (0..state.lfs.len()).collect()
+        };
+
+        // Label model on the selected columns.
+        if state.selected.is_empty() {
+            state.lm_probs_train = None;
+        } else {
+            let selected_train = state.train_matrix.select_columns(&state.selected)?;
+            self.label_model
+                .fit(&selected_train, Some(&self.class_balance))?;
+            state.lm_probs_train = Some(adp_labelmodel::predict_all(
+                self.label_model.as_ref(),
+                &selected_train,
+            ));
+        }
+
+        // AL model on the pseudo-labelled set.
+        if state.query_indices.is_empty() {
+            state.al_probs_train = None;
+        } else {
+            self.al_model.fit(
+                &data.train.features,
+                &state.query_indices,
+                Targets::Hard(&state.pseudo_labels),
+                None,
+            )?;
+            state.al_probs_train = Some(self.al_model.predict_proba_all(&data.train.features));
+        }
+        Ok(())
+    }
+
+    /// Label-model probabilities for every row of `matrix`, restricted to
+    /// the selected LF columns; the uniform prior where nothing is selected.
+    pub fn lm_probs_for(
+        &self,
+        n_classes: usize,
+        state: &SessionState,
+        matrix: &LabelMatrix,
+    ) -> Vec<Vec<f64>> {
+        let uniform = vec![1.0 / n_classes as f64; n_classes];
+        (0..matrix.n_instances())
+            .map(|i| {
+                if state.selected.is_empty() {
+                    uniform.clone()
+                } else {
+                    let votes: Vec<i8> = state.selected.iter().map(|&j| matrix.get(i, j)).collect();
+                    self.label_model.predict_proba(&votes)
+                }
+            })
+            .collect()
+    }
+
+    /// AL-model probabilities for every row of `features`; the uniform
+    /// prior before the first fit.
+    pub fn al_probs_for(
+        &self,
+        n_classes: usize,
+        state: &SessionState,
+        features: &adp_data::FeatureSet,
+    ) -> Vec<Vec<f64>> {
+        if state.query_indices.is_empty() {
+            let n = adp_linalg::Features::nrows(features);
+            return vec![vec![1.0 / n_classes as f64; n_classes]; n];
+        }
+        self.al_model.predict_proba_all(features)
+    }
+}
+
+impl Stage for TrainingStage {
+    type Input<'i> = ();
+    type Output = ();
+
+    fn name(&self) -> &'static str {
+        "training"
+    }
+
+    fn run(
+        &mut self,
+        data: &SplitDataset,
+        state: &mut SessionState,
+        _input: (),
+    ) -> Result<(), ActiveDpError> {
+        self.refit(data, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{generate, DatasetId, Scale};
+    use adp_lf::{LabelFunction, ABSTAIN};
+
+    fn planted_state(data: &SplitDataset) -> SessionState {
+        let mut state = SessionState::new(data);
+        // Plant a handful of keyword LFs straight from the candidate space,
+        // one per early training instance, pseudo-labelled like the loop
+        // would (§3.1: the LF's vote on its own query).
+        let space = adp_lf::CandidateSpace::build(&data.train);
+        let mut i = 0;
+        while state.lfs.len() < 6 && i < data.train.len() {
+            let label = data.train.labels[i];
+            let fresh = space
+                .candidates_for(&data.train, &data.train, i, label, 0.6)
+                .into_iter()
+                .find(|c| !state.seen_keys.contains(&c.lf.key()));
+            if let Some(cand) = fresh {
+                let lf: LabelFunction = cand.lf;
+                state.seen_keys.insert(lf.key());
+                state.train_matrix.push_lf(&lf, &data.train).unwrap();
+                state.valid_matrix.push_lf(&lf, &data.valid).unwrap();
+                let vote = lf.apply(&data.train, i);
+                assert_ne!(vote, ABSTAIN, "candidate LF fires on its query");
+                state.query_indices.push(i);
+                state.pseudo_labels.push(vote as usize);
+                state.lfs.push(lf);
+            }
+            i += 1;
+        }
+        assert!(state.lfs.len() >= 4, "planted too few LFs");
+        state
+    }
+
+    #[test]
+    fn refit_populates_selection_and_probs() {
+        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
+        let cfg = SessionConfig::paper_defaults(true, 5);
+        let mut stage = TrainingStage::from_config(&data, &cfg);
+        let mut state = planted_state(&data);
+        stage.refit(&data, &mut state).unwrap();
+        assert!(!state.selected.is_empty());
+        assert!(state.lm_probs_train.is_some());
+        assert!(state.al_probs_train.is_some());
+        let al = state.al_probs_train.as_ref().unwrap();
+        assert_eq!(al.len(), data.train.len());
+        assert!((al[0].iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labelpick_ablation_keeps_every_lf() {
+        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
+        let cfg = SessionConfig {
+            use_labelpick: false,
+            ..SessionConfig::paper_defaults(true, 5)
+        };
+        let mut stage = TrainingStage::from_config(&data, &cfg);
+        let mut state = planted_state(&data);
+        stage.refit(&data, &mut state).unwrap();
+        assert_eq!(state.selected, (0..state.lfs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_state_refit_clears_probs() {
+        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
+        let cfg = SessionConfig::paper_defaults(true, 5);
+        let mut stage = TrainingStage::from_config(&data, &cfg);
+        let mut state = SessionState::new(&data);
+        stage.refit(&data, &mut state).unwrap();
+        assert!(state.selected.is_empty());
+        assert!(state.lm_probs_train.is_none());
+        assert!(state.al_probs_train.is_none());
+        // The prob helpers fall back to the uniform prior.
+        let lm = stage.lm_probs_for(2, &state, &state.train_matrix);
+        assert_eq!(lm[0], vec![0.5, 0.5]);
+        let al = stage.al_probs_for(2, &state, &data.train.features);
+        assert_eq!(al[0], vec![0.5, 0.5]);
+    }
+}

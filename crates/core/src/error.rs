@@ -90,6 +90,8 @@ mod tests {
         let e: ActiveDpError = adp_lf::LfError::IndexOutOfRange { index: 1, len: 0 }.into();
         assert!(e.to_string().contains("label functions"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(ActiveDpError::PoolExhausted.to_string().contains("exhausted"));
+        assert!(ActiveDpError::PoolExhausted
+            .to_string()
+            .contains("exhausted"));
     }
 }

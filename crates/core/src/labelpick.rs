@@ -129,7 +129,9 @@ impl LabelPick {
                 })
                 .collect();
             ranked.sort_unstable_by(|a, b| {
-                b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0))
+                b.1.partial_cmp(&a.1)
+                    .expect("finite scores")
+                    .then(a.0.cmp(&b.0))
             });
             ranked.truncate(self.config.cap);
             survivors = ranked.into_iter().map(|(j, _)| j).collect();
@@ -243,14 +245,14 @@ mod tests {
         let mut pseudo = Vec::new();
         let mut vrows = Vec::new();
         let mut vlabels = Vec::new();
-        for rep in 0..300 {
+        for rep in 0..600 {
             let y = rep % 2;
             let v = y as i8;
             let lam1 = flip(v, 0.05, &mut rng);
             let lam2 = flip(lam1, 0.15, &mut rng); // copy of λ1, not of y
             let lam3 = flip(v, 0.15, &mut rng); // independent signal
             let lam4 = flip(v, 0.60, &mut rng); // worse than random
-            if rep < 200 {
+            if rep < 400 {
                 rows.push(vec![lam1, lam2, lam3, lam4]);
                 pseudo.push(y);
             } else {
@@ -279,7 +281,10 @@ mod tests {
         });
         let selected = pick.select(&qm, &pseudo, &vm, &vlabels, 2).unwrap();
         // λ4 (index 3) must be pruned by the accuracy filter.
-        assert!(!selected.contains(&3), "inaccurate LF survived: {selected:?}");
+        assert!(
+            !selected.contains(&3),
+            "inaccurate LF survived: {selected:?}"
+        );
         // The Markov blanket is {λ1, λ3}; λ2 is redundant given λ1.
         assert!(selected.contains(&0), "{selected:?}");
         assert!(selected.contains(&2), "{selected:?}");

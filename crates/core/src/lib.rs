@@ -21,20 +21,30 @@
 //! models' predictions under a confidence threshold tuned on the validation
 //! split, and the downstream classifier trains on the aggregated labels.
 //!
-//! [`ActiveDpSession`] orchestrates the whole loop and exposes the ablation
-//! switches of Table 3 (`use_labelpick`, `use_confusion`) plus the sampler
-//! choices of Table 4.
+//! The loop is implemented as the staged [`Engine`] — `sampling` →
+//! `querying` → `training` per step around a shared
+//! [`engine::SessionState`], with `inference` on demand — and
+//! [`ActiveDpSession`] preserves the original monolithic API as a facade
+//! over it, exposing the ablation switches of Table 3 (`use_labelpick`,
+//! `use_confusion`) plus the sampler choices of Table 4.
 
 pub mod adp_sampler;
+pub mod config;
 pub mod confusion;
+pub mod engine;
 pub mod error;
 pub mod labelpick;
 pub mod oracle;
 pub mod session;
 
 pub use adp_sampler::AdpSampler;
+pub use config::{SamplerChoice, SessionConfig};
 pub use confusion::{aggregate, tune_threshold, AggregatedLabels};
+pub use engine::{
+    Engine, EvalReport, QueryingStage, SamplingStage, SessionState, Stage, StepOutcome,
+    TrainingStage,
+};
 pub use error::ActiveDpError;
 pub use labelpick::{LabelPick, LabelPickConfig};
 pub use oracle::Oracle;
-pub use session::{ActiveDpSession, EvalReport, SamplerChoice, SessionConfig, StepOutcome};
+pub use session::ActiveDpSession;

@@ -1,213 +1,34 @@
-//! The ActiveDP session: the interactive loop of paper Figure 1 plus the
-//! inference phase, with the ablation switches of Table 3 and the sampler
-//! choices of Table 4.
+//! The ActiveDP session: the original monolithic API, preserved as a thin
+//! facade over the staged [`Engine`].
+//!
+//! `ActiveDpSession` predates the engine split; examples, baselines, and
+//! the experiment binaries all drive it, so its surface is kept stable.
+//! New code that wants per-stage control (custom outer loops, batched
+//! refits, stage-level instrumentation) should use [`Engine`] directly —
+//! the two are trajectory-identical by construction and by the
+//! `engine_matches_golden_trajectory` integration test.
 
-use crate::adp_sampler::AdpSampler;
-use crate::confusion::{aggregate, tune_threshold, AggregatedLabels};
+pub use crate::config::{SamplerChoice, SessionConfig};
+pub use crate::engine::{EvalReport, StepOutcome};
+
+use crate::confusion::AggregatedLabels;
+use crate::engine::Engine;
 use crate::error::ActiveDpError;
-use crate::labelpick::{LabelPick, LabelPickConfig};
 use crate::oracle::Oracle;
-use adp_classifier::{LogRegConfig, LogisticRegression, Targets};
 use adp_data::SplitDataset;
-use adp_labelmodel::{make_model, LabelModel, LabelModelKind};
-use adp_lf::{CandidateSpace, LabelFunction, LabelMatrix, LfKey, SimulatedUser, UserConfig, ABSTAIN};
-use adp_sampler::{Committee, Lal, Passive, Sampler, SamplerContext, Seu, Uncertainty};
-use std::collections::HashSet;
-
-/// Which sample selector drives the training loop (Table 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SamplerChoice {
-    /// The paper's ADP sampler (Eq. 2).
-    Adp,
-    /// Uniform random.
-    Passive,
-    /// Uncertainty sampling on the AL model.
-    Uncertainty,
-    /// Learning active learning.
-    Lal,
-    /// Nemo's select-by-expected-utility.
-    Seu,
-    /// Query-by-committee vote entropy (extension beyond the paper's
-    /// Table 4; see §2.2's related work).
-    Qbc,
-}
-
-impl SamplerChoice {
-    /// Table 4 row label.
-    pub fn label(self) -> &'static str {
-        match self {
-            SamplerChoice::Adp => "ADP",
-            SamplerChoice::Passive => "Passive",
-            SamplerChoice::Uncertainty => "US",
-            SamplerChoice::Lal => "LAL",
-            SamplerChoice::Seu => "SEU",
-            SamplerChoice::Qbc => "QBC",
-        }
-    }
-}
-
-/// Session configuration.
-#[derive(Debug, Clone)]
-pub struct SessionConfig {
-    /// ADP sampler trade-off α (paper: 0.5 text, 0.99 tabular).
-    pub alpha: f64,
-    /// Simulated-user candidate accuracy threshold τ_acc (paper: 0.6).
-    pub acc_threshold: f64,
-    /// Simulated-user label-noise rate (Table 5; 0 in the main experiments).
-    pub noise_rate: f64,
-    /// Which label model aggregates the LFs.
-    pub label_model: LabelModelKind,
-    /// Ablation switch: LabelPick LF selection (§3.4).
-    pub use_labelpick: bool,
-    /// Ablation switch: ConFusion aggregation (§3.2).
-    pub use_confusion: bool,
-    /// LabelPick hyperparameters.
-    pub labelpick: LabelPickConfig,
-    /// Query-instance selector.
-    pub sampler: SamplerChoice,
-    /// AL-model training hyperparameters.
-    pub al_logreg: LogRegConfig,
-    /// Downstream-model training hyperparameters.
-    pub downstream_logreg: LogRegConfig,
-    /// Master seed: user, samplers and tie-breaks derive from it.
-    pub seed: u64,
-}
-
-impl SessionConfig {
-    /// The paper's configuration for a dataset of the given modality.
-    pub fn paper_defaults(textual: bool, seed: u64) -> Self {
-        SessionConfig {
-            alpha: if textual { 0.5 } else { 0.99 },
-            acc_threshold: 0.6,
-            noise_rate: 0.0,
-            label_model: LabelModelKind::Triplet,
-            use_labelpick: true,
-            use_confusion: true,
-            labelpick: LabelPickConfig::default(),
-            sampler: SamplerChoice::Adp,
-            al_logreg: LogRegConfig::default(),
-            downstream_logreg: LogRegConfig {
-                max_iters: 150,
-                ..LogRegConfig::default()
-            },
-            seed,
-        }
-    }
-
-    /// Table 3 ablation: all user LFs train the label model, no aggregation.
-    pub fn ablation_baseline(textual: bool, seed: u64) -> Self {
-        SessionConfig {
-            use_labelpick: false,
-            use_confusion: false,
-            ..SessionConfig::paper_defaults(textual, seed)
-        }
-    }
-
-    fn validate(&self) -> Result<(), ActiveDpError> {
-        if !(0.0..=1.0).contains(&self.alpha) {
-            return Err(ActiveDpError::BadConfig {
-                reason: format!("alpha {} outside [0,1]", self.alpha),
-            });
-        }
-        if !(0.0..1.0).contains(&self.acc_threshold) {
-            return Err(ActiveDpError::BadConfig {
-                reason: format!("acc_threshold {} outside [0,1)", self.acc_threshold),
-            });
-        }
-        if !(0.0..=1.0).contains(&self.noise_rate) {
-            return Err(ActiveDpError::BadConfig {
-                reason: format!("noise_rate {} outside [0,1]", self.noise_rate),
-            });
-        }
-        Ok(())
-    }
-}
-
-/// What one training iteration did.
-#[derive(Debug, Clone)]
-pub struct StepOutcome {
-    /// 1-based iteration number.
-    pub iteration: usize,
-    /// The query instance, or `None` when the pool was exhausted.
-    pub query: Option<usize>,
-    /// The LF the oracle returned, if any.
-    pub lf: Option<LabelFunction>,
-    /// Total LFs collected so far.
-    pub n_lfs: usize,
-    /// LFs currently selected by LabelPick.
-    pub n_selected: usize,
-}
-
-/// Inference-phase evaluation of the downstream model.
-#[derive(Debug, Clone)]
-pub struct EvalReport {
-    /// Downstream test-set accuracy (the paper's headline metric).
-    pub test_accuracy: f64,
-    /// Accuracy of the aggregated training labels over covered instances.
-    pub label_accuracy: Option<f64>,
-    /// Fraction of training instances that received a label.
-    pub label_coverage: f64,
-    /// Tuned confidence threshold (None when ConFusion is ablated).
-    pub threshold: Option<f64>,
-    /// LFs selected at evaluation time.
-    pub n_selected: usize,
-    /// Whether the downstream model had any training data.
-    pub downstream_trained: bool,
-}
-
-/// The session's selector: trait objects for the context-driven samplers,
-/// concrete storage for QBC (it must be fed the labelled pool each step).
-enum SessionSampler {
-    Boxed(Box<dyn Sampler>),
-    Qbc(Committee),
-}
-
-impl SessionSampler {
-    fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize> {
-        match self {
-            SessionSampler::Boxed(s) => s.select(ctx),
-            SessionSampler::Qbc(c) => c.select(ctx),
-        }
-    }
-}
+use adp_lf::LabelFunction;
 
 /// An interactive ActiveDP labelling session over one dataset split.
 pub struct ActiveDpSession<'a> {
-    data: &'a SplitDataset,
-    config: SessionConfig,
-    space: CandidateSpace,
-    oracle: Box<dyn Oracle>,
-    sampler: SessionSampler,
-    labelpick: LabelPick,
-    label_model: Box<dyn LabelModel>,
-    al_model: LogisticRegression,
-    class_balance: Vec<f64>,
-
-    lfs: Vec<LabelFunction>,
-    train_matrix: LabelMatrix,
-    valid_matrix: LabelMatrix,
-    queried: Vec<bool>,
-    query_indices: Vec<usize>,
-    pseudo_labels: Vec<usize>,
-    selected: Vec<usize>,
-    seen_keys: HashSet<LfKey>,
-    iteration: usize,
-
-    al_probs_train: Option<Vec<Vec<f64>>>,
-    lm_probs_train: Option<Vec<Vec<f64>>>,
+    engine: Engine<'a>,
 }
 
 impl<'a> ActiveDpSession<'a> {
     /// A session with the simulated user of §4.1.4 as the oracle.
     pub fn new(data: &'a SplitDataset, config: SessionConfig) -> Result<Self, ActiveDpError> {
-        let user = SimulatedUser::new(
-            UserConfig {
-                acc_threshold: config.acc_threshold,
-                noise_rate: config.noise_rate,
-            },
-            config.seed ^ 0x5EED_0001,
-        );
-        Self::with_oracle(data, config, Box::new(user))
+        Ok(ActiveDpSession {
+            engine: Engine::new(data, config)?,
+        })
     }
 
     /// A session with a custom oracle (e.g. an interactive UI).
@@ -216,312 +37,62 @@ impl<'a> ActiveDpSession<'a> {
         config: SessionConfig,
         oracle: Box<dyn Oracle>,
     ) -> Result<Self, ActiveDpError> {
-        config.validate()?;
-        let n_classes = data.train.n_classes;
-        let sampler = match config.sampler {
-            SamplerChoice::Adp => SessionSampler::Boxed(Box::new(AdpSampler::new(
-                config.alpha,
-                config.seed ^ 0x5EED_0002,
-            ))),
-            SamplerChoice::Passive => {
-                SessionSampler::Boxed(Box::new(Passive::new(config.seed ^ 0x5EED_0002)))
-            }
-            SamplerChoice::Uncertainty => {
-                SessionSampler::Boxed(Box::new(Uncertainty::new(config.seed ^ 0x5EED_0002)))
-            }
-            SamplerChoice::Lal => {
-                SessionSampler::Boxed(Box::new(Lal::with_defaults(config.seed ^ 0x5EED_0002)))
-            }
-            SamplerChoice::Seu => {
-                SessionSampler::Boxed(Box::new(Seu::new(config.seed ^ 0x5EED_0002)))
-            }
-            SamplerChoice::Qbc => {
-                SessionSampler::Qbc(Committee::new(config.seed ^ 0x5EED_0002, 5))
-            }
-        };
-        let label_model = make_model(config.label_model, n_classes);
-        let al_model = LogisticRegression::new(
-            n_classes,
-            adp_linalg::Features::ncols(&data.train.features),
-            config.al_logreg,
-        );
-        let class_balance = data.valid.class_balance();
         Ok(ActiveDpSession {
-            space: CandidateSpace::build(&data.train),
-            labelpick: LabelPick::new(config.labelpick),
-            oracle,
-            sampler,
-            label_model,
-            al_model,
-            class_balance,
-            lfs: vec![],
-            train_matrix: LabelMatrix::empty(data.train.len()),
-            valid_matrix: LabelMatrix::empty(data.valid.len()),
-            queried: vec![false; data.train.len()],
-            query_indices: vec![],
-            pseudo_labels: vec![],
-            selected: vec![],
-            seen_keys: HashSet::new(),
-            iteration: 0,
-            al_probs_train: None,
-            lm_probs_train: None,
-            data,
-            config,
+            engine: Engine::with_oracle(data, config, oracle)?,
         })
+    }
+
+    /// The staged engine underneath (stage-level access for new code).
+    pub fn engine(&self) -> &Engine<'a> {
+        &self.engine
+    }
+
+    /// Consumes the facade, releasing the engine.
+    pub fn into_engine(self) -> Engine<'a> {
+        self.engine
     }
 
     /// Current iteration count.
     pub fn iteration(&self) -> usize {
-        self.iteration
+        self.engine.state().iteration
     }
 
     /// All LFs collected so far.
     pub fn lfs(&self) -> &[LabelFunction] {
-        &self.lfs
+        &self.engine.state().lfs
     }
 
     /// Indices of the LFs currently selected by LabelPick.
     pub fn selected(&self) -> &[usize] {
-        &self.selected
+        &self.engine.state().selected
     }
 
     /// The pseudo-labelled set `(query instance, pseudo label)` (§3.1).
     pub fn pseudo_labelled(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.query_indices
-            .iter()
-            .copied()
-            .zip(self.pseudo_labels.iter().copied())
+        self.engine.state().pseudo_labelled()
     }
 
     /// One training iteration of Figure 1 (left).
     pub fn step(&mut self) -> Result<StepOutcome, ActiveDpError> {
-        self.iteration += 1;
-        if let SessionSampler::Qbc(qbc) = &mut self.sampler {
-            qbc.set_labeled(&self.query_indices, &self.pseudo_labels);
-        }
-        let query = {
-            let ctx = SamplerContext {
-                train: &self.data.train,
-                queried: &self.queried,
-                al_probs: self.al_probs_train.as_deref(),
-                lm_probs: self.lm_probs_train.as_deref(),
-                n_labeled: self.query_indices.len(),
-                space: Some(&self.space),
-                seen_lfs: Some(&self.seen_keys),
-            };
-            self.sampler.select(&ctx)
-        };
-        let Some(query) = query else {
-            return Ok(StepOutcome {
-                iteration: self.iteration,
-                query: None,
-                lf: None,
-                n_lfs: self.lfs.len(),
-                n_selected: self.selected.len(),
-            });
-        };
-        self.queried[query] = true;
-
-        let lf = self
-            .oracle
-            .respond(&self.space, &self.data.train, &self.data.train, query);
-        if let Some(lf) = &lf {
-            self.seen_keys.insert(lf.key());
-            self.train_matrix.push_lf(lf, &self.data.train)?;
-            self.valid_matrix.push_lf(lf, &self.data.valid)?;
-            self.lfs.push(lf.clone());
-            // Pseudo-label: the LF's vote on its own query instance (§3.1).
-            // Candidate LFs always fire on their query by construction.
-            let vote = lf.apply(&self.data.train, query);
-            debug_assert_ne!(vote, ABSTAIN, "candidate LF must fire on its query");
-            self.query_indices.push(query);
-            self.pseudo_labels.push(vote as usize);
-            self.refit()?;
-        }
-        Ok(StepOutcome {
-            iteration: self.iteration,
-            query: Some(query),
-            lf,
-            n_lfs: self.lfs.len(),
-            n_selected: self.selected.len(),
-        })
+        self.engine.step()
     }
 
     /// Runs `iterations` training steps.
     pub fn run(&mut self, iterations: usize) -> Result<(), ActiveDpError> {
-        for _ in 0..iterations {
-            self.step()?;
-        }
-        Ok(())
-    }
-
-    /// Refits LabelPick, the label model and the AL model after the LF set
-    /// or pseudo-labelled set changed.
-    fn refit(&mut self) -> Result<(), ActiveDpError> {
-        // LabelPick (or all LFs when ablated).
-        self.selected = if self.config.use_labelpick {
-            let query_matrix = self.query_votes_matrix()?;
-            self.labelpick.select(
-                &query_matrix,
-                &self.pseudo_labels,
-                &self.valid_matrix,
-                &self.data.valid.labels,
-                self.data.train.n_classes,
-            )?
-        } else {
-            (0..self.lfs.len()).collect()
-        };
-
-        // Label model on the selected columns.
-        if self.selected.is_empty() {
-            self.lm_probs_train = None;
-        } else {
-            let selected_train = self.train_matrix.select_columns(&self.selected)?;
-            self.label_model
-                .fit(&selected_train, Some(&self.class_balance))?;
-            self.lm_probs_train =
-                Some(adp_labelmodel::predict_all(self.label_model.as_ref(), &selected_train));
-        }
-
-        // AL model on the pseudo-labelled set.
-        if self.query_indices.is_empty() {
-            self.al_probs_train = None;
-        } else {
-            self.al_model.fit(
-                &self.data.train.features,
-                &self.query_indices,
-                Targets::Hard(&self.pseudo_labels),
-                None,
-            )?;
-            self.al_probs_train = Some(self.al_model.predict_proba_all(&self.data.train.features));
-        }
-        Ok(())
-    }
-
-    /// Votes of every LF on every past query instance (rows in iteration
-    /// order) — the `L_Λ` table of Figure 2 without its label column.
-    fn query_votes_matrix(&self) -> Result<LabelMatrix, ActiveDpError> {
-        let rows: Vec<Vec<i8>> = self
-            .query_indices
-            .iter()
-            .map(|&qi| {
-                self.lfs
-                    .iter()
-                    .map(|lf| lf.apply(&self.data.train, qi))
-                    .collect()
-            })
-            .collect();
-        Ok(LabelMatrix::from_votes(&rows)?)
-    }
-
-    fn lm_probs_for(&self, matrix: &LabelMatrix) -> Vec<Vec<f64>> {
-        let uniform = vec![
-            1.0 / self.data.train.n_classes as f64;
-            self.data.train.n_classes
-        ];
-        (0..matrix.n_instances())
-            .map(|i| {
-                if self.selected.is_empty() {
-                    uniform.clone()
-                } else {
-                    let votes: Vec<i8> =
-                        self.selected.iter().map(|&j| matrix.get(i, j)).collect();
-                    self.label_model.predict_proba(&votes)
-                }
-            })
-            .collect()
-    }
-
-    fn has_vote_for(&self, matrix: &LabelMatrix) -> Vec<bool> {
-        (0..matrix.n_instances())
-            .map(|i| {
-                self.selected
-                    .iter()
-                    .any(|&j| matrix.get(i, j) != ABSTAIN)
-            })
-            .collect()
-    }
-
-    fn al_probs_for(&self, features: &adp_data::FeatureSet) -> Vec<Vec<f64>> {
-        if self.query_indices.is_empty() {
-            let n = adp_linalg::Features::nrows(features);
-            let c = self.data.train.n_classes;
-            return vec![vec![1.0 / c as f64; c]; n];
-        }
-        self.al_model.predict_proba_all(features)
+        self.engine.run(iterations)
     }
 
     /// Inference phase (Figure 1 right): tunes τ on the validation split
     /// (when ConFusion is enabled) and aggregates labels for the training
     /// pool.
     pub fn aggregate_train_labels(&self) -> Result<AggregatedLabels, ActiveDpError> {
-        let lm_train = self.lm_probs_for(&self.train_matrix);
-        let has_vote_train = self.has_vote_for(&self.train_matrix);
-        if !self.config.use_confusion {
-            // Ablation: label-model output on covered instances only.
-            let labels = lm_train
-                .into_iter()
-                .zip(&has_vote_train)
-                .map(|(p, &v)| v.then_some(p))
-                .collect();
-            return Ok(AggregatedLabels {
-                labels,
-                threshold: f64::NAN,
-            });
-        }
-        let al_train = self.al_probs_for(&self.data.train.features);
-        let al_valid = self.al_probs_for(&self.data.valid.features);
-        let lm_valid = self.lm_probs_for(&self.valid_matrix);
-        let has_vote_valid = self.has_vote_for(&self.valid_matrix);
-        let tau = tune_threshold(&al_valid, &lm_valid, &has_vote_valid, &self.data.valid.labels);
-        Ok(AggregatedLabels {
-            labels: aggregate(&al_train, &lm_train, &has_vote_train, tau),
-            threshold: tau,
-        })
+        self.engine.aggregate_train_labels()
     }
 
     /// Trains the downstream model on the aggregated labels and evaluates
     /// it on the test split (the protocol's every-10-iterations metric).
     pub fn evaluate_downstream(&self) -> Result<EvalReport, ActiveDpError> {
-        let agg = self.aggregate_train_labels()?;
-        let rows: Vec<usize> = agg
-            .labels
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.is_some().then_some(i))
-            .collect();
-        let mut report = EvalReport {
-            test_accuracy: 0.0,
-            label_accuracy: agg.accuracy_against(&self.data.train.labels),
-            label_coverage: agg.coverage(),
-            threshold: self.config.use_confusion.then_some(agg.threshold),
-            n_selected: self.selected.len(),
-            downstream_trained: !rows.is_empty(),
-        };
-        let preds: Vec<usize> = if rows.is_empty() {
-            vec![0; self.data.test.len()]
-        } else {
-            let targets: Vec<Vec<f64>> = rows
-                .iter()
-                .map(|&i| agg.labels[i].clone().expect("row filtered as covered"))
-                .collect();
-            let mut downstream = LogisticRegression::new(
-                self.data.train.n_classes,
-                adp_linalg::Features::ncols(&self.data.train.features),
-                self.config.downstream_logreg,
-            );
-            downstream.fit(
-                &self.data.train.features,
-                &rows,
-                Targets::Soft(&targets),
-                None,
-            )?;
-            (0..self.data.test.len())
-                .map(|i| downstream.predict(&self.data.test.features, i))
-                .collect()
-        };
-        report.test_accuracy = adp_classifier::accuracy(&preds, &self.data.test.labels);
-        Ok(report)
+        self.engine.evaluate_downstream()
     }
 }
 
@@ -548,11 +119,15 @@ mod tests {
     #[test]
     fn text_session_learns_something() {
         let data = tiny(DatasetId::Youtube);
-        let cfg = SessionConfig::paper_defaults(true, 1);
+        let cfg = SessionConfig::paper_defaults(true, 3);
         let (report, n_lfs) = run_session(&data, cfg, 25);
         assert!(n_lfs > 5, "only {n_lfs} LFs collected");
         assert!(report.downstream_trained);
-        assert!(report.label_coverage > 0.3, "coverage {}", report.label_coverage);
+        assert!(
+            report.label_coverage > 0.3,
+            "coverage {}",
+            report.label_coverage
+        );
         // Well above chance on an easy dataset.
         assert!(
             report.test_accuracy > 0.6,
@@ -690,5 +265,17 @@ mod tests {
         let r = s.evaluate_downstream().unwrap();
         assert!(!r.downstream_trained || r.label_coverage > 0.0);
         assert!(r.test_accuracy >= 0.0 && r.test_accuracy <= 1.0);
+    }
+
+    #[test]
+    fn facade_and_engine_expose_the_same_state() {
+        let data = tiny(DatasetId::Youtube);
+        let cfg = SessionConfig::paper_defaults(true, 10);
+        let mut s = ActiveDpSession::new(&data, cfg).unwrap();
+        s.run(5).unwrap();
+        assert_eq!(s.iteration(), s.engine().state().iteration);
+        assert_eq!(s.lfs().len(), s.engine().state().lfs.len());
+        let e = s.into_engine();
+        assert_eq!(e.state().iteration, 5);
     }
 }

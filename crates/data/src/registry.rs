@@ -129,8 +129,7 @@ impl Scale {
 
     fn apply(self, n: usize, floor: usize) -> usize {
         // Never exceed the paper's own split size through the floor.
-        ((n as f64 * self.factor()).round() as usize)
-            .max(floor.min(n))
+        ((n as f64 * self.factor()).round() as usize).max(floor.min(n))
     }
 }
 

@@ -4,6 +4,9 @@ use crate::error::DataError;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// The three index lists of a split: `(train, valid, test)`.
+pub type SplitIndices = (Vec<usize>, Vec<usize>, Vec<usize>);
+
 /// Randomly partitions `0..n` into train/valid/test index sets with the
 /// given ratios (which must be positive and sum to 1 within 1e-9).
 ///
@@ -13,7 +16,7 @@ pub fn split_indices(
     n: usize,
     ratios: (f64, f64, f64),
     seed: u64,
-) -> Result<(Vec<usize>, Vec<usize>, Vec<usize>), DataError> {
+) -> Result<SplitIndices, DataError> {
     let (tr, va, te) = ratios;
     if tr <= 0.0 || va <= 0.0 || te <= 0.0 || ((tr + va + te) - 1.0).abs() > 1e-9 {
         return Err(DataError::BadSplit { ratios });

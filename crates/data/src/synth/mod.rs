@@ -35,7 +35,9 @@ mod tests {
     #[test]
     fn normal_moments_are_plausible() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let samples: Vec<f64> = (0..20_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let mean = adp_linalg::mean(&samples);
         let var = adp_linalg::variance(&samples);
         assert!(mean.abs() < 0.03, "mean {mean}");

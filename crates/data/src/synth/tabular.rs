@@ -47,7 +47,10 @@ impl TabularSpec {
             return bad("separations must be finite and non-negative".into());
         }
         if !(0.0..=1.0).contains(&self.class_balance) {
-            return bad(format!("class_balance {} outside [0,1]", self.class_balance));
+            return bad(format!(
+                "class_balance {} outside [0,1]",
+                self.class_balance
+            ));
         }
         if !(0.0..0.5).contains(&self.label_noise) {
             return bad(format!("label_noise {} outside [0,0.5)", self.label_noise));
@@ -74,7 +77,11 @@ pub fn generate_tabular(spec: &TabularSpec, seed: u64) -> Result<SplitDataset, D
         for (j, &sep) in spec.separations.iter().enumerate() {
             x[(i, j)] = sign * sep + sample_standard_normal(&mut rng);
         }
-        let observed = if rng.gen::<f64>() < spec.label_noise { 1 - y } else { y };
+        let observed = if rng.gen::<f64>() < spec.label_noise {
+            1 - y
+        } else {
+            y
+        };
         labels.push(observed);
     }
 
@@ -109,7 +116,10 @@ pub fn generate_tabular(spec: &TabularSpec, seed: u64) -> Result<SplitDataset, D
             n_train..n_train + spec.n_valid,
             &labels[n_train..n_train + spec.n_valid],
         ),
-        test: make(n_train + spec.n_valid..total, &labels[n_train + spec.n_valid..]),
+        test: make(
+            n_train + spec.n_valid..total,
+            &labels[n_train + spec.n_valid..],
+        ),
         vocab: None,
     };
     split.validate()?;

@@ -60,7 +60,10 @@ impl TextSpec {
             return bad("split sizes must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.class_balance) {
-            return bad(format!("class_balance {} outside [0,1]", self.class_balance));
+            return bad(format!(
+                "class_balance {} outside [0,1]",
+                self.class_balance
+            ));
         }
         if !(0.0..0.5).contains(&self.label_noise) {
             return bad(format!("label_noise {} outside [0,0.5)", self.label_noise));
@@ -76,7 +79,9 @@ impl TextSpec {
         if self.n_signal_per_class == 0 {
             return bad("need at least one signal concept per class".into());
         }
-        if self.variants_per_signal.0 == 0 || self.variants_per_signal.0 > self.variants_per_signal.1 {
+        if self.variants_per_signal.0 == 0
+            || self.variants_per_signal.0 > self.variants_per_signal.1
+        {
             return bad(format!(
                 "variants_per_signal range {:?} invalid",
                 self.variants_per_signal
@@ -111,8 +116,7 @@ pub fn generate_text(spec: &TextSpec, seed: u64) -> Result<SplitDataset, DataErr
     let mut signals = Vec::with_capacity(2 * spec.n_signal_per_class);
     for class in 0..2usize {
         for idx in 0..spec.n_signal_per_class {
-            let n_variants =
-                rng.gen_range(spec.variants_per_signal.0..=spec.variants_per_signal.1);
+            let n_variants = rng.gen_range(spec.variants_per_signal.0..=spec.variants_per_signal.1);
             signals.push(Concept {
                 variants: (0..n_variants)
                     .map(|v| format!("s{class}c{idx:03}v{v}"))
@@ -123,7 +127,9 @@ pub fn generate_text(spec: &TextSpec, seed: u64) -> Result<SplitDataset, DataErr
             });
         }
     }
-    let background: Vec<String> = (0..spec.n_background).map(|i| format!("bg{i:04}")).collect();
+    let background: Vec<String> = (0..spec.n_background)
+        .map(|i| format!("bg{i:04}"))
+        .collect();
 
     let total = spec.n_train + spec.n_valid + spec.n_test;
     let mut texts = Vec::with_capacity(total);
@@ -133,7 +139,11 @@ pub fn generate_text(spec: &TextSpec, seed: u64) -> Result<SplitDataset, DataErr
         let y = usize::from(rng.gen::<f64>() < spec.class_balance);
         words.clear();
         for s in &signals {
-            let p = if s.class == y { s.freq } else { s.freq * s.leak };
+            let p = if s.class == y {
+                s.freq
+            } else {
+                s.freq * s.leak
+            };
             if rng.gen::<f64>() < p {
                 // Concept active: emit correlated synonym variants.
                 for v in &s.variants {
@@ -151,7 +161,11 @@ pub fn generate_text(spec: &TextSpec, seed: u64) -> Result<SplitDataset, DataErr
         }
         words.shuffle(&mut rng);
         texts.push(words.join(" "));
-        let observed = if rng.gen::<f64>() < spec.label_noise { 1 - y } else { y };
+        let observed = if rng.gen::<f64>() < spec.label_noise {
+            1 - y
+        } else {
+            y
+        };
         labels.push(observed);
     }
 

@@ -152,7 +152,14 @@ mod tests {
     #[test]
     fn dataset_filter_and_overrides() {
         let opts = parse(&[
-            "--dataset", "youtube", "--dataset", "Census", "--iters", "50", "--seeds", "3",
+            "--dataset",
+            "youtube",
+            "--dataset",
+            "Census",
+            "--iters",
+            "50",
+            "--seeds",
+            "3",
         ])
         .unwrap();
         assert_eq!(

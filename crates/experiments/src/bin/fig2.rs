@@ -41,8 +41,7 @@ fn main() {
     session.run(iterations).expect("session runs");
 
     let lfs = session.lfs().to_vec();
-    let selected: std::collections::HashSet<usize> =
-        session.selected().iter().copied().collect();
+    let selected: std::collections::HashSet<usize> = session.selected().iter().copied().collect();
     let valid_matrix = LabelMatrix::from_lfs(&lfs, &data.valid);
 
     let mut table = TableWriter::new(&["LF", "Rule", "Valid acc", "Coverage", "LabelPick"]);
@@ -55,7 +54,12 @@ fn main() {
             lf.describe(data.vocab.as_ref()),
             acc,
             format!("{:.3}", valid_matrix.lf_coverage(j)),
-            if selected.contains(&j) { "selected" } else { "pruned" }.to_string(),
+            if selected.contains(&j) {
+                "selected"
+            } else {
+                "pruned"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", table.render());

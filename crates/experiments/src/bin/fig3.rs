@@ -18,7 +18,10 @@ fn main() {
         }
     };
     let cfg = opts.protocol();
-    println!("Figure 3: End-to-end performance comparison ({})", opts.describe());
+    println!(
+        "Figure 3: End-to-end performance comparison ({})",
+        opts.describe()
+    );
 
     let mut auc_table = TableWriter::new(&["Dataset", "ActiveDP", "Nemo", "IWS", "RLF", "US"]);
     let mut curve_table = TableWriter::new(&["Dataset", "Method", "Iteration", "TestAccuracy"]);
@@ -82,7 +85,10 @@ fn main() {
     }
 
     let out_dir = Path::new(&opts.out_dir);
-    for (name, table) in [("fig3_auc.csv", &auc_table), ("fig3_curves.csv", &curve_table)] {
+    for (name, table) in [
+        ("fig3_auc.csv", &auc_table),
+        ("fig3_curves.csv", &curve_table),
+    ] {
         let path = out_dir.join(name);
         match write_csv(&path, table) {
             Ok(()) => println!("wrote {}", path.display()),

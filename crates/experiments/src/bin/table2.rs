@@ -21,7 +21,13 @@ fn main() {
     println!();
 
     let mut table = TableWriter::new(&[
-        "Name", "Task", "#Train", "#Valid", "#Test", "Generated", "P(y=1)",
+        "Name",
+        "Task",
+        "#Train",
+        "#Valid",
+        "#Test",
+        "Generated",
+        "P(y=1)",
     ]);
     for id in opts.dataset_list() {
         let (tr, va, te) = id.paper_sizes();

@@ -17,10 +17,14 @@ fn main() {
         }
     };
     let cfg = opts.protocol();
-    println!("Table 3: Performance of ablated versions of ActiveDP ({})", opts.describe());
+    println!(
+        "Table 3: Performance of ablated versions of ActiveDP ({})",
+        opts.describe()
+    );
     println!();
 
-    let variants: [(&str, fn(bool, u64) -> SessionConfig); 4] = [
+    type ConfigFactory = fn(bool, u64) -> SessionConfig;
+    let variants: [(&str, ConfigFactory); 4] = [
         ("Baseline", |t, s| SessionConfig::ablation_baseline(t, s)),
         ("LabelPick", |t, s| SessionConfig {
             use_confusion: false,
@@ -68,7 +72,10 @@ fn main() {
                 .map(|(a, b)| a - b)
                 .sum::<f64>()
                 / aucs.len() as f64;
-            println!("{label}: average improvement over Baseline {:+.1}%", mean_gain * 100.0);
+            println!(
+                "{label}: average improvement over Baseline {:+.1}%",
+                mean_gain * 100.0
+            );
         }
         table.add_row(row);
     }

@@ -33,11 +33,9 @@ fn main() {
         let mut row = vec![label.clone()];
         let mut aucs = vec![];
         for &id in &datasets {
-            let result = run_session_curve(id, &label, &cfg, move |textual, seed| {
-                SessionConfig {
-                    noise_rate: noise,
-                    ..SessionConfig::paper_defaults(textual, seed)
-                }
+            let result = run_session_curve(id, &label, &cfg, move |textual, seed| SessionConfig {
+                noise_rate: noise,
+                ..SessionConfig::paper_defaults(textual, seed)
             });
             match result {
                 Ok(curve) => {

@@ -14,7 +14,5 @@ pub mod protocol;
 pub mod tables;
 
 pub use args::RunOpts;
-pub use protocol::{
-    run_framework_curve, run_session_curve, Curve, Method, ProtocolConfig,
-};
+pub use protocol::{run_framework_curve, run_session_curve, Curve, Method, ProtocolConfig};
 pub use tables::{format_row, write_csv, TableWriter};

@@ -68,7 +68,13 @@ pub enum Method {
 impl Method {
     /// All methods, in the paper's legend order.
     pub fn all() -> [Method; 5] {
-        [Method::ActiveDp, Method::Nemo, Method::Iws, Method::Rlf, Method::Us]
+        [
+            Method::ActiveDp,
+            Method::Nemo,
+            Method::Iws,
+            Method::Rlf,
+            Method::Us,
+        ]
     }
 
     /// Display name.
@@ -115,10 +121,7 @@ impl Curve {
     }
 }
 
-fn drive(
-    fw: &mut dyn Framework,
-    cfg: &ProtocolConfig,
-) -> Result<Vec<(usize, f64)>, ActiveDpError> {
+fn drive(fw: &mut dyn Framework, cfg: &ProtocolConfig) -> Result<Vec<(usize, f64)>, ActiveDpError> {
     let mut points = Vec::new();
     for it in 1..=cfg.iterations {
         fw.step()?;
@@ -203,19 +206,17 @@ fn parallel_over_seeds(
     run: impl Fn(u64) -> Result<Vec<(usize, f64)>, ActiveDpError> + Sync,
 ) -> Result<Vec<Vec<(usize, f64)>>, ActiveDpError> {
     let run = &run;
-    let results: Vec<Result<Vec<(usize, f64)>, ActiveDpError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = cfg
-                .seeds
-                .iter()
-                .map(|&seed| scope.spawn(move |_| run(seed)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("seed thread panicked"))
-                .collect()
-        })
-        .expect("seed scope panicked");
+    let results: Vec<Result<Vec<(usize, f64)>, ActiveDpError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cfg
+            .seeds
+            .iter()
+            .map(|&seed| scope.spawn(move || run(seed)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed thread panicked"))
+            .collect()
+    });
     results.into_iter().collect()
 }
 

@@ -261,7 +261,11 @@ mod tests {
             );
         }
         // ...distant pairs (conditionally independent in truth) much weaker.
-        assert!(res.precision[(0, 2)].abs() < 0.05, "{}", res.precision[(0, 2)]);
+        assert!(
+            res.precision[(0, 2)].abs() < 0.05,
+            "{}",
+            res.precision[(0, 2)]
+        );
         assert!(res.precision[(0, 3)].abs() < 0.05);
         assert!(res.precision[(1, 3)].abs() < 0.05);
         // Markov blanket of the middle node = its neighbours.

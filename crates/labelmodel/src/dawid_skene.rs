@@ -208,7 +208,9 @@ pub(crate) mod tests {
         seed: u64,
     ) -> (LabelMatrix, Vec<usize>) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let labels: Vec<usize> = (0..n).map(|_| usize::from(rng.gen::<f64>() < 0.5)).collect();
+        let labels: Vec<usize> = (0..n)
+            .map(|_| usize::from(rng.gen::<f64>() < 0.5))
+            .collect();
         let mut data: Vec<Vec<i8>> = vec![];
         for &y in &labels {
             let mut row = Vec::with_capacity(accs.len());
@@ -271,7 +273,9 @@ pub(crate) mod tests {
     fn estimates_class_prior_when_free() {
         let accs = [0.85, 0.85, 0.85];
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let labels: Vec<usize> = (0..3000).map(|_| usize::from(rng.gen::<f64>() < 0.25)).collect();
+        let labels: Vec<usize> = (0..3000)
+            .map(|_| usize::from(rng.gen::<f64>() < 0.25))
+            .collect();
         let mut rows = vec![];
         for &y in &labels {
             rows.push(

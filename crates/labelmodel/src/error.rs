@@ -31,7 +31,10 @@ impl fmt::Display for LabelModelError {
                 write!(f, "bad class balance: {reason}")
             }
             LabelModelError::BinaryOnly { n_classes } => {
-                write!(f, "model supports binary tasks only, got {n_classes} classes")
+                write!(
+                    f,
+                    "model supports binary tasks only, got {n_classes} classes"
+                )
             }
             LabelModelError::VoteOutOfRange { vote, n_classes } => {
                 write!(f, "vote {vote} out of range for {n_classes} classes")

@@ -78,7 +78,10 @@ impl LabelModel for TripletMetal {
         for i in 0..n {
             for &v in matrix.row(i) {
                 if v != ABSTAIN && v as usize >= 2 {
-                    return Err(LabelModelError::VoteOutOfRange { vote: v, n_classes: 2 });
+                    return Err(LabelModelError::VoteOutOfRange {
+                        vote: v,
+                        n_classes: 2,
+                    });
                 }
             }
         }
@@ -269,7 +272,7 @@ mod tests {
         let mut t = TripletMetal::new(2);
         t.fit(&lm, None).unwrap();
         for &a in t.accuracies() {
-            assert!(a <= 0.95 && a >= 0.05);
+            assert!((0.05..=0.95).contains(&a));
         }
     }
 

@@ -282,7 +282,13 @@ mod tests {
     fn tabular_train(n: usize) -> Dataset {
         // Feature perfectly separates classes at 0.
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![if i < n / 2 { -1.0 - (i as f64 / n as f64) } else { 1.0 + (i as f64 / n as f64) }])
+            .map(|i| {
+                vec![if i < n / 2 {
+                    -1.0 - (i as f64 / n as f64)
+                } else {
+                    1.0 + (i as f64 / n as f64)
+                }]
+            })
             .collect();
         let labels: Vec<usize> = (0..n).map(|i| usize::from(i >= n / 2)).collect();
         Dataset {

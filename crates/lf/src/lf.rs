@@ -132,7 +132,9 @@ impl LabelFunction {
         if dataset.is_empty() {
             return 0.0;
         }
-        let fired = (0..dataset.len()).filter(|&i| self.apply(dataset, i) != ABSTAIN).count();
+        let fired = (0..dataset.len())
+            .filter(|&i| self.apply(dataset, i) != ABSTAIN)
+            .count();
         fired as f64 / dataset.len() as f64
     }
 

@@ -3,6 +3,12 @@
 use crate::error::LfError;
 use crate::lf::{LabelFunction, ABSTAIN};
 use adp_data::Dataset;
+use adp_linalg::parallel::{self, Execution};
+
+/// Instances per parallel chunk when evaluating LFs over a dataset.
+const APPLY_CHUNK: usize = 1024;
+/// Minimum instance count before threads pay for themselves.
+const MIN_PARALLEL: usize = 4096;
 
 /// Dense n×m matrix of weak labels (`-1` = abstain), stored row-major in
 /// `i8` — every paper task is binary and class counts stay below 128.
@@ -40,15 +46,28 @@ impl LabelMatrix {
         Ok(LabelMatrix { n, m, data })
     }
 
-    /// Evaluates `lfs` on every instance of `dataset`.
+    /// Evaluates `lfs` on every instance of `dataset`. LF application is
+    /// embarrassingly parallel over instances, so large datasets run
+    /// chunk-parallel (identical output either way — votes are integers).
     pub fn from_lfs(lfs: &[LabelFunction], dataset: &Dataset) -> Self {
+        Self::from_lfs_exec(lfs, dataset, parallel::auto(dataset.len(), MIN_PARALLEL))
+    }
+
+    /// [`LabelMatrix::from_lfs`] with explicit scheduling (benches and the
+    /// behaviour-identity tests drive both paths).
+    pub fn from_lfs_exec(lfs: &[LabelFunction], dataset: &Dataset, exec: Execution) -> Self {
         let n = dataset.len();
         let m = lfs.len();
-        let mut data = vec![ABSTAIN; n * m];
-        for (j, lf) in lfs.iter().enumerate() {
-            for i in 0..n {
-                data[i * m + j] = lf.apply(dataset, i);
+        let chunks = parallel::map_chunks(n, APPLY_CHUNK, exec, |rows| {
+            let mut part = Vec::with_capacity(rows.len() * m);
+            for i in rows {
+                part.extend(lfs.iter().map(|lf| lf.apply(dataset, i)));
             }
+            part
+        });
+        let mut data = Vec::with_capacity(n * m);
+        for part in chunks {
+            data.extend_from_slice(&part);
         }
         LabelMatrix { n, m, data }
     }
@@ -79,10 +98,16 @@ impl LabelMatrix {
     /// LF outputs on user-labelled instances).
     pub fn set(&mut self, i: usize, j: usize, v: i8) -> Result<(), LfError> {
         if i >= self.n {
-            return Err(LfError::IndexOutOfRange { index: i, len: self.n });
+            return Err(LfError::IndexOutOfRange {
+                index: i,
+                len: self.n,
+            });
         }
         if j >= self.m {
-            return Err(LfError::IndexOutOfRange { index: j, len: self.m });
+            return Err(LfError::IndexOutOfRange {
+                index: j,
+                len: self.m,
+            });
         }
         self.data[i * self.m + j] = v;
         Ok(())
@@ -95,11 +120,22 @@ impl LabelMatrix {
                 reason: format!("dataset has {} rows, matrix has {}", dataset.len(), self.n),
             });
         }
+        // The LF evaluation dominates (the rest is a copy), and it is
+        // independent per instance — run it chunk-parallel on large splits.
+        let votes: Vec<i8> = parallel::map_chunks(
+            self.n,
+            APPLY_CHUNK,
+            parallel::auto(self.n, MIN_PARALLEL),
+            |rows| rows.map(|i| lf.apply(dataset, i)).collect::<Vec<_>>(),
+        )
+        .into_iter()
+        .flatten()
+        .collect();
         let m_new = self.m + 1;
         let mut data = vec![ABSTAIN; self.n * m_new];
         for i in 0..self.n {
             data[i * m_new..i * m_new + self.m].copy_from_slice(self.row(i));
-            data[i * m_new + self.m] = lf.apply(dataset, i);
+            data[i * m_new + self.m] = votes[i];
         }
         self.m = m_new;
         self.data = data;
@@ -110,7 +146,10 @@ impl LabelMatrix {
     pub fn select_columns(&self, cols: &[usize]) -> Result<LabelMatrix, LfError> {
         for &c in cols {
             if c >= self.m {
-                return Err(LfError::IndexOutOfRange { index: c, len: self.m });
+                return Err(LfError::IndexOutOfRange {
+                    index: c,
+                    len: self.m,
+                });
             }
         }
         let m = cols.len();
@@ -126,7 +165,10 @@ impl LabelMatrix {
     pub fn select_rows(&self, rows: &[usize]) -> Result<LabelMatrix, LfError> {
         for &r in rows {
             if r >= self.n {
-                return Err(LfError::IndexOutOfRange { index: r, len: self.n });
+                return Err(LfError::IndexOutOfRange {
+                    index: r,
+                    len: self.n,
+                });
             }
         }
         let mut data = Vec::with_capacity(rows.len() * self.m);
@@ -274,7 +316,7 @@ mod tests {
         let m = LabelMatrix::from_lfs(&lfs(), &dataset());
         assert_eq!(m.coverage(), 1.0); // LF3 fires everywhere
         assert_eq!(m.overlap(), 1.0); // every row has >= 2 votes
-        // rows 0,1: votes {0,1} conflict; rows 2,3: votes {1,1} agree.
+                                      // rows 0,1: votes {0,1} conflict; rows 2,3: votes {1,1} agree.
         assert!((m.conflict() - 0.5).abs() < 1e-12);
     }
 
@@ -340,6 +382,31 @@ mod tests {
         assert!(LabelMatrix::from_votes(&[vec![1], vec![0, 1]]).is_err());
         let empty = LabelMatrix::from_votes(&[]).unwrap();
         assert_eq!(empty.n_instances(), 0);
+    }
+
+    #[test]
+    fn from_lfs_serial_matches_parallel() {
+        // Several apply-chunks, awkward length.
+        let n = 3 * APPLY_CHUNK + 91;
+        let x = Matrix::from_fn(n, 1, |i, _| (i % 17) as f64);
+        let big = Dataset {
+            name: "big".into(),
+            task: Task::OccupancyPrediction,
+            n_classes: 2,
+            features: FeatureSet::Dense(x),
+            labels: (0..n).map(|i| usize::from(i % 17 >= 8)).collect(),
+            texts: None,
+            encoded_docs: None,
+        };
+        let serial = LabelMatrix::from_lfs_exec(&lfs(), &big, adp_linalg::Execution::Serial);
+        let parallel = LabelMatrix::from_lfs_exec(&lfs(), &big, adp_linalg::Execution::Parallel);
+        assert_eq!(serial, parallel);
+        // push_lf (auto-parallel at this size) agrees with from_lfs.
+        let mut pushed = LabelMatrix::empty(n);
+        for lf in lfs() {
+            pushed.push_lf(&lf, &big).unwrap();
+        }
+        assert_eq!(pushed, LabelMatrix::from_lfs(&lfs(), &big));
     }
 
     #[test]

@@ -86,13 +86,8 @@ impl SimulatedUser {
         } else {
             true_label
         };
-        let candidates = space.candidates_for(
-            train,
-            query_dataset,
-            idx,
-            target,
-            self.config.acc_threshold,
-        );
+        let candidates =
+            space.candidates_for(train, query_dataset, idx, target, self.config.acc_threshold);
         let fresh: Vec<&Candidate> = candidates
             .iter()
             .filter(|c| !self.returned.contains(&c.lf.key()))

@@ -1,43 +1,88 @@
 //! Empirical covariance and correlation matrices.
+//!
+//! The sample loops are the hot path of LabelPick's graphical-lasso input
+//! assembly, so both passes (column means, cross-product accumulation) run
+//! chunk-wise over the samples through [`crate::parallel`]. Accumulation is
+//! *always* grouped by the same fixed-size chunks and reduced in chunk
+//! order, so serial and parallel execution produce bitwise-identical
+//! results (see `serial_matches_parallel` below).
 
 use crate::dense::Matrix;
 use crate::error::LinalgError;
+use crate::parallel::{self, Execution};
+
+/// Rows per parallel chunk. Fixed (machine-independent) so results don't
+/// depend on the executing hardware.
+const CHUNK: usize = 512;
+/// Minimum sample count before threads pay for themselves.
+const MIN_PARALLEL: usize = 2048;
 
 /// Empirical covariance of `data` (rows = samples, columns = variables).
 ///
 /// Uses the maximum-likelihood denominator `n` (the graphical-lasso
 /// convention) rather than `n − 1`.
 pub fn covariance_matrix(data: &Matrix) -> Result<Matrix, LinalgError> {
+    covariance_matrix_exec(data, parallel::auto(data.nrows(), MIN_PARALLEL))
+}
+
+/// [`covariance_matrix`] with explicit scheduling (benches and the
+/// behaviour-identity tests drive both paths).
+pub fn covariance_matrix_exec(data: &Matrix, exec: Execution) -> Result<Matrix, LinalgError> {
     let (n, p) = data.shape();
     if n == 0 {
         return Err(LinalgError::Empty { what: "samples" });
     }
+
+    // Pass 1: column means, chunk-wise.
+    let mean_parts = parallel::map_chunks(n, CHUNK, exec, |rows| {
+        let mut sums = vec![0.0; p];
+        for i in rows {
+            for (m, &x) in sums.iter_mut().zip(data.row(i)) {
+                *m += x;
+            }
+        }
+        sums
+    });
     let mut means = vec![0.0; p];
-    for i in 0..n {
-        for (m, &x) in means.iter_mut().zip(data.row(i)) {
-            *m += x;
+    for part in mean_parts {
+        for (m, s) in means.iter_mut().zip(part) {
+            *m += s;
         }
     }
     for m in &mut means {
         *m /= n as f64;
     }
-    let mut cov = Matrix::zeros(p, p);
-    for i in 0..n {
-        let row = data.row(i);
-        for j in 0..p {
-            let dj = row[j] - means[j];
-            if dj == 0.0 {
-                continue;
-            }
-            for k in j..p {
-                cov[(j, k)] += dj * (row[k] - means[k]);
+
+    // Pass 2: upper-triangular cross products, chunk-wise.
+    let means = &means;
+    let cov_parts = parallel::map_chunks(n, CHUNK, exec, |rows| {
+        let mut acc = vec![0.0; p * p];
+        for i in rows {
+            let row = data.row(i);
+            for j in 0..p {
+                let dj = row[j] - means[j];
+                if dj == 0.0 {
+                    continue;
+                }
+                for k in j..p {
+                    acc[j * p + k] += dj * (row[k] - means[k]);
+                }
             }
         }
+        acc
+    });
+    let mut upper = vec![0.0; p * p];
+    for part in cov_parts {
+        for (u, a) in upper.iter_mut().zip(part) {
+            *u += a;
+        }
     }
+
+    let mut cov = Matrix::zeros(p, p);
     let inv_n = 1.0 / n as f64;
     for j in 0..p {
         for k in j..p {
-            let v = cov[(j, k)] * inv_n;
+            let v = upper[j * p + k] * inv_n;
             cov[(j, k)] = v;
             cov[(k, j)] = v;
         }
@@ -56,7 +101,11 @@ pub fn correlation_matrix(data: &Matrix) -> Result<Matrix, LinalgError> {
     for j in 0..p {
         for k in (j + 1)..p {
             let denom = sd[j] * sd[k];
-            let r = if denom > 0.0 { cov[(j, k)] / denom } else { 0.0 };
+            let r = if denom > 0.0 {
+                cov[(j, k)] / denom
+            } else {
+                0.0
+            };
             corr[(j, k)] = r;
             corr[(k, j)] = r;
         }
@@ -122,5 +171,26 @@ mod tests {
         let mut c = covariance_matrix(&d).unwrap();
         c.add_diagonal(1e-9).unwrap();
         assert!(crate::cholesky::Cholesky::factor(&c).is_ok());
+    }
+
+    #[test]
+    fn serial_matches_parallel_bitwise() {
+        // Big enough for several chunks and awkwardly sized (not a chunk
+        // multiple).
+        let d = Matrix::from_fn(5 * CHUNK + 137, 6, |i, j| {
+            (((i * 31 + j * 17) % 97) as f64 - 48.0) * 0.013
+        });
+        let serial = covariance_matrix_exec(&d, Execution::Serial).unwrap();
+        let parallel = covariance_matrix_exec(&d, Execution::Parallel).unwrap();
+        for j in 0..6 {
+            for k in 0..6 {
+                assert!(
+                    serial[(j, k)].to_bits() == parallel[(j, k)].to_bits(),
+                    "({j},{k}): {} vs {}",
+                    serial[(j, k)],
+                    parallel[(j, k)]
+                );
+            }
+        }
     }
 }

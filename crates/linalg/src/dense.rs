@@ -193,7 +193,9 @@ impl Matrix {
     /// Add `alpha` to the main diagonal (matrix must be square).
     pub fn add_diagonal(&mut self, alpha: f64) -> Result<(), LinalgError> {
         if self.rows != self.cols {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         for i in 0..self.rows {
             self[(i, i)] += alpha;
@@ -229,7 +231,9 @@ impl Matrix {
     /// Overwrites the matrix with `(A + Aᵀ)/2`; the matrix must be square.
     pub fn symmetrize(&mut self) -> Result<(), LinalgError> {
         if self.rows != self.cols {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         for i in 0..self.rows {
             for j in (i + 1)..self.cols {

@@ -21,6 +21,7 @@ pub mod dense;
 pub mod error;
 pub mod lasso;
 pub mod ops;
+pub mod parallel;
 pub mod ridge;
 pub mod sparse;
 
@@ -30,5 +31,6 @@ pub use dense::Matrix;
 pub use error::LinalgError;
 pub use lasso::{lasso_quadratic_cd, soft_threshold};
 pub use ops::{argmax, axpy, dot, entropy, log_sum_exp, mean, norm2, softmax_inplace, variance};
+pub use parallel::Execution;
 pub use ridge::ridge_regression;
 pub use sparse::{CsrBuilder, CsrMatrix, Features};

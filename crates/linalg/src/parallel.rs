@@ -1,0 +1,173 @@
+//! Opt-in data parallelism over chunked row ranges, on std scoped threads.
+//!
+//! The crate stays dependency-free: no rayon, no thread pool — each
+//! [`map_chunks`] call splits `[0, n)` into fixed-size chunks and fans the
+//! chunk closures out over `std::thread::scope` workers.
+//!
+//! **Determinism contract.** The chunk boundaries depend only on `(n,
+//! chunk)` — never on the machine's core count — and results come back in
+//! chunk-index order, so a caller that reduces them sequentially gets
+//! *bitwise identical* floating-point results whether the chunks ran on one
+//! thread or eight. Hot paths therefore always accumulate chunk-wise and
+//! use [`Execution`] purely as a scheduling hint; `serial_matches_parallel`
+//! tests across the workspace pin this down.
+//!
+//! Thread count: `ADP_NUM_THREADS` when set (an explicit operator
+//! override, honoured up to 64), else `available_parallelism()` capped at
+//! 8 — the kernels here saturate memory bandwidth long before high core
+//! counts pay off, so the *default* stays conservative.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// How a [`map_chunks`] call may schedule its chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// Run every chunk on the calling thread.
+    Serial,
+    /// Fan chunks out over scoped worker threads.
+    Parallel,
+}
+
+/// Worker-thread budget (see module docs): `ADP_NUM_THREADS` verbatim
+/// (clamped to 1..=64) when set, else auto-detected and capped at 8.
+pub fn max_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("ADP_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, 64);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8)
+    })
+}
+
+/// [`Execution::Parallel`] when `n` is at least `min_parallel` items and
+/// the machine has threads to spare; [`Execution::Serial`] otherwise.
+/// Callers pick `min_parallel` so thread-spawn overhead can't dominate.
+pub fn auto(n: usize, min_parallel: usize) -> Execution {
+    if n >= min_parallel && max_threads() > 1 {
+        Execution::Parallel
+    } else {
+        Execution::Serial
+    }
+}
+
+/// Splits `[0, n)` into `ceil(n / chunk)` consecutive ranges.
+pub fn chunk_ranges(n: usize, chunk: usize) -> Vec<Range<usize>> {
+    let chunk = chunk.max(1);
+    (0..n.div_ceil(chunk))
+        .map(|c| c * chunk..((c + 1) * chunk).min(n))
+        .collect()
+}
+
+/// Applies `f` to every chunk of `[0, n)` and returns the per-chunk results
+/// in chunk-index order. Under [`Execution::Parallel`] the chunks are
+/// distributed over scoped threads in contiguous blocks; the output order
+/// (and therefore any sequential reduction over it) is identical either
+/// way.
+pub fn map_chunks<T, F>(n: usize, chunk: usize, exec: Execution, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(n, chunk);
+    let threads = match exec {
+        Execution::Serial => 1,
+        Execution::Parallel => max_threads().min(ranges.len()),
+    };
+    if threads <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(ranges.len()).collect();
+    let per_thread = ranges.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest: &mut [Option<T>] = &mut results;
+        let mut start = 0;
+        while start < ranges.len() {
+            let take = per_thread.min(ranges.len() - start);
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let my_ranges = &ranges[start..start + take];
+            start += take;
+            scope.spawn(move || {
+                for (slot, r) in mine.iter_mut().zip(my_ranges) {
+                    *slot = Some(f(r.clone()));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every chunk ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for (n, chunk) in [(0, 4), (1, 4), (4, 4), (5, 4), (1000, 128), (7, 1)] {
+            let ranges = chunk_ranges(n, chunk);
+            let mut covered = 0;
+            for (k, r) in ranges.iter().enumerate() {
+                assert_eq!(r.start, covered, "n={n} chunk={chunk}");
+                assert!(!r.is_empty());
+                assert!(r.len() <= chunk.max(1));
+                if k + 1 < ranges.len() {
+                    assert_eq!(r.len(), chunk.max(1));
+                }
+                covered = r.end;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bitwise() {
+        // A reduction whose result depends on grouping: summing 1/(i+1)
+        // chunk-wise. Serial and parallel must group identically.
+        let n = 100_000;
+        let run = |exec| {
+            map_chunks(n, 1024, exec, |r| {
+                r.map(|i| 1.0 / (i as f64 + 1.0)).sum::<f64>()
+            })
+            .into_iter()
+            .fold(0.0_f64, |acc, x| acc + x)
+        };
+        let serial = run(Execution::Serial);
+        let parallel = run(Execution::Parallel);
+        assert!(
+            serial.to_bits() == parallel.to_bits(),
+            "serial {serial:e} != parallel {parallel:e}"
+        );
+    }
+
+    #[test]
+    fn results_come_back_in_chunk_order() {
+        let ids = map_chunks(100, 7, Execution::Parallel, |r| r.start);
+        let expected: Vec<usize> = (0..100usize.div_ceil(7)).map(|c| c * 7).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let out = map_chunks(0, 16, Execution::Parallel, |_| 1u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn auto_respects_threshold() {
+        assert_eq!(auto(10, 1000), Execution::Serial);
+        if max_threads() > 1 {
+            assert_eq!(auto(10_000, 1000), Execution::Parallel);
+        }
+    }
+}

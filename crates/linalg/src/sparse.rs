@@ -122,7 +122,11 @@ impl CsrMatrix {
         for i in 0..self.nrows {
             let lo = self.indptr[i];
             let hi = self.indptr[i + 1];
-            let norm: f64 = self.values[lo..hi].iter().map(|x| x * x).sum::<f64>().sqrt();
+            let norm: f64 = self.values[lo..hi]
+                .iter()
+                .map(|x| x * x)
+                .sum::<f64>()
+                .sqrt();
             if norm > 0.0 {
                 for x in &mut self.values[lo..hi] {
                     *x /= norm;
@@ -164,10 +168,7 @@ impl Features for CsrMatrix {
     #[inline]
     fn row_dot(&self, i: usize, w: &[f64]) -> f64 {
         let (idx, vals) = self.row(i);
-        idx.iter()
-            .zip(vals)
-            .map(|(&j, &x)| x * w[j as usize])
-            .sum()
+        idx.iter().zip(vals).map(|(&j, &x)| x * w[j as usize]).sum()
     }
     #[inline]
     fn row_axpy(&self, i: usize, alpha: f64, out: &mut [f64]) {

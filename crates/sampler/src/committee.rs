@@ -118,9 +118,7 @@ impl Sampler for Committee {
             picked
         };
         let n_classes = ctx.train.n_classes;
-        let Some(votes) =
-            self.votes(&ctx.train.features, n_classes, &candidates)
-        else {
+        let Some(votes) = self.votes(&ctx.train.features, n_classes, &candidates) else {
             // Cold start: uniform random.
             return Some(pool[self.rng.gen_range(0..pool.len())]);
         };
@@ -191,8 +189,22 @@ mod tests {
     #[test]
     fn disagreement_targets_the_boundary() {
         // Pool = line of points, classes split at the middle; with labels at
-        // the extremes the committee disagrees most near the centre.
-        let d = pool(40);
+        // the extremes the committee disagrees most near the centre. The
+        // feature is scaled to [-1, 1]: on the raw 0..39 scale the
+        // Lipschitz-derived step size leaves the 80-iteration members
+        // under-trained and their disagreement systematically skews to low
+        // indices — a conditioning artefact, not the property under test.
+        let n = 40;
+        let x = adp_linalg::Matrix::from_fn(n, 1, |i, _| i as f64 / (n - 1) as f64 * 2.0 - 1.0);
+        let d = adp_data::Dataset {
+            name: "line".into(),
+            task: adp_data::Task::OccupancyPrediction,
+            n_classes: 2,
+            features: adp_data::FeatureSet::Dense(x),
+            labels: (0..n).map(|i| usize::from(i >= n / 2)).collect(),
+            texts: None,
+            encoded_docs: None,
+        };
         let queried = vec![false; 40];
         let mut qbc = Committee::new(4, 7);
         qbc.set_labeled(&[0, 1, 38, 39], &[0, 0, 1, 1]);

@@ -11,7 +11,7 @@
 
 use crate::{Sampler, SamplerContext};
 use adp_classifier::{LogRegConfig, LogisticRegression, Targets};
-use adp_linalg::{Matrix, ridge_regression};
+use adp_linalg::{ridge_regression, Matrix};
 use rand::{Rng, SeedableRng};
 
 const N_FEATURES: usize = 5;
@@ -107,7 +107,9 @@ fn run_episode(rng: &mut rand::rngs::StdRng, xs: &mut Vec<Vec<f64>>, ys: &mut Ve
     // 0/1 test error, as in the original LAL: log-loss would reward points
     // that merely sharpen confidence, inverting the uncertainty signal.
     let test_error = |model: &LogisticRegression| {
-        let wrong = (0..n_test).filter(|&i| model.predict(&test_x, i) != test_y[i]).count();
+        let wrong = (0..n_test)
+            .filter(|&i| model.predict(&test_x, i) != test_y[i])
+            .count();
         wrong as f64 / n_test as f64
     };
 
@@ -136,9 +138,14 @@ fn run_episode(rng: &mut rand::rngs::StdRng, xs: &mut Vec<Vec<f64>>, ys: &mut Ve
             return;
         }
         let err_before = test_error(&model);
-        let pool_probs: Vec<Vec<f64>> = (0..n_pool).map(|i| model.predict_proba(&pool_x, i)).collect();
+        let pool_probs: Vec<Vec<f64>> = (0..n_pool)
+            .map(|i| model.predict_proba(&pool_x, i))
+            .collect();
         let mean_h = adp_linalg::mean(
-            &pool_probs.iter().map(|p| adp_linalg::entropy(p)).collect::<Vec<_>>(),
+            &pool_probs
+                .iter()
+                .map(|p| adp_linalg::entropy(p))
+                .collect::<Vec<_>>(),
         );
 
         // Probe several random unlabelled candidates. Raw reductions mix a
@@ -264,7 +271,11 @@ impl Sampler for Lal {
                 let f = features(&ctx.primary_probs(i), ctx.n_labeled, mean_h);
                 (i, self.score(&f))
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores").then(b.0.cmp(&a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite scores")
+                    .then(b.0.cmp(&a.0))
+            })
             .map(|(i, _)| i)
     }
 

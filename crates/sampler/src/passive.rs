@@ -69,7 +69,9 @@ mod tests {
         let queried = vec![false; 50];
         let run = |seed| {
             let mut s = Passive::new(seed);
-            (0..5).map(|_| s.select(&ctx(&d, &queried)).unwrap()).collect::<Vec<_>>()
+            (0..5)
+                .map(|_| s.select(&ctx(&d, &queried)).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));

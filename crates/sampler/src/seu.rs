@@ -70,9 +70,7 @@ impl SeuScorer {
         let n = train.len();
         let uncertainty: Vec<f64> = (0..n)
             .map(|i| match lm_probs {
-                Some(p) => {
-                    1.0 - p[i].iter().fold(0.0_f64, |m, &v| m.max(v))
-                }
+                Some(p) => 1.0 - p[i].iter().fold(0.0_f64, |m, &v| m.max(v)),
                 None => 1.0 - 1.0 / train.n_classes as f64,
             })
             .collect();
@@ -249,7 +247,10 @@ impl SeuScorer {
     fn instance_lfs(&self, train: &Dataset, idx: usize) -> Vec<LabelFunction> {
         match &self.kind {
             ScorerKind::Text { .. } => {
-                let docs = train.encoded_docs.as_ref().expect("text scorer on text data");
+                let docs = train
+                    .encoded_docs
+                    .as_ref()
+                    .expect("text scorer on text data");
                 let mut seen = Vec::new();
                 let mut out = Vec::new();
                 for &t in &docs[idx] {
@@ -301,7 +302,11 @@ impl Sampler for Seu {
         candidates
             .into_iter()
             .map(|i| (i, scorer.score_instance(ctx.train, i, ctx.seen_lfs)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores").then(b.0.cmp(&a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite scores")
+                    .then(b.0.cmp(&a.0))
+            })
             .map(|(i, _)| i)
     }
 

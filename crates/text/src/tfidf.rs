@@ -45,7 +45,12 @@ impl Default for TfidfVectorizer {
 
 impl TfidfVectorizer {
     /// A vectorizer with explicit pruning knobs.
-    pub fn new(tokenizer: TokenizerConfig, min_df: u32, max_df_ratio: f64, max_vocab: usize) -> Self {
+    pub fn new(
+        tokenizer: TokenizerConfig,
+        min_df: u32,
+        max_df_ratio: f64,
+        max_vocab: usize,
+    ) -> Self {
         TfidfVectorizer {
             tokenizer,
             min_df,
@@ -59,10 +64,8 @@ impl TfidfVectorizer {
     /// Fits the vocabulary and idf table on `docs`.
     pub fn fit(&mut self, docs: &[String]) {
         let mut builder = VocabularyBuilder::new();
-        let tokenized: Vec<Vec<String>> = docs
-            .iter()
-            .map(|d| tokenize(d, self.tokenizer))
-            .collect();
+        let tokenized: Vec<Vec<String>> =
+            docs.iter().map(|d| tokenize(d, self.tokenizer)).collect();
         for t in &tokenized {
             builder.add_doc(t);
         }

@@ -20,14 +20,21 @@ fn run(framework: &mut dyn Framework) -> Vec<f64> {
     for it in 1..=BUDGET {
         framework.step().expect("step succeeds");
         if it % EVAL_EVERY == 0 {
-            curve.push(framework.evaluate().expect("evaluate succeeds").test_accuracy);
+            curve.push(
+                framework
+                    .evaluate()
+                    .expect("evaluate succeeds")
+                    .test_accuracy,
+            );
         }
     }
     curve
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Youtube".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Youtube".to_string());
     let id = DatasetId::all()
         .into_iter()
         .find(|d| d.name().eq_ignore_ascii_case(&name))
@@ -56,7 +63,12 @@ fn main() {
     results.push(("RLF".into(), run(&mut RevisingLf::new(&data, seed))));
     results.push(("US".into(), run(&mut UncertaintySampling::new(&data, seed))));
 
-    println!("queries:  {}", (1..=BUDGET / EVAL_EVERY).map(|k| format!("{:>6}", k * EVAL_EVERY)).collect::<String>());
+    println!(
+        "queries:  {}",
+        (1..=BUDGET / EVAL_EVERY)
+            .map(|k| format!("{:>6}", k * EVAL_EVERY))
+            .collect::<String>()
+    );
     for (name, curve) in &results {
         let series: String = curve.iter().map(|a| format!("{a:>6.3}")).collect();
         println!("{name:>8}: {series}");

@@ -49,10 +49,19 @@ fn main() {
     // downstream classifier trains on the aggregated labels.
     let report = session.evaluate_downstream().expect("evaluation succeeds");
     println!();
-    println!("confidence threshold τ  : {:.3}", report.threshold.unwrap_or(f64::NAN));
-    println!("label coverage          : {:.1}%", report.label_coverage * 100.0);
+    println!(
+        "confidence threshold τ  : {:.3}",
+        report.threshold.unwrap_or(f64::NAN)
+    );
+    println!(
+        "label coverage          : {:.1}%",
+        report.label_coverage * 100.0
+    );
     if let Some(acc) = report.label_accuracy {
         println!("aggregated label quality: {:.1}%", acc * 100.0);
     }
-    println!("downstream test accuracy: {:.1}%", report.test_accuracy * 100.0);
+    println!(
+        "downstream test accuracy: {:.1}%",
+        report.test_accuracy * 100.0
+    );
 }

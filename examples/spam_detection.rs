@@ -25,7 +25,11 @@ fn main() {
     let mut session = ActiveDpSession::new(&data, config).expect("session builds");
 
     println!("-- training phase (Figure 1, left) --");
-    let texts = data.train.texts.as_ref().expect("text dataset keeps raw docs");
+    let texts = data
+        .train
+        .texts
+        .as_ref()
+        .expect("text dataset keeps raw docs");
     for _ in 0..30 {
         let outcome = session.step().expect("step succeeds");
         let (Some(query), Some(lf)) = (outcome.query, outcome.lf.as_ref()) else {
@@ -63,7 +67,11 @@ fn main() {
             j + 1,
             lf.describe(Some(vocab)),
             valid_matrix.lf_coverage(j),
-            if selected.contains(&j) { "kept by LabelPick" } else { "pruned" },
+            if selected.contains(&j) {
+                "kept by LabelPick"
+            } else {
+                "pruned"
+            },
         );
     }
     if lfs.len() > 12 {
@@ -83,5 +91,8 @@ fn main() {
         report.label_coverage * 100.0,
         report.label_accuracy.unwrap_or(0.0) * 100.0
     );
-    println!("downstream spam classifier test accuracy: {:.1}%", report.test_accuracy * 100.0);
+    println!(
+        "downstream spam classifier test accuracy: {:.1}%",
+        report.test_accuracy * 100.0
+    );
 }

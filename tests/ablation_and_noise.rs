@@ -43,11 +43,7 @@ fn confusion_lifts_tabular_performance() {
     let mut without = 0.0;
     for seed in 51..54 {
         let data = generate(DatasetId::Occupancy, Scale::Tiny, seed).expect("dataset generates");
-        without += auc(
-            &data,
-            SessionConfig::ablation_baseline(false, seed),
-            30,
-        );
+        without += auc(&data, SessionConfig::ablation_baseline(false, seed), 30);
         with += auc(
             &data,
             SessionConfig {

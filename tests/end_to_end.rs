@@ -68,7 +68,11 @@ fn runs_are_deterministic_given_seed() {
         let cfg = SessionConfig::paper_defaults(true, 24);
         let mut session = ActiveDpSession::new(&data, cfg).expect("session builds");
         let acc = drive(&mut session, 15);
-        (acc.to_bits(), session.lfs().len(), session.selected().to_vec())
+        (
+            acc.to_bits(),
+            session.lfs().len(),
+            session.selected().to_vec(),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -99,9 +103,15 @@ fn learning_improves_with_budget() {
         let cfg = SessionConfig::paper_defaults(false, seed);
         let mut session = ActiveDpSession::new(&data, cfg).expect("session builds");
         session.run(10).expect("session runs");
-        short += session.evaluate_downstream().expect("evaluation succeeds").test_accuracy;
+        short += session
+            .evaluate_downstream()
+            .expect("evaluation succeeds")
+            .test_accuracy;
         session.run(30).expect("session runs");
-        long += session.evaluate_downstream().expect("evaluation succeeds").test_accuracy;
+        long += session
+            .evaluate_downstream()
+            .expect("evaluation succeeds")
+            .test_accuracy;
     }
     assert!(
         long >= short - 0.05 * 3.0,
@@ -113,8 +123,8 @@ fn learning_improves_with_budget() {
 fn full_protocol_runner_produces_curves() {
     use activedp_repro::experiments::{run_framework_curve, Method, ProtocolConfig};
     let cfg = ProtocolConfig::tiny();
-    let curve = run_framework_curve(DatasetId::Youtube, Method::ActiveDp, &cfg)
-        .expect("protocol runs");
+    let curve =
+        run_framework_curve(DatasetId::Youtube, Method::ActiveDp, &cfg).expect("protocol runs");
     assert_eq!(curve.points.len(), cfg.iterations / cfg.eval_every);
     assert!(curve.points.iter().all(|&(_, a)| (0.0..=1.0).contains(&a)));
     assert!(curve.auc() > 0.3);

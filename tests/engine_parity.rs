@@ -1,0 +1,160 @@
+//! Determinism/parity tests for the staged `Engine` refactor.
+//!
+//! The golden fixture below was captured from the *pre-refactor* monolithic
+//! `ActiveDpSession` (single `session.rs`, serial kernels) on
+//! `DatasetId::Youtube` at `Scale::Tiny`, dataset seed 7, session seed 7,
+//! 15 iterations. The staged engine — and the facade on top of it — must
+//! reproduce that trajectory seed-for-seed: same query instances, same LF
+//! picks, same LabelPick selections, same final accuracy to the last bit.
+
+use activedp_repro::core::{ActiveDpSession, Engine, SessionConfig};
+use activedp_repro::data::{generate, DatasetId, Scale};
+
+const ITERS: usize = 15;
+
+/// Queries issued by the pre-refactor session (None = oracle answered but
+/// produced no LF that iteration — index 117 returned no LF).
+const GOLDEN_QUERIES: [usize; ITERS] =
+    [88, 101, 39, 117, 119, 27, 23, 66, 51, 116, 0, 3, 30, 8, 86];
+
+/// Debug rendering of each returned LF's key (`None` where the oracle had
+/// no rule for the instance).
+const GOLDEN_LF_KEYS: [Option<&str>; ITERS] = [
+    Some("Keyword(21, 1)"),
+    Some("Keyword(189, 1)"),
+    Some("Keyword(354, 1)"),
+    None,
+    Some("Keyword(22, 1)"),
+    Some("Keyword(28, 0)"),
+    Some("Keyword(222, 0)"),
+    Some("Keyword(289, 0)"),
+    Some("Keyword(173, 0)"),
+    Some("Keyword(164, 0)"),
+    Some("Keyword(343, 1)"),
+    Some("Keyword(305, 1)"),
+    Some("Keyword(272, 0)"),
+    Some("Keyword(0, 0)"),
+    Some("Keyword(190, 1)"),
+];
+
+/// LabelPick's selected-LF count after each iteration.
+const GOLDEN_N_SELECTED: [usize; ITERS] = [1, 2, 2, 2, 3, 3, 4, 4, 5, 6, 7, 8, 9, 10, 11];
+
+/// Final LabelPick selection (indices into the LF list).
+const GOLDEN_SELECTED: [usize; 11] = [0, 1, 3, 5, 7, 8, 9, 10, 11, 12, 13];
+
+/// Final downstream metrics (bitwise: both values are exactly
+/// representable products of the deterministic pipeline).
+const GOLDEN_TEST_ACCURACY: f64 = 0.6;
+const GOLDEN_LABEL_COVERAGE: f64 = 0.45;
+const GOLDEN_THRESHOLD: f64 = 0.773_338_958_871_232_5;
+
+fn fixture() -> (activedp_repro::data::SplitDataset, SessionConfig) {
+    let data = generate(DatasetId::Youtube, Scale::Tiny, 7).expect("dataset generates");
+    let cfg = SessionConfig::paper_defaults(true, 7);
+    (data, cfg)
+}
+
+fn assert_golden_trajectory(
+    queries: &[Option<usize>],
+    lf_keys: &[Option<String>],
+    n_selected: &[usize],
+) {
+    let expected_queries: Vec<Option<usize>> = GOLDEN_QUERIES.iter().map(|&q| Some(q)).collect();
+    assert_eq!(
+        queries,
+        expected_queries.as_slice(),
+        "query sequence diverged"
+    );
+    let expected_keys: Vec<Option<String>> = GOLDEN_LF_KEYS
+        .iter()
+        .map(|k| k.map(str::to_string))
+        .collect();
+    assert_eq!(lf_keys, expected_keys.as_slice(), "LF picks diverged");
+    assert_eq!(
+        n_selected, GOLDEN_N_SELECTED,
+        "LabelPick trajectory diverged"
+    );
+}
+
+#[test]
+fn engine_matches_golden_trajectory() {
+    let (data, cfg) = fixture();
+    let mut engine = Engine::new(&data, cfg).unwrap();
+    let mut queries = Vec::new();
+    let mut lf_keys = Vec::new();
+    let mut n_selected = Vec::new();
+    for _ in 0..ITERS {
+        let out = engine.step().unwrap();
+        queries.push(out.query);
+        lf_keys.push(out.lf.as_ref().map(|lf| format!("{:?}", lf.key())));
+        n_selected.push(out.n_selected);
+    }
+    assert_golden_trajectory(&queries, &lf_keys, &n_selected);
+    assert_eq!(engine.state().selected, GOLDEN_SELECTED);
+
+    let report = engine.evaluate_downstream().unwrap();
+    assert_eq!(
+        report.test_accuracy.to_bits(),
+        GOLDEN_TEST_ACCURACY.to_bits(),
+        "test accuracy {} != golden {}",
+        report.test_accuracy,
+        GOLDEN_TEST_ACCURACY
+    );
+    assert_eq!(
+        report.label_coverage.to_bits(),
+        GOLDEN_LABEL_COVERAGE.to_bits()
+    );
+    let tau = report.threshold.expect("ConFusion enabled");
+    assert_eq!(
+        tau.to_bits(),
+        GOLDEN_THRESHOLD.to_bits(),
+        "threshold {tau} != golden {GOLDEN_THRESHOLD}"
+    );
+}
+
+#[test]
+fn facade_matches_golden_trajectory() {
+    let (data, cfg) = fixture();
+    let mut session = ActiveDpSession::new(&data, cfg).unwrap();
+    let mut queries = Vec::new();
+    let mut lf_keys = Vec::new();
+    let mut n_selected = Vec::new();
+    for _ in 0..ITERS {
+        let out = session.step().unwrap();
+        queries.push(out.query);
+        lf_keys.push(out.lf.as_ref().map(|lf| format!("{:?}", lf.key())));
+        n_selected.push(out.n_selected);
+    }
+    assert_golden_trajectory(&queries, &lf_keys, &n_selected);
+    assert_eq!(session.selected(), GOLDEN_SELECTED);
+    let report = session.evaluate_downstream().unwrap();
+    assert_eq!(
+        report.test_accuracy.to_bits(),
+        GOLDEN_TEST_ACCURACY.to_bits()
+    );
+}
+
+#[test]
+fn facade_and_engine_agree_step_for_step() {
+    let (data, cfg) = fixture();
+    let mut session = ActiveDpSession::new(&data, cfg.clone()).unwrap();
+    let mut engine = Engine::new(&data, cfg).unwrap();
+    for it in 0..ITERS {
+        let s = session.step().unwrap();
+        let e = engine.step().unwrap();
+        assert_eq!(s.query, e.query, "iteration {it}");
+        assert_eq!(
+            s.lf.as_ref().map(|l| l.key()),
+            e.lf.as_ref().map(|l| l.key()),
+            "iteration {it}"
+        );
+        assert_eq!(s.n_selected, e.n_selected, "iteration {it}");
+    }
+    let (rs, re) = (
+        session.evaluate_downstream().unwrap(),
+        engine.evaluate_downstream().unwrap(),
+    );
+    assert_eq!(rs.test_accuracy.to_bits(), re.test_accuracy.to_bits());
+    assert_eq!(rs.label_coverage.to_bits(), re.label_coverage.to_bits());
+}

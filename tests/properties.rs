@@ -1,35 +1,44 @@
-//! Property-based tests (proptest) on the core invariants of the stack.
+//! Property-based tests on the core invariants of the stack.
+//!
+//! Each property runs over 64 seeded random cases (the build environment has
+//! no `proptest`, so a deterministic RNG drives the case generation — every
+//! failure is reproducible from the printed case seed).
 
 use activedp_repro::core::{aggregate, tune_threshold};
-use activedp_repro::labelmodel::{
-    DawidSkene, LabelModel, MajorityVote, TripletMetal,
-};
+use activedp_repro::labelmodel::{DawidSkene, LabelModel, MajorityVote, TripletMetal};
 use activedp_repro::lf::{LabelMatrix, ABSTAIN};
 use activedp_repro::linalg::{
     covariance_matrix, entropy, lasso_quadratic_cd, softmax_inplace, Cholesky, CsrBuilder, Matrix,
 };
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
-/// Strategy: a well-formed binary vote matrix (votes in {-1, 0, 1}).
-fn vote_matrix(max_n: usize, max_m: usize) -> impl Strategy<Value = Vec<Vec<i8>>> {
-    (1..=max_m).prop_flat_map(move |m| {
-        proptest::collection::vec(
-            proptest::collection::vec(prop_oneof![Just(-1i8), Just(0i8), Just(1i8)], m),
-            1..=max_n,
-        )
-    })
+const CASES: u64 = 64;
+
+fn case_rng(test: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test.wrapping_mul(0x9E37_79B9).wrapping_add(case))
 }
 
-/// Strategy: a probability distribution over two classes.
-fn binary_dist() -> impl Strategy<Value = Vec<f64>> {
-    (0.0f64..=1.0).prop_map(|p| vec![1.0 - p, p])
+/// A well-formed vote matrix (votes in {-1, 0, 1}) with 1..=max_n rows and
+/// 1..=max_m LFs.
+fn vote_matrix(rng: &mut StdRng, max_n: usize, max_m: usize) -> Vec<Vec<i8>> {
+    let m = rng.gen_range(1..=max_m);
+    let n = rng.gen_range(1..=max_n);
+    (0..n)
+        .map(|_| (0..m).map(|_| rng.gen_range(0..3usize) as i8 - 1).collect())
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A probability distribution over two classes.
+fn binary_dist(rng: &mut StdRng) -> Vec<f64> {
+    let p = rng.gen_range(0.0..=1.0);
+    vec![1.0 - p, p]
+}
 
-    #[test]
-    fn label_models_output_probability_simplexes(rows in vote_matrix(12, 5)) {
+#[test]
+fn label_models_output_probability_simplexes() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(1, case);
+        let rows = vote_matrix(rng, 12, 5);
         let matrix = LabelMatrix::from_votes(&rows).unwrap();
         let models: Vec<Box<dyn LabelModel>> = vec![
             Box::new(MajorityVote::new(2)),
@@ -40,40 +49,48 @@ proptest! {
             model.fit(&matrix, None).unwrap();
             for row in &rows {
                 let p = model.predict_proba(row);
-                prop_assert_eq!(p.len(), 2);
-                prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
-                prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                assert_eq!(p.len(), 2, "case {case}");
+                assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)), "case {case}");
+                assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn label_matrix_roundtrip(rows in vote_matrix(10, 6)) {
+#[test]
+fn label_matrix_roundtrip() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(2, case);
+        let rows = vote_matrix(rng, 10, 6);
         let m = LabelMatrix::from_votes(&rows).unwrap();
-        prop_assert_eq!(m.n_instances(), rows.len());
+        assert_eq!(m.n_instances(), rows.len());
         for (i, row) in rows.iter().enumerate() {
-            prop_assert_eq!(m.row(i), row.as_slice());
+            assert_eq!(m.row(i), row.as_slice());
         }
         // Column selection preserves content.
         let cols: Vec<usize> = (0..m.n_lfs()).rev().collect();
         let sel = m.select_columns(&cols).unwrap();
         for i in 0..m.n_instances() {
             for (k, &c) in cols.iter().enumerate() {
-                prop_assert_eq!(sel.get(i, k), m.get(i, c));
+                assert_eq!(sel.get(i, k), m.get(i, c));
             }
         }
     }
+}
 
-    #[test]
-    fn confusion_coverage_monotone_in_tau(
-        al in proptest::collection::vec(binary_dist(), 1..20),
-        lm_seed in 0u64..1000,
-    ) {
-        let n = al.len();
-        let lm: Vec<Vec<f64>> = (0..n).map(|i| {
-            let p = ((i as u64 * 7 + lm_seed) % 100) as f64 / 100.0;
-            vec![1.0 - p, p]
-        }).collect();
+#[test]
+fn confusion_coverage_monotone_in_tau() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(3, case);
+        let n = rng.gen_range(1..20usize);
+        let al: Vec<Vec<f64>> = (0..n).map(|_| binary_dist(rng)).collect();
+        let lm_seed = rng.gen_range(0..1000u64);
+        let lm: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let p = ((i as u64 * 7 + lm_seed) % 100) as f64 / 100.0;
+                vec![1.0 - p, p]
+            })
+            .collect();
         let has_vote: Vec<bool> = (0..n).map(|i| (i as u64 + lm_seed) % 3 != 0).collect();
         let coverage = |tau: f64| {
             aggregate(&al, &lm, &has_vote, tau)
@@ -82,40 +99,55 @@ proptest! {
                 .count()
         };
         // Raising tau can only shrink the covered set.
-        prop_assert!(coverage(0.0) >= coverage(0.55));
-        prop_assert!(coverage(0.55) >= coverage(0.8));
-        prop_assert!(coverage(0.8) >= coverage(1.01));
+        assert!(coverage(0.0) >= coverage(0.55), "case {case}");
+        assert!(coverage(0.55) >= coverage(0.8), "case {case}");
+        assert!(coverage(0.8) >= coverage(1.01), "case {case}");
     }
+}
 
-    #[test]
-    fn tuned_threshold_is_a_valid_confidence(
-        al in proptest::collection::vec(binary_dist(), 2..20),
-    ) {
-        let n = al.len();
+#[test]
+fn tuned_threshold_is_a_valid_confidence() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(4, case);
+        let n = rng.gen_range(2..20usize);
+        let al: Vec<Vec<f64>> = (0..n).map(|_| binary_dist(rng)).collect();
         let lm: Vec<Vec<f64>> = al.iter().rev().cloned().collect();
         let has_vote = vec![true; n];
         let truth: Vec<usize> = (0..n).map(|i| i % 2).collect();
         let tau = tune_threshold(&al, &lm, &has_vote, &truth);
-        prop_assert!((0.0..=1.0).contains(&tau));
+        assert!((0.0..=1.0).contains(&tau), "case {case}: tau {tau}");
     }
+}
 
-    #[test]
-    fn entropy_bounds_hold(p in binary_dist()) {
+#[test]
+fn entropy_bounds_hold() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(5, case);
+        let p = binary_dist(rng);
         let h = entropy(&p);
-        prop_assert!(h >= 0.0);
-        prop_assert!(h <= (2.0f64).ln() + 1e-12);
+        assert!(h >= 0.0, "case {case}");
+        assert!(h <= (2.0f64).ln() + 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn softmax_produces_distribution(logits in proptest::collection::vec(-30.0f64..30.0, 1..6)) {
-        let mut l = logits;
+#[test]
+fn softmax_produces_distribution() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(6, case);
+        let len = rng.gen_range(1..6usize);
+        let mut l: Vec<f64> = (0..len).map(|_| rng.gen_range(-30.0..=30.0)).collect();
         softmax_inplace(&mut l);
-        prop_assert!((l.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        prop_assert!(l.iter().all(|&x| x >= 0.0));
+        assert!((l.iter().sum::<f64>() - 1.0).abs() < 1e-9, "case {case}");
+        assert!(l.iter().all(|&x| x >= 0.0), "case {case}");
     }
+}
 
-    #[test]
-    fn cholesky_reconstructs_spd_matrices(seed in 0u64..500, dim in 1usize..6) {
+#[test]
+fn cholesky_reconstructs_spd_matrices() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(7, case);
+        let seed = rng.gen_range(0..500u64);
+        let dim = rng.gen_range(1..6usize);
         // Build SPD as B Bᵀ + I from a deterministic pseudo-random B.
         let b = Matrix::from_fn(dim, dim, |i, j| {
             (((seed as usize + i * 31 + j * 17) % 13) as f64 - 6.0) / 6.0
@@ -126,27 +158,36 @@ proptest! {
         let rec = ch.factor_l().matmul(&ch.factor_l().transpose()).unwrap();
         for i in 0..dim {
             for j in 0..dim {
-                prop_assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-8);
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-8, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn covariance_diagonal_nonnegative(seed in 0u64..500, n in 2usize..12, p in 1usize..5) {
+#[test]
+fn covariance_diagonal_nonnegative() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(8, case);
+        let seed = rng.gen_range(0..500u64);
+        let n = rng.gen_range(2..12usize);
+        let p = rng.gen_range(1..5usize);
         let data = Matrix::from_fn(n, p, |i, j| {
             (((seed as usize + i * 13 + j * 7) % 23) as f64 - 11.0) * 0.1
         });
         let cov = covariance_matrix(&data).unwrap();
         for j in 0..p {
-            prop_assert!(cov[(j, j)] >= -1e-12);
+            assert!(cov[(j, j)] >= -1e-12, "case {case}");
         }
-        prop_assert!(cov.is_symmetric(1e-12));
+        assert!(cov.is_symmetric(1e-12), "case {case}");
     }
+}
 
-    #[test]
-    fn lasso_solution_sparsity_grows_with_penalty(
-        s0 in -1.0f64..1.0, s1 in -1.0f64..1.0,
-    ) {
+#[test]
+fn lasso_solution_sparsity_grows_with_penalty() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(9, case);
+        let s0 = rng.gen_range(-1.0..=1.0);
+        let s1 = rng.gen_range(-1.0..=1.0);
         let v = Matrix::identity(2);
         let s = vec![s0, s1];
         let nnz = |rho: f64| {
@@ -154,14 +195,19 @@ proptest! {
             lasso_quadratic_cd(&v, &s, rho, &mut beta, Default::default()).unwrap();
             beta.iter().filter(|&&b| b != 0.0).count()
         };
-        prop_assert!(nnz(0.01) >= nnz(0.5));
-        prop_assert!(nnz(0.5) >= nnz(2.0));
+        assert!(nnz(0.01) >= nnz(0.5), "case {case}");
+        assert!(nnz(0.5) >= nnz(2.0), "case {case}");
     }
+}
 
-    #[test]
-    fn csr_matvec_matches_dense(rows in proptest::collection::vec(
-        proptest::collection::vec(-5.0f64..5.0, 3), 1..8,
-    )) {
+#[test]
+fn csr_matvec_matches_dense() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(10, case);
+        let n = rng.gen_range(1..8usize);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.gen_range(-5.0..=5.0)).collect())
+            .collect();
         let mut b = CsrBuilder::new(3);
         for r in &rows {
             b.push_row(r.iter().enumerate().map(|(j, &x)| (j as u32, x)).collect());
@@ -172,24 +218,28 @@ proptest! {
         let sv = sparse.matvec(&v).unwrap();
         let dv = dense.matvec(&v).unwrap();
         for (a, c) in sv.iter().zip(&dv) {
-            prop_assert!((a - c).abs() < 1e-9);
+            assert!((a - c).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn lf_accuracy_and_coverage_in_unit_interval(rows in vote_matrix(15, 4)) {
+#[test]
+fn lf_accuracy_and_coverage_in_unit_interval() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(11, case);
+        let rows = vote_matrix(rng, 15, 4);
         let m = LabelMatrix::from_votes(&rows).unwrap();
         let labels: Vec<usize> = (0..m.n_instances()).map(|i| i % 2).collect();
         for j in 0..m.n_lfs() {
             let cov = m.lf_coverage(j);
-            prop_assert!((0.0..=1.0).contains(&cov));
+            assert!((0.0..=1.0).contains(&cov), "case {case}");
             if let Some(acc) = m.lf_accuracy(j, &labels) {
-                prop_assert!((0.0..=1.0).contains(&acc));
-                prop_assert!(cov > 0.0);
+                assert!((0.0..=1.0).contains(&acc), "case {case}");
+                assert!(cov > 0.0, "case {case}");
             }
         }
-        prop_assert!(m.coverage() >= m.overlap());
-        prop_assert!(m.overlap() >= m.conflict());
+        assert!(m.coverage() >= m.overlap(), "case {case}");
+        assert!(m.overlap() >= m.conflict(), "case {case}");
     }
 }
 

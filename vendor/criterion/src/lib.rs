@@ -1,0 +1,329 @@
+//! In-tree shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The workspace must build offline, so this crate provides a small but
+//! *functional* benchmark harness behind the familiar entry points:
+//! [`Criterion`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`Criterion::benchmark_group`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (both macro forms).
+//!
+//! Each benchmark is warmed up once, then timed over `sample_size` samples;
+//! fast routines are batched so a sample stays measurable. Results print as
+//!
+//! ```text
+//! logreg_grad_serial_10000x64   time: [min 1.02 ms  mean 1.05 ms  max 1.11 ms]
+//! ```
+//!
+//! A positional CLI argument filters benchmarks by substring, mirroring
+//! `cargo bench -- <filter>`. No plots, no regression statistics.
+
+use std::time::{Duration, Instant};
+
+/// Batch-size hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility, the shim times each invocation individually either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement settings plus the CLI name filter.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Soft cap on the total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Reads the benchmark-name filter from the command line. Flags
+    /// (`--bench`, `--quiet`, …) are ignored; the first positional argument
+    /// is treated as a substring filter.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: vec![],
+        };
+        f(&mut bencher);
+        report(name, &bencher.samples);
+        self
+    }
+
+    /// Starts a named group; the shim's groups only prefix benchmark names.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// No-op, for API compatibility.
+    pub fn final_summary(&self) {}
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Overrides the measurement-time cap for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs one benchmark under the group's prefix.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name);
+        let saved = (self.criterion.sample_size, self.criterion.measurement_time);
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        if let Some(d) = self.measurement_time {
+            self.criterion.measurement_time = d;
+        }
+        self.criterion.bench_function(&full, f);
+        (self.criterion.sample_size, self.criterion.measurement_time) = saved;
+        self
+    }
+
+    /// Ends the group (no-op; everything prints as it runs).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean per-iteration duration of each sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` (including its return-value drop).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: one untimed run, then size the batches.
+        let start = Instant::now();
+        let _ = routine();
+        let est = start.elapsed();
+        let iters = iters_per_sample(est, self.sample_size, self.measurement_time);
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                t.elapsed() / iters as u32
+            })
+            .collect();
+    }
+
+    /// Times `routine` only, regenerating its input with `setup` each call.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let _ = routine(input);
+        let est = start.elapsed();
+        let iters = iters_per_sample(est, self.sample_size, self.measurement_time);
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let t = Instant::now();
+                    std::hint::black_box(routine(input));
+                    total += t.elapsed();
+                }
+                total / iters as u32
+            })
+            .collect();
+    }
+}
+
+/// How many iterations to batch into one sample so the whole benchmark
+/// stays near `measurement_time` but slow routines still run once per
+/// sample.
+fn iters_per_sample(est: Duration, samples: usize, budget: Duration) -> usize {
+    let per_sample = budget.as_nanos() / samples.max(1) as u128;
+    let est = est.as_nanos().max(1);
+    (per_sample / est).clamp(1, 1_000_000) as usize
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} time: [min {}  mean {}  max {}]",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, in either criterion macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_times() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0usize;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100).sum::<usize>())
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+        c.bench_function("does-match-me", |b| b.iter(|| std::hint::black_box(1)));
+    }
+
+    #[test]
+    fn groups_prefix_and_restore_settings() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(5));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("inner", |b| b.iter(|| std::hint::black_box(2)));
+            g.finish();
+        }
+        assert_eq!(c.sample_size, 4);
+    }
+
+    #[test]
+    fn iter_batched_times_routine() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
