@@ -61,7 +61,7 @@ pub trait Framework: Send {
     fn evaluate(&self) -> Result<FrameworkEval, ActiveDpError>;
 }
 
-impl Framework for ActiveDpSession<'_> {
+impl Framework for ActiveDpSession {
     fn name(&self) -> &'static str {
         "ActiveDP"
     }
@@ -166,7 +166,7 @@ mod tests {
     fn activedp_session_implements_framework() {
         let data = tiny_text();
         let cfg = SessionConfig::paper_defaults(true, 1);
-        let mut session = ActiveDpSession::new(&data, cfg).unwrap();
+        let mut session = ActiveDpSession::new(data, cfg).unwrap();
         assert_eq!(Framework::name(&session), "ActiveDP");
         let eval = drive(&mut session, 10);
         assert!(eval.test_accuracy > 0.4);

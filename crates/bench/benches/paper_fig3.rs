@@ -18,14 +18,14 @@ fn drive(fw: &mut dyn Framework) -> f64 {
 }
 
 fn bench_fig3(c: &mut Criterion) {
-    let data = bench_dataset(DatasetId::Youtube);
+    let data = bench_dataset(DatasetId::Youtube).into_shared();
     let mut group = c.benchmark_group("fig3_endtoend");
     group.sample_size(10);
 
     group.bench_function("activedp", |b| {
         b.iter(|| {
             let cfg = SessionConfig::paper_defaults(true, 9);
-            let mut fw = ActiveDpSession::new(&data, cfg).expect("session builds");
+            let mut fw = ActiveDpSession::new(data.clone(), cfg).expect("session builds");
             black_box(drive(&mut fw))
         })
     });

@@ -12,8 +12,8 @@ use std::hint::black_box;
 
 const BUDGET: usize = 20;
 
-fn session_auc(data: &adp_data::SplitDataset, cfg: SessionConfig) -> f64 {
-    let mut session = ActiveDpSession::new(data, cfg).expect("session builds");
+fn session_auc(data: &adp_data::SharedDataset, cfg: SessionConfig) -> f64 {
+    let mut session = ActiveDpSession::new(data.clone(), cfg).expect("session builds");
     let mut acc = 0.0;
     let mut evals = 0;
     for it in 1..=BUDGET {
@@ -42,7 +42,7 @@ fn bench_table2(c: &mut Criterion) {
 
 /// Table 3: the four ablation variants on one dataset.
 fn bench_table3(c: &mut Criterion) {
-    let data = bench_dataset(DatasetId::Youtube);
+    let data = bench_dataset(DatasetId::Youtube).into_shared();
     c.bench_function("table3_ablation_row", |b| {
         b.iter(|| {
             for (lp, cf) in [(false, false), (true, false), (false, true), (true, true)] {
@@ -59,7 +59,7 @@ fn bench_table3(c: &mut Criterion) {
 
 /// Table 4: the five sampler choices on one dataset.
 fn bench_table4(c: &mut Criterion) {
-    let data = bench_dataset(DatasetId::Occupancy);
+    let data = bench_dataset(DatasetId::Occupancy).into_shared();
     c.bench_function("table4_sampler_row", |b| {
         b.iter(|| {
             for sampler in [
@@ -81,7 +81,7 @@ fn bench_table4(c: &mut Criterion) {
 
 /// Table 5: the four label-noise levels on one dataset.
 fn bench_table5(c: &mut Criterion) {
-    let data = bench_dataset(DatasetId::Youtube);
+    let data = bench_dataset(DatasetId::Youtube).into_shared();
     c.bench_function("table5_noise_row", |b| {
         b.iter(|| {
             for noise in [0.0, 0.05, 0.10, 0.15] {

@@ -1,0 +1,103 @@
+//! Throughput benchmarks for the `adp-serve` SessionHub: many concurrent
+//! sessions stepped through the sharded registry, versus the same work on
+//! one engine, and single-step versus batched stepping.
+
+use activedp::Engine;
+use adp_bench::bench_dataset;
+use adp_data::{DatasetId, SharedDataset};
+use adp_serve::SessionHub;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SESSIONS: u64 = 8;
+const STEPS: usize = 10;
+
+fn data() -> SharedDataset {
+    bench_dataset(DatasetId::Youtube).into_shared()
+}
+
+/// N sessions × STEPS iterations through the hub, clients on one thread.
+fn bench_hub_throughput(c: &mut Criterion) {
+    let data = data();
+    let mut group = c.benchmark_group("session_hub");
+    group.sample_size(10);
+
+    group.bench_function("hub_8_sessions_sequential_clients", |b| {
+        b.iter(|| {
+            let hub = SessionHub::new(4);
+            let ids: Vec<_> = (0..SESSIONS)
+                .map(|seed| {
+                    hub.open(Engine::builder(data.clone()).seed(seed))
+                        .expect("session opens")
+                })
+                .collect();
+            for _ in 0..STEPS {
+                for &id in &ids {
+                    black_box(hub.step(id).expect("step succeeds"));
+                }
+            }
+            black_box(hub.session_count())
+        })
+    });
+
+    group.bench_function("hub_8_sessions_concurrent_clients", |b| {
+        b.iter(|| {
+            let hub = SessionHub::new(4);
+            let ids: Vec<_> = (0..SESSIONS)
+                .map(|seed| {
+                    hub.open(Engine::builder(data.clone()).seed(seed))
+                        .expect("session opens")
+                })
+                .collect();
+            std::thread::scope(|scope| {
+                for &id in &ids {
+                    let hub = &hub;
+                    scope.spawn(move || {
+                        for _ in 0..STEPS {
+                            black_box(hub.step(id).expect("step succeeds"));
+                        }
+                    });
+                }
+            });
+            black_box(hub.session_count())
+        })
+    });
+
+    // The no-hub baseline: the same total work on bare engines, serially.
+    group.bench_function("solo_8_sessions_baseline", |b| {
+        b.iter(|| {
+            for seed in 0..SESSIONS {
+                let mut e = Engine::builder(data.clone())
+                    .seed(seed)
+                    .build()
+                    .expect("engine builds");
+                e.run(STEPS).expect("engine runs");
+                black_box(e.state().iteration);
+            }
+        })
+    });
+
+    // Batched stepping: same query budget, one refit per batch of 5.
+    group.bench_function("hub_8_sessions_step_batch_5", |b| {
+        b.iter(|| {
+            let hub = SessionHub::new(4);
+            let ids: Vec<_> = (0..SESSIONS)
+                .map(|seed| {
+                    hub.open(Engine::builder(data.clone()).seed(seed))
+                        .expect("session opens")
+                })
+                .collect();
+            for _ in 0..STEPS / 5 {
+                for &id in &ids {
+                    black_box(hub.step_batch(id, 5).expect("batch succeeds"));
+                }
+            }
+            black_box(hub.session_count())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(session_hub, bench_hub_throughput);
+criterion_main!(session_hub);

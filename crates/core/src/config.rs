@@ -5,6 +5,19 @@ use crate::error::ActiveDpError;
 use crate::labelpick::LabelPickConfig;
 use adp_classifier::LogRegConfig;
 use adp_labelmodel::LabelModelKind;
+use adp_lf::{SimulatedUser, UserConfig};
+
+/// XOR mask separating the oracle's RNG stream from the master seed.
+///
+/// Every component seeded from [`SessionConfig::seed`] gets its own
+/// constant so no two components ever share an RNG stream; the derivation
+/// lives *only* here (consumed through [`SessionConfig::oracle_seed`] and
+/// [`SessionConfig::sampler_seed`]) so the builder, the facade and the
+/// stages cannot drift apart.
+const SEED_STREAM_ORACLE: u64 = 0x5EED_0001;
+
+/// XOR mask separating the sampler's RNG stream from the master seed.
+const SEED_STREAM_SAMPLER: u64 = 0x5EED_0002;
 
 /// Which sample selector drives the training loop (Table 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +108,34 @@ impl SessionConfig {
         }
     }
 
+    /// Seed of the oracle's RNG stream, derived from the master seed.
+    ///
+    /// The derivation is the single source of truth for how the simulated
+    /// user is seeded; [`SessionConfig::simulated_user`] and any custom
+    /// construction path must go through it so a given master seed always
+    /// reproduces the same oracle behaviour.
+    pub fn oracle_seed(&self) -> u64 {
+        self.seed ^ SEED_STREAM_ORACLE
+    }
+
+    /// Seed of the query sampler's RNG stream, derived from the master seed.
+    pub fn sampler_seed(&self) -> u64 {
+        self.seed ^ SEED_STREAM_SAMPLER
+    }
+
+    /// The simulated user of §4.1.4 for this configuration: candidate
+    /// accuracy threshold and noise rate from the config, RNG seeded from
+    /// [`SessionConfig::oracle_seed`].
+    pub fn simulated_user(&self) -> SimulatedUser {
+        SimulatedUser::new(
+            UserConfig {
+                acc_threshold: self.acc_threshold,
+                noise_rate: self.noise_rate,
+            },
+            self.oracle_seed(),
+        )
+    }
+
     pub(crate) fn validate(&self) -> Result<(), ActiveDpError> {
         if !(0.0..=1.0).contains(&self.alpha) {
             return Err(ActiveDpError::BadConfig {
@@ -112,5 +153,44 @@ impl SessionConfig {
             });
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_streams_are_centralised_and_distinct() {
+        let cfg = SessionConfig::paper_defaults(true, 7);
+        assert_eq!(cfg.oracle_seed(), 7 ^ SEED_STREAM_ORACLE);
+        assert_eq!(cfg.sampler_seed(), 7 ^ SEED_STREAM_SAMPLER);
+        // The streams never collide with each other or the master seed.
+        assert_ne!(cfg.oracle_seed(), cfg.sampler_seed());
+        assert_ne!(cfg.oracle_seed(), cfg.seed);
+        assert_ne!(cfg.sampler_seed(), cfg.seed);
+    }
+
+    #[test]
+    fn simulated_user_derives_from_config() {
+        // Two users built from identical configs must behave identically;
+        // a different master seed must produce a different oracle stream.
+        // (The exact derivation is pinned by the golden-trajectory test.)
+        let data = adp_data::generate(adp_data::DatasetId::Youtube, adp_data::Scale::Tiny, 9)
+            .expect("tiny dataset generates");
+        let space = adp_lf::CandidateSpace::build(&data.train);
+        let respond_all = |seed: u64| {
+            let mut user = SessionConfig::paper_defaults(true, seed).simulated_user();
+            (0..data.train.len())
+                .map(|i| {
+                    user.respond(&space, &data.train, &data.train, i)
+                        .map(|lf| lf.key())
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = respond_all(9);
+        assert_eq!(a, respond_all(9), "same config must reproduce the oracle");
+        assert!(a.iter().any(Option::is_some), "oracle answered nothing");
+        assert_ne!(a, respond_all(10), "seed must reach the oracle stream");
     }
 }

@@ -1,0 +1,217 @@
+//! Validating construction of the owned [`Engine`].
+//!
+//! The builder is the single construction path for engines (the
+//! `ActiveDpSession` facade goes through it too): dataset first, then the
+//! oracle, the sampler, the ablation switches, and the seed last —
+//! mirroring how a session is described in the paper. [`SessionConfig`]
+//! stays the serialisable core underneath; the builder starts from
+//! [`SessionConfig::paper_defaults`] for the dataset's modality and every
+//! setter edits that config, so `.config(cfg)` followed by individual
+//! overrides composes naturally.
+
+use super::{Engine, QueryingStage, SamplingStage, SessionState, StepObserver, TrainingStage};
+use crate::config::{SamplerChoice, SessionConfig};
+use crate::error::ActiveDpError;
+use crate::oracle::Oracle;
+use adp_data::SharedDataset;
+use adp_labelmodel::LabelModelKind;
+
+/// Builder for [`Engine`]: `Engine::builder(data).seed(7).build()?`.
+///
+/// Defaults: the paper configuration for the dataset's modality
+/// ([`SessionConfig::paper_defaults`]), the simulated user of §4.1.4 as the
+/// oracle (seeded via [`SessionConfig::oracle_seed`]), and seed 0.
+/// [`EngineBuilder::build`] validates the assembled configuration and is
+/// the only way to obtain an engine.
+pub struct EngineBuilder {
+    data: SharedDataset,
+    config: SessionConfig,
+    oracle: Option<Box<dyn Oracle>>,
+    observers: Vec<Box<dyn StepObserver>>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder over `data` (an owned `SplitDataset` or an existing
+    /// [`SharedDataset`] handle).
+    pub fn new(data: impl Into<SharedDataset>) -> Self {
+        let data = data.into();
+        let config = SessionConfig::paper_defaults(data.is_textual(), 0);
+        EngineBuilder {
+            data,
+            config,
+            oracle: None,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Replaces the whole configuration core (modality defaults included).
+    /// Setters called afterwards still apply on top.
+    pub fn config(mut self, config: SessionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Plugs in a custom oracle (e.g. an interactive UI). Without this the
+    /// engine uses [`SessionConfig::simulated_user`]. A custom oracle owns
+    /// its own randomness; the builder's [`seed`](Self::seed) only reaches
+    /// it when it was constructed from [`SessionConfig::oracle_seed`].
+    pub fn oracle(mut self, oracle: Box<dyn Oracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Chooses the query-instance selector (Table 4).
+    pub fn sampler(mut self, sampler: SamplerChoice) -> Self {
+        self.config.sampler = sampler;
+        self
+    }
+
+    /// ADP sampler trade-off α (validated to `[0, 1]` at build time).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Which label model aggregates the LFs.
+    pub fn label_model(mut self, kind: LabelModelKind) -> Self {
+        self.config.label_model = kind;
+        self
+    }
+
+    /// Ablation switch: LabelPick LF selection (§3.4).
+    pub fn labelpick(mut self, enabled: bool) -> Self {
+        self.config.use_labelpick = enabled;
+        self
+    }
+
+    /// Ablation switch: ConFusion aggregation (§3.2).
+    pub fn confusion(mut self, enabled: bool) -> Self {
+        self.config.use_confusion = enabled;
+        self
+    }
+
+    /// Simulated-user label-noise rate (Table 5; validated to `[0, 1]`).
+    pub fn noise_rate(mut self, rate: f64) -> Self {
+        self.config.noise_rate = rate;
+        self
+    }
+
+    /// Master seed: the oracle and sampler streams derive from it through
+    /// [`SessionConfig::oracle_seed`] / [`SessionConfig::sampler_seed`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Registers a per-step instrumentation hook (see [`StepObserver`]).
+    pub fn observer(mut self, observer: impl StepObserver + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Validates the configuration and assembles the engine.
+    pub fn build(self) -> Result<Engine, ActiveDpError> {
+        self.config.validate()?;
+        let oracle = match self.oracle {
+            Some(oracle) => oracle,
+            None => Box::new(self.config.simulated_user()),
+        };
+        Ok(Engine {
+            state: SessionState::new(&self.data),
+            sampling: SamplingStage::from_config(&self.config),
+            querying: QueryingStage::new(&self.data, oracle),
+            training: TrainingStage::from_config(&self.data, &self.config),
+            data: self.data,
+            config: self.config,
+            observers: self.observers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{generate, DatasetId, Scale, SplitDataset};
+    use adp_lf::SimulatedUser;
+    use std::sync::Arc;
+
+    fn tiny() -> SharedDataset {
+        generate(DatasetId::Youtube, Scale::Tiny, 5)
+            .unwrap()
+            .into_shared()
+    }
+
+    #[test]
+    fn defaults_follow_dataset_modality() {
+        let text = EngineBuilder::new(tiny()).build().unwrap();
+        assert!((text.config().alpha - 0.5).abs() < 1e-12);
+        let tabular = generate(DatasetId::Occupancy, Scale::Tiny, 5).unwrap();
+        let tabular = EngineBuilder::new(tabular).build().unwrap();
+        assert!((tabular.config().alpha - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accepts_owned_and_shared_datasets() {
+        let owned: SplitDataset = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
+        assert!(Engine::builder(owned).build().is_ok());
+        let shared: Arc<SplitDataset> = tiny();
+        assert!(Engine::builder(shared.clone()).build().is_ok());
+        assert!(Engine::builder(shared).build().is_ok());
+    }
+
+    #[test]
+    fn setters_edit_the_config_core() {
+        let e = Engine::builder(tiny())
+            .config(SessionConfig::ablation_baseline(true, 1))
+            .sampler(SamplerChoice::Passive)
+            .alpha(0.25)
+            .label_model(LabelModelKind::MajorityVote)
+            .labelpick(true)
+            .confusion(false)
+            .noise_rate(0.1)
+            .seed(9)
+            .build()
+            .unwrap();
+        let cfg = e.config();
+        assert_eq!(cfg.sampler, SamplerChoice::Passive);
+        assert_eq!(cfg.alpha, 0.25);
+        assert_eq!(cfg.label_model, LabelModelKind::MajorityVote);
+        assert!(cfg.use_labelpick);
+        assert!(!cfg.use_confusion);
+        assert_eq!(cfg.noise_rate, 0.1);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn build_rejects_invalid_alpha() {
+        let err = Engine::builder(tiny()).alpha(2.0).build();
+        assert!(matches!(err, Err(ActiveDpError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn build_rejects_invalid_noise_rate() {
+        let err = Engine::builder(tiny()).noise_rate(-0.1).build();
+        assert!(matches!(err, Err(ActiveDpError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn build_rejects_invalid_config_core() {
+        let mut cfg = SessionConfig::paper_defaults(true, 0);
+        cfg.acc_threshold = 1.0;
+        let err = Engine::builder(tiny()).config(cfg).build();
+        assert!(matches!(err, Err(ActiveDpError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn custom_oracle_is_used() {
+        // A noise-free user seeded differently from the default stream
+        // changes nothing structural — the point is it plugs in.
+        let data = tiny();
+        let mut e = Engine::builder(data)
+            .oracle(Box::new(SimulatedUser::with_defaults(123)))
+            .build()
+            .unwrap();
+        e.run(5).unwrap();
+        assert_eq!(e.state().iteration, 5);
+    }
+}

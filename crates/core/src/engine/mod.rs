@@ -12,18 +12,24 @@
 //!    (§3.2, run on demand rather than per iteration).
 //!
 //! [`Engine`] wires the stages together; samplers, oracles, label models
-//! and classifiers all plug in behind their existing traits. The
-//! [`ActiveDpSession`](crate::ActiveDpSession) facade preserves the
-//! original monolithic API on top of this engine, and the
+//! and classifiers all plug in behind their existing traits. The engine
+//! *owns* its dataset behind a [`SharedDataset`] handle and is
+//! `Send + 'static`, so sessions can be stored in registries, moved across
+//! threads, and served concurrently (see the `adp-serve` crate's
+//! `SessionHub`). Construction goes through the validating
+//! [`EngineBuilder`]; the [`ActiveDpSession`](crate::ActiveDpSession)
+//! facade preserves the original monolithic API on top, and the
 //! `engine_matches_golden_trajectory` integration test pins the staged
 //! loop to the pre-refactor trajectory seed-for-seed.
 
+pub mod builder;
 pub mod inference;
 pub mod querying;
 pub mod sampling;
 pub mod state;
 pub mod training;
 
+pub use builder::EngineBuilder;
 pub use inference::EvalReport;
 pub use querying::QueryingStage;
 pub use sampling::SamplingStage;
@@ -32,9 +38,8 @@ pub use training::TrainingStage;
 
 use crate::config::SessionConfig;
 use crate::error::ActiveDpError;
-use crate::oracle::Oracle;
-use adp_data::SplitDataset;
-use adp_lf::{LabelFunction, SimulatedUser, UserConfig};
+use adp_data::{SharedDataset, SplitDataset};
+use adp_lf::LabelFunction;
 
 /// One phase of the loop: a named transformation of the shared state.
 ///
@@ -75,50 +80,65 @@ pub struct StepOutcome {
     pub n_selected: usize,
 }
 
+/// Per-step instrumentation hook.
+///
+/// Observers registered on an [`Engine`] (via
+/// [`EngineBuilder::observer`] or [`Engine::add_observer`]) see every
+/// [`StepOutcome`] right after it is produced — from both [`Engine::step`]
+/// and [`Engine::step_batch`] — without participating in the trajectory.
+/// Any `FnMut(&StepOutcome) + Send` closure is an observer.
+pub trait StepObserver: Send {
+    /// Called once per completed loop iteration.
+    fn on_step(&mut self, outcome: &StepOutcome);
+}
+
+impl<F: FnMut(&StepOutcome) + Send> StepObserver for F {
+    fn on_step(&mut self, outcome: &StepOutcome) {
+        self(outcome)
+    }
+}
+
 /// The staged ActiveDP engine: sampling → querying → training per step,
 /// inference on demand.
-pub struct Engine<'a> {
-    data: &'a SplitDataset,
+///
+/// The engine owns everything it runs over — the dataset (behind a cheap
+/// [`SharedDataset`] handle), the oracle, the sampler and the models — and
+/// is therefore `Send + 'static`: it can be boxed into a registry, handed
+/// to a worker thread, or kept alive long after its creator returned.
+/// Build one with [`Engine::builder`].
+pub struct Engine {
+    data: SharedDataset,
     config: SessionConfig,
     state: SessionState,
     sampling: SamplingStage,
     querying: QueryingStage,
     training: TrainingStage,
+    observers: Vec<Box<dyn StepObserver>>,
 }
 
-impl<'a> Engine<'a> {
-    /// An engine with the simulated user of §4.1.4 as the oracle.
-    pub fn new(data: &'a SplitDataset, config: SessionConfig) -> Result<Self, ActiveDpError> {
-        let user = SimulatedUser::new(
-            UserConfig {
-                acc_threshold: config.acc_threshold,
-                noise_rate: config.noise_rate,
-            },
-            config.seed ^ 0x5EED_0001,
-        );
-        Self::with_oracle(data, config, Box::new(user))
-    }
-
-    /// An engine with a custom oracle (e.g. an interactive UI).
-    pub fn with_oracle(
-        data: &'a SplitDataset,
-        config: SessionConfig,
-        oracle: Box<dyn Oracle>,
-    ) -> Result<Self, ActiveDpError> {
-        config.validate()?;
-        Ok(Engine {
-            state: SessionState::new(data),
-            sampling: SamplingStage::from_config(&config),
-            querying: QueryingStage::new(data, oracle),
-            training: TrainingStage::from_config(data, &config),
-            data,
-            config,
-        })
+impl Engine {
+    /// Starts a validating [`EngineBuilder`] over `data` (an owned
+    /// [`SplitDataset`] or an existing [`SharedDataset`] handle).
+    ///
+    /// ```
+    /// # use activedp::Engine;
+    /// # use adp_data::{generate, DatasetId, Scale};
+    /// let data = generate(DatasetId::Youtube, Scale::Tiny, 7).unwrap();
+    /// let engine = Engine::builder(data).seed(7).build().unwrap();
+    /// ```
+    pub fn builder(data: impl Into<SharedDataset>) -> EngineBuilder {
+        EngineBuilder::new(data)
     }
 
     /// The dataset split the engine runs over.
-    pub fn data(&self) -> &'a SplitDataset {
-        self.data
+    pub fn data(&self) -> &SplitDataset {
+        &self.data
+    }
+
+    /// A clonable handle to the dataset split, for sharing with other
+    /// sessions or threads.
+    pub fn shared_data(&self) -> SharedDataset {
+        self.data.clone()
     }
 
     /// The session configuration.
@@ -131,21 +151,73 @@ impl<'a> Engine<'a> {
         &self.state
     }
 
+    /// Registers a per-step instrumentation hook (see [`StepObserver`]).
+    pub fn add_observer(&mut self, observer: impl StepObserver + 'static) {
+        self.observers.push(Box::new(observer));
+    }
+
     /// One training iteration of Figure 1 (left): sampling → querying →
     /// training.
     pub fn step(&mut self) -> Result<StepOutcome, ActiveDpError> {
         self.state.iteration += 1;
         let query = self
             .sampling
-            .select(self.data, self.querying.space(), &mut self.state);
+            .select(&self.data, self.querying.space(), &mut self.state);
         let Some(query) = query else {
-            return Ok(self.outcome(None, None));
+            let outcome = self.outcome(self.state.iteration, None, None);
+            self.notify(std::slice::from_ref(&outcome));
+            return Ok(outcome);
         };
-        let lf = self.querying.query(self.data, &mut self.state, query)?;
+        let lf = self.querying.query(&self.data, &mut self.state, query)?;
         if lf.is_some() {
-            self.training.refit(self.data, &mut self.state)?;
+            self.training.refit(&self.data, &mut self.state)?;
         }
-        Ok(self.outcome(Some(query), lf))
+        let outcome = self.outcome(self.state.iteration, Some(query), lf);
+        self.notify(std::slice::from_ref(&outcome));
+        Ok(outcome)
+    }
+
+    /// Batched stepping: samples and queries up to `k` instances against
+    /// the *current* models, then refits once.
+    ///
+    /// Each drawn query still consumes one loop iteration and produces one
+    /// [`StepOutcome`], but LabelPick and the model refits run a single
+    /// time at the end of the batch — the batching the ROADMAP's
+    /// budget/latency studies trade accuracy-per-refit against. Because the
+    /// per-outcome counters are read after that one refit,
+    /// `step_batch(1)` is bitwise identical to [`Engine::step`].
+    ///
+    /// The batch stops early when the pool is exhausted (final outcome has
+    /// `query: None`, matching [`Engine::step`]). `k = 0` is a no-op.
+    pub fn step_batch(&mut self, k: usize) -> Result<Vec<StepOutcome>, ActiveDpError> {
+        // The batch can never outgrow the pool (plus one exhaustion
+        // outcome), so cap the pre-allocation — callers may pass huge `k`
+        // to mean "run to exhaustion".
+        let mut drawn: Vec<(usize, Option<usize>, Option<LabelFunction>)> =
+            Vec::with_capacity(k.min(self.data.train.len() + 1));
+        let mut collected_lf = false;
+        for _ in 0..k {
+            self.state.iteration += 1;
+            let query = self
+                .sampling
+                .select(&self.data, self.querying.space(), &mut self.state);
+            let Some(query) = query else {
+                drawn.push((self.state.iteration, None, None));
+                break;
+            };
+            let lf = self.querying.query(&self.data, &mut self.state, query)?;
+            collected_lf |= lf.is_some();
+            drawn.push((self.state.iteration, Some(query), lf));
+        }
+        if collected_lf {
+            self.training.refit(&self.data, &mut self.state)?;
+        }
+        let outcomes: Vec<StepOutcome> = drawn
+            .into_iter()
+            .map(|(iteration, query, lf)| self.outcome(iteration, query, lf))
+            .collect();
+        self.notify(&outcomes);
+        Ok(outcomes)
     }
 
     /// Runs `iterations` training steps.
@@ -161,22 +233,35 @@ impl<'a> Engine<'a> {
     pub fn aggregate_train_labels(
         &self,
     ) -> Result<crate::confusion::AggregatedLabels, ActiveDpError> {
-        inference::aggregate_train_labels(self.data, &self.config, &self.training, &self.state)
+        inference::aggregate_train_labels(&self.data, &self.config, &self.training, &self.state)
     }
 
     /// Trains the downstream model on the aggregated labels and evaluates
     /// it on the test split.
     pub fn evaluate_downstream(&self) -> Result<EvalReport, ActiveDpError> {
-        inference::evaluate_downstream(self.data, &self.config, &self.training, &self.state)
+        inference::evaluate_downstream(&self.data, &self.config, &self.training, &self.state)
     }
 
-    fn outcome(&self, query: Option<usize>, lf: Option<LabelFunction>) -> StepOutcome {
+    fn outcome(
+        &self,
+        iteration: usize,
+        query: Option<usize>,
+        lf: Option<LabelFunction>,
+    ) -> StepOutcome {
         StepOutcome {
-            iteration: self.state.iteration,
+            iteration,
             query,
             lf,
             n_lfs: self.state.lfs.len(),
             n_selected: self.state.selected.len(),
+        }
+    }
+
+    fn notify(&mut self, outcomes: &[StepOutcome]) {
+        for outcome in outcomes {
+            for observer in &mut self.observers {
+                observer.on_step(outcome);
+            }
         }
     }
 }
@@ -185,11 +270,18 @@ impl<'a> Engine<'a> {
 mod tests {
     use super::*;
     use adp_data::{generate, DatasetId, Scale};
+    use adp_lf::SimulatedUser;
+    use std::sync::mpsc;
+
+    fn tiny(seed: u64) -> SharedDataset {
+        generate(DatasetId::Youtube, Scale::Tiny, seed)
+            .unwrap()
+            .into_shared()
+    }
 
     #[test]
     fn engine_runs_and_evaluates() {
-        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
-        let mut e = Engine::new(&data, SessionConfig::paper_defaults(true, 5)).unwrap();
+        let mut e = Engine::builder(tiny(5)).seed(5).build().unwrap();
         e.run(10).unwrap();
         assert_eq!(e.state().iteration, 10);
         assert!(!e.state().lfs.is_empty());
@@ -199,7 +291,7 @@ mod tests {
 
     #[test]
     fn stage_names_are_distinct() {
-        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
+        let data = tiny(5);
         let cfg = SessionConfig::paper_defaults(true, 5);
         let sampling = SamplingStage::from_config(&cfg);
         let training = TrainingStage::from_config(&data, &cfg);
@@ -213,10 +305,61 @@ mod tests {
     }
 
     #[test]
-    fn rejects_invalid_config() {
-        let data = generate(DatasetId::Youtube, Scale::Tiny, 5).unwrap();
-        let mut cfg = SessionConfig::paper_defaults(true, 0);
-        cfg.alpha = 2.0;
-        assert!(Engine::new(&data, cfg).is_err());
+    fn step_batch_refits_once_per_batch() {
+        let data = tiny(5);
+        let mut batched = Engine::builder(data.clone()).seed(5).build().unwrap();
+        let outcomes = batched.step_batch(6).unwrap();
+        assert_eq!(outcomes.len(), 6);
+        assert_eq!(batched.state().iteration, 6);
+        // All outcomes in one batch report the state after the single refit.
+        let last = outcomes.last().unwrap();
+        for o in &outcomes {
+            assert_eq!(o.n_lfs, last.n_lfs);
+            assert_eq!(o.n_selected, last.n_selected);
+        }
+        assert!(batched.evaluate_downstream().is_ok());
+    }
+
+    #[test]
+    fn step_batch_zero_is_a_no_op() {
+        let mut e = Engine::builder(tiny(5)).seed(5).build().unwrap();
+        assert!(e.step_batch(0).unwrap().is_empty());
+        assert_eq!(e.state().iteration, 0);
+    }
+
+    #[test]
+    fn step_batch_stops_at_pool_exhaustion() {
+        let data = tiny(5);
+        let n = data.train.len();
+        let mut e = Engine::builder(data).seed(5).build().unwrap();
+        let outcomes = e.step_batch(n + 10).unwrap();
+        assert!(outcomes.len() <= n + 1);
+        assert!(outcomes.last().unwrap().query.is_none());
+    }
+
+    #[test]
+    fn observers_see_every_step() {
+        let (tx, rx) = mpsc::channel();
+        let mut e = Engine::builder(tiny(5))
+            .seed(5)
+            .observer(move |o: &StepOutcome| tx.send(o.iteration).unwrap())
+            .build()
+            .unwrap();
+        e.step().unwrap();
+        e.step_batch(3).unwrap();
+        let seen: Vec<usize> = rx.try_iter().collect();
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn engine_can_outlive_and_change_threads() {
+        // `Send + 'static` exercised for real: built on one thread, stepped
+        // on another, with no borrow of the creating scope.
+        let mut e = Engine::builder(tiny(5)).seed(5).build().unwrap();
+        let handle = std::thread::spawn(move || {
+            e.run(3).unwrap();
+            e.state().iteration
+        });
+        assert_eq!(handle.join().unwrap(), 3);
     }
 }

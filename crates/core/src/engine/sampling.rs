@@ -34,10 +34,10 @@ pub struct SamplingStage {
 }
 
 impl SamplingStage {
-    /// Builds the sampler named by `config.sampler`, seeded from the master
-    /// seed.
+    /// Builds the sampler named by `config.sampler`, seeded from the
+    /// master seed via [`SessionConfig::sampler_seed`].
     pub fn from_config(config: &SessionConfig) -> Self {
-        let seed = config.seed ^ 0x5EED_0002;
+        let seed = config.sampler_seed();
         let sampler = match config.sampler {
             SamplerChoice::Adp => {
                 SessionSampler::Boxed(Box::new(AdpSampler::new(config.alpha, seed)))

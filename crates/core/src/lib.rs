@@ -23,10 +23,16 @@
 //!
 //! The loop is implemented as the staged [`Engine`] — `sampling` →
 //! `querying` → `training` per step around a shared
-//! [`engine::SessionState`], with `inference` on demand — and
+//! [`engine::SessionState`], with `inference` on demand. The engine owns
+//! its dataset behind an [`adp_data::SharedDataset`] handle and is
+//! `Send + 'static`; it is built with the validating [`EngineBuilder`]
+//! (`Engine::builder(data).seed(7).build()?`), steps singly
+//! ([`Engine::step`]) or in refit-saving batches ([`Engine::step_batch`]),
+//! and reports every iteration to registered [`StepObserver`] hooks.
 //! [`ActiveDpSession`] preserves the original monolithic API as a facade
 //! over it, exposing the ablation switches of Table 3 (`use_labelpick`,
-//! `use_confusion`) plus the sampler choices of Table 4.
+//! `use_confusion`) plus the sampler choices of Table 4. Serving many
+//! concurrent sessions is the `adp-serve` crate's `SessionHub`.
 
 pub mod adp_sampler;
 pub mod config;
@@ -41,8 +47,8 @@ pub use adp_sampler::AdpSampler;
 pub use config::{SamplerChoice, SessionConfig};
 pub use confusion::{aggregate, tune_threshold, AggregatedLabels};
 pub use engine::{
-    Engine, EvalReport, QueryingStage, SamplingStage, SessionState, Stage, StepOutcome,
-    TrainingStage,
+    Engine, EngineBuilder, EvalReport, QueryingStage, SamplingStage, SessionState, Stage,
+    StepObserver, StepOutcome, TrainingStage,
 };
 pub use error::ActiveDpError;
 pub use labelpick::{LabelPick, LabelPickConfig};

@@ -2,10 +2,13 @@
 //! facade over the staged [`Engine`].
 //!
 //! `ActiveDpSession` predates the engine split; examples, baselines, and
-//! the experiment binaries all drive it, so its surface is kept stable.
-//! New code that wants per-stage control (custom outer loops, batched
-//! refits, stage-level instrumentation) should use [`Engine`] directly —
-//! the two are trajectory-identical by construction and by the
+//! the experiment binaries all drive it, so its surface is kept stable —
+//! only dataset ownership changed with the owned-engine redesign (datasets
+//! are passed by value or as [`SharedDataset`] handles instead of borrowed;
+//! see MIGRATION.md). New code that wants per-stage control (custom outer
+//! loops, batched refits, stage-level instrumentation) should build an
+//! [`Engine`] via [`Engine::builder`] directly — the two are
+//! trajectory-identical by construction and by the
 //! `engine_matches_golden_trajectory` integration test.
 
 pub use crate::config::{SamplerChoice, SessionConfig};
@@ -15,40 +18,53 @@ use crate::confusion::AggregatedLabels;
 use crate::engine::Engine;
 use crate::error::ActiveDpError;
 use crate::oracle::Oracle;
-use adp_data::SplitDataset;
+use adp_data::SharedDataset;
 use adp_lf::LabelFunction;
 
 /// An interactive ActiveDP labelling session over one dataset split.
-pub struct ActiveDpSession<'a> {
-    engine: Engine<'a>,
+///
+/// Like the [`Engine`] it wraps, a session is `Send + 'static`: it owns its
+/// dataset behind a [`SharedDataset`] handle and can move across threads.
+pub struct ActiveDpSession {
+    engine: Engine,
 }
 
-impl<'a> ActiveDpSession<'a> {
+impl ActiveDpSession {
     /// A session with the simulated user of §4.1.4 as the oracle.
-    pub fn new(data: &'a SplitDataset, config: SessionConfig) -> Result<Self, ActiveDpError> {
+    ///
+    /// Sugar for `Engine::builder(data).config(config).build()`.
+    pub fn new(
+        data: impl Into<SharedDataset>,
+        config: SessionConfig,
+    ) -> Result<Self, ActiveDpError> {
         Ok(ActiveDpSession {
-            engine: Engine::new(data, config)?,
+            engine: Engine::builder(data).config(config).build()?,
         })
     }
 
     /// A session with a custom oracle (e.g. an interactive UI).
+    ///
+    /// Sugar for `Engine::builder(data).config(config).oracle(oracle).build()`.
     pub fn with_oracle(
-        data: &'a SplitDataset,
+        data: impl Into<SharedDataset>,
         config: SessionConfig,
         oracle: Box<dyn Oracle>,
     ) -> Result<Self, ActiveDpError> {
         Ok(ActiveDpSession {
-            engine: Engine::with_oracle(data, config, oracle)?,
+            engine: Engine::builder(data)
+                .config(config)
+                .oracle(oracle)
+                .build()?,
         })
     }
 
     /// The staged engine underneath (stage-level access for new code).
-    pub fn engine(&self) -> &Engine<'a> {
+    pub fn engine(&self) -> &Engine {
         &self.engine
     }
 
     /// Consumes the facade, releasing the engine.
-    pub fn into_engine(self) -> Engine<'a> {
+    pub fn into_engine(self) -> Engine {
         self.engine
     }
 
@@ -77,6 +93,12 @@ impl<'a> ActiveDpSession<'a> {
         self.engine.step()
     }
 
+    /// Batched stepping: up to `k` queries against the current models, then
+    /// one refit (see [`Engine::step_batch`]).
+    pub fn step_batch(&mut self, k: usize) -> Result<Vec<StepOutcome>, ActiveDpError> {
+        self.engine.step_batch(k)
+    }
+
     /// Runs `iterations` training steps.
     pub fn run(&mut self, iterations: usize) -> Result<(), ActiveDpError> {
         self.engine.run(iterations)
@@ -101,16 +123,18 @@ mod tests {
     use super::*;
     use adp_data::{generate, DatasetId, Scale};
 
-    fn tiny(id: DatasetId) -> SplitDataset {
-        generate(id, Scale::Tiny, 42).expect("tiny dataset generates")
+    fn tiny(id: DatasetId) -> SharedDataset {
+        generate(id, Scale::Tiny, 42)
+            .expect("tiny dataset generates")
+            .into_shared()
     }
 
     fn run_session(
-        data: &SplitDataset,
+        data: &SharedDataset,
         config: SessionConfig,
         iters: usize,
     ) -> (EvalReport, usize) {
-        let mut s = ActiveDpSession::new(data, config).unwrap();
+        let mut s = ActiveDpSession::new(data.clone(), config).unwrap();
         s.run(iters).unwrap();
         let n_lfs = s.lfs().len();
         (s.evaluate_downstream().unwrap(), n_lfs)
@@ -155,7 +179,7 @@ mod tests {
         let data = tiny(DatasetId::Youtube);
         let run = |seed| {
             let cfg = SessionConfig::paper_defaults(true, seed);
-            let mut s = ActiveDpSession::new(&data, cfg).unwrap();
+            let mut s = ActiveDpSession::new(data.clone(), cfg).unwrap();
             s.run(15).unwrap();
             let r = s.evaluate_downstream().unwrap();
             (s.lfs().len(), r.test_accuracy, r.label_coverage)
@@ -198,7 +222,7 @@ mod tests {
                 sampler,
                 ..SessionConfig::paper_defaults(true, 4)
             };
-            let mut s = ActiveDpSession::new(&data, cfg).unwrap();
+            let mut s = ActiveDpSession::new(data.clone(), cfg).unwrap();
             s.run(8).unwrap();
             assert!(s.iteration() == 8, "{}", sampler.label());
         }
@@ -209,7 +233,7 @@ mod tests {
         let data = tiny(DatasetId::Youtube);
         let n = data.train.len();
         let cfg = SessionConfig::paper_defaults(true, 5);
-        let mut s = ActiveDpSession::new(&data, cfg).unwrap();
+        let mut s = ActiveDpSession::new(data.clone(), cfg).unwrap();
         s.run(n + 10).unwrap();
         // The extra iterations return query=None without erroring.
         let out = s.step().unwrap();
@@ -240,17 +264,17 @@ mod tests {
         let data = tiny(DatasetId::Youtube);
         let mut cfg = SessionConfig::paper_defaults(true, 0);
         cfg.alpha = 1.5;
-        assert!(ActiveDpSession::new(&data, cfg).is_err());
+        assert!(ActiveDpSession::new(data.clone(), cfg).is_err());
         let mut cfg = SessionConfig::paper_defaults(true, 0);
         cfg.noise_rate = -0.1;
-        assert!(ActiveDpSession::new(&data, cfg).is_err());
+        assert!(ActiveDpSession::new(data.clone(), cfg).is_err());
     }
 
     #[test]
     fn pseudo_labels_match_lf_votes() {
         let data = tiny(DatasetId::Youtube);
         let cfg = SessionConfig::paper_defaults(true, 8);
-        let mut s = ActiveDpSession::new(&data, cfg).unwrap();
+        let mut s = ActiveDpSession::new(data.clone(), cfg).unwrap();
         s.run(15).unwrap();
         for ((qi, pseudo), lf) in s.pseudo_labelled().zip(s.lfs()) {
             assert_eq!(lf.apply(&data.train, qi) as usize, pseudo);
@@ -261,7 +285,7 @@ mod tests {
     fn evaluation_before_any_step_is_defined() {
         let data = tiny(DatasetId::Youtube);
         let cfg = SessionConfig::paper_defaults(true, 9);
-        let s = ActiveDpSession::new(&data, cfg).unwrap();
+        let s = ActiveDpSession::new(data.clone(), cfg).unwrap();
         let r = s.evaluate_downstream().unwrap();
         assert!(!r.downstream_trained || r.label_coverage > 0.0);
         assert!(r.test_accuracy >= 0.0 && r.test_accuracy <= 1.0);
@@ -271,7 +295,7 @@ mod tests {
     fn facade_and_engine_expose_the_same_state() {
         let data = tiny(DatasetId::Youtube);
         let cfg = SessionConfig::paper_defaults(true, 10);
-        let mut s = ActiveDpSession::new(&data, cfg).unwrap();
+        let mut s = ActiveDpSession::new(data.clone(), cfg).unwrap();
         s.run(5).unwrap();
         assert_eq!(s.iteration(), s.engine().state().iteration);
         assert_eq!(s.lfs().len(), s.engine().state().lfs.len());

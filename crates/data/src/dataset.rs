@@ -3,6 +3,14 @@
 use crate::error::DataError;
 use adp_linalg::{CsrMatrix, Features, Matrix};
 use adp_text::Vocabulary;
+use std::sync::Arc;
+
+/// A split dataset behind an atomically reference-counted handle.
+///
+/// The owned `Engine` and the concurrent `SessionHub` hold datasets by
+/// `SharedDataset` so many sessions (possibly on different threads) can
+/// share one immutable copy without lifetimes tying them to a caller.
+pub type SharedDataset = Arc<SplitDataset>;
 
 /// The classification task a dataset poses (Table 2's "Task" column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -223,6 +231,12 @@ impl SplitDataset {
         self.train.validate()?;
         self.valid.validate()?;
         self.test.validate()
+    }
+
+    /// Moves the split behind a [`SharedDataset`] handle for owned engines
+    /// and concurrent sessions.
+    pub fn into_shared(self) -> SharedDataset {
+        Arc::new(self)
     }
 }
 

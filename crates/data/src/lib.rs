@@ -21,7 +21,7 @@ pub mod registry;
 pub mod split;
 pub mod synth;
 
-pub use dataset::{Dataset, FeatureSet, SplitDataset, Task};
+pub use dataset::{Dataset, FeatureSet, SharedDataset, SplitDataset, Task};
 pub use error::DataError;
 pub use registry::{generate, DatasetId, Scale};
 pub use split::split_indices;

@@ -35,9 +35,11 @@ fn main() {
     );
     println!();
 
-    let data = generate(id, cfg.scale, cfg.seeds[0]).expect("generation succeeds");
+    let data = generate(id, cfg.scale, cfg.seeds[0])
+        .expect("generation succeeds")
+        .into_shared();
     let session_cfg = SessionConfig::paper_defaults(id.is_textual(), cfg.seeds[0]);
-    let mut session = ActiveDpSession::new(&data, session_cfg).expect("session builds");
+    let mut session = ActiveDpSession::new(data.clone(), session_cfg).expect("session builds");
     session.run(iterations).expect("session runs");
 
     let lfs = session.lfs().to_vec();

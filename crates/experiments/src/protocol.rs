@@ -159,7 +159,7 @@ pub fn run_framework_curve(
         match method {
             Method::ActiveDp => {
                 let session_cfg = SessionConfig::paper_defaults(id.is_textual(), seed);
-                let mut fw = ActiveDpSession::new(&data, session_cfg)?;
+                let mut fw = ActiveDpSession::new(data, session_cfg)?;
                 drive(&mut fw, cfg)
             }
             Method::Nemo => {
@@ -195,7 +195,7 @@ pub fn run_session_curve(
         let data = generate(id, cfg.scale, seed).map_err(|e| ActiveDpError::BadConfig {
             reason: format!("dataset generation failed: {e}"),
         })?;
-        let mut fw = ActiveDpSession::new(&data, make_session(id.is_textual(), seed))?;
+        let mut fw = ActiveDpSession::new(data, make_session(id.is_textual(), seed))?;
         drive(&mut fw, cfg)
     })?;
     Ok(average_seed_points(per_seed, label.to_string()))

@@ -1,0 +1,407 @@
+//! The sharded session registry: engines behind ids, one worker thread per
+//! shard.
+
+use activedp::{ActiveDpError, Engine, EngineBuilder, EvalReport, StepOutcome};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Opaque handle to one session inside a [`SessionHub`].
+///
+/// Ids are unique for the lifetime of the hub (a monotone counter, never
+/// reused after [`SessionHub::close`]) and also encode the shard the
+/// session lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw id, e.g. for logging or an external routing table.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Errors surfaced by [`SessionHub`] calls.
+#[derive(Debug)]
+pub enum ServeError {
+    /// No session with that id (never created, or already closed).
+    UnknownSession(SessionId),
+    /// The session's engine returned an error.
+    Engine(ActiveDpError),
+    /// The hub's workers are gone (the hub was dropped mid-call).
+    HubClosed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownSession(id) => write!(f, "unknown {id}"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::HubClosed => write!(f, "session hub is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ActiveDpError> for ServeError {
+    fn from(e: ActiveDpError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// One request to a shard worker. Every variant carries its own reply
+/// channel, so concurrent callers never contend on a shared reply path.
+enum Command {
+    Insert {
+        id: u64,
+        engine: Box<Engine>,
+        reply: Sender<()>,
+    },
+    Step {
+        id: u64,
+        reply: Sender<Result<StepOutcome, ServeError>>,
+    },
+    StepBatch {
+        id: u64,
+        k: usize,
+        reply: Sender<Result<Vec<StepOutcome>, ServeError>>,
+    },
+    Run {
+        id: u64,
+        iterations: usize,
+        reply: Sender<Result<(), ServeError>>,
+    },
+    Evaluate {
+        id: u64,
+        reply: Sender<Result<EvalReport, ServeError>>,
+    },
+    Close {
+        id: u64,
+        reply: Sender<Result<(), ServeError>>,
+    },
+    Count {
+        reply: Sender<usize>,
+    },
+}
+
+/// A registry of concurrent labelling sessions, sharded over worker
+/// threads.
+///
+/// Sessions are owned by their shard's worker; the hub routes each call to
+/// the right shard (`id % n_shards`) and blocks on the reply. Calls for
+/// *different* sessions on different shards run in parallel; calls for
+/// sessions on the same shard serialise in arrival order — within one
+/// session that is exactly the engine's own sequential semantics, so
+/// per-session trajectories are deterministic regardless of hub load.
+pub struct SessionHub {
+    shards: Vec<Sender<Command>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl SessionHub {
+    /// A hub with `n_shards` worker threads (at least one).
+    pub fn new(n_shards: usize) -> Self {
+        let n = n_shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for k in 0..n {
+            let (tx, rx) = channel();
+            shards.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("adp-serve-shard-{k}"))
+                    .spawn(move || shard_worker(rx))
+                    .expect("shard worker spawns"),
+            );
+        }
+        SessionHub {
+            shards,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers a ready-built engine and returns its session id.
+    pub fn create(&self, engine: Engine) -> Result<SessionId, ServeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.call(id, |reply| Command::Insert {
+            id,
+            engine: Box::new(engine),
+            reply,
+        })?;
+        Ok(SessionId(id))
+    }
+
+    /// Builds the engine from `builder` and registers it — the one-call
+    /// path from dataset to served session. Build errors (invalid config)
+    /// surface before any id is allocated.
+    pub fn open(&self, builder: EngineBuilder) -> Result<SessionId, ServeError> {
+        self.create(builder.build()?)
+    }
+
+    /// One training iteration of the identified session.
+    pub fn step(&self, id: SessionId) -> Result<StepOutcome, ServeError> {
+        self.call(id.0, |reply| Command::Step { id: id.0, reply })?
+    }
+
+    /// Batched stepping: up to `k` queries, one refit (see
+    /// `Engine::step_batch`).
+    pub fn step_batch(&self, id: SessionId, k: usize) -> Result<Vec<StepOutcome>, ServeError> {
+        self.call(id.0, |reply| Command::StepBatch { id: id.0, k, reply })?
+    }
+
+    /// Runs `iterations` single steps on the identified session.
+    pub fn run(&self, id: SessionId, iterations: usize) -> Result<(), ServeError> {
+        self.call(id.0, |reply| Command::Run {
+            id: id.0,
+            iterations,
+            reply,
+        })?
+    }
+
+    /// Inference-phase evaluation of the identified session.
+    pub fn evaluate(&self, id: SessionId) -> Result<EvalReport, ServeError> {
+        self.call(id.0, |reply| Command::Evaluate { id: id.0, reply })?
+    }
+
+    /// Drops the identified session, freeing its engine.
+    pub fn close(&self, id: SessionId) -> Result<(), ServeError> {
+        self.call(id.0, |reply| Command::Close { id: id.0, reply })?
+    }
+
+    /// Number of live sessions across all shards.
+    pub fn session_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let (reply, rx) = channel();
+                if shard.send(Command::Count { reply }).is_err() {
+                    return 0;
+                }
+                rx.recv().unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Routes one command to the owning shard and blocks on its reply.
+    fn call<T>(&self, id: u64, make: impl FnOnce(Sender<T>) -> Command) -> Result<T, ServeError> {
+        let shard = &self.shards[(id as usize) % self.shards.len()];
+        let (reply, rx) = channel();
+        shard.send(make(reply)).map_err(|_| ServeError::HubClosed)?;
+        rx.recv().map_err(|_| ServeError::HubClosed)
+    }
+}
+
+impl Drop for SessionHub {
+    fn drop(&mut self) {
+        // Closing the senders ends each worker's receive loop; join so no
+        // worker outlives the hub.
+        self.shards.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn shard_worker(rx: Receiver<Command>) {
+    let mut sessions: HashMap<u64, Engine> = HashMap::new();
+    // Replies may fail only when the caller gave up (hub dropped mid-call);
+    // the worker just moves on.
+    for command in rx {
+        match command {
+            Command::Insert { id, engine, reply } => {
+                sessions.insert(id, *engine);
+                let _ = reply.send(());
+            }
+            Command::Step { id, reply } => {
+                let _ = reply.send(with_session(&mut sessions, id, |e| {
+                    e.step().map_err(ServeError::Engine)
+                }));
+            }
+            Command::StepBatch { id, k, reply } => {
+                let _ = reply.send(with_session(&mut sessions, id, |e| {
+                    e.step_batch(k).map_err(ServeError::Engine)
+                }));
+            }
+            Command::Run {
+                id,
+                iterations,
+                reply,
+            } => {
+                let _ = reply.send(with_session(&mut sessions, id, |e| {
+                    e.run(iterations).map_err(ServeError::Engine)
+                }));
+            }
+            Command::Evaluate { id, reply } => {
+                let _ = reply.send(with_session(&mut sessions, id, |e| {
+                    e.evaluate_downstream().map_err(ServeError::Engine)
+                }));
+            }
+            Command::Close { id, reply } => {
+                let _ = reply.send(
+                    sessions
+                        .remove(&id)
+                        .map(|_| ())
+                        .ok_or(ServeError::UnknownSession(SessionId(id))),
+                );
+            }
+            Command::Count { reply } => {
+                let _ = reply.send(sessions.len());
+            }
+        }
+    }
+}
+
+fn with_session<T>(
+    sessions: &mut HashMap<u64, Engine>,
+    id: u64,
+    f: impl FnOnce(&mut Engine) -> Result<T, ServeError>,
+) -> Result<T, ServeError> {
+    match sessions.get_mut(&id) {
+        Some(engine) => f(engine),
+        None => Err(ServeError::UnknownSession(SessionId(id))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{generate, DatasetId, Scale, SharedDataset};
+
+    fn tiny() -> SharedDataset {
+        generate(DatasetId::Youtube, Scale::Tiny, 7)
+            .unwrap()
+            .into_shared()
+    }
+
+    fn engine(data: &SharedDataset, seed: u64) -> Engine {
+        Engine::builder(data.clone()).seed(seed).build().unwrap()
+    }
+
+    /// The trajectory fingerprint compared between hub and solo runs.
+    fn fingerprint(outcomes: &[StepOutcome], report: &EvalReport) -> (Vec<Option<usize>>, u64) {
+        (
+            outcomes.iter().map(|o| o.query).collect(),
+            report.test_accuracy.to_bits(),
+        )
+    }
+
+    #[test]
+    fn create_step_evaluate_close_roundtrip() {
+        let hub = SessionHub::new(2);
+        let id = hub.create(engine(&tiny(), 1)).unwrap();
+        let out = hub.step(id).unwrap();
+        assert_eq!(out.iteration, 1);
+        hub.run(id, 4).unwrap();
+        let report = hub.evaluate(id).unwrap();
+        assert!((0.0..=1.0).contains(&report.test_accuracy));
+        assert_eq!(hub.session_count(), 1);
+        hub.close(id).unwrap();
+        assert_eq!(hub.session_count(), 0);
+        assert!(matches!(hub.step(id), Err(ServeError::UnknownSession(_))));
+    }
+
+    #[test]
+    fn open_builds_and_registers() {
+        let hub = SessionHub::new(1);
+        let id = hub.open(Engine::builder(tiny()).seed(3)).unwrap();
+        assert_eq!(hub.step(id).unwrap().iteration, 1);
+        // Build errors surface synchronously, no id leaked.
+        let err = hub.open(Engine::builder(tiny()).alpha(7.0));
+        assert!(matches!(err, Err(ServeError::Engine(_))));
+        assert_eq!(hub.session_count(), 1);
+    }
+
+    #[test]
+    fn step_batch_routes_through_the_hub() {
+        let hub = SessionHub::new(2);
+        let id = hub.create(engine(&tiny(), 2)).unwrap();
+        let outcomes = hub.step_batch(id, 5).unwrap();
+        assert_eq!(outcomes.len(), 5);
+        assert_eq!(outcomes.last().unwrap().iteration, 5);
+    }
+
+    #[test]
+    fn ids_spread_across_shards() {
+        let hub = SessionHub::new(3);
+        let data = tiny();
+        for seed in 0..6 {
+            hub.create(engine(&data, seed)).unwrap();
+        }
+        assert_eq!(hub.session_count(), 6);
+        assert_eq!(hub.n_shards(), 3);
+    }
+
+    #[test]
+    fn concurrent_sessions_match_solo_trajectories() {
+        // The acceptance bar: ≥ 8 sessions stepped concurrently through
+        // the hub reproduce their solo trajectories bit for bit.
+        const SESSIONS: u64 = 8;
+        const ITERS: usize = 10;
+        let data = tiny();
+
+        let solo: Vec<_> = (0..SESSIONS)
+            .map(|seed| {
+                let mut e = engine(&data, seed);
+                let outcomes: Vec<StepOutcome> = (0..ITERS).map(|_| e.step().unwrap()).collect();
+                let report = e.evaluate_downstream().unwrap();
+                fingerprint(&outcomes, &report)
+            })
+            .collect();
+
+        let hub = SessionHub::new(4);
+        let ids: Vec<SessionId> = (0..SESSIONS)
+            .map(|seed| hub.create(engine(&data, seed)).unwrap())
+            .collect();
+        let hubbed: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .iter()
+                .map(|&id| {
+                    let hub = &hub;
+                    scope.spawn(move || {
+                        let outcomes: Vec<StepOutcome> =
+                            (0..ITERS).map(|_| hub.step(id).unwrap()).collect();
+                        let report = hub.evaluate(id).unwrap();
+                        fingerprint(&outcomes, &report)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+
+        assert_eq!(solo, hubbed);
+    }
+
+    #[test]
+    fn dropping_the_hub_joins_workers() {
+        let hub = SessionHub::new(2);
+        let id = hub.create(engine(&tiny(), 1)).unwrap();
+        hub.step(id).unwrap();
+        drop(hub); // must not hang or panic
+    }
+}

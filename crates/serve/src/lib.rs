@@ -1,0 +1,20 @@
+//! Concurrent session serving over the owned ActiveDP engine.
+//!
+//! The [`SessionHub`] is the serving layer the ROADMAP's north star asks
+//! for: many labelling sessions live behind one handle, created, stepped,
+//! evaluated and dropped by [`SessionId`]. Sessions are sharded across
+//! worker threads — each worker owns the engines assigned to it, so there
+//! is no lock around an engine and no way for two callers to interleave
+//! within one session's trajectory. Determinism carries over from the
+//! engine: a session stepped through the hub produces the same trajectory,
+//! bit for bit, as the same engine stepped solo, no matter how many other
+//! sessions run next to it (pinned by this crate's tests).
+//!
+//! Everything is std: `mpsc` channels in, `mpsc` reply channels out. The
+//! hub is `Send + Sync`, so one hub can serve calls from any number of
+//! client threads; an async front end can wrap the blocking calls in its
+//! own executor later (see ROADMAP).
+
+pub mod hub;
+
+pub use hub::{ServeError, SessionHub, SessionId};

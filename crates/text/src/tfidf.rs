@@ -3,11 +3,29 @@
 //! * term frequency = raw in-document count,
 //! * idf(t) = ln((1 + n) / (1 + df(t))) + 1   (smooth idf),
 //! * every row L2-normalised.
+//!
+//! Tokenisation and row weighting are embarrassingly parallel per
+//! document, so both fan out through [`adp_linalg::parallel::map_chunks`]
+//! under its fixed-chunk determinism contract: each document's tokens and
+//! weighted entries are a pure function of that document alone, chunk
+//! results come back in chunk-index order, and the vocabulary/CSR assembly
+//! stays sequential — so serial and parallel execution are **bitwise
+//! identical** (pinned by `fit_transform_serial_matches_parallel`).
 
 use crate::tokenize::{tokenize, TokenizerConfig};
 use crate::vocab::{Vocabulary, VocabularyBuilder};
+use adp_linalg::parallel::{self, Execution};
 use adp_linalg::{CsrBuilder, CsrMatrix};
 use std::collections::HashMap;
+
+/// Documents per [`parallel::map_chunks`] chunk. Fixed (never derived from
+/// the machine) so chunk boundaries — and therefore any grouping-sensitive
+/// arithmetic — are identical at every thread count.
+const DOC_CHUNK: usize = 64;
+
+/// Below this many documents the corpus fans out to a single chunk anyway;
+/// skip the scoped-thread setup entirely.
+const MIN_PARALLEL_DOCS: usize = 2 * DOC_CHUNK;
 
 /// The TF-IDF design matrix together with the vocabulary that indexes it.
 #[derive(Debug, Clone)]
@@ -63,9 +81,14 @@ impl TfidfVectorizer {
 
     /// Fits the vocabulary and idf table on `docs`.
     pub fn fit(&mut self, docs: &[String]) {
+        self.fit_with(docs, parallel::auto(docs.len(), MIN_PARALLEL_DOCS));
+    }
+
+    /// [`TfidfVectorizer::fit`] under an explicit execution policy.
+    /// Serial and parallel runs are bitwise identical (see module docs).
+    pub fn fit_with(&mut self, docs: &[String], exec: Execution) {
+        let tokenized = tokenize_all(docs, self.tokenizer, exec);
         let mut builder = VocabularyBuilder::new();
-        let tokenized: Vec<Vec<String>> =
-            docs.iter().map(|d| tokenize(d, self.tokenizer)).collect();
         for t in &tokenized {
             builder.add_doc(t);
         }
@@ -95,21 +118,42 @@ impl TfidfVectorizer {
     /// # Panics
     /// Panics when called before [`TfidfVectorizer::fit`].
     pub fn transform(&self, docs: &[String]) -> TfidfMatrix {
+        self.transform_with(docs, parallel::auto(docs.len(), MIN_PARALLEL_DOCS))
+    }
+
+    /// [`TfidfVectorizer::transform`] under an explicit execution policy.
+    /// Serial and parallel runs are bitwise identical (see module docs).
+    ///
+    /// # Panics
+    /// Panics when called before [`TfidfVectorizer::fit`].
+    pub fn transform_with(&self, docs: &[String], exec: Execution) -> TfidfMatrix {
         let vocab = self.vocabulary();
+        // Per-document weighting is pure; fan it out, then assemble the CSR
+        // matrix sequentially in document order.
+        let rows = parallel::map_chunks(docs.len(), DOC_CHUNK, exec, |range| {
+            let mut counts: HashMap<u32, f64> = HashMap::new();
+            range
+                .map(|i| {
+                    let tokens = tokenize(&docs[i], self.tokenizer);
+                    let ids = vocab.encode(&tokens);
+                    counts.clear();
+                    for &id in &ids {
+                        *counts.entry(id).or_insert(0.0) += 1.0;
+                    }
+                    // Order of the HashMap iteration is irrelevant: each
+                    // vocabulary id appears once per document, and the CSR
+                    // builder sorts entries by column.
+                    let entries: Vec<(u32, f64)> = counts
+                        .iter()
+                        .map(|(&id, &tf)| (id, tf * self.idf[id as usize]))
+                        .collect();
+                    (entries, ids)
+                })
+                .collect::<Vec<_>>()
+        });
         let mut b = CsrBuilder::new(vocab.len());
         let mut encoded_docs = Vec::with_capacity(docs.len());
-        let mut counts: HashMap<u32, f64> = HashMap::new();
-        for doc in docs {
-            let tokens = tokenize(doc, self.tokenizer);
-            let ids = vocab.encode(&tokens);
-            counts.clear();
-            for &id in &ids {
-                *counts.entry(id).or_insert(0.0) += 1.0;
-            }
-            let entries: Vec<(u32, f64)> = counts
-                .iter()
-                .map(|(&id, &tf)| (id, tf * self.idf[id as usize]))
-                .collect();
+        for (entries, ids) in rows.into_iter().flatten() {
             b.push_row(entries);
             encoded_docs.push(ids);
         }
@@ -126,6 +170,25 @@ impl TfidfVectorizer {
         self.fit(docs);
         self.transform(docs)
     }
+
+    /// [`TfidfVectorizer::fit_transform`] under an explicit execution
+    /// policy (used by the serial-vs-parallel equality tests and benches).
+    pub fn fit_transform_with(&mut self, docs: &[String], exec: Execution) -> TfidfMatrix {
+        self.fit_with(docs, exec);
+        self.transform_with(docs, exec)
+    }
+}
+
+/// Tokenises every document, fanning chunks of documents out under `exec`.
+fn tokenize_all(docs: &[String], config: TokenizerConfig, exec: Execution) -> Vec<Vec<String>> {
+    parallel::map_chunks(docs.len(), DOC_CHUNK, exec, |range| {
+        range
+            .map(|i| tokenize(&docs[i], config))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
@@ -233,5 +296,66 @@ mod tests {
     fn transform_before_fit_panics() {
         let v = TfidfVectorizer::default();
         v.transform(&["x".to_string()]);
+    }
+
+    /// A corpus big enough to span many `DOC_CHUNK` chunks, with repeated
+    /// and unique terms so tf, idf and the L2 norms all do real work.
+    fn large_corpus() -> Vec<String> {
+        (0..500)
+            .map(|i| {
+                let mut words: Vec<String> = (0..(3 + i % 7))
+                    .map(|k| format!("w{}", (i * 31 + k * 17) % 97))
+                    .collect();
+                words.push(format!("unique{i}"));
+                if i % 3 == 0 {
+                    words.push("w0 w0".to_string());
+                }
+                words.join(" ")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_transform_serial_matches_parallel() {
+        let docs = large_corpus();
+        let mut vs = TfidfVectorizer::default();
+        let ms = vs.fit_transform_with(&docs, Execution::Serial);
+        let mut vp = TfidfVectorizer::default();
+        let mp = vp.fit_transform_with(&docs, Execution::Parallel);
+
+        // Same vocabulary and idf table, bit for bit.
+        assert_eq!(vs.vocabulary().len(), vp.vocabulary().len());
+        for id in 0..vs.vocabulary().len() as u32 {
+            assert_eq!(vs.idf(id).to_bits(), vp.idf(id).to_bits(), "idf {id}");
+        }
+        // Same encoded docs and bitwise-identical matrix rows.
+        assert_eq!(ms.encoded_docs, mp.encoded_docs);
+        assert_eq!(ms.matrix.nrows(), mp.matrix.nrows());
+        assert_eq!(ms.matrix.ncols(), mp.matrix.ncols());
+        for i in 0..ms.matrix.nrows() {
+            let (si, sv) = ms.matrix.row(i);
+            let (pi, pv) = mp.matrix.row(i);
+            assert_eq!(si, pi, "row {i} columns");
+            let sb: Vec<u64> = sv.iter().map(|x| x.to_bits()).collect();
+            let pb: Vec<u64> = pv.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(sb, pb, "row {i} values");
+        }
+    }
+
+    #[test]
+    fn transform_unseen_serial_matches_parallel() {
+        let docs = large_corpus();
+        let mut v = TfidfVectorizer::default();
+        v.fit(&docs);
+        let unseen: Vec<String> = (0..200).map(|i| format!("w1 w2 fresh{i}")).collect();
+        let s = v.transform_with(&unseen, Execution::Serial);
+        let p = v.transform_with(&unseen, Execution::Parallel);
+        assert_eq!(s.encoded_docs, p.encoded_docs);
+        for i in 0..s.matrix.nrows() {
+            assert_eq!(s.matrix.row(i).0, p.matrix.row(i).0);
+            let sb: Vec<u64> = s.matrix.row(i).1.iter().map(|x| x.to_bits()).collect();
+            let pb: Vec<u64> = p.matrix.row(i).1.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(sb, pb);
+        }
     }
 }

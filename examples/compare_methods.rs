@@ -43,7 +43,9 @@ fn main() {
             DatasetId::Youtube
         });
     let seed = 5;
-    let data = generate(id, Scale::Tiny, seed).expect("dataset generates");
+    let data = generate(id, Scale::Tiny, seed)
+        .expect("dataset generates")
+        .into_shared();
     println!(
         "{}: {} budget of {BUDGET} queries, evaluated every {EVAL_EVERY}\n",
         id.name(),
@@ -52,8 +54,11 @@ fn main() {
 
     let mut results: Vec<(String, Vec<f64>)> = Vec::new();
 
-    let mut adp = ActiveDpSession::new(&data, SessionConfig::paper_defaults(id.is_textual(), seed))
-        .expect("session builds");
+    let mut adp = ActiveDpSession::new(
+        data.clone(),
+        SessionConfig::paper_defaults(id.is_textual(), seed),
+    )
+    .expect("session builds");
     results.push(("ActiveDP".into(), run(&mut adp)));
     if id.is_textual() {
         // Nemo's SEU strategy is text-specific (paper §4.1.2).

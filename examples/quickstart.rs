@@ -8,12 +8,14 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use activedp_repro::core::{ActiveDpSession, SessionConfig};
+use activedp_repro::core::Engine;
 use activedp_repro::data::{generate, DatasetId, Scale};
 
 fn main() {
     // A small instance of the Youtube spam dataset (Table 2, scaled down).
-    let data = generate(DatasetId::Youtube, Scale::Tiny, 7).expect("dataset generates");
+    let data = generate(DatasetId::Youtube, Scale::Tiny, 7)
+        .expect("dataset generates")
+        .into_shared();
     println!(
         "dataset: {} — {} train / {} valid / {} test",
         data.name(),
@@ -22,10 +24,15 @@ fn main() {
         data.test.len()
     );
 
-    // The paper's configuration for textual data: ADP sampler with α = 0.5,
-    // triplet (MeTaL-style) label model, LabelPick + ConFusion enabled.
-    let config = SessionConfig::paper_defaults(true, 7);
-    let mut session = ActiveDpSession::new(&data, config).expect("session builds");
+    // The builder starts from the paper's configuration for the dataset's
+    // modality (here text: ADP sampler with α = 0.5, triplet label model,
+    // LabelPick + ConFusion enabled) and validates at build time. The
+    // engine owns a handle to the dataset, so the `data` Arc stays usable
+    // below.
+    let mut session = Engine::builder(data.clone())
+        .seed(7)
+        .build()
+        .expect("engine builds");
 
     // Training phase (Figure 1, left): each step picks a query instance,
     // asks the user for an LF, and refits both models.

@@ -13,7 +13,9 @@ use activedp_repro::data::{generate, DatasetId, Scale};
 use activedp_repro::lf::LabelMatrix;
 
 fn main() {
-    let data = generate(DatasetId::Youtube, Scale::Tiny, 11).expect("dataset generates");
+    let data = generate(DatasetId::Youtube, Scale::Tiny, 11)
+        .expect("dataset generates")
+        .into_shared();
     let vocab = data.vocab.as_ref().expect("text dataset has a vocabulary");
     println!(
         "Youtube-like spam corpus: {} unlabeled comments, vocabulary of {} words\n",
@@ -22,7 +24,7 @@ fn main() {
     );
 
     let config = SessionConfig::paper_defaults(true, 11);
-    let mut session = ActiveDpSession::new(&data, config).expect("session builds");
+    let mut session = ActiveDpSession::new(data.clone(), config).expect("session builds");
 
     println!("-- training phase (Figure 1, left) --");
     let texts = data

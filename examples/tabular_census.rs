@@ -25,7 +25,7 @@ fn main() {
     // α = 0.99: the paper's tabular setting.
     let config = SessionConfig::paper_defaults(false, 3);
     assert!((config.alpha - 0.99).abs() < 1e-12);
-    let mut session = ActiveDpSession::new(&data, config).expect("session builds");
+    let mut session = ActiveDpSession::new(data, config).expect("session builds");
 
     println!("budget  LFs  selected  τ      coverage  label acc  test acc");
     for block in 0..6 {

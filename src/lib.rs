@@ -10,6 +10,8 @@
 //!   sampler and LabelPick LF selection;
 //! * [`baselines`] — Nemo, IWS, Revising-LF and uncertainty sampling under
 //!   a common [`baselines::Framework`] trait;
+//! * [`serve`] — the concurrent [`serve::SessionHub`]: many sessions by
+//!   id, sharded over worker threads;
 //! * [`data`] — the eight synthetic benchmark datasets of Table 2;
 //! * [`lf`] — label functions, label matrices and the simulated user;
 //! * [`labelmodel`] — majority vote, Dawid-Skene EM and the triplet
@@ -24,15 +26,29 @@
 //! ## Quickstart
 //!
 //! ```
-//! use activedp_repro::core::{ActiveDpSession, SessionConfig};
+//! use activedp_repro::core::Engine;
 //! use activedp_repro::data::{generate, DatasetId, Scale};
 //!
 //! let data = generate(DatasetId::Youtube, Scale::Tiny, 7).unwrap();
-//! let config = SessionConfig::paper_defaults(true, 7);
-//! let mut session = ActiveDpSession::new(&data, config).unwrap();
-//! session.run(15).unwrap();
-//! let report = session.evaluate_downstream().unwrap();
+//! let mut engine = Engine::builder(data).seed(7).build().unwrap();
+//! engine.run(15).unwrap();
+//! let report = engine.evaluate_downstream().unwrap();
 //! assert!(report.test_accuracy > 0.4);
+//! ```
+//!
+//! Engines are owned and `Send + 'static`; to serve many sessions
+//! concurrently, register them in a [`serve::SessionHub`]:
+//!
+//! ```
+//! use activedp_repro::core::Engine;
+//! use activedp_repro::data::{generate, DatasetId, Scale};
+//! use activedp_repro::serve::SessionHub;
+//!
+//! let data = generate(DatasetId::Youtube, Scale::Tiny, 7).unwrap().into_shared();
+//! let hub = SessionHub::new(4);
+//! let id = hub.open(Engine::builder(data).seed(7)).unwrap();
+//! let outcomes = hub.step_batch(id, 5).unwrap();
+//! assert_eq!(outcomes.len(), 5);
 //! ```
 
 pub use activedp as core;
@@ -45,4 +61,5 @@ pub use adp_labelmodel as labelmodel;
 pub use adp_lf as lf;
 pub use adp_linalg as linalg;
 pub use adp_sampler as sampler;
+pub use adp_serve as serve;
 pub use adp_text as text;

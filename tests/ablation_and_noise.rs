@@ -2,10 +2,10 @@
 //! switches, Table 4 sampler choices, Table 5 label noise.
 
 use activedp_repro::core::{ActiveDpSession, SamplerChoice, SessionConfig};
-use activedp_repro::data::{generate, DatasetId, Scale};
+use activedp_repro::data::{generate, DatasetId, Scale, SharedDataset};
 
-fn auc(data: &activedp_repro::data::SplitDataset, cfg: SessionConfig, iters: usize) -> f64 {
-    let mut session = ActiveDpSession::new(data, cfg).expect("session builds");
+fn auc(data: &SharedDataset, cfg: SessionConfig, iters: usize) -> f64 {
+    let mut session = ActiveDpSession::new(data.clone(), cfg).expect("session builds");
     let mut points = Vec::new();
     for it in 1..=iters {
         session.step().expect("step succeeds");
@@ -23,7 +23,9 @@ fn auc(data: &activedp_repro::data::SplitDataset, cfg: SessionConfig, iters: usi
 
 #[test]
 fn all_four_ablation_variants_run() {
-    let data = generate(DatasetId::Youtube, Scale::Tiny, 50).expect("dataset generates");
+    let data = generate(DatasetId::Youtube, Scale::Tiny, 50)
+        .expect("dataset generates")
+        .into_shared();
     for (lp, cf) in [(false, false), (true, false), (false, true), (true, true)] {
         let cfg = SessionConfig {
             use_labelpick: lp,
@@ -42,7 +44,9 @@ fn confusion_lifts_tabular_performance() {
     let mut with = 0.0;
     let mut without = 0.0;
     for seed in 51..54 {
-        let data = generate(DatasetId::Occupancy, Scale::Tiny, seed).expect("dataset generates");
+        let data = generate(DatasetId::Occupancy, Scale::Tiny, seed)
+            .expect("dataset generates")
+            .into_shared();
         without += auc(&data, SessionConfig::ablation_baseline(false, seed), 30);
         with += auc(
             &data,
@@ -61,7 +65,9 @@ fn confusion_lifts_tabular_performance() {
 
 #[test]
 fn every_sampler_choice_completes() {
-    let data = generate(DatasetId::Imdb, Scale::Tiny, 55).expect("dataset generates");
+    let data = generate(DatasetId::Imdb, Scale::Tiny, 55)
+        .expect("dataset generates")
+        .into_shared();
     for sampler in [
         SamplerChoice::Adp,
         SamplerChoice::Passive,
@@ -83,13 +89,15 @@ fn label_noise_degrades_gracefully() {
     // Table 5's qualitative claim: noise hurts, but moderately.
     let mut label_acc = [0.0f64; 2];
     for seed in 56..59 {
-        let data = generate(DatasetId::Youtube, Scale::Tiny, seed).expect("dataset generates");
+        let data = generate(DatasetId::Youtube, Scale::Tiny, seed)
+            .expect("dataset generates")
+            .into_shared();
         for (k, noise) in [0.0, 0.3].iter().enumerate() {
             let cfg = SessionConfig {
                 noise_rate: *noise,
                 ..SessionConfig::paper_defaults(true, seed)
             };
-            let mut session = ActiveDpSession::new(&data, cfg).expect("session builds");
+            let mut session = ActiveDpSession::new(data.clone(), cfg).expect("session builds");
             session.run(30).expect("session runs");
             label_acc[k] += session
                 .evaluate_downstream()

@@ -18,7 +18,7 @@ fn activedp_beats_chance_on_text_and_tabular() {
     for (id, floor) in [(DatasetId::Youtube, 0.60), (DatasetId::Occupancy, 0.80)] {
         let data = generate(id, Scale::Tiny, 21).expect("dataset generates");
         let cfg = SessionConfig::paper_defaults(id.is_textual(), 21);
-        let mut session = ActiveDpSession::new(&data, cfg).expect("session builds");
+        let mut session = ActiveDpSession::new(data, cfg).expect("session builds");
         let acc = drive(&mut session, 30);
         assert!(acc > floor, "{}: accuracy {acc}", id.name());
     }
@@ -26,10 +26,12 @@ fn activedp_beats_chance_on_text_and_tabular() {
 
 #[test]
 fn every_framework_completes_the_protocol_on_text() {
-    let data = generate(DatasetId::Youtube, Scale::Tiny, 22).expect("dataset generates");
+    let data = generate(DatasetId::Youtube, Scale::Tiny, 22)
+        .expect("dataset generates")
+        .into_shared();
     let cfg = SessionConfig::paper_defaults(true, 22);
     let mut frameworks: Vec<Box<dyn Framework>> = vec![
-        Box::new(ActiveDpSession::new(&data, cfg).expect("session builds")),
+        Box::new(ActiveDpSession::new(data.clone(), cfg).expect("session builds")),
         Box::new(Nemo::new(&data, 22)),
         Box::new(Iws::new(&data, 22)),
         Box::new(RevisingLf::new(&data, 22)),
@@ -47,10 +49,12 @@ fn every_framework_completes_the_protocol_on_text() {
 
 #[test]
 fn every_non_nemo_framework_completes_on_tabular() {
-    let data = generate(DatasetId::Census, Scale::Tiny, 23).expect("dataset generates");
+    let data = generate(DatasetId::Census, Scale::Tiny, 23)
+        .expect("dataset generates")
+        .into_shared();
     let cfg = SessionConfig::paper_defaults(false, 23);
     let mut frameworks: Vec<Box<dyn Framework>> = vec![
-        Box::new(ActiveDpSession::new(&data, cfg).expect("session builds")),
+        Box::new(ActiveDpSession::new(data.clone(), cfg).expect("session builds")),
         Box::new(Iws::new(&data, 23)),
         Box::new(RevisingLf::new(&data, 23)),
         Box::new(UncertaintySampling::new(&data, 23)),
@@ -66,7 +70,7 @@ fn runs_are_deterministic_given_seed() {
     let run = || {
         let data = generate(DatasetId::Imdb, Scale::Tiny, 24).expect("dataset generates");
         let cfg = SessionConfig::paper_defaults(true, 24);
-        let mut session = ActiveDpSession::new(&data, cfg).expect("session builds");
+        let mut session = ActiveDpSession::new(data, cfg).expect("session builds");
         let acc = drive(&mut session, 15);
         (
             acc.to_bits(),
@@ -82,7 +86,7 @@ fn different_seeds_explore_differently() {
     let run = |seed: u64| {
         let data = generate(DatasetId::Imdb, Scale::Tiny, seed).expect("dataset generates");
         let cfg = SessionConfig::paper_defaults(true, seed);
-        let mut session = ActiveDpSession::new(&data, cfg).expect("session builds");
+        let mut session = ActiveDpSession::new(data, cfg).expect("session builds");
         session.run(10).expect("session runs");
         session
             .pseudo_labelled()
@@ -101,7 +105,7 @@ fn learning_improves_with_budget() {
     for seed in 40..43 {
         let data = generate(DatasetId::Occupancy, Scale::Tiny, seed).expect("dataset generates");
         let cfg = SessionConfig::paper_defaults(false, seed);
-        let mut session = ActiveDpSession::new(&data, cfg).expect("session builds");
+        let mut session = ActiveDpSession::new(data, cfg).expect("session builds");
         session.run(10).expect("session runs");
         short += session
             .evaluate_downstream()

@@ -8,7 +8,7 @@
 //! picks, same LabelPick selections, same final accuracy to the last bit.
 
 use activedp_repro::core::{ActiveDpSession, Engine, SessionConfig};
-use activedp_repro::data::{generate, DatasetId, Scale};
+use activedp_repro::data::{generate, DatasetId, Scale, SharedDataset};
 
 const ITERS: usize = 15;
 
@@ -49,8 +49,10 @@ const GOLDEN_TEST_ACCURACY: f64 = 0.6;
 const GOLDEN_LABEL_COVERAGE: f64 = 0.45;
 const GOLDEN_THRESHOLD: f64 = 0.773_338_958_871_232_5;
 
-fn fixture() -> (activedp_repro::data::SplitDataset, SessionConfig) {
-    let data = generate(DatasetId::Youtube, Scale::Tiny, 7).expect("dataset generates");
+fn fixture() -> (SharedDataset, SessionConfig) {
+    let data = generate(DatasetId::Youtube, Scale::Tiny, 7)
+        .expect("dataset generates")
+        .into_shared();
     let cfg = SessionConfig::paper_defaults(true, 7);
     (data, cfg)
 }
@@ -80,7 +82,7 @@ fn assert_golden_trajectory(
 #[test]
 fn engine_matches_golden_trajectory() {
     let (data, cfg) = fixture();
-    let mut engine = Engine::new(&data, cfg).unwrap();
+    let mut engine = Engine::builder(data).config(cfg).build().unwrap();
     let mut queries = Vec::new();
     let mut lf_keys = Vec::new();
     let mut n_selected = Vec::new();
@@ -116,7 +118,7 @@ fn engine_matches_golden_trajectory() {
 #[test]
 fn facade_matches_golden_trajectory() {
     let (data, cfg) = fixture();
-    let mut session = ActiveDpSession::new(&data, cfg).unwrap();
+    let mut session = ActiveDpSession::new(data, cfg).unwrap();
     let mut queries = Vec::new();
     let mut lf_keys = Vec::new();
     let mut n_selected = Vec::new();
@@ -138,8 +140,8 @@ fn facade_matches_golden_trajectory() {
 #[test]
 fn facade_and_engine_agree_step_for_step() {
     let (data, cfg) = fixture();
-    let mut session = ActiveDpSession::new(&data, cfg.clone()).unwrap();
-    let mut engine = Engine::new(&data, cfg).unwrap();
+    let mut session = ActiveDpSession::new(data.clone(), cfg.clone()).unwrap();
+    let mut engine = Engine::builder(data).config(cfg).build().unwrap();
     for it in 0..ITERS {
         let s = session.step().unwrap();
         let e = engine.step().unwrap();
@@ -157,4 +159,67 @@ fn facade_and_engine_agree_step_for_step() {
     );
     assert_eq!(rs.test_accuracy.to_bits(), re.test_accuracy.to_bits());
     assert_eq!(rs.label_coverage.to_bits(), re.label_coverage.to_bits());
+}
+
+/// `step_batch(1)` must be the identity batching: same query sequence,
+/// same LF picks, same LabelPick trajectory, bitwise-identical final
+/// metrics as the `step()` loop that produced the golden fixture.
+#[test]
+fn step_batch_of_one_matches_golden_trajectory() {
+    let (data, cfg) = fixture();
+    let mut engine = Engine::builder(data).config(cfg).build().unwrap();
+    let mut queries = Vec::new();
+    let mut lf_keys = Vec::new();
+    let mut n_selected = Vec::new();
+    for _ in 0..ITERS {
+        let batch = engine.step_batch(1).unwrap();
+        assert_eq!(batch.len(), 1);
+        let out = &batch[0];
+        queries.push(out.query);
+        lf_keys.push(out.lf.as_ref().map(|lf| format!("{:?}", lf.key())));
+        n_selected.push(out.n_selected);
+    }
+    assert_golden_trajectory(&queries, &lf_keys, &n_selected);
+    assert_eq!(engine.state().selected, GOLDEN_SELECTED);
+    let report = engine.evaluate_downstream().unwrap();
+    assert_eq!(
+        report.test_accuracy.to_bits(),
+        GOLDEN_TEST_ACCURACY.to_bits()
+    );
+    assert_eq!(
+        report.label_coverage.to_bits(),
+        GOLDEN_LABEL_COVERAGE.to_bits()
+    );
+    let tau = report.threshold.expect("ConFusion enabled");
+    assert_eq!(tau.to_bits(), GOLDEN_THRESHOLD.to_bits());
+}
+
+/// Larger batches trade refit freshness for throughput: the query
+/// *sequence drawn between refits* changes, but determinism is preserved —
+/// the same batch size reproduces the same trajectory.
+#[test]
+fn step_batch_is_deterministic_for_any_k() {
+    let run = |k: usize| {
+        let (data, cfg) = fixture();
+        let mut engine = Engine::builder(data).config(cfg).build().unwrap();
+        let mut queries = Vec::new();
+        while engine.state().iteration < ITERS {
+            for o in engine.step_batch(k).unwrap() {
+                queries.push(o.query);
+            }
+        }
+        let report = engine.evaluate_downstream().unwrap();
+        (queries, report.test_accuracy.to_bits())
+    };
+    assert_eq!(run(5), run(5));
+    assert_eq!(run(3), run(3));
+}
+
+/// The owned engine is `Send + 'static` — the property the SessionHub and
+/// any registry/thread-pool deployment rely on. Compile-time check.
+#[test]
+fn engine_is_send_and_static() {
+    fn assert_send<T: Send + 'static>() {}
+    assert_send::<Engine>();
+    assert_send::<ActiveDpSession>();
 }
