@@ -3,10 +3,10 @@
 use adp_bench::{bench_corpus, bench_dataset, planted_votes};
 use adp_classifier::{LogRegConfig, LogisticRegression, Targets};
 use adp_data::DatasetId;
-use adp_glasso::{graphical_lasso, GlassoConfig};
+use adp_glasso::{graphical_lasso, graphical_lasso_with, GlassoConfig};
 use adp_labelmodel::{DawidSkene, LabelModel, TripletMetal};
 use adp_lf::CandidateSpace;
-use adp_linalg::{covariance_matrix, Cholesky, Matrix};
+use adp_linalg::{covariance_matrix, Cholesky, Execution, Matrix};
 use adp_text::TfidfVectorizer;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -120,6 +120,49 @@ fn bench_logreg_grad_parallel(c: &mut Criterion) {
     }
 }
 
+/// Serial vs parallel Dawid–Skene EM — the label-model refit hot path,
+/// routed through `adp_linalg::parallel` (bitwise identical either way;
+/// the workspace `tests/determinism.rs` harness pins it).
+fn bench_dawid_skene_parallel(c: &mut Criterion) {
+    let votes = planted_votes(8000, 40, 0.5, 3);
+    for (name, exec) in [
+        ("dawid_skene_em_serial", Execution::Serial),
+        ("dawid_skene_em_parallel", Execution::parallel()),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = DawidSkene::new(2);
+                m.fit_with(black_box(&votes), None, exec)
+                    .expect("fit succeeds");
+                black_box(m)
+            })
+        });
+    }
+}
+
+/// Serial vs parallel glasso column sweeps at p = 128 — above
+/// `MIN_PARALLEL_DIM`, where the per-column inner ops genuinely split into
+/// multiple chunks (LabelPick's cap-sized p = 65 problems stay on the
+/// zero-overhead serial path by design) — same bitwise-identical contract.
+fn bench_glasso_sweep_parallel(c: &mut Criterion) {
+    let data = Matrix::from_fn(600, 128, |i, j| {
+        (((i * 7 + j * 13) % 23) as f64 - 11.0) * 0.1 + (i % 3) as f64 * 0.05 * (j % 9) as f64
+    });
+    let cov = covariance_matrix(&data).expect("non-empty data");
+    let cfg = GlassoConfig {
+        rho: 0.1,
+        ..GlassoConfig::default()
+    };
+    for (name, exec) in [
+        ("glasso_sweep_serial", Execution::Serial),
+        ("glasso_sweep_parallel", Execution::parallel()),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(graphical_lasso_with(&cov, cfg, exec).expect("well-posed")))
+        });
+    }
+}
+
 fn bench_candidate_space(c: &mut Criterion) {
     let data = bench_dataset(DatasetId::Youtube);
     c.bench_function("candidate_space_build_text", |b| {
@@ -140,6 +183,8 @@ criterion_group!(
         bench_label_models,
         bench_logreg,
         bench_logreg_grad_parallel,
+        bench_dawid_skene_parallel,
+        bench_glasso_sweep_parallel,
         bench_candidate_space
 );
 criterion_main!(kernels);

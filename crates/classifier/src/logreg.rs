@@ -124,6 +124,25 @@ impl LogisticRegression {
         targets: Targets<'_>,
         weights: Option<&[f64]>,
     ) -> Result<FitSummary, ClassifierError> {
+        let exec = if self.config.parallel {
+            parallel::auto(rows.len(), MIN_PARALLEL_ROWS)
+        } else {
+            Execution::Serial
+        };
+        self.fit_with(x, rows, targets, weights, exec)
+    }
+
+    /// [`LogisticRegression::fit`] under an explicit execution policy.
+    /// Serial and parallel runs are bitwise identical (gradients are always
+    /// accumulated over fixed chunks and reduced in chunk order).
+    pub fn fit_with<F: Features + ?Sized>(
+        &mut self,
+        x: &F,
+        rows: &[usize],
+        targets: Targets<'_>,
+        weights: Option<&[f64]>,
+        exec: Execution,
+    ) -> Result<FitSummary, ClassifierError> {
         self.validate(x, rows, &targets, weights)?;
         self.reset();
         let n = rows.len();
@@ -162,12 +181,6 @@ impl LogisticRegression {
             grad_norm: f64::INFINITY,
             converged: false,
         };
-        let exec = if self.config.parallel {
-            parallel::auto(n, MIN_PARALLEL_ROWS)
-        } else {
-            Execution::Serial
-        };
-
         for iter in 1..=self.config.max_iters {
             // Gradient at the look-ahead point (v_w, v_b), accumulated over
             // fixed-size row chunks and reduced in chunk order (bitwise
@@ -266,12 +279,22 @@ impl LogisticRegression {
     /// Probabilities for every row of `x`. Rows are independent, so this
     /// runs chunk-parallel on large inputs (identical output either way).
     pub fn predict_proba_all<F: Features + ?Sized>(&self, x: &F) -> Vec<Vec<f64>> {
-        let n = x.nrows();
         let exec = if self.config.parallel {
-            parallel::auto(n, MIN_PARALLEL_PREDICT)
+            parallel::auto(x.nrows(), MIN_PARALLEL_PREDICT)
         } else {
             Execution::Serial
         };
+        self.predict_proba_all_with(x, exec)
+    }
+
+    /// [`LogisticRegression::predict_proba_all`] under an explicit
+    /// execution policy (bitwise identical either way).
+    pub fn predict_proba_all_with<F: Features + ?Sized>(
+        &self,
+        x: &F,
+        exec: Execution,
+    ) -> Vec<Vec<f64>> {
+        let n = x.nrows();
         parallel::map_chunks(n, GRAD_CHUNK, exec, |range| {
             range.map(|i| self.predict_proba(x, i)).collect::<Vec<_>>()
         })

@@ -74,6 +74,16 @@ pub struct SessionConfig {
     pub al_logreg: LogRegConfig,
     /// Downstream-model training hyperparameters.
     pub downstream_logreg: LogRegConfig,
+    /// Master switch for the refit-stage data-parallel kernels: label-model
+    /// EM and bulk prediction, LabelPick's glasso, and the AL/downstream
+    /// logreg fits. Trajectories are bitwise identical either way — every
+    /// kernel obeys the `adp_linalg::parallel` fixed-chunk reduction
+    /// contract — so this only controls scheduling. Note it does *not*
+    /// reach kernels outside the refit path (LF application in
+    /// `LabelMatrix::push_lf`, covariance assembly), which keep their own
+    /// `auto` thresholds; pin the whole process with `ADP_NUM_THREADS=1`
+    /// when a deployment needs strictly single-threaded sessions.
+    pub parallel: bool,
     /// Master seed: user, samplers and tie-breaks derive from it.
     pub seed: u64,
 }
@@ -95,7 +105,33 @@ impl SessionConfig {
                 max_iters: 150,
                 ..LogRegConfig::default()
             },
+            parallel: true,
             seed,
+        }
+    }
+
+    /// The per-component scheduling switches with the master
+    /// [`SessionConfig::parallel`] switch applied: effective LabelPick,
+    /// AL-model and downstream-model configurations. Stages construct their
+    /// kernels from these so one flag pins the whole session serial.
+    pub(crate) fn effective_labelpick(&self) -> LabelPickConfig {
+        LabelPickConfig {
+            parallel: self.labelpick.parallel && self.parallel,
+            ..self.labelpick
+        }
+    }
+
+    pub(crate) fn effective_al_logreg(&self) -> LogRegConfig {
+        LogRegConfig {
+            parallel: self.al_logreg.parallel && self.parallel,
+            ..self.al_logreg
+        }
+    }
+
+    pub(crate) fn effective_downstream_logreg(&self) -> LogRegConfig {
+        LogRegConfig {
+            parallel: self.downstream_logreg.parallel && self.parallel,
+            ..self.downstream_logreg
         }
     }
 

@@ -103,6 +103,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Master switch for the refit-stage data-parallel kernels (default
+    /// on): label-model EM + bulk prediction, LabelPick's glasso, and the
+    /// AL/downstream logreg fits. Trajectories are bitwise identical either
+    /// way — the kernels obey the `adp_linalg::parallel` fixed-chunk
+    /// reduction contract — so this only trades refit latency against
+    /// thread usage. Kernels outside the refit path (LF application,
+    /// covariance assembly) keep their own `auto` thresholds; use
+    /// `ADP_NUM_THREADS=1` to pin the whole process.
+    pub fn parallel(mut self, enabled: bool) -> Self {
+        self.config.parallel = enabled;
+        self
+    }
+
     /// Registers a per-step instrumentation hook (see [`StepObserver`]).
     pub fn observer(mut self, observer: impl StepObserver + 'static) -> Self {
         self.observers.push(Box::new(observer));

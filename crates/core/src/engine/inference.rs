@@ -94,7 +94,7 @@ pub fn evaluate_downstream(
         let mut downstream = LogisticRegression::new(
             data.train.n_classes,
             adp_linalg::Features::ncols(&data.train.features),
-            config.downstream_logreg,
+            config.effective_downstream_logreg(),
         );
         downstream.fit(&data.train.features, &rows, Targets::Soft(&targets), None)?;
         (0..data.test.len())

@@ -9,7 +9,7 @@ use crate::error::ActiveDpError;
 use crate::labelpick::LabelPick;
 use adp_classifier::{LogisticRegression, Targets};
 use adp_data::SplitDataset;
-use adp_labelmodel::{make_model, LabelModel};
+use adp_labelmodel::{make_model_with, LabelModel};
 use adp_lf::LabelMatrix;
 
 /// Owns the pluggable models (label model, AL model) and the LabelPick
@@ -20,22 +20,33 @@ pub struct TrainingStage {
     al_model: LogisticRegression,
     class_balance: Vec<f64>,
     use_labelpick: bool,
+    /// Scheduling switch for the bulk label-model prediction pass
+    /// (bitwise-identical output either way).
+    parallel: bool,
 }
 
 impl TrainingStage {
-    /// Builds the models from the session configuration.
+    /// Builds the models from the session configuration. The config's
+    /// master `parallel` switch reaches every kernel here: LabelPick's
+    /// glasso, the label model's EM and the AL model's gradient batches all
+    /// run under the fixed-chunk contract, so [`Engine::step`] and the
+    /// `SessionHub` pick the threaded path by default with trajectories
+    /// unchanged bit for bit.
+    ///
+    /// [`Engine::step`]: super::Engine::step
     pub fn from_config(data: &SplitDataset, config: &SessionConfig) -> Self {
         let n_classes = data.train.n_classes;
         TrainingStage {
-            labelpick: LabelPick::new(config.labelpick),
-            label_model: make_model(config.label_model, n_classes),
+            labelpick: LabelPick::new(config.effective_labelpick()),
+            label_model: make_model_with(config.label_model, n_classes, config.parallel),
             al_model: LogisticRegression::new(
                 n_classes,
                 adp_linalg::Features::ncols(&data.train.features),
-                config.al_logreg,
+                config.effective_al_logreg(),
             ),
             class_balance: data.valid.class_balance(),
             use_labelpick: config.use_labelpick,
+            parallel: config.parallel,
         }
     }
 
@@ -67,9 +78,18 @@ impl TrainingStage {
             let selected_train = state.train_matrix.select_columns(&state.selected)?;
             self.label_model
                 .fit(&selected_train, Some(&self.class_balance))?;
-            state.lm_probs_train = Some(adp_labelmodel::predict_all(
+            let exec = if self.parallel {
+                adp_linalg::parallel::auto(
+                    selected_train.n_instances(),
+                    adp_labelmodel::MIN_PARALLEL_PREDICT,
+                )
+            } else {
+                adp_linalg::Execution::Serial
+            };
+            state.lm_probs_train = Some(adp_labelmodel::predict_all_with(
                 self.label_model.as_ref(),
                 &selected_train,
+                exec,
             ));
         }
 

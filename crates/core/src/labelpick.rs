@@ -18,7 +18,7 @@
 //! never reached before ~70 iterations at paper scale.
 
 use crate::error::ActiveDpError;
-use adp_glasso::{graphical_lasso, markov_blanket, GlassoConfig};
+use adp_glasso::{graphical_lasso_with, markov_blanket, GlassoConfig, MIN_PARALLEL_DIM};
 use adp_lf::{LabelMatrix, ABSTAIN};
 use adp_linalg::{correlation_matrix, Matrix};
 
@@ -41,6 +41,10 @@ pub struct LabelPickConfig {
     /// Minimum number of query rows before structure learning is attempted;
     /// below this every accuracy-surviving LF is kept.
     pub min_queries: usize,
+    /// Let the graphical lasso fan its per-column subproblem setup out over
+    /// scoped threads when the LF set is large enough. The selection is
+    /// bitwise identical either way; this switch only controls scheduling.
+    pub parallel: bool,
 }
 
 impl Default for LabelPickConfig {
@@ -51,6 +55,7 @@ impl Default for LabelPickConfig {
             blanket_rel: 0.0,
             cap: 64,
             min_queries: 30,
+            parallel: true,
         }
     }
 }
@@ -154,12 +159,18 @@ impl LabelPick {
         // accuracy. On the correlation scale the penalty treats every LF
         // alike.
         let corr = correlation_matrix(&data)?;
-        let result = graphical_lasso(
+        let exec = if self.config.parallel {
+            adp_linalg::parallel::auto(corr.nrows(), MIN_PARALLEL_DIM)
+        } else {
+            adp_linalg::Execution::Serial
+        };
+        let result = graphical_lasso_with(
             &corr,
             GlassoConfig {
                 rho: self.config.rho,
                 ..GlassoConfig::default()
             },
+            exec,
         )?;
         let max_edge = (0..p - 1)
             .map(|k| result.precision[(p - 1, k)].abs())

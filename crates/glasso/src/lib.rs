@@ -10,13 +10,48 @@
 //! precision matrix: variables with non-zero partial correlation to the
 //! target form its Markov blanket (Pearl 1988), which LabelPick uses to
 //! select the LF subset adjacent to the class label.
+//!
+//! The column sweep itself is inherently sequential — each column's
+//! subproblem reads the `W` entries the previous columns just wrote
+//! (warm-start order is part of the algorithm) — but the O(p²) work *inside*
+//! one column update is not: gathering the `W₁₁` subproblem, the `s₁₂`
+//! right-hand side, the `w₁₂ = W₁₁ β` residual product, and the final
+//! per-column precision recovery are all pure per-element computations.
+//! Those fan out through [`adp_linalg::parallel::map_chunks`]; because no
+//! cross-element reduction is regrouped, serial and parallel runs are
+//! **bitwise identical** (pinned by `serial_matches_parallel` here and the
+//! workspace `tests/determinism.rs` harness), and the coordinate-descent
+//! inner solver stays serial.
 
 pub mod error;
 
 pub use error::GlassoError;
 
 use adp_linalg::lasso::LassoConfig;
+use adp_linalg::parallel::{self, Execution};
 use adp_linalg::{lasso_quadratic_cd, Matrix};
+
+/// Rows per chunk for the per-column inner ops (the `W₁₁` gather and the
+/// `w₁₂` residual product), which run once per column per sweep. Sized so
+/// one chunk carries ≥ 64·p elements of work: problems up to p ≈ 65 —
+/// LabelPick's cap — fall into a single chunk and take `map_chunks`'
+/// zero-overhead serial path, and a scoped spawn only happens where it
+/// amortises. Fixed (machine-independent); the fanned-out work is pure
+/// per-element, so the chunking never touches any float grouping.
+const COL_CHUNK: usize = 64;
+
+/// Columns per chunk for the one-shot precision recovery (each column is
+/// O(p) work, and the pass runs once per `graphical_lasso` call).
+const DIM_CHUNK: usize = 16;
+
+/// Minimum matrix dimension before threads pay for themselves: the
+/// per-column inner ops only split into multiple chunks once
+/// `p − 1 > COL_CHUNK`, and each chunk must carry enough O(p · COL_CHUNK)
+/// work to outweigh a scoped spawn — below this bound `auto` stays serial
+/// (identical bits, zero thread overhead). Public so callers that force a
+/// policy (e.g. LabelPick's config switch) can reuse the same threshold in
+/// their own [`parallel::auto`] call.
+pub const MIN_PARALLEL_DIM: usize = 96;
 
 /// Graphical-lasso hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -55,7 +90,21 @@ pub struct GlassoResult {
 ///
 /// `s` must be square and symmetric (within 1e-8). Zero-variance variables
 /// are handled by the ridge the penalty adds to the diagonal.
+///
+/// Large problems fan the per-column subproblem setup out over scoped
+/// threads ([`parallel::auto`] picks the policy); the result is bitwise
+/// identical either way — see the module docs.
 pub fn graphical_lasso(s: &Matrix, cfg: GlassoConfig) -> Result<GlassoResult, GlassoError> {
+    graphical_lasso_with(s, cfg, parallel::auto(s.nrows(), MIN_PARALLEL_DIM))
+}
+
+/// [`graphical_lasso`] under an explicit execution policy. Serial and
+/// parallel runs are bitwise identical (see module docs).
+pub fn graphical_lasso_with(
+    s: &Matrix,
+    cfg: GlassoConfig,
+    exec: Execution,
+) -> Result<GlassoResult, GlassoError> {
     let p = s.nrows();
     if s.ncols() != p {
         return Err(GlassoError::NotSquare { shape: s.shape() });
@@ -120,12 +169,17 @@ pub fn graphical_lasso(s: &Matrix, cfg: GlassoConfig) -> Result<GlassoResult, Gl
         let mut delta_sum = 0.0;
         for j in 0..p {
             let idx = &others[j];
-            let w11 = w.submatrix(idx, idx);
+            // Subproblem setup: gather the (p−1)×(p−1) quadratic W₁₁ and
+            // its right-hand side s₁₂ — pure copies, fanned out row-wise.
+            let w11 = gather_submatrix(&w, idx, exec);
             let s12: Vec<f64> = idx.iter().map(|&k| s[(k, j)]).collect();
+            // The ℓ1 solve is cyclic coordinate descent — sequential by
+            // nature and warm-started from the previous sweep, so it stays
+            // on the calling thread; column order is the algorithm.
             lasso_quadratic_cd(&w11, &s12, cfg.rho, &mut betas[j], lasso_cfg)
                 .map_err(GlassoError::Inner)?;
-            // w12 = W11 · beta.
-            let w12 = w11.matvec(&betas[j]).expect("shapes align");
+            // Residual product w₁₂ = W₁₁ · β: independent per-row dots.
+            let w12 = matvec_chunked(&w11, &betas[j], exec);
             for (pos, &k) in idx.iter().enumerate() {
                 delta_sum += (w[(k, j)] - w12[pos]).abs();
                 w[(k, j)] = w12[pos];
@@ -138,16 +192,27 @@ pub fn graphical_lasso(s: &Matrix, cfg: GlassoConfig) -> Result<GlassoResult, Gl
         }
     }
 
-    // Recover the precision matrix from the final (W, beta) pairs.
+    // Recover the precision matrix from the final (W, beta) pairs: every
+    // column is independent of the others, so columns fan out in fixed
+    // chunks and write back in column order.
     let mut prec = Matrix::zeros(p, p);
-    for j in 0..p {
-        let idx = &others[j];
-        let w12: Vec<f64> = idx.iter().map(|&k| w[(k, j)]).collect();
-        let denom = w[(j, j)] - adp_linalg::dot(&w12, &betas[j]);
-        let theta_jj = 1.0 / denom.max(1e-12);
+    let (w_ref, betas_ref, others_ref) = (&w, &betas, &others);
+    let columns = parallel::map_chunks(p, DIM_CHUNK, exec, |range| {
+        range
+            .map(|j| {
+                let idx = &others_ref[j];
+                let w12: Vec<f64> = idx.iter().map(|&k| w_ref[(k, j)]).collect();
+                let denom = w_ref[(j, j)] - adp_linalg::dot(&w12, &betas_ref[j]);
+                let theta_jj = 1.0 / denom.max(1e-12);
+                let off: Vec<f64> = betas_ref[j].iter().map(|&b| -b * theta_jj).collect();
+                (theta_jj, off)
+            })
+            .collect::<Vec<_>>()
+    });
+    for (j, (theta_jj, off)) in columns.into_iter().flatten().enumerate() {
         prec[(j, j)] = theta_jj;
-        for (pos, &k) in idx.iter().enumerate() {
-            prec[(k, j)] = -betas[j][pos] * theta_jj;
+        for (pos, &k) in others[j].iter().enumerate() {
+            prec[(k, j)] = off[pos];
         }
     }
     // Column-wise recovery leaves small asymmetries; symmetrise.
@@ -158,6 +223,41 @@ pub fn graphical_lasso(s: &Matrix, cfg: GlassoConfig) -> Result<GlassoResult, Gl
         precision: prec,
         sweeps,
     })
+}
+
+/// `m.submatrix(idx, idx)` with the row gathers fanned out over fixed
+/// chunks — pure copies into one flat buffer per chunk, bit-identical to
+/// the serial gather.
+fn gather_submatrix(m: &Matrix, idx: &[usize], exec: Execution) -> Matrix {
+    let p = idx.len();
+    let chunks = parallel::map_chunks(p, COL_CHUNK, exec, |range| {
+        let mut flat = Vec::with_capacity(range.len() * p);
+        for i in range {
+            flat.extend(idx.iter().map(|&k| m[(idx[i], k)]));
+        }
+        flat
+    });
+    let mut out = Matrix::zeros(p, p);
+    let mut offset = 0;
+    for chunk in chunks {
+        out.as_mut_slice()[offset..offset + chunk.len()].copy_from_slice(&chunk);
+        offset += chunk.len();
+    }
+    out
+}
+
+/// `m.matvec(v)` with the per-row dot products fanned out over fixed
+/// chunks. Each element is the same serial [`adp_linalg::dot`] the dense
+/// kernel computes, so the output is bit-identical to `Matrix::matvec`.
+fn matvec_chunked(m: &Matrix, v: &[f64], exec: Execution) -> Vec<f64> {
+    parallel::map_chunks(m.nrows(), COL_CHUNK, exec, |range| {
+        range
+            .map(|i| adp_linalg::dot(m.row(i), v))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Variables with non-zero partial correlation to `target`: the indices `k`
@@ -329,6 +429,39 @@ mod tests {
             graphical_lasso(&s, bad).unwrap_err(),
             GlassoError::BadPenalty { .. }
         ));
+    }
+
+    #[test]
+    fn serial_matches_parallel_bitwise() {
+        // p = 60 exceeds MIN_PARALLEL_DIM; the policy is forced both ways
+        // and swept over thread counts anyway.
+        let data = Matrix::from_fn(400, 60, |i, j| {
+            (((i * 7 + j * 13) % 23) as f64 - 11.0) * 0.1 + (i % 5) as f64 * 0.03 * (j % 7) as f64
+        });
+        let s = covariance_matrix(&data).unwrap();
+        let cfg = GlassoConfig {
+            rho: 0.1,
+            ..GlassoConfig::default()
+        };
+        let serial = graphical_lasso_with(&s, cfg, Execution::Serial).unwrap();
+        for threads in [2, 3, 7] {
+            let par = graphical_lasso_with(&s, cfg, Execution::with_threads(threads)).unwrap();
+            assert_eq!(par.sweeps, serial.sweeps, "threads={threads}");
+            for i in 0..s.nrows() {
+                for j in 0..s.ncols() {
+                    assert_eq!(
+                        serial.precision[(i, j)].to_bits(),
+                        par.precision[(i, j)].to_bits(),
+                        "precision ({i},{j}) threads={threads}"
+                    );
+                    assert_eq!(
+                        serial.covariance[(i, j)].to_bits(),
+                        par.covariance[(i, j)].to_bits(),
+                        "covariance ({i},{j}) threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

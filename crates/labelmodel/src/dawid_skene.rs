@@ -7,11 +7,29 @@
 //! LFs exhibit strongly. EM is initialised from the majority vote so the
 //! label permutation stays anchored (LFs are assumed better than random, as
 //! in the paper's candidate filtering).
+//!
+//! Both EM sweeps are data-parallel over instances under the
+//! [`adp_linalg::parallel`] fixed-chunk contract: the E-step's per-row
+//! posteriors are pure per-instance work, and the M-step accumulates
+//! per-chunk confusion/prior partials that merge in chunk-index order — in
+//! the serial path too — so [`DawidSkene::fit`] is **bitwise identical**
+//! at every thread count (pinned by `serial_matches_parallel` here and by
+//! the workspace `tests/determinism.rs` harness).
 
 use crate::error::{resolve_balance, LabelModelError};
 use crate::majority::MajorityVote;
 use crate::LabelModel;
 use adp_lf::{LabelMatrix, ABSTAIN};
+use adp_linalg::parallel::{self, Execution};
+
+/// Instances per parallel EM chunk. Fixed (never derived from the machine)
+/// so chunk boundaries — and the M-step's partial-sum grouping — are
+/// identical at every thread count.
+const EM_CHUNK: usize = 256;
+
+/// Below this many instances the EM fans out to a couple of chunks anyway;
+/// skip the scoped-thread setup entirely.
+const MIN_PARALLEL_INSTANCES: usize = 2 * EM_CHUNK;
 
 /// Dawid–Skene label model trained by EM.
 #[derive(Debug, Clone)]
@@ -27,6 +45,10 @@ pub struct DawidSkene {
     pub tol: f64,
     /// Laplace smoothing mass added to every outcome count.
     pub smoothing: f64,
+    /// Run the EM sweeps on scoped threads when the matrix is large enough.
+    /// The result is bitwise identical either way (chunk-wise accumulation
+    /// is always used); this switch only controls scheduling.
+    pub parallel: bool,
 }
 
 impl DawidSkene {
@@ -39,12 +61,18 @@ impl DawidSkene {
             max_iters: 100,
             tol: 1e-5,
             smoothing: 0.1,
+            parallel: true,
         }
     }
 
     /// Estimated P(vote = v | Y = y) table for LF `j` (after `fit`).
     pub fn confusion(&self, j: usize) -> &[Vec<f64>] {
         &self.theta[j]
+    }
+
+    /// Estimated (or fixed) class prior π (after `fit`).
+    pub fn prior(&self) -> &[f64] {
+        &self.prior
     }
 
     /// Estimated accuracy of LF `j` conditioned on it firing, assuming class
@@ -75,13 +103,16 @@ impl DawidSkene {
             })
         }
     }
-}
 
-impl LabelModel for DawidSkene {
-    fn fit(
+    /// [`LabelModel::fit`] under an explicit execution policy. Serial and
+    /// parallel runs are bitwise identical (see module docs); `fit` picks
+    /// the policy with [`parallel::auto`] when [`DawidSkene::parallel`] is
+    /// set.
+    pub fn fit_with(
         &mut self,
         matrix: &LabelMatrix,
         class_balance: Option<&[f64]>,
+        exec: Execution,
     ) -> Result<(), LabelModelError> {
         let n = matrix.n_instances();
         let m = matrix.n_lfs();
@@ -109,26 +140,44 @@ impl LabelModel for DawidSkene {
 
         let mut theta = vec![vec![vec![0.0; n_outcomes]; c]; m];
         for _iter in 0..self.max_iters {
-            // M-step.
-            let mut new_prior = vec![self.smoothing; c];
-            let mut counts = vec![vec![vec![self.smoothing; n_outcomes]; c]; m];
-            for i in 0..n {
-                let row = matrix.row(i);
-                for y in 0..c {
-                    let w = q[i][y];
-                    new_prior[y] += w;
-                    for (j, &v) in row.iter().enumerate() {
-                        let o = if v == ABSTAIN { 0 } else { 1 + v as usize };
-                        counts[j][y][o] += w;
+            // M-step: per-chunk (prior, confusion-count) partials, merged
+            // in chunk order onto the smoothing-initialised accumulators.
+            // Counts are flat `[j][y][o]` so chunk partials merge with one
+            // element-wise pass.
+            let q_ref = &q;
+            let parts = parallel::map_chunks(n, EM_CHUNK, exec, |range| {
+                let mut prior_part = vec![0.0f64; c];
+                let mut counts_part = vec![0.0f64; m * c * n_outcomes];
+                for i in range {
+                    let row = matrix.row(i);
+                    for y in 0..c {
+                        let w = q_ref[i][y];
+                        prior_part[y] += w;
+                        for (j, &v) in row.iter().enumerate() {
+                            let o = if v == ABSTAIN { 0 } else { 1 + v as usize };
+                            counts_part[(j * c + y) * n_outcomes + o] += w;
+                        }
                     }
+                }
+                (prior_part, counts_part)
+            });
+            let mut new_prior = vec![self.smoothing; c];
+            let mut counts = vec![self.smoothing; m * c * n_outcomes];
+            for (prior_part, counts_part) in parts {
+                for (acc, p) in new_prior.iter_mut().zip(&prior_part) {
+                    *acc += p;
+                }
+                for (acc, p) in counts.iter_mut().zip(&counts_part) {
+                    *acc += p;
                 }
             }
             let mut max_delta = 0.0_f64;
             for j in 0..m {
                 for y in 0..c {
-                    let total: f64 = counts[j][y].iter().sum();
+                    let cell = &counts[(j * c + y) * n_outcomes..(j * c + y + 1) * n_outcomes];
+                    let total: f64 = cell.iter().sum();
                     for o in 0..n_outcomes {
-                        let v = counts[j][y][o] / total;
+                        let v = cell[o] / total;
                         max_delta = max_delta.max((v - theta[j][y][o]).abs());
                         theta[j][y][o] = v;
                     }
@@ -143,19 +192,28 @@ impl LabelModel for DawidSkene {
                 }
             }
 
-            // E-step (log space).
+            // E-step (log space): pure per-row posteriors, fanned out over
+            // the same fixed chunks and written back in instance order.
             self.theta = theta.clone();
-            for (i, qi) in q.iter_mut().enumerate() {
-                let row = matrix.row(i);
-                let mut logp: Vec<f64> = (0..c).map(|y| self.prior[y].ln()).collect();
-                for (j, &v) in row.iter().enumerate() {
-                    let o = if v == ABSTAIN { 0 } else { 1 + v as usize };
-                    for (y, lp) in logp.iter_mut().enumerate() {
-                        *lp += self.theta[j][y][o].max(1e-300).ln();
-                    }
-                }
-                adp_linalg::softmax_inplace(&mut logp);
-                qi.copy_from_slice(&logp);
+            let (theta_ref, prior_ref) = (&self.theta, &self.prior);
+            let posteriors = parallel::map_chunks(n, EM_CHUNK, exec, |range| {
+                range
+                    .map(|i| {
+                        let row = matrix.row(i);
+                        let mut logp: Vec<f64> = (0..c).map(|y| prior_ref[y].ln()).collect();
+                        for (j, &v) in row.iter().enumerate() {
+                            let o = if v == ABSTAIN { 0 } else { 1 + v as usize };
+                            for (y, lp) in logp.iter_mut().enumerate() {
+                                *lp += theta_ref[j][y][o].max(1e-300).ln();
+                            }
+                        }
+                        adp_linalg::softmax_inplace(&mut logp);
+                        logp
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for (qi, post) in q.iter_mut().zip(posteriors.into_iter().flatten()) {
+                *qi = post;
             }
 
             if max_delta < self.tol {
@@ -164,6 +222,21 @@ impl LabelModel for DawidSkene {
         }
         self.theta = theta;
         Ok(())
+    }
+}
+
+impl LabelModel for DawidSkene {
+    fn fit(
+        &mut self,
+        matrix: &LabelMatrix,
+        class_balance: Option<&[f64]>,
+    ) -> Result<(), LabelModelError> {
+        let exec = if self.parallel {
+            parallel::auto(matrix.n_instances(), MIN_PARALLEL_INSTANCES)
+        } else {
+            Execution::Serial
+        };
+        self.fit_with(matrix, class_balance, exec)
     }
 
     fn predict_proba(&self, votes: &[i8]) -> Vec<f64> {
@@ -328,5 +401,29 @@ pub(crate) mod tests {
         let mut b = DawidSkene::new(2);
         b.fit(&lm, None).unwrap();
         assert_eq!(a.predict_proba(lm.row(0)), b.predict_proba(lm.row(0)));
+    }
+
+    #[test]
+    fn serial_matches_parallel_bitwise() {
+        // Free prior (exercises the prior-partial merge) and coverage gaps
+        // (exercises the abstain outcome). Spans many EM_CHUNK chunks.
+        let (lm, _) = planted(&[0.9, 0.75, 0.6, 0.55], 0.6, 1500, 6);
+        let mut serial = DawidSkene::new(2);
+        serial.fit_with(&lm, None, Execution::Serial).unwrap();
+        for threads in [2, 3, 7] {
+            let mut par = DawidSkene::new(2);
+            par.fit_with(&lm, None, Execution::with_threads(threads))
+                .unwrap();
+            for (ps, pp) in serial.prior().iter().zip(par.prior()) {
+                assert_eq!(ps.to_bits(), pp.to_bits(), "prior, threads={threads}");
+            }
+            for j in 0..lm.n_lfs() {
+                for (rs, rp) in serial.confusion(j).iter().zip(par.confusion(j)) {
+                    for (a, b) in rs.iter().zip(rp) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "theta[{j}], threads={threads}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -28,9 +28,24 @@ pub use majority::MajorityVote;
 pub use triplet::TripletMetal;
 
 use adp_lf::LabelMatrix;
+use adp_linalg::parallel::{self, Execution};
+
+/// Instances per parallel [`predict_all_with`] chunk. Fixed
+/// (machine-independent): each row's posterior is a pure function of that
+/// row, so chunked prediction is bitwise identical at every thread count.
+const PREDICT_CHUNK: usize = 512;
+
+/// Minimum instance count before threads pay for themselves. Public so
+/// callers that force a policy (e.g. the engine's master switch) can reuse
+/// the same threshold in their own `parallel::auto` call.
+pub const MIN_PARALLEL_PREDICT: usize = 2 * PREDICT_CHUNK;
 
 /// A generative model over weak labels.
-pub trait LabelModel: Send {
+///
+/// `Send + Sync` so fitted models can be shared immutably across the
+/// scoped worker threads of [`predict_all_with`] and moved between
+/// sessions; all provided models are plain data.
+pub trait LabelModel: Send + Sync {
     /// Fits the model to a label matrix. `class_balance`, when given, fixes
     /// the class prior (the paper tunes MeTaL with the validation balance);
     /// otherwise models estimate or default to uniform.
@@ -48,11 +63,31 @@ pub trait LabelModel: Send {
     fn n_classes(&self) -> usize;
 }
 
-/// Applies `model` to every instance of `matrix`.
+/// Applies `model` to every instance of `matrix`, fanning row chunks out
+/// over scoped threads when the matrix is large enough (bitwise identical
+/// to the serial path — each row's posterior is independent).
 pub fn predict_all(model: &dyn LabelModel, matrix: &LabelMatrix) -> Vec<Vec<f64>> {
-    (0..matrix.n_instances())
-        .map(|i| model.predict_proba(matrix.row(i)))
-        .collect()
+    predict_all_with(
+        model,
+        matrix,
+        parallel::auto(matrix.n_instances(), MIN_PARALLEL_PREDICT),
+    )
+}
+
+/// [`predict_all`] under an explicit execution policy.
+pub fn predict_all_with(
+    model: &dyn LabelModel,
+    matrix: &LabelMatrix,
+    exec: Execution,
+) -> Vec<Vec<f64>> {
+    parallel::map_chunks(matrix.n_instances(), PREDICT_CHUNK, exec, |range| {
+        range
+            .map(|i| model.predict_proba(matrix.row(i)))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Which label model a pipeline should instantiate.
@@ -68,9 +103,24 @@ pub enum LabelModelKind {
 
 /// Factory for boxed label models.
 pub fn make_model(kind: LabelModelKind, n_classes: usize) -> Box<dyn LabelModel> {
+    make_model_with(kind, n_classes, true)
+}
+
+/// [`make_model`] with an explicit scheduling switch: `parallel: false`
+/// forces models with threaded fits ([`DawidSkene`]) onto the calling
+/// thread. Output is bitwise identical either way.
+pub fn make_model_with(
+    kind: LabelModelKind,
+    n_classes: usize,
+    parallel: bool,
+) -> Box<dyn LabelModel> {
     match kind {
         LabelModelKind::MajorityVote => Box::new(MajorityVote::new(n_classes)),
-        LabelModelKind::DawidSkene => Box::new(DawidSkene::new(n_classes)),
+        LabelModelKind::DawidSkene => {
+            let mut ds = DawidSkene::new(n_classes);
+            ds.parallel = parallel;
+            Box::new(ds)
+        }
         LabelModelKind::Triplet => Box::new(TripletMetal::new(n_classes)),
     }
 }

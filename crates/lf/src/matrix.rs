@@ -399,7 +399,7 @@ mod tests {
             encoded_docs: None,
         };
         let serial = LabelMatrix::from_lfs_exec(&lfs(), &big, adp_linalg::Execution::Serial);
-        let parallel = LabelMatrix::from_lfs_exec(&lfs(), &big, adp_linalg::Execution::Parallel);
+        let parallel = LabelMatrix::from_lfs_exec(&lfs(), &big, adp_linalg::Execution::parallel());
         assert_eq!(serial, parallel);
         // push_lf (auto-parallel at this size) agrees with from_lfs.
         let mut pushed = LabelMatrix::empty(n);

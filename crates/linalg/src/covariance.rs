@@ -181,7 +181,7 @@ mod tests {
             (((i * 31 + j * 17) % 97) as f64 - 48.0) * 0.013
         });
         let serial = covariance_matrix_exec(&d, Execution::Serial).unwrap();
-        let parallel = covariance_matrix_exec(&d, Execution::Parallel).unwrap();
+        let parallel = covariance_matrix_exec(&d, Execution::parallel()).unwrap();
         for j in 0..6 {
             for k in 0..6 {
                 assert!(

@@ -123,6 +123,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Flat row-major data, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Matrix product `self * rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
         if self.cols != rhs.rows {

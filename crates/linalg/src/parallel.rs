@@ -4,29 +4,75 @@
 //! [`map_chunks`] call splits `[0, n)` into fixed-size chunks and fans the
 //! chunk closures out over `std::thread::scope` workers.
 //!
-//! **Determinism contract.** The chunk boundaries depend only on `(n,
-//! chunk)` — never on the machine's core count — and results come back in
-//! chunk-index order, so a caller that reduces them sequentially gets
-//! *bitwise identical* floating-point results whether the chunks ran on one
-//! thread or eight. Hot paths therefore always accumulate chunk-wise and
-//! use [`Execution`] purely as a scheduling hint; `serial_matches_parallel`
-//! tests across the workspace pin this down.
+//! # The fixed-chunk reduction contract
 //!
-//! Thread count: `ADP_NUM_THREADS` when set (an explicit operator
-//! override, honoured up to 64), else `available_parallelism()` capped at
-//! 8 — the kernels here saturate memory bandwidth long before high core
-//! counts pay off, so the *default* stays conservative.
+//! Every parallel hot path in the workspace (logreg batch gradients, TF-IDF
+//! vectorisation, the Dawid–Skene E/M-steps, the glasso column sweep, LF
+//! application, covariance assembly) routes through [`map_chunks`] under
+//! the same three rules, which together make whole training trajectories
+//! *machine-independent*:
+//!
+//! 1. **Chunk boundaries are a pure function of the problem.** They depend
+//!    only on `(n, chunk)`, where `chunk` is a compile-time constant of the
+//!    kernel — never on the core count, the thread budget, or load. The
+//!    same input always produces the same chunks on every machine.
+//! 2. **Grouping-sensitive arithmetic is always chunked.** A kernel whose
+//!    reduction depends on float grouping (e.g. a gradient sum) accumulates
+//!    per-chunk partials and folds them in chunk-index order *in the serial
+//!    path too*. Serial execution means "all chunks on the calling thread",
+//!    not "a different summation order".
+//! 3. **[`Execution`] is a scheduling hint only.** Chunk results come back
+//!    in chunk-index order regardless of which worker produced them, so a
+//!    sequential fold over [`map_chunks`] output is *bitwise identical*
+//!    whether the chunks ran on one thread or sixty-four, with any thread
+//!    override in [`Execution::Parallel`].
+//!
+//! Consequently a session seeded on a laptop replays bit-for-bit on a
+//! 64-core server: thread count can change *when* a chunk runs, never
+//! *what* it computes or *how* partials combine. The workspace-level
+//! `tests/determinism.rs` harness pins this for every kernel (serial vs
+//! parallel across thread counts and adversarial chunk sizes) and for a
+//! full `Engine` trajectory.
+//!
+//! Thread count: an explicit [`Execution::Parallel`] `threads` override
+//! wins, then `ADP_NUM_THREADS` when set (an operator override, honoured
+//! up to 64), else `available_parallelism()` capped at 8 — the kernels
+//! here saturate memory bandwidth long before high core counts pay off, so
+//! the *default* stays conservative.
 
 use std::ops::Range;
 use std::sync::OnceLock;
 
 /// How a [`map_chunks`] call may schedule its chunks.
+///
+/// Per the module-level contract this is purely a scheduling hint: the
+/// chunk decomposition — and therefore every bit of the result — is
+/// identical across all variants and thread counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Execution {
     /// Run every chunk on the calling thread.
     Serial,
     /// Fan chunks out over scoped worker threads.
-    Parallel,
+    Parallel {
+        /// Worker-thread override for this call (clamped to `1..=64`);
+        /// `None` uses the process-wide [`max_threads`] budget. Used by the
+        /// determinism harness to sweep thread counts inside one process.
+        threads: Option<usize>,
+    },
+}
+
+impl Execution {
+    /// [`Execution::Parallel`] with the default thread budget.
+    pub fn parallel() -> Self {
+        Execution::Parallel { threads: None }
+    }
+
+    /// [`Execution::Parallel`] pinned to exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Execution::Parallel {
+            threads: Some(threads),
+        }
+    }
 }
 
 /// Worker-thread budget (see module docs): `ADP_NUM_THREADS` verbatim
@@ -46,12 +92,13 @@ pub fn max_threads() -> usize {
     })
 }
 
-/// [`Execution::Parallel`] when `n` is at least `min_parallel` items and
-/// the machine has threads to spare; [`Execution::Serial`] otherwise.
-/// Callers pick `min_parallel` so thread-spawn overhead can't dominate.
+/// [`Execution::Parallel`] (default budget) when `n` is at least
+/// `min_parallel` items and the machine has threads to spare;
+/// [`Execution::Serial`] otherwise. Callers pick `min_parallel` so
+/// thread-spawn overhead can't dominate.
 pub fn auto(n: usize, min_parallel: usize) -> Execution {
     if n >= min_parallel && max_threads() > 1 {
-        Execution::Parallel
+        Execution::parallel()
     } else {
         Execution::Serial
     }
@@ -78,7 +125,10 @@ where
     let ranges = chunk_ranges(n, chunk);
     let threads = match exec {
         Execution::Serial => 1,
-        Execution::Parallel => max_threads().min(ranges.len()),
+        Execution::Parallel { threads } => threads
+            .map(|t| t.clamp(1, 64))
+            .unwrap_or_else(max_threads)
+            .min(ranges.len()),
     };
     if threads <= 1 {
         return ranges.into_iter().map(f).collect();
@@ -143,31 +193,48 @@ mod tests {
             .fold(0.0_f64, |acc, x| acc + x)
         };
         let serial = run(Execution::Serial);
-        let parallel = run(Execution::Parallel);
+        let parallel = run(Execution::parallel());
         assert!(
             serial.to_bits() == parallel.to_bits(),
             "serial {serial:e} != parallel {parallel:e}"
         );
+        // A thread override changes scheduling, never the bits.
+        for threads in [1, 2, 3, 7, 64] {
+            let pinned = run(Execution::with_threads(threads));
+            assert_eq!(serial.to_bits(), pinned.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]
     fn results_come_back_in_chunk_order() {
-        let ids = map_chunks(100, 7, Execution::Parallel, |r| r.start);
+        let ids = map_chunks(100, 7, Execution::parallel(), |r| r.start);
         let expected: Vec<usize> = (0..100usize.div_ceil(7)).map(|c| c * 7).collect();
         assert_eq!(ids, expected);
+        let pinned = map_chunks(100, 7, Execution::with_threads(3), |r| r.start);
+        assert_eq!(pinned, expected);
     }
 
     #[test]
     fn empty_input_yields_no_chunks() {
-        let out = map_chunks(0, 16, Execution::Parallel, |_| 1u8);
+        let out = map_chunks(0, 16, Execution::parallel(), |_| 1u8);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_override_is_clamped() {
+        // 0 threads clamps to 1 (serial path), a huge override to 64; both
+        // must produce the full chunk-ordered result.
+        let a = map_chunks(50, 3, Execution::with_threads(0), |r| r.len());
+        let b = map_chunks(50, 3, Execution::with_threads(10_000), |r| r.len());
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<usize>(), 50);
     }
 
     #[test]
     fn auto_respects_threshold() {
         assert_eq!(auto(10, 1000), Execution::Serial);
         if max_threads() > 1 {
-            assert_eq!(auto(10_000, 1000), Execution::Parallel);
+            assert_eq!(auto(10_000, 1000), Execution::parallel());
         }
     }
 }

@@ -34,6 +34,10 @@ impl fmt::Display for SessionId {
 pub enum ServeError {
     /// No session with that id (never created, or already closed).
     UnknownSession(SessionId),
+    /// A `step_batch` request with `k = 0`. The engine itself treats an
+    /// empty batch as a no-op, but at the service boundary it is always a
+    /// caller bug, so the hub rejects it before routing to a shard.
+    EmptyBatch,
     /// The session's engine returned an error.
     Engine(ActiveDpError),
     /// The hub's workers are gone (the hub was dropped mid-call).
@@ -44,6 +48,7 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::UnknownSession(id) => write!(f, "unknown {id}"),
+            ServeError::EmptyBatch => write!(f, "step_batch requires k >= 1"),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::HubClosed => write!(f, "session hub is shut down"),
         }
@@ -167,8 +172,12 @@ impl SessionHub {
     }
 
     /// Batched stepping: up to `k` queries, one refit (see
-    /// `Engine::step_batch`).
+    /// `Engine::step_batch`). `k = 0` is rejected with
+    /// [`ServeError::EmptyBatch`] without touching the session.
     pub fn step_batch(&self, id: SessionId, k: usize) -> Result<Vec<StepOutcome>, ServeError> {
+        if k == 0 {
+            return Err(ServeError::EmptyBatch);
+        }
         self.call(id.0, |reply| Command::StepBatch { id: id.0, k, reply })?
     }
 
@@ -395,6 +404,82 @@ mod tests {
         });
 
         assert_eq!(solo, hubbed);
+    }
+
+    #[test]
+    fn every_call_rejects_an_unknown_session() {
+        // An id minted by one hub is unknown to another (same counter
+        // start, but nothing was ever inserted there): every session call
+        // must answer `UnknownSession`, not hang or panic.
+        let minting_hub = SessionHub::new(2);
+        let foreign = minting_hub.create(engine(&tiny(), 1)).unwrap();
+        let hub = SessionHub::new(2);
+        assert!(matches!(
+            hub.step(foreign),
+            Err(ServeError::UnknownSession(id)) if id == foreign
+        ));
+        assert!(matches!(
+            hub.step_batch(foreign, 3),
+            Err(ServeError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            hub.run(foreign, 2),
+            Err(ServeError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            hub.evaluate(foreign),
+            Err(ServeError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            hub.close(foreign),
+            Err(ServeError::UnknownSession(_))
+        ));
+        // The failed calls must not have created state as a side effect.
+        assert_eq!(hub.session_count(), 0);
+    }
+
+    #[test]
+    fn double_close_reports_unknown_session() {
+        let hub = SessionHub::new(2);
+        let id = hub.create(engine(&tiny(), 1)).unwrap();
+        hub.close(id).unwrap();
+        assert!(matches!(
+            hub.close(id),
+            Err(ServeError::UnknownSession(other)) if other == id
+        ));
+        // Ids are never reused: a fresh session gets a fresh id and the
+        // stale handle stays dead.
+        let fresh = hub.create(engine(&tiny(), 2)).unwrap();
+        assert_ne!(fresh, id);
+        assert!(matches!(hub.step(id), Err(ServeError::UnknownSession(_))));
+        assert_eq!(hub.session_count(), 1);
+    }
+
+    #[test]
+    fn step_batch_zero_is_rejected_before_routing() {
+        let hub = SessionHub::new(1);
+        let id = hub.create(engine(&tiny(), 1)).unwrap();
+        assert!(matches!(hub.step_batch(id, 0), Err(ServeError::EmptyBatch)));
+        // Even against an unknown id the argument error wins: nothing is
+        // routed to a shard.
+        let other_hub = SessionHub::new(1);
+        let foreign = other_hub.create(engine(&tiny(), 2)).unwrap();
+        assert!(matches!(
+            hub.step_batch(foreign, 0),
+            Err(ServeError::EmptyBatch)
+        ));
+        // The session is untouched and still serviceable.
+        assert_eq!(hub.step(id).unwrap().iteration, 1);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let hub = SessionHub::new(1);
+        let id = hub.create(engine(&tiny(), 1)).unwrap();
+        hub.close(id).unwrap();
+        let unknown = hub.step(id).unwrap_err();
+        assert!(unknown.to_string().contains("unknown session-"));
+        assert!(ServeError::EmptyBatch.to_string().contains("k >= 1"));
     }
 
     #[test]

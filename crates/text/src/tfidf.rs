@@ -321,7 +321,7 @@ mod tests {
         let mut vs = TfidfVectorizer::default();
         let ms = vs.fit_transform_with(&docs, Execution::Serial);
         let mut vp = TfidfVectorizer::default();
-        let mp = vp.fit_transform_with(&docs, Execution::Parallel);
+        let mp = vp.fit_transform_with(&docs, Execution::parallel());
 
         // Same vocabulary and idf table, bit for bit.
         assert_eq!(vs.vocabulary().len(), vp.vocabulary().len());
@@ -349,7 +349,7 @@ mod tests {
         v.fit(&docs);
         let unseen: Vec<String> = (0..200).map(|i| format!("w1 w2 fresh{i}")).collect();
         let s = v.transform_with(&unseen, Execution::Serial);
-        let p = v.transform_with(&unseen, Execution::Parallel);
+        let p = v.transform_with(&unseen, Execution::parallel());
         assert_eq!(s.encoded_docs, p.encoded_docs);
         for i in 0..s.matrix.nrows() {
             assert_eq!(s.matrix.row(i).0, p.matrix.row(i).0);

@@ -5,6 +5,7 @@
 //! failure is reproducible from the printed case seed).
 
 use activedp_repro::core::{aggregate, tune_threshold};
+use activedp_repro::glasso::{graphical_lasso, GlassoConfig};
 use activedp_repro::labelmodel::{DawidSkene, LabelModel, MajorityVote, TripletMetal};
 use activedp_repro::lf::{LabelMatrix, ABSTAIN};
 use activedp_repro::linalg::{
@@ -240,6 +241,164 @@ fn lf_accuracy_and_coverage_in_unit_interval() {
         }
         assert!(m.coverage() >= m.overlap(), "case {case}");
         assert!(m.overlap() >= m.conflict(), "case {case}");
+    }
+}
+
+/// Votes with planted per-LF accuracies on random binary ground truth:
+/// each LF fires with probability `cov` and is correct with its accuracy.
+fn planted_matrix(rng: &mut StdRng, accs: &[f64], cov: f64, n: usize) -> LabelMatrix {
+    let rows: Vec<Vec<i8>> = (0..n)
+        .map(|_| {
+            let y = usize::from(rng.gen::<f64>() < 0.5);
+            accs.iter()
+                .map(|&a| {
+                    if rng.gen::<f64>() >= cov {
+                        ABSTAIN
+                    } else if rng.gen::<f64>() < a {
+                        y as i8
+                    } else {
+                        (1 - y) as i8
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    LabelMatrix::from_votes(&rows).unwrap()
+}
+
+#[test]
+fn dawid_skene_confusion_rows_are_distributions() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(12, case);
+        let rows = vote_matrix(rng, 30, 6);
+        let matrix = LabelMatrix::from_votes(&rows).unwrap();
+        let balance = if case % 2 == 0 {
+            None
+        } else {
+            Some(vec![0.3, 0.7])
+        };
+        let mut ds = DawidSkene::new(2);
+        ds.fit(&matrix, balance.as_deref()).unwrap();
+        // The estimated prior is a distribution…
+        let prior = ds.prior();
+        assert!(
+            (prior.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "case {case}"
+        );
+        assert!(prior.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        for j in 0..matrix.n_lfs() {
+            // …each confusion row P(vote | Y = y) is a distribution…
+            for (y, row) in ds.confusion(j).iter().enumerate() {
+                assert!(
+                    (row.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                    "case {case} LF {j} class {y}: {row:?}"
+                );
+                assert!(
+                    row.iter().all(|&p| (0.0..=1.0).contains(&p)),
+                    "case {case} LF {j} class {y}: {row:?}"
+                );
+            }
+            // …and the derived firing-conditional accuracy is a rate.
+            let acc = ds.lf_accuracy(j);
+            assert!((0.0..=1.0).contains(&acc), "case {case} LF {j}: {acc}");
+        }
+        // Posteriors stay on the simplex for every observed row.
+        for row in &rows {
+            let p = ds.predict_proba(row);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn dawid_skene_recovery_improves_with_sample_size() {
+    // Estimation error of the planted LF accuracies must shrink as the
+    // vote matrix grows (averaged over seeds; each run is deterministic).
+    let accs = [0.9, 0.75, 0.6];
+    let sizes = [250usize, 1000, 4000];
+    let mean_err = |n: usize| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..8u64 {
+            let rng = &mut case_rng(13, seed * 31 + n as u64);
+            let matrix = planted_matrix(rng, &accs, 0.8, n);
+            let mut ds = DawidSkene::new(2);
+            ds.fit(&matrix, Some(&[0.5, 0.5])).unwrap();
+            total += accs
+                .iter()
+                .enumerate()
+                .map(|(j, &a)| (ds.lf_accuracy(j) - a).abs())
+                .sum::<f64>()
+                / accs.len() as f64;
+        }
+        total / 8.0
+    };
+    let errs: Vec<f64> = sizes.iter().map(|&n| mean_err(n)).collect();
+    assert!(
+        errs[1] < errs[0] && errs[2] < errs[1],
+        "errors not monotone in sample size: {errs:?}"
+    );
+    assert!(errs[2] < 0.03, "large-sample error too big: {errs:?}");
+}
+
+#[test]
+fn glasso_precision_is_symmetric_and_finite() {
+    for case in 0..CASES {
+        let rng = &mut case_rng(14, case);
+        let n = rng.gen_range(8..40usize);
+        let p = rng.gen_range(2..6usize);
+        let data = Matrix::from_fn(n, p, |_, _| rng.gen_range(-2.0..=2.0));
+        let s = covariance_matrix(&data).unwrap();
+        let cfg = GlassoConfig {
+            rho: rng.gen_range(0.01..=0.5),
+            ..GlassoConfig::default()
+        };
+        let res = graphical_lasso(&s, cfg).unwrap();
+        assert!(res.precision.all_finite(), "case {case}");
+        assert!(res.covariance.all_finite(), "case {case}");
+        assert!(res.precision.is_symmetric(1e-9), "case {case}");
+        assert!(res.covariance.is_symmetric(1e-9), "case {case}");
+        // The regularised covariance keeps positive variances.
+        for j in 0..p {
+            assert!(res.covariance[(j, j)] > 0.0, "case {case} var {j}");
+            assert!(res.precision[(j, j)] > 0.0, "case {case} prec {j}");
+        }
+    }
+}
+
+#[test]
+fn glasso_penalty_monotonically_sparsifies_edges() {
+    let edge_count = |s: &Matrix, rho: f64| -> usize {
+        let cfg = GlassoConfig {
+            rho,
+            ..GlassoConfig::default()
+        };
+        let prec = graphical_lasso(s, cfg).unwrap().precision;
+        let p = prec.nrows();
+        let mut edges = 0;
+        for i in 0..p {
+            for j in (i + 1)..p {
+                if prec[(i, j)].abs() > 1e-8 {
+                    edges += 1;
+                }
+            }
+        }
+        edges
+    };
+    for case in 0..CASES {
+        let rng = &mut case_rng(15, case);
+        let n = rng.gen_range(10..40usize);
+        let p = rng.gen_range(2..5usize);
+        let data = Matrix::from_fn(n, p, |_, _| rng.gen_range(-1.5..=1.5));
+        let s = covariance_matrix(&data).unwrap();
+        let counts: Vec<usize> = [0.01, 0.1, 0.5, 2.0, 10.0]
+            .iter()
+            .map(|&rho| edge_count(&s, rho))
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[1] <= w[0], "case {case}: edge counts {counts:?}");
+        }
+        // A penalty dominating every covariance entry removes all edges.
+        assert_eq!(*counts.last().unwrap(), 0, "case {case}: {counts:?}");
     }
 }
 
