@@ -163,6 +163,38 @@ fn bench_glasso_sweep_parallel(c: &mut Criterion) {
     }
 }
 
+/// Encode+decode of a mid-run session snapshot — the hot path of hub
+/// `save_all`/`load_all` and of shipping sessions over the wire. Sized at
+/// ~2k and ~12k train instances (IMDB at custom scale factors) so the
+/// dominant costs (probability tables, vote matrices) are realistic.
+fn bench_snapshot_roundtrip(c: &mut Criterion) {
+    use activedp::{Engine, SessionConfig, SessionSnapshot};
+    use adp_data::Scale;
+
+    for (name, factor) in [
+        ("snapshot_roundtrip_2k", 0.1),
+        ("snapshot_roundtrip_12k", 0.6),
+    ] {
+        let data = adp_data::generate(DatasetId::Imdb, Scale::Custom(factor), 99)
+            .expect("bench dataset generates");
+        let n_train = data.train.len();
+        let mut engine = Engine::builder(data)
+            .config(SessionConfig::paper_defaults(true, 99))
+            .build()
+            .expect("engine builds");
+        engine.run(6).expect("mid-run steps");
+        let snapshot = engine.snapshot().expect("snapshot captures");
+        let encoded_len = snapshot.to_bytes().len();
+        eprintln!("{name}: {n_train} train instances, {encoded_len} encoded bytes");
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let bytes = black_box(&snapshot).to_bytes();
+                black_box(SessionSnapshot::from_bytes(&bytes).expect("roundtrips"))
+            })
+        });
+    }
+}
+
 fn bench_candidate_space(c: &mut Criterion) {
     let data = bench_dataset(DatasetId::Youtube);
     c.bench_function("candidate_space_build_text", |b| {
@@ -185,6 +217,7 @@ criterion_group!(
         bench_logreg_grad_parallel,
         bench_dawid_skene_parallel,
         bench_glasso_sweep_parallel,
+        bench_snapshot_roundtrip,
         bench_candidate_space
 );
 criterion_main!(kernels);

@@ -35,7 +35,7 @@ impl Targets<'_> {
 }
 
 /// Hyperparameters for [`LogisticRegression`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogRegConfig {
     /// L2 penalty on the weights (not the intercept).
     pub l2: f64,

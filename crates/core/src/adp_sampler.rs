@@ -14,10 +14,19 @@ use adp_sampler::{Sampler, SamplerContext};
 use rand::{Rng, SeedableRng};
 
 /// Entropy-product sampler combining the AL model and the label model.
+///
+/// The per-instance entropy-product scoring runs through
+/// [`adp_sampler::score_items`] under the fixed-chunk contract; the
+/// RNG-consuming reservoir tie-break stays a serial pass over the scores,
+/// so selections and the tie-break stream are bitwise identical at every
+/// thread count.
 #[derive(Debug)]
 pub struct AdpSampler {
     alpha: f64,
     rng: rand::rngs::StdRng,
+    /// Fan the per-instance scoring out over scoped threads when the pool
+    /// is large enough (scheduling only; selections are identical).
+    pub parallel: bool,
 }
 
 impl AdpSampler {
@@ -34,6 +43,7 @@ impl AdpSampler {
         AdpSampler {
             alpha,
             rng: rand::rngs::StdRng::seed_from_u64(seed),
+            parallel: true,
         }
     }
 
@@ -46,9 +56,9 @@ impl AdpSampler {
 impl Sampler for AdpSampler {
     fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize> {
         let max_h = (ctx.train.n_classes as f64).ln();
-        let mut best: Option<(usize, f64)> = None;
-        let mut ties = 0usize;
-        for i in ctx.unqueried() {
+        let pool: Vec<usize> = ctx.unqueried().collect();
+        let alpha = self.alpha;
+        let scores = adp_sampler::score_items(&pool, self.parallel, |&i| {
             let h_al = match ctx.al_probs {
                 Some(p) => adp_linalg::entropy(&p[i]),
                 None => max_h,
@@ -57,7 +67,11 @@ impl Sampler for AdpSampler {
                 Some(p) => adp_linalg::entropy(&p[i]),
                 None => max_h,
             };
-            let score = h_al.powf(self.alpha) * h_lm.powf(1.0 - self.alpha);
+            h_al.powf(alpha) * h_lm.powf(1.0 - alpha)
+        });
+        let mut best: Option<(usize, f64)> = None;
+        let mut ties = 0usize;
+        for (&i, &score) in pool.iter().zip(&scores) {
             match best {
                 None => {
                     best = Some((i, score));
@@ -81,6 +95,14 @@ impl Sampler for AdpSampler {
 
     fn name(&self) -> &'static str {
         "ADP"
+    }
+
+    fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = rand::rngs::StdRng::from_state(state);
     }
 }
 

@@ -52,7 +52,7 @@ impl SamplerChoice {
 }
 
 /// Session configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionConfig {
     /// ADP sampler trade-off α (paper: 0.5 text, 0.99 tabular).
     pub alpha: f64,

@@ -139,6 +139,50 @@ impl EngineBuilder {
             observers: self.observers,
         })
     }
+
+    /// Assembles an engine that resumes `snapshot` exactly where it was
+    /// taken: the snapshot's config replaces any config edits made on this
+    /// builder, the loop state is restored verbatim, both RNG streams are
+    /// repositioned, and the models are rebuilt with one deterministic
+    /// refit (every fit resets its parameters and runs under the
+    /// fixed-chunk contract, so the rebuilt weights equal the
+    /// snapshot-time ones bit for bit). Running the resumed engine to the
+    /// end reproduces the uninterrupted trajectory exactly — queries, LF
+    /// picks and evaluation metrics included.
+    ///
+    /// The dataset must be the one the snapshot was taken over (typically
+    /// regenerated from its spec); state shaped for a different split is
+    /// rejected. A custom oracle passed via [`EngineBuilder::oracle`] must
+    /// implement [`Oracle::load_state`], otherwise resuming fails with
+    /// [`ActiveDpError::SnapshotUnsupported`].
+    ///
+    /// [`Oracle::load_state`]: crate::Oracle::load_state
+    pub fn resume(mut self, snapshot: crate::SessionSnapshot) -> Result<Engine, ActiveDpError> {
+        let crate::SessionSnapshot {
+            config,
+            state,
+            sampler_rng,
+            oracle,
+        } = snapshot;
+        self.config = config;
+        let mut engine = self.build()?;
+        state.validate_for(&engine.data)?;
+        engine.state = state;
+        engine.sampling.restore_rng_state(sampler_rng);
+        if !engine.querying.restore_oracle(&oracle) {
+            return Err(ActiveDpError::SnapshotUnsupported {
+                reason: "the session's oracle cannot replay snapshot state".into(),
+            });
+        }
+        // Rebuild the fitted models. The refit consumes no RNG and resets
+        // every parameter, so it reproduces exactly the state the models
+        // were in when the snapshot was taken (`state.selected` and the
+        // cached probability tables are overwritten with identical values).
+        if !engine.state.lfs.is_empty() {
+            engine.training.refit(&engine.data, &mut engine.state)?;
+        }
+        Ok(engine)
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +256,98 @@ mod tests {
         let mut cfg = SessionConfig::paper_defaults(true, 0);
         cfg.acc_threshold = 1.0;
         let err = Engine::builder(tiny()).config(cfg).build();
+        assert!(matches!(err, Err(ActiveDpError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn snapshot_rejects_oracles_without_state() {
+        struct Mute;
+        impl crate::oracle::Oracle for Mute {
+            fn respond(
+                &mut self,
+                _space: &adp_lf::CandidateSpace,
+                _train: &adp_data::Dataset,
+                _query_dataset: &adp_data::Dataset,
+                _idx: usize,
+            ) -> Option<adp_lf::LabelFunction> {
+                None
+            }
+        }
+        let mut e = Engine::builder(tiny())
+            .oracle(Box::new(Mute))
+            .build()
+            .unwrap();
+        e.step().unwrap();
+        assert!(matches!(
+            e.snapshot(),
+            Err(ActiveDpError::SnapshotUnsupported { .. })
+        ));
+        // And a default-oracle snapshot cannot resume onto a mute oracle.
+        let snap = Engine::builder(tiny()).build().unwrap().snapshot().unwrap();
+        let err = Engine::builder(tiny()).oracle(Box::new(Mute)).resume(snap);
+        assert!(matches!(
+            err,
+            Err(ActiveDpError::SnapshotUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn resume_rejects_internally_inconsistent_snapshots() {
+        // Parseable-but-corrupt states (what a tampered spill file can
+        // produce) must be rejected with typed errors, not panic later.
+        let pristine = Engine::builder(tiny())
+            .seed(5)
+            .build()
+            .unwrap()
+            .snapshot()
+            .unwrap();
+        let reject = |mutate: &dyn Fn(&mut crate::SessionSnapshot)| {
+            let mut snap = pristine.clone();
+            mutate(&mut snap);
+            let err = Engine::builder(tiny()).resume(snap);
+            assert!(matches!(err, Err(ActiveDpError::BadConfig { .. })));
+        };
+        // Empty-but-Some probability cache: would index out of bounds in
+        // the sampler on the first step (no LFs, so no refit rebuilds it).
+        reject(&|s| s.state.al_probs_train = Some(vec![]));
+        // Wrong row width.
+        reject(&|s| {
+            s.state.lm_probs_train = Some(vec![vec![1.0]; s.state.queried.len()]);
+        });
+        // Out-of-pool query index / out-of-range pseudo label / selection.
+        reject(&|s| {
+            s.state.query_indices = vec![usize::MAX];
+            s.state.pseudo_labels = vec![0];
+        });
+        reject(&|s| {
+            s.state.query_indices = vec![0];
+            s.state.pseudo_labels = vec![99];
+        });
+        reject(&|s| s.state.selected = vec![7]);
+        // Misaligned query/pseudo-label lists.
+        reject(&|s| s.state.pseudo_labels = vec![0]);
+        // Vote matrices whose LF column count disagrees with the LF list.
+        reject(&|s| {
+            s.state.train_matrix = adp_lf::LabelMatrix::from_raw(
+                s.state.queried.len(),
+                1,
+                vec![adp_lf::ABSTAIN; s.state.queried.len()],
+            )
+            .unwrap();
+        });
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_datasets() {
+        let snap = Engine::builder(tiny())
+            .seed(5)
+            .build()
+            .unwrap()
+            .snapshot()
+            .unwrap();
+        // A different seed produces a different split shape at tiny scale…
+        let other = generate(DatasetId::Imdb, Scale::Tiny, 5).unwrap();
+        let err = Engine::builder(other).resume(snap);
         assert!(matches!(err, Err(ActiveDpError::BadConfig { .. })));
     }
 

@@ -228,6 +228,31 @@ impl Engine {
         Ok(())
     }
 
+    /// Captures everything needed to resume this session later — config,
+    /// loop state and both RNG stream positions — as plain data (see
+    /// [`SessionSnapshot`](crate::SessionSnapshot)).
+    ///
+    /// Resuming via [`EngineBuilder::resume`] and running the remaining
+    /// iterations is **bitwise identical** to never having stopped (pinned
+    /// by `tests/engine_parity.rs`). Fails with
+    /// [`ActiveDpError::SnapshotUnsupported`] when the session runs a
+    /// custom oracle that does not expose snapshot state
+    /// (see [`Oracle::save_state`](crate::Oracle::save_state)).
+    pub fn snapshot(&self) -> Result<crate::SessionSnapshot, ActiveDpError> {
+        let oracle =
+            self.querying
+                .oracle_state()
+                .ok_or_else(|| ActiveDpError::SnapshotUnsupported {
+                    reason: "the session's oracle does not expose snapshot state".into(),
+                })?;
+        Ok(crate::SessionSnapshot {
+            config: self.config.clone(),
+            state: self.state.clone(),
+            sampler_rng: self.sampling.rng_state(),
+            oracle,
+        })
+    }
+
     /// Inference phase: tunes τ on the validation split (when ConFusion is
     /// enabled) and aggregates labels for the training pool.
     pub fn aggregate_train_labels(

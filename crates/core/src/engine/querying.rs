@@ -30,6 +30,18 @@ impl QueryingStage {
         &self.space
     }
 
+    /// The oracle's snapshotable state, when it has one (see
+    /// [`Oracle::save_state`]).
+    pub(crate) fn oracle_state(&self) -> Option<adp_lf::UserState> {
+        self.oracle.save_state()
+    }
+
+    /// Replays oracle state captured by [`QueryingStage::oracle_state`];
+    /// `false` when the oracle cannot resume it.
+    pub(crate) fn restore_oracle(&mut self, state: &adp_lf::UserState) -> bool {
+        self.oracle.load_state(state)
+    }
+
     /// Asks the oracle about `query`. When an LF comes back, appends its
     /// votes to both matrices and pseudo-labels the query instance with the
     /// LF's own vote. Returns the LF (already recorded in `state`).

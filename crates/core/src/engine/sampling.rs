@@ -25,6 +25,20 @@ impl SessionSampler {
             SessionSampler::Qbc(c) => c.select(ctx),
         }
     }
+
+    fn rng_state(&self) -> [u64; 4] {
+        match self {
+            SessionSampler::Boxed(s) => s.rng_state(),
+            SessionSampler::Qbc(c) => c.rng_state(),
+        }
+    }
+
+    fn restore_rng_state(&mut self, state: [u64; 4]) {
+        match self {
+            SessionSampler::Boxed(s) => s.restore_rng_state(state),
+            SessionSampler::Qbc(c) => c.restore_rng_state(state),
+        }
+    }
 }
 
 /// Owns the configured sampler and the candidate-LF space handle the
@@ -35,20 +49,44 @@ pub struct SamplingStage {
 
 impl SamplingStage {
     /// Builds the sampler named by `config.sampler`, seeded from the
-    /// master seed via [`SessionConfig::sampler_seed`].
+    /// master seed via [`SessionConfig::sampler_seed`]. The config's master
+    /// `parallel` switch reaches the samplers with a chunked scoring pass
+    /// (ADP, US, QBC); selections are bitwise identical either way.
     pub fn from_config(config: &SessionConfig) -> Self {
         let seed = config.sampler_seed();
         let sampler = match config.sampler {
             SamplerChoice::Adp => {
-                SessionSampler::Boxed(Box::new(AdpSampler::new(config.alpha, seed)))
+                let mut s = AdpSampler::new(config.alpha, seed);
+                s.parallel = config.parallel;
+                SessionSampler::Boxed(Box::new(s))
             }
             SamplerChoice::Passive => SessionSampler::Boxed(Box::new(Passive::new(seed))),
-            SamplerChoice::Uncertainty => SessionSampler::Boxed(Box::new(Uncertainty::new(seed))),
+            SamplerChoice::Uncertainty => {
+                let mut s = Uncertainty::new(seed);
+                s.parallel = config.parallel;
+                SessionSampler::Boxed(Box::new(s))
+            }
             SamplerChoice::Lal => SessionSampler::Boxed(Box::new(Lal::with_defaults(seed))),
             SamplerChoice::Seu => SessionSampler::Boxed(Box::new(Seu::new(seed))),
-            SamplerChoice::Qbc => SessionSampler::Qbc(Committee::new(seed, 5)),
+            SamplerChoice::Qbc => {
+                let mut s = Committee::new(seed, 5);
+                s.parallel = config.parallel;
+                SessionSampler::Qbc(s)
+            }
         };
         SamplingStage { sampler }
+    }
+
+    /// The sampler's RNG stream position, for [`Engine::snapshot`].
+    ///
+    /// [`Engine::snapshot`]: super::Engine::snapshot
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.sampler.rng_state()
+    }
+
+    /// Repositions the sampler's RNG stream when resuming a snapshot.
+    pub(crate) fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.sampler.restore_rng_state(state);
     }
 
     /// Selects the next query instance given the shared `space` of

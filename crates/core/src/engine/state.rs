@@ -10,7 +10,7 @@ use std::collections::HashSet;
 /// Everything the training loop accumulates, kept separate from the
 /// pluggable components (sampler, oracle, models) so each stage is a pure
 /// function of `(dataset, state)` plus its own plugin.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionState {
     /// All LFs collected so far, in iteration order.
     pub lfs: Vec<LabelFunction>,
@@ -55,6 +55,76 @@ impl SessionState {
             al_probs_train: None,
             lm_probs_train: None,
         }
+    }
+
+    /// Structural validation against the dataset a session is being
+    /// resumed over: every index in bounds, every matrix and cache shaped
+    /// for the split. Snapshot decoding guarantees *well-formed* fields;
+    /// this guards *consistency*, so a corrupt-but-parseable spill file is
+    /// rejected with a typed error at resume instead of panicking the
+    /// first `step()` that indexes into it.
+    pub(crate) fn validate_for(&self, data: &SplitDataset) -> Result<(), ActiveDpError> {
+        let bad = |reason: String| Err(ActiveDpError::BadConfig { reason });
+        let n_train = data.train.len();
+        let n_valid = data.valid.len();
+        if self.train_matrix.n_instances() != n_train || self.valid_matrix.n_instances() != n_valid
+        {
+            return bad(format!(
+                "snapshot state is shaped for a {}-train/{}-valid split, dataset has {n_train}/{n_valid}",
+                self.train_matrix.n_instances(),
+                self.valid_matrix.n_instances(),
+            ));
+        }
+        if self.queried.len() != n_train {
+            return bad(format!(
+                "snapshot queried mask covers {} instances, pool has {n_train}",
+                self.queried.len(),
+            ));
+        }
+        if self.train_matrix.n_lfs() != self.lfs.len()
+            || self.valid_matrix.n_lfs() != self.lfs.len()
+        {
+            return bad(format!(
+                "snapshot vote matrices carry {}/{} LF columns for {} LFs",
+                self.train_matrix.n_lfs(),
+                self.valid_matrix.n_lfs(),
+                self.lfs.len(),
+            ));
+        }
+        if self.query_indices.len() != self.pseudo_labels.len() {
+            return bad(format!(
+                "snapshot has {} query indices but {} pseudo labels",
+                self.query_indices.len(),
+                self.pseudo_labels.len(),
+            ));
+        }
+        if let Some(&qi) = self.query_indices.iter().find(|&&qi| qi >= n_train) {
+            return bad(format!(
+                "snapshot query index {qi} outside the {n_train}-instance pool"
+            ));
+        }
+        let n_classes = data.train.n_classes;
+        if let Some(&y) = self.pseudo_labels.iter().find(|&&y| y >= n_classes) {
+            return bad(format!(
+                "snapshot pseudo label {y} outside {n_classes} classes"
+            ));
+        }
+        if let Some(&j) = self.selected.iter().find(|&&j| j >= self.lfs.len()) {
+            return bad(format!("snapshot selects LF {j} of {}", self.lfs.len()));
+        }
+        for (name, probs, expected_rows) in [
+            ("al_probs_train", &self.al_probs_train, n_train),
+            ("lm_probs_train", &self.lm_probs_train, n_train),
+        ] {
+            if let Some(rows) = probs {
+                if rows.len() != expected_rows || rows.iter().any(|r| r.len() != n_classes) {
+                    return bad(format!(
+                        "snapshot {name} cache is not {expected_rows}x{n_classes}"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The pseudo-labelled set `(query instance, pseudo label)` (§3.1).

@@ -22,6 +22,14 @@ pub enum ActiveDpError {
     Linalg(adp_linalg::LinalgError),
     /// Label-matrix manipulation failure.
     Lf(adp_lf::LfError),
+    /// The session's oracle cannot capture or replay snapshot state (e.g. a
+    /// custom interactive oracle behind `EngineBuilder::oracle`).
+    SnapshotUnsupported {
+        /// What could not be snapshot or resumed.
+        reason: String,
+    },
+    /// An encoded snapshot failed to decode.
+    SnapshotCodec(adp_wire::WireError),
 }
 
 impl fmt::Display for ActiveDpError {
@@ -34,6 +42,10 @@ impl fmt::Display for ActiveDpError {
             ActiveDpError::Glasso(e) => write!(f, "graphical lasso: {e}"),
             ActiveDpError::Linalg(e) => write!(f, "linear algebra: {e}"),
             ActiveDpError::Lf(e) => write!(f, "label functions: {e}"),
+            ActiveDpError::SnapshotUnsupported { reason } => {
+                write!(f, "snapshot unsupported: {reason}")
+            }
+            ActiveDpError::SnapshotCodec(e) => write!(f, "snapshot codec: {e}"),
         }
     }
 }
@@ -46,6 +58,7 @@ impl std::error::Error for ActiveDpError {
             ActiveDpError::Glasso(e) => Some(e),
             ActiveDpError::Linalg(e) => Some(e),
             ActiveDpError::Lf(e) => Some(e),
+            ActiveDpError::SnapshotCodec(e) => Some(e),
             _ => None,
         }
     }
@@ -78,6 +91,12 @@ impl From<adp_linalg::LinalgError> for ActiveDpError {
 impl From<adp_lf::LfError> for ActiveDpError {
     fn from(e: adp_lf::LfError) -> Self {
         ActiveDpError::Lf(e)
+    }
+}
+
+impl From<adp_wire::WireError> for ActiveDpError {
+    fn from(e: adp_wire::WireError) -> Self {
+        ActiveDpError::SnapshotCodec(e)
     }
 }
 

@@ -23,7 +23,7 @@ use adp_lf::{LabelMatrix, ABSTAIN};
 use adp_linalg::{correlation_matrix, Matrix};
 
 /// LabelPick hyperparameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LabelPickConfig {
     /// Graphical-lasso ℓ1 penalty.
     pub rho: f64,

@@ -42,6 +42,7 @@ pub mod error;
 pub mod labelpick;
 pub mod oracle;
 pub mod session;
+pub mod snapshot;
 
 pub use adp_sampler::AdpSampler;
 pub use config::{SamplerChoice, SessionConfig};
@@ -54,3 +55,4 @@ pub use error::ActiveDpError;
 pub use labelpick::{LabelPick, LabelPickConfig};
 pub use oracle::Oracle;
 pub use session::ActiveDpSession;
+pub use snapshot::{SessionSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

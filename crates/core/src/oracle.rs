@@ -6,7 +6,7 @@
 //! [`Oracle`] over a real UI.
 
 use adp_data::Dataset;
-use adp_lf::{CandidateSpace, LabelFunction, SimulatedUser};
+use adp_lf::{CandidateSpace, LabelFunction, SimulatedUser, UserState};
 
 /// A source of label functions in response to query instances.
 pub trait Oracle: Send {
@@ -20,6 +20,23 @@ pub trait Oracle: Send {
         query_dataset: &Dataset,
         idx: usize,
     ) -> Option<LabelFunction>;
+
+    /// Captures the oracle's mutable state for a session snapshot, when the
+    /// oracle supports it. The default is `None`: a custom oracle (a human
+    /// behind a UI, say) has no replayable state, and `Engine::snapshot`
+    /// reports `SnapshotUnsupported` for such sessions instead of silently
+    /// writing one that cannot resume faithfully.
+    fn save_state(&self) -> Option<UserState> {
+        None
+    }
+
+    /// Restores state captured by [`Oracle::save_state`]. Returns `false`
+    /// (the default) when the oracle cannot replay it, which makes resuming
+    /// fail loudly rather than continue with a desynchronised oracle.
+    fn load_state(&mut self, state: &UserState) -> bool {
+        let _ = state;
+        false
+    }
 }
 
 impl Oracle for SimulatedUser {
@@ -31,6 +48,18 @@ impl Oracle for SimulatedUser {
         idx: usize,
     ) -> Option<LabelFunction> {
         SimulatedUser::respond(self, space, train, query_dataset, idx)
+    }
+
+    fn save_state(&self) -> Option<UserState> {
+        Some(SimulatedUser::state(self))
+    }
+
+    fn load_state(&mut self, state: &UserState) -> bool {
+        // The config (thresholds, noise rate) stays whatever this user was
+        // constructed with — the snapshot's `SessionConfig` rebuilds it —
+        // so only the mutable parts are replayed here.
+        *self = SimulatedUser::from_state(self.config(), state);
+        true
     }
 }
 

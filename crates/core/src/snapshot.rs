@@ -1,0 +1,505 @@
+//! Session snapshot/restore: the durable form of a running engine.
+//!
+//! A [`SessionSnapshot`] is plain data — the [`SessionConfig`], the
+//! [`SessionState`] and the two RNG stream positions (sampler, oracle) —
+//! because everything else an [`Engine`](crate::Engine) holds is a
+//! deterministic function of those parts:
+//!
+//! * the candidate space and class balance rebuild from the dataset;
+//! * the sampler rebuilds from the config, then has its stream repositioned;
+//! * the fitted models (LabelPick selection, label model, AL model) rebuild
+//!   with one [`TrainingStage::refit`](crate::TrainingStage) — every fit in
+//!   the workspace resets its parameters and runs under the fixed-chunk
+//!   reduction contract, so the refit reproduces the exact weights the
+//!   snapshot-time models had.
+//!
+//! Consequently *snapshot at iteration k → restore → run to the end* is
+//! **bitwise identical** to the uninterrupted run (pinned by
+//! `tests/engine_parity.rs`), under serial and parallel execution alike.
+//!
+//! The byte encoding ([`SessionSnapshot::to_bytes`] /
+//! [`SessionSnapshot::from_bytes`]) rides the `adp-wire` codec inside a
+//! versioned envelope (magic `ADPSNAP\0`, format version
+//! [`SNAPSHOT_VERSION`]). Encoding is canonical — LF-key sets are sorted —
+//! so the same snapshot always produces the same bytes; the committed
+//! golden-bytes fixture keeps format changes deliberate. The dataset is
+//! *not* part of a snapshot: datasets are large, shared between sessions,
+//! and regenerable from their spec, so the restore path takes one
+//! explicitly ([`EngineBuilder::resume`](crate::EngineBuilder)) and the
+//! serving layer records dataset provenance next to the snapshot.
+
+use crate::config::{SamplerChoice, SessionConfig};
+use crate::engine::SessionState;
+use crate::error::ActiveDpError;
+use crate::labelpick::LabelPickConfig;
+use adp_classifier::LogRegConfig;
+use adp_labelmodel::LabelModelKind;
+use adp_lf::{LabelFunction, LabelMatrix, LfKey, StumpOp, UserState};
+use adp_wire::{read_envelope, write_envelope, Reader, WireError, Writer};
+
+/// Magic bytes opening every encoded session snapshot.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ADPSNAP\0";
+
+/// Current snapshot format version. Bump deliberately: the golden-bytes
+/// test pins the encoding, and decoders reject newer versions with
+/// [`WireError::UnknownVersion`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Everything needed to resume a session exactly where it stopped, as
+/// plain data (see the module docs for why this is sufficient).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The session configuration, seed included.
+    pub config: SessionConfig,
+    /// The accumulated loop state.
+    pub state: SessionState,
+    /// The sampler's RNG stream position.
+    pub sampler_rng: [u64; 4],
+    /// The oracle's mutable state (RNG stream + returned-LF set).
+    pub oracle: UserState,
+}
+
+impl SessionSnapshot {
+    /// Encodes the snapshot into its canonical, versioned byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = write_envelope(SNAPSHOT_MAGIC, SNAPSHOT_VERSION);
+        enc_config(&mut w, &self.config);
+        enc_state(&mut w, &self.state);
+        w.put(&self.sampler_rng);
+        w.put(&self.oracle.rng);
+        enc_keys(&mut w, &self.oracle.returned);
+        w.into_bytes()
+    }
+
+    /// Decodes a snapshot previously written by [`SessionSnapshot::to_bytes`].
+    ///
+    /// Rejects foreign magic, unknown (newer) format versions, truncation,
+    /// trailing bytes and structurally inconsistent payloads with typed
+    /// errors — a corrupt spill file can never panic the decoder or yield a
+    /// half-restored session.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ActiveDpError> {
+        let (mut r, _version) = read_envelope(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        let config = dec_config(&mut r)?;
+        let state = dec_state(&mut r)?;
+        let sampler_rng: [u64; 4] = r.get()?;
+        let oracle_rng: [u64; 4] = r.get()?;
+        let returned = dec_keys(&mut r)?;
+        r.finish()?;
+        Ok(SessionSnapshot {
+            config,
+            state,
+            sampler_rng,
+            oracle: UserState {
+                rng: oracle_rng,
+                returned,
+            },
+        })
+    }
+}
+
+fn enc_config(w: &mut Writer, c: &SessionConfig) {
+    w.put_f64(c.alpha);
+    w.put_f64(c.acc_threshold);
+    w.put_f64(c.noise_rate);
+    w.put_u8(match c.label_model {
+        LabelModelKind::MajorityVote => 0,
+        LabelModelKind::DawidSkene => 1,
+        LabelModelKind::Triplet => 2,
+    });
+    w.put_bool(c.use_labelpick);
+    w.put_bool(c.use_confusion);
+    w.put_f64(c.labelpick.rho);
+    w.put_f64(c.labelpick.blanket_tol);
+    w.put_f64(c.labelpick.blanket_rel);
+    w.put_usize(c.labelpick.cap);
+    w.put_usize(c.labelpick.min_queries);
+    w.put_bool(c.labelpick.parallel);
+    w.put_u8(match c.sampler {
+        SamplerChoice::Adp => 0,
+        SamplerChoice::Passive => 1,
+        SamplerChoice::Uncertainty => 2,
+        SamplerChoice::Lal => 3,
+        SamplerChoice::Seu => 4,
+        SamplerChoice::Qbc => 5,
+    });
+    enc_logreg(w, &c.al_logreg);
+    enc_logreg(w, &c.downstream_logreg);
+    w.put_bool(c.parallel);
+    w.put_u64(c.seed);
+}
+
+fn dec_config(r: &mut Reader<'_>) -> Result<SessionConfig, ActiveDpError> {
+    let alpha = r.get_f64()?;
+    let acc_threshold = r.get_f64()?;
+    let noise_rate = r.get_f64()?;
+    let label_model = match r.get_u8()? {
+        0 => LabelModelKind::MajorityVote,
+        1 => LabelModelKind::DawidSkene,
+        2 => LabelModelKind::Triplet,
+        tag => {
+            return Err(WireError::BadTag {
+                what: "label model kind",
+                tag,
+            }
+            .into())
+        }
+    };
+    let use_labelpick = r.get_bool()?;
+    let use_confusion = r.get_bool()?;
+    let labelpick = LabelPickConfig {
+        rho: r.get_f64()?,
+        blanket_tol: r.get_f64()?,
+        blanket_rel: r.get_f64()?,
+        cap: r.get_usize()?,
+        min_queries: r.get_usize()?,
+        parallel: r.get_bool()?,
+    };
+    let sampler = match r.get_u8()? {
+        0 => SamplerChoice::Adp,
+        1 => SamplerChoice::Passive,
+        2 => SamplerChoice::Uncertainty,
+        3 => SamplerChoice::Lal,
+        4 => SamplerChoice::Seu,
+        5 => SamplerChoice::Qbc,
+        tag => {
+            return Err(WireError::BadTag {
+                what: "sampler choice",
+                tag,
+            }
+            .into())
+        }
+    };
+    let al_logreg = dec_logreg(r)?;
+    let downstream_logreg = dec_logreg(r)?;
+    let parallel = r.get_bool()?;
+    let seed = r.get_u64()?;
+    Ok(SessionConfig {
+        alpha,
+        acc_threshold,
+        noise_rate,
+        label_model,
+        use_labelpick,
+        use_confusion,
+        labelpick,
+        sampler,
+        al_logreg,
+        downstream_logreg,
+        parallel,
+        seed,
+    })
+}
+
+fn enc_logreg(w: &mut Writer, c: &LogRegConfig) {
+    w.put_f64(c.l2);
+    w.put_usize(c.max_iters);
+    w.put_f64(c.tol);
+    w.put_bool(c.parallel);
+}
+
+fn dec_logreg(r: &mut Reader<'_>) -> Result<LogRegConfig, ActiveDpError> {
+    Ok(LogRegConfig {
+        l2: r.get_f64()?,
+        max_iters: r.get_usize()?,
+        tol: r.get_f64()?,
+        parallel: r.get_bool()?,
+    })
+}
+
+fn enc_lf(w: &mut Writer, lf: &LabelFunction) {
+    match lf {
+        LabelFunction::Keyword { token, label } => {
+            w.put_u8(0);
+            w.put_u32(*token);
+            w.put_usize(*label);
+        }
+        LabelFunction::Stump {
+            feature,
+            threshold,
+            op,
+            label,
+        } => {
+            w.put_u8(1);
+            w.put_usize(*feature);
+            w.put_f64(*threshold);
+            w.put_u8(stump_op_tag(*op));
+            w.put_usize(*label);
+        }
+    }
+}
+
+fn dec_lf(r: &mut Reader<'_>) -> Result<LabelFunction, ActiveDpError> {
+    match r.get_u8()? {
+        0 => Ok(LabelFunction::Keyword {
+            token: r.get_u32()?,
+            label: r.get_usize()?,
+        }),
+        1 => Ok(LabelFunction::Stump {
+            feature: r.get_usize()?,
+            threshold: r.get_f64()?,
+            op: dec_stump_op(r)?,
+            label: r.get_usize()?,
+        }),
+        tag => Err(WireError::BadTag {
+            what: "label function",
+            tag,
+        }
+        .into()),
+    }
+}
+
+fn stump_op_tag(op: StumpOp) -> u8 {
+    match op {
+        StumpOp::Le => 0,
+        StumpOp::Ge => 1,
+    }
+}
+
+fn dec_stump_op(r: &mut Reader<'_>) -> Result<StumpOp, ActiveDpError> {
+    match r.get_u8()? {
+        0 => Ok(StumpOp::Le),
+        1 => Ok(StumpOp::Ge),
+        tag => Err(WireError::BadTag {
+            what: "stump op",
+            tag,
+        }
+        .into()),
+    }
+}
+
+/// LF keys on the wire, in canonical (sorted) order so identical sets
+/// always produce identical bytes regardless of `HashSet` iteration order.
+fn enc_keys(w: &mut Writer, keys: &[LfKey]) {
+    let mut sorted: Vec<LfKey> = keys.to_vec();
+    sorted.sort_unstable();
+    w.put_usize(sorted.len());
+    for key in &sorted {
+        match key {
+            LfKey::Keyword(token, label) => {
+                w.put_u8(0);
+                w.put_u32(*token);
+                w.put_usize(*label);
+            }
+            LfKey::Stump(feature, bits, op, label) => {
+                w.put_u8(1);
+                w.put_usize(*feature);
+                w.put_u64(*bits);
+                w.put_u8(stump_op_tag(*op));
+                w.put_usize(*label);
+            }
+        }
+    }
+}
+
+fn dec_keys(r: &mut Reader<'_>) -> Result<Vec<LfKey>, ActiveDpError> {
+    let n = r.get_len("lf keys", 1)?;
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        keys.push(match r.get_u8()? {
+            0 => LfKey::Keyword(r.get_u32()?, r.get_usize()?),
+            1 => LfKey::Stump(
+                r.get_usize()?,
+                r.get_u64()?,
+                dec_stump_op(r)?,
+                r.get_usize()?,
+            ),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "lf key",
+                    tag,
+                }
+                .into())
+            }
+        });
+    }
+    Ok(keys)
+}
+
+fn enc_matrix(w: &mut Writer, m: &LabelMatrix) {
+    w.put_usize(m.n_instances());
+    w.put_usize(m.n_lfs());
+    w.put_i8_slice(m.votes());
+}
+
+fn dec_matrix(r: &mut Reader<'_>) -> Result<LabelMatrix, ActiveDpError> {
+    let n = r.get_usize()?;
+    let m = r.get_usize()?;
+    let votes: Vec<i8> = r.get()?;
+    Ok(LabelMatrix::from_raw(n, m, votes)?)
+}
+
+fn enc_state(w: &mut Writer, s: &SessionState) {
+    w.put_usize(s.lfs.len());
+    for lf in &s.lfs {
+        enc_lf(w, lf);
+    }
+    enc_matrix(w, &s.train_matrix);
+    enc_matrix(w, &s.valid_matrix);
+    w.put(&s.queried);
+    w.put(&s.query_indices);
+    w.put(&s.pseudo_labels);
+    w.put(&s.selected);
+    let keys: Vec<LfKey> = s.seen_keys.iter().copied().collect();
+    enc_keys(w, &keys);
+    w.put_usize(s.iteration);
+    w.put(&s.al_probs_train);
+    w.put(&s.lm_probs_train);
+}
+
+fn dec_state(r: &mut Reader<'_>) -> Result<SessionState, ActiveDpError> {
+    let n_lfs = r.get_len("lfs", 1)?;
+    let mut lfs = Vec::with_capacity(n_lfs);
+    for _ in 0..n_lfs {
+        lfs.push(dec_lf(r)?);
+    }
+    let train_matrix = dec_matrix(r)?;
+    let valid_matrix = dec_matrix(r)?;
+    let queried: Vec<bool> = r.get()?;
+    let query_indices: Vec<usize> = r.get()?;
+    let pseudo_labels: Vec<usize> = r.get()?;
+    let selected: Vec<usize> = r.get()?;
+    let seen_keys = dec_keys(r)?.into_iter().collect();
+    let iteration = r.get_usize()?;
+    let al_probs_train: Option<Vec<Vec<f64>>> = r.get()?;
+    let lm_probs_train: Option<Vec<Vec<f64>>> = r.get()?;
+    Ok(SessionState {
+        lfs,
+        train_matrix,
+        valid_matrix,
+        queried,
+        query_indices,
+        pseudo_labels,
+        selected,
+        seen_keys,
+        iteration,
+        al_probs_train,
+        lm_probs_train,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use adp_data::{generate, DatasetId, Scale, SharedDataset};
+
+    fn tiny() -> SharedDataset {
+        generate(DatasetId::Youtube, Scale::Tiny, 7)
+            .unwrap()
+            .into_shared()
+    }
+
+    fn mid_run_snapshot(steps: usize) -> SessionSnapshot {
+        let mut e = Engine::builder(tiny()).seed(7).build().unwrap();
+        e.run(steps).unwrap();
+        e.snapshot().unwrap()
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrip_exactly() {
+        let snap = mid_run_snapshot(8);
+        let bytes = snap.to_bytes();
+        let back = SessionSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap, back);
+        // Canonical encoding: re-encoding the decoded snapshot reproduces
+        // the bytes (HashSet iteration order cannot leak into the file).
+        assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn fresh_session_snapshot_roundtrips_too() {
+        // iteration 0: no LFs, no probs — every Option/empty-Vec path.
+        let snap = mid_run_snapshot(0);
+        assert!(snap.state.lfs.is_empty());
+        assert!(snap.state.al_probs_train.is_none());
+        let back = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn stump_lfs_and_keys_roundtrip() {
+        // Tabular sessions carry Stump LFs with float thresholds; pin the
+        // second LF family through the codec directly.
+        let mut snap = mid_run_snapshot(2);
+        snap.state.lfs.push(LabelFunction::Stump {
+            feature: 3,
+            threshold: -0.125,
+            op: StumpOp::Ge,
+            label: 1,
+        });
+        snap.oracle
+            .returned
+            .push(LfKey::Stump(3, (-0.125f64).to_bits(), StumpOp::Ge, 1));
+        snap.oracle.returned.sort_unstable();
+        let back = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn decoder_rejects_corruption_without_panicking() {
+        let bytes = mid_run_snapshot(5).to_bytes();
+        // Wrong magic.
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xff;
+        assert!(matches!(
+            SessionSnapshot::from_bytes(&wrong),
+            Err(ActiveDpError::SnapshotCodec(WireError::BadMagic { .. }))
+        ));
+        // Future version.
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            SessionSnapshot::from_bytes(&future),
+            Err(ActiveDpError::SnapshotCodec(WireError::UnknownVersion {
+                found: 99,
+                ..
+            }))
+        ));
+        // Truncation at every length is an error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(SessionSnapshot::from_bytes(&bytes[..cut]).is_err());
+        }
+        // Trailing garbage after a valid payload.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            SessionSnapshot::from_bytes(&padded),
+            Err(ActiveDpError::SnapshotCodec(
+                WireError::TrailingBytes { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn unknown_enum_tags_are_typed_errors() {
+        let mut w = write_envelope(SNAPSHOT_MAGIC, SNAPSHOT_VERSION);
+        // alpha .. noise_rate, then a bogus label-model tag.
+        w.put_f64(0.5);
+        w.put_f64(0.6);
+        w.put_f64(0.0);
+        w.put_u8(9);
+        let err = SessionSnapshot::from_bytes(&w.into_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            ActiveDpError::SnapshotCodec(WireError::BadTag {
+                what: "label model kind",
+                tag: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn matrix_shape_mismatch_is_rejected() {
+        // A hand-built payload whose vote count cannot fill the declared
+        // shape must surface the LfError, not slice out of bounds later.
+        let votes = LabelMatrix::from_votes(&[vec![1, 0], vec![0, 1]]).unwrap();
+        let mut w = Writer::new();
+        enc_matrix(&mut w, &votes);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let n = r.get_usize().unwrap();
+        let m = r.get_usize().unwrap();
+        let mut raw: Vec<i8> = r.get().unwrap();
+        raw.pop();
+        assert!(LabelMatrix::from_raw(n, m, raw).is_err());
+    }
+}

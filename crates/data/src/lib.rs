@@ -23,5 +23,5 @@ pub mod synth;
 
 pub use dataset::{Dataset, FeatureSet, SharedDataset, SplitDataset, Task};
 pub use error::DataError;
-pub use registry::{generate, DatasetId, Scale};
+pub use registry::{generate, DatasetId, DatasetSpec, Scale};
 pub use split::split_indices;

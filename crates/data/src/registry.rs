@@ -78,6 +78,14 @@ impl DatasetId {
         !matches!(self, DatasetId::Occupancy | DatasetId::Census)
     }
 
+    /// Parses a dataset name as used by CLIs and the serving front end
+    /// (case-insensitive table name, e.g. `"youtube"`, `"bios-pt"`).
+    pub fn from_name(name: &str) -> Option<DatasetId> {
+        DatasetId::all()
+            .into_iter()
+            .find(|id| id.name().eq_ignore_ascii_case(name))
+    }
+
     /// Paper split sizes `(#train, #valid, #test)` from Table 2.
     pub fn paper_sizes(self) -> (usize, usize, usize) {
         match self {
@@ -130,6 +138,47 @@ impl Scale {
     fn apply(self, n: usize, floor: usize) -> usize {
         // Never exceed the paper's own split size through the floor.
         ((n as f64 * self.factor()).round() as usize).max(floor.min(n))
+    }
+
+    /// Parses a scale name as used by CLIs and the serving front end
+    /// (`"paper"`, `"reduced"`, `"tiny"`; custom multipliers are
+    /// constructed programmatically).
+    pub fn from_name(name: &str) -> Option<Scale> {
+        match name.to_ascii_lowercase().as_str() {
+            "paper" => Some(Scale::Paper),
+            "reduced" => Some(Scale::Reduced),
+            "tiny" => Some(Scale::Tiny),
+            _ => None,
+        }
+    }
+}
+
+/// Full provenance of a generated dataset: which one, at what scale, under
+/// which seed. Two sessions with equal specs run over interchangeable
+/// (bitwise-identical) splits, which is what lets the serving layer
+/// persist a session *without* its dataset and regenerate the split at
+/// load time — and share one `SharedDataset` between all sessions that
+/// name the same spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Which benchmark dataset.
+    pub id: DatasetId,
+    /// Size multiplier.
+    pub scale: Scale,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Generates the split this spec describes (deterministic in the spec).
+    pub fn generate(&self) -> Result<SplitDataset, DataError> {
+        generate(self.id, self.scale, self.seed)
+    }
+
+    /// A hashable identity (the scale contributes its factor's bit
+    /// pattern, so `Custom` multipliers key correctly despite `f64`).
+    pub fn cache_key(&self) -> (DatasetId, u64, u64) {
+        (self.id, self.scale.factor().to_bits(), self.seed)
     }
 }
 

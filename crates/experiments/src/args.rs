@@ -107,20 +107,16 @@ impl RunOpts {
 }
 
 fn parse_dataset(name: &str) -> Result<DatasetId, String> {
-    let lower = name.to_lowercase();
-    DatasetId::all()
-        .into_iter()
-        .find(|id| id.name().to_lowercase() == lower)
-        .ok_or_else(|| {
-            format!(
-                "unknown dataset {name}; expected one of {}",
-                DatasetId::all()
-                    .iter()
-                    .map(|d| d.name())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            )
-        })
+    DatasetId::from_name(name).ok_or_else(|| {
+        format!(
+            "unknown dataset {name}; expected one of {}",
+            DatasetId::all()
+                .iter()
+                .map(|d| d.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })
 }
 
 #[cfg(test)]

@@ -107,8 +107,9 @@ pub fn make_model(kind: LabelModelKind, n_classes: usize) -> Box<dyn LabelModel>
 }
 
 /// [`make_model`] with an explicit scheduling switch: `parallel: false`
-/// forces models with threaded fits ([`DawidSkene`]) onto the calling
-/// thread. Output is bitwise identical either way.
+/// forces models with threaded fits ([`DawidSkene`]'s EM sweeps,
+/// [`TripletMetal`]'s moment accumulation) onto the calling thread. Output
+/// is bitwise identical either way.
 pub fn make_model_with(
     kind: LabelModelKind,
     n_classes: usize,
@@ -121,7 +122,11 @@ pub fn make_model_with(
             ds.parallel = parallel;
             Box::new(ds)
         }
-        LabelModelKind::Triplet => Box::new(TripletMetal::new(n_classes)),
+        LabelModelKind::Triplet => {
+            let mut t = TripletMetal::new(n_classes);
+            t.parallel = parallel;
+            Box::new(t)
+        }
     }
 }
 

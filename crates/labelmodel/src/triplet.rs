@@ -19,6 +19,18 @@
 use crate::error::{resolve_balance, LabelModelError};
 use crate::LabelModel;
 use adp_lf::{LabelMatrix, ABSTAIN};
+use adp_linalg::parallel::{self, Execution};
+
+/// Instances per parallel moment-accumulation chunk. Fixed
+/// (machine-independent) per the `adp_linalg::parallel` contract. The
+/// chunk partials are sums of ±1 products and 0/1 firing counts — exact
+/// small integers in `f64` — so merging them in chunk order is not merely
+/// bitwise-stable across thread counts, it equals the pre-chunking serial
+/// sum exactly.
+const MOMENT_CHUNK: usize = 256;
+
+/// Below this many instances the scoped-thread setup cannot pay off.
+const MIN_PARALLEL_MOMENTS: usize = 2 * MOMENT_CHUNK;
 
 /// Triplet-estimated label model for binary tasks.
 #[derive(Debug, Clone)]
@@ -33,6 +45,10 @@ pub struct TripletMetal {
     /// Accuracy estimates are clamped into `[clamp, 1 − clamp]` so log-odds
     /// stay finite.
     pub clamp: f64,
+    /// Run the pairwise-agreement moment accumulation on scoped threads
+    /// when the matrix is large enough. The result is bitwise identical
+    /// either way; this switch only controls scheduling.
+    pub parallel: bool,
 }
 
 impl TripletMetal {
@@ -44,6 +60,7 @@ impl TripletMetal {
             prior: vec![0.5, 0.5],
             default_accuracy: 0.7,
             clamp: 0.05,
+            parallel: true,
         }
     }
 
@@ -59,13 +76,18 @@ impl TripletMetal {
             _ => 1.0,
         }
     }
-}
 
-impl LabelModel for TripletMetal {
-    fn fit(
+    /// [`LabelModel::fit`] under an explicit execution policy. The pairwise
+    /// moment accumulation fans fixed-size instance chunks out over scoped
+    /// threads; the per-chunk partials are exact integers, so serial and
+    /// parallel fits agree bit for bit at every thread count (pinned by the
+    /// workspace `tests/determinism.rs` harness). `fit` picks the policy
+    /// with [`parallel::auto`] when [`TripletMetal::parallel`] is set.
+    pub fn fit_with(
         &mut self,
         matrix: &LabelMatrix,
         class_balance: Option<&[f64]>,
+        exec: Execution,
     ) -> Result<(), LabelModelError> {
         if self.n_classes != 2 {
             return Err(LabelModelError::BinaryOnly {
@@ -89,40 +111,54 @@ impl LabelModel for TripletMetal {
             self.accuracies.clear();
             return Ok(());
         }
-        // Per-LF firing rate (needed to condition a_j on firing).
-        let mut fire_rate = vec![0.0f64; m];
-        for i in 0..n {
-            for (j, &v) in matrix.row(i).iter().enumerate() {
-                if v != ABSTAIN {
-                    fire_rate[j] += 1.0;
-                }
-            }
-        }
-        for f in &mut fire_rate {
-            *f /= n.max(1) as f64;
-        }
-
         if m < 3 || n == 0 {
             self.accuracies = vec![self.default_accuracy; m];
             return Ok(());
         }
 
-        // Pairwise signed second moments M_jk = E[λ_j λ_k].
-        let mut moments = vec![vec![0.0f64; m]; m];
-        for i in 0..n {
-            let row = matrix.row(i);
-            for j in 0..m {
-                let sj = Self::signed(row[j]);
-                if sj == 0.0 {
-                    continue;
+        // Firing counts and pairwise signed second-moment sums
+        // Σ_i λ_j(x_i)·λ_k(x_i), accumulated per fixed-size instance chunk
+        // and merged in chunk order. Every partial is a sum of 0/±1 terms —
+        // exact in f64 — so this equals the straight serial sum exactly.
+        let parts = parallel::map_chunks(n, MOMENT_CHUNK, exec, |range| {
+            let mut fire_part = vec![0.0f64; m];
+            let mut moment_part = vec![0.0f64; m * m];
+            for i in range {
+                let row = matrix.row(i);
+                for (j, &v) in row.iter().enumerate() {
+                    if v != ABSTAIN {
+                        fire_part[j] += 1.0;
+                    }
                 }
-                for k in (j + 1)..m {
-                    let sk = Self::signed(row[k]);
-                    if sk != 0.0 {
-                        moments[j][k] += sj * sk;
+                for j in 0..m {
+                    let sj = Self::signed(row[j]);
+                    if sj == 0.0 {
+                        continue;
+                    }
+                    for k in (j + 1)..m {
+                        let sk = Self::signed(row[k]);
+                        if sk != 0.0 {
+                            moment_part[j * m + k] += sj * sk;
+                        }
                     }
                 }
             }
+            (fire_part, moment_part)
+        });
+        let mut fire_rate = vec![0.0f64; m];
+        let mut moments = vec![vec![0.0f64; m]; m];
+        for (fire_part, moment_part) in parts {
+            for (total, part) in fire_rate.iter_mut().zip(&fire_part) {
+                *total += part;
+            }
+            for j in 0..m {
+                for k in (j + 1)..m {
+                    moments[j][k] += moment_part[j * m + k];
+                }
+            }
+        }
+        for f in &mut fire_rate {
+            *f /= n.max(1) as f64;
         }
         let inv_n = 1.0 / n as f64;
         for j in 0..m {
@@ -173,6 +209,21 @@ impl LabelModel for TripletMetal {
         }
         self.accuracies = accs;
         Ok(())
+    }
+}
+
+impl LabelModel for TripletMetal {
+    fn fit(
+        &mut self,
+        matrix: &LabelMatrix,
+        class_balance: Option<&[f64]>,
+    ) -> Result<(), LabelModelError> {
+        let exec = if self.parallel {
+            parallel::auto(matrix.n_instances(), MIN_PARALLEL_MOMENTS)
+        } else {
+            Execution::Serial
+        };
+        self.fit_with(matrix, class_balance, exec)
     }
 
     fn predict_proba(&self, votes: &[i8]) -> Vec<f64> {

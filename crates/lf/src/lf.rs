@@ -7,7 +7,7 @@ use adp_text::Vocabulary;
 pub const ABSTAIN: i8 = -1;
 
 /// Comparison direction of a decision stump.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum StumpOp {
     /// Fires when `x_j <= threshold`.
     Le,
@@ -58,8 +58,10 @@ pub enum LabelFunction {
 }
 
 /// Hashable identity of an LF, used to filter previously returned LFs
-/// (§4.1.4) without relying on float `Eq`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// (§4.1.4) without relying on float `Eq`. `Ord` so key *sets* have a
+/// canonical order — snapshot encoding sorts them to keep encoded bytes
+/// deterministic across `HashSet` iteration orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LfKey {
     /// Keyword LF identity.
     Keyword(u32, usize),

@@ -26,4 +26,4 @@ pub use candidates::{Candidate, CandidateSpace};
 pub use error::LfError;
 pub use lf::{LabelFunction, LfKey, StumpOp, ABSTAIN};
 pub use matrix::LabelMatrix;
-pub use user::{SimulatedUser, UserConfig};
+pub use user::{SimulatedUser, UserConfig, UserState};

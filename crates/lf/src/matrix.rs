@@ -72,6 +72,26 @@ impl LabelMatrix {
         LabelMatrix { n, m, data }
     }
 
+    /// Rebuilds a matrix from its raw parts (the inverse of
+    /// [`LabelMatrix::votes`]), for snapshot decoding. The multiply is
+    /// checked: decoded dimensions may be hostile, and an overflow must be
+    /// the same typed error as any other shape mismatch, not a panic (or,
+    /// worse, a wrapped product that happens to match `data.len()`).
+    pub fn from_raw(n: usize, m: usize, data: Vec<i8>) -> Result<Self, LfError> {
+        if n.checked_mul(m) != Some(data.len()) {
+            return Err(LfError::BadMatrix {
+                reason: format!("{} votes cannot fill an {n}x{m} matrix", data.len()),
+            });
+        }
+        Ok(LabelMatrix { n, m, data })
+    }
+
+    /// The raw row-major vote storage (length `n_instances × n_lfs`), for
+    /// snapshot encoding.
+    pub fn votes(&self) -> &[i8] {
+        &self.data
+    }
+
     /// Number of instances.
     pub fn n_instances(&self) -> usize {
         self.n
@@ -264,6 +284,18 @@ mod tests {
     use crate::lf::StumpOp;
     use adp_data::{FeatureSet, Task};
     use adp_linalg::Matrix;
+
+    #[test]
+    fn from_raw_roundtrips_and_rejects_bad_shapes() {
+        let m = LabelMatrix::from_votes(&[vec![1, ABSTAIN], vec![0, 1]]).unwrap();
+        let back = LabelMatrix::from_raw(2, 2, m.votes().to_vec()).unwrap();
+        assert_eq!(m, back);
+        assert!(LabelMatrix::from_raw(2, 2, vec![1; 3]).is_err());
+        // Hostile decoded dimensions must be the same typed error, not a
+        // multiply overflow — and never a wrapped product that passes.
+        assert!(LabelMatrix::from_raw(usize::MAX, 2, vec![]).is_err());
+        assert!(LabelMatrix::from_raw(1 << 40, 1 << 40, vec![]).is_err());
+    }
 
     fn dataset() -> Dataset {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();

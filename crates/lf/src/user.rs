@@ -33,6 +33,20 @@ impl Default for UserConfig {
     }
 }
 
+/// Everything mutable about a [`SimulatedUser`], as plain data: the RNG
+/// stream position and the set of LFs already returned. Captured by
+/// [`SimulatedUser::state`] and replayed by [`SimulatedUser::from_state`],
+/// so a session snapshot can resume the oracle mid-stream. The returned
+/// keys are sorted so the same user state always produces the same bytes
+/// when encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserState {
+    /// Internal RNG words (see `rand::rngs::StdRng::state`).
+    pub rng: [u64; 4],
+    /// Keys of every LF returned so far, in canonical (sorted) order.
+    pub returned: Vec<LfKey>,
+}
+
 /// Stateful simulated user: remembers previously returned LFs and its own
 /// RNG stream so runs are reproducible given a seed.
 #[derive(Debug)]
@@ -57,9 +71,36 @@ impl SimulatedUser {
         SimulatedUser::new(UserConfig::default(), seed)
     }
 
+    /// Captures the user's mutable state (RNG stream + returned-LF set) as
+    /// plain data for a session snapshot.
+    pub fn state(&self) -> UserState {
+        let mut returned: Vec<LfKey> = self.returned.iter().copied().collect();
+        returned.sort_unstable();
+        UserState {
+            rng: self.rng.state(),
+            returned,
+        }
+    }
+
+    /// Rebuilds a user mid-trajectory from `config` and a previously
+    /// captured [`UserState`]: the resumed user answers exactly the queries
+    /// the original would have answered next.
+    pub fn from_state(config: UserConfig, state: &UserState) -> Self {
+        SimulatedUser {
+            config,
+            returned: state.returned.iter().copied().collect(),
+            rng: rand::rngs::StdRng::from_state(state.rng),
+        }
+    }
+
     /// The accuracy threshold in use.
     pub fn acc_threshold(&self) -> f64 {
         self.config.acc_threshold
+    }
+
+    /// The full configuration in use.
+    pub fn config(&self) -> UserConfig {
+        self.config
     }
 
     /// Number of distinct LFs returned so far.
@@ -234,6 +275,34 @@ mod tests {
         let user = SimulatedUser::with_defaults(0);
         assert_eq!(user.label_instance(&d, 0), 1);
         assert_eq!(user.label_instance(&d, 3), 0);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_oracle_mid_trajectory() {
+        let d = text_train();
+        let space = CandidateSpace::build(&d);
+        let mut user = SimulatedUser::with_defaults(11);
+        // Burn some of the trajectory (consumes RNG and fills `returned`).
+        for i in 0..3 {
+            let _ = user.respond(&space, &d, &d, i);
+        }
+        let saved = user.state();
+        let tail: Vec<Option<LfKey>> = (0..4)
+            .map(|i| user.respond(&space, &d, &d, i).map(|lf| lf.key()))
+            .collect();
+        let mut resumed = SimulatedUser::from_state(UserConfig::default(), &saved);
+        let resumed_tail: Vec<Option<LfKey>> = (0..4)
+            .map(|i| resumed.respond(&space, &d, &d, i).map(|lf| lf.key()))
+            .collect();
+        assert_eq!(tail, resumed_tail);
+        // The captured state is canonical: keys sorted, stable across calls.
+        assert_eq!(
+            saved,
+            SimulatedUser::from_state(UserConfig::default(), &saved).state()
+        );
+        let mut keys = saved.returned.clone();
+        keys.sort_unstable();
+        assert_eq!(keys, saved.returned);
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub struct Committee {
     pub n_members: usize,
     /// Candidates scored per selection (subsampled for cost).
     pub max_candidates: usize,
+    /// Fan the per-candidate vote-entropy scoring out over scoped threads
+    /// when the candidate set is large enough. Member *training* stays
+    /// serial (it consumes the bootstrap RNG stream); only the pure
+    /// per-candidate prediction/entropy pass parallelises, so selections
+    /// are bitwise identical either way.
+    pub parallel: bool,
     labeled: Vec<usize>,
     labels: Vec<usize>,
 }
@@ -36,6 +42,7 @@ impl Committee {
             rng: rand::rngs::StdRng::seed_from_u64(seed),
             n_members: n_members.max(2),
             max_candidates: 256,
+            parallel: true,
             labeled: vec![],
             labels: vec![],
         }
@@ -48,14 +55,15 @@ impl Committee {
         self.labels = labels.to_vec();
     }
 
-    /// Trains the committee on bootstrap resamples and returns per-member
-    /// hard votes for `candidates`.
-    fn votes<F: Features + ?Sized>(
+    /// Trains the committee on bootstrap resamples of the labelled pool.
+    /// Consumes the bootstrap RNG stream member by member — strictly
+    /// serial, so the stream position after training is independent of how
+    /// the later scoring pass is scheduled.
+    fn members<F: Features + ?Sized>(
         &mut self,
         x: &F,
         n_classes: usize,
-        candidates: &[usize],
-    ) -> Option<Vec<Vec<usize>>> {
+    ) -> Option<Vec<LogisticRegression>> {
         let n = self.labeled.len();
         if n < 2 {
             return None;
@@ -64,8 +72,8 @@ impl Committee {
             max_iters: 80,
             ..LogRegConfig::default()
         };
-        let mut votes = vec![Vec::with_capacity(candidates.len()); self.n_members];
-        for member_votes in votes.iter_mut() {
+        let mut members = Vec::with_capacity(self.n_members);
+        for _ in 0..self.n_members {
             // Bootstrap resample of the labelled pool.
             let mut rows = Vec::with_capacity(n);
             let mut ys = Vec::with_capacity(n);
@@ -78,11 +86,9 @@ impl Committee {
             if model.fit(x, &rows, Targets::Hard(&ys), None).is_err() {
                 return None;
             }
-            for &i in candidates {
-                member_votes.push(model.predict(x, i));
-            }
+            members.push(model);
         }
-        Some(votes)
+        Some(members)
     }
 }
 
@@ -118,15 +124,20 @@ impl Sampler for Committee {
             picked
         };
         let n_classes = ctx.train.n_classes;
-        let Some(votes) = self.votes(&ctx.train.features, n_classes, &candidates) else {
+        let Some(members) = self.members(&ctx.train.features, n_classes) else {
             // Cold start: uniform random.
             return Some(pool[self.rng.gen_range(0..pool.len())]);
         };
+        // Per-candidate disagreement: pure prediction + entropy work, fanned
+        // out under the fixed-chunk contract.
+        let features = &ctx.train.features;
+        let scores = crate::score_items(&candidates, self.parallel, |&i| {
+            let member_votes: Vec<usize> = members.iter().map(|m| m.predict(features, i)).collect();
+            vote_entropy(&member_votes, n_classes)
+        });
         let mut best: Option<(usize, f64)> = None;
         let mut ties = 0usize;
-        for (k, &i) in candidates.iter().enumerate() {
-            let member_votes: Vec<usize> = votes.iter().map(|m| m[k]).collect();
-            let h = vote_entropy(&member_votes, n_classes);
+        for (&i, &h) in candidates.iter().zip(&scores) {
             match best {
                 None => {
                     best = Some((i, h));
@@ -150,6 +161,14 @@ impl Sampler for Committee {
 
     fn name(&self) -> &'static str {
         "QBC"
+    }
+
+    fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = rand::rngs::StdRng::from_state(state);
     }
 }
 

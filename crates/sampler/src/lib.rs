@@ -33,7 +33,55 @@ pub use uncertainty::Uncertainty;
 
 use adp_data::Dataset;
 use adp_lf::{CandidateSpace, LfKey};
+use adp_linalg::parallel::{self, Execution};
 use std::collections::HashSet;
+
+/// Pool instances per parallel scoring chunk. Fixed (machine-independent)
+/// per the `adp_linalg::parallel` contract, so chunk boundaries — and
+/// therefore every scored float — are identical at every thread count.
+pub const SCORE_CHUNK: usize = 1024;
+
+/// Minimum pool size before scoring threads pay for themselves; below it
+/// [`score_items`] stays on the calling thread.
+pub const MIN_PARALLEL_SCORE: usize = 4096;
+
+/// Scores every item of a candidate pool, fanning fixed-size chunks out
+/// over scoped threads when `parallel` is set and the pool is large enough.
+///
+/// Each score is a pure function of its item, so the output — and any
+/// serial argmax/tie-break pass consuming it afterwards — is **bitwise
+/// identical** at every thread count. This is the split the samplers use:
+/// the embarrassingly parallel per-instance scoring goes through here, the
+/// RNG-consuming reservoir tie-break stays a serial pass over the returned
+/// scores, and the selection (plus the sampler's RNG stream position) comes
+/// out the same either way.
+pub fn score_items<T: Sync>(
+    items: &[T],
+    parallel: bool,
+    score: impl Fn(&T) -> f64 + Sync,
+) -> Vec<f64> {
+    let exec = if parallel {
+        parallel::auto(items.len(), MIN_PARALLEL_SCORE)
+    } else {
+        Execution::Serial
+    };
+    score_items_with(items, exec, score)
+}
+
+/// [`score_items`] under an explicit execution policy (the determinism
+/// harness sweeps thread counts through this).
+pub fn score_items_with<T: Sync>(
+    items: &[T],
+    exec: Execution,
+    score: impl Fn(&T) -> f64 + Sync,
+) -> Vec<f64> {
+    parallel::map_chunks(items.len(), SCORE_CHUNK, exec, |range| {
+        range.map(|k| score(&items[k])).collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
 
 /// Everything a sampler may look at when choosing the next query.
 pub struct SamplerContext<'a> {
@@ -83,6 +131,17 @@ pub trait Sampler: Send {
 
     /// Short name for tables/logs.
     fn name(&self) -> &'static str;
+
+    /// The sampler's internal RNG stream (xoshiro state words), for session
+    /// snapshot/restore. Every decision input *other* than the stream — the
+    /// queried mask, model probabilities, the labelled pool — is recoverable
+    /// from `(SessionConfig, SessionState)`, so the stream is the only state
+    /// a snapshot must carry per sampler.
+    fn rng_state(&self) -> [u64; 4];
+
+    /// Repositions the RNG stream to words previously captured with
+    /// [`Sampler::rng_state`].
+    fn restore_rng_state(&mut self, state: [u64; 4]);
 }
 
 #[cfg(test)]

@@ -31,6 +31,14 @@ impl Sampler for Passive {
     fn name(&self) -> &'static str {
         "Passive"
     }
+
+    fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = rand::rngs::StdRng::from_state(state);
+    }
 }
 
 #[cfg(test)]

@@ -313,6 +313,13 @@ impl Sampler for Seu {
     fn name(&self) -> &'static str {
         "SEU"
     }
+    fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = rand::rngs::StdRng::from_state(state);
+    }
 }
 
 #[cfg(test)]

@@ -7,9 +7,17 @@ use rand::{Rng, SeedableRng};
 /// the context's primary model (AL model, else label model). Before any
 /// model exists every instance ties at maximum entropy; ties break randomly
 /// so the cold start is not index-biased.
+///
+/// The per-instance entropy scoring runs through [`crate::score_items`]
+/// under the fixed-chunk contract; the RNG-consuming reservoir tie-break is
+/// a serial pass over the scores, so selections (and the tie-break stream)
+/// are bitwise identical at every thread count.
 #[derive(Debug)]
 pub struct Uncertainty {
     rng: rand::rngs::StdRng,
+    /// Fan the per-instance scoring out over scoped threads when the pool
+    /// is large enough (scheduling only; selections are identical).
+    pub parallel: bool,
 }
 
 impl Uncertainty {
@@ -17,16 +25,20 @@ impl Uncertainty {
     pub fn new(seed: u64) -> Self {
         Uncertainty {
             rng: rand::rngs::StdRng::seed_from_u64(seed),
+            parallel: true,
         }
     }
 }
 
 impl Sampler for Uncertainty {
     fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize> {
+        let pool: Vec<usize> = ctx.unqueried().collect();
+        let scores = crate::score_items(&pool, self.parallel, |&i| {
+            adp_linalg::entropy(&ctx.primary_probs(i))
+        });
         let mut best: Option<(usize, f64)> = None;
         let mut ties = 0usize;
-        for i in ctx.unqueried() {
-            let h = adp_linalg::entropy(&ctx.primary_probs(i));
+        for (&i, &h) in pool.iter().zip(&scores) {
             match best {
                 None => {
                     best = Some((i, h));
@@ -51,6 +63,14 @@ impl Sampler for Uncertainty {
 
     fn name(&self) -> &'static str {
         "US"
+    }
+
+    fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = rand::rngs::StdRng::from_state(state);
     }
 }
 

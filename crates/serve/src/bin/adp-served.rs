@@ -1,0 +1,96 @@
+//! `adp-served` — the durable session server.
+//!
+//! Binds a TCP listener, loads any sessions spilled by a previous run from
+//! the spill directory (same ids, same trajectories), and serves the
+//! JSON-lines protocol until killed. See the `adp_serve::server` module
+//! docs for the protocol and the README's "Durable serving" quickstart for
+//! a session walkthrough.
+//!
+//! ```text
+//! adp-served [--addr 127.0.0.1:7878] [--shards 4] [--spill-dir DIR]
+//! ```
+//!
+//! `--spill-dir` falls back to `ADP_SPILL_DIR`; without either the server
+//! runs purely in memory (snapshot/save_all requests report the missing
+//! directory instead of failing the session).
+
+use adp_serve::server::Server;
+use adp_serve::SessionHub;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    shards: usize,
+    spill_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        shards: 4,
+        spill_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--spill-dir" => args.spill_dir = Some(value("--spill-dir")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: adp-served [--addr HOST:PORT] [--shards N] [--spill-dir DIR]".into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hub = match &args.spill_dir {
+        Some(dir) => SessionHub::with_spill_dir(args.shards, dir),
+        None => SessionHub::new(args.shards), // honours ADP_SPILL_DIR
+    };
+    match hub.spill_dir() {
+        Some(dir) => {
+            println!("spill directory: {}", dir.display());
+            match hub.load_all() {
+                Ok(loaded) if loaded.is_empty() => println!("no spilled sessions to load"),
+                Ok(loaded) => println!("resumed {} session(s): {loaded:?}", loaded.len()),
+                Err(e) => {
+                    eprintln!("failed to load spilled sessions: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => println!("no spill directory configured; sessions are in-memory only"),
+    }
+    let server = match Server::bind(args.addr.as_str(), Arc::new(hub)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("adp-served listening on {}", server.addr());
+    // Serve until the process is killed; durable state is whatever clients
+    // spilled via `snapshot` / `save_all` (crash-consistent by the atomic
+    // rename in the persistence layer).
+    loop {
+        std::thread::park();
+    }
+}

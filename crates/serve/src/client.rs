@@ -1,0 +1,283 @@
+//! A tiny blocking client for the `adp-served` JSON-lines protocol.
+//!
+//! One TCP connection, one in-flight request at a time: each call writes a
+//! request line and blocks on the response line. This is deliberately the
+//! simplest possible consumer of the protocol — the integration tests
+//! drive full trajectories and the kill/reload/resume cycle through it,
+//! and it doubles as the reference implementation for clients in other
+//! languages.
+
+use crate::json::Json;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or dropped.
+    Io(std::io::Error),
+    /// The server's reply was not valid protocol JSON.
+    Protocol(String),
+    /// The server answered `"ok": false` with this error text.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Protocol(e) => write!(f, "bad reply: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One step's outcome as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReply {
+    /// 1-based iteration number.
+    pub iteration: u64,
+    /// The query instance, or `None` when the pool was exhausted.
+    pub query: Option<u64>,
+    /// Debug rendering of the returned LF's key, if any.
+    pub lf: Option<String>,
+    /// Total LFs collected so far.
+    pub n_lfs: u64,
+    /// LFs currently selected.
+    pub n_selected: u64,
+}
+
+/// A downstream evaluation as reported over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReply {
+    /// Downstream test-set accuracy.
+    pub test_accuracy: f64,
+    /// Aggregated-label accuracy over covered instances, when defined.
+    pub label_accuracy: Option<f64>,
+    /// Fraction of training instances that received a label.
+    pub label_coverage: f64,
+    /// Tuned confidence threshold (None when ConFusion is ablated).
+    pub threshold: Option<f64>,
+    /// LFs selected at evaluation time.
+    pub n_selected: u64,
+    /// Whether the downstream model had training data.
+    pub downstream_trained: bool,
+}
+
+/// Where a session stands, as reported by `open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenReply {
+    /// The session id (echoed).
+    pub session: u64,
+    /// Completed loop iterations.
+    pub iteration: u64,
+    /// LFs collected so far.
+    pub n_lfs: u64,
+    /// LFs currently selected.
+    pub n_selected: u64,
+}
+
+/// A blocking `adp-served` connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn call(&mut self, request: Json) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{request}")?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let reply =
+            Json::parse(line.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match reply.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(reply),
+            Some(false) => Err(ClientError::Server(
+                reply
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol(format!("reply without ok: {reply}"))),
+        }
+    }
+
+    fn expect_u64(reply: &Json, key: &str) -> Result<u64, ClientError> {
+        reply
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("missing integer \"{key}\": {reply}")))
+    }
+
+    fn expect_f64(reply: &Json, key: &str) -> Result<f64, ClientError> {
+        reply
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ClientError::Protocol(format!("missing number \"{key}\": {reply}")))
+    }
+
+    fn step_reply(value: &Json) -> Result<StepReply, ClientError> {
+        Ok(StepReply {
+            iteration: Self::expect_u64(value, "iteration")?,
+            query: value.get("query").and_then(Json::as_u64),
+            lf: value.get("lf").and_then(Json::as_str).map(str::to_string),
+            n_lfs: Self::expect_u64(value, "n_lfs")?,
+            n_selected: Self::expect_u64(value, "n_selected")?,
+        })
+    }
+
+    /// Creates a session over a generated dataset and returns its id.
+    /// `parallel: None` keeps the server's default execution policy.
+    pub fn create(
+        &mut self,
+        dataset: &str,
+        scale: &str,
+        data_seed: u64,
+        seed: u64,
+        parallel: Option<bool>,
+    ) -> Result<u64, ClientError> {
+        let mut fields = vec![
+            ("cmd", Json::Str("create".into())),
+            ("dataset", Json::Str(dataset.into())),
+            ("scale", Json::Str(scale.into())),
+            ("data_seed", Json::int(data_seed)),
+            ("seed", Json::int(seed)),
+        ];
+        if let Some(parallel) = parallel {
+            fields.push(("parallel", Json::Bool(parallel)));
+        }
+        let reply = self.call(Json::obj(fields))?;
+        Self::expect_u64(&reply, "session")
+    }
+
+    /// Re-attaches to a live (possibly reloaded) session by id.
+    pub fn open(&mut self, session: u64) -> Result<OpenReply, ClientError> {
+        let reply = self.call(Json::obj([
+            ("cmd", Json::Str("open".into())),
+            ("session", Json::int(session)),
+        ]))?;
+        Ok(OpenReply {
+            session: Self::expect_u64(&reply, "session")?,
+            iteration: Self::expect_u64(&reply, "iteration")?,
+            n_lfs: Self::expect_u64(&reply, "n_lfs")?,
+            n_selected: Self::expect_u64(&reply, "n_selected")?,
+        })
+    }
+
+    /// One training iteration.
+    pub fn step(&mut self, session: u64) -> Result<StepReply, ClientError> {
+        let reply = self.call(Json::obj([
+            ("cmd", Json::Str("step".into())),
+            ("session", Json::int(session)),
+        ]))?;
+        Self::step_reply(&reply)
+    }
+
+    /// Batched stepping: up to `k` queries, one refit.
+    pub fn step_batch(&mut self, session: u64, k: u64) -> Result<Vec<StepReply>, ClientError> {
+        let reply = self.call(Json::obj([
+            ("cmd", Json::Str("step_batch".into())),
+            ("session", Json::int(session)),
+            ("k", Json::int(k)),
+        ]))?;
+        reply
+            .get("outcomes")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol(format!("missing outcomes: {reply}")))?
+            .iter()
+            .map(Self::step_reply)
+            .collect()
+    }
+
+    /// Runs `iterations` single steps server-side.
+    pub fn run(&mut self, session: u64, iterations: u64) -> Result<(), ClientError> {
+        self.call(Json::obj([
+            ("cmd", Json::Str("run".into())),
+            ("session", Json::int(session)),
+            ("iterations", Json::int(iterations)),
+        ]))?;
+        Ok(())
+    }
+
+    /// Inference-phase evaluation.
+    pub fn evaluate(&mut self, session: u64) -> Result<EvalReply, ClientError> {
+        let reply = self.call(Json::obj([
+            ("cmd", Json::Str("evaluate".into())),
+            ("session", Json::int(session)),
+        ]))?;
+        Ok(EvalReply {
+            test_accuracy: Self::expect_f64(&reply, "test_accuracy")?,
+            label_accuracy: reply.get("label_accuracy").and_then(Json::as_f64),
+            label_coverage: Self::expect_f64(&reply, "label_coverage")?,
+            threshold: reply.get("threshold").and_then(Json::as_f64),
+            n_selected: Self::expect_u64(&reply, "n_selected")?,
+            downstream_trained: reply
+                .get("downstream_trained")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        })
+    }
+
+    /// Spills the session to the server's spill directory; returns the
+    /// file path server-side.
+    pub fn snapshot(&mut self, session: u64) -> Result<String, ClientError> {
+        let reply = self.call(Json::obj([
+            ("cmd", Json::Str("snapshot".into())),
+            ("session", Json::int(session)),
+        ]))?;
+        reply
+            .get("path")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol(format!("missing path: {reply}")))
+    }
+
+    /// Spills every persistable session; returns the ids written.
+    pub fn save_all(&mut self) -> Result<Vec<u64>, ClientError> {
+        let reply = self.call(Json::obj([("cmd", Json::Str("save_all".into()))]))?;
+        reply
+            .get("saved")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol(format!("missing saved: {reply}")))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| ClientError::Protocol(format!("bad id in saved: {v}")))
+            })
+            .collect()
+    }
+
+    /// Closes the session server-side.
+    pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
+        self.call(Json::obj([
+            ("cmd", Json::Str("close".into())),
+            ("session", Json::int(session)),
+        ]))?;
+        Ok(())
+    }
+}

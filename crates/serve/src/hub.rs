@@ -1,11 +1,16 @@
 //! The sharded session registry: engines behind ids, one worker thread per
 //! shard.
 
-use activedp::{ActiveDpError, Engine, EngineBuilder, EvalReport, StepOutcome};
+use activedp::{
+    ActiveDpError, Engine, EngineBuilder, EvalReport, SessionConfig, SessionSnapshot, StepOutcome,
+};
+use adp_data::{DatasetId, DatasetSpec, SharedDataset};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 
 /// Opaque handle to one session inside a [`SessionHub`].
@@ -21,6 +26,13 @@ impl SessionId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds a handle from a raw id (spill files and the network
+    /// protocol carry raw ids; whether a session answers to it is decided
+    /// per call, as always).
+    pub fn from_raw(id: u64) -> Self {
+        SessionId(id)
+    }
 }
 
 impl fmt::Display for SessionId {
@@ -34,12 +46,37 @@ impl fmt::Display for SessionId {
 pub enum ServeError {
     /// No session with that id (never created, or already closed).
     UnknownSession(SessionId),
+    /// A restore asked for an id another live session already holds.
+    SessionExists(SessionId),
     /// A `step_batch` request with `k = 0`. The engine itself treats an
     /// empty batch as a no-op, but at the service boundary it is always a
     /// caller bug, so the hub rejects it before routing to a shard.
     EmptyBatch,
     /// The session's engine returned an error.
     Engine(ActiveDpError),
+    /// A persistence call on a hub with no spill directory (neither
+    /// [`SessionHub::with_spill_dir`] nor `ADP_SPILL_DIR`).
+    NoSpillDir,
+    /// The session was created from a raw engine, so the hub has no dataset
+    /// provenance to regenerate its split from at load time; only sessions
+    /// opened via [`SessionHub::open_spec`] (or themselves loaded from a
+    /// spill file) can be saved.
+    NotPersistable(SessionId),
+    /// A filesystem operation on the spill directory failed.
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A spill file failed to decode (truncated, foreign, or from a newer
+    /// format version).
+    CorruptSnapshot {
+        /// The offending file.
+        path: PathBuf,
+        /// The codec's typed rejection.
+        source: ActiveDpError,
+    },
     /// The hub's workers are gone (the hub was dropped mid-call).
     HubClosed,
 }
@@ -48,8 +85,25 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::UnknownSession(id) => write!(f, "unknown {id}"),
+            ServeError::SessionExists(id) => write!(f, "{id} already exists"),
             ServeError::EmptyBatch => write!(f, "step_batch requires k >= 1"),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::NoSpillDir => {
+                write!(
+                    f,
+                    "no spill directory (set ADP_SPILL_DIR or use with_spill_dir)"
+                )
+            }
+            ServeError::NotPersistable(id) => {
+                write!(
+                    f,
+                    "{id} has no dataset spec; open it via open_spec to persist"
+                )
+            }
+            ServeError::Io { path, source } => write!(f, "io on {}: {source}", path.display()),
+            ServeError::CorruptSnapshot { path, source } => {
+                write!(f, "corrupt snapshot {}: {source}", path.display())
+            }
             ServeError::HubClosed => write!(f, "session hub is shut down"),
         }
     }
@@ -59,6 +113,8 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Engine(e) => Some(e),
+            ServeError::Io { source, .. } => Some(source),
+            ServeError::CorruptSnapshot { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -70,13 +126,37 @@ impl From<ActiveDpError> for ServeError {
     }
 }
 
+/// Where a session currently stands (see [`SessionHub::status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Completed loop iterations.
+    pub iteration: usize,
+    /// LFs collected so far.
+    pub n_lfs: usize,
+    /// LFs currently selected by LabelPick.
+    pub n_selected: usize,
+}
+
 /// One request to a shard worker. Every variant carries its own reply
 /// channel, so concurrent callers never contend on a shared reply path.
 enum Command {
     Insert {
         id: u64,
         engine: Box<Engine>,
-        reply: Sender<()>,
+        /// `Err` hands the engine back when the id is already live, so the
+        /// caller can retry under another id without rebuilding it.
+        reply: Sender<Result<(), Box<Engine>>>,
+    },
+    Snapshot {
+        id: u64,
+        reply: Sender<Result<SessionSnapshot, ServeError>>,
+    },
+    Status {
+        id: u64,
+        reply: Sender<Result<SessionStatus, ServeError>>,
+    },
+    List {
+        reply: Sender<Vec<u64>>,
     },
     Step {
         id: u64,
@@ -118,11 +198,32 @@ pub struct SessionHub {
     shards: Vec<Sender<Command>>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
+    /// Where snapshots spill (explicit, else `ADP_SPILL_DIR`, else none).
+    spill_dir: Option<PathBuf>,
+    /// Dataset provenance per session, for sessions the hub can persist.
+    pub(crate) specs: Mutex<HashMap<u64, DatasetSpec>>,
+    /// Generated splits by spec, so every session naming the same spec —
+    /// including all sessions re-opened by `load_all` — shares one
+    /// `SharedDataset` allocation.
+    datasets: Mutex<HashMap<(DatasetId, u64, u64), SharedDataset>>,
 }
 
 impl SessionHub {
-    /// A hub with `n_shards` worker threads (at least one).
+    /// A hub with `n_shards` worker threads (at least one). Snapshots spill
+    /// to `ADP_SPILL_DIR` when that variable is set; use
+    /// [`SessionHub::with_spill_dir`] to pick the directory explicitly.
     pub fn new(n_shards: usize) -> Self {
+        let spill = std::env::var_os("ADP_SPILL_DIR").map(PathBuf::from);
+        Self::with_shards_and_spill(n_shards, spill)
+    }
+
+    /// A hub whose [`SessionHub::save_all`]/[`SessionHub::load_all`] use
+    /// `spill_dir` (created on first save).
+    pub fn with_spill_dir(n_shards: usize, spill_dir: impl Into<PathBuf>) -> Self {
+        Self::with_shards_and_spill(n_shards, Some(spill_dir.into()))
+    }
+
+    pub(crate) fn with_shards_and_spill(n_shards: usize, spill_dir: Option<PathBuf>) -> Self {
         let n = n_shards.max(1);
         let mut shards = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
@@ -140,6 +241,9 @@ impl SessionHub {
             shards,
             workers,
             next_id: AtomicU64::new(0),
+            spill_dir,
+            specs: Mutex::new(HashMap::new()),
+            datasets: Mutex::new(HashMap::new()),
         }
     }
 
@@ -148,15 +252,29 @@ impl SessionHub {
         self.shards.len()
     }
 
+    /// The directory snapshots spill to, when one is configured.
+    pub fn spill_dir(&self) -> Option<&std::path::Path> {
+        self.spill_dir.as_deref()
+    }
+
     /// Registers a ready-built engine and returns its session id.
+    ///
+    /// Sessions created this way serve normally but carry no dataset
+    /// provenance, so [`SessionHub::save_all`] skips them (their split
+    /// could not be regenerated at load time); open sessions through
+    /// [`SessionHub::open_spec`] when they should survive restarts.
     pub fn create(&self, engine: Engine) -> Result<SessionId, ServeError> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.call(id, |reply| Command::Insert {
-            id,
-            engine: Box::new(engine),
-            reply,
-        })?;
-        Ok(SessionId(id))
+        let mut engine = Box::new(engine);
+        loop {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            match self.try_insert(id, engine)? {
+                Ok(()) => return Ok(SessionId(id)),
+                // A concurrent `load_all` restored this very id before its
+                // allocator bump landed; that id belongs to the restored
+                // session, so take the engine back and allocate a fresh one.
+                Err(returned) => engine = returned,
+            }
+        }
     }
 
     /// Builds the engine from `builder` and registers it — the one-call
@@ -164,6 +282,117 @@ impl SessionHub {
     /// surface before any id is allocated.
     pub fn open(&self, builder: EngineBuilder) -> Result<SessionId, ServeError> {
         self.create(builder.build()?)
+    }
+
+    /// Generates (or re-uses) the split named by `spec`, opens a session
+    /// over it with `config`, and records the provenance so the session can
+    /// be spilled and re-loaded across process restarts — the durable path
+    /// from dataset name to served session.
+    pub fn open_spec(
+        &self,
+        spec: DatasetSpec,
+        config: SessionConfig,
+    ) -> Result<SessionId, ServeError> {
+        let data = self.dataset_for(spec)?;
+        let id = self.open(Engine::builder(data).config(config))?;
+        self.specs.lock().expect("specs lock").insert(id.0, spec);
+        Ok(id)
+    }
+
+    /// Resumes a snapshot over an explicitly supplied dataset under a
+    /// fresh id (the spec-less sibling of the `load_all` path; such
+    /// sessions are served but not re-persistable).
+    pub fn restore(
+        &self,
+        data: SharedDataset,
+        snapshot: SessionSnapshot,
+    ) -> Result<SessionId, ServeError> {
+        let engine = Engine::builder(data).resume(snapshot)?;
+        self.create(engine)
+    }
+
+    /// Captures the identified session's [`SessionSnapshot`] (the session
+    /// keeps running; snapshots are read-only).
+    pub fn snapshot(&self, id: SessionId) -> Result<SessionSnapshot, ServeError> {
+        self.call(id.0, |reply| Command::Snapshot { id: id.0, reply })?
+    }
+
+    /// Cheap progress probe for the identified session (the network
+    /// front end's `open` verb — a reconnecting client learns where its
+    /// session left off without pulling a full snapshot).
+    pub fn status(&self, id: SessionId) -> Result<SessionStatus, ServeError> {
+        self.call(id.0, |reply| Command::Status { id: id.0, reply })?
+    }
+
+    /// Ids of every live session, ascending.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let (reply, rx) = channel();
+                if shard.send(Command::List { reply }).is_err() {
+                    return vec![];
+                }
+                rx.recv().unwrap_or_default()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(SessionId).collect()
+    }
+
+    /// Registers `engine` under a *specific* id (the `load_all` path, which
+    /// preserves ids across restarts so client handles stay valid). Bumps
+    /// the id allocator past `id` and rejects collisions with live
+    /// sessions.
+    pub(crate) fn insert_preserving_id(&self, id: u64, engine: Engine) -> Result<(), ServeError> {
+        // `id` comes from a spill file, i.e. from disk: saturate instead of
+        // computing `id + 1` so a tampered file carrying u64::MAX cannot
+        // panic (dev) or wrap the allocator to 0 (release). The persist
+        // layer additionally rejects that id as corrupt before calling in.
+        self.next_id
+            .fetch_max(id.saturating_add(1), Ordering::Relaxed);
+        match self.try_insert(id, Box::new(engine))? {
+            Ok(()) => Ok(()),
+            Err(_) => Err(ServeError::SessionExists(SessionId(id))),
+        }
+    }
+
+    /// The shared split for `spec`, generated once per hub. The cache lock
+    /// is *not* held across generation (which can take seconds at paper
+    /// scale), so concurrent `open_spec` calls for different specs generate
+    /// in parallel; a racing duplicate generation of the same spec is
+    /// resolved by keeping the first insert (both copies are
+    /// bitwise-identical anyway — generation is deterministic in the spec).
+    pub(crate) fn dataset_for(&self, spec: DatasetSpec) -> Result<SharedDataset, ServeError> {
+        if let Some(data) = self
+            .datasets
+            .lock()
+            .expect("datasets lock")
+            .get(&spec.cache_key())
+        {
+            return Ok(data.clone());
+        }
+        let data = spec
+            .generate()
+            .map_err(|e| {
+                ServeError::Engine(ActiveDpError::BadConfig {
+                    reason: format!("dataset spec failed to generate: {e}"),
+                })
+            })?
+            .into_shared();
+        let mut cache = self.datasets.lock().expect("datasets lock");
+        Ok(cache.entry(spec.cache_key()).or_insert(data).clone())
+    }
+
+    /// Routes an insert to `id`'s shard; the inner `Err` returns the
+    /// engine when the id is already occupied.
+    fn try_insert(
+        &self,
+        id: u64,
+        engine: Box<Engine>,
+    ) -> Result<Result<(), Box<Engine>>, ServeError> {
+        self.call(id, |reply| Command::Insert { id, engine, reply })
     }
 
     /// One training iteration of the identified session.
@@ -195,9 +424,15 @@ impl SessionHub {
         self.call(id.0, |reply| Command::Evaluate { id: id.0, reply })?
     }
 
-    /// Drops the identified session, freeing its engine.
+    /// Drops the identified session, freeing its engine (and forgetting its
+    /// dataset provenance — a closed session is not re-saved).
     pub fn close(&self, id: SessionId) -> Result<(), ServeError> {
-        self.call(id.0, |reply| Command::Close { id: id.0, reply })?
+        let closed: Result<(), ServeError> =
+            self.call(id.0, |reply| Command::Close { id: id.0, reply })?;
+        if closed.is_ok() {
+            self.specs.lock().expect("specs lock").remove(&id.0);
+        }
+        closed
     }
 
     /// Number of live sessions across all shards.
@@ -241,8 +476,32 @@ fn shard_worker(rx: Receiver<Command>) {
     for command in rx {
         match command {
             Command::Insert { id, engine, reply } => {
-                sessions.insert(id, *engine);
-                let _ = reply.send(());
+                let _ = reply.send(match sessions.entry(id) {
+                    std::collections::hash_map::Entry::Occupied(_) => Err(engine),
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(*engine);
+                        Ok(())
+                    }
+                });
+            }
+            Command::Snapshot { id, reply } => {
+                let _ = reply.send(with_session(&mut sessions, id, |e| {
+                    e.snapshot().map_err(ServeError::Engine)
+                }));
+            }
+            Command::Status { id, reply } => {
+                let _ = reply.send(with_session(&mut sessions, id, |e| {
+                    Ok(SessionStatus {
+                        iteration: e.state().iteration,
+                        n_lfs: e.state().lfs.len(),
+                        n_selected: e.state().selected.len(),
+                    })
+                }));
+            }
+            Command::List { reply } => {
+                let mut ids: Vec<u64> = sessions.keys().copied().collect();
+                ids.sort_unstable();
+                let _ = reply.send(ids);
             }
             Command::Step { id, reply } => {
                 let _ = reply.send(with_session(&mut sessions, id, |e| {

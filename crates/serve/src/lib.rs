@@ -12,9 +12,30 @@
 //!
 //! Everything is std: `mpsc` channels in, `mpsc` reply channels out. The
 //! hub is `Send + Sync`, so one hub can serve calls from any number of
-//! client threads; an async front end can wrap the blocking calls in its
-//! own executor later (see ROADMAP).
+//! client threads.
+//!
+//! Around the hub this crate adds the **durable serving** stack:
+//!
+//! * [`persist`] — session spill files (`SessionHub::save_all` /
+//!   `load_all`): atomic writes, versioned headers, corrupt-file
+//!   rejection, ids preserved across restarts;
+//! * [`server`] — the `adp-served` JSON-lines TCP front end
+//!   (thread-per-connection over a shared hub) and its protocol;
+//! * [`client`] — a tiny blocking client for that protocol;
+//! * [`json`] — the dependency-free JSON value the protocol rides on.
+//!
+//! A true async runtime front end stays on the ROADMAP until crates.io
+//! access lands; the protocol (newline-framed request/response) is
+//! deliberately trivial to re-host on one.
 
+pub mod client;
 pub mod hub;
+pub mod json;
+pub mod persist;
+pub mod server;
 
-pub use hub::{ServeError, SessionHub, SessionId};
+pub use client::{Client, ClientError, EvalReply, OpenReply, StepReply};
+pub use hub::{ServeError, SessionHub, SessionId, SessionStatus};
+pub use json::Json;
+pub use persist::{SpillRecord, SPILL_MAGIC, SPILL_VERSION};
+pub use server::Server;

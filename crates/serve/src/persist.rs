@@ -1,0 +1,526 @@
+//! Hub persistence: spilling live sessions to disk and loading them back.
+//!
+//! Each persistable session becomes one file, `session-<id>.adpsnap`,
+//! under the hub's spill directory:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────┐
+//! │ magic  "ADPHUBS\0"            8 bytes                    │
+//! │ format version                u32 LE                     │
+//! │ session id                    u64 LE                     │
+//! │ dataset spec   id tag u8 · scale tag u8 [· factor f64]   │
+//! │                · generator seed u64                      │
+//! │ snapshot       length-prefixed `SessionSnapshot` bytes   │
+//! │                (its own versioned envelope inside)       │
+//! └──────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Writes are **atomic**: the bytes go to `<name>.tmp` first and are
+//! `rename`d into place, so a crash mid-save leaves either the previous
+//! complete file or none — never a torn one. Loads reject foreign magic,
+//! newer format versions, truncation and trailing bytes with typed errors
+//! ([`ServeError::CorruptSnapshot`]); a corrupt spill file can fail a
+//! `load_all`, never panic it or half-restore a session.
+//!
+//! The dataset itself is *not* spilled — only its [`DatasetSpec`], which
+//! regenerates the identical split at load time (and is shared between all
+//! loaded sessions naming the same spec). That is what keeps spill files
+//! small (state + config + RNG streams) and restarts cheap.
+
+use crate::hub::{ServeError, SessionHub, SessionId};
+use activedp::{Engine, SessionSnapshot};
+use adp_data::{DatasetId, DatasetSpec, Scale};
+use adp_wire::{read_envelope, write_envelope, Reader, WireError};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every hub spill file.
+pub const SPILL_MAGIC: &[u8; 8] = b"ADPHUBS\0";
+
+/// Current spill-file format version.
+pub const SPILL_VERSION: u32 = 1;
+
+/// One decoded spill file: the session id it preserves, the dataset
+/// provenance, and the session snapshot itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillRecord {
+    /// The id the session was served under (preserved across restarts).
+    pub session: u64,
+    /// How to regenerate the session's dataset split.
+    pub spec: DatasetSpec,
+    /// The resumable session state.
+    pub snapshot: SessionSnapshot,
+}
+
+impl SpillRecord {
+    /// Encodes the record into its canonical spill-file bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = write_envelope(SPILL_MAGIC, SPILL_VERSION);
+        w.put_u64(self.session);
+        w.put_u8(dataset_tag(self.spec.id));
+        match self.spec.scale {
+            Scale::Paper => w.put_u8(0),
+            Scale::Reduced => w.put_u8(1),
+            Scale::Tiny => w.put_u8(2),
+            Scale::Custom(f) => {
+                w.put_u8(3);
+                w.put_f64(f);
+            }
+        }
+        w.put_u64(self.spec.seed);
+        w.put(&self.snapshot.to_bytes());
+        w.into_bytes()
+    }
+
+    /// Decodes a spill file, rejecting corruption with typed errors.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, activedp::ActiveDpError> {
+        let (mut r, _version) = read_envelope(bytes, SPILL_MAGIC, SPILL_VERSION)?;
+        let session = r.get_u64()?;
+        let id = dec_dataset_id(&mut r)?;
+        let scale = match r.get_u8()? {
+            0 => Scale::Paper,
+            1 => Scale::Reduced,
+            2 => Scale::Tiny,
+            3 => Scale::Custom(r.get_f64()?),
+            tag => return Err(WireError::BadTag { what: "scale", tag }.into()),
+        };
+        let seed = r.get_u64()?;
+        let snapshot_bytes: Vec<u8> = r.get()?;
+        r.finish()?;
+        let snapshot = SessionSnapshot::from_bytes(&snapshot_bytes)?;
+        Ok(SpillRecord {
+            session,
+            spec: DatasetSpec { id, scale, seed },
+            snapshot,
+        })
+    }
+}
+
+/// Stable wire tag per dataset. Explicit — never derived from
+/// `DatasetId::all()` ordering — so inserting or reordering datasets can
+/// never silently remap existing spill files; new datasets append new tags.
+fn dataset_tag(id: DatasetId) -> u8 {
+    match id {
+        DatasetId::Youtube => 0,
+        DatasetId::Imdb => 1,
+        DatasetId::Yelp => 2,
+        DatasetId::Amazon => 3,
+        DatasetId::BiosPT => 4,
+        DatasetId::BiosJP => 5,
+        DatasetId::Occupancy => 6,
+        DatasetId::Census => 7,
+    }
+}
+
+fn dec_dataset_id(r: &mut Reader<'_>) -> Result<DatasetId, activedp::ActiveDpError> {
+    let tag = r.get_u8()?;
+    Ok(match tag {
+        0 => DatasetId::Youtube,
+        1 => DatasetId::Imdb,
+        2 => DatasetId::Yelp,
+        3 => DatasetId::Amazon,
+        4 => DatasetId::BiosPT,
+        5 => DatasetId::BiosJP,
+        6 => DatasetId::Occupancy,
+        7 => DatasetId::Census,
+        _ => {
+            return Err(WireError::BadTag {
+                what: "dataset id",
+                tag,
+            }
+            .into())
+        }
+    })
+}
+
+/// File name of one session's spill file.
+fn spill_file(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("session-{id}.adpsnap"))
+}
+
+impl SessionHub {
+    fn require_spill_dir(&self) -> Result<PathBuf, ServeError> {
+        self.spill_dir()
+            .map(Path::to_path_buf)
+            .ok_or(ServeError::NoSpillDir)
+    }
+
+    /// Spills one session to `session-<id>.adpsnap` in the spill directory
+    /// (atomic write; the session keeps running). Fails with
+    /// [`ServeError::NotPersistable`] for sessions created from raw engines
+    /// — the hub has no dataset provenance to regenerate their split from.
+    pub fn save(&self, id: SessionId) -> Result<PathBuf, ServeError> {
+        let dir = self.require_spill_dir()?;
+        let spec = self
+            .specs
+            .lock()
+            .expect("specs lock")
+            .get(&id.raw())
+            .copied()
+            .ok_or(ServeError::NotPersistable(id))?;
+        let snapshot = self.snapshot(id)?;
+        let record = SpillRecord {
+            session: id.raw(),
+            spec,
+            snapshot,
+        };
+        fs::create_dir_all(&dir).map_err(|source| ServeError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        let path = spill_file(&dir, id.raw());
+        // The tmp name is unique per save call, not per session: two
+        // concurrent saves of one session (save_all racing a per-session
+        // snapshot request) must each write their own staging file, or one
+        // could rename the other's half-written bytes into place and break
+        // the atomicity guarantee.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("adpsnap.{}-{seq}.tmp", std::process::id()));
+        fs::write(&tmp, record.to_bytes()).map_err(|source| ServeError::Io {
+            path: tmp.clone(),
+            source,
+        })?;
+        fs::rename(&tmp, &path).map_err(|source| {
+            let _ = fs::remove_file(&tmp);
+            ServeError::Io {
+                path: path.clone(),
+                source,
+            }
+        })?;
+        Ok(path)
+    }
+
+    /// Spills every persistable session (see [`SessionHub::save`]) and
+    /// returns the ids written, ascending. Sessions without dataset
+    /// provenance are skipped — they cannot be regenerated at load time —
+    /// so a mixed hub still saves everything it can.
+    pub fn save_all(&self) -> Result<Vec<SessionId>, ServeError> {
+        self.require_spill_dir()?;
+        let mut saved = Vec::new();
+        for id in self.session_ids() {
+            match self.save(id) {
+                Ok(_) => saved.push(id),
+                // Skipped, not fatal: no dataset provenance, or the session
+                // was closed by another client between the id listing and
+                // this save — the rest of the sweep must still land.
+                Err(ServeError::NotPersistable(_)) | Err(ServeError::UnknownSession(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(saved)
+    }
+
+    /// Loads every `session-*.adpsnap` under the spill directory: the
+    /// dataset regenerates from its recorded spec (shared between sessions
+    /// with equal specs), the engine resumes from the snapshot, and the
+    /// session comes back **under its original id**, so pre-restart client
+    /// handles keep working. Returns the ids restored, ascending.
+    ///
+    /// A missing spill directory loads nothing (a fresh deployment); a
+    /// corrupt or colliding file fails the load with a typed error.
+    pub fn load_all(&self) -> Result<Vec<SessionId>, ServeError> {
+        let dir = self.require_spill_dir()?;
+        let entries = match fs::read_dir(&dir) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(vec![]),
+            other => other.map_err(|source| ServeError::Io {
+                path: dir.clone(),
+                source,
+            })?,
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "adpsnap"))
+            .collect();
+        paths.sort();
+        // All-or-nothing: if any file fails, the sessions already inserted
+        // by this call are rolled back, so the operator can delete the bad
+        // file and retry without SessionExists collisions against the
+        // half-loaded state.
+        let mut loaded = Vec::with_capacity(paths.len());
+        let load_one = |path: &Path| -> Result<SessionId, ServeError> {
+            let bytes = fs::read(path).map_err(|source| ServeError::Io {
+                path: path.to_path_buf(),
+                source,
+            })?;
+            let record =
+                SpillRecord::from_bytes(&bytes).map_err(|source| ServeError::CorruptSnapshot {
+                    path: path.to_path_buf(),
+                    source,
+                })?;
+            if record.session == u64::MAX {
+                // Unreachable for files we wrote (ids allocate upward from
+                // 0); a tampered id this large would saturate the allocator.
+                return Err(ServeError::CorruptSnapshot {
+                    path: path.to_path_buf(),
+                    source: activedp::ActiveDpError::BadConfig {
+                        reason: "session id u64::MAX is reserved".into(),
+                    },
+                });
+            }
+            let data = self.dataset_for(record.spec)?;
+            let engine: Engine =
+                Engine::builder(data)
+                    .resume(record.snapshot)
+                    .map_err(|source| ServeError::CorruptSnapshot {
+                        path: path.to_path_buf(),
+                        source,
+                    })?;
+            self.insert_preserving_id(record.session, engine)?;
+            self.specs
+                .lock()
+                .expect("specs lock")
+                .insert(record.session, record.spec);
+            Ok(SessionId::from_raw(record.session))
+        };
+        for path in paths {
+            match load_one(&path) {
+                Ok(id) => loaded.push(id),
+                Err(e) => {
+                    for &id in &loaded {
+                        let _ = self.close(id);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        loaded.sort_unstable();
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activedp::SessionConfig;
+    use adp_data::Scale;
+
+    fn unique_tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "adp-spill-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(seed: u64) -> DatasetSpec {
+        DatasetSpec {
+            id: DatasetId::Youtube,
+            scale: Scale::Tiny,
+            seed,
+        }
+    }
+
+    #[test]
+    fn spill_record_roundtrips_including_custom_scale() {
+        let hub = SessionHub::new(1);
+        let id = hub
+            .open_spec(spec(7), SessionConfig::paper_defaults(true, 7))
+            .unwrap();
+        hub.run(id, 3).unwrap();
+        let record = SpillRecord {
+            session: 42,
+            spec: DatasetSpec {
+                id: DatasetId::Census,
+                scale: Scale::Custom(0.125),
+                seed: 9,
+            },
+            snapshot: hub.snapshot(id).unwrap(),
+        };
+        let back = SpillRecord::from_bytes(&record.to_bytes()).unwrap();
+        assert_eq!(record, back);
+    }
+
+    #[test]
+    fn save_load_cycle_preserves_ids_and_trajectories() {
+        let dir = unique_tempdir("cycle");
+        let first = SessionHub::with_spill_dir(2, &dir);
+        let ids: Vec<SessionId> = (0..3)
+            .map(|seed| {
+                let id = first
+                    .open_spec(spec(seed), SessionConfig::paper_defaults(true, seed))
+                    .unwrap();
+                first.run(id, 4).unwrap();
+                id
+            })
+            .collect();
+        let saved = first.save_all().unwrap();
+        assert_eq!(saved, ids);
+        drop(first); // "process dies"
+
+        let second = SessionHub::with_spill_dir(2, &dir);
+        let loaded = second.load_all().unwrap();
+        assert_eq!(loaded, ids);
+        // Old handles keep working, trajectories continue bit-for-bit: an
+        // uninterrupted solo run over the same spec/seed must agree.
+        for (k, &id) in ids.iter().enumerate() {
+            let seed = k as u64;
+            second.run(id, 4).unwrap();
+            let report = second.evaluate(id).unwrap();
+            let mut solo = Engine::builder(spec(seed).generate().unwrap())
+                .config(SessionConfig::paper_defaults(true, seed))
+                .build()
+                .unwrap();
+            solo.run(8).unwrap();
+            assert_eq!(
+                report.test_accuracy.to_bits(),
+                solo.evaluate_downstream().unwrap().test_accuracy.to_bits(),
+                "session {id}"
+            );
+        }
+        // New sessions never collide with restored ids.
+        let fresh = second
+            .open_spec(spec(9), SessionConfig::paper_defaults(true, 9))
+            .unwrap();
+        assert!(ids.iter().all(|&old| old != fresh));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raw_engine_sessions_are_skipped_not_fatal() {
+        let dir = unique_tempdir("mixed");
+        let hub = SessionHub::with_spill_dir(1, &dir);
+        let durable = hub
+            .open_spec(spec(1), SessionConfig::paper_defaults(true, 1))
+            .unwrap();
+        let data = spec(2).generate().unwrap().into_shared();
+        let ephemeral = hub
+            .create(Engine::builder(data).seed(2).build().unwrap())
+            .unwrap();
+        let saved = hub.save_all().unwrap();
+        assert_eq!(saved, vec![durable]);
+        assert!(matches!(
+            hub.save(ephemeral),
+            Err(ServeError::NotPersistable(id)) if id == ephemeral
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_spill_dir_is_a_typed_error() {
+        // Constructed directly so the assertion holds even when the test
+        // process itself runs under ADP_SPILL_DIR (the CI persistence leg).
+        let hub = SessionHub::with_shards_and_spill(1, None);
+        assert!(matches!(hub.save_all(), Err(ServeError::NoSpillDir)));
+        assert!(matches!(hub.load_all(), Err(ServeError::NoSpillDir)));
+    }
+
+    #[test]
+    fn missing_directory_loads_nothing() {
+        let dir = unique_tempdir("missing");
+        let hub = SessionHub::with_spill_dir(1, &dir);
+        assert_eq!(hub.load_all().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_with_typed_errors() {
+        let dir = unique_tempdir("corrupt");
+        let hub = SessionHub::with_spill_dir(1, &dir);
+        let id = hub
+            .open_spec(spec(3), SessionConfig::paper_defaults(true, 3))
+            .unwrap();
+        hub.run(id, 3).unwrap();
+        let path = hub.save(id).unwrap();
+        let good = fs::read(&path).unwrap();
+
+        let check_rejected = |bytes: &[u8]| {
+            fs::write(&path, bytes).unwrap();
+            let fresh = SessionHub::with_spill_dir(1, &dir);
+            assert!(matches!(
+                fresh.load_all(),
+                Err(ServeError::CorruptSnapshot { .. })
+            ));
+        };
+        // Truncated at several depths (envelope, record, nested snapshot).
+        check_rejected(&good[..4]);
+        check_rejected(&good[..20]);
+        check_rejected(&good[..good.len() - 1]);
+        // Foreign magic.
+        let mut foreign = good.clone();
+        foreign[0] ^= 0xff;
+        check_rejected(&foreign);
+        // A future format version.
+        let mut future = good.clone();
+        future[8..12].copy_from_slice(&77u32.to_le_bytes());
+        check_rejected(&future);
+        // Trailing garbage.
+        let mut padded = good.clone();
+        padded.push(0xAA);
+        check_rejected(&padded);
+
+        // The original bytes still load (the rejection is the file, not us).
+        fs::write(&path, &good).unwrap();
+        let fresh = SessionHub::with_spill_dir(1, &dir);
+        assert_eq!(fresh.load_all().unwrap(), vec![id]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_load_rolls_back_and_is_retryable() {
+        let dir = unique_tempdir("retry");
+        let hub = SessionHub::with_spill_dir(2, &dir);
+        for seed in 0..2 {
+            let id = hub
+                .open_spec(spec(seed), SessionConfig::paper_defaults(true, seed))
+                .unwrap();
+            hub.run(id, 2).unwrap();
+        }
+        hub.save_all().unwrap();
+        drop(hub);
+        // Corrupt one file; a fresh hub's load must fail *atomically*…
+        let bad = dir.join("session-1.adpsnap");
+        let good_bytes = fs::read(&bad).unwrap();
+        fs::write(&bad, &good_bytes[..10]).unwrap();
+        let fresh = SessionHub::with_spill_dir(2, &dir);
+        assert!(matches!(
+            fresh.load_all(),
+            Err(ServeError::CorruptSnapshot { .. })
+        ));
+        assert_eq!(fresh.session_count(), 0, "partial load must roll back");
+        // …so that fixing the file and retrying on the SAME hub succeeds.
+        fs::write(&bad, &good_bytes).unwrap();
+        let loaded = fresh.load_all().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(fresh.session_count(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loading_over_a_live_id_is_rejected() {
+        let dir = unique_tempdir("collide");
+        let hub = SessionHub::with_spill_dir(1, &dir);
+        let id = hub
+            .open_spec(spec(4), SessionConfig::paper_defaults(true, 4))
+            .unwrap();
+        hub.run(id, 2).unwrap();
+        hub.save(id).unwrap();
+        // The session is still live in this hub; loading its file back
+        // would shadow it.
+        assert!(matches!(
+            hub.load_all(),
+            Err(ServeError::SessionExists(existing)) if existing == id
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_writes_leave_no_tmp_files() {
+        let dir = unique_tempdir("atomic");
+        let hub = SessionHub::with_spill_dir(1, &dir);
+        let id = hub
+            .open_spec(spec(5), SessionConfig::paper_defaults(true, 5))
+            .unwrap();
+        hub.run(id, 2).unwrap();
+        hub.save(id).unwrap();
+        hub.save(id).unwrap(); // overwrite path
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

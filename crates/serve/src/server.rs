@@ -1,0 +1,412 @@
+//! The `adp-served` network front end: JSON-lines over TCP, one blocking
+//! thread per connection, every request routed to the shared [`SessionHub`].
+//!
+//! One request per line, one response per line. Every response carries
+//! `"ok"`; failures put the error's display text in `"error"` and never
+//! tear the connection down. The protocol:
+//!
+//! | request                                                        | response                                   |
+//! |----------------------------------------------------------------|--------------------------------------------|
+//! | `{"cmd":"create","dataset":"Youtube","scale":"tiny",`           | `{"ok":true,"session":0}`                  |
+//! | ` "data_seed":7,"seed":5[,"parallel":false]}`                   |                                            |
+//! | `{"cmd":"open","session":0}`                                    | `{"ok":true,"session":0,"iteration":8,...}`|
+//! | `{"cmd":"step","session":0}`                                    | `{"ok":true,"iteration":1,"query":88,...}` |
+//! | `{"cmd":"step_batch","session":0,"k":5}`                        | `{"ok":true,"outcomes":[…]}`               |
+//! | `{"cmd":"run","session":0,"iterations":10}`                     | `{"ok":true}`                              |
+//! | `{"cmd":"evaluate","session":0}`                                | `{"ok":true,"test_accuracy":0.6,…}`        |
+//! | `{"cmd":"snapshot","session":0}`                                | `{"ok":true,"path":"…/session-0.adpsnap"}` |
+//! | `{"cmd":"save_all"}`                                            | `{"ok":true,"saved":[0,1]}`                |
+//! | `{"cmd":"close","session":0}`                                   | `{"ok":true}`                              |
+//!
+//! Sessions created here are opened through [`SessionHub::open_spec`], so
+//! they persist across restarts: `save_all` (or per-session `snapshot`)
+//! spills them, and a freshly started server with the same spill directory
+//! re-serves them **under their original ids** after
+//! [`SessionHub::load_all`] — the kill/reload/resume cycle the integration
+//! test drives.
+
+use crate::hub::{ServeError, SessionHub, SessionId};
+use crate::json::Json;
+use activedp::{SessionConfig, StepOutcome};
+use adp_data::{DatasetId, DatasetSpec, Scale};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Executes one protocol request against the hub. Pure request→response —
+/// the socket loop just frames lines around this, and tests can drive it
+/// directly.
+pub fn handle_line(hub: &SessionHub, line: &str) -> Json {
+    let request = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_reply(format!("bad json: {e}")),
+    };
+    match dispatch(hub, &request) {
+        Ok(reply) => reply,
+        Err(e) => error_reply(e),
+    }
+}
+
+fn error_reply(message: impl std::fmt::Display) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+fn ok_reply(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(fields);
+    Json::obj(all)
+}
+
+fn field<'a>(request: &'a Json, key: &str) -> Result<&'a Json, String> {
+    request.get(key).ok_or_else(|| format!("missing \"{key}\""))
+}
+
+fn u64_field(request: &Json, key: &str) -> Result<u64, String> {
+    field(request, key)?
+        .as_u64()
+        .ok_or_else(|| format!("\"{key}\" must be a non-negative integer"))
+}
+
+fn session_field(request: &Json) -> Result<SessionId, String> {
+    Ok(SessionId::from_raw(u64_field(request, "session")?))
+}
+
+fn serve_err(e: ServeError) -> String {
+    e.to_string()
+}
+
+fn dispatch(hub: &SessionHub, request: &Json) -> Result<Json, String> {
+    let cmd = field(request, "cmd")?
+        .as_str()
+        .ok_or("\"cmd\" must be a string")?;
+    match cmd {
+        "create" => {
+            let dataset = field(request, "dataset")?
+                .as_str()
+                .ok_or("\"dataset\" must be a string")?;
+            let id = DatasetId::from_name(dataset)
+                .ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
+            let scale_name = field(request, "scale")?
+                .as_str()
+                .ok_or("\"scale\" must be a string")?;
+            let scale = Scale::from_name(scale_name)
+                .ok_or_else(|| format!("unknown scale {scale_name:?}"))?;
+            let data_seed = u64_field(request, "data_seed")?;
+            let seed = u64_field(request, "seed")?;
+            let mut config = SessionConfig::paper_defaults(id.is_textual(), seed);
+            if let Some(parallel) = request.get("parallel") {
+                config.parallel = parallel.as_bool().ok_or("\"parallel\" must be a boolean")?;
+            }
+            let spec = DatasetSpec {
+                id,
+                scale,
+                seed: data_seed,
+            };
+            let session = hub.open_spec(spec, config).map_err(serve_err)?;
+            Ok(ok_reply([("session", Json::int(session.raw()))]))
+        }
+        "open" => {
+            let id = session_field(request)?;
+            let status = hub.status(id).map_err(serve_err)?;
+            Ok(ok_reply([
+                ("session", Json::int(id.raw())),
+                ("iteration", Json::int(status.iteration as u64)),
+                ("n_lfs", Json::int(status.n_lfs as u64)),
+                ("n_selected", Json::int(status.n_selected as u64)),
+            ]))
+        }
+        "step" => {
+            let id = session_field(request)?;
+            let outcome = hub.step(id).map_err(serve_err)?;
+            Ok(ok_reply(outcome_fields(&outcome)))
+        }
+        "step_batch" => {
+            let id = session_field(request)?;
+            let k = u64_field(request, "k")? as usize;
+            let outcomes = hub.step_batch(id, k).map_err(serve_err)?;
+            let items = outcomes
+                .iter()
+                .map(|o| Json::obj(outcome_fields(o)))
+                .collect();
+            Ok(ok_reply([("outcomes", Json::Arr(items))]))
+        }
+        "run" => {
+            let id = session_field(request)?;
+            let iterations = u64_field(request, "iterations")? as usize;
+            hub.run(id, iterations).map_err(serve_err)?;
+            Ok(ok_reply([]))
+        }
+        "evaluate" => {
+            let id = session_field(request)?;
+            let report = hub.evaluate(id).map_err(serve_err)?;
+            let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+            Ok(ok_reply([
+                ("test_accuracy", Json::Num(report.test_accuracy)),
+                ("label_accuracy", opt(report.label_accuracy)),
+                ("label_coverage", Json::Num(report.label_coverage)),
+                ("threshold", opt(report.threshold)),
+                ("n_selected", Json::int(report.n_selected as u64)),
+                ("downstream_trained", Json::Bool(report.downstream_trained)),
+            ]))
+        }
+        "snapshot" => {
+            let id = session_field(request)?;
+            let path = hub.save(id).map_err(serve_err)?;
+            Ok(ok_reply([("path", Json::Str(path.display().to_string()))]))
+        }
+        "save_all" => {
+            let saved = hub.save_all().map_err(serve_err)?;
+            Ok(ok_reply([(
+                "saved",
+                Json::Arr(saved.iter().map(|id| Json::int(id.raw())).collect()),
+            )]))
+        }
+        "close" => {
+            let id = session_field(request)?;
+            hub.close(id).map_err(serve_err)?;
+            Ok(ok_reply([]))
+        }
+        other => Err(format!("unknown cmd {other:?}")),
+    }
+}
+
+fn outcome_fields(o: &StepOutcome) -> Vec<(&'static str, Json)> {
+    vec![
+        ("iteration", Json::int(o.iteration as u64)),
+        (
+            "query",
+            o.query.map(|q| Json::int(q as u64)).unwrap_or(Json::Null),
+        ),
+        (
+            "lf",
+            o.lf.as_ref()
+                .map(|lf| Json::Str(format!("{:?}", lf.key())))
+                .unwrap_or(Json::Null),
+        ),
+        ("n_lfs", Json::int(o.n_lfs as u64)),
+        ("n_selected", Json::int(o.n_selected as u64)),
+    ]
+}
+
+/// A running `adp-served` front end: a TCP accept loop over a shared
+/// [`SessionHub`], one handler thread per connection.
+pub struct Server {
+    addr: SocketAddr,
+    hub: Arc<SessionHub>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting connections against `hub`.
+    pub fn bind(addr: impl ToSocketAddrs, hub: Arc<SessionHub>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_hub = hub.clone();
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("adp-served-accept".into())
+            .spawn(move || accept_loop(listener, accept_hub, accept_stop))?;
+        Ok(Server {
+            addr,
+            hub,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hub this server fronts.
+    pub fn hub(&self) -> &Arc<SessionHub> {
+        &self.hub
+    }
+
+    /// Stops accepting connections and joins the accept loop. Open
+    /// connections finish on their own when clients disconnect; live
+    /// sessions stay in the hub (spill them with
+    /// [`SessionHub::save_all`] for a durable shutdown).
+    pub fn shutdown(mut self) -> Arc<SessionHub> {
+        self.stop_accepting();
+        self.hub.clone()
+    }
+
+    fn stop_accepting(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept call with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn accept_loop(listener: TcpListener, hub: Arc<SessionHub>, stop: Arc<AtomicBool>) {
+    // Handler threads park their handles here (only this thread touches
+    // the list); finished ones are reaped opportunistically so a
+    // long-lived server doesn't accumulate them.
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let hub = hub.clone();
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("adp-served-conn".into())
+            .spawn(move || connection_loop(stream, &hub))
+        {
+            handlers.retain(|h| !h.is_finished());
+            handlers.push(handle);
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// Longest request line a connection may send (1 MiB). Requests are tiny
+/// (< 200 bytes); the cap keeps a hostile newline-less stream from growing
+/// a line buffer without bound.
+const MAX_LINE_BYTES: u64 = 1 << 20;
+
+fn connection_loop(stream: TcpStream, hub: &SessionHub) {
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    loop {
+        let mut line = String::new();
+        // A fresh `take` budget per line bounds each read; a line that
+        // fills the whole budget without a newline is hostile or garbage —
+        // drop the connection rather than resynchronise mid-stream.
+        match std::io::Read::take(&mut reader, MAX_LINE_BYTES).read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if !line.ends_with('\n') && line.len() as u64 == MAX_LINE_BYTES => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(hub, &line);
+        if writeln!(writer, "{reply}").is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub() -> SessionHub {
+        SessionHub::with_shards_and_spill(2, None)
+    }
+
+    fn create_line(seed: u64) -> String {
+        format!(
+            r#"{{"cmd":"create","dataset":"Youtube","scale":"tiny","data_seed":7,"seed":{seed}}}"#
+        )
+    }
+
+    #[test]
+    fn create_step_evaluate_close_over_the_protocol() {
+        let hub = hub();
+        let reply = handle_line(&hub, &create_line(5));
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true), "{reply}");
+        let session = reply.get("session").unwrap().as_u64().unwrap();
+
+        let step = handle_line(&hub, &format!(r#"{{"cmd":"step","session":{session}}}"#));
+        assert_eq!(step.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(step.get("iteration").unwrap().as_u64(), Some(1));
+
+        let batch = handle_line(
+            &hub,
+            &format!(r#"{{"cmd":"step_batch","session":{session},"k":3}}"#),
+        );
+        assert_eq!(batch.get("outcomes").unwrap().as_array().unwrap().len(), 3);
+
+        let run = handle_line(
+            &hub,
+            &format!(r#"{{"cmd":"run","session":{session},"iterations":2}}"#),
+        );
+        assert_eq!(run.get("ok").unwrap().as_bool(), Some(true));
+
+        let open = handle_line(&hub, &format!(r#"{{"cmd":"open","session":{session}}}"#));
+        assert_eq!(open.get("iteration").unwrap().as_u64(), Some(6));
+
+        let eval = handle_line(
+            &hub,
+            &format!(r#"{{"cmd":"evaluate","session":{session}}}"#),
+        );
+        let acc = eval.get("test_accuracy").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+
+        let close = handle_line(&hub, &format!(r#"{{"cmd":"close","session":{session}}}"#));
+        assert_eq!(close.get("ok").unwrap().as_bool(), Some(true));
+        let gone = handle_line(&hub, &format!(r#"{{"cmd":"step","session":{session}}}"#));
+        assert_eq!(gone.get("ok").unwrap().as_bool(), Some(false));
+        assert!(gone
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown"));
+    }
+
+    #[test]
+    fn malformed_requests_get_error_replies() {
+        let hub = hub();
+        for bad in [
+            "not json at all",
+            r#"{"cmd":"teleport"}"#,
+            r#"{"cmd":"step"}"#,
+            r#"{"cmd":"step","session":"three"}"#,
+            r#"{"cmd":"create","dataset":"NotADataset","scale":"tiny","data_seed":1,"seed":1}"#,
+            r#"{"cmd":"create","dataset":"Youtube","scale":"galactic","data_seed":1,"seed":1}"#,
+            r#"{"cmd":"create","dataset":"Youtube","scale":"tiny","data_seed":1,"seed":1,"parallel":"yes"}"#,
+            r#"{"session":1}"#,
+        ] {
+            let reply = handle_line(&hub, bad);
+            assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false), "{bad}");
+            assert!(reply.get("error").is_some(), "{bad}");
+        }
+        assert_eq!(hub.session_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_without_spill_dir_reports_the_error() {
+        let hub = hub();
+        let reply = handle_line(&hub, &create_line(1));
+        let session = reply.get("session").unwrap().as_u64().unwrap();
+        let snap = handle_line(
+            &hub,
+            &format!(r#"{{"cmd":"snapshot","session":{session}}}"#),
+        );
+        assert_eq!(snap.get("ok").unwrap().as_bool(), Some(false));
+        assert!(snap
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("spill"));
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`baselines`] — Nemo, IWS, Revising-LF and uncertainty sampling under
 //!   a common [`baselines::Framework`] trait;
 //! * [`serve`] — the concurrent [`serve::SessionHub`]: many sessions by
-//!   id, sharded over worker threads;
+//!   id, sharded over worker threads, with snapshot persistence and the
+//!   `adp-served` JSON-lines network front end;
+//! * [`wire`] — the dependency-free versioned binary codec snapshots are
+//!   encoded with;
 //! * [`data`] — the eight synthetic benchmark datasets of Table 2;
 //! * [`lf`] — label functions, label matrices and the simulated user;
 //! * [`labelmodel`] — majority vote, Dawid-Skene EM and the triplet
@@ -63,3 +66,4 @@ pub use adp_linalg as linalg;
 pub use adp_sampler as sampler;
 pub use adp_serve as serve;
 pub use adp_text as text;
+pub use adp_wire as wire;

@@ -11,7 +11,11 @@
 //! * the logreg batch gradient (`LogisticRegression::fit_with`);
 //! * TF-IDF vectorisation (`TfidfVectorizer::fit_transform_with`);
 //! * the Dawid–Skene EM sweeps (`DawidSkene::fit_with`);
+//! * the triplet label model's pairwise-agreement moments
+//!   (`TripletMetal::fit_with`);
 //! * the glasso column sweep (`graphical_lasso_with`);
+//! * the samplers' per-instance scoring (`adp_sampler::score_items` and
+//!   whole ADP/US/QBC selections, parallel vs serial);
 //! * a full `Engine` trajectory (`EngineBuilder::parallel(false)` vs the
 //!   threaded default).
 //!
@@ -313,4 +317,148 @@ fn engine_trajectory_serial_matches_parallel() {
         )
     };
     assert_eq!(run(false), run(true));
+}
+
+/// Triplet label model: the pairwise-agreement moment accumulation fans
+/// instance chunks out; partials are exact ±1 sums, so accuracies, priors
+/// and posteriors must match serial to the bit at any thread count.
+#[test]
+fn triplet_fit_bitwise_across_threads() {
+    use activedp_repro::labelmodel::TripletMetal;
+    let votes = planted_votes(2100, &[0.93, 0.81, 0.72, 0.64, 0.58, 0.52], 0.6);
+    let mut serial = TripletMetal::new(2);
+    serial
+        .fit_with(&votes, Some(&[0.4, 0.6]), Execution::Serial)
+        .unwrap();
+    let serial_probs = predict_all_with(&serial, &votes, Execution::Serial);
+    for t in THREADS {
+        let mut par = TripletMetal::new(2);
+        par.fit_with(&votes, Some(&[0.4, 0.6]), Execution::with_threads(t))
+            .unwrap();
+        for (j, (a, b)) in serial.accuracies().iter().zip(par.accuracies()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "triplet accuracy[{j}], threads={t}"
+            );
+        }
+        let par_probs = predict_all_with(&par, &votes, Execution::with_threads(t));
+        assert_rows_bitwise(
+            &format!("triplet posteriors, threads={t}"),
+            &serial_probs,
+            &par_probs,
+        );
+    }
+}
+
+/// The sampler scoring helper: chunked per-item scores must come back in
+/// item order with identical bits at every thread count.
+#[test]
+fn sampler_score_items_bitwise_across_threads() {
+    use activedp_repro::sampler::score_items_with;
+    let items: Vec<usize> = (0..9001).collect();
+    let score = |&i: &usize| ((i as f64) * 1e-3).sin().abs().powf(0.37) / (i as f64 + 1.0);
+    let serial = score_items_with(&items, Execution::Serial, score);
+    assert_eq!(serial.len(), items.len());
+    for t in THREADS {
+        let par = score_items_with(&items, Execution::with_threads(t), score);
+        let sb: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+        let pb: Vec<u64> = par.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(sb, pb, "score_items threads={t}");
+    }
+}
+
+/// Whole-sampler pin: with a pool large enough to engage the parallel
+/// scoring path, serial and parallel samplers draw identical query
+/// sequences (ties included — the tie-break RNG consumes the same stream
+/// because the scores are bitwise identical).
+#[test]
+fn sampler_selection_serial_matches_parallel() {
+    use activedp_repro::core::AdpSampler;
+    use activedp_repro::sampler::{Committee, Sampler, SamplerContext, Uncertainty};
+
+    let n = 8192;
+    let d = activedp_repro::data::Dataset {
+        name: "pool".into(),
+        task: activedp_repro::data::Task::OccupancyPrediction,
+        n_classes: 2,
+        features: activedp_repro::data::FeatureSet::Dense(Matrix::from_fn(n, 2, |i, j| {
+            (i as f64 / n as f64 - 0.5) * (j as f64 + 1.0)
+        })),
+        labels: (0..n).map(|i| usize::from(i >= n / 2)).collect(),
+        texts: None,
+        encoded_docs: None,
+    };
+    // Heavily tied probabilities so the reservoir tie-break runs hot.
+    let probs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let p = 0.5 + ((i % 7) as f64) * 0.05;
+            vec![1.0 - p, p]
+        })
+        .collect();
+
+    let draw_uncertainty = |parallel: bool| {
+        let mut queried = vec![false; n];
+        let mut s = Uncertainty::new(11);
+        s.parallel = parallel;
+        (0..40)
+            .map(|_| {
+                let ctx = SamplerContext {
+                    train: &d,
+                    queried: &queried,
+                    al_probs: Some(&probs),
+                    lm_probs: None,
+                    n_labeled: 0,
+                    space: None,
+                    seen_lfs: None,
+                };
+                let pick = s.select(&ctx).unwrap();
+                queried[pick] = true;
+                pick
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(draw_uncertainty(false), draw_uncertainty(true));
+
+    let draw_adp = |parallel: bool| {
+        let mut queried = vec![false; n];
+        let mut s = AdpSampler::new(0.5, 13);
+        s.parallel = parallel;
+        (0..40)
+            .map(|_| {
+                let ctx = SamplerContext {
+                    train: &d,
+                    queried: &queried,
+                    al_probs: Some(&probs),
+                    lm_probs: Some(&probs),
+                    n_labeled: 0,
+                    space: None,
+                    seen_lfs: None,
+                };
+                let pick = s.select(&ctx).unwrap();
+                queried[pick] = true;
+                pick
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(draw_adp(false), draw_adp(true));
+
+    let draw_qbc = |parallel: bool| {
+        let queried = vec![false; n];
+        let mut s = Committee::new(17, 3);
+        s.parallel = parallel;
+        s.max_candidates = n; // score the whole pool through the chunked path
+        s.set_labeled(&[0, 1, n - 2, n - 1], &[0, 0, 1, 1]);
+        let ctx = SamplerContext {
+            train: &d,
+            queried: &queried,
+            al_probs: None,
+            lm_probs: None,
+            n_labeled: 4,
+            space: None,
+            seen_lfs: None,
+        };
+        (0..3).map(|_| s.select(&ctx).unwrap()).collect::<Vec<_>>()
+    };
+    assert_eq!(draw_qbc(false), draw_qbc(true));
 }

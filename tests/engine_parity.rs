@@ -223,3 +223,145 @@ fn engine_is_send_and_static() {
     assert_send::<Engine>();
     assert_send::<ActiveDpSession>();
 }
+
+/// The durable-session acceptance bar: `run k steps → snapshot → restore
+/// in a fresh engine → run the remaining steps` must reproduce the golden
+/// trajectory and the uninterrupted engine's final state **bitwise** — for
+/// every split point of the trajectory, with the snapshot pushed through
+/// its byte encoding (what a spill file or the network front end carries),
+/// under both serial and parallel execution.
+fn assert_snapshot_resume_matches_golden(parallel: bool) {
+    for split in [0usize, 1, 8, ITERS - 1, ITERS] {
+        let (data, cfg) = fixture();
+        let mut first = Engine::builder(data.clone())
+            .config(cfg.clone())
+            .parallel(parallel)
+            .build()
+            .unwrap();
+        let mut queries = Vec::new();
+        let mut lf_keys = Vec::new();
+        let mut n_selected = Vec::new();
+        let mut record = |out: &activedp_repro::core::StepOutcome| {
+            queries.push(out.query);
+            lf_keys.push(out.lf.as_ref().map(|lf| format!("{:?}", lf.key())));
+            n_selected.push(out.n_selected);
+        };
+        for _ in 0..split {
+            let out = first.step().unwrap();
+            record(&out);
+        }
+
+        // Snapshot, roundtrip through the byte codec ("fresh process"), and
+        // resume on a fresh engine over a regenerated dataset.
+        let snap = first.snapshot().unwrap();
+        let bytes = snap.to_bytes();
+        drop(first);
+        let restored = activedp_repro::core::SessionSnapshot::from_bytes(&bytes).unwrap();
+        let fresh_data = generate(DatasetId::Youtube, Scale::Tiny, 7)
+            .unwrap()
+            .into_shared();
+        let mut second = Engine::builder(fresh_data).resume(restored).unwrap();
+        assert_eq!(second.state().iteration, split, "resume split={split}");
+        for _ in split..ITERS {
+            let out = second.step().unwrap();
+            record(&out);
+        }
+
+        assert_golden_trajectory(&queries, &lf_keys, &n_selected);
+        assert_eq!(second.state().selected, GOLDEN_SELECTED, "split={split}");
+        let report = second.evaluate_downstream().unwrap();
+        assert_eq!(
+            report.test_accuracy.to_bits(),
+            GOLDEN_TEST_ACCURACY.to_bits(),
+            "split={split}: accuracy {} != golden",
+            report.test_accuracy
+        );
+        assert_eq!(
+            report.label_coverage.to_bits(),
+            GOLDEN_LABEL_COVERAGE.to_bits(),
+            "split={split}"
+        );
+        let tau = report.threshold.expect("ConFusion enabled");
+        assert_eq!(tau.to_bits(), GOLDEN_THRESHOLD.to_bits(), "split={split}");
+
+        // Beyond the golden metrics: the resumed engine's *entire* state —
+        // matrices, probability caches, RNG streams — matches a run that
+        // never stopped, so a second snapshot taken now is byte-identical.
+        let (data, cfg) = fixture();
+        let mut uninterrupted = Engine::builder(data)
+            .config(cfg)
+            .parallel(parallel)
+            .build()
+            .unwrap();
+        uninterrupted.run(ITERS).unwrap();
+        assert_eq!(
+            second.snapshot().unwrap().to_bytes(),
+            uninterrupted.snapshot().unwrap().to_bytes(),
+            "split={split}: post-resume snapshots diverge"
+        );
+    }
+}
+
+#[test]
+fn snapshot_resume_matches_golden_trajectory_parallel() {
+    assert_snapshot_resume_matches_golden(true);
+}
+
+#[test]
+fn snapshot_resume_matches_golden_trajectory_serial() {
+    assert_snapshot_resume_matches_golden(false);
+}
+
+/// A serial-execution snapshot resumed under parallel execution (and vice
+/// versa) still reproduces the golden run: execution policy is scheduling
+/// only, so it is legitimate for a snapshot to migrate between a laptop
+/// and a many-core server.
+#[test]
+fn snapshot_migrates_across_execution_policies() {
+    let run = |first_parallel: bool, second_parallel: bool| {
+        let (data, cfg) = fixture();
+        let mut e = Engine::builder(data)
+            .config(cfg)
+            .parallel(first_parallel)
+            .build()
+            .unwrap();
+        e.run(7).unwrap();
+        let mut snap = e.snapshot().unwrap();
+        snap.config.parallel = second_parallel;
+        let fresh = generate(DatasetId::Youtube, Scale::Tiny, 7)
+            .unwrap()
+            .into_shared();
+        let mut resumed = Engine::builder(fresh).resume(snap).unwrap();
+        while resumed.state().iteration < ITERS {
+            resumed.step().unwrap();
+        }
+        let report = resumed.evaluate_downstream().unwrap();
+        report.test_accuracy.to_bits()
+    };
+    assert_eq!(run(true, false), GOLDEN_TEST_ACCURACY.to_bits());
+    assert_eq!(run(false, true), GOLDEN_TEST_ACCURACY.to_bits());
+}
+
+/// Snapshotting is read-only: taking one mid-run must not perturb the
+/// trajectory that continues in the same engine.
+#[test]
+fn snapshot_is_side_effect_free() {
+    let (data, cfg) = fixture();
+    let mut engine = Engine::builder(data).config(cfg).build().unwrap();
+    let mut queries = Vec::new();
+    let mut lf_keys = Vec::new();
+    let mut n_selected = Vec::new();
+    for _ in 0..ITERS {
+        let _ = engine.snapshot().unwrap();
+        let out = engine.step().unwrap();
+        queries.push(out.query);
+        lf_keys.push(out.lf.as_ref().map(|lf| format!("{:?}", lf.key())));
+        n_selected.push(out.n_selected);
+    }
+    assert_golden_trajectory(&queries, &lf_keys, &n_selected);
+    let report = engine.evaluate_downstream().unwrap();
+    assert_eq!(
+        report.test_accuracy.to_bits(),
+        GOLDEN_TEST_ACCURACY.to_bits()
+    );
+}

@@ -1,0 +1,89 @@
+//! Golden-bytes pin of the snapshot wire format.
+//!
+//! `tests/fixtures/snapshot_v1.bin` is a committed encoding of a fixed
+//! mid-run session (Youtube · Tiny · dataset seed 7 · session seed 7 ·
+//! 6 steps). Today's encoder must reproduce it **byte for byte**: the
+//! whole pipeline — dataset generation, trajectory, RNG streams, codec —
+//! is deterministic and platform-independent (explicit little-endian,
+//! sorted key sets), so any diff here is a *format or behaviour change*,
+//! and either must come with a deliberate `SNAPSHOT_VERSION` bump plus a
+//! regenerated fixture — never as an accident.
+//!
+//! Regenerate after an intentional bump with:
+//! `ADP_REGEN_FIXTURES=1 cargo test --test snapshot_golden`.
+
+use activedp_repro::core::{Engine, SessionConfig, SessionSnapshot, SNAPSHOT_VERSION};
+use activedp_repro::data::{generate, DatasetId, Scale};
+use std::path::PathBuf;
+
+const FIXTURE: &str = "tests/fixtures/snapshot_v1.bin";
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
+}
+
+fn fixture_snapshot() -> SessionSnapshot {
+    let data = generate(DatasetId::Youtube, Scale::Tiny, 7).expect("dataset generates");
+    let mut engine = Engine::builder(data)
+        .config(SessionConfig::paper_defaults(true, 7))
+        .build()
+        .expect("engine builds");
+    engine.run(6).expect("fixture trajectory");
+    engine.snapshot().expect("snapshot captures")
+}
+
+#[test]
+fn encoder_reproduces_the_committed_fixture_byte_for_byte() {
+    let bytes = fixture_snapshot().to_bytes();
+    if std::env::var_os("ADP_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+        std::fs::write(fixture_path(), &bytes).unwrap();
+        panic!(
+            "fixture regenerated at {} — commit it and re-run without ADP_REGEN_FIXTURES",
+            fixture_path().display()
+        );
+    }
+    let golden = std::fs::read(fixture_path())
+        .expect("fixture file exists (regenerate with ADP_REGEN_FIXTURES=1)");
+    assert_eq!(
+        bytes.len(),
+        golden.len(),
+        "encoded length changed — snapshot format drift without a version bump?"
+    );
+    let first_diff = bytes.iter().zip(&golden).position(|(a, b)| a != b);
+    assert_eq!(
+        first_diff, None,
+        "encoded bytes diverge from the committed fixture at offset {first_diff:?} — \
+         bump SNAPSHOT_VERSION and regenerate deliberately"
+    );
+}
+
+#[test]
+fn committed_fixture_still_decodes_and_resumes() {
+    let golden = std::fs::read(fixture_path()).expect("fixture file exists");
+    let snapshot = SessionSnapshot::from_bytes(&golden).expect("fixture decodes");
+    assert_eq!(snapshot.state.iteration, 6);
+    assert_eq!(snapshot.config.seed, 7);
+    // And it is a *live* artefact: resuming it runs.
+    let data = generate(DatasetId::Youtube, Scale::Tiny, 7).unwrap();
+    let mut engine = Engine::builder(data).resume(snapshot).unwrap();
+    engine.step().unwrap();
+    assert_eq!(engine.state().iteration, 7);
+}
+
+#[test]
+fn unknown_versions_are_rejected_with_a_typed_error_not_a_panic() {
+    let mut future = fixture_snapshot().to_bytes();
+    let next = SNAPSHOT_VERSION + 1;
+    future[8..12].copy_from_slice(&next.to_le_bytes());
+    let err = SessionSnapshot::from_bytes(&future).unwrap_err();
+    match err {
+        activedp_repro::core::ActiveDpError::SnapshotCodec(
+            activedp_repro::wire::WireError::UnknownVersion { found, supported },
+        ) => {
+            assert_eq!(found, next);
+            assert_eq!(supported, SNAPSHOT_VERSION);
+        }
+        other => panic!("expected UnknownVersion, got {other:?}"),
+    }
+}
