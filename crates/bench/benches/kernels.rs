@@ -195,6 +195,40 @@ fn bench_snapshot_roundtrip(c: &mut Criterion) {
     }
 }
 
+/// Expansion of a full-size sweep grid into concrete `ScenarioSpec`s —
+/// the `adp-sweep` planner (8 datasets × 6 samplers × 3 label models ×
+/// 4 schedules × 5 seeds = 2880 specs), plus each spec's wire encoding
+/// (what a distributed sweep would ship to workers).
+fn bench_sweep_expand_grid(c: &mut Criterion) {
+    use activedp::{LabelModelKind, SamplerChoice};
+    use adp_data::Scale;
+    use adp_experiments::SweepGrid;
+
+    let grid = SweepGrid {
+        datasets: DatasetId::all().to_vec(),
+        scale: Scale::Paper,
+        data_seed: 7,
+        samplers: SamplerChoice::all().to_vec(),
+        label_models: LabelModelKind::all().to_vec(),
+        ks: vec![1, 4, 16, 64],
+        budget: 300,
+        seeds: vec![1, 2, 3, 4, 5],
+    };
+    assert_eq!(grid.len(), 2880);
+    c.bench_function("sweep_expand_grid_2880", |b| {
+        b.iter(|| black_box(black_box(&grid).expand()))
+    });
+    let specs = grid.expand();
+    c.bench_function("sweep_encode_grid_2880", |b| {
+        b.iter(|| {
+            specs
+                .iter()
+                .map(|s| black_box(s).to_bytes().len())
+                .sum::<usize>()
+        })
+    });
+}
+
 fn bench_candidate_space(c: &mut Criterion) {
     let data = bench_dataset(DatasetId::Youtube);
     c.bench_function("candidate_space_build_text", |b| {
@@ -218,6 +252,7 @@ criterion_group!(
         bench_dawid_skene_parallel,
         bench_glasso_sweep_parallel,
         bench_snapshot_roundtrip,
+        bench_sweep_expand_grid,
         bench_candidate_space
 );
 criterion_main!(kernels);

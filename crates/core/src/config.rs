@@ -38,7 +38,22 @@ pub enum SamplerChoice {
 }
 
 impl SamplerChoice {
-    /// Table 4 row label.
+    /// All samplers, in the paper's Table 4 order (ADP last as the
+    /// headline method, as the table prints it).
+    pub fn all() -> [SamplerChoice; 6] {
+        [
+            SamplerChoice::Passive,
+            SamplerChoice::Uncertainty,
+            SamplerChoice::Lal,
+            SamplerChoice::Seu,
+            SamplerChoice::Qbc,
+            SamplerChoice::Adp,
+        ]
+    }
+
+    /// Table 4 row label — what [`SamplerChoice::from_str`] parses back.
+    ///
+    /// [`SamplerChoice::from_str`]: std::str::FromStr::from_str
     pub fn label(self) -> &'static str {
         match self {
             SamplerChoice::Adp => "ADP",
@@ -47,6 +62,53 @@ impl SamplerChoice {
             SamplerChoice::Lal => "LAL",
             SamplerChoice::Seu => "SEU",
             SamplerChoice::Qbc => "QBC",
+        }
+    }
+}
+
+impl std::fmt::Display for SamplerChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A sampler name that matched no [`SamplerChoice`]; [`Display`] lists the
+/// valid options.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSampler {
+    /// The name that failed to parse.
+    pub given: String,
+}
+
+impl std::fmt::Display for UnknownSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown sampler {:?}; expected one of {}",
+            self.given,
+            SamplerChoice::all().map(SamplerChoice::label).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownSampler {}
+
+impl std::str::FromStr for SamplerChoice {
+    type Err = UnknownSampler;
+
+    /// Parses a sampler name, case-insensitively, accepting the Table 4
+    /// label plus the variant's long name (`uncertainty` for `US`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "adp" => Ok(SamplerChoice::Adp),
+            "passive" => Ok(SamplerChoice::Passive),
+            "us" | "uncertainty" => Ok(SamplerChoice::Uncertainty),
+            "lal" => Ok(SamplerChoice::Lal),
+            "seu" => Ok(SamplerChoice::Seu),
+            "qbc" => Ok(SamplerChoice::Qbc),
+            _ => Err(UnknownSampler { given: s.into() }),
         }
     }
 }
@@ -205,6 +267,23 @@ mod tests {
         assert_ne!(cfg.oracle_seed(), cfg.sampler_seed());
         assert_ne!(cfg.oracle_seed(), cfg.seed);
         assert_ne!(cfg.sampler_seed(), cfg.seed);
+    }
+
+    #[test]
+    fn sampler_labels_roundtrip_through_fromstr() {
+        for sampler in SamplerChoice::all() {
+            assert_eq!(
+                sampler.to_string().parse::<SamplerChoice>().unwrap(),
+                sampler
+            );
+        }
+        assert_eq!(
+            "uncertainty".parse::<SamplerChoice>().unwrap(),
+            SamplerChoice::Uncertainty
+        );
+        let err = "oracle".parse::<SamplerChoice>().unwrap_err();
+        assert_eq!(err.given, "oracle");
+        assert!(err.to_string().contains("ADP"), "{err}");
     }
 
     #[test]

@@ -9,23 +9,30 @@
 //! setter edits that config, so `.config(cfg)` followed by individual
 //! overrides composes naturally.
 
-use super::{Engine, QueryingStage, SamplingStage, SessionState, StepObserver, TrainingStage};
+use super::{Engine, StepObserver};
 use crate::config::{SamplerChoice, SessionConfig};
 use crate::error::ActiveDpError;
 use crate::oracle::Oracle;
+use crate::scenario::{BudgetSchedule, ScenarioSpec, DEFAULT_BUDGET};
 use adp_data::SharedDataset;
 use adp_labelmodel::LabelModelKind;
 
 /// Builder for [`Engine`]: `Engine::builder(data).seed(7).build()?`.
 ///
-/// Defaults: the paper configuration for the dataset's modality
+/// The builder is an ergonomic layer over [`ScenarioSpec`]: every setter
+/// edits one field of the declarative description, and
+/// [`EngineBuilder::build`] hands the finished spec to the one true
+/// constructor ([`Engine::from_spec_over`] assembly). Defaults: the paper
+/// configuration for the dataset's modality
 /// ([`SessionConfig::paper_defaults`]), the simulated user of §4.1.4 as the
-/// oracle (seeded via [`SessionConfig::oracle_seed`]), and seed 0.
-/// [`EngineBuilder::build`] validates the assembled configuration and is
-/// the only way to obtain an engine.
+/// oracle (seeded via [`SessionConfig::oracle_seed`]), seed 0, a
+/// [`BudgetSchedule::FixedStep`] schedule and budget
+/// [`DEFAULT_BUDGET`].
 pub struct EngineBuilder {
     data: SharedDataset,
     config: SessionConfig,
+    schedule: BudgetSchedule,
+    budget: usize,
     oracle: Option<Box<dyn Oracle>>,
     observers: Vec<Box<dyn StepObserver>>,
 }
@@ -39,9 +46,22 @@ impl EngineBuilder {
         EngineBuilder {
             data,
             config,
+            schedule: BudgetSchedule::FixedStep,
+            budget: DEFAULT_BUDGET,
             oracle: None,
             observers: Vec::new(),
         }
+    }
+
+    /// The [`ScenarioSpec`] this builder currently describes, when the
+    /// dataset carries regenerable provenance (see [`Engine::scenario`]).
+    pub fn scenario(&self) -> Option<ScenarioSpec> {
+        self.data.provenance.map(|dataset| ScenarioSpec {
+            dataset,
+            session: self.config.clone(),
+            schedule: self.schedule.clone(),
+            budget: self.budget,
+        })
     }
 
     /// Replaces the whole configuration core (modality defaults included).
@@ -103,6 +123,19 @@ impl EngineBuilder {
         self
     }
 
+    /// How [`Engine::run_schedule`] spends the labelling budget (validated
+    /// at build time; default [`BudgetSchedule::FixedStep`]).
+    pub fn schedule(mut self, schedule: BudgetSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Total labelling budget for [`Engine::run_schedule`].
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Master switch for the refit-stage data-parallel kernels (default
     /// on): label-model EM + bulk prediction, LabelPick's glasso, and the
     /// AL/downstream logreg fits. Trajectories are bitwise identical either
@@ -122,50 +155,73 @@ impl EngineBuilder {
         self
     }
 
-    /// Validates the configuration and assembles the engine.
+    /// Validates the assembled [`ScenarioSpec`] and builds the engine —
+    /// the same assembly [`Engine::from_spec`] runs, plus this builder's
+    /// oracle and observers. Datasets without regenerable provenance still
+    /// build (the spec's dataset part is simply absent; see
+    /// [`Engine::scenario`]).
     pub fn build(self) -> Result<Engine, ActiveDpError> {
-        self.config.validate()?;
-        let oracle = match self.oracle {
-            Some(oracle) => oracle,
-            None => Box::new(self.config.simulated_user()),
-        };
-        Ok(Engine {
-            state: SessionState::new(&self.data),
-            sampling: SamplingStage::from_config(&self.config),
-            querying: QueryingStage::new(&self.data, oracle),
-            training: TrainingStage::from_config(&self.data, &self.config),
-            data: self.data,
-            config: self.config,
-            observers: self.observers,
-        })
+        Engine::assemble(
+            self.data.clone(),
+            self.data.provenance,
+            self.config,
+            self.schedule,
+            self.budget,
+            self.oracle,
+            self.observers,
+        )
     }
 
     /// Assembles an engine that resumes `snapshot` exactly where it was
-    /// taken: the snapshot's config replaces any config edits made on this
-    /// builder, the loop state is restored verbatim, both RNG streams are
-    /// repositioned, and the models are rebuilt with one deterministic
-    /// refit (every fit resets its parameters and runs under the
-    /// fixed-chunk contract, so the rebuilt weights equal the
+    /// taken: the snapshot's embedded [`ScenarioSpec`] replaces any edits
+    /// made on this builder, the loop state is restored verbatim, both RNG
+    /// streams are repositioned, and the models are rebuilt with one
+    /// deterministic refit (every fit resets its parameters and runs under
+    /// the fixed-chunk contract, so the rebuilt weights equal the
     /// snapshot-time ones bit for bit). Running the resumed engine to the
     /// end reproduces the uninterrupted trajectory exactly — queries, LF
     /// picks and evaluation metrics included.
     ///
     /// The dataset must be the one the snapshot was taken over (typically
-    /// regenerated from its spec); state shaped for a different split is
-    /// rejected. A custom oracle passed via [`EngineBuilder::oracle`] must
-    /// implement [`Oracle::load_state`], otherwise resuming fails with
+    /// regenerated from the spec — [`Engine::resume`] does exactly that);
+    /// a split whose provenance disagrees with the snapshot's spec, or
+    /// whose state shape differs, is rejected. A custom oracle passed via
+    /// [`EngineBuilder::oracle`] must implement [`Oracle::load_state`],
+    /// otherwise resuming fails with
     /// [`ActiveDpError::SnapshotUnsupported`].
     ///
     /// [`Oracle::load_state`]: crate::Oracle::load_state
     pub fn resume(mut self, snapshot: crate::SessionSnapshot) -> Result<Engine, ActiveDpError> {
         let crate::SessionSnapshot {
-            config,
+            spec,
             state,
             sampler_rng,
             oracle,
         } = snapshot;
-        self.config = config;
+        if let Some(provenance) = self.data.provenance {
+            if provenance != spec.dataset {
+                return Err(ActiveDpError::BadConfig {
+                    reason: format!(
+                        "dataset provenance {provenance:?} does not match the snapshot's {:?}",
+                        spec.dataset
+                    ),
+                });
+            }
+        }
+        let ScenarioSpec {
+            dataset,
+            session,
+            schedule,
+            budget,
+        } = spec;
+        self.config = session;
+        self.schedule = schedule;
+        self.budget = budget;
         let mut engine = self.build()?;
+        // A provenance-less split that nevertheless passed the shape check
+        // below is the snapshot's split as far as anyone can tell; record
+        // the snapshot's own provenance so the session stays describable.
+        engine.dataset_spec = Some(dataset);
         state.validate_for(&engine.data)?;
         engine.state = state;
         engine.sampling.restore_rng_state(sampler_rng);

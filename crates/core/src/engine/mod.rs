@@ -38,7 +38,8 @@ pub use training::TrainingStage;
 
 use crate::config::SessionConfig;
 use crate::error::ActiveDpError;
-use adp_data::{SharedDataset, SplitDataset};
+use crate::scenario::{BudgetSchedule, ScenarioSpec};
+use adp_data::{DatasetSpec, SharedDataset, SplitDataset};
 use adp_lf::LabelFunction;
 
 /// One phase of the loop: a named transformation of the shared state.
@@ -109,6 +110,12 @@ impl<F: FnMut(&StepOutcome) + Send> StepObserver for F {
 pub struct Engine {
     data: SharedDataset,
     config: SessionConfig,
+    schedule: BudgetSchedule,
+    budget: usize,
+    /// Dataset provenance, when the split was generated from a spec — what
+    /// makes the session describable as a [`ScenarioSpec`] and therefore
+    /// snapshottable.
+    dataset_spec: Option<DatasetSpec>,
     state: SessionState,
     sampling: SamplingStage,
     querying: QueryingStage,
@@ -130,6 +137,110 @@ impl Engine {
         EngineBuilder::new(data)
     }
 
+    /// **The one true constructor**: builds the engine a [`ScenarioSpec`]
+    /// describes, generating the dataset from the spec's provenance. Every
+    /// other construction path — [`EngineBuilder::build`], the serving
+    /// hub's `create_from_spec`, the `adp-sweep` grid runner — routes
+    /// through the same assembly, so a spec always means the same run.
+    ///
+    /// ```
+    /// # use activedp::{Engine, ScenarioSpec};
+    /// # use adp_data::{DatasetId, DatasetSpec, Scale};
+    /// let spec = ScenarioSpec::new(DatasetSpec {
+    ///     id: DatasetId::Youtube,
+    ///     scale: Scale::Tiny,
+    ///     seed: 7,
+    /// });
+    /// let engine = Engine::from_spec(spec.clone()).unwrap();
+    /// assert_eq!(engine.scenario(), Some(spec));
+    /// ```
+    pub fn from_spec(spec: ScenarioSpec) -> Result<Engine, ActiveDpError> {
+        let data = spec
+            .dataset
+            .generate()
+            .map_err(|e| ActiveDpError::BadConfig {
+                reason: format!("dataset spec failed to generate: {e}"),
+            })?
+            .into_shared();
+        Engine::from_spec_over(spec, data)
+    }
+
+    /// [`Engine::from_spec`] over an already-generated split — the
+    /// cache-friendly path (the serving hub shares one [`SharedDataset`]
+    /// between all sessions naming the same dataset spec). The split's
+    /// recorded provenance must equal `spec.dataset`; handing in a
+    /// different (or hand-built, provenance-less) split is rejected, since
+    /// the spec would then misdescribe the run.
+    pub fn from_spec_over(
+        spec: ScenarioSpec,
+        data: SharedDataset,
+    ) -> Result<Engine, ActiveDpError> {
+        if data.provenance != Some(spec.dataset) {
+            return Err(ActiveDpError::BadConfig {
+                reason: format!(
+                    "dataset provenance {:?} does not match the scenario's {:?}",
+                    data.provenance, spec.dataset
+                ),
+            });
+        }
+        let ScenarioSpec {
+            dataset,
+            session,
+            schedule,
+            budget,
+        } = spec;
+        Engine::assemble(data, Some(dataset), session, schedule, budget, None, vec![])
+    }
+
+    /// The single assembly point underneath every constructor: validates,
+    /// defaults the oracle to [`SessionConfig::simulated_user`], and wires
+    /// the stages.
+    pub(crate) fn assemble(
+        data: SharedDataset,
+        dataset_spec: Option<DatasetSpec>,
+        config: SessionConfig,
+        schedule: BudgetSchedule,
+        budget: usize,
+        oracle: Option<Box<dyn crate::oracle::Oracle>>,
+        observers: Vec<Box<dyn StepObserver>>,
+    ) -> Result<Engine, ActiveDpError> {
+        config.validate()?;
+        schedule.validate()?;
+        let oracle = match oracle {
+            Some(oracle) => oracle,
+            None => Box::new(config.simulated_user()),
+        };
+        Ok(Engine {
+            state: SessionState::new(&data),
+            sampling: SamplingStage::from_config(&config),
+            querying: QueryingStage::new(&data, oracle),
+            training: TrainingStage::from_config(&data, &config),
+            data,
+            config,
+            schedule,
+            budget,
+            dataset_spec,
+            observers,
+        })
+    }
+
+    /// Rebuilds the session a snapshot describes, regenerating the dataset
+    /// from the spec embedded in the snapshot — the full round trip:
+    /// `spec → engine → snapshot → bytes → Engine::resume` needs nothing
+    /// but the bytes. Use [`EngineBuilder::resume`] instead when the
+    /// dataset is already in hand (e.g. from a shared cache).
+    pub fn resume(snapshot: crate::SessionSnapshot) -> Result<Engine, ActiveDpError> {
+        let data = snapshot
+            .spec
+            .dataset
+            .generate()
+            .map_err(|e| ActiveDpError::BadConfig {
+                reason: format!("snapshot's dataset spec failed to generate: {e}"),
+            })?
+            .into_shared();
+        EngineBuilder::new(data).resume(snapshot)
+    }
+
     /// The dataset split the engine runs over.
     pub fn data(&self) -> &SplitDataset {
         &self.data
@@ -144,6 +255,30 @@ impl Engine {
     /// The session configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// How [`Engine::run_schedule`] spends the labelling budget.
+    pub fn schedule(&self) -> &BudgetSchedule {
+        &self.schedule
+    }
+
+    /// The total labelling budget [`Engine::run_schedule`] drives.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The complete declarative description of this session, when its
+    /// dataset carries regenerable provenance (always, for engines built
+    /// by [`Engine::from_spec`] or over [`adp_data::generate`]d splits).
+    /// `None` for hand-built datasets — such sessions run fine but cannot
+    /// be serialized as a spec, and therefore cannot be snapshot.
+    pub fn scenario(&self) -> Option<ScenarioSpec> {
+        self.dataset_spec.map(|dataset| ScenarioSpec {
+            dataset,
+            session: self.config.clone(),
+            schedule: self.schedule.clone(),
+            budget: self.budget,
+        })
     }
 
     /// The shared loop state (read-only; the stages own mutation).
@@ -228,17 +363,55 @@ impl Engine {
         Ok(())
     }
 
-    /// Captures everything needed to resume this session later — config,
-    /// loop state and both RNG stream positions — as plain data (see
+    /// Spends the scenario's labelling budget under its
+    /// [`BudgetSchedule`]: repeatedly draws the schedule's next batch
+    /// (via [`Engine::step_batch`]) until [`Engine::budget`] iterations
+    /// are done or the pool is exhausted, and returns every outcome.
+    ///
+    /// `FixedStep` (and `FixedBatch{k: 1}`) reproduce the paper's
+    /// one-query-per-refit loop **bitwise** — same trajectory as calling
+    /// [`Engine::step`] `budget` times (pinned by
+    /// `tests/engine_parity.rs`). Batch boundaries are aligned to absolute
+    /// iteration numbers, so a session resumed at a refit boundary
+    /// continues the schedule exactly where it stopped.
+    pub fn run_schedule(&mut self) -> Result<Vec<StepOutcome>, ActiveDpError> {
+        let mut outcomes = Vec::with_capacity(self.budget.min(self.data.train.len() + 1));
+        loop {
+            let k = self
+                .schedule
+                .next_batch_at(self.state.iteration, self.budget);
+            if k == 0 {
+                return Ok(outcomes);
+            }
+            let batch = self.step_batch(k)?;
+            let exhausted = batch.last().is_some_and(|o| o.query.is_none());
+            outcomes.extend(batch);
+            if exhausted {
+                return Ok(outcomes);
+            }
+        }
+    }
+
+    /// Captures everything needed to resume this session later — the full
+    /// [`ScenarioSpec`] (dataset provenance included), loop state and both
+    /// RNG stream positions — as plain data (see
     /// [`SessionSnapshot`](crate::SessionSnapshot)).
     ///
-    /// Resuming via [`EngineBuilder::resume`] and running the remaining
-    /// iterations is **bitwise identical** to never having stopped (pinned
-    /// by `tests/engine_parity.rs`). Fails with
+    /// Resuming via [`Engine::resume`] (or [`EngineBuilder::resume`] over
+    /// a dataset already in hand) and running the remaining iterations is
+    /// **bitwise identical** to never having stopped (pinned by
+    /// `tests/engine_parity.rs`). Fails with
     /// [`ActiveDpError::SnapshotUnsupported`] when the session runs a
     /// custom oracle that does not expose snapshot state
-    /// (see [`Oracle::save_state`](crate::Oracle::save_state)).
+    /// (see [`Oracle::save_state`](crate::Oracle::save_state)) or when its
+    /// dataset carries no regenerable provenance
+    /// (see [`Engine::scenario`]).
     pub fn snapshot(&self) -> Result<crate::SessionSnapshot, ActiveDpError> {
+        let spec = self
+            .scenario()
+            .ok_or_else(|| ActiveDpError::SnapshotUnsupported {
+                reason: "the session's dataset has no regenerable provenance".into(),
+            })?;
         let oracle =
             self.querying
                 .oracle_state()
@@ -246,7 +419,7 @@ impl Engine {
                     reason: "the session's oracle does not expose snapshot state".into(),
                 })?;
         Ok(crate::SessionSnapshot {
-            config: self.config.clone(),
+            spec,
             state: self.state.clone(),
             sampler_rng: self.sampling.rng_state(),
             oracle,

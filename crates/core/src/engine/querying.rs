@@ -142,6 +142,7 @@ mod tests {
             test: train.clone(),
             train,
             vocab: None,
+            provenance: None,
         };
         let user = SimulatedUser::new(
             UserConfig {

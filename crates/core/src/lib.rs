@@ -33,6 +33,14 @@
 //! over it, exposing the ablation switches of Table 3 (`use_labelpick`,
 //! `use_confusion`) plus the sampler choices of Table 4. Serving many
 //! concurrent sessions is the `adp-serve` crate's `SessionHub`.
+//!
+//! A complete run is described declaratively by a [`ScenarioSpec`] —
+//! dataset provenance + [`config::SessionConfig`] + [`BudgetSchedule`] +
+//! labelling budget, serializable to bytes and JSON —
+//! [`Engine::from_spec`] is the one true constructor (the builder is an
+//! ergonomic layer over it), [`Engine::run_schedule`] spends the budget
+//! under the schedule, and snapshots embed the spec so a session rebuilds
+//! from its bytes alone ([`Engine::resume`]). See the [`scenario`] module.
 
 pub mod adp_sampler;
 pub mod config;
@@ -41,11 +49,14 @@ pub mod engine;
 pub mod error;
 pub mod labelpick;
 pub mod oracle;
+pub mod scenario;
 pub mod session;
 pub mod snapshot;
 
+pub use adp_classifier::LogRegConfig;
+pub use adp_labelmodel::LabelModelKind;
 pub use adp_sampler::AdpSampler;
-pub use config::{SamplerChoice, SessionConfig};
+pub use config::{SamplerChoice, SessionConfig, UnknownSampler};
 pub use confusion::{aggregate, tune_threshold, AggregatedLabels};
 pub use engine::{
     Engine, EngineBuilder, EvalReport, QueryingStage, SamplingStage, SessionState, Stage,
@@ -54,5 +65,8 @@ pub use engine::{
 pub use error::ActiveDpError;
 pub use labelpick::{LabelPick, LabelPickConfig};
 pub use oracle::Oracle;
+pub use scenario::{
+    BudgetSchedule, PhaseSegment, ScenarioSpec, DEFAULT_BUDGET, SCENARIO_MAGIC, SCENARIO_VERSION,
+};
 pub use session::ActiveDpSession;
 pub use snapshot::{SessionSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -1,10 +1,14 @@
 //! Session snapshot/restore: the durable form of a running engine.
 //!
-//! A [`SessionSnapshot`] is plain data — the [`SessionConfig`], the
-//! [`SessionState`] and the two RNG stream positions (sampler, oracle) —
-//! because everything else an [`Engine`](crate::Engine) holds is a
+//! A [`SessionSnapshot`] is plain data — the full
+//! [`ScenarioSpec`] (dataset provenance, session config, budget schedule),
+//! the [`SessionState`] and the two RNG stream positions (sampler, oracle)
+//! — because everything else an [`Engine`](crate::Engine) holds is a
 //! deterministic function of those parts:
 //!
+//! * the dataset itself regenerates from the spec's [`DatasetSpec`]
+//!   provenance (datasets are large, shared, and deterministic in the
+//!   spec, so only the provenance travels);
 //! * the candidate space and class balance rebuild from the dataset;
 //! * the sampler rebuilds from the config, then has its stream repositioned;
 //! * the fitted models (LabelPick selection, label model, AL model) rebuild
@@ -15,42 +19,44 @@
 //!
 //! Consequently *snapshot at iteration k → restore → run to the end* is
 //! **bitwise identical** to the uninterrupted run (pinned by
-//! `tests/engine_parity.rs`), under serial and parallel execution alike.
+//! `tests/engine_parity.rs`), under serial and parallel execution alike —
+//! and because the spec is embedded, [`Engine::resume`](crate::Engine)
+//! rebuilds the whole session from nothing but the snapshot bytes.
 //!
 //! The byte encoding ([`SessionSnapshot::to_bytes`] /
 //! [`SessionSnapshot::from_bytes`]) rides the `adp-wire` codec inside a
 //! versioned envelope (magic `ADPSNAP\0`, format version
 //! [`SNAPSHOT_VERSION`]). Encoding is canonical — LF-key sets are sorted —
 //! so the same snapshot always produces the same bytes; the committed
-//! golden-bytes fixture keeps format changes deliberate. The dataset is
-//! *not* part of a snapshot: datasets are large, shared between sessions,
-//! and regenerable from their spec, so the restore path takes one
-//! explicitly ([`EngineBuilder::resume`](crate::EngineBuilder)) and the
-//! serving layer records dataset provenance next to the snapshot.
+//! golden-bytes fixture keeps format changes deliberate. Version 1 (the
+//! pre-scenario format, config only, no embedded provenance) is not
+//! migrated: snapshots are operational spill artefacts, not archives, and
+//! decoders reject v1 with a typed [`WireError::UnknownVersion`].
+//!
+//! [`DatasetSpec`]: adp_data::DatasetSpec
 
-use crate::config::{SamplerChoice, SessionConfig};
 use crate::engine::SessionState;
 use crate::error::ActiveDpError;
-use crate::labelpick::LabelPickConfig;
-use adp_classifier::LogRegConfig;
-use adp_labelmodel::LabelModelKind;
+use crate::scenario::ScenarioSpec;
 use adp_lf::{LabelFunction, LabelMatrix, LfKey, StumpOp, UserState};
 use adp_wire::{read_envelope, write_envelope, Reader, WireError, Writer};
 
 /// Magic bytes opening every encoded session snapshot.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ADPSNAP\0";
 
-/// Current snapshot format version. Bump deliberately: the golden-bytes
-/// test pins the encoding, and decoders reject newer versions with
-/// [`WireError::UnknownVersion`].
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Bumped to 2 when snapshots started
+/// embedding the whole [`ScenarioSpec`] (dataset provenance and budget
+/// schedule included) instead of a bare session config. Bump deliberately:
+/// the golden-bytes test pins the encoding, and decoders reject other
+/// versions with [`WireError::UnknownVersion`].
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Everything needed to resume a session exactly where it stopped, as
 /// plain data (see the module docs for why this is sufficient).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionSnapshot {
-    /// The session configuration, seed included.
-    pub config: SessionConfig,
+    /// The complete run description, dataset provenance and seed included.
+    pub spec: ScenarioSpec,
     /// The accumulated loop state.
     pub state: SessionState,
     /// The sampler's RNG stream position.
@@ -60,10 +66,16 @@ pub struct SessionSnapshot {
 }
 
 impl SessionSnapshot {
+    /// The snapshot's session configuration (sugar for
+    /// `&self.spec.session`).
+    pub fn config(&self) -> &crate::SessionConfig {
+        &self.spec.session
+    }
+
     /// Encodes the snapshot into its canonical, versioned byte form.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = write_envelope(SNAPSHOT_MAGIC, SNAPSHOT_VERSION);
-        enc_config(&mut w, &self.config);
+        w.put(&self.spec);
         enc_state(&mut w, &self.state);
         w.put(&self.sampler_rng);
         w.put(&self.oracle.rng);
@@ -73,20 +85,27 @@ impl SessionSnapshot {
 
     /// Decodes a snapshot previously written by [`SessionSnapshot::to_bytes`].
     ///
-    /// Rejects foreign magic, unknown (newer) format versions, truncation,
-    /// trailing bytes and structurally inconsistent payloads with typed
-    /// errors — a corrupt spill file can never panic the decoder or yield a
-    /// half-restored session.
+    /// Rejects foreign magic, other format versions (the pre-scenario v1
+    /// included), truncation, trailing bytes and structurally inconsistent
+    /// payloads with typed errors — a corrupt spill file can never panic
+    /// the decoder or yield a half-restored session.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ActiveDpError> {
-        let (mut r, _version) = read_envelope(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
-        let config = dec_config(&mut r)?;
+        let (mut r, version) = read_envelope(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(WireError::UnknownVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            }
+            .into());
+        }
+        let spec: ScenarioSpec = r.get()?;
         let state = dec_state(&mut r)?;
         let sampler_rng: [u64; 4] = r.get()?;
         let oracle_rng: [u64; 4] = r.get()?;
         let returned = dec_keys(&mut r)?;
         r.finish()?;
         Ok(SessionSnapshot {
-            config,
+            spec,
             state,
             sampler_rng,
             oracle: UserState {
@@ -95,114 +114,6 @@ impl SessionSnapshot {
             },
         })
     }
-}
-
-fn enc_config(w: &mut Writer, c: &SessionConfig) {
-    w.put_f64(c.alpha);
-    w.put_f64(c.acc_threshold);
-    w.put_f64(c.noise_rate);
-    w.put_u8(match c.label_model {
-        LabelModelKind::MajorityVote => 0,
-        LabelModelKind::DawidSkene => 1,
-        LabelModelKind::Triplet => 2,
-    });
-    w.put_bool(c.use_labelpick);
-    w.put_bool(c.use_confusion);
-    w.put_f64(c.labelpick.rho);
-    w.put_f64(c.labelpick.blanket_tol);
-    w.put_f64(c.labelpick.blanket_rel);
-    w.put_usize(c.labelpick.cap);
-    w.put_usize(c.labelpick.min_queries);
-    w.put_bool(c.labelpick.parallel);
-    w.put_u8(match c.sampler {
-        SamplerChoice::Adp => 0,
-        SamplerChoice::Passive => 1,
-        SamplerChoice::Uncertainty => 2,
-        SamplerChoice::Lal => 3,
-        SamplerChoice::Seu => 4,
-        SamplerChoice::Qbc => 5,
-    });
-    enc_logreg(w, &c.al_logreg);
-    enc_logreg(w, &c.downstream_logreg);
-    w.put_bool(c.parallel);
-    w.put_u64(c.seed);
-}
-
-fn dec_config(r: &mut Reader<'_>) -> Result<SessionConfig, ActiveDpError> {
-    let alpha = r.get_f64()?;
-    let acc_threshold = r.get_f64()?;
-    let noise_rate = r.get_f64()?;
-    let label_model = match r.get_u8()? {
-        0 => LabelModelKind::MajorityVote,
-        1 => LabelModelKind::DawidSkene,
-        2 => LabelModelKind::Triplet,
-        tag => {
-            return Err(WireError::BadTag {
-                what: "label model kind",
-                tag,
-            }
-            .into())
-        }
-    };
-    let use_labelpick = r.get_bool()?;
-    let use_confusion = r.get_bool()?;
-    let labelpick = LabelPickConfig {
-        rho: r.get_f64()?,
-        blanket_tol: r.get_f64()?,
-        blanket_rel: r.get_f64()?,
-        cap: r.get_usize()?,
-        min_queries: r.get_usize()?,
-        parallel: r.get_bool()?,
-    };
-    let sampler = match r.get_u8()? {
-        0 => SamplerChoice::Adp,
-        1 => SamplerChoice::Passive,
-        2 => SamplerChoice::Uncertainty,
-        3 => SamplerChoice::Lal,
-        4 => SamplerChoice::Seu,
-        5 => SamplerChoice::Qbc,
-        tag => {
-            return Err(WireError::BadTag {
-                what: "sampler choice",
-                tag,
-            }
-            .into())
-        }
-    };
-    let al_logreg = dec_logreg(r)?;
-    let downstream_logreg = dec_logreg(r)?;
-    let parallel = r.get_bool()?;
-    let seed = r.get_u64()?;
-    Ok(SessionConfig {
-        alpha,
-        acc_threshold,
-        noise_rate,
-        label_model,
-        use_labelpick,
-        use_confusion,
-        labelpick,
-        sampler,
-        al_logreg,
-        downstream_logreg,
-        parallel,
-        seed,
-    })
-}
-
-fn enc_logreg(w: &mut Writer, c: &LogRegConfig) {
-    w.put_f64(c.l2);
-    w.put_usize(c.max_iters);
-    w.put_f64(c.tol);
-    w.put_bool(c.parallel);
-}
-
-fn dec_logreg(r: &mut Reader<'_>) -> Result<LogRegConfig, ActiveDpError> {
-    Ok(LogRegConfig {
-        l2: r.get_f64()?,
-        max_iters: r.get_usize()?,
-        tol: r.get_f64()?,
-        parallel: r.get_bool()?,
-    })
 }
 
 fn enc_lf(w: &mut Writer, lf: &LabelFunction) {
@@ -472,7 +383,13 @@ mod tests {
     #[test]
     fn unknown_enum_tags_are_typed_errors() {
         let mut w = write_envelope(SNAPSHOT_MAGIC, SNAPSHOT_VERSION);
-        // alpha .. noise_rate, then a bogus label-model tag.
+        // dataset spec, then alpha .. noise_rate, then a bogus
+        // label-model tag.
+        w.put(&adp_data::DatasetSpec {
+            id: DatasetId::Youtube,
+            scale: Scale::Tiny,
+            seed: 7,
+        });
         w.put_f64(0.5);
         w.put_f64(0.6);
         w.put_f64(0.0);

@@ -202,6 +202,12 @@ pub struct SplitDataset {
     pub test: Dataset,
     /// Shared vocabulary for textual datasets.
     pub vocab: Option<Vocabulary>,
+    /// How this split was generated, when it came from
+    /// [`registry::generate`](crate::registry::generate) — the provenance a
+    /// declarative scenario records so the identical split can be
+    /// regenerated later. `None` for hand-built splits, which therefore
+    /// cannot be described by a serializable scenario.
+    pub provenance: Option<crate::registry::DatasetSpec>,
 }
 
 impl SplitDataset {

@@ -27,6 +27,16 @@ pub enum DataError {
         /// Dataset name.
         name: String,
     },
+    /// A name failed to parse as one of a known set of choices
+    /// (`DatasetId`/`Scale` `FromStr`); lists the valid options.
+    UnknownName {
+        /// What kind of name was being parsed.
+        what: &'static str,
+        /// The name that did not match.
+        given: String,
+        /// Comma-separated valid options.
+        expected: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -42,6 +52,11 @@ impl fmt::Display for DataError {
                 ratios
             ),
             DataError::EmptyDataset { name } => write!(f, "dataset {name} is empty after scaling"),
+            DataError::UnknownName {
+                what,
+                given,
+                expected,
+            } => write!(f, "unknown {what} {given:?}; expected one of {expected}"),
         }
     }
 }

@@ -20,6 +20,7 @@ pub mod error;
 pub mod registry;
 pub mod split;
 pub mod synth;
+pub mod wire;
 
 pub use dataset::{Dataset, FeatureSet, SharedDataset, SplitDataset, Task};
 pub use error::DataError;

@@ -111,8 +111,65 @@ impl DatasetId {
     }
 }
 
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DatasetId {
+    type Err = DataError;
+
+    /// [`DatasetId::from_name`] behind the standard parsing trait, with a
+    /// typed error listing the valid table names.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DatasetId::from_name(s).ok_or_else(|| DataError::UnknownName {
+            what: "dataset",
+            given: s.to_string(),
+            expected: DatasetId::all()
+                .iter()
+                .map(|d| d.name())
+                .collect::<Vec<_>>()
+                .join(", "),
+        })
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Paper => f.write_str("paper"),
+            Scale::Reduced => f.write_str("reduced"),
+            Scale::Tiny => f.write_str("tiny"),
+            Scale::Custom(x) => write!(f, "x{x}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Scale {
+    type Err = DataError;
+
+    /// Parses `"paper"`, `"reduced"`, `"tiny"` or a custom multiplier
+    /// written `"x0.125"` (the [`Scale::Custom`] display form).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(named) = Scale::from_name(s) {
+            return Ok(named);
+        }
+        if let Some(factor) = s.strip_prefix('x').and_then(|f| f.parse::<f64>().ok()) {
+            if factor > 0.0 && factor <= 1.0 {
+                return Ok(Scale::Custom(factor));
+            }
+        }
+        Err(DataError::UnknownName {
+            what: "scale",
+            given: s.to_string(),
+            expected: "paper, reduced, tiny, x<factor in (0,1]>".into(),
+        })
+    }
+}
+
 /// Dataset size multiplier.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub enum Scale {
     /// Paper-scale sizes (Table 2).
     Paper,
@@ -122,6 +179,17 @@ pub enum Scale {
     Tiny,
     /// Custom multiplier in (0, 1].
     Custom(f64),
+}
+
+/// A scale *is* its multiplier: generation depends only on
+/// [`Scale::factor`], so `Scale::Reduced == Scale::Custom(0.2)` — the two
+/// describe bitwise-identical splits and must compare (and cache, see
+/// [`DatasetSpec::cache_key`]) as the same provenance. Compared by the
+/// factor's bit pattern, like the cache key.
+impl PartialEq for Scale {
+    fn eq(&self, other: &Scale) -> bool {
+        self.factor().to_bits() == other.factor().to_bits()
+    }
 }
 
 impl Scale {
@@ -183,7 +251,13 @@ impl DatasetSpec {
 }
 
 /// Generates dataset `id` at `scale`, deterministically in `seed`.
+///
+/// The returned split carries its [`DatasetSpec`] as
+/// [`SplitDataset::provenance`], so any consumer — a serializable
+/// scenario, the serving layer's spill files — can regenerate the
+/// identical split from the split itself.
 pub fn generate(id: DatasetId, scale: Scale, seed: u64) -> Result<SplitDataset, DataError> {
+    let provenance = DatasetSpec { id, scale, seed };
     let f = scale.factor();
     if !(f > 0.0 && f <= 1.0) {
         return Err(DataError::InvalidSpec {
@@ -210,7 +284,7 @@ pub fn generate(id: DatasetId, scale: Scale, seed: u64) -> Result<SplitDataset, 
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(id as u64 + 1);
 
-    match id {
+    let mut split = match id {
         DatasetId::Youtube => generate_text(
             &TextSpec {
                 name: id.name().into(),
@@ -353,7 +427,9 @@ pub fn generate(id: DatasetId, scale: Scale, seed: u64) -> Result<SplitDataset, 
             },
             seed,
         ),
-    }
+    }?;
+    split.provenance = Some(provenance);
+    Ok(split)
 }
 
 #[cfg(test)]
@@ -401,10 +477,74 @@ mod tests {
     }
 
     #[test]
+    fn scale_equality_is_the_factor() {
+        // A named scale and the equivalent custom multiplier generate the
+        // same split, so they are the same provenance — equality and the
+        // cache key must agree on that.
+        assert_eq!(Scale::Reduced, Scale::Custom(0.2));
+        assert_eq!(Scale::Paper, Scale::Custom(1.0));
+        assert_ne!(Scale::Tiny, Scale::Reduced);
+        let named = DatasetSpec {
+            id: DatasetId::Youtube,
+            scale: Scale::Reduced,
+            seed: 7,
+        };
+        let custom = DatasetSpec {
+            scale: Scale::Custom(0.2),
+            ..named
+        };
+        assert_eq!(named, custom);
+        assert_eq!(named.cache_key(), custom.cache_key());
+    }
+
+    #[test]
     fn different_datasets_same_seed_differ() {
         let a = generate(DatasetId::Imdb, Scale::Tiny, 7).unwrap();
         let b = generate(DatasetId::Yelp, Scale::Tiny, 7).unwrap();
         assert_ne!(a.train.labels, b.train.labels);
+    }
+
+    #[test]
+    fn generated_splits_carry_their_provenance() {
+        let spec = DatasetSpec {
+            id: DatasetId::Yelp,
+            scale: Scale::Tiny,
+            seed: 11,
+        };
+        assert_eq!(spec.generate().unwrap().provenance, Some(spec));
+        // And through the free function too.
+        let split = generate(DatasetId::Occupancy, Scale::Tiny, 3).unwrap();
+        assert_eq!(
+            split.provenance,
+            Some(DatasetSpec {
+                id: DatasetId::Occupancy,
+                scale: Scale::Tiny,
+                seed: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn names_parse_back_through_fromstr() {
+        for id in DatasetId::all() {
+            assert_eq!(id.to_string().parse::<DatasetId>().unwrap(), id);
+        }
+        assert_eq!("bios-pt".parse::<DatasetId>().unwrap(), DatasetId::BiosPT);
+        let err = "mnist".parse::<DatasetId>().unwrap_err();
+        assert!(matches!(
+            err,
+            DataError::UnknownName {
+                what: "dataset",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("Youtube"));
+
+        assert_eq!("TINY".parse::<Scale>().unwrap(), Scale::Tiny);
+        assert_eq!("x0.125".parse::<Scale>().unwrap(), Scale::Custom(0.125));
+        assert_eq!(Scale::Custom(0.125).to_string(), "x0.125");
+        assert!("x2.0".parse::<Scale>().is_err());
+        assert!("galactic".parse::<Scale>().is_err());
     }
 
     #[test]

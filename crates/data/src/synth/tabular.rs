@@ -121,6 +121,7 @@ pub fn generate_tabular(spec: &TabularSpec, seed: u64) -> Result<SplitDataset, D
             &labels[n_train + spec.n_valid..],
         ),
         vocab: None,
+        provenance: None,
     };
     split.validate()?;
     Ok(split)

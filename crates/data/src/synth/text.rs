@@ -200,6 +200,7 @@ pub fn generate_text(spec: &TextSpec, seed: u64) -> Result<SplitDataset, DataErr
         ),
         test: make(test_texts, &labels[spec.n_train + spec.n_valid..], "test"),
         vocab: Some(vocab),
+        provenance: None,
     };
     split.validate()?;
     Ok(split)

@@ -1,0 +1,153 @@
+//! Wire encoding of dataset identity: [`DatasetId`], [`Scale`] and
+//! [`DatasetSpec`] on the `adp-wire` codec.
+//!
+//! These impls are the *single* source of the dataset tags every encoded
+//! artefact shares — session spill files, scenario specs, and snapshots
+//! all embed a `DatasetSpec` through them, so the byte layout can never
+//! drift between layers. Tags are explicit and stable — never derived from
+//! [`DatasetId::all`] ordering — so inserting or reordering datasets can
+//! never silently remap existing files; new datasets append new tags.
+
+use crate::registry::{DatasetId, DatasetSpec, Scale};
+use adp_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Stable wire tag per dataset.
+fn dataset_tag(id: DatasetId) -> u8 {
+    match id {
+        DatasetId::Youtube => 0,
+        DatasetId::Imdb => 1,
+        DatasetId::Yelp => 2,
+        DatasetId::Amazon => 3,
+        DatasetId::BiosPT => 4,
+        DatasetId::BiosJP => 5,
+        DatasetId::Occupancy => 6,
+        DatasetId::Census => 7,
+    }
+}
+
+impl Encode for DatasetId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(dataset_tag(*self));
+    }
+}
+
+impl Decode for DatasetId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => DatasetId::Youtube,
+            1 => DatasetId::Imdb,
+            2 => DatasetId::Yelp,
+            3 => DatasetId::Amazon,
+            4 => DatasetId::BiosPT,
+            5 => DatasetId::BiosJP,
+            6 => DatasetId::Occupancy,
+            7 => DatasetId::Census,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "dataset id",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Encode for Scale {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Scale::Paper => w.put_u8(0),
+            Scale::Reduced => w.put_u8(1),
+            Scale::Tiny => w.put_u8(2),
+            Scale::Custom(f) => {
+                w.put_u8(3);
+                w.put_f64(*f);
+            }
+        }
+    }
+}
+
+impl Decode for Scale {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => Scale::Paper,
+            1 => Scale::Reduced,
+            2 => Scale::Tiny,
+            3 => Scale::Custom(r.get_f64()?),
+            tag => return Err(WireError::BadTag { what: "scale", tag }),
+        })
+    }
+}
+
+impl Encode for DatasetSpec {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.id);
+        w.put(&self.scale);
+        w.put_u64(self.seed);
+    }
+}
+
+impl Decode for DatasetSpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DatasetSpec {
+            id: r.get()?,
+            scale: r.get()?,
+            seed: r.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(spec: DatasetSpec) {
+        let mut w = Writer::new();
+        w.put(&spec);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back: DatasetSpec = r.get().unwrap();
+        r.finish().unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn specs_roundtrip_every_dataset_and_scale() {
+        for id in DatasetId::all() {
+            for scale in [
+                Scale::Paper,
+                Scale::Reduced,
+                Scale::Tiny,
+                Scale::Custom(0.125),
+            ] {
+                roundtrip(DatasetSpec { id, scale, seed: 7 });
+            }
+        }
+    }
+
+    #[test]
+    fn tags_are_pinned() {
+        // The explicit tag table is a format contract; renumbering it
+        // corrupts every file in the wild.
+        let expected: Vec<(DatasetId, u8)> = DatasetId::all().into_iter().zip(0u8..).collect();
+        for (id, tag) in expected {
+            assert_eq!(dataset_tag(id), tag, "{id}");
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_typed_errors() {
+        let mut r = Reader::new(&[9u8]);
+        assert!(matches!(
+            DatasetId::decode(&mut r),
+            Err(WireError::BadTag {
+                what: "dataset id",
+                tag: 9
+            })
+        ));
+        let mut r = Reader::new(&[4u8]);
+        assert!(matches!(
+            Scale::decode(&mut r),
+            Err(WireError::BadTag { what: "scale", .. })
+        ));
+    }
+}

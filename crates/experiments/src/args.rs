@@ -1,6 +1,11 @@
 //! Minimal command-line options shared by the experiment binaries.
+//!
+//! Name parsing routes through the types' own `FromStr` impls
+//! (`DatasetId`, `Scale`, `SamplerChoice`, `LabelModelKind`) — one source
+//! of truth for the valid options and the error messages listing them.
 
 use crate::protocol::ProtocolConfig;
+use activedp::{LabelModelKind, SamplerChoice};
 use adp_data::{DatasetId, Scale};
 
 /// Parsed binary options.
@@ -107,16 +112,108 @@ impl RunOpts {
 }
 
 fn parse_dataset(name: &str) -> Result<DatasetId, String> {
-    DatasetId::from_name(name).ok_or_else(|| {
-        format!(
-            "unknown dataset {name}; expected one of {}",
-            DatasetId::all()
-                .iter()
-                .map(|d| d.name())
-                .collect::<Vec<_>>()
-                .join(", ")
-        )
-    })
+    name.parse().map_err(|e: adp_data::DataError| e.to_string())
+}
+
+/// Options of the `adp-sweep` binary: the spec-grid axes plus output
+/// location (see [`crate::sweep::SweepGrid`]).
+#[derive(Debug, Clone)]
+pub struct SweepOpts {
+    /// The grid to expand and run.
+    pub grid: crate::sweep::SweepGrid,
+    /// Output directory for the artefact CSV.
+    pub out_dir: String,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            grid: crate::sweep::SweepGrid::default_study(DatasetId::Youtube),
+            out_dir: "results".into(),
+        }
+    }
+}
+
+impl SweepOpts {
+    /// Parses `--dataset <name>`*, `--scale <name>`, `--data-seed N`,
+    /// `--sampler <name>`*, `--label-model <name>`*, `--k N`*,
+    /// `--budget N`, `--seeds N`, `--out DIR` (`*` = repeatable, replacing
+    /// that axis's default). Unknown names abort with the typed errors'
+    /// valid-option lists.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<SweepOpts, String> {
+        let mut opts = SweepOpts::default();
+        let mut datasets: Vec<DatasetId> = Vec::new();
+        let mut samplers: Vec<SamplerChoice> = Vec::new();
+        let mut label_models: Vec<LabelModelKind> = Vec::new();
+        let mut ks: Vec<usize> = Vec::new();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+            match arg.as_str() {
+                "--dataset" => datasets.push(parse_dataset(&value("--dataset")?)?),
+                "--scale" => {
+                    opts.grid.scale = value("--scale")?
+                        .parse()
+                        .map_err(|e: adp_data::DataError| e.to_string())?;
+                }
+                "--data-seed" => {
+                    let n = value("--data-seed")?;
+                    opts.grid.data_seed = n.parse().map_err(|_| format!("bad --data-seed {n}"))?;
+                }
+                "--sampler" => samplers.push(
+                    value("--sampler")?
+                        .parse()
+                        .map_err(|e: activedp::UnknownSampler| e.to_string())?,
+                ),
+                "--label-model" => label_models.push(
+                    value("--label-model")?
+                        .parse()
+                        .map_err(|e: adp_labelmodel::UnknownLabelModel| e.to_string())?,
+                ),
+                "--k" => {
+                    let n = value("--k")?;
+                    let k: usize = n.parse().map_err(|_| format!("bad --k {n}"))?;
+                    if k == 0 {
+                        return Err("--k must be >= 1".into());
+                    }
+                    ks.push(k);
+                }
+                "--budget" => {
+                    let n = value("--budget")?;
+                    opts.grid.budget = n.parse().map_err(|_| format!("bad --budget {n}"))?;
+                }
+                "--seeds" => {
+                    let n = value("--seeds")?;
+                    let seeds: u64 = n.parse().map_err(|_| format!("bad --seeds {n}"))?;
+                    if seeds == 0 {
+                        return Err("--seeds must be >= 1".into());
+                    }
+                    opts.grid.seeds = (1..=seeds).collect();
+                }
+                "--out" => opts.out_dir = value("--out")?,
+                other => {
+                    return Err(format!(
+                        "unknown flag {other}; supported: --dataset <name> --scale <name> \
+                         --data-seed N --sampler <name> --label-model <name> --k N \
+                         --budget N --seeds N --out DIR"
+                    ));
+                }
+            }
+        }
+        if !datasets.is_empty() {
+            opts.grid.datasets = datasets;
+        }
+        if !samplers.is_empty() {
+            opts.grid.samplers = samplers;
+        }
+        if !label_models.is_empty() {
+            opts.grid.label_models = label_models;
+        }
+        if !ks.is_empty() {
+            opts.grid.ks = ks;
+        }
+        Ok(opts)
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +275,77 @@ mod tests {
     fn describe_mentions_scale() {
         assert!(parse(&[]).unwrap().describe().contains("reduced"));
         assert!(parse(&["--full"]).unwrap().describe().contains("paper"));
+    }
+
+    fn parse_sweep(args: &[&str]) -> Result<SweepOpts, String> {
+        SweepOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn sweep_defaults_are_the_roadmap_study() {
+        let opts = parse_sweep(&[]).unwrap();
+        assert_eq!(opts.grid.datasets, vec![DatasetId::Youtube]);
+        assert_eq!(
+            opts.grid.samplers,
+            vec![
+                SamplerChoice::Uncertainty,
+                SamplerChoice::Qbc,
+                SamplerChoice::Adp
+            ]
+        );
+        assert_eq!(
+            opts.grid.label_models,
+            vec![LabelModelKind::Triplet, LabelModelKind::DawidSkene]
+        );
+        assert_eq!(opts.grid.ks, vec![1, 4, 16]);
+        assert_eq!(opts.out_dir, "results");
+    }
+
+    #[test]
+    fn sweep_flags_replace_axes() {
+        let opts = parse_sweep(&[
+            "--dataset",
+            "census",
+            "--scale",
+            "tiny",
+            "--sampler",
+            "us",
+            "--sampler",
+            "adp",
+            "--label-model",
+            "ds",
+            "--k",
+            "2",
+            "--budget",
+            "12",
+            "--seeds",
+            "3",
+            "--out",
+            "/tmp/sweep",
+        ])
+        .unwrap();
+        assert_eq!(opts.grid.datasets, vec![DatasetId::Census]);
+        assert_eq!(
+            opts.grid.samplers,
+            vec![SamplerChoice::Uncertainty, SamplerChoice::Adp]
+        );
+        assert_eq!(opts.grid.label_models, vec![LabelModelKind::DawidSkene]);
+        assert_eq!(opts.grid.ks, vec![2]);
+        assert_eq!(opts.grid.budget, 12);
+        assert_eq!(opts.grid.seeds, vec![1, 2, 3]);
+        assert_eq!(opts.out_dir, "/tmp/sweep");
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_names_with_option_lists() {
+        let err = parse_sweep(&["--sampler", "oracle"]).unwrap_err();
+        assert!(err.contains("ADP"), "{err}");
+        let err = parse_sweep(&["--label-model", "snorkel"]).unwrap_err();
+        assert!(err.contains("Triplet"), "{err}");
+        let err = parse_sweep(&["--dataset", "mnist"]).unwrap_err();
+        assert!(err.contains("Youtube"), "{err}");
+        assert!(parse_sweep(&["--k", "0"]).is_err());
+        assert!(parse_sweep(&["--seeds", "0"]).is_err());
+        assert!(parse_sweep(&["--warp", "9"]).is_err());
     }
 }

@@ -1,0 +1,65 @@
+//! `adp-sweep` — the budget/latency study: expands a [`ScenarioSpec`]
+//! grid (sampler × label model × queries-per-refit) into deterministic
+//! runs and emits the Table-style artefact the ROADMAP asks for — per
+//! combination, k vs. accuracy, accuracy-per-refit and wall-clock.
+//!
+//! Default grid: {US, QBC, ADP} × {Triplet, DawidSkene} × k ∈ {1, 4, 16}
+//! on Youtube at tiny scale, budget 48. Every axis is a flag:
+//!
+//! ```text
+//! adp-sweep --dataset youtube --scale tiny --sampler us --sampler adp \
+//!           --label-model triplet --k 1 --k 4 --budget 12 --seeds 2 \
+//!           --out results
+//! ```
+//!
+//! Writes `<out>/sweep_budget_latency.csv` next to the rendered table.
+//!
+//! [`ScenarioSpec`]: activedp::ScenarioSpec
+
+use adp_experiments::{grid_table, run_grid, write_csv, SweepOpts};
+use std::path::Path;
+
+fn main() {
+    let opts = match SweepOpts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if opts.grid.is_empty() {
+        eprintln!("the sweep grid is empty (every axis needs at least one value)");
+        std::process::exit(2);
+    }
+    println!(
+        "Budget/latency sweep: {} runs ({} datasets x {} samplers x {} label models x {} schedules x {} seeds), budget {}, scale {}",
+        opts.grid.len(),
+        opts.grid.datasets.len(),
+        opts.grid.samplers.len(),
+        opts.grid.label_models.len(),
+        opts.grid.ks.len(),
+        opts.grid.seeds.len(),
+        opts.grid.budget,
+        opts.grid.scale,
+    );
+    println!();
+
+    let rows = match run_grid(&opts.grid) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let table = grid_table(&rows);
+    println!("{}", table.render());
+
+    let out = Path::new(&opts.out_dir).join("sweep_budget_latency.csv");
+    match write_csv(&out, &table) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -11,8 +11,10 @@
 
 pub mod args;
 pub mod protocol;
+pub mod sweep;
 pub mod tables;
 
-pub use args::RunOpts;
+pub use args::{RunOpts, SweepOpts};
 pub use protocol::{run_framework_curve, run_session_curve, Curve, Method, ProtocolConfig};
+pub use sweep::{grid_table, run_grid, run_spec, run_spec_over, SweepGrid, SweepRow};
 pub use tables::{format_row, write_csv, TableWriter};

@@ -1,0 +1,341 @@
+//! The budget/latency sweep: a grid of [`ScenarioSpec`]s expanded into
+//! deterministic runs (ROADMAP's "k vs. accuracy-per-refit and wall-clock"
+//! study).
+//!
+//! A [`SweepGrid`] is the cartesian product sampler × label model × batch
+//! size × dataset × seed; [`SweepGrid::expand`] turns it into concrete
+//! specs in a fixed nesting order, [`run_grid`] drives each one through
+//! `Engine::from_spec_over` + `Engine::run_schedule` (sharing one
+//! generated split per dataset spec), and [`grid_table`] renders the
+//! Table-style artefact the `adp-sweep` binary writes: per combination,
+//! the refit count, the final downstream accuracy, accuracy per refit, and
+//! the loop wall-clock. Runs are deterministic in the spec, so rows
+//! reproduce bit-for-bit (wall-clock aside) across invocations.
+
+use activedp::{
+    ActiveDpError, BudgetSchedule, Engine, LabelModelKind, SamplerChoice, ScenarioSpec,
+};
+use adp_data::{DatasetId, DatasetSpec, Scale, SharedDataset};
+use std::collections::HashMap;
+
+/// The spec grid a sweep expands (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Datasets to sweep.
+    pub datasets: Vec<DatasetId>,
+    /// Scale every dataset generates at.
+    pub scale: Scale,
+    /// Generator seed for every dataset.
+    pub data_seed: u64,
+    /// Query-instance selectors to sweep.
+    pub samplers: Vec<SamplerChoice>,
+    /// Label models to sweep.
+    pub label_models: Vec<LabelModelKind>,
+    /// Queries-per-refit batch sizes (`k = 1` is the paper's loop).
+    pub ks: Vec<usize>,
+    /// Labelling budget per run.
+    pub budget: usize,
+    /// Session seeds each combination averages over.
+    pub seeds: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// The ROADMAP study's default grid: {US, QBC, ADP} × {Triplet,
+    /// DawidSkene} × k ∈ {1, 4, 16} on one dataset.
+    pub fn default_study(dataset: DatasetId) -> Self {
+        SweepGrid {
+            datasets: vec![dataset],
+            scale: Scale::Tiny,
+            data_seed: 7,
+            samplers: vec![
+                SamplerChoice::Uncertainty,
+                SamplerChoice::Qbc,
+                SamplerChoice::Adp,
+            ],
+            label_models: vec![LabelModelKind::Triplet, LabelModelKind::DawidSkene],
+            ks: vec![1, 4, 16],
+            budget: 48,
+            seeds: vec![1],
+        }
+    }
+
+    /// Number of specs [`SweepGrid::expand`] produces.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+            * self.samplers.len()
+            * self.label_models.len()
+            * self.ks.len()
+            * self.seeds.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian product into concrete specs, outermost axis
+    /// first: dataset → sampler → label model → k → seed. The order is
+    /// part of the artefact contract (rows land in this order).
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let mut specs = Vec::with_capacity(self.len());
+        for &dataset in &self.datasets {
+            for &sampler in &self.samplers {
+                for &label_model in &self.label_models {
+                    for &k in &self.ks {
+                        for &seed in &self.seeds {
+                            let mut spec = ScenarioSpec::new(DatasetSpec {
+                                id: dataset,
+                                scale: self.scale,
+                                seed: self.data_seed,
+                            });
+                            spec.session.seed = seed;
+                            spec.session.sampler = sampler;
+                            spec.session.label_model = label_model;
+                            spec.schedule = if k == 1 {
+                                BudgetSchedule::FixedStep
+                            } else {
+                                BudgetSchedule::FixedBatch { k }
+                            };
+                            spec.budget = self.budget;
+                            specs.push(spec);
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// One finished run of the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The spec that produced the row.
+    pub spec: ScenarioSpec,
+    /// Loop iterations actually consumed (≤ budget when the pool ran dry).
+    pub iterations: usize,
+    /// Refit batches actually started.
+    pub refits: usize,
+    /// Final downstream test accuracy.
+    pub test_accuracy: f64,
+    /// Training + evaluation wall-clock, milliseconds (dataset generation
+    /// excluded — the artefact measures the loop, not the generator).
+    pub wall_ms: f64,
+}
+
+impl SweepRow {
+    /// Accuracy bought per refit — the sweep's headline trade-off column.
+    pub fn accuracy_per_refit(&self) -> f64 {
+        self.test_accuracy / self.refits.max(1) as f64
+    }
+}
+
+/// Runs one spec over an already-generated split (provenance must match;
+/// see `Engine::from_spec_over`).
+pub fn run_spec_over(spec: ScenarioSpec, data: SharedDataset) -> Result<SweepRow, ActiveDpError> {
+    let schedule = spec.schedule.clone();
+    let mut engine = Engine::from_spec_over(spec.clone(), data)?;
+    let start = std::time::Instant::now();
+    engine.run_schedule()?;
+    let report = engine.evaluate_downstream()?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let iterations = engine.state().iteration;
+    Ok(SweepRow {
+        spec,
+        iterations,
+        // Boundaries are absolute, so the batches covering the consumed
+        // iterations are exactly the batches that ran.
+        refits: schedule.batch_sizes(iterations).len(),
+        test_accuracy: report.test_accuracy,
+        wall_ms,
+    })
+}
+
+/// Runs one spec, generating its dataset first.
+pub fn run_spec(spec: ScenarioSpec) -> Result<SweepRow, ActiveDpError> {
+    let data = spec
+        .dataset
+        .generate()
+        .map_err(|e| ActiveDpError::BadConfig {
+            reason: format!("dataset spec failed to generate: {e}"),
+        })?
+        .into_shared();
+    run_spec_over(spec, data)
+}
+
+/// Expands and runs a whole grid, generating each distinct dataset spec
+/// once and sharing the split across every run that names it. Rows come
+/// back in [`SweepGrid::expand`] order.
+pub fn run_grid(grid: &SweepGrid) -> Result<Vec<SweepRow>, ActiveDpError> {
+    let mut cache: HashMap<(DatasetId, u64, u64), SharedDataset> = HashMap::new();
+    let mut rows = Vec::with_capacity(grid.len());
+    for spec in grid.expand() {
+        let data = match cache.get(&spec.dataset.cache_key()) {
+            Some(data) => data.clone(),
+            None => {
+                let data = spec
+                    .dataset
+                    .generate()
+                    .map_err(|e| ActiveDpError::BadConfig {
+                        reason: format!("dataset spec failed to generate: {e}"),
+                    })?
+                    .into_shared();
+                cache.insert(spec.dataset.cache_key(), data.clone());
+                data
+            }
+        };
+        rows.push(run_spec_over(spec, data)?);
+    }
+    Ok(rows)
+}
+
+/// Renders sweep rows as the budget/latency artefact table, averaging the
+/// seed axis per (dataset, sampler, label model, schedule) combination.
+pub fn grid_table(rows: &[SweepRow]) -> crate::tables::TableWriter {
+    let mut table = crate::tables::TableWriter::new(&[
+        "Dataset",
+        "Sampler",
+        "LabelModel",
+        "Schedule",
+        "Budget",
+        "Seeds",
+        "Iterations",
+        "Refits",
+        "Accuracy",
+        "AccPerRefit",
+        "WallMs",
+    ]);
+    // Group rows by combination, preserving first-appearance order (rows
+    // arrive in expand order, so seeds of one combination are adjacent).
+    let mut groups: Vec<(String, Vec<&SweepRow>)> = Vec::new();
+    for row in rows {
+        let key = format!(
+            "{}|{}|{}|{}",
+            row.spec.dataset.id,
+            row.spec.session.sampler,
+            row.spec.session.label_model,
+            row.spec.schedule.label(),
+        );
+        match groups.last_mut() {
+            Some((last, members)) if *last == key => members.push(row),
+            _ => groups.push((key, vec![row])),
+        }
+    }
+    for (_, members) in &groups {
+        let n = members.len() as f64;
+        let mean = |f: &dyn Fn(&SweepRow) -> f64| members.iter().map(|r| f(r)).sum::<f64>() / n;
+        let first = members[0];
+        table.add_row(vec![
+            first.spec.dataset.id.to_string(),
+            first.spec.session.sampler.to_string(),
+            first.spec.session.label_model.to_string(),
+            first.spec.schedule.label(),
+            first.spec.budget.to_string(),
+            members.len().to_string(),
+            format!("{:.1}", mean(&|r| r.iterations as f64)),
+            format!("{:.1}", mean(&|r| r.refits as f64)),
+            format!("{:.4}", mean(&|r| r.test_accuracy)),
+            format!("{:.4}", mean(&|r| r.accuracy_per_refit())),
+            format!("{:.1}", mean(&|r| r.wall_ms)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid {
+            datasets: vec![DatasetId::Youtube],
+            scale: Scale::Tiny,
+            data_seed: 7,
+            samplers: vec![SamplerChoice::Uncertainty, SamplerChoice::Adp],
+            label_models: vec![LabelModelKind::Triplet],
+            ks: vec![1, 4],
+            budget: 6,
+            seeds: vec![1],
+        }
+    }
+
+    #[test]
+    fn expand_is_the_cartesian_product_in_fixed_order() {
+        let grid = tiny_grid();
+        let specs = grid.expand();
+        assert_eq!(specs.len(), grid.len());
+        assert_eq!(specs.len(), 4);
+        // sampler is the outer axis, k the inner.
+        assert_eq!(specs[0].session.sampler, SamplerChoice::Uncertainty);
+        assert_eq!(specs[0].schedule, BudgetSchedule::FixedStep);
+        assert_eq!(specs[1].schedule, BudgetSchedule::FixedBatch { k: 4 });
+        assert_eq!(specs[2].session.sampler, SamplerChoice::Adp);
+        // Every spec validates and carries the grid's budget.
+        for spec in &specs {
+            spec.validate().unwrap();
+            assert_eq!(spec.budget, 6);
+        }
+    }
+
+    #[test]
+    fn empty_axes_expand_to_nothing() {
+        let mut grid = tiny_grid();
+        grid.ks.clear();
+        assert!(grid.is_empty());
+        assert!(grid.expand().is_empty());
+    }
+
+    #[test]
+    fn run_grid_emits_one_row_per_spec_and_rows_parse() {
+        let grid = tiny_grid();
+        let rows = run_grid(&grid).unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.iterations, 6);
+            let expected_refits = row.spec.schedule.n_batches(6);
+            assert_eq!(row.refits, expected_refits);
+            assert!((0.0..=1.0).contains(&row.test_accuracy));
+            assert!(row.accuracy_per_refit() <= row.test_accuracy + 1e-12);
+            assert!(row.wall_ms >= 0.0);
+        }
+        // Batching cuts refits: k=4 rows refit less than k=1 rows.
+        assert!(rows[1].refits < rows[0].refits);
+
+        // The artefact table carries one parsed row per combination.
+        let table = grid_table(&rows);
+        let csv = table.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 4, "{csv}");
+        for line in &lines[1..] {
+            let cells: Vec<&str> = line.split(',').collect();
+            assert_eq!(cells.len(), 11, "{line}");
+            assert!(cells[8].parse::<f64>().is_ok(), "{line}");
+            assert!(cells[9].parse::<f64>().is_ok(), "{line}");
+            assert!(cells[10].parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_spec() {
+        let spec = tiny_grid().expand().swap_remove(1);
+        let a = run_spec(spec.clone()).unwrap();
+        let b = run_spec(spec).unwrap();
+        assert_eq!(a.test_accuracy.to_bits(), b.test_accuracy.to_bits());
+        assert_eq!(a.refits, b.refits);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn seed_axis_averages_into_one_table_row() {
+        let mut grid = tiny_grid();
+        grid.samplers = vec![SamplerChoice::Uncertainty];
+        grid.ks = vec![4];
+        grid.seeds = vec![1, 2];
+        let rows = run_grid(&grid).unwrap();
+        assert_eq!(rows.len(), 2);
+        let table = grid_table(&rows);
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 2, "{csv}");
+        assert!(csv.lines().nth(1).unwrap().contains(",2,"), "{csv}");
+    }
+}

@@ -101,6 +101,74 @@ pub enum LabelModelKind {
     Triplet,
 }
 
+impl LabelModelKind {
+    /// All kinds, in tag order.
+    pub fn all() -> [LabelModelKind; 3] {
+        [
+            LabelModelKind::MajorityVote,
+            LabelModelKind::DawidSkene,
+            LabelModelKind::Triplet,
+        ]
+    }
+
+    /// Canonical name — what [`LabelModelKind::from_str`] parses back and
+    /// what artefact rows print.
+    ///
+    /// [`LabelModelKind::from_str`]: std::str::FromStr::from_str
+    pub fn name(self) -> &'static str {
+        match self {
+            LabelModelKind::MajorityVote => "MajorityVote",
+            LabelModelKind::DawidSkene => "DawidSkene",
+            LabelModelKind::Triplet => "Triplet",
+        }
+    }
+}
+
+impl std::fmt::Display for LabelModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A label-model name that matched no [`LabelModelKind`]; [`Display`]
+/// lists the valid options.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownLabelModel {
+    /// The name that failed to parse.
+    pub given: String,
+}
+
+impl std::fmt::Display for UnknownLabelModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown label model {:?}; expected one of {}",
+            self.given,
+            LabelModelKind::all().map(LabelModelKind::name).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownLabelModel {}
+
+impl std::str::FromStr for LabelModelKind {
+    type Err = UnknownLabelModel;
+
+    /// Parses a label-model name, case-insensitively, accepting the
+    /// canonical name plus common short forms (`mv`, `majority`, `ds`,
+    /// `dawid-skene`, `metal`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "majorityvote" | "majority" | "mv" => Ok(LabelModelKind::MajorityVote),
+            "dawidskene" | "dawid-skene" | "ds" => Ok(LabelModelKind::DawidSkene),
+            "triplet" | "metal" => Ok(LabelModelKind::Triplet),
+            _ => Err(UnknownLabelModel { given: s.into() }),
+        }
+    }
+}
+
 /// Factory for boxed label models.
 pub fn make_model(kind: LabelModelKind, n_classes: usize) -> Box<dyn LabelModel> {
     make_model_with(kind, n_classes, true)
@@ -136,14 +204,28 @@ mod tests {
 
     #[test]
     fn factory_constructs_all_kinds() {
-        for kind in [
-            LabelModelKind::MajorityVote,
-            LabelModelKind::DawidSkene,
-            LabelModelKind::Triplet,
-        ] {
+        for kind in LabelModelKind::all() {
             let m = make_model(kind, 2);
             assert_eq!(m.n_classes(), 2);
         }
+    }
+
+    #[test]
+    fn kind_names_roundtrip_through_fromstr() {
+        for kind in LabelModelKind::all() {
+            assert_eq!(kind.to_string().parse::<LabelModelKind>().unwrap(), kind);
+        }
+        assert_eq!(
+            "ds".parse::<LabelModelKind>().unwrap(),
+            LabelModelKind::DawidSkene
+        );
+        assert_eq!(
+            "metal".parse::<LabelModelKind>().unwrap(),
+            LabelModelKind::Triplet
+        );
+        let err = "snorkel".parse::<LabelModelKind>().unwrap_err();
+        assert_eq!(err.given, "snorkel");
+        assert!(err.to_string().contains("Triplet"), "{err}");
     }
 
     #[test]

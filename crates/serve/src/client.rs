@@ -175,6 +175,19 @@ impl Client {
         Self::expect_u64(&reply, "session")
     }
 
+    /// Creates the session a [`ScenarioSpec`] describes — the declarative
+    /// sibling of [`Client::create`] (the `create_spec` request; the spec
+    /// is shipped as its JSON form, see [`crate::spec_json`]).
+    ///
+    /// [`ScenarioSpec`]: activedp::ScenarioSpec
+    pub fn create_spec(&mut self, spec: &activedp::ScenarioSpec) -> Result<u64, ClientError> {
+        let reply = self.call(Json::obj([
+            ("cmd", Json::Str("create_spec".into())),
+            ("spec", crate::spec_json::scenario_to_json(spec)),
+        ]))?;
+        Self::expect_u64(&reply, "session")
+    }
+
     /// Re-attaches to a live (possibly reloaded) session by id.
     pub fn open(&mut self, session: u64) -> Result<OpenReply, ClientError> {
         let reply = self.call(Json::obj([

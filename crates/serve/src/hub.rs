@@ -2,7 +2,8 @@
 //! shard.
 
 use activedp::{
-    ActiveDpError, Engine, EngineBuilder, EvalReport, SessionConfig, SessionSnapshot, StepOutcome,
+    ActiveDpError, Engine, EngineBuilder, EvalReport, ScenarioSpec, SessionConfig, SessionSnapshot,
+    StepOutcome,
 };
 use adp_data::{DatasetId, DatasetSpec, SharedDataset};
 use std::collections::HashMap;
@@ -57,10 +58,10 @@ pub enum ServeError {
     /// A persistence call on a hub with no spill directory (neither
     /// [`SessionHub::with_spill_dir`] nor `ADP_SPILL_DIR`).
     NoSpillDir,
-    /// The session was created from a raw engine, so the hub has no dataset
-    /// provenance to regenerate its split from at load time; only sessions
-    /// opened via [`SessionHub::open_spec`] (or themselves loaded from a
-    /// spill file) can be saved.
+    /// The session cannot be described as a [`ScenarioSpec`] — its dataset
+    /// carries no regenerable provenance (a hand-built split), or its
+    /// oracle exposes no snapshot state — so there is nothing to spill
+    /// that could be restored at load time.
     NotPersistable(SessionId),
     /// A filesystem operation on the spill directory failed.
     Io {
@@ -97,7 +98,7 @@ impl fmt::Display for ServeError {
             ServeError::NotPersistable(id) => {
                 write!(
                     f,
-                    "{id} has no dataset spec; open it via open_spec to persist"
+                    "{id} has no scenario to persist (hand-built dataset or stateless oracle)"
                 )
             }
             ServeError::Io { path, source } => write!(f, "io on {}: {source}", path.display()),
@@ -200,8 +201,6 @@ pub struct SessionHub {
     next_id: AtomicU64,
     /// Where snapshots spill (explicit, else `ADP_SPILL_DIR`, else none).
     spill_dir: Option<PathBuf>,
-    /// Dataset provenance per session, for sessions the hub can persist.
-    pub(crate) specs: Mutex<HashMap<u64, DatasetSpec>>,
     /// Generated splits by spec, so every session naming the same spec —
     /// including all sessions re-opened by `load_all` — shares one
     /// `SharedDataset` allocation.
@@ -242,7 +241,6 @@ impl SessionHub {
             workers,
             next_id: AtomicU64::new(0),
             spill_dir,
-            specs: Mutex::new(HashMap::new()),
             datasets: Mutex::new(HashMap::new()),
         }
     }
@@ -259,10 +257,10 @@ impl SessionHub {
 
     /// Registers a ready-built engine and returns its session id.
     ///
-    /// Sessions created this way serve normally but carry no dataset
-    /// provenance, so [`SessionHub::save_all`] skips them (their split
-    /// could not be regenerated at load time); open sessions through
-    /// [`SessionHub::open_spec`] when they should survive restarts.
+    /// Persistence follows the engine: sessions whose engine can describe
+    /// itself as a [`ScenarioSpec`] (see `Engine::scenario`) spill and
+    /// reload normally; engines over hand-built, provenance-less datasets
+    /// serve fine but are skipped by [`SessionHub::save_all`].
     pub fn create(&self, engine: Engine) -> Result<SessionId, ServeError> {
         let mut engine = Box::new(engine);
         loop {
@@ -284,24 +282,39 @@ impl SessionHub {
         self.create(builder.build()?)
     }
 
-    /// Generates (or re-uses) the split named by `spec`, opens a session
-    /// over it with `config`, and records the provenance so the session can
-    /// be spilled and re-loaded across process restarts — the durable path
-    /// from dataset name to served session.
+    /// Builds and registers the session a [`ScenarioSpec`] describes — the
+    /// declarative path from one serializable run description to a served
+    /// session (the network front end's `create_spec` request lands here).
+    /// The split is generated once per distinct dataset spec and shared
+    /// between all sessions naming it; the engine routes through
+    /// `Engine::from_spec_over`, so the hub cannot drift from the solo
+    /// constructor. Invalid specs (bad config ranges, degenerate schedules
+    /// like `FixedBatch{k: 0}`, an ungeneratable dataset) fail here, before
+    /// any id is allocated.
+    pub fn create_from_spec(&self, spec: ScenarioSpec) -> Result<SessionId, ServeError> {
+        spec.validate().map_err(ServeError::Engine)?;
+        let data = self.dataset_for(spec.dataset)?;
+        self.create(Engine::from_spec_over(spec, data)?)
+    }
+
+    /// Generates (or re-uses) the split named by `spec` and opens a session
+    /// over it with `config` — sugar for [`SessionHub::create_from_spec`]
+    /// with the default schedule and budget; the session persists across
+    /// restarts like any spec-described session.
     pub fn open_spec(
         &self,
         spec: DatasetSpec,
         config: SessionConfig,
     ) -> Result<SessionId, ServeError> {
-        let data = self.dataset_for(spec)?;
-        let id = self.open(Engine::builder(data).config(config))?;
-        self.specs.lock().expect("specs lock").insert(id.0, spec);
-        Ok(id)
+        self.create_from_spec(ScenarioSpec {
+            session: config,
+            ..ScenarioSpec::new(spec)
+        })
     }
 
     /// Resumes a snapshot over an explicitly supplied dataset under a
-    /// fresh id (the spec-less sibling of the `load_all` path; such
-    /// sessions are served but not re-persistable).
+    /// fresh id (the cache-bypassing sibling of the `load_all` path; the
+    /// split must match the provenance recorded in the snapshot's spec).
     pub fn restore(
         &self,
         data: SharedDataset,
@@ -424,15 +437,10 @@ impl SessionHub {
         self.call(id.0, |reply| Command::Evaluate { id: id.0, reply })?
     }
 
-    /// Drops the identified session, freeing its engine (and forgetting its
-    /// dataset provenance — a closed session is not re-saved).
+    /// Drops the identified session, freeing its engine (a closed session
+    /// is not re-saved).
     pub fn close(&self, id: SessionId) -> Result<(), ServeError> {
-        let closed: Result<(), ServeError> =
-            self.call(id.0, |reply| Command::Close { id: id.0, reply })?;
-        if closed.is_ok() {
-            self.specs.lock().expect("specs lock").remove(&id.0);
-        }
-        closed
+        self.call(id.0, |reply| Command::Close { id: id.0, reply })?
     }
 
     /// Number of live sessions across all shards.
@@ -729,6 +737,74 @@ mod tests {
         ));
         // The session is untouched and still serviceable.
         assert_eq!(hub.step(id).unwrap().iteration, 1);
+    }
+
+    #[test]
+    fn create_from_spec_builds_and_shares_the_dataset() {
+        use activedp::{BudgetSchedule, ScenarioSpec};
+        let hub = SessionHub::new(2);
+        let dataset = adp_data::DatasetSpec {
+            id: DatasetId::Youtube,
+            scale: Scale::Tiny,
+            seed: 7,
+        };
+        let mut spec = ScenarioSpec::new(dataset);
+        spec.session.seed = 3;
+        spec.schedule = BudgetSchedule::FixedBatch { k: 4 };
+        spec.budget = 8;
+        let a = hub.create_from_spec(spec.clone()).unwrap();
+        let b = hub.create_from_spec(spec.clone()).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(hub.step(a).unwrap().iteration, 1);
+        // The served session *is* the spec's engine: its snapshot embeds
+        // the very spec it was created from (iteration aside).
+        let snap = hub.snapshot(a).unwrap();
+        assert_eq!(snap.spec.dataset, dataset);
+        assert_eq!(snap.spec.schedule, spec.schedule);
+        assert_eq!(snap.spec.budget, 8);
+        // A named scale and the equivalent custom factor are the same
+        // provenance: the second spec reuses the first's cached split and
+        // must not be rejected by the provenance check.
+        let mut custom = spec.clone();
+        custom.dataset.scale = Scale::Custom(Scale::Tiny.factor());
+        let c = hub.create_from_spec(custom).unwrap();
+        assert_eq!(hub.step(c).unwrap().iteration, 1);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_any_id_is_allocated() {
+        use activedp::{BudgetSchedule, ScenarioSpec};
+        let hub = SessionHub::new(1);
+        let dataset = adp_data::DatasetSpec {
+            id: DatasetId::Youtube,
+            scale: Scale::Tiny,
+            seed: 7,
+        };
+        // Degenerate schedule: the service boundary mirror of EmptyBatch.
+        let mut degenerate = ScenarioSpec::new(dataset);
+        degenerate.schedule = BudgetSchedule::FixedBatch { k: 0 };
+        assert!(matches!(
+            hub.create_from_spec(degenerate),
+            Err(ServeError::Engine(ActiveDpError::BadConfig { .. }))
+        ));
+        // Out-of-range session knob.
+        let mut bad_alpha = ScenarioSpec::new(dataset);
+        bad_alpha.session.alpha = 7.0;
+        assert!(matches!(
+            hub.create_from_spec(bad_alpha),
+            Err(ServeError::Engine(ActiveDpError::BadConfig { .. }))
+        ));
+        // Ungeneratable dataset spec (scale factor outside (0, 1]).
+        let unknown_dataset = ScenarioSpec::new(adp_data::DatasetSpec {
+            id: DatasetId::Youtube,
+            scale: Scale::Custom(4.0),
+            seed: 1,
+        });
+        assert!(matches!(
+            hub.create_from_spec(unknown_dataset),
+            Err(ServeError::Engine(ActiveDpError::BadConfig { .. }))
+        ));
+        assert_eq!(hub.session_count(), 0);
     }
 
     #[test]

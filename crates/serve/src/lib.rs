@@ -33,9 +33,11 @@ pub mod hub;
 pub mod json;
 pub mod persist;
 pub mod server;
+pub mod spec_json;
 
 pub use client::{Client, ClientError, EvalReply, OpenReply, StepReply};
 pub use hub::{ServeError, SessionHub, SessionId, SessionStatus};
 pub use json::Json;
 pub use persist::{SpillRecord, SPILL_MAGIC, SPILL_VERSION};
 pub use server::Server;
+pub use spec_json::{scenario_from_json, scenario_to_json};

@@ -28,9 +28,9 @@
 //! small (state + config + RNG streams) and restarts cheap.
 
 use crate::hub::{ServeError, SessionHub, SessionId};
-use activedp::{Engine, SessionSnapshot};
-use adp_data::{DatasetId, DatasetSpec, Scale};
-use adp_wire::{read_envelope, write_envelope, Reader, WireError};
+use activedp::{ActiveDpError, Engine, SessionSnapshot};
+use adp_data::DatasetSpec;
+use adp_wire::{read_envelope, write_envelope};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -53,84 +53,42 @@ pub struct SpillRecord {
 }
 
 impl SpillRecord {
-    /// Encodes the record into its canonical spill-file bytes.
+    /// Encodes the record into its canonical spill-file bytes. The
+    /// dataset-spec layout comes from `adp_data::wire` — the same stable
+    /// tags every encoded artefact shares.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = write_envelope(SPILL_MAGIC, SPILL_VERSION);
         w.put_u64(self.session);
-        w.put_u8(dataset_tag(self.spec.id));
-        match self.spec.scale {
-            Scale::Paper => w.put_u8(0),
-            Scale::Reduced => w.put_u8(1),
-            Scale::Tiny => w.put_u8(2),
-            Scale::Custom(f) => {
-                w.put_u8(3);
-                w.put_f64(f);
-            }
-        }
-        w.put_u64(self.spec.seed);
+        w.put(&self.spec);
         w.put(&self.snapshot.to_bytes());
         w.into_bytes()
     }
 
-    /// Decodes a spill file, rejecting corruption with typed errors.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, activedp::ActiveDpError> {
+    /// Decodes a spill file, rejecting corruption with typed errors — a
+    /// header spec that contradicts the provenance embedded in the nested
+    /// snapshot included (the file was tampered with; restoring it would
+    /// serve a session whose spec misdescribes its data).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ActiveDpError> {
         let (mut r, _version) = read_envelope(bytes, SPILL_MAGIC, SPILL_VERSION)?;
         let session = r.get_u64()?;
-        let id = dec_dataset_id(&mut r)?;
-        let scale = match r.get_u8()? {
-            0 => Scale::Paper,
-            1 => Scale::Reduced,
-            2 => Scale::Tiny,
-            3 => Scale::Custom(r.get_f64()?),
-            tag => return Err(WireError::BadTag { what: "scale", tag }.into()),
-        };
-        let seed = r.get_u64()?;
+        let spec: DatasetSpec = r.get()?;
         let snapshot_bytes: Vec<u8> = r.get()?;
         r.finish()?;
         let snapshot = SessionSnapshot::from_bytes(&snapshot_bytes)?;
+        if snapshot.spec.dataset != spec {
+            return Err(ActiveDpError::BadConfig {
+                reason: format!(
+                    "spill header names dataset {spec:?} but the snapshot was taken over {:?}",
+                    snapshot.spec.dataset
+                ),
+            });
+        }
         Ok(SpillRecord {
             session,
-            spec: DatasetSpec { id, scale, seed },
+            spec,
             snapshot,
         })
     }
-}
-
-/// Stable wire tag per dataset. Explicit — never derived from
-/// `DatasetId::all()` ordering — so inserting or reordering datasets can
-/// never silently remap existing spill files; new datasets append new tags.
-fn dataset_tag(id: DatasetId) -> u8 {
-    match id {
-        DatasetId::Youtube => 0,
-        DatasetId::Imdb => 1,
-        DatasetId::Yelp => 2,
-        DatasetId::Amazon => 3,
-        DatasetId::BiosPT => 4,
-        DatasetId::BiosJP => 5,
-        DatasetId::Occupancy => 6,
-        DatasetId::Census => 7,
-    }
-}
-
-fn dec_dataset_id(r: &mut Reader<'_>) -> Result<DatasetId, activedp::ActiveDpError> {
-    let tag = r.get_u8()?;
-    Ok(match tag {
-        0 => DatasetId::Youtube,
-        1 => DatasetId::Imdb,
-        2 => DatasetId::Yelp,
-        3 => DatasetId::Amazon,
-        4 => DatasetId::BiosPT,
-        5 => DatasetId::BiosJP,
-        6 => DatasetId::Occupancy,
-        7 => DatasetId::Census,
-        _ => {
-            return Err(WireError::BadTag {
-                what: "dataset id",
-                tag,
-            }
-            .into())
-        }
-    })
 }
 
 /// File name of one session's spill file.
@@ -146,22 +104,22 @@ impl SessionHub {
     }
 
     /// Spills one session to `session-<id>.adpsnap` in the spill directory
-    /// (atomic write; the session keeps running). Fails with
-    /// [`ServeError::NotPersistable`] for sessions created from raw engines
-    /// — the hub has no dataset provenance to regenerate their split from.
+    /// (atomic write; the session keeps running). The dataset provenance
+    /// travels inside the snapshot's embedded `ScenarioSpec`; sessions
+    /// that cannot be described as one — hand-built datasets, stateless
+    /// custom oracles — fail with [`ServeError::NotPersistable`].
     pub fn save(&self, id: SessionId) -> Result<PathBuf, ServeError> {
         let dir = self.require_spill_dir()?;
-        let spec = self
-            .specs
-            .lock()
-            .expect("specs lock")
-            .get(&id.raw())
-            .copied()
-            .ok_or(ServeError::NotPersistable(id))?;
-        let snapshot = self.snapshot(id)?;
+        let snapshot = match self.snapshot(id) {
+            Ok(snapshot) => snapshot,
+            Err(ServeError::Engine(ActiveDpError::SnapshotUnsupported { .. })) => {
+                return Err(ServeError::NotPersistable(id))
+            }
+            Err(e) => return Err(e),
+        };
         let record = SpillRecord {
             session: id.raw(),
-            spec,
+            spec: snapshot.spec.dataset,
             snapshot,
         };
         fs::create_dir_all(&dir).map_err(|source| ServeError::Io {
@@ -192,8 +150,8 @@ impl SessionHub {
     }
 
     /// Spills every persistable session (see [`SessionHub::save`]) and
-    /// returns the ids written, ascending. Sessions without dataset
-    /// provenance are skipped — they cannot be regenerated at load time —
+    /// returns the ids written, ascending. Sessions without a scenario
+    /// description are skipped — they could not be restored at load time —
     /// so a mixed hub still saves everything it can.
     pub fn save_all(&self) -> Result<Vec<SessionId>, ServeError> {
         self.require_spill_dir()?;
@@ -267,10 +225,6 @@ impl SessionHub {
                         source,
                     })?;
             self.insert_preserving_id(record.session, engine)?;
-            self.specs
-                .lock()
-                .expect("specs lock")
-                .insert(record.session, record.spec);
             Ok(SessionId::from_raw(record.session))
         };
         for path in paths {
@@ -293,7 +247,7 @@ impl SessionHub {
 mod tests {
     use super::*;
     use activedp::SessionConfig;
-    use adp_data::Scale;
+    use adp_data::{DatasetId, Scale};
 
     fn unique_tempdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -314,23 +268,45 @@ mod tests {
     }
 
     #[test]
-    fn spill_record_roundtrips_including_custom_scale() {
+    fn spill_record_roundtrips() {
         let hub = SessionHub::new(1);
         let id = hub
             .open_spec(spec(7), SessionConfig::paper_defaults(true, 7))
             .unwrap();
         hub.run(id, 3).unwrap();
+        let snapshot = hub.snapshot(id).unwrap();
         let record = SpillRecord {
             session: 42,
-            spec: DatasetSpec {
-                id: DatasetId::Census,
-                scale: Scale::Custom(0.125),
-                seed: 9,
-            },
-            snapshot: hub.snapshot(id).unwrap(),
+            spec: snapshot.spec.dataset,
+            snapshot,
         };
         let back = SpillRecord::from_bytes(&record.to_bytes()).unwrap();
         assert_eq!(record, back);
+    }
+
+    #[test]
+    fn spill_header_spec_must_match_the_snapshot() {
+        // A tampered header naming a different dataset than the embedded
+        // snapshot would restore a session whose spec misdescribes its
+        // data; the decoder rejects it with a typed error.
+        let hub = SessionHub::new(1);
+        let id = hub
+            .open_spec(spec(7), SessionConfig::paper_defaults(true, 7))
+            .unwrap();
+        hub.run(id, 2).unwrap();
+        let snapshot = hub.snapshot(id).unwrap();
+        let record = SpillRecord {
+            session: 1,
+            spec: DatasetSpec {
+                seed: 999,
+                ..snapshot.spec.dataset
+            },
+            snapshot,
+        };
+        assert!(matches!(
+            SpillRecord::from_bytes(&record.to_bytes()),
+            Err(ActiveDpError::BadConfig { .. })
+        ));
     }
 
     #[test]
@@ -379,15 +355,18 @@ mod tests {
     }
 
     #[test]
-    fn raw_engine_sessions_are_skipped_not_fatal() {
+    fn unpersistable_sessions_are_skipped_not_fatal() {
         let dir = unique_tempdir("mixed");
         let hub = SessionHub::with_spill_dir(1, &dir);
         let durable = hub
             .open_spec(spec(1), SessionConfig::paper_defaults(true, 1))
             .unwrap();
-        let data = spec(2).generate().unwrap().into_shared();
+        // A hand-built split (provenance stripped) cannot be described as
+        // a scenario, so its session cannot spill.
+        let mut adhoc = spec(2).generate().unwrap();
+        adhoc.provenance = None;
         let ephemeral = hub
-            .create(Engine::builder(data).seed(2).build().unwrap())
+            .create(Engine::builder(adhoc).seed(2).build().unwrap())
             .unwrap();
         let saved = hub.save_all().unwrap();
         assert_eq!(saved, vec![durable]);
@@ -395,6 +374,44 @@ mod tests {
             hub.save(ephemeral),
             Err(ServeError::NotPersistable(id)) if id == ephemeral
         ));
+        // Raw engines over *generated* splits carry provenance in the
+        // data itself, so `create` no longer loses durability.
+        let generated = hub
+            .create(
+                Engine::builder(spec(3).generate().unwrap())
+                    .seed(3)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(hub.save(generated).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_spec_roundtrips_through_the_spill_cycle() {
+        use activedp::{BudgetSchedule, ScenarioSpec};
+        // spec → create_from_spec → snapshot → save → (new hub) load_all →
+        // resume: the spec that comes back out is the one that went in,
+        // schedule and budget included.
+        let dir = unique_tempdir("speccycle");
+        let first = SessionHub::with_spill_dir(1, &dir);
+        let mut spec = ScenarioSpec::new(spec(4));
+        spec.session.seed = 9;
+        spec.schedule = BudgetSchedule::Doubling { cap: 4 };
+        spec.budget = 12;
+        let id = first.create_from_spec(spec.clone()).unwrap();
+        first.run(id, 3).unwrap();
+        first.save(id).unwrap();
+        drop(first);
+
+        let second = SessionHub::with_spill_dir(1, &dir);
+        assert_eq!(second.load_all().unwrap(), vec![id]);
+        let restored = second.snapshot(id).unwrap();
+        assert_eq!(restored.spec, spec);
+        assert_eq!(restored.state.iteration, 3);
+        // And the restored session still serves.
+        second.run(id, 1).unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -9,6 +9,8 @@
 //! |----------------------------------------------------------------|--------------------------------------------|
 //! | `{"cmd":"create","dataset":"Youtube","scale":"tiny",`           | `{"ok":true,"session":0}`                  |
 //! | ` "data_seed":7,"seed":5[,"parallel":false]}`                   |                                            |
+//! | `{"cmd":"create_spec","spec":{"dataset":{…},"session":{…},`     | `{"ok":true,"session":0}`                  |
+//! | ` "schedule":{…},"budget":64}}` (see [`crate::spec_json`])      |                                            |
 //! | `{"cmd":"open","session":0}`                                    | `{"ok":true,"session":0,"iteration":8,...}`|
 //! | `{"cmd":"step","session":0}`                                    | `{"ok":true,"iteration":1,"query":88,...}` |
 //! | `{"cmd":"step_batch","session":0,"k":5}`                        | `{"ok":true,"outcomes":[…]}`               |
@@ -27,7 +29,8 @@
 
 use crate::hub::{ServeError, SessionHub, SessionId};
 use crate::json::Json;
-use activedp::{SessionConfig, StepOutcome};
+use crate::spec_json::scenario_from_json;
+use activedp::{ScenarioSpec, StepOutcome};
 use adp_data::{DatasetId, DatasetSpec, Scale};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -86,6 +89,9 @@ fn dispatch(hub: &SessionHub, request: &Json) -> Result<Json, String> {
         .ok_or("\"cmd\" must be a string")?;
     match cmd {
         "create" => {
+            // The flat per-field form, kept for simple clients; it is
+            // sugar that assembles the same ScenarioSpec `create_spec`
+            // takes whole.
             let dataset = field(request, "dataset")?
                 .as_str()
                 .ok_or("\"dataset\" must be a string")?;
@@ -98,16 +104,23 @@ fn dispatch(hub: &SessionHub, request: &Json) -> Result<Json, String> {
                 .ok_or_else(|| format!("unknown scale {scale_name:?}"))?;
             let data_seed = u64_field(request, "data_seed")?;
             let seed = u64_field(request, "seed")?;
-            let mut config = SessionConfig::paper_defaults(id.is_textual(), seed);
-            if let Some(parallel) = request.get("parallel") {
-                config.parallel = parallel.as_bool().ok_or("\"parallel\" must be a boolean")?;
-            }
-            let spec = DatasetSpec {
+            let mut spec = ScenarioSpec::new(DatasetSpec {
                 id,
                 scale,
                 seed: data_seed,
-            };
-            let session = hub.open_spec(spec, config).map_err(serve_err)?;
+            });
+            spec.session.seed = seed;
+            if let Some(parallel) = request.get("parallel") {
+                spec.session.parallel =
+                    parallel.as_bool().ok_or("\"parallel\" must be a boolean")?;
+            }
+            let session = hub.create_from_spec(spec).map_err(serve_err)?;
+            Ok(ok_reply([("session", Json::int(session.raw()))]))
+        }
+        "create_spec" => {
+            // The declarative form: one JSON ScenarioSpec, verbatim.
+            let spec = scenario_from_json(field(request, "spec")?)?;
+            let session = hub.create_from_spec(spec).map_err(serve_err)?;
             Ok(ok_reply([("session", Json::int(session.raw()))]))
         }
         "open" => {
@@ -370,6 +383,39 @@ mod tests {
             .as_str()
             .unwrap()
             .contains("unknown"));
+    }
+
+    #[test]
+    fn create_spec_builds_the_described_session() {
+        let hub = hub();
+        // A declarative batch-16 QBC session, straight from JSON.
+        let reply = handle_line(
+            &hub,
+            r#"{"cmd":"create_spec","spec":{
+                "dataset":{"id":"youtube","scale":"tiny","seed":7},
+                "session":{"seed":5,"sampler":"QBC","parallel":false},
+                "schedule":{"kind":"fixed_batch","k":4},
+                "budget":8}}"#,
+        );
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true), "{reply}");
+        let session = reply.get("session").unwrap().as_u64().unwrap();
+        let step = handle_line(&hub, &format!(r#"{{"cmd":"step","session":{session}}}"#));
+        assert_eq!(step.get("ok").unwrap().as_bool(), Some(true));
+
+        // Invalid specs die at validation, before any id is allocated.
+        for bad in [
+            r#"{"cmd":"create_spec","spec":{
+                "dataset":{"id":"youtube","scale":"tiny","seed":7},
+                "schedule":{"kind":"fixed_batch","k":0}}}"#,
+            r#"{"cmd":"create_spec","spec":{
+                "dataset":{"id":"youtube","scale":"tiny","seed":7},
+                "session":{"sampler":"oracle"}}}"#,
+            r#"{"cmd":"create_spec"}"#,
+        ] {
+            let reply = handle_line(&hub, bad);
+            assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false), "{bad}");
+        }
+        assert_eq!(hub.session_count(), 1);
     }
 
     #[test]

@@ -169,6 +169,32 @@ fn one_connection_can_multiplex_sessions_and_batches() {
 }
 
 #[test]
+fn create_spec_over_the_wire_matches_the_flat_create() {
+    use activedp::ScenarioSpec;
+    use adp_data::{DatasetSpec, Scale};
+    // The declarative request and the flat per-field one route through the
+    // same hub path, so two sessions created either way from the same
+    // description serve identical trajectories.
+    let server = Server::bind("127.0.0.1:0", Arc::new(SessionHub::new(2))).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut spec = ScenarioSpec::new(DatasetSpec {
+        id: DATASET.parse().unwrap(),
+        scale: Scale::Tiny,
+        seed: DATA_SEED,
+    });
+    spec.session.seed = 5;
+    let declarative = client.create_spec(&spec).unwrap();
+    let flat = client.create(DATASET, "tiny", DATA_SEED, 5, None).unwrap();
+    assert_ne!(declarative, flat);
+    let a = client.step_batch(declarative, 5).unwrap();
+    let b = client.step_batch(flat, 5).unwrap();
+    assert_eq!(a, b);
+    let ea = client.evaluate(declarative).unwrap();
+    let eb = client.evaluate(flat).unwrap();
+    assert_eq!(ea.test_accuracy.to_bits(), eb.test_accuracy.to_bits());
+}
+
+#[test]
 fn protocol_errors_do_not_poison_the_connection() {
     let server = Server::bind("127.0.0.1:0", Arc::new(SessionHub::new(1))).unwrap();
     let mut client = Client::connect(server.addr()).unwrap();

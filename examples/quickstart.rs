@@ -8,14 +8,30 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use activedp_repro::core::Engine;
-use activedp_repro::data::{generate, DatasetId, Scale};
+use activedp_repro::core::{Engine, ScenarioSpec};
+use activedp_repro::data::{DatasetId, DatasetSpec, Scale};
 
 fn main() {
-    // A small instance of the Youtube spam dataset (Table 2, scaled down).
-    let data = generate(DatasetId::Youtube, Scale::Tiny, 7)
-        .expect("dataset generates")
-        .into_shared();
+    // A complete run as one plain-data description: a small instance of
+    // the Youtube spam dataset (Table 2, scaled down), the paper's
+    // configuration for its modality (text: ADP sampler with α = 0.5,
+    // triplet label model, LabelPick + ConFusion enabled), the paper's
+    // one-query-per-refit schedule, and a 40-query budget. The spec
+    // serializes (`to_bytes()` / the serving layer's JSON) and fully
+    // determines the trajectory.
+    let mut spec = ScenarioSpec::new(DatasetSpec {
+        id: DatasetId::Youtube,
+        scale: Scale::Tiny,
+        seed: 7,
+    });
+    spec.session.seed = 7;
+    spec.budget = 40;
+
+    // The one true constructor: spec → engine (the dataset regenerates
+    // from the spec's provenance; `Engine::builder(data)` remains the
+    // ergonomic layer over the same assembly).
+    let mut session = Engine::from_spec(spec).expect("engine builds");
+    let data = session.shared_data();
     println!(
         "dataset: {} — {} train / {} valid / {} test",
         data.name(),
@@ -24,20 +40,11 @@ fn main() {
         data.test.len()
     );
 
-    // The builder starts from the paper's configuration for the dataset's
-    // modality (here text: ADP sampler with α = 0.5, triplet label model,
-    // LabelPick + ConFusion enabled) and validates at build time. The
-    // engine owns a handle to the dataset, so the `data` Arc stays usable
-    // below.
-    let mut session = Engine::builder(data.clone())
-        .seed(7)
-        .build()
-        .expect("engine builds");
-
-    // Training phase (Figure 1, left): each step picks a query instance,
-    // asks the user for an LF, and refits both models.
-    for _ in 0..40 {
-        let outcome = session.step().expect("step succeeds");
+    // Training phase (Figure 1, left): spend the budget under the spec's
+    // schedule. Each iteration picks a query instance, asks the user for
+    // an LF, and (at each schedule boundary — here every query) refits
+    // both models.
+    for outcome in session.run_schedule().expect("schedule runs") {
         if let (Some(query), Some(lf)) = (outcome.query, &outcome.lf) {
             if outcome.iteration % 10 == 0 {
                 println!(

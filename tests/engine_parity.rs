@@ -215,6 +215,78 @@ fn step_batch_is_deterministic_for_any_k() {
     assert_eq!(run(3), run(3));
 }
 
+/// Schedule parity, part 1: `run_schedule` under the default `FixedStep`
+/// schedule is the golden `step()` loop — same queries, same LF picks,
+/// same LabelPick trajectory, bitwise-identical final metrics.
+#[test]
+fn run_schedule_fixed_step_matches_golden_trajectory() {
+    let (data, cfg) = fixture();
+    let mut engine = Engine::builder(data)
+        .config(cfg)
+        .budget(ITERS)
+        .build()
+        .unwrap();
+    assert_eq!(
+        *engine.schedule(),
+        activedp_repro::core::BudgetSchedule::FixedStep
+    );
+    let outcomes = engine.run_schedule().unwrap();
+    assert_eq!(outcomes.len(), ITERS);
+    let queries: Vec<_> = outcomes.iter().map(|o| o.query).collect();
+    let lf_keys: Vec<_> = outcomes
+        .iter()
+        .map(|o| o.lf.as_ref().map(|lf| format!("{:?}", lf.key())))
+        .collect();
+    let n_selected: Vec<_> = outcomes.iter().map(|o| o.n_selected).collect();
+    assert_golden_trajectory(&queries, &lf_keys, &n_selected);
+    assert_eq!(engine.state().selected, GOLDEN_SELECTED);
+    let report = engine.evaluate_downstream().unwrap();
+    assert_eq!(
+        report.test_accuracy.to_bits(),
+        GOLDEN_TEST_ACCURACY.to_bits()
+    );
+    assert_eq!(
+        report.label_coverage.to_bits(),
+        GOLDEN_LABEL_COVERAGE.to_bits()
+    );
+    let tau = report.threshold.expect("ConFusion enabled");
+    assert_eq!(tau.to_bits(), GOLDEN_THRESHOLD.to_bits());
+    // The budget is respected exactly: a second call is a no-op.
+    assert!(engine.run_schedule().unwrap().is_empty());
+    assert_eq!(engine.state().iteration, ITERS);
+}
+
+/// Schedule parity, part 2: `FixedBatch{k: 1}` is `FixedStep` — identical
+/// outcome stream and bitwise-identical post-run snapshots (which pin the
+/// probability caches and both RNG streams, not just the metrics).
+#[test]
+fn run_schedule_fixed_batch_one_equals_fixed_step() {
+    use activedp_repro::core::BudgetSchedule;
+    let run = |schedule: BudgetSchedule| {
+        let (data, cfg) = fixture();
+        let mut engine = Engine::builder(data)
+            .config(cfg)
+            .schedule(schedule)
+            .budget(ITERS)
+            .build()
+            .unwrap();
+        let outcomes = engine.run_schedule().unwrap();
+        let fingerprint: Vec<_> = outcomes
+            .iter()
+            .map(|o| (o.iteration, o.query, o.n_lfs, o.n_selected))
+            .collect();
+        let mut snapshot = engine.snapshot().unwrap();
+        // The schedule is (rightly) part of the spec the snapshot embeds;
+        // normalise it so the comparison pins the *run state* alone.
+        snapshot.spec.schedule = BudgetSchedule::FixedStep;
+        (fingerprint, snapshot.to_bytes())
+    };
+    assert_eq!(
+        run(BudgetSchedule::FixedStep),
+        run(BudgetSchedule::FixedBatch { k: 1 })
+    );
+}
+
 /// The owned engine is `Send + 'static` — the property the SessionHub and
 /// any registry/thread-pool deployment rely on. Compile-time check.
 #[test]
@@ -327,7 +399,7 @@ fn snapshot_migrates_across_execution_policies() {
             .unwrap();
         e.run(7).unwrap();
         let mut snap = e.snapshot().unwrap();
-        snap.config.parallel = second_parallel;
+        snap.spec.session.parallel = second_parallel;
         let fresh = generate(DatasetId::Youtube, Scale::Tiny, 7)
             .unwrap()
             .into_shared();

@@ -1,0 +1,105 @@
+//! Golden-bytes pin of the scenario wire format.
+//!
+//! `tests/fixtures/scenario_v1.bin` is a committed encoding of a fixed,
+//! fully non-default [`ScenarioSpec`] (Census · reduced · QBC ·
+//! Dawid-Skene · phased schedule). Today's encoder must reproduce it
+//! **byte for byte** — the codec is deterministic and platform-independent
+//! — so any diff is a format change and must come with a deliberate
+//! `SCENARIO_VERSION` bump plus a regenerated fixture, never as an
+//! accident. The spec is the serving protocol's and the snapshot format's
+//! shared vocabulary: silently re-encoding it would orphan every spill
+//! file and every stored sweep description at once.
+//!
+//! Regenerate after an intentional bump with:
+//! `ADP_REGEN_FIXTURES=1 cargo test --test scenario_golden`.
+//!
+//! [`ScenarioSpec`]: activedp_repro::core::ScenarioSpec
+
+use activedp_repro::core::{
+    BudgetSchedule, LabelModelKind, PhaseSegment, SamplerChoice, ScenarioSpec, SCENARIO_VERSION,
+};
+use activedp_repro::data::{DatasetId, DatasetSpec, Scale};
+use std::path::PathBuf;
+
+const FIXTURE: &str = "tests/fixtures/scenario_v1.bin";
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
+}
+
+/// A spec exercising the non-default corners: tabular dataset, custom
+/// scale, QBC + Dawid-Skene, ablations off, noise on, serial execution,
+/// phased schedule.
+fn fixture_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(DatasetSpec {
+        id: DatasetId::Census,
+        scale: Scale::Custom(0.125),
+        seed: 42,
+    });
+    spec.session.seed = 9;
+    spec.session.sampler = SamplerChoice::Qbc;
+    spec.session.label_model = LabelModelKind::DawidSkene;
+    spec.session.use_labelpick = false;
+    spec.session.use_confusion = false;
+    spec.session.noise_rate = 0.1;
+    spec.session.parallel = false;
+    spec.schedule = BudgetSchedule::Phased {
+        segments: vec![
+            PhaseSegment { k: 1, batches: 10 },
+            PhaseSegment { k: 16, batches: 4 },
+        ],
+    };
+    spec.budget = 200;
+    spec
+}
+
+#[test]
+fn encoder_reproduces_the_committed_fixture_byte_for_byte() {
+    let bytes = fixture_spec().to_bytes();
+    if std::env::var_os("ADP_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+        std::fs::write(fixture_path(), &bytes).unwrap();
+        panic!(
+            "fixture regenerated at {} — commit it and re-run without ADP_REGEN_FIXTURES",
+            fixture_path().display()
+        );
+    }
+    let golden = std::fs::read(fixture_path())
+        .expect("fixture file exists (regenerate with ADP_REGEN_FIXTURES=1)");
+    assert_eq!(
+        bytes.len(),
+        golden.len(),
+        "encoded length changed — scenario format drift without a version bump?"
+    );
+    let first_diff = bytes.iter().zip(&golden).position(|(a, b)| a != b);
+    assert_eq!(
+        first_diff, None,
+        "encoded bytes diverge from the committed fixture at offset {first_diff:?} — \
+         bump SCENARIO_VERSION and regenerate deliberately"
+    );
+}
+
+#[test]
+fn committed_fixture_still_decodes_and_validates() {
+    let golden = std::fs::read(fixture_path()).expect("fixture file exists");
+    let spec = ScenarioSpec::from_bytes(&golden).expect("fixture decodes");
+    assert_eq!(spec, fixture_spec());
+    spec.validate().expect("fixture spec is valid");
+}
+
+#[test]
+fn unknown_versions_are_rejected_with_a_typed_error_not_a_panic() {
+    let mut future = fixture_spec().to_bytes();
+    let next = SCENARIO_VERSION + 1;
+    future[8..12].copy_from_slice(&next.to_le_bytes());
+    let err = ScenarioSpec::from_bytes(&future).unwrap_err();
+    match err {
+        activedp_repro::core::ActiveDpError::SnapshotCodec(
+            activedp_repro::wire::WireError::UnknownVersion { found, supported },
+        ) => {
+            assert_eq!(found, next);
+            assert_eq!(supported, SCENARIO_VERSION);
+        }
+        other => panic!("expected UnknownVersion, got {other:?}"),
+    }
+}

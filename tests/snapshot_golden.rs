@@ -1,13 +1,15 @@
 //! Golden-bytes pin of the snapshot wire format.
 //!
-//! `tests/fixtures/snapshot_v1.bin` is a committed encoding of a fixed
+//! `tests/fixtures/snapshot_v2.bin` is a committed encoding of a fixed
 //! mid-run session (Youtube · Tiny · dataset seed 7 · session seed 7 ·
 //! 6 steps). Today's encoder must reproduce it **byte for byte**: the
 //! whole pipeline — dataset generation, trajectory, RNG streams, codec —
 //! is deterministic and platform-independent (explicit little-endian,
 //! sorted key sets), so any diff here is a *format or behaviour change*,
 //! and either must come with a deliberate `SNAPSHOT_VERSION` bump plus a
-//! regenerated fixture — never as an accident.
+//! regenerated fixture — never as an accident. (v1, the pre-scenario
+//! format without embedded dataset provenance, was retired when
+//! `SessionSnapshot` started embedding the full `ScenarioSpec`.)
 //!
 //! Regenerate after an intentional bump with:
 //! `ADP_REGEN_FIXTURES=1 cargo test --test snapshot_golden`.
@@ -16,7 +18,7 @@ use activedp_repro::core::{Engine, SessionConfig, SessionSnapshot, SNAPSHOT_VERS
 use activedp_repro::data::{generate, DatasetId, Scale};
 use std::path::PathBuf;
 
-const FIXTURE: &str = "tests/fixtures/snapshot_v1.bin";
+const FIXTURE: &str = "tests/fixtures/snapshot_v2.bin";
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
@@ -63,10 +65,11 @@ fn committed_fixture_still_decodes_and_resumes() {
     let golden = std::fs::read(fixture_path()).expect("fixture file exists");
     let snapshot = SessionSnapshot::from_bytes(&golden).expect("fixture decodes");
     assert_eq!(snapshot.state.iteration, 6);
-    assert_eq!(snapshot.config.seed, 7);
-    // And it is a *live* artefact: resuming it runs.
-    let data = generate(DatasetId::Youtube, Scale::Tiny, 7).unwrap();
-    let mut engine = Engine::builder(data).resume(snapshot).unwrap();
+    assert_eq!(snapshot.config().seed, 7);
+    assert_eq!(snapshot.spec.dataset.seed, 7);
+    // And it is a *live* artefact: the embedded spec regenerates the
+    // dataset, so the bytes alone resume into a running session.
+    let mut engine = Engine::resume(snapshot).unwrap();
     engine.step().unwrap();
     assert_eq!(engine.state().iteration, 7);
 }
