@@ -108,6 +108,7 @@ impl Framework for RevisingLf<'_> {
                 n_labeled: self.corrections.len(),
                 space: None,
                 seen_lfs: None,
+                candidates: None,
             };
             self.sampler.select(&ctx)
         };

@@ -56,7 +56,7 @@ impl AdpSampler {
 impl Sampler for AdpSampler {
     fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize> {
         let max_h = (ctx.train.n_classes as f64).ln();
-        let pool: Vec<usize> = ctx.unqueried().collect();
+        let pool: Vec<usize> = ctx.candidate_pool();
         let alpha = self.alpha;
         let scores = adp_sampler::score_items(&pool, self.parallel, |&i| {
             let h_al = match ctx.al_probs {
@@ -142,6 +142,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         }
     }
 

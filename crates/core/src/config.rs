@@ -19,6 +19,10 @@ const SEED_STREAM_ORACLE: u64 = 0x5EED_0001;
 /// XOR mask separating the sampler's RNG stream from the master seed.
 const SEED_STREAM_SAMPLER: u64 = 0x5EED_0002;
 
+/// XOR mask separating the candidate index's RNG stream (k-means
+/// initialisation under [`CandidateStrategy::Ann`]) from the master seed.
+const SEED_STREAM_INDEX: u64 = 0x5EED_0003;
+
 /// Which sample selector drives the training loop (Table 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SamplerChoice {
@@ -113,6 +117,124 @@ impl std::str::FromStr for SamplerChoice {
     }
 }
 
+/// How the sampler builds its per-iteration candidate pool.
+///
+/// `Exact` (the default) scores every unqueried instance — the paper's
+/// behaviour, O(pool) per query, bitwise-pinned by the golden trajectory.
+/// `Ann` routes candidate generation through the deterministic IVF index
+/// of the `adp-index` crate: each selection scores only the members of the
+/// `nprobe` inverted lists nearest the current decision boundary, and the
+/// index is rebuilt after every `refresh_every` refits (0 = never refresh)
+/// so the lists track the evolving models. The ANN path only changes
+/// *which instances get scored*, never how; before any model exists it
+/// falls back to exact scoring, so small runs are unaffected.
+///
+/// ```
+/// use activedp::config::CandidateStrategy;
+///
+/// // The default is exact scoring, and names round-trip through FromStr.
+/// assert_eq!(CandidateStrategy::default(), CandidateStrategy::Exact);
+/// let ann: CandidateStrategy = "ann:8,4".parse().unwrap();
+/// assert_eq!(ann, CandidateStrategy::Ann { nprobe: 8, refresh_every: 4 });
+/// assert_eq!(ann.to_string(), "ann:8,4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateStrategy {
+    /// Score the full unqueried pool (paper behaviour).
+    #[default]
+    Exact,
+    /// Score only the IVF candidate set near the decision boundary.
+    Ann {
+        /// Inverted lists probed per selection (the index holds ~√pool
+        /// lists, so `nprobe` of them is a ~`nprobe`/√pool fraction).
+        nprobe: usize,
+        /// Refits between index rebuilds; 0 means build once and keep.
+        refresh_every: usize,
+    },
+}
+
+impl CandidateStrategy {
+    /// `Ann` with the defaults the sweeps use: probe 8 lists, refresh the
+    /// index every 4 refits.
+    pub fn ann() -> Self {
+        CandidateStrategy::Ann {
+            nprobe: 8,
+            refresh_every: 4,
+        }
+    }
+}
+
+impl std::fmt::Display for CandidateStrategy {
+    /// `exact`, or `ann:{nprobe},{refresh_every}` — what
+    /// [`CandidateStrategy::from_str`] parses back.
+    ///
+    /// [`CandidateStrategy::from_str`]: std::str::FromStr::from_str
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CandidateStrategy::Exact => f.write_str("exact"),
+            CandidateStrategy::Ann {
+                nprobe,
+                refresh_every,
+            } => write!(f, "ann:{nprobe},{refresh_every}"),
+        }
+    }
+}
+
+/// A candidate-strategy name that failed to parse; [`Display`] shows the
+/// accepted grammar.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCandidateStrategy {
+    /// The string that failed to parse.
+    pub given: String,
+}
+
+impl std::fmt::Display for UnknownCandidateStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown candidate strategy {:?}; expected exact, ann, or ann:NPROBE[,REFRESH]",
+            self.given
+        )
+    }
+}
+
+impl std::error::Error for UnknownCandidateStrategy {}
+
+impl std::str::FromStr for CandidateStrategy {
+    type Err = UnknownCandidateStrategy;
+
+    /// Parses `exact`, `ann` (defaults), `ann:NPROBE`, or
+    /// `ann:NPROBE,REFRESH`, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let err = || UnknownCandidateStrategy { given: s.into() };
+        match lower.as_str() {
+            "exact" => return Ok(CandidateStrategy::Exact),
+            "ann" => return Ok(CandidateStrategy::ann()),
+            _ => {}
+        }
+        let rest = lower.strip_prefix("ann:").ok_or_else(err)?;
+        let (nprobe, refresh) = match rest.split_once(',') {
+            Some((n, r)) => (n, Some(r)),
+            None => (rest, None),
+        };
+        let nprobe: usize = nprobe.trim().parse().map_err(|_| err())?;
+        let refresh_every: usize = match refresh {
+            Some(r) => r.trim().parse().map_err(|_| err())?,
+            None => 4,
+        };
+        if nprobe == 0 {
+            return Err(err());
+        }
+        Ok(CandidateStrategy::Ann {
+            nprobe,
+            refresh_every,
+        })
+    }
+}
+
 /// Session configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionConfig {
@@ -132,6 +254,10 @@ pub struct SessionConfig {
     pub labelpick: LabelPickConfig,
     /// Query-instance selector.
     pub sampler: SamplerChoice,
+    /// How the selector builds its candidate pool each iteration:
+    /// [`CandidateStrategy::Exact`] (paper behaviour, the default) or the
+    /// sublinear [`CandidateStrategy::Ann`] index path.
+    pub candidates: CandidateStrategy,
     /// AL-model training hyperparameters.
     pub al_logreg: LogRegConfig,
     /// Downstream-model training hyperparameters.
@@ -162,6 +288,7 @@ impl SessionConfig {
             use_confusion: true,
             labelpick: LabelPickConfig::default(),
             sampler: SamplerChoice::Adp,
+            candidates: CandidateStrategy::Exact,
             al_logreg: LogRegConfig::default(),
             downstream_logreg: LogRegConfig {
                 max_iters: 150,
@@ -221,6 +348,12 @@ impl SessionConfig {
         self.seed ^ SEED_STREAM_SAMPLER
     }
 
+    /// Seed of the candidate index's RNG stream (k-means initialisation
+    /// under [`CandidateStrategy::Ann`]), derived from the master seed.
+    pub fn index_seed(&self) -> u64 {
+        self.seed ^ SEED_STREAM_INDEX
+    }
+
     /// The simulated user of §4.1.4 for this configuration: candidate
     /// accuracy threshold and noise rate from the config, RNG seeded from
     /// [`SessionConfig::oracle_seed`].
@@ -250,6 +383,13 @@ impl SessionConfig {
                 reason: format!("noise_rate {} outside [0,1]", self.noise_rate),
             });
         }
+        if let CandidateStrategy::Ann { nprobe, .. } = self.candidates {
+            if nprobe == 0 {
+                return Err(ActiveDpError::BadConfig {
+                    reason: "candidates ann nprobe must be >= 1".into(),
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -263,10 +403,59 @@ mod tests {
         let cfg = SessionConfig::paper_defaults(true, 7);
         assert_eq!(cfg.oracle_seed(), 7 ^ SEED_STREAM_ORACLE);
         assert_eq!(cfg.sampler_seed(), 7 ^ SEED_STREAM_SAMPLER);
+        assert_eq!(cfg.index_seed(), 7 ^ SEED_STREAM_INDEX);
         // The streams never collide with each other or the master seed.
         assert_ne!(cfg.oracle_seed(), cfg.sampler_seed());
+        assert_ne!(cfg.oracle_seed(), cfg.index_seed());
+        assert_ne!(cfg.sampler_seed(), cfg.index_seed());
         assert_ne!(cfg.oracle_seed(), cfg.seed);
         assert_ne!(cfg.sampler_seed(), cfg.seed);
+        assert_ne!(cfg.index_seed(), cfg.seed);
+    }
+
+    #[test]
+    fn candidate_strategies_roundtrip_through_fromstr() {
+        for strat in [
+            CandidateStrategy::Exact,
+            CandidateStrategy::ann(),
+            CandidateStrategy::Ann {
+                nprobe: 3,
+                refresh_every: 0,
+            },
+        ] {
+            assert_eq!(
+                strat.to_string().parse::<CandidateStrategy>().unwrap(),
+                strat
+            );
+        }
+        assert_eq!(
+            "ann".parse::<CandidateStrategy>().unwrap(),
+            CandidateStrategy::ann()
+        );
+        assert_eq!(
+            "ann:5".parse::<CandidateStrategy>().unwrap(),
+            CandidateStrategy::Ann {
+                nprobe: 5,
+                refresh_every: 4
+            }
+        );
+        for bad in ["hnsw", "ann:", "ann:0", "ann:2,x", "exactt"] {
+            let err = bad.parse::<CandidateStrategy>().unwrap_err();
+            assert_eq!(err.given, bad);
+            assert!(err.to_string().contains("ann:NPROBE"), "{err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_nprobe() {
+        let mut cfg = SessionConfig::paper_defaults(true, 7);
+        cfg.candidates = CandidateStrategy::Ann {
+            nprobe: 0,
+            refresh_every: 4,
+        };
+        assert!(cfg.validate().is_err());
+        cfg.candidates = CandidateStrategy::ann();
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -306,6 +306,7 @@ impl Engine {
         let lf = self.querying.query(&self.data, &mut self.state, query)?;
         if lf.is_some() {
             self.training.refit(&self.data, &mut self.state)?;
+            self.sampling.note_refit();
         }
         let outcome = self.outcome(self.state.iteration, Some(query), lf);
         self.notify(std::slice::from_ref(&outcome));
@@ -346,6 +347,7 @@ impl Engine {
         }
         if collected_lf {
             self.training.refit(&self.data, &mut self.state)?;
+            self.sampling.note_refit();
         }
         let outcomes: Vec<StepOutcome> = drawn
             .into_iter()

@@ -56,7 +56,9 @@ pub mod snapshot;
 pub use adp_classifier::LogRegConfig;
 pub use adp_labelmodel::LabelModelKind;
 pub use adp_sampler::AdpSampler;
-pub use config::{SamplerChoice, SessionConfig, UnknownSampler};
+pub use config::{
+    CandidateStrategy, SamplerChoice, SessionConfig, UnknownCandidateStrategy, UnknownSampler,
+};
 pub use confusion::{aggregate, tune_threshold, AggregatedLabels};
 pub use engine::{
     Engine, EngineBuilder, EvalReport, QueryingStage, SamplingStage, SessionState, Stage,

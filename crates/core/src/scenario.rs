@@ -38,7 +38,7 @@
 //! assert_eq!(outcomes.len(), 8); // 8 queries in 2 batches of 4
 //! ```
 
-use crate::config::SessionConfig;
+use crate::config::{CandidateStrategy, SessionConfig};
 use crate::error::ActiveDpError;
 use adp_data::DatasetSpec;
 use adp_wire::{read_envelope, write_envelope, Decode, Encode, Reader, WireError, Writer};
@@ -47,10 +47,19 @@ use adp_wire::{read_envelope, write_envelope, Decode, Encode, Reader, WireError,
 pub const SCENARIO_MAGIC: &[u8; 8] = b"ADPSCEN\0";
 
 /// Current scenario wire-format version. Bump deliberately: the
-/// golden-bytes fixture (`tests/fixtures/scenario_v1.bin`) pins the
-/// encoding, and decoders reject other versions with
-/// [`WireError::UnknownVersion`].
-pub const SCENARIO_VERSION: u32 = 1;
+/// golden-bytes fixture (`tests/fixtures/scenario_v2.bin`) pins the
+/// encoding, and decoders reject *future* versions with
+/// [`WireError::UnknownVersion`]. Prior versions stay decodable: v1
+/// (everything before the candidate strategy; pinned by
+/// `tests/fixtures/scenario_v1.bin`) decodes with
+/// [`CandidateStrategy::Exact`], which is exactly what every v1 spec ran.
+///
+/// [`CandidateStrategy::Exact`]: crate::config::CandidateStrategy::Exact
+pub const SCENARIO_VERSION: u32 = 2;
+
+/// First version carrying [`SessionConfig::candidates`] after the master
+/// seed; older bodies decode with the `Exact` default.
+const SCENARIO_VERSION_CANDIDATES: u32 = 2;
 
 /// Default labelling budget for [`ScenarioSpec::new`] — the reduced
 /// protocol's iteration count (the paper's full protocol uses
@@ -337,18 +346,14 @@ impl ScenarioSpec {
     }
 
     /// Decodes a spec written by [`ScenarioSpec::to_bytes`], rejecting
-    /// foreign magic, other format versions, truncation and trailing bytes
-    /// with typed errors.
+    /// foreign magic, future format versions, truncation and trailing
+    /// bytes with typed errors. Version 1 bodies (pre-candidate-strategy)
+    /// decode with [`CandidateStrategy::Exact`].
+    ///
+    /// [`CandidateStrategy::Exact`]: crate::config::CandidateStrategy::Exact
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ActiveDpError> {
         let (mut r, version) = read_envelope(bytes, SCENARIO_MAGIC, SCENARIO_VERSION)?;
-        if version != SCENARIO_VERSION {
-            return Err(WireError::UnknownVersion {
-                found: version,
-                supported: SCENARIO_VERSION,
-            }
-            .into());
-        }
-        let spec: ScenarioSpec = r.get()?;
+        let spec = dec_spec_body(&mut r, version >= SCENARIO_VERSION_CANDIDATES)?;
         r.finish()?;
         Ok(spec)
     }
@@ -365,13 +370,25 @@ impl Encode for ScenarioSpec {
 
 impl Decode for ScenarioSpec {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(ScenarioSpec {
-            dataset: r.get()?,
-            session: dec_config(r)?,
-            schedule: r.get()?,
-            budget: r.get_usize()?,
-        })
+        dec_spec_body(r, true)
     }
+}
+
+/// Spec body decode with explicit back-compat control: `with_candidates`
+/// is false when the enclosing envelope predates the candidate-strategy
+/// field (scenario v1 / snapshot v2 bodies), in which case the field
+/// defaults to `Exact`. The snapshot codec shares this so both formats
+/// migrate identically.
+pub(crate) fn dec_spec_body(
+    r: &mut Reader<'_>,
+    with_candidates: bool,
+) -> Result<ScenarioSpec, WireError> {
+    Ok(ScenarioSpec {
+        dataset: r.get()?,
+        session: dec_config(r, with_candidates)?,
+        schedule: r.get()?,
+        budget: r.get_usize()?,
+    })
 }
 
 /// [`SessionConfig`] body encoding, shared by the scenario codec and the
@@ -407,9 +424,25 @@ pub(crate) fn enc_config(w: &mut Writer, c: &SessionConfig) {
     enc_logreg(w, &c.downstream_logreg);
     w.put_bool(c.parallel);
     w.put_u64(c.seed);
+    // v2: candidate strategy, appended after the seed so v1 bodies are an
+    // exact prefix of v2 bodies.
+    match c.candidates {
+        CandidateStrategy::Exact => w.put_u8(0),
+        CandidateStrategy::Ann {
+            nprobe,
+            refresh_every,
+        } => {
+            w.put_u8(1);
+            w.put_usize(nprobe);
+            w.put_usize(refresh_every);
+        }
+    }
 }
 
-pub(crate) fn dec_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError> {
+pub(crate) fn dec_config(
+    r: &mut Reader<'_>,
+    with_candidates: bool,
+) -> Result<SessionConfig, WireError> {
     use crate::config::SamplerChoice;
     use crate::labelpick::LabelPickConfig;
     use adp_labelmodel::LabelModelKind;
@@ -455,6 +488,24 @@ pub(crate) fn dec_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError>
     let downstream_logreg = dec_logreg(r)?;
     let parallel = r.get_bool()?;
     let seed = r.get_u64()?;
+    let candidates = if with_candidates {
+        match r.get_u8()? {
+            0 => CandidateStrategy::Exact,
+            1 => CandidateStrategy::Ann {
+                nprobe: r.get_usize()?,
+                refresh_every: r.get_usize()?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "candidate strategy",
+                    tag,
+                })
+            }
+        }
+    } else {
+        // Pre-v2 body: every session scored the full pool.
+        CandidateStrategy::Exact
+    };
     Ok(SessionConfig {
         alpha,
         acc_threshold,
@@ -464,6 +515,7 @@ pub(crate) fn dec_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError>
         use_confusion,
         labelpick,
         sampler,
+        candidates,
         al_logreg,
         downstream_logreg,
         parallel,
@@ -632,10 +684,55 @@ mod tests {
         spec.schedule = BudgetSchedule::Phased {
             segments: vec![PhaseSegment { k: 3, batches: 2 }],
         };
+        spec.session.candidates = CandidateStrategy::Ann {
+            nprobe: 6,
+            refresh_every: 2,
+        };
         let bytes = spec.to_bytes();
         let back = ScenarioSpec::from_bytes(&bytes).unwrap();
         assert_eq!(spec, back);
         assert_eq!(bytes, back.to_bytes());
+    }
+
+    /// Byte offset of the candidate-strategy tag inside an encoded spec:
+    /// the first byte where an `Exact` and an `Ann` encoding of the same
+    /// spec diverge.
+    fn candidate_tag_offset(spec: &ScenarioSpec) -> usize {
+        let exact = spec.to_bytes();
+        let mut ann = spec.clone();
+        ann.session.candidates = CandidateStrategy::ann();
+        exact
+            .iter()
+            .zip(ann.to_bytes())
+            .position(|(a, b)| *a != b)
+            .expect("encodings differ at the tag")
+    }
+
+    #[test]
+    fn v1_bodies_decode_with_exact_candidates() {
+        // A v1 body is a v2 body with the `Exact` tag byte excised (the
+        // field was appended after the seed, inside the config block):
+        // remove it, rewrite the envelope version, and the decoder must
+        // accept the result unchanged.
+        let spec = ScenarioSpec::new(dataset());
+        assert_eq!(spec.session.candidates, CandidateStrategy::Exact);
+        let tag_at = candidate_tag_offset(&spec);
+        let mut bytes = spec.to_bytes();
+        assert_eq!(bytes.remove(tag_at), 0, "the Exact tag");
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let back = ScenarioSpec::from_bytes(&bytes).expect("v1 decodes");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn candidate_tag_is_not_read_from_v1_bodies() {
+        // The same tag-less body still marked version 2 must fail — the
+        // decoder really does read the extra field only at v2+.
+        let spec = ScenarioSpec::new(dataset());
+        let tag_at = candidate_tag_offset(&spec);
+        let mut bytes = spec.to_bytes();
+        bytes.remove(tag_at);
+        assert!(ScenarioSpec::from_bytes(&bytes).is_err());
     }
 
     #[test]

@@ -46,10 +46,20 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ADPSNAP\0";
 
 /// Current snapshot format version. Bumped to 2 when snapshots started
 /// embedding the whole [`ScenarioSpec`] (dataset provenance and budget
-/// schedule included) instead of a bare session config. Bump deliberately:
-/// the golden-bytes test pins the encoding, and decoders reject other
-/// versions with [`WireError::UnknownVersion`].
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// schedule included) instead of a bare session config, and to 3 when the
+/// embedded spec gained the candidate strategy. Bump deliberately: the
+/// golden-bytes test pins the encoding, and decoders reject *future*
+/// versions with [`WireError::UnknownVersion`]. v2 spill files stay
+/// decodable (their specs ran exact scoring, so the strategy defaults to
+/// `Exact`); the pre-scenario v1 remains rejected.
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// First version whose embedded spec body carries the candidate strategy.
+const SNAPSHOT_VERSION_CANDIDATES: u32 = 3;
+
+/// Oldest decodable version: v1 predates embedded scenario specs and was
+/// deliberately never migrated (see the module docs).
+const SNAPSHOT_VERSION_MIN: u32 = 2;
 
 /// Everything needed to resume a session exactly where it stopped, as
 /// plain data (see the module docs for why this is sufficient).
@@ -91,14 +101,14 @@ impl SessionSnapshot {
     /// the decoder or yield a half-restored session.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ActiveDpError> {
         let (mut r, version) = read_envelope(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
-        if version != SNAPSHOT_VERSION {
+        if version < SNAPSHOT_VERSION_MIN {
             return Err(WireError::UnknownVersion {
                 found: version,
                 supported: SNAPSHOT_VERSION,
             }
             .into());
         }
-        let spec: ScenarioSpec = r.get()?;
+        let spec = crate::scenario::dec_spec_body(&mut r, version >= SNAPSHOT_VERSION_CANDIDATES)?;
         let state = dec_state(&mut r)?;
         let sampler_rng: [u64; 4] = r.get()?;
         let oracle_rng: [u64; 4] = r.get()?;

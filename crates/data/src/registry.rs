@@ -156,14 +156,14 @@ impl std::str::FromStr for Scale {
             return Ok(named);
         }
         if let Some(factor) = s.strip_prefix('x').and_then(|f| f.parse::<f64>().ok()) {
-            if factor > 0.0 && factor <= 1.0 {
+            if factor > 0.0 && factor <= 64.0 {
                 return Ok(Scale::Custom(factor));
             }
         }
         Err(DataError::UnknownName {
             what: "scale",
             given: s.to_string(),
-            expected: "paper, reduced, tiny, x<factor in (0,1]>".into(),
+            expected: "paper, reduced, tiny, x<factor in (0,64]>".into(),
         })
     }
 }
@@ -177,7 +177,9 @@ pub enum Scale {
     Reduced,
     /// ≈3% of paper scale; used by unit/integration tests and benches.
     Tiny,
-    /// Custom multiplier in (0, 1].
+    /// Custom multiplier in (0, 64]. Factors above 1 upscale past the
+    /// paper's sizes — e.g. `x25` on a ~40k-train dataset is a
+    /// million-instance pool for stressing the sublinear sampler path.
     Custom(f64),
 }
 
@@ -259,9 +261,9 @@ impl DatasetSpec {
 pub fn generate(id: DatasetId, scale: Scale, seed: u64) -> Result<SplitDataset, DataError> {
     let provenance = DatasetSpec { id, scale, seed };
     let f = scale.factor();
-    if !(f > 0.0 && f <= 1.0) {
+    if !(f > 0.0 && f <= 64.0) {
         return Err(DataError::InvalidSpec {
-            reason: format!("scale factor {f} outside (0, 1]"),
+            reason: format!("scale factor {f} outside (0, 64]"),
         });
     }
     let (tr, va, te) = id.paper_sizes();
@@ -472,8 +474,16 @@ mod tests {
     fn scale_factors() {
         assert_eq!(Scale::Paper.factor(), 1.0);
         assert!(Scale::Tiny.factor() < Scale::Reduced.factor());
-        assert!(generate(DatasetId::Youtube, Scale::Custom(2.0), 0).is_err());
+        assert!(generate(DatasetId::Youtube, Scale::Custom(65.0), 0).is_err());
         assert!(generate(DatasetId::Youtube, Scale::Custom(0.0), 0).is_err());
+    }
+
+    #[test]
+    fn upscaling_factors_grow_the_pool_past_paper_size() {
+        let (paper_train, _, _) = DatasetId::Youtube.paper_sizes();
+        let ds = generate(DatasetId::Youtube, Scale::Custom(2.0), 0).unwrap();
+        assert_eq!(ds.train.len(), paper_train * 2);
+        ds.validate().unwrap();
     }
 
     #[test]
@@ -543,7 +553,8 @@ mod tests {
         assert_eq!("TINY".parse::<Scale>().unwrap(), Scale::Tiny);
         assert_eq!("x0.125".parse::<Scale>().unwrap(), Scale::Custom(0.125));
         assert_eq!(Scale::Custom(0.125).to_string(), "x0.125");
-        assert!("x2.0".parse::<Scale>().is_err());
+        assert_eq!("x2.0".parse::<Scale>().unwrap(), Scale::Custom(2.0));
+        assert!("x65".parse::<Scale>().is_err());
         assert!("galactic".parse::<Scale>().is_err());
     }
 

@@ -63,63 +63,70 @@ impl TabularSpec {
 ///
 /// Features are z-scored with training-split statistics (the standard
 /// pipeline); stump thresholds therefore live in standardised space too.
+///
+/// Rows stream directly into their split's matrix: peak memory is the
+/// three matrices the splits keep anyway, with no `total × d` staging
+/// buffer and no per-split submatrix copies. That is what makes
+/// million-instance pools (`Scale::Custom` factors above 1) practical.
+/// The draw order is row-major over the concatenated splits — the same
+/// order the buffered implementation used — so outputs are bitwise
+/// unchanged.
 pub fn generate_tabular(spec: &TabularSpec, seed: u64) -> Result<SplitDataset, DataError> {
     spec.validate()?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let d = spec.separations.len();
-    let total = spec.n_train + spec.n_valid + spec.n_test;
+    let n_train = spec.n_train;
 
-    let mut x = Matrix::zeros(total, d);
-    let mut labels = Vec::with_capacity(total);
-    for i in 0..total {
-        let y = usize::from(rng.gen::<f64>() < spec.class_balance);
-        let sign = if y == 1 { 0.5 } else { -0.5 };
-        for (j, &sep) in spec.separations.iter().enumerate() {
-            x[(i, j)] = sign * sep + sample_standard_normal(&mut rng);
+    let sizes = [n_train, spec.n_valid, spec.n_test];
+    let mut xs = sizes.map(|n| Matrix::zeros(n, d));
+    let mut labels = sizes.map(Vec::with_capacity);
+    for (x, labels) in xs.iter_mut().zip(labels.iter_mut()) {
+        for i in 0..x.nrows() {
+            let y = usize::from(rng.gen::<f64>() < spec.class_balance);
+            let sign = if y == 1 { 0.5 } else { -0.5 };
+            for (j, &sep) in spec.separations.iter().enumerate() {
+                x[(i, j)] = sign * sep + sample_standard_normal(&mut rng);
+            }
+            let observed = if rng.gen::<f64>() < spec.label_noise {
+                1 - y
+            } else {
+                y
+            };
+            labels.push(observed);
         }
-        let observed = if rng.gen::<f64>() < spec.label_noise {
-            1 - y
-        } else {
-            y
-        };
-        labels.push(observed);
     }
 
-    // Standardise with train statistics.
-    let n_train = spec.n_train;
+    // Standardise every split with train statistics. Element-wise, so
+    // visiting the splits one matrix at a time changes nothing.
     for j in 0..d {
-        let col: Vec<f64> = (0..n_train).map(|i| x[(i, j)]).collect();
+        let col: Vec<f64> = (0..n_train).map(|i| xs[0][(i, j)]).collect();
         let mu = adp_linalg::mean(&col);
         let sd = adp_linalg::variance(&col).sqrt().max(1e-12);
-        for i in 0..total {
-            x[(i, j)] = (x[(i, j)] - mu) / sd;
+        for x in &mut xs {
+            for i in 0..x.nrows() {
+                x[(i, j)] = (x[(i, j)] - mu) / sd;
+            }
         }
     }
 
-    let make = |rows: std::ops::Range<usize>, labels: &[usize]| -> Dataset {
-        let idx: Vec<usize> = rows.collect();
-        let sub = x.submatrix(&idx, &(0..d).collect::<Vec<_>>());
+    let make = |x: Matrix, labels: Vec<usize>| -> Dataset {
         Dataset {
             name: spec.name.clone(),
             task: spec.task,
             n_classes: 2,
-            features: FeatureSet::Dense(sub),
-            labels: labels.to_vec(),
+            features: FeatureSet::Dense(x),
+            labels,
             texts: None,
             encoded_docs: None,
         }
     };
 
+    let [train_x, valid_x, test_x] = xs;
+    let [train_l, valid_l, test_l] = labels;
     let split = SplitDataset {
-        train: make(0..n_train, &labels[..n_train]),
-        valid: make(
-            n_train..n_train + spec.n_valid,
-            &labels[n_train..n_train + spec.n_valid],
-        ),
-        test: make(
-            n_train + spec.n_valid..total,
-            &labels[n_train + spec.n_valid..],
-        ),
+        train: make(train_x, train_l),
+        valid: make(valid_x, valid_l),
+        test: make(test_x, test_l),
         vocab: None,
         provenance: None,
     };
@@ -225,6 +232,54 @@ mod tests {
         let ds = generate_tabular(&s, 6).unwrap();
         let b = ds.train.class_balance();
         assert!((b[1] - 0.25).abs() < 0.07, "balance {:?}", b);
+    }
+
+    /// Bit patterns captured from the buffered (`total × d` staging
+    /// matrix + submatrix copies) implementation this generator replaced.
+    /// Streaming straight into the per-split matrices must not move a
+    /// single bit, or every committed fixture and golden trajectory over
+    /// tabular data silently shifts.
+    #[test]
+    fn streaming_matches_the_buffered_generator_bit_for_bit() {
+        let ds = generate_tabular(&small_spec(), 1).unwrap();
+        let tr = ds.train.features.as_dense();
+        assert_eq!(tr[(0, 0)].to_bits(), 0xbfd3_efd6_8e02_2b51);
+        assert_eq!(tr[(399, 2)].to_bits(), 0x3ff2_278e_489d_59e6);
+        assert_eq!(
+            ds.valid.features.as_dense()[(0, 0)].to_bits(),
+            0x3fee_90b1_25d8_1d20
+        );
+        assert_eq!(
+            ds.test.features.as_dense()[(79, 1)].to_bits(),
+            0x3fe0_a591_7ffb_ac60
+        );
+        assert_eq!(&ds.train.labels[..8], &[0, 1, 0, 1, 0, 1, 1, 1]);
+        assert_eq!(ds.valid.labels[0], 1);
+        assert_eq!(ds.test.labels[0], 1);
+    }
+
+    /// The point of streaming: a million-instance pool generates without a
+    /// `total × d` staging buffer. Heavy (~10⁷ normal draws), so ignored by
+    /// default; run with `cargo test -p adp-data -- --ignored`.
+    #[test]
+    #[ignore = "heavy: generates a million-instance pool"]
+    fn million_instance_pools_generate() {
+        let spec = TabularSpec {
+            name: "mega-tab".into(),
+            task: Task::OccupancyPrediction,
+            n_train: 1_000_000,
+            n_valid: 10_000,
+            n_test: 10_000,
+            class_balance: 0.5,
+            separations: vec![2.5, 2.0, 1.5, 0.0, 0.0, 0.0, 0.0, 0.0],
+            label_noise: 0.01,
+        };
+        let ds = generate_tabular(&spec, 11).unwrap();
+        assert_eq!(ds.train.len(), 1_000_000);
+        let m = ds.train.features.as_dense();
+        let col = m.col(0);
+        assert!(adp_linalg::mean(&col).abs() < 1e-9);
+        assert!((adp_linalg::variance(&col) - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -137,9 +137,10 @@ impl Default for SweepOpts {
 impl SweepOpts {
     /// Parses `--dataset <name>`*, `--scale <name>`, `--data-seed N`,
     /// `--sampler <name>`*, `--label-model <name>`*, `--k N`*,
-    /// `--budget N`, `--seeds N`, `--out DIR` (`*` = repeatable, replacing
-    /// that axis's default). Unknown names abort with the typed errors'
-    /// valid-option lists.
+    /// `--budget N`, `--seeds N`,
+    /// `--candidates <exact|ann:NPROBE[,REFRESH]>`, `--out DIR`
+    /// (`*` = repeatable, replacing that axis's default). Unknown names
+    /// abort with the typed errors' valid-option lists.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<SweepOpts, String> {
         let mut opts = SweepOpts::default();
         let mut datasets: Vec<DatasetId> = Vec::new();
@@ -190,12 +191,17 @@ impl SweepOpts {
                     }
                     opts.grid.seeds = (1..=seeds).collect();
                 }
+                "--candidates" => {
+                    opts.grid.candidates = value("--candidates")?
+                        .parse()
+                        .map_err(|e: activedp::UnknownCandidateStrategy| e.to_string())?;
+                }
                 "--out" => opts.out_dir = value("--out")?,
                 other => {
                     return Err(format!(
                         "unknown flag {other}; supported: --dataset <name> --scale <name> \
                          --data-seed N --sampler <name> --label-model <name> --k N \
-                         --budget N --seeds N --out DIR"
+                         --budget N --seeds N --candidates <exact|ann:NPROBE[,REFRESH]> --out DIR"
                     ));
                 }
             }
@@ -320,6 +326,8 @@ mod tests {
             "12",
             "--seeds",
             "3",
+            "--candidates",
+            "ann:6,2",
             "--out",
             "/tmp/sweep",
         ])
@@ -333,6 +341,13 @@ mod tests {
         assert_eq!(opts.grid.ks, vec![2]);
         assert_eq!(opts.grid.budget, 12);
         assert_eq!(opts.grid.seeds, vec![1, 2, 3]);
+        assert_eq!(
+            opts.grid.candidates,
+            activedp::CandidateStrategy::Ann {
+                nprobe: 6,
+                refresh_every: 2
+            }
+        );
         assert_eq!(opts.out_dir, "/tmp/sweep");
     }
 
@@ -344,8 +359,18 @@ mod tests {
         assert!(err.contains("Triplet"), "{err}");
         let err = parse_sweep(&["--dataset", "mnist"]).unwrap_err();
         assert!(err.contains("Youtube"), "{err}");
+        let err = parse_sweep(&["--candidates", "hnsw"]).unwrap_err();
+        assert!(err.contains("ann:NPROBE"), "{err}");
         assert!(parse_sweep(&["--k", "0"]).is_err());
         assert!(parse_sweep(&["--seeds", "0"]).is_err());
         assert!(parse_sweep(&["--warp", "9"]).is_err());
+    }
+
+    #[test]
+    fn sweep_default_candidates_are_exact() {
+        assert_eq!(
+            parse_sweep(&[]).unwrap().grid.candidates,
+            activedp::CandidateStrategy::Exact
+        );
     }
 }

@@ -13,7 +13,8 @@
 //! reproduce bit-for-bit (wall-clock aside) across invocations.
 
 use activedp::{
-    ActiveDpError, BudgetSchedule, Engine, LabelModelKind, SamplerChoice, ScenarioSpec,
+    ActiveDpError, BudgetSchedule, CandidateStrategy, Engine, LabelModelKind, SamplerChoice,
+    ScenarioSpec,
 };
 use adp_data::{DatasetId, DatasetSpec, Scale, SharedDataset};
 use std::collections::HashMap;
@@ -37,6 +38,9 @@ pub struct SweepGrid {
     pub budget: usize,
     /// Session seeds each combination averages over.
     pub seeds: Vec<u64>,
+    /// Candidate strategy every run scores with (`Exact` replays the
+    /// paper's loop; `Ann` exercises the sublinear large-pool path).
+    pub candidates: CandidateStrategy,
 }
 
 impl SweepGrid {
@@ -56,6 +60,7 @@ impl SweepGrid {
             ks: vec![1, 4, 16],
             budget: 48,
             seeds: vec![1],
+            candidates: CandidateStrategy::Exact,
         }
     }
 
@@ -91,6 +96,7 @@ impl SweepGrid {
                             spec.session.seed = seed;
                             spec.session.sampler = sampler;
                             spec.session.label_model = label_model;
+                            spec.session.candidates = self.candidates;
                             spec.schedule = if k == 1 {
                                 BudgetSchedule::FixedStep
                             } else {
@@ -256,6 +262,7 @@ mod tests {
             ks: vec![1, 4],
             budget: 6,
             seeds: vec![1],
+            candidates: CandidateStrategy::Exact,
         }
     }
 
@@ -270,10 +277,18 @@ mod tests {
         assert_eq!(specs[0].schedule, BudgetSchedule::FixedStep);
         assert_eq!(specs[1].schedule, BudgetSchedule::FixedBatch { k: 4 });
         assert_eq!(specs[2].session.sampler, SamplerChoice::Adp);
-        // Every spec validates and carries the grid's budget.
+        // Every spec validates and carries the grid's budget and strategy.
         for spec in &specs {
             spec.validate().unwrap();
             assert_eq!(spec.budget, 6);
+            assert_eq!(spec.session.candidates, CandidateStrategy::Exact);
+        }
+
+        // A non-default strategy reaches every spec too.
+        let mut ann_grid = tiny_grid();
+        ann_grid.candidates = CandidateStrategy::ann();
+        for spec in ann_grid.expand() {
+            assert_eq!(spec.session.candidates, CandidateStrategy::ann());
         }
     }
 

@@ -1,0 +1,585 @@
+//! Deterministic IVF candidate index over pool feature vectors.
+//!
+//! ActiveDP's samplers rank the *entire* unlabelled pool every iteration —
+//! O(pool) scoring per query, which caps the reproduction at paper scale.
+//! This crate provides the sublinear path: an inverted-file (IVF) index
+//! whose coarse quantizer is a k-means clustering of the pool, so a sampler
+//! can restrict scoring to the few inverted lists nearest the current
+//! decision boundary instead of the whole pool.
+//!
+//! Everything here is **bitwise deterministic across thread counts**, in
+//! keeping with the workspace-wide contract:
+//!
+//! - k-means initialisation is a seeded partial Fisher–Yates draw of
+//!   distinct rows (one `StdRng` stream, fixed consumption order);
+//! - Lloyd assignment fans out through [`adp_linalg::parallel::map_chunks`]
+//!   (chunk boundaries are a pure function of the row count, results come
+//!   back in chunk order, and each row's nearest-centroid computation is
+//!   independent — no cross-row floating-point reductions);
+//! - centroid accumulation is a serial pass in ascending row order;
+//! - every distance tie breaks toward the smaller index (strict `<`
+//!   comparisons), so assignments, list contents, and query results never
+//!   depend on scheduling.
+//!
+//! The optional feature store ([`StoreKind`]) keeps a flattened copy of the
+//! pool for [`IvfIndex::query`] reranking: `Raw` stores `f64`s, `Quantized`
+//! stores one `u8` per dimension under a per-column min/max affine code —
+//! 8× smaller, which is what lets a million-instance pool's store fit in
+//! memory. With [`StoreKind::None`] the index answers only coarse routing
+//! ([`IvfIndex::nearest_lists`] + [`IvfIndex::list`]), which is all the
+//! engine's candidate-generation path needs.
+//!
+//! ```
+//! use adp_index::{IvfIndex, IvfParams, StoreKind};
+//! use adp_linalg::Matrix;
+//!
+//! // Two well-separated clusters of 2-d points.
+//! let rows: Vec<Vec<f64>> = (0..32)
+//!     .map(|i| {
+//!         let c = if i < 16 { 0.0 } else { 10.0 };
+//!         vec![c + (i % 4) as f64 * 0.01, c - (i % 3) as f64 * 0.01]
+//!     })
+//!     .collect();
+//! let pool = Matrix::from_rows(&rows).unwrap();
+//! let index = IvfIndex::build(
+//!     &pool,
+//!     &IvfParams { nlist: 2, store: StoreKind::Raw, ..IvfParams::default() },
+//! );
+//! // Querying near the second cluster returns members of the second cluster.
+//! let hits = index.query(&[10.0, 10.0], 3, 1);
+//! assert_eq!(hits.len(), 3);
+//! assert!(hits.iter().all(|&i| i >= 16));
+//! ```
+
+use adp_linalg::parallel::{self, Execution};
+use adp_linalg::Features;
+use rand::{Rng, SeedableRng};
+
+/// Rows per scoring chunk for parallel Lloyd assignment. Fixed so chunk
+/// boundaries (and therefore per-chunk work) never depend on thread count.
+const ASSIGN_CHUNK: usize = 1024;
+
+/// Below this many rows the build stays serial; scoped-thread spawn costs
+/// more than it saves.
+const MIN_PARALLEL_BUILD: usize = 4096;
+
+/// Cap on k-means training rows: `KMEANS_TRAIN_FACTOR · nlist` rows are
+/// enough to place centroids; training on a deterministic stride of the
+/// pool keeps million-row builds off the quadratic path.
+const KMEANS_TRAIN_FACTOR: usize = 50;
+
+/// How the index stores pool vectors for [`IvfIndex::query`] reranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// No store: the index only routes (centroids + inverted lists).
+    /// [`IvfIndex::query`] is unavailable; use [`IvfIndex::nearest_lists`]
+    /// and [`IvfIndex::list`]. This is what the engine's candidate path
+    /// uses — it scores candidates through the model, not by distance.
+    #[default]
+    None,
+    /// Full-precision `f64` copy of every row (8 bytes/dim).
+    Raw,
+    /// Scalar quantization: one `u8` per dimension under per-column
+    /// min/max affine coding (1 byte/dim, 8× smaller than `Raw`).
+    /// Reranking decodes on the fly; recall loss is bounded by the code's
+    /// 1/255-of-range resolution per column.
+    Quantized,
+}
+
+/// Build parameters for [`IvfIndex::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvfParams {
+    /// Number of inverted lists (k-means centroids). `0` picks
+    /// `⌈√n⌉`, the usual IVF heuristic.
+    pub nlist: usize,
+    /// Lloyd iterations for the coarse quantizer.
+    pub train_iters: usize,
+    /// Seed for centroid initialisation (one deterministic RNG stream).
+    pub seed: u64,
+    /// Feature storage for query-time reranking.
+    pub store: StoreKind,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams {
+            nlist: 0,
+            train_iters: 8,
+            seed: 0,
+            store: StoreKind::None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Store {
+    None,
+    Raw(Vec<f64>),
+    Quantized {
+        codes: Vec<u8>,
+        lo: Vec<f64>,
+        step: Vec<f64>,
+    },
+}
+
+/// A deterministic IVF index: k-means coarse quantizer + inverted lists,
+/// optionally backed by a (quantized) feature store. See the crate docs
+/// for the determinism contract and an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    dim: usize,
+    n: usize,
+    /// `nlist × dim`, flattened row-major.
+    centroids: Vec<f64>,
+    /// Row ids per list, each ascending (rows are assigned in order).
+    lists: Vec<Vec<usize>>,
+    store: Store,
+}
+
+impl IvfIndex {
+    /// Build over `features` with an automatically sized thread budget
+    /// (serial below a few thousand rows, the process-wide
+    /// `ADP_NUM_THREADS` budget above that).
+    pub fn build<F: Features + ?Sized>(features: &F, params: &IvfParams) -> Self {
+        Self::build_with(
+            features,
+            params,
+            parallel::auto(features.nrows(), MIN_PARALLEL_BUILD),
+        )
+    }
+
+    /// Build with an explicit [`Execution`]. The result is bitwise
+    /// identical for every `exec` — this entry exists so tests can sweep
+    /// thread counts in-process (the env-derived budget is cached once).
+    pub fn build_with<F: Features + ?Sized>(
+        features: &F,
+        params: &IvfParams,
+        exec: Execution,
+    ) -> Self {
+        let n = features.nrows();
+        let dim = features.ncols();
+        if n == 0 || dim == 0 {
+            return IvfIndex {
+                dim,
+                n,
+                centroids: Vec::new(),
+                lists: Vec::new(),
+                store: Store::None,
+            };
+        }
+        let nlist = match params.nlist {
+            0 => ((n as f64).sqrt().ceil() as usize).max(1),
+            k => k,
+        }
+        .min(n);
+
+        // --- Seeded init: nlist distinct rows via partial Fisher-Yates. ---
+        let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        for k in 0..nlist {
+            let j = k + rng.gen_range(0..n - k);
+            order.swap(k, j);
+        }
+        let mut centroids = vec![0.0; nlist * dim];
+        for (c, &row) in order[..nlist].iter().enumerate() {
+            features.row_axpy(row, 1.0, &mut centroids[c * dim..(c + 1) * dim]);
+        }
+
+        // --- Lloyd iterations on a deterministic strided subsample. ---
+        let m = n.min(KMEANS_TRAIN_FACTOR.saturating_mul(nlist)).max(nlist);
+        let train_rows: Vec<usize> = (0..m).map(|t| t * n / m).collect();
+        for _ in 0..params.train_iters {
+            let assign = assign_rows(features, &centroids, dim, &train_rows, exec);
+            // Serial accumulation in ascending subsample order: summation
+            // order is fixed, so centroid floats are scheduling-independent.
+            let mut sums = vec![0.0; nlist * dim];
+            let mut counts = vec![0usize; nlist];
+            for (t, &row) in train_rows.iter().enumerate() {
+                let c = assign[t] as usize;
+                features.row_axpy(row, 1.0, &mut sums[c * dim..(c + 1) * dim]);
+                counts[c] += 1;
+            }
+            for c in 0..nlist {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f64;
+                    for d in 0..dim {
+                        centroids[c * dim + d] = sums[c * dim + d] * inv;
+                    }
+                }
+                // Empty list: keep the previous centroid (deterministic,
+                // and it may capture rows on a later iteration).
+            }
+        }
+
+        // --- Final assignment of every row, lists in ascending row order. ---
+        let all_rows: Vec<usize> = (0..n).collect();
+        let assign = assign_rows(features, &centroids, dim, &all_rows, exec);
+        let mut lists = vec![Vec::new(); nlist];
+        for (row, &c) in assign.iter().enumerate() {
+            lists[c as usize].push(row);
+        }
+
+        let store = build_store(features, params.store, n, dim);
+        IvfIndex {
+            dim,
+            n,
+            centroids,
+            lists,
+            store,
+        }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row ids assigned to list `l`, in ascending order.
+    pub fn list(&self, l: usize) -> &[usize] {
+        &self.lists[l]
+    }
+
+    /// Centroid of list `l`.
+    pub fn centroid(&self, l: usize) -> &[f64] {
+        &self.centroids[l * self.dim..(l + 1) * self.dim]
+    }
+
+    /// The `nprobe` list ids nearest to `q`, nearest first; distance ties
+    /// break toward the smaller list id.
+    pub fn nearest_lists(&self, q: &[f64], nprobe: usize) -> Vec<usize> {
+        assert_eq!(q.len(), self.dim, "query dimensionality mismatch");
+        let mut scored: Vec<(f64, usize)> = (0..self.nlist())
+            .map(|l| (sq_dist(q, self.centroid(l)), l))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        scored.truncate(nprobe);
+        scored.into_iter().map(|(_, l)| l).collect()
+    }
+
+    /// The `k` approximate nearest neighbours of `q`, probing the
+    /// `nprobe` closest inverted lists and exhaustively reranking their
+    /// members from the feature store. Nearest first; distance ties break
+    /// toward the smaller row id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was built with [`StoreKind::None`] (no vectors
+    /// to rerank against) or if `q` has the wrong dimensionality.
+    pub fn query(&self, q: &[f64], k: usize, nprobe: usize) -> Vec<usize> {
+        assert!(
+            !matches!(self.store, Store::None),
+            "query() needs a feature store; build with StoreKind::Raw or StoreKind::Quantized"
+        );
+        let mut hits: Vec<(f64, usize)> = Vec::new();
+        let mut buf = vec![0.0; self.dim];
+        for l in self.nearest_lists(q, nprobe) {
+            for &row in self.list(l) {
+                self.decode_into(row, &mut buf);
+                hits.push((sq_dist(q, &buf), row));
+            }
+        }
+        hits.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        hits.truncate(k);
+        hits.into_iter().map(|(_, row)| row).collect()
+    }
+
+    /// Decode stored row `row` into `out` (which must be `dim` long).
+    fn decode_into(&self, row: usize, out: &mut [f64]) {
+        match &self.store {
+            Store::None => unreachable!("checked by query()"),
+            Store::Raw(flat) => out.copy_from_slice(&flat[row * self.dim..(row + 1) * self.dim]),
+            Store::Quantized { codes, lo, step } => {
+                for d in 0..self.dim {
+                    out[d] = lo[d] + codes[row * self.dim + d] as f64 * step[d];
+                }
+            }
+        }
+    }
+
+    /// Bytes held by the feature store (0 for [`StoreKind::None`]).
+    pub fn store_bytes(&self) -> usize {
+        match &self.store {
+            Store::None => 0,
+            Store::Raw(flat) => flat.len() * std::mem::size_of::<f64>(),
+            Store::Quantized { codes, lo, step } => {
+                codes.len() + (lo.len() + step.len()) * std::mem::size_of::<f64>()
+            }
+        }
+    }
+}
+
+/// Nearest centroid per row (ties toward the smaller centroid id), fanned
+/// out in fixed chunks. Each row's result is independent, so the output is
+/// identical at every thread count.
+fn assign_rows<F: Features + ?Sized>(
+    features: &F,
+    centroids: &[f64],
+    dim: usize,
+    rows: &[usize],
+    exec: Execution,
+) -> Vec<u32> {
+    let nlist = centroids.len() / dim;
+    // For argmin over c of ‖x−c‖² the ‖x‖² term is constant: compare
+    // ‖c‖² − 2⟨x,c⟩ instead, with ‖c‖² hoisted out of the row loop.
+    let c_sq: Vec<f64> = (0..nlist)
+        .map(|c| {
+            let cv = &centroids[c * dim..(c + 1) * dim];
+            cv.iter().map(|v| v * v).sum()
+        })
+        .collect();
+    let chunks = parallel::map_chunks(rows.len(), ASSIGN_CHUNK, exec, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        let mut buf = vec![0.0; dim];
+        for t in range {
+            buf.iter_mut().for_each(|v| *v = 0.0);
+            features.row_axpy(rows[t], 1.0, &mut buf);
+            let mut best = 0u32;
+            let mut best_score = f64::INFINITY;
+            for c in 0..nlist {
+                let dot: f64 = buf
+                    .iter()
+                    .zip(&centroids[c * dim..(c + 1) * dim])
+                    .map(|(x, y)| x * y)
+                    .sum();
+                let score = c_sq[c] - 2.0 * dot;
+                if score < best_score {
+                    best_score = score;
+                    best = c as u32;
+                }
+            }
+            out.push(best);
+        }
+        out
+    });
+    chunks.concat()
+}
+
+fn build_store<F: Features + ?Sized>(features: &F, kind: StoreKind, n: usize, dim: usize) -> Store {
+    match kind {
+        StoreKind::None => Store::None,
+        StoreKind::Raw => {
+            let mut flat = vec![0.0; n * dim];
+            for row in 0..n {
+                features.row_axpy(row, 1.0, &mut flat[row * dim..(row + 1) * dim]);
+            }
+            Store::Raw(flat)
+        }
+        StoreKind::Quantized => {
+            let mut lo = vec![f64::INFINITY; dim];
+            let mut hi = vec![f64::NEG_INFINITY; dim];
+            let mut buf = vec![0.0; dim];
+            for row in 0..n {
+                buf.iter_mut().for_each(|v| *v = 0.0);
+                features.row_axpy(row, 1.0, &mut buf);
+                for d in 0..dim {
+                    lo[d] = lo[d].min(buf[d]);
+                    hi[d] = hi[d].max(buf[d]);
+                }
+            }
+            let step: Vec<f64> = (0..dim)
+                .map(|d| {
+                    let range = hi[d] - lo[d];
+                    if range > 0.0 {
+                        range / 255.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let mut codes = vec![0u8; n * dim];
+            for row in 0..n {
+                buf.iter_mut().for_each(|v| *v = 0.0);
+                features.row_axpy(row, 1.0, &mut buf);
+                for d in 0..dim {
+                    codes[row * dim + d] = if step[d] > 0.0 {
+                        ((buf[d] - lo[d]) / step[d]).round().clamp(0.0, 255.0) as u8
+                    } else {
+                        0
+                    };
+                }
+            }
+            Store::Quantized { codes, lo, step }
+        }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_linalg::Matrix;
+
+    /// `n` points in `k` well-separated planted clusters, deterministic in
+    /// `seed`. Cluster `c` is centred at `10·c` on every axis with ±2
+    /// jitter — wide enough that neighbour ordering is coarser than the
+    /// u8 code's resolution, narrow enough that true neighbours are always
+    /// same-cluster points.
+    fn planted(n: usize, k: usize, dim: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let c = (i % k) as f64;
+                (0..dim)
+                    .map(|_| 10.0 * c + 4.0 * (rng.gen::<f64>() - 0.5))
+                    .collect()
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    fn exact_knn(m: &Matrix, q: &[f64], k: usize) -> Vec<usize> {
+        let mut scored: Vec<(f64, usize)> =
+            (0..m.nrows()).map(|i| (sq_dist(m.row(i), q), i)).collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        scored.truncate(k);
+        scored.into_iter().map(|(_, i)| i).collect()
+    }
+
+    fn recall_at_k(m: &Matrix, index: &IvfIndex, k: usize, nprobe: usize) -> f64 {
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for qi in (0..m.nrows()).step_by(17) {
+            let q = m.row(qi);
+            let truth: std::collections::HashSet<usize> = exact_knn(m, q, k).into_iter().collect();
+            let approx = index.query(q, k, nprobe);
+            hit += approx.iter().filter(|i| truth.contains(i)).count();
+            total += k;
+        }
+        hit as f64 / total as f64
+    }
+
+    #[test]
+    fn recall_on_planted_clusters_beats_point_nine() {
+        let m = planted(600, 6, 8, 3);
+        for store in [StoreKind::Raw, StoreKind::Quantized] {
+            let index = IvfIndex::build(
+                &m,
+                &IvfParams {
+                    nlist: 12,
+                    store,
+                    ..IvfParams::default()
+                },
+            );
+            let r = recall_at_k(&m, &index, 10, 3);
+            assert!(r >= 0.9, "recall@10 = {r} with store {store:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_store_is_eight_times_smaller() {
+        let m = planted(256, 4, 16, 1);
+        let p = IvfParams {
+            nlist: 8,
+            ..IvfParams::default()
+        };
+        let raw = IvfIndex::build(
+            &m,
+            &IvfParams {
+                store: StoreKind::Raw,
+                ..p
+            },
+        );
+        let quant = IvfIndex::build(
+            &m,
+            &IvfParams {
+                store: StoreKind::Quantized,
+                ..p
+            },
+        );
+        assert_eq!(raw.store_bytes(), 256 * 16 * 8);
+        // codes + two f64 tables of dim entries
+        assert_eq!(quant.store_bytes(), 256 * 16 + 2 * 16 * 8);
+    }
+
+    #[test]
+    fn build_and_query_are_bitwise_identical_across_thread_counts() {
+        let m = planted(3000, 5, 6, 9);
+        let params = IvfParams {
+            nlist: 10,
+            store: StoreKind::Quantized,
+            ..IvfParams::default()
+        };
+        let reference = IvfIndex::build_with(&m, &params, Execution::Serial);
+        let ref_lists: Vec<&[usize]> = (0..reference.nlist()).map(|l| reference.list(l)).collect();
+        let ref_query = reference.query(m.row(42), 7, 3);
+        let ref_centroids: Vec<u64> = reference.centroids.iter().map(|v| v.to_bits()).collect();
+        for threads in [1usize, 2, 3, 7] {
+            let index = IvfIndex::build_with(&m, &params, Execution::with_threads(threads));
+            let lists: Vec<&[usize]> = (0..index.nlist()).map(|l| index.list(l)).collect();
+            let centroids: Vec<u64> = index.centroids.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                centroids, ref_centroids,
+                "centroid bits differ at {threads} threads"
+            );
+            assert_eq!(
+                lists, ref_lists,
+                "list contents differ at {threads} threads"
+            );
+            assert_eq!(
+                index.query(m.row(42), 7, 3),
+                ref_query,
+                "query differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn lists_partition_the_pool_in_ascending_order() {
+        let m = planted(500, 4, 4, 7);
+        let index = IvfIndex::build(&m, &IvfParams::default());
+        let mut seen = vec![false; 500];
+        for l in 0..index.nlist() {
+            let list = index.list(l);
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "list {l} not ascending"
+            );
+            for &row in list {
+                assert!(!seen[row], "row {row} in two lists");
+                seen[row] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some rows unassigned");
+    }
+
+    #[test]
+    fn auto_nlist_is_sqrt_n_and_empty_pools_are_fine() {
+        let m = planted(400, 4, 3, 2);
+        let index = IvfIndex::build(&m, &IvfParams::default());
+        assert_eq!(index.nlist(), 20);
+        let empty = IvfIndex::build(&Matrix::zeros(0, 3), &IvfParams::default());
+        assert!(empty.is_empty());
+        assert_eq!(empty.nlist(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature store")]
+    fn query_without_a_store_panics() {
+        let m = planted(64, 2, 3, 0);
+        IvfIndex::build(&m, &IvfParams::default()).query(&[0.0; 3], 1, 1);
+    }
+}

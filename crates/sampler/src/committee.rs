@@ -107,7 +107,7 @@ fn vote_entropy(votes: &[usize], n_classes: usize) -> f64 {
 
 impl Sampler for Committee {
     fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize> {
-        let pool: Vec<usize> = ctx.unqueried().collect();
+        let pool: Vec<usize> = ctx.candidate_pool();
         if pool.is_empty() {
             return None;
         }
@@ -186,6 +186,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         }
     }
 

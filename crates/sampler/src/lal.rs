@@ -317,6 +317,7 @@ mod tests {
             n_labeled: 2,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         let mut lal = Lal::new(2, 5);
         let i = lal.select(&ctx).unwrap();
@@ -350,6 +351,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         let a = Lal::new(4, 3).select(&ctx);
         let b = Lal::new(4, 3).select(&ctx);
@@ -369,6 +371,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         assert_eq!(Lal::new(0, 2).select(&ctx), None);
     }

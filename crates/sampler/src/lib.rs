@@ -99,6 +99,11 @@ pub struct SamplerContext<'a> {
     pub space: Option<&'a CandidateSpace>,
     /// LFs already returned by the user (SEU discounts them).
     pub seen_lfs: Option<&'a HashSet<LfKey>>,
+    /// Restricted candidate set (ascending pool indices) from an
+    /// approximate index, when the engine runs a sublinear candidate
+    /// strategy. `None` means score the full unqueried pool. Samplers
+    /// consume it through [`SamplerContext::candidate_pool`].
+    pub candidates: Option<&'a [usize]>,
 }
 
 impl<'a> SamplerContext<'a> {
@@ -108,6 +113,25 @@ impl<'a> SamplerContext<'a> {
             .iter()
             .enumerate()
             .filter_map(|(i, &q)| (!q).then_some(i))
+    }
+
+    /// The pool a selector should score: the restricted candidate set when
+    /// one is supplied (minus anything queried since it was computed),
+    /// else every unqueried index. Falls back to the full unqueried pool
+    /// when the candidate set has been exhausted by querying, so a stale
+    /// set can narrow the search but never fake pool exhaustion.
+    pub fn candidate_pool(&self) -> Vec<usize> {
+        if let Some(cands) = self.candidates {
+            let pool: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| !self.queried[i])
+                .collect();
+            if !pool.is_empty() {
+                return pool;
+            }
+        }
+        self.unqueried().collect()
     }
 
     /// The "primary" model distribution for instance `i`: the AL model when
@@ -186,6 +210,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         assert_eq!(ctx.unqueried().collect::<Vec<_>>(), vec![0, 2]);
     }
@@ -204,6 +229,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         assert_eq!(ctx.primary_probs(0)[1], 0.9);
         ctx.al_probs = None;

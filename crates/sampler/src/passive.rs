@@ -55,6 +55,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         }
     }
 

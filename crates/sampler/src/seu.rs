@@ -452,6 +452,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         // Token 0 has coverage 3/4 and utility 1.5; doc 1/2 (only token 0)
         // score 1.5; doc 0 mixes token 2 (utility .5) in, lowering the
@@ -472,6 +473,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         assert_eq!(Seu::new(0).select(&ctx), None);
     }

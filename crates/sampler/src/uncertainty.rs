@@ -32,7 +32,7 @@ impl Uncertainty {
 
 impl Sampler for Uncertainty {
     fn select(&mut self, ctx: &SamplerContext<'_>) -> Option<usize> {
-        let pool: Vec<usize> = ctx.unqueried().collect();
+        let pool: Vec<usize> = ctx.candidate_pool();
         let scores = crate::score_items(&pool, self.parallel, |&i| {
             adp_linalg::entropy(&ctx.primary_probs(i))
         });
@@ -92,6 +92,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         assert_eq!(Uncertainty::new(0).select(&ctx), Some(1));
     }
@@ -109,6 +110,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         // Index 1 is most uncertain but already queried; 2 is next.
         assert_eq!(Uncertainty::new(0).select(&ctx), Some(2));
@@ -126,6 +128,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         let a = Uncertainty::new(5).select(&ctx);
         let b = Uncertainty::new(5).select(&ctx);
@@ -150,6 +153,7 @@ mod tests {
             n_labeled: 0,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         assert_eq!(Uncertainty::new(0).select(&ctx), None);
     }

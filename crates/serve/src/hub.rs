@@ -794,10 +794,10 @@ mod tests {
             hub.create_from_spec(bad_alpha),
             Err(ServeError::Engine(ActiveDpError::BadConfig { .. }))
         ));
-        // Ungeneratable dataset spec (scale factor outside (0, 1]).
+        // Ungeneratable dataset spec (scale factor outside (0, 64]).
         let unknown_dataset = ScenarioSpec::new(adp_data::DatasetSpec {
             id: DatasetId::Youtube,
-            scale: Scale::Custom(4.0),
+            scale: Scale::Custom(128.0),
             seed: 1,
         });
         assert!(matches!(

@@ -15,7 +15,8 @@
 //! {"dataset":  {"id": "Youtube", "scale": "tiny", "seed": 7},
 //!  "session":  {"seed": 5, "sampler": "US", "label_model": "DawidSkene",
 //!               "alpha": 0.4, "labelpick": true, "confusion": true,
-//!               "noise_rate": 0.0, "parallel": false},
+//!               "noise_rate": 0.0, "parallel": false,
+//!               "candidates": "ann:8,4"},
 //!  "schedule": {"kind": "fixed_batch", "k": 16},
 //!  "budget":   64}
 //! ```
@@ -23,11 +24,14 @@
 //! Schedule kinds: `"fixed_step"`, `"fixed_batch"` (`k`), `"doubling"`
 //! (`cap`), `"phased"` (`segments: [{"k": …, "batches": …}, …]`). Names
 //! parse through the same `FromStr` impls the CLIs use
-//! ([`SamplerChoice`]/[`LabelModelKind`]/`DatasetId`/`Scale`), so the
-//! valid-option lists in error messages stay in one place.
+//! ([`SamplerChoice`]/[`LabelModelKind`]/`DatasetId`/`Scale`/
+//! [`CandidateStrategy`]), so the valid-option lists in error messages
+//! stay in one place (`"candidates"` is `"exact"`, `"ann"`, or
+//! `"ann:NPROBE[,REFRESH]"`).
 //!
 //! [`SamplerChoice`]: activedp::SamplerChoice
 //! [`LabelModelKind`]: adp_labelmodel::LabelModelKind
+//! [`CandidateStrategy`]: activedp::CandidateStrategy
 
 use crate::json::Json;
 use activedp::{BudgetSchedule, LabelPickConfig, LogRegConfig, PhaseSegment, ScenarioSpec};
@@ -105,6 +109,7 @@ pub fn scenario_to_json(spec: &ScenarioSpec) -> Json {
                 ),
                 ("alpha", Json::Num(spec.session.alpha)),
                 ("acc_threshold", Json::Num(spec.session.acc_threshold)),
+                ("candidates", Json::Str(spec.session.candidates.to_string())),
                 ("labelpick", Json::Bool(spec.session.use_labelpick)),
                 ("confusion", Json::Bool(spec.session.use_confusion)),
                 ("noise_rate", Json::Num(spec.session.noise_rate)),
@@ -230,6 +235,13 @@ pub fn scenario_from_json(v: &Json) -> Result<ScenarioSpec, String> {
             "\"session\"",
             &mut spec.session.acc_threshold,
         )?;
+        if let Some(candidates) = session.get("candidates") {
+            spec.session.candidates = candidates
+                .as_str()
+                .ok_or("\"session.candidates\" must be a string")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+        }
         opt_bool(
             session,
             "labelpick",
@@ -334,6 +346,10 @@ mod tests {
         // Every config field rides the JSON, the nested ones included —
         // the served session must be *exactly* the spec the client holds.
         spec.session.acc_threshold = 0.8;
+        spec.session.candidates = activedp::CandidateStrategy::Ann {
+            nprobe: 6,
+            refresh_every: 2,
+        };
         spec.session.labelpick.rho = 0.25;
         spec.session.labelpick.cap = 17;
         spec.session.al_logreg.l2 = 0.125;
@@ -412,6 +428,14 @@ mod tests {
         .unwrap();
         let err = scenario_from_json(&bad_kind).unwrap_err();
         assert!(err.contains("fixed_batch"), "{err}");
+
+        let bad_candidates = Json::parse(
+            r#"{"dataset":{"id":"youtube","scale":"tiny","seed":1},
+                "session":{"candidates":"hnsw"}}"#,
+        )
+        .unwrap();
+        let err = scenario_from_json(&bad_candidates).unwrap_err();
+        assert!(err.contains("ann:NPROBE"), "{err}");
     }
 
     #[test]

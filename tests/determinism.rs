@@ -411,6 +411,7 @@ fn sampler_selection_serial_matches_parallel() {
                     n_labeled: 0,
                     space: None,
                     seen_lfs: None,
+                    candidates: None,
                 };
                 let pick = s.select(&ctx).unwrap();
                 queried[pick] = true;
@@ -434,6 +435,7 @@ fn sampler_selection_serial_matches_parallel() {
                     n_labeled: 0,
                     space: None,
                     seen_lfs: None,
+                    candidates: None,
                 };
                 let pick = s.select(&ctx).unwrap();
                 queried[pick] = true;
@@ -457,6 +459,7 @@ fn sampler_selection_serial_matches_parallel() {
             n_labeled: 4,
             space: None,
             seen_lfs: None,
+            candidates: None,
         };
         (0..3).map(|_| s.select(&ctx).unwrap()).collect::<Vec<_>>()
     };

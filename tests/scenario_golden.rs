@@ -1,27 +1,39 @@
 //! Golden-bytes pin of the scenario wire format.
 //!
-//! `tests/fixtures/scenario_v1.bin` is a committed encoding of a fixed,
-//! fully non-default [`ScenarioSpec`] (Census · reduced · QBC ·
-//! Dawid-Skene · phased schedule). Today's encoder must reproduce it
-//! **byte for byte** — the codec is deterministic and platform-independent
-//! — so any diff is a format change and must come with a deliberate
-//! `SCENARIO_VERSION` bump plus a regenerated fixture, never as an
-//! accident. The spec is the serving protocol's and the snapshot format's
-//! shared vocabulary: silently re-encoding it would orphan every spill
-//! file and every stored sweep description at once.
+//! `tests/fixtures/scenario_v2.bin` is a committed encoding of a fixed,
+//! fully non-default [`ScenarioSpec`] (Census · custom scale · QBC ·
+//! Dawid-Skene · phased schedule · ANN candidate strategy). Today's
+//! encoder must reproduce it **byte for byte** — the codec is
+//! deterministic and platform-independent — so any diff is a format
+//! change and must come with a deliberate `SCENARIO_VERSION` bump plus a
+//! regenerated fixture, never as an accident. The spec is the serving
+//! protocol's and the snapshot format's shared vocabulary: silently
+//! re-encoding it would orphan every spill file and every stored sweep
+//! description at once.
 //!
-//! Regenerate after an intentional bump with:
+//! `tests/fixtures/scenario_v1.bin` is the same spec in the previous
+//! format (no candidate-strategy field) and pins the back-compat decode
+//! path: v1 bytes must keep decoding, with the strategy defaulting to
+//! `Exact`.
+//!
+//! Regenerate the current fixture after an intentional bump with:
 //! `ADP_REGEN_FIXTURES=1 cargo test --test scenario_golden`.
 //!
 //! [`ScenarioSpec`]: activedp_repro::core::ScenarioSpec
 
 use activedp_repro::core::{
-    BudgetSchedule, LabelModelKind, PhaseSegment, SamplerChoice, ScenarioSpec, SCENARIO_VERSION,
+    BudgetSchedule, CandidateStrategy, LabelModelKind, PhaseSegment, SamplerChoice, ScenarioSpec,
+    SCENARIO_VERSION,
 };
 use activedp_repro::data::{DatasetId, DatasetSpec, Scale};
 use std::path::PathBuf;
 
-const FIXTURE: &str = "tests/fixtures/scenario_v1.bin";
+const FIXTURE: &str = "tests/fixtures/scenario_v2.bin";
+
+/// The previous-format encoding of the same spec (minus the field that
+/// didn't exist), committed when `SCENARIO_VERSION` was 1. Never
+/// regenerated — old bytes don't change.
+const FIXTURE_V1: &str = "tests/fixtures/scenario_v1.bin";
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
@@ -29,8 +41,19 @@ fn fixture_path() -> PathBuf {
 
 /// A spec exercising the non-default corners: tabular dataset, custom
 /// scale, QBC + Dawid-Skene, ablations off, noise on, serial execution,
-/// phased schedule.
+/// phased schedule, ANN candidate strategy.
 fn fixture_spec() -> ScenarioSpec {
+    let mut spec = v1_fixture_spec();
+    spec.session.candidates = CandidateStrategy::Ann {
+        nprobe: 8,
+        refresh_every: 2,
+    };
+    spec
+}
+
+/// What the committed v1 fixture described — everything above except the
+/// candidate strategy, which v1 could not express.
+fn v1_fixture_spec() -> ScenarioSpec {
     let mut spec = ScenarioSpec::new(DatasetSpec {
         id: DatasetId::Census,
         scale: Scale::Custom(0.125),
@@ -85,6 +108,19 @@ fn committed_fixture_still_decodes_and_validates() {
     let spec = ScenarioSpec::from_bytes(&golden).expect("fixture decodes");
     assert_eq!(spec, fixture_spec());
     spec.validate().expect("fixture spec is valid");
+}
+
+#[test]
+fn previous_format_bytes_still_decode_with_exact_candidates() {
+    // The committed v1 bytes predate the candidate-strategy field; they
+    // must keep decoding, with the field at its `Exact` default — exactly
+    // what every v1 spec ran.
+    let old = std::fs::read(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE_V1))
+        .expect("committed v1 fixture exists");
+    let spec = ScenarioSpec::from_bytes(&old).expect("v1 decodes");
+    assert_eq!(spec, v1_fixture_spec());
+    assert_eq!(spec.session.candidates, CandidateStrategy::Exact);
+    spec.validate().expect("v1 fixture spec is valid");
 }
 
 #[test]

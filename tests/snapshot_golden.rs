@@ -1,24 +1,34 @@
 //! Golden-bytes pin of the snapshot wire format.
 //!
-//! `tests/fixtures/snapshot_v2.bin` is a committed encoding of a fixed
+//! `tests/fixtures/snapshot_v3.bin` is a committed encoding of a fixed
 //! mid-run session (Youtube · Tiny · dataset seed 7 · session seed 7 ·
 //! 6 steps). Today's encoder must reproduce it **byte for byte**: the
 //! whole pipeline — dataset generation, trajectory, RNG streams, codec —
 //! is deterministic and platform-independent (explicit little-endian,
 //! sorted key sets), so any diff here is a *format or behaviour change*,
 //! and either must come with a deliberate `SNAPSHOT_VERSION` bump plus a
-//! regenerated fixture — never as an accident. (v1, the pre-scenario
-//! format without embedded dataset provenance, was retired when
-//! `SessionSnapshot` started embedding the full `ScenarioSpec`.)
+//! regenerated fixture — never as an accident.
 //!
-//! Regenerate after an intentional bump with:
+//! `tests/fixtures/snapshot_v2.bin` is the same session in the previous
+//! format (before the spec carried a candidate strategy) and pins the
+//! back-compat decode path: old spill files must keep resuming, with the
+//! strategy defaulting to `Exact`. (v1, the pre-scenario format without
+//! embedded dataset provenance, stays retired.)
+//!
+//! Regenerate the current fixture after an intentional bump with:
 //! `ADP_REGEN_FIXTURES=1 cargo test --test snapshot_golden`.
 
-use activedp_repro::core::{Engine, SessionConfig, SessionSnapshot, SNAPSHOT_VERSION};
+use activedp_repro::core::{
+    CandidateStrategy, Engine, SessionConfig, SessionSnapshot, SNAPSHOT_VERSION,
+};
 use activedp_repro::data::{generate, DatasetId, Scale};
 use std::path::PathBuf;
 
-const FIXTURE: &str = "tests/fixtures/snapshot_v2.bin";
+const FIXTURE: &str = "tests/fixtures/snapshot_v3.bin";
+
+/// The previous-format encoding of the same session, committed when
+/// `SNAPSHOT_VERSION` was 2. Never regenerated — old bytes don't change.
+const FIXTURE_V2: &str = "tests/fixtures/snapshot_v2.bin";
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
@@ -75,6 +85,32 @@ fn committed_fixture_still_decodes_and_resumes() {
 }
 
 #[test]
+fn previous_format_spill_files_still_resume() {
+    // The committed v2 bytes (written before the candidate strategy
+    // existed) must decode with `Exact` — what every v2 session ran — and
+    // resume onto the *identical* trajectory: stepping the resumed session
+    // must reproduce today's same-seed run bit for bit.
+    let old = std::fs::read(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE_V2))
+        .expect("committed v2 fixture exists");
+    let snapshot = SessionSnapshot::from_bytes(&old).expect("v2 decodes");
+    assert_eq!(snapshot.state.iteration, 6);
+    assert_eq!(snapshot.config().candidates, CandidateStrategy::Exact);
+    let mut resumed = Engine::resume(snapshot).unwrap();
+    resumed.step().unwrap();
+    let fresh = {
+        let snapshot = fixture_snapshot();
+        let mut engine = Engine::resume(snapshot).unwrap();
+        engine.step().unwrap();
+        engine
+    };
+    assert_eq!(
+        resumed.snapshot().unwrap().to_bytes(),
+        fresh.snapshot().unwrap().to_bytes(),
+        "a v2 spill file must resume onto today's exact trajectory"
+    );
+}
+
+#[test]
 fn unknown_versions_are_rejected_with_a_typed_error_not_a_panic() {
     let mut future = fixture_snapshot().to_bytes();
     let next = SNAPSHOT_VERSION + 1;
@@ -89,4 +125,8 @@ fn unknown_versions_are_rejected_with_a_typed_error_not_a_panic() {
         }
         other => panic!("expected UnknownVersion, got {other:?}"),
     }
+    // The retired pre-scenario v1 is also still rejected.
+    let mut ancient = fixture_snapshot().to_bytes();
+    ancient[8..12].copy_from_slice(&1u32.to_le_bytes());
+    assert!(SessionSnapshot::from_bytes(&ancient).is_err());
 }
