@@ -195,6 +195,64 @@ fn bench_snapshot_roundtrip(c: &mut Criterion) {
     }
 }
 
+/// The write-ahead log's two hot paths: appending a 1000-event batch
+/// (999 in-batch events plus one fsynced commit — the shape a large
+/// `step_batch` journals) and recovering it (re-open the directory and
+/// decode every event, CRCs checked — the `load_all` tail-replay read).
+fn bench_wal(c: &mut Criterion) {
+    use activedp::{ScenarioSpec, StepEvent};
+    use adp_data::{DatasetSpec, Scale};
+    use adp_lf::LabelFunction;
+    use adp_wal::Journal;
+
+    const EVENTS: usize = 1000;
+    let spec = ScenarioSpec::new(DatasetSpec {
+        id: DatasetId::Youtube,
+        scale: Scale::Tiny,
+        seed: 7,
+    });
+    let events: Vec<StepEvent> = (1..=EVENTS)
+        .map(|iteration| StepEvent {
+            iteration,
+            query: Some(iteration % 512),
+            lf: Some(LabelFunction::Keyword {
+                token: (iteration % 300) as u32,
+                label: iteration % 2,
+            }),
+            sampler_rng: [iteration as u64; 4],
+            oracle_rng: [!(iteration as u64); 4],
+            commit: iteration == EVENTS,
+        })
+        .collect();
+    let dir = std::env::temp_dir().join(format!("adp-wal-bench-{}", std::process::id()));
+
+    c.bench_function("wal_append_1k", |b| {
+        b.iter_batched(
+            || Journal::create(&dir, 1, spec.clone(), 0).expect("journal creates"),
+            |mut journal| {
+                for event in &events {
+                    journal.append(event).expect("appends");
+                }
+                black_box(journal.durable_iteration())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    let mut journal = Journal::create(&dir, 1, spec.clone(), 0).expect("journal creates");
+    for event in &events {
+        journal.append(event).expect("appends");
+    }
+    drop(journal);
+    c.bench_function("wal_replay_1k", |b| {
+        b.iter(|| {
+            let journal = Journal::open(black_box(&dir)).expect("journal opens");
+            black_box(journal.events().expect("events decode").len())
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Expansion of a full-size sweep grid into concrete `ScenarioSpec`s —
 /// the `adp-sweep` planner (8 datasets × 6 samplers × 3 label models ×
 /// 4 schedules × 5 seeds = 2880 specs), plus each spec's wire encoding
@@ -351,6 +409,7 @@ criterion_group!(
         bench_dawid_skene_parallel,
         bench_glasso_sweep_parallel,
         bench_snapshot_roundtrip,
+        bench_wal,
         bench_sweep_expand_grid,
         bench_sampler_pool,
         bench_index_build,

@@ -38,6 +38,7 @@ pub use training::TrainingStage;
 
 use crate::config::SessionConfig;
 use crate::error::ActiveDpError;
+use crate::event::StepEvent;
 use crate::scenario::{BudgetSchedule, ScenarioSpec};
 use adp_data::{DatasetSpec, SharedDataset, SplitDataset};
 use adp_lf::LabelFunction;
@@ -91,6 +92,26 @@ pub struct StepOutcome {
 pub trait StepObserver: Send {
     /// Called once per completed loop iteration.
     fn on_step(&mut self, outcome: &StepOutcome);
+
+    /// Whether this observer also wants replayable [`StepEvent`]s. The
+    /// engine captures events (RNG positions included) only when at least
+    /// one registered observer returns `true`, so plain instrumentation
+    /// observers cost nothing extra. Defaults to `false`.
+    fn wants_events(&self) -> bool {
+        false
+    }
+
+    /// Called once per completed loop iteration with the iteration's
+    /// replayable [`StepEvent`] — after every [`StepObserver::on_step`] of
+    /// the same `step()`/`step_batch()` call — on observers whose
+    /// [`StepObserver::wants_events`] is `true`. This is the journalling
+    /// seam: the `adp-wal` crate's writer is such an observer. Not called
+    /// when the session's oracle exposes no RNG position (see
+    /// [`Oracle::rng_words`](crate::Oracle::rng_words)) — such sessions
+    /// cannot snapshot, so there is no checkpoint to replay from either.
+    fn on_event(&mut self, event: &StepEvent) {
+        let _ = event;
+    }
 }
 
 impl<F: FnMut(&StepOutcome) + Send> StepObserver for F {
@@ -241,6 +262,47 @@ impl Engine {
         EngineBuilder::new(data).resume(snapshot)
     }
 
+    /// Point-in-time recovery: rebuilds the session exactly as it stood at
+    /// commit point `k`, from a `checkpoint` snapshot taken at some
+    /// iteration `j ≤ k` plus the journalled [`StepEvent`]s covering
+    /// `j+1 ..= k`. The result is **bitwise identical** — state, RNG
+    /// streams, and any snapshot taken from it — to an uninterrupted run
+    /// stopped at `k` (pinned by `tests/wal_replay_parity.rs`).
+    ///
+    /// The dataset regenerates from the checkpoint's spec; use
+    /// [`Engine::replay_to_over`] when the split is already in hand.
+    /// `events` may extend beyond `k` (later ones are ignored) and start
+    /// before `j` (covered ones are skipped); gaps, duplicates, targets
+    /// that are not commit points, and events contradicting the folded
+    /// state are [`ActiveDpError::Replay`] errors.
+    pub fn replay_to(
+        checkpoint: &crate::SessionSnapshot,
+        events: &[StepEvent],
+        k: usize,
+    ) -> Result<Engine, ActiveDpError> {
+        let data = checkpoint
+            .spec
+            .dataset
+            .generate()
+            .map_err(|e| ActiveDpError::BadConfig {
+                reason: format!("checkpoint's dataset spec failed to generate: {e}"),
+            })?
+            .into_shared();
+        Engine::replay_to_over(checkpoint, events, k, data)
+    }
+
+    /// [`Engine::replay_to`] over an already-generated split (the serving
+    /// hub's cache-friendly path).
+    pub fn replay_to_over(
+        checkpoint: &crate::SessionSnapshot,
+        events: &[StepEvent],
+        k: usize,
+        data: SharedDataset,
+    ) -> Result<Engine, ActiveDpError> {
+        let synth = crate::replay::replay_snapshot(checkpoint, &data, events, k)?;
+        EngineBuilder::new(data).resume(synth)
+    }
+
     /// The dataset split the engine runs over.
     pub fn data(&self) -> &SplitDataset {
         &self.data
@@ -299,17 +361,22 @@ impl Engine {
             .sampling
             .select(&self.data, self.querying.space(), &mut self.state);
         let Some(query) = query else {
+            let event = self.capture_event(self.state.iteration, None, None, true);
             let outcome = self.outcome(self.state.iteration, None, None);
             self.notify(std::slice::from_ref(&outcome));
+            self.notify_events(event.as_slice());
             return Ok(outcome);
         };
         let lf = self.querying.query(&self.data, &mut self.state, query)?;
+        // RNG positions are already final here: the refit below draws none.
+        let event = self.capture_event(self.state.iteration, Some(query), lf.as_ref(), true);
         if lf.is_some() {
             self.training.refit(&self.data, &mut self.state)?;
             self.sampling.note_refit();
         }
         let outcome = self.outcome(self.state.iteration, Some(query), lf);
         self.notify(std::slice::from_ref(&outcome));
+        self.notify_events(event.as_slice());
         Ok(outcome)
     }
 
@@ -331,6 +398,7 @@ impl Engine {
         // to mean "run to exhaustion".
         let mut drawn: Vec<(usize, Option<usize>, Option<LabelFunction>)> =
             Vec::with_capacity(k.min(self.data.train.len() + 1));
+        let mut events: Vec<StepEvent> = Vec::new();
         let mut collected_lf = false;
         for _ in 0..k {
             self.state.iteration += 1;
@@ -338,22 +406,38 @@ impl Engine {
                 .sampling
                 .select(&self.data, self.querying.space(), &mut self.state);
             let Some(query) = query else {
+                events.extend(self.capture_event(self.state.iteration, None, None, false));
                 drawn.push((self.state.iteration, None, None));
                 break;
             };
             let lf = self.querying.query(&self.data, &mut self.state, query)?;
             collected_lf |= lf.is_some();
+            // Events capture the RNG positions *at this iteration* — the
+            // end-of-batch refit below draws none, so the last event's
+            // positions equal a post-batch snapshot's.
+            events.extend(self.capture_event(
+                self.state.iteration,
+                Some(query),
+                lf.as_ref(),
+                false,
+            ));
             drawn.push((self.state.iteration, Some(query), lf));
         }
         if collected_lf {
             self.training.refit(&self.data, &mut self.state)?;
             self.sampling.note_refit();
         }
+        // Mid-batch state is not resumable (the refit has not run for it);
+        // only the batch's final iteration is a commit point.
+        if let Some(last) = events.last_mut() {
+            last.commit = true;
+        }
         let outcomes: Vec<StepOutcome> = drawn
             .into_iter()
             .map(|(iteration, query, lf)| self.outcome(iteration, query, lf))
             .collect();
         self.notify(&outcomes);
+        self.notify_events(&events);
         Ok(outcomes)
     }
 
@@ -464,6 +548,45 @@ impl Engine {
             }
         }
     }
+
+    /// Whether any registered observer asked for replayable events.
+    fn events_wanted(&self) -> bool {
+        self.observers.iter().any(|o| o.wants_events())
+    }
+
+    /// Builds the [`StepEvent`] for one completed iteration, or `None`
+    /// when no observer wants events or the oracle exposes no RNG
+    /// position.
+    fn capture_event(
+        &self,
+        iteration: usize,
+        query: Option<usize>,
+        lf: Option<&LabelFunction>,
+        commit: bool,
+    ) -> Option<StepEvent> {
+        if !self.events_wanted() {
+            return None;
+        }
+        let oracle_rng = self.querying.oracle_rng_words()?;
+        Some(StepEvent {
+            iteration,
+            query,
+            lf: lf.cloned(),
+            sampler_rng: self.sampling.rng_state(),
+            oracle_rng,
+            commit,
+        })
+    }
+
+    fn notify_events(&mut self, events: &[StepEvent]) {
+        for event in events {
+            for observer in &mut self.observers {
+                if observer.wants_events() {
+                    observer.on_event(event);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -549,6 +672,67 @@ mod tests {
         e.step_batch(3).unwrap();
         let seen: Vec<usize> = rx.try_iter().collect();
         assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
+
+    struct EventTap(mpsc::Sender<StepEvent>);
+
+    impl StepObserver for EventTap {
+        fn on_step(&mut self, _outcome: &StepOutcome) {}
+        fn wants_events(&self) -> bool {
+            true
+        }
+        fn on_event(&mut self, event: &StepEvent) {
+            self.0.send(event.clone()).unwrap();
+        }
+    }
+
+    #[test]
+    fn events_mirror_outcomes_with_commit_points_at_call_boundaries() {
+        let (tx, rx) = mpsc::channel();
+        let mut e = Engine::builder(tiny(5)).seed(5).build().unwrap();
+        e.add_observer(EventTap(tx));
+        let first = e.step().unwrap();
+        let batch = e.step_batch(3).unwrap();
+        let events: Vec<StepEvent> = rx.try_iter().collect();
+        assert_eq!(
+            events.iter().map(|e| e.iteration).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        // Only the last iteration of each step()/step_batch() call commits.
+        assert_eq!(
+            events.iter().map(|e| e.commit).collect::<Vec<_>>(),
+            vec![true, false, false, true]
+        );
+        for (event, outcome) in events
+            .iter()
+            .zip(std::iter::once(&first).chain(batch.iter()))
+        {
+            assert_eq!(event.query, outcome.query);
+            assert_eq!(event.lf, outcome.lf);
+        }
+        // The final event's RNG positions equal a post-call snapshot's —
+        // the refit between capture and snapshot draws none.
+        let snap = e.snapshot().unwrap();
+        let last = events.last().unwrap();
+        assert_eq!(last.sampler_rng, snap.sampler_rng);
+        assert_eq!(last.oracle_rng, snap.oracle.rng);
+    }
+
+    #[test]
+    fn events_are_not_captured_without_a_subscriber() {
+        // A plain closure observer does not opt in to events, so the
+        // engine skips capture entirely — and trajectories are unchanged.
+        let mut plain = Engine::builder(tiny(5)).seed(5).build().unwrap();
+        let mut tapped = Engine::builder(tiny(5)).seed(5).build().unwrap();
+        let (tx, rx) = mpsc::channel();
+        tapped.add_observer(EventTap(tx));
+        plain.run(6).unwrap();
+        tapped.run(6).unwrap();
+        assert_eq!(rx.try_iter().count(), 6);
+        assert_eq!(
+            plain.snapshot().unwrap().to_bytes(),
+            tapped.snapshot().unwrap().to_bytes()
+        );
     }
 
     #[test]

@@ -42,6 +42,13 @@ impl QueryingStage {
         self.oracle.load_state(state)
     }
 
+    /// The oracle's RNG stream position, when it exposes one (see
+    /// [`Oracle::rng_words`]) — captured into every journalled
+    /// [`StepEvent`](crate::StepEvent).
+    pub(crate) fn oracle_rng_words(&self) -> Option<[u64; 4]> {
+        self.oracle.rng_words()
+    }
+
     /// Asks the oracle about `query`. When an LF comes back, appends its
     /// votes to both matrices and pseudo-labels the query instance with the
     /// LF's own vote. Returns the LF (already recorded in `state`).

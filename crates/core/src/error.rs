@@ -30,6 +30,13 @@ pub enum ActiveDpError {
     },
     /// An encoded snapshot failed to decode.
     SnapshotCodec(adp_wire::WireError),
+    /// A WAL replay was inconsistent with its checkpoint or event stream
+    /// (duplicate/out-of-order/missing iterations, a target that is not a
+    /// commit point, or an event that contradicts the folded state).
+    Replay {
+        /// What made the event stream unreplayable.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ActiveDpError {
@@ -46,6 +53,7 @@ impl fmt::Display for ActiveDpError {
                 write!(f, "snapshot unsupported: {reason}")
             }
             ActiveDpError::SnapshotCodec(e) => write!(f, "snapshot codec: {e}"),
+            ActiveDpError::Replay { reason } => write!(f, "wal replay: {reason}"),
         }
     }
 }

@@ -47,8 +47,10 @@ pub mod config;
 pub mod confusion;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod labelpick;
 pub mod oracle;
+pub mod replay;
 pub mod scenario;
 pub mod session;
 pub mod snapshot;
@@ -65,8 +67,10 @@ pub use engine::{
     StepObserver, StepOutcome, TrainingStage,
 };
 pub use error::ActiveDpError;
+pub use event::StepEvent;
 pub use labelpick::{LabelPick, LabelPickConfig};
 pub use oracle::Oracle;
+pub use replay::replay_snapshot;
 pub use scenario::{
     BudgetSchedule, PhaseSegment, ScenarioSpec, DEFAULT_BUDGET, SCENARIO_MAGIC, SCENARIO_VERSION,
 };

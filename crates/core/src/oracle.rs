@@ -37,6 +37,16 @@ pub trait Oracle: Send {
         let _ = state;
         false
     }
+
+    /// The oracle's RNG stream position alone — what a per-step
+    /// [`StepEvent`](crate::StepEvent) records (the rest of the oracle's
+    /// state is reconstructed from the logged LFs at replay time). The
+    /// default derives it from [`Oracle::save_state`]; oracles with a
+    /// cheaper accessor should override it, since this runs once per
+    /// journalled step.
+    fn rng_words(&self) -> Option<[u64; 4]> {
+        self.save_state().map(|s| s.rng)
+    }
 }
 
 impl Oracle for SimulatedUser {
@@ -60,6 +70,10 @@ impl Oracle for SimulatedUser {
         // so only the mutable parts are replayed here.
         *self = SimulatedUser::from_state(self.config(), state);
         true
+    }
+
+    fn rng_words(&self) -> Option<[u64; 4]> {
+        Some(SimulatedUser::rng_state(self))
     }
 }
 

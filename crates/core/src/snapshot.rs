@@ -126,7 +126,10 @@ impl SessionSnapshot {
     }
 }
 
-fn enc_lf(w: &mut Writer, lf: &LabelFunction) {
+/// LF body encoding, shared by the snapshot codec and the WAL's
+/// [`StepEvent`](crate::StepEvent) codec — one byte layout for label
+/// functions everywhere they ride the wire.
+pub(crate) fn enc_lf(w: &mut Writer, lf: &LabelFunction) {
     match lf {
         LabelFunction::Keyword { token, label } => {
             w.put_u8(0);
@@ -148,7 +151,7 @@ fn enc_lf(w: &mut Writer, lf: &LabelFunction) {
     }
 }
 
-fn dec_lf(r: &mut Reader<'_>) -> Result<LabelFunction, ActiveDpError> {
+pub(crate) fn dec_lf(r: &mut Reader<'_>) -> Result<LabelFunction, WireError> {
     match r.get_u8()? {
         0 => Ok(LabelFunction::Keyword {
             token: r.get_u32()?,
@@ -163,8 +166,7 @@ fn dec_lf(r: &mut Reader<'_>) -> Result<LabelFunction, ActiveDpError> {
         tag => Err(WireError::BadTag {
             what: "label function",
             tag,
-        }
-        .into()),
+        }),
     }
 }
 
@@ -175,15 +177,14 @@ fn stump_op_tag(op: StumpOp) -> u8 {
     }
 }
 
-fn dec_stump_op(r: &mut Reader<'_>) -> Result<StumpOp, ActiveDpError> {
+fn dec_stump_op(r: &mut Reader<'_>) -> Result<StumpOp, WireError> {
     match r.get_u8()? {
         0 => Ok(StumpOp::Le),
         1 => Ok(StumpOp::Ge),
         tag => Err(WireError::BadTag {
             what: "stump op",
             tag,
-        }
-        .into()),
+        }),
     }
 }
 
@@ -211,7 +212,7 @@ fn enc_keys(w: &mut Writer, keys: &[LfKey]) {
     }
 }
 
-fn dec_keys(r: &mut Reader<'_>) -> Result<Vec<LfKey>, ActiveDpError> {
+fn dec_keys(r: &mut Reader<'_>) -> Result<Vec<LfKey>, WireError> {
     let n = r.get_len("lf keys", 1)?;
     let mut keys = Vec::with_capacity(n);
     for _ in 0..n {
@@ -227,8 +228,7 @@ fn dec_keys(r: &mut Reader<'_>) -> Result<Vec<LfKey>, ActiveDpError> {
                 return Err(WireError::BadTag {
                     what: "lf key",
                     tag,
-                }
-                .into())
+                })
             }
         });
     }

@@ -93,6 +93,14 @@ impl SimulatedUser {
         }
     }
 
+    /// The RNG stream position alone — what a per-step WAL event records.
+    /// Cheaper than [`SimulatedUser::state`], which also collects and sorts
+    /// the returned-LF set (the WAL reconstructs that set from the logged
+    /// LFs instead).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
     /// The accuracy threshold in use.
     pub fn acc_threshold(&self) -> f64 {
         self.config.acc_threshold

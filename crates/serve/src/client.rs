@@ -73,6 +73,18 @@ pub struct EvalReply {
     pub downstream_trained: bool,
 }
 
+/// A journalled session's durability, as reported by `open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityReply {
+    /// Iteration of the last spilled snapshot (the journal's checkpoint).
+    pub checkpoint_iteration: u64,
+    /// Last iteration durable on disk as a commit point — where a crash
+    /// right now would recover to.
+    pub durable_iteration: u64,
+    /// Live write-ahead-log segment files.
+    pub live_segments: u64,
+}
+
 /// Where a session stands, as reported by `open`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpenReply {
@@ -84,6 +96,8 @@ pub struct OpenReply {
     pub n_lfs: u64,
     /// LFs currently selected.
     pub n_selected: u64,
+    /// Durability, when the session is journalled server-side.
+    pub durability: Option<DurabilityReply>,
 }
 
 /// A blocking `adp-served` connection.
@@ -194,11 +208,21 @@ impl Client {
             ("cmd", Json::Str("open".into())),
             ("session", Json::int(session)),
         ]))?;
+        let durability = if reply.get("durable_iteration").is_some() {
+            Some(DurabilityReply {
+                checkpoint_iteration: Self::expect_u64(&reply, "checkpoint_iteration")?,
+                durable_iteration: Self::expect_u64(&reply, "durable_iteration")?,
+                live_segments: Self::expect_u64(&reply, "live_segments")?,
+            })
+        } else {
+            None
+        };
         Ok(OpenReply {
             session: Self::expect_u64(&reply, "session")?,
             iteration: Self::expect_u64(&reply, "iteration")?,
             n_lfs: Self::expect_u64(&reply, "n_lfs")?,
             n_selected: Self::expect_u64(&reply, "n_selected")?,
+            durability,
         })
     }
 
@@ -283,6 +307,18 @@ impl Client {
                     .ok_or_else(|| ClientError::Protocol(format!("bad id in saved: {v}")))
             })
             .collect()
+    }
+
+    /// Rebuilds the state `session` had at journalled commit point
+    /// `iteration` as a **new** server-side session; returns the new id.
+    /// The source session is untouched.
+    pub fn recover(&mut self, session: u64, iteration: u64) -> Result<u64, ClientError> {
+        let reply = self.call(Json::obj([
+            ("cmd", Json::Str("recover".into())),
+            ("session", Json::int(session)),
+            ("iteration", Json::int(iteration)),
+        ]))?;
+        Self::expect_u64(&reply, "session")
     }
 
     /// Closes the session server-side.

@@ -1,6 +1,7 @@
 //! The sharded session registry: engines behind ids, one worker thread per
 //! shard.
 
+use crate::journal::{new_journal_slot, DurabilityStatus, JournalObserver, SharedJournal};
 use activedp::{
     ActiveDpError, Engine, EngineBuilder, EvalReport, ScenarioSpec, SessionConfig, SessionSnapshot,
     StepOutcome,
@@ -78,6 +79,18 @@ pub enum ServeError {
         /// The codec's typed rejection.
         source: ActiveDpError,
     },
+    /// A write-ahead log operation failed (the typed WAL error names the
+    /// file and what was wrong with it).
+    Wal(adp_wal::WalError),
+    /// A journal decoded cleanly but contradicts the session it claims to
+    /// belong to — wrong session id, a spec disagreeing with the spill
+    /// snapshot, or a checkpoint no snapshot on disk covers.
+    CorruptJournal {
+        /// The journal directory (or file) involved.
+        path: PathBuf,
+        /// What was inconsistent.
+        reason: String,
+    },
     /// The hub's workers are gone (the hub was dropped mid-call).
     HubClosed,
 }
@@ -105,6 +118,10 @@ impl fmt::Display for ServeError {
             ServeError::CorruptSnapshot { path, source } => {
                 write!(f, "corrupt snapshot {}: {source}", path.display())
             }
+            ServeError::Wal(source) => write!(f, "{source}"),
+            ServeError::CorruptJournal { path, reason } => {
+                write!(f, "corrupt journal {}: {reason}", path.display())
+            }
             ServeError::HubClosed => write!(f, "session hub is shut down"),
         }
     }
@@ -116,6 +133,7 @@ impl std::error::Error for ServeError {
             ServeError::Engine(e) => Some(e),
             ServeError::Io { source, .. } => Some(source),
             ServeError::CorruptSnapshot { source, .. } => Some(source),
+            ServeError::Wal(source) => Some(source),
             _ => None,
         }
     }
@@ -136,6 +154,11 @@ pub struct SessionStatus {
     pub n_lfs: usize,
     /// LFs currently selected by LabelPick.
     pub n_selected: usize,
+    /// Write-ahead-log durability, for journalled sessions: last
+    /// checkpointed iteration, last durable iteration, live segment count.
+    /// `None` when the session is not journalled (no spill directory,
+    /// unsnapshotable engine, or a degraded journal).
+    pub durability: Option<DurabilityStatus>,
 }
 
 /// One request to a shard worker. Every variant carries its own reply
@@ -205,6 +228,10 @@ pub struct SessionHub {
     /// including all sessions re-opened by `load_all` — shares one
     /// `SharedDataset` allocation.
     datasets: Mutex<HashMap<(DatasetId, u64, u64), SharedDataset>>,
+    /// Each journalled session's journal slot, shared with the
+    /// `JournalObserver` registered on its engine (which appends from the
+    /// shard thread while the hub checkpoints/inspects from callers).
+    pub(crate) journals: Mutex<HashMap<u64, SharedJournal>>,
 }
 
 impl SessionHub {
@@ -242,6 +269,7 @@ impl SessionHub {
             next_id: AtomicU64::new(0),
             spill_dir,
             datasets: Mutex::new(HashMap::new()),
+            journals: Mutex::new(HashMap::new()),
         }
     }
 
@@ -261,18 +289,53 @@ impl SessionHub {
     /// itself as a [`ScenarioSpec`] (see `Engine::scenario`) spill and
     /// reload normally; engines over hand-built, provenance-less datasets
     /// serve fine but are skipped by [`SessionHub::save_all`].
+    ///
+    /// When the hub has a spill directory, every snapshotable session is
+    /// additionally **journalled by default**: its per-step events stream
+    /// into a write-ahead log under `wal-<id>/`, making the session
+    /// recoverable to its last committed iteration after a crash — and to
+    /// any earlier commit point via [`SessionHub::recover`].
     pub fn create(&self, engine: Engine) -> Result<SessionId, ServeError> {
+        // Decide journalability before the engine is moved: exactly the
+        // sessions that can snapshot can journal (the snapshot doubles as
+        // the journal's checkpoint description).
+        let journal_base = match self.spill_dir() {
+            None => None,
+            Some(_) => match engine.snapshot() {
+                Ok(snapshot) => Some(snapshot),
+                Err(ActiveDpError::SnapshotUnsupported { .. }) => None,
+                Err(e) => return Err(ServeError::Engine(e)),
+            },
+        };
+        let mut engine = engine;
+        let slot = journal_base.as_ref().map(|_| new_journal_slot());
+        if let Some(slot) = &slot {
+            // Armed only after the id — and therefore the journal
+            // directory — is known; the engine cannot step before `create`
+            // returns the id to anyone, so no event outruns the journal.
+            engine.add_observer(JournalObserver::new(slot.clone()));
+        }
         let mut engine = Box::new(engine);
-        loop {
+        let id = loop {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             match self.try_insert(id, engine)? {
-                Ok(()) => return Ok(SessionId(id)),
+                Ok(()) => break SessionId(id),
                 // A concurrent `load_all` restored this very id before its
                 // allocator bump landed; that id belongs to the restored
                 // session, so take the engine back and allocate a fresh one.
                 Err(returned) => engine = returned,
             }
+        };
+        if let (Some(snapshot), Some(slot)) = (journal_base, slot) {
+            if let Err(e) = self.init_journal(id, snapshot, &slot) {
+                // The caller asked for a durable hub and the journal could
+                // not be established — fail the create rather than serve a
+                // session that silently is not durable.
+                let _ = self.close(id);
+                return Err(e);
+            }
         }
+        Ok(id)
     }
 
     /// Builds the engine from `builder` and registers it — the one-call
@@ -334,7 +397,9 @@ impl SessionHub {
     /// front end's `open` verb — a reconnecting client learns where its
     /// session left off without pulling a full snapshot).
     pub fn status(&self, id: SessionId) -> Result<SessionStatus, ServeError> {
-        self.call(id.0, |reply| Command::Status { id: id.0, reply })?
+        let mut status = self.call(id.0, |reply| Command::Status { id: id.0, reply })??;
+        status.durability = self.durability(id.0);
+        Ok(status)
     }
 
     /// Ids of every live session, ascending.
@@ -438,9 +503,20 @@ impl SessionHub {
     }
 
     /// Drops the identified session, freeing its engine (a closed session
-    /// is not re-saved).
+    /// is not re-saved). Its journal handle is released too; the journal
+    /// *files* stay on disk, so the session remains recoverable (and is
+    /// reloaded by a later [`SessionHub::load_all`]) until the operator
+    /// removes them.
     pub fn close(&self, id: SessionId) -> Result<(), ServeError> {
-        self.call(id.0, |reply| Command::Close { id: id.0, reply })?
+        let result: Result<(), ServeError> =
+            self.call(id.0, |reply| Command::Close { id: id.0, reply })?;
+        if result.is_ok() {
+            self.journals
+                .lock()
+                .expect("journal registry")
+                .remove(&id.0);
+        }
+        result
     }
 
     /// Number of live sessions across all shards.
@@ -503,6 +579,9 @@ fn shard_worker(rx: Receiver<Command>) {
                         iteration: e.state().iteration,
                         n_lfs: e.state().lfs.len(),
                         n_selected: e.state().selected.len(),
+                        // The shard worker has no view of the journal
+                        // registry; the hub fills this in on the way out.
+                        durability: None,
                     })
                 }));
             }

@@ -1,0 +1,287 @@
+//! Hub-side write-ahead logging and point-in-time recovery.
+//!
+//! When a [`SessionHub`] has a spill directory, every session whose engine
+//! can snapshot is **journalled by default**: an [`adp_wal::Journal`] under
+//! `<spill_dir>/wal-<id>/` receives the engine's per-step
+//! [`StepEvent`]s through a [`StepObserver`] hook. Together with the
+//! session's spill snapshot (`session-<id>.adpsnap`, the journal's
+//! checkpoint) the log makes two things possible:
+//!
+//! * **crash recovery to the durable tip** — `SessionHub::load_all` replays
+//!   each journal's tail past the last snapshot, so a killed server comes
+//!   back at the last *committed* iteration, not the last explicit save;
+//! * **point-in-time recovery** — [`SessionHub::recover`] rebuilds the
+//!   state a session had at any journalled commit point as a *new*
+//!   session, bitwise identical to the original run at that iteration.
+//!
+//! The journal is deliberately non-fatal at serve time: if an append fails
+//! (disk full, directory deleted underneath the hub), the session keeps
+//! serving and its durability degrades to snapshot-only — exactly the
+//! pre-WAL behaviour. [`SessionStatus::durability`] reports `None` for
+//! such sessions.
+//!
+//! [`SessionStatus::durability`]: crate::hub::SessionStatus::durability
+
+use crate::hub::{ServeError, SessionHub, SessionId};
+use crate::persist::{spill_file, SpillRecord};
+use activedp::{Engine, ScenarioSpec, SessionSnapshot, StepEvent, StepObserver, StepOutcome};
+use adp_wal::Journal;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Where a journalled session's durability stands (see
+/// [`SessionStatus::durability`](crate::hub::SessionStatus::durability)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// Iteration of the last spilled snapshot — the journal's checkpoint,
+    /// below which the log is compacted away.
+    pub checkpoint_iteration: usize,
+    /// The last iteration durable on disk as a commit point — where a
+    /// crash right now would recover to.
+    pub durable_iteration: usize,
+    /// Live segment files (sealed plus a non-empty open segment).
+    pub live_segments: usize,
+}
+
+/// The journal slot a session's [`JournalObserver`] and the hub share.
+/// `None` means the session is not journalled (or its journal failed and
+/// durability degraded to snapshot-only).
+pub(crate) type SharedJournal = Arc<Mutex<Option<Journal>>>;
+
+/// A fresh, not-yet-initialised journal slot (the observer is registered
+/// on the engine before the session id — and therefore the journal
+/// directory — is known).
+pub(crate) fn new_journal_slot() -> SharedJournal {
+    Arc::new(Mutex::new(None))
+}
+
+/// The engine observer that feeds a session's journal: every replayable
+/// [`StepEvent`] is appended, commit points fsynced (inside
+/// [`Journal::append`]).
+pub(crate) struct JournalObserver {
+    slot: SharedJournal,
+}
+
+impl JournalObserver {
+    pub(crate) fn new(slot: SharedJournal) -> Self {
+        JournalObserver { slot }
+    }
+}
+
+impl StepObserver for JournalObserver {
+    fn on_step(&mut self, _outcome: &StepOutcome) {}
+
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, event: &StepEvent) {
+        let Ok(mut slot) = self.slot.lock() else {
+            return;
+        };
+        let Some(journal) = slot.as_mut() else {
+            return;
+        };
+        if journal.append(event).is_err() {
+            // Journalling is best-effort at serve time: on the first failed
+            // append the session's durability degrades to snapshot-only
+            // (the session itself keeps serving). Dropping the journal
+            // keeps a half-written log from masquerading as durable.
+            *slot = None;
+        }
+    }
+}
+
+/// The journal directory for one session under a spill directory.
+pub(crate) fn wal_dir(spill: &Path, id: u64) -> PathBuf {
+    spill.join(format!("wal-{id}"))
+}
+
+pub(crate) fn corrupt_journal(path: &Path, reason: impl Into<String>) -> ServeError {
+    ServeError::CorruptJournal {
+        path: path.to_path_buf(),
+        reason: reason.into(),
+    }
+}
+
+impl SessionHub {
+    /// The identified session's shared journal slot, if it has one.
+    pub(crate) fn journal_slot(&self, id: u64) -> Option<SharedJournal> {
+        self.journals
+            .lock()
+            .expect("journal registry")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Durability of the identified session, `None` when it is not
+    /// journalled (no spill dir, unsnapshotable engine, or a failed
+    /// journal).
+    pub(crate) fn durability(&self, id: u64) -> Option<DurabilityStatus> {
+        let slot = self.journal_slot(id)?;
+        let guard = slot.lock().ok()?;
+        let journal = guard.as_ref()?;
+        Some(DurabilityStatus {
+            checkpoint_iteration: journal.checkpoint_iteration(),
+            durable_iteration: journal.durable_iteration(),
+            live_segments: journal.live_segments(),
+        })
+    }
+
+    /// Creates the journal for a freshly registered session and arms its
+    /// observer's slot. For sessions adopted mid-run (iteration > 0) the
+    /// covering snapshot is spilled immediately, so the journal's
+    /// checkpoint is always recoverable from disk.
+    pub(crate) fn init_journal(
+        &self,
+        id: SessionId,
+        snapshot: SessionSnapshot,
+        slot: &SharedJournal,
+    ) -> Result<(), ServeError> {
+        let spill = self.require_spill_dir()?;
+        let dir = wal_dir(&spill, id.raw());
+        let iteration = snapshot.state.iteration;
+        let journal = Journal::create(&dir, id.raw(), snapshot.spec.clone(), iteration)
+            .map_err(ServeError::Wal)?;
+        *slot.lock().expect("journal slot") = Some(journal);
+        self.journals
+            .lock()
+            .expect("journal registry")
+            .insert(id.raw(), slot.clone());
+        if iteration > 0 {
+            self.save(id)?;
+        }
+        Ok(())
+    }
+
+    /// Registers a loaded engine under its original id and (re)attaches
+    /// its journal — the `load_all` adoption path.
+    pub(crate) fn adopt_loaded(
+        &self,
+        id: u64,
+        mut engine: Engine,
+        journal: Option<Journal>,
+    ) -> Result<SessionId, ServeError> {
+        let slot = journal.map(|j| Arc::new(Mutex::new(Some(j))));
+        if let Some(slot) = &slot {
+            engine.add_observer(JournalObserver::new(slot.clone()));
+        }
+        self.insert_preserving_id(id, engine)?;
+        if let Some(slot) = slot {
+            self.journals
+                .lock()
+                .expect("journal registry")
+                .insert(id, slot);
+        }
+        Ok(SessionId::from_raw(id))
+    }
+
+    /// Rebuilds the state session `id` had at `iteration` — which must be
+    /// a journalled commit point at or past the session's checkpoint — and
+    /// registers it as a **new** session, returning the new id. The source
+    /// session (live or long gone; only its files need to exist) is not
+    /// touched. The recovered state is bitwise identical to the original
+    /// run's at that iteration, so stepping the new session forward
+    /// retraces the original trajectory exactly.
+    pub fn recover(&self, id: SessionId, iteration: usize) -> Result<SessionId, ServeError> {
+        let (base, events) = self.recovery_base(id)?;
+        let data = self.dataset_for(base.spec.dataset)?;
+        let engine = Engine::replay_to_over(&base, &events, iteration, data)?;
+        self.create(engine)
+    }
+
+    /// The checkpoint snapshot and live event tail recovery folds over:
+    /// from the live journal when the session is up (a journal directory
+    /// is single-writer — it must not be re-opened underneath its owner),
+    /// else from disk.
+    fn recovery_base(
+        &self,
+        id: SessionId,
+    ) -> Result<(SessionSnapshot, Vec<StepEvent>), ServeError> {
+        let spill = self.require_spill_dir()?;
+        let wal_path = wal_dir(&spill, id.raw());
+        let mut journal_state: Option<(ScenarioSpec, usize, Vec<StepEvent>)> = None;
+        if let Some(slot) = self.journal_slot(id.raw()) {
+            if let Ok(guard) = slot.lock() {
+                if let Some(journal) = guard.as_ref() {
+                    journal_state = Some((
+                        journal.spec().clone(),
+                        journal.checkpoint_iteration(),
+                        journal.events().map_err(ServeError::Wal)?,
+                    ));
+                }
+            }
+        }
+        if journal_state.is_none() && wal_path.is_dir() {
+            // No live writer (session closed, never reloaded, or its
+            // journal degraded): open — and thereby recover — the
+            // directory contents.
+            let journal = Journal::open(&wal_path).map_err(ServeError::Wal)?;
+            if journal.session() != id.raw() {
+                return Err(corrupt_journal(
+                    &wal_path,
+                    format!("manifest belongs to session {}", journal.session()),
+                ));
+            }
+            journal_state = Some((
+                journal.spec().clone(),
+                journal.checkpoint_iteration(),
+                journal.events().map_err(ServeError::Wal)?,
+            ));
+        }
+
+        let spill_path = spill_file(&spill, id.raw());
+        let base = match std::fs::read(&spill_path) {
+            Ok(bytes) => {
+                let record = SpillRecord::from_bytes(&bytes).map_err(|source| {
+                    ServeError::CorruptSnapshot {
+                        path: spill_path.clone(),
+                        source,
+                    }
+                })?;
+                if record.session != id.raw() {
+                    return Err(ServeError::CorruptSnapshot {
+                        path: spill_path,
+                        source: activedp::ActiveDpError::BadConfig {
+                            reason: format!("spill file records session {}", record.session),
+                        },
+                    });
+                }
+                record.snapshot
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => match &journal_state {
+                // No snapshot on disk: the journal must start at iteration
+                // 0, whose state the manifest's spec alone rebuilds.
+                Some((spec, checkpoint, _)) => {
+                    if *checkpoint != 0 {
+                        return Err(corrupt_journal(
+                            &wal_path,
+                            format!("checkpoint {checkpoint} has no covering snapshot on disk"),
+                        ));
+                    }
+                    let data = self.dataset_for(spec.dataset)?;
+                    Engine::from_spec_over(spec.clone(), data)?.snapshot()?
+                }
+                None => {
+                    // Nothing recoverable on disk. Distinguish "no such
+                    // session" from "live but journal-free".
+                    return Err(if self.status(id).is_ok() {
+                        ServeError::NotPersistable(id)
+                    } else {
+                        ServeError::UnknownSession(id)
+                    });
+                }
+            },
+            Err(source) => {
+                return Err(ServeError::Io {
+                    path: spill_path,
+                    source,
+                })
+            }
+        };
+        let events = journal_state
+            .map(|(_, _, events)| events)
+            .unwrap_or_default();
+        Ok((base, events))
+    }
+}

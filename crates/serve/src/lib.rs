@@ -19,6 +19,11 @@
 //! * [`persist`] — session spill files (`SessionHub::save_all` /
 //!   `load_all`): atomic writes, versioned headers, corrupt-file
 //!   rejection, ids preserved across restarts;
+//! * [`journal`] — per-session write-ahead logging over [`adp_wal`]:
+//!   every step is journalled by default when a spill directory is
+//!   configured, `load_all` replays journal tails past the last snapshot,
+//!   and [`SessionHub::recover`](hub::SessionHub::recover) rebuilds any
+//!   journalled commit point as a new session;
 //! * [`server`] — the `adp-served` JSON-lines TCP front end
 //!   (thread-per-connection over a shared hub) and its protocol;
 //! * [`client`] — a tiny blocking client for that protocol;
@@ -30,13 +35,15 @@
 
 pub mod client;
 pub mod hub;
+pub mod journal;
 pub mod json;
 pub mod persist;
 pub mod server;
 pub mod spec_json;
 
-pub use client::{Client, ClientError, EvalReply, OpenReply, StepReply};
+pub use client::{Client, ClientError, DurabilityReply, EvalReply, OpenReply, StepReply};
 pub use hub::{ServeError, SessionHub, SessionId, SessionStatus};
+pub use journal::DurabilityStatus;
 pub use json::Json;
 pub use persist::{SpillRecord, SPILL_MAGIC, SPILL_VERSION};
 pub use server::Server;

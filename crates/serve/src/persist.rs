@@ -15,9 +15,10 @@
 //! └──────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Writes are **atomic**: the bytes go to `<name>.tmp` first and are
-//! `rename`d into place, so a crash mid-save leaves either the previous
-//! complete file or none — never a torn one. Loads reject foreign magic,
+//! Writes are **atomic** ([`adp_wire::atomic::atomic_write`], shared with
+//! the WAL's segments and manifests): the bytes go to a unique `.tmp`
+//! first, are fsynced, and are `rename`d into place, so a crash mid-save
+//! leaves either the previous complete file or none — never a torn one. Loads reject foreign magic,
 //! newer format versions, truncation and trailing bytes with typed errors
 //! ([`ServeError::CorruptSnapshot`]); a corrupt spill file can fail a
 //! `load_all`, never panic it or half-restore a session.
@@ -28,9 +29,12 @@
 //! small (state + config + RNG streams) and restarts cheap.
 
 use crate::hub::{ServeError, SessionHub, SessionId};
+use crate::journal::{corrupt_journal, wal_dir};
 use activedp::{ActiveDpError, Engine, SessionSnapshot};
 use adp_data::DatasetSpec;
+use adp_wal::Journal;
 use adp_wire::{read_envelope, write_envelope};
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -92,12 +96,12 @@ impl SpillRecord {
 }
 
 /// File name of one session's spill file.
-fn spill_file(dir: &Path, id: u64) -> PathBuf {
+pub(crate) fn spill_file(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("session-{id}.adpsnap"))
 }
 
 impl SessionHub {
-    fn require_spill_dir(&self) -> Result<PathBuf, ServeError> {
+    pub(crate) fn require_spill_dir(&self) -> Result<PathBuf, ServeError> {
         self.spill_dir()
             .map(Path::to_path_buf)
             .ok_or(ServeError::NoSpillDir)
@@ -117,6 +121,7 @@ impl SessionHub {
             }
             Err(e) => return Err(e),
         };
+        let iteration = snapshot.state.iteration;
         let record = SpillRecord {
             session: id.raw(),
             spec: snapshot.spec.dataset,
@@ -127,25 +132,30 @@ impl SessionHub {
             source,
         })?;
         let path = spill_file(&dir, id.raw());
-        // The tmp name is unique per save call, not per session: two
-        // concurrent saves of one session (save_all racing a per-session
-        // snapshot request) must each write their own staging file, or one
-        // could rename the other's half-written bytes into place and break
-        // the atomicity guarantee.
-        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let tmp = path.with_extension(format!("adpsnap.{}-{seq}.tmp", std::process::id()));
-        fs::write(&tmp, record.to_bytes()).map_err(|source| ServeError::Io {
-            path: tmp.clone(),
-            source,
-        })?;
-        fs::rename(&tmp, &path).map_err(|source| {
-            let _ = fs::remove_file(&tmp);
+        // One copy of the staging + fsync + rename discipline, shared with
+        // the WAL's segments and manifests.
+        adp_wire::atomic::atomic_write(&path, &record.to_bytes()).map_err(|source| {
             ServeError::Io {
                 path: path.clone(),
                 source,
             }
         })?;
+        // The snapshot on disk now covers the log prefix: advance the
+        // session's journal checkpoint, compacting covered segments. The
+        // order (snapshot first, checkpoint second) means a crash between
+        // the two leaves a snapshot *ahead* of the checkpoint — recovery
+        // replays from the snapshot and simply skips the covered events.
+        if let Some(slot) = self.journal_slot(id.raw()) {
+            let mut guard = slot.lock().expect("journal slot");
+            if let Some(journal) = guard.as_mut() {
+                match journal.checkpoint(iteration) {
+                    // A concurrent save already checkpointed further ahead;
+                    // its snapshot covers ours, nothing to record.
+                    Err(adp_wal::WalError::OutOfOrder { .. }) | Ok(()) => {}
+                    Err(e) => return Err(ServeError::Wal(e)),
+                }
+            }
+        }
         Ok(path)
     }
 
@@ -169,14 +179,26 @@ impl SessionHub {
         Ok(saved)
     }
 
-    /// Loads every `session-*.adpsnap` under the spill directory: the
-    /// dataset regenerates from its recorded spec (shared between sessions
-    /// with equal specs), the engine resumes from the snapshot, and the
-    /// session comes back **under its original id**, so pre-restart client
+    /// Loads everything recoverable under the spill directory and brings
+    /// each session back **under its original id**, so pre-restart client
     /// handles keep working. Returns the ids restored, ascending.
     ///
+    /// Three on-disk shapes are recognised:
+    ///
+    /// * **snapshot + journal** (`session-<id>.adpsnap` and `wal-<id>/`):
+    ///   the engine resumes from the snapshot, then the journal's tail past
+    ///   it is **replayed**, so the session comes back at its last durable
+    ///   *committed* iteration — not merely the last explicit save;
+    /// * **journal only**: the iteration-0 state is rebuilt from the spec
+    ///   in the journal's manifest and the whole log is replayed — a
+    ///   session that was never saved still survives a crash;
+    /// * **snapshot only** (a pre-WAL spill directory): resumes exactly as
+    ///   before; a fresh journal is started so the session is durable from
+    ///   here on.
+    ///
     /// A missing spill directory loads nothing (a fresh deployment); a
-    /// corrupt or colliding file fails the load with a typed error.
+    /// corrupt file or journal fails the load with a typed error, and
+    /// everything this call had already restored is rolled back.
     pub fn load_all(&self) -> Result<Vec<SessionId>, ServeError> {
         let dir = self.require_spill_dir()?;
         let entries = match fs::read_dir(&dir) {
@@ -186,60 +208,207 @@ impl SessionHub {
                 source,
             })?,
         };
-        let mut paths: Vec<PathBuf> = entries
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|ext| ext == "adpsnap"))
-            .collect();
-        paths.sort();
-        // All-or-nothing: if any file fails, the sessions already inserted
+        let mut snap_paths: Vec<PathBuf> = Vec::new();
+        let mut wal_dirs: BTreeMap<u64, PathBuf> = BTreeMap::new();
+        for path in entries.filter_map(|entry| entry.ok().map(|e| e.path())) {
+            if path.is_file() && path.extension().is_some_and(|ext| ext == "adpsnap") {
+                snap_paths.push(path);
+            } else if path.is_dir() {
+                let id = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(|n| n.strip_prefix("wal-"))
+                    .and_then(|n| n.parse::<u64>().ok());
+                if let Some(id) = id {
+                    wal_dirs.insert(id, path);
+                }
+            }
+        }
+        snap_paths.sort();
+        // All-or-nothing: if anything fails, the sessions already inserted
         // by this call are rolled back, so the operator can delete the bad
         // file and retry without SessionExists collisions against the
         // half-loaded state.
-        let mut loaded = Vec::with_capacity(paths.len());
-        let load_one = |path: &Path| -> Result<SessionId, ServeError> {
-            let bytes = fs::read(path).map_err(|source| ServeError::Io {
+        let mut loaded = Vec::with_capacity(snap_paths.len() + wal_dirs.len());
+        let mut run = || -> Result<(), ServeError> {
+            for path in &snap_paths {
+                loaded.push(self.load_spilled(path, &mut wal_dirs)?);
+            }
+            // Journals whose session was never snapshot to disk.
+            for (id, wal_path) in &wal_dirs {
+                loaded.push(self.load_wal_only(*id, wal_path)?);
+            }
+            Ok(())
+        };
+        if let Err(e) = run() {
+            for &id in &loaded {
+                let _ = self.close(id);
+            }
+            return Err(e);
+        }
+        loaded.sort_unstable();
+        Ok(loaded)
+    }
+
+    /// Restores one spilled session, replaying its journal tail when one
+    /// exists (the journal is consumed from `wal_dirs` so the wal-only
+    /// sweep does not see it again).
+    fn load_spilled(
+        &self,
+        path: &Path,
+        wal_dirs: &mut BTreeMap<u64, PathBuf>,
+    ) -> Result<SessionId, ServeError> {
+        let bytes = fs::read(path).map_err(|source| ServeError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let record =
+            SpillRecord::from_bytes(&bytes).map_err(|source| ServeError::CorruptSnapshot {
                 path: path.to_path_buf(),
                 source,
             })?;
-            let record =
-                SpillRecord::from_bytes(&bytes).map_err(|source| ServeError::CorruptSnapshot {
-                    path: path.to_path_buf(),
-                    source,
-                })?;
-            if record.session == u64::MAX {
-                // Unreachable for files we wrote (ids allocate upward from
-                // 0); a tampered id this large would saturate the allocator.
-                return Err(ServeError::CorruptSnapshot {
-                    path: path.to_path_buf(),
-                    source: activedp::ActiveDpError::BadConfig {
-                        reason: "session id u64::MAX is reserved".into(),
-                    },
-                });
-            }
-            let data = self.dataset_for(record.spec)?;
-            let engine: Engine =
-                Engine::builder(data)
+        if record.session == u64::MAX {
+            // Unreachable for files we wrote (ids allocate upward from
+            // 0); a tampered id this large would saturate the allocator.
+            return Err(ServeError::CorruptSnapshot {
+                path: path.to_path_buf(),
+                source: activedp::ActiveDpError::BadConfig {
+                    reason: "session id u64::MAX is reserved".into(),
+                },
+            });
+        }
+        let id = record.session;
+        let wal_path = wal_dirs.remove(&id);
+        // A live session with this id already owns its journal directory
+        // (single-writer); reject the collision *before* opening — and
+        // thereby recovering over — the live journal's open segment.
+        if self.journal_slot(id).is_some() {
+            return Err(ServeError::SessionExists(SessionId::from_raw(id)));
+        }
+        let data = self.dataset_for(record.spec)?;
+        let snap_iter = record.snapshot.state.iteration;
+        let (engine, journal) = match wal_path {
+            None => {
+                // A pre-WAL spill directory: resume as always, and start a
+                // fresh journal (checkpointed at the snapshot) going
+                // forward.
+                let spec = record.snapshot.spec.clone();
+                let engine = Engine::builder(data)
                     .resume(record.snapshot)
                     .map_err(|source| ServeError::CorruptSnapshot {
                         path: path.to_path_buf(),
                         source,
                     })?;
-            self.insert_preserving_id(record.session, engine)?;
-            Ok(SessionId::from_raw(record.session))
-        };
-        for path in paths {
-            match load_one(&path) {
-                Ok(id) => loaded.push(id),
-                Err(e) => {
-                    for &id in &loaded {
-                        let _ = self.close(id);
-                    }
-                    return Err(e);
-                }
+                let journal = Journal::create(
+                    &wal_dir(&self.require_spill_dir()?, id),
+                    id,
+                    spec,
+                    snap_iter,
+                )
+                .map_err(ServeError::Wal)?;
+                (engine, journal)
             }
+            Some(wal_path) => {
+                let mut journal = Journal::open(&wal_path).map_err(ServeError::Wal)?;
+                if journal.session() != id {
+                    return Err(corrupt_journal(
+                        &wal_path,
+                        format!("manifest belongs to session {}", journal.session()),
+                    ));
+                }
+                if journal.spec() != &record.snapshot.spec {
+                    return Err(corrupt_journal(
+                        &wal_path,
+                        "manifest spec disagrees with the spill snapshot's".to_string(),
+                    ));
+                }
+                if journal.checkpoint_iteration() > snap_iter {
+                    return Err(corrupt_journal(
+                        &wal_path,
+                        format!(
+                            "checkpoint {} is past the spill snapshot at iteration {snap_iter}",
+                            journal.checkpoint_iteration()
+                        ),
+                    ));
+                }
+                let durable = journal.durable_iteration();
+                let engine = if durable > snap_iter {
+                    // The log is ahead of the snapshot (a crash before a
+                    // final save): fold the tail to the durable tip.
+                    let events = journal.events().map_err(ServeError::Wal)?;
+                    Engine::replay_to_over(&record.snapshot, &events, durable, data).map_err(
+                        |e| {
+                            corrupt_journal(
+                                &wal_path,
+                                format!("replaying the tail to iteration {durable} failed: {e}"),
+                            )
+                        },
+                    )?
+                } else {
+                    // The snapshot is at (or past) the durable tip: plain
+                    // resume; re-checkpointing aligns a journal that never
+                    // saw the final save.
+                    let engine =
+                        Engine::builder(data)
+                            .resume(record.snapshot)
+                            .map_err(|source| ServeError::CorruptSnapshot {
+                                path: path.to_path_buf(),
+                                source,
+                            })?;
+                    journal.checkpoint(snap_iter).map_err(ServeError::Wal)?;
+                    engine
+                };
+                (engine, journal)
+            }
+        };
+        self.adopt_loaded(id, engine, Some(journal))
+    }
+
+    /// Restores a session that has a journal but no spill snapshot: the
+    /// manifest's spec rebuilds the iteration-0 state and the whole log is
+    /// replayed to the durable tip.
+    fn load_wal_only(&self, id: u64, wal_path: &Path) -> Result<SessionId, ServeError> {
+        if id == u64::MAX {
+            return Err(corrupt_journal(
+                wal_path,
+                "session id u64::MAX is reserved".to_string(),
+            ));
         }
-        loaded.sort_unstable();
-        Ok(loaded)
+        if self.journal_slot(id).is_some() {
+            return Err(ServeError::SessionExists(SessionId::from_raw(id)));
+        }
+        let journal = Journal::open(wal_path).map_err(ServeError::Wal)?;
+        if journal.session() != id {
+            return Err(corrupt_journal(
+                wal_path,
+                format!("manifest belongs to session {}", journal.session()),
+            ));
+        }
+        if journal.checkpoint_iteration() != 0 {
+            return Err(corrupt_journal(
+                wal_path,
+                format!(
+                    "checkpoint {} has no covering snapshot on disk",
+                    journal.checkpoint_iteration()
+                ),
+            ));
+        }
+        let spec = journal.spec().clone();
+        let data = self.dataset_for(spec.dataset)?;
+        let durable = journal.durable_iteration();
+        let engine = if durable > 0 {
+            let base = Engine::from_spec_over(spec, data.clone())?.snapshot()?;
+            let events = journal.events().map_err(ServeError::Wal)?;
+            Engine::replay_to_over(&base, &events, durable, data).map_err(|e| {
+                corrupt_journal(
+                    wal_path,
+                    format!("replaying the log to iteration {durable} failed: {e}"),
+                )
+            })?
+        } else {
+            Engine::from_spec_over(spec, data)?
+        };
+        self.adopt_loaded(id, engine, Some(journal))
     }
 }
 
@@ -519,6 +688,194 @@ mod tests {
             hub.load_all(),
             Err(ServeError::SessionExists(existing)) if existing == id
         ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sessions_are_journalled_by_default() {
+        let dir = unique_tempdir("journal");
+        let hub = SessionHub::with_spill_dir(1, &dir);
+        let id = hub
+            .open_spec(spec(6), SessionConfig::paper_defaults(true, 6))
+            .unwrap();
+        hub.run(id, 3).unwrap();
+        // No explicit save has happened, yet the steps are durable.
+        let d = hub.status(id).unwrap().durability.expect("journalled");
+        assert_eq!(d.checkpoint_iteration, 0);
+        assert_eq!(d.durable_iteration, 3);
+        assert!(d.live_segments >= 1);
+        let wal = wal_dir(&dir, id.raw());
+        assert!(wal.join("manifest.adpwman").is_file());
+        // Saving advances the checkpoint and compacts the log behind it.
+        hub.save(id).unwrap();
+        let d = hub.status(id).unwrap().durability.unwrap();
+        assert_eq!(d.checkpoint_iteration, 3);
+        assert_eq!(d.durable_iteration, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_all_replays_the_journal_tail_past_the_snapshot() {
+        let dir = unique_tempdir("tail");
+        let seed = 11;
+        let first = SessionHub::with_spill_dir(1, &dir);
+        let id = first
+            .open_spec(spec(seed), SessionConfig::paper_defaults(true, seed))
+            .unwrap();
+        first.run(id, 2).unwrap();
+        first.save(id).unwrap(); // checkpoint at iteration 2…
+        first.run(id, 3).unwrap(); // …then 3 more steps, never saved again
+        drop(first); // "process dies" with the snapshot 3 steps stale
+
+        let second = SessionHub::with_spill_dir(1, &dir);
+        assert_eq!(second.load_all().unwrap(), vec![id]);
+        // The journal tail brought the session to the durable tip, not the
+        // snapshot.
+        assert_eq!(second.status(id).unwrap().iteration, 5);
+        // And the recovered trajectory continues bit-for-bit: finishing the
+        // run must agree with an uninterrupted solo run.
+        second.run(id, 3).unwrap();
+        let report = second.evaluate(id).unwrap();
+        let mut solo = Engine::builder(spec(seed).generate().unwrap())
+            .config(SessionConfig::paper_defaults(true, seed))
+            .build()
+            .unwrap();
+        solo.run(8).unwrap();
+        assert_eq!(
+            report.test_accuracy.to_bits(),
+            solo.evaluate_downstream().unwrap().test_accuracy.to_bits()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn never_saved_sessions_survive_on_the_journal_alone() {
+        let dir = unique_tempdir("walonly");
+        let seed = 12;
+        let first = SessionHub::with_spill_dir(1, &dir);
+        let id = first
+            .open_spec(spec(seed), SessionConfig::paper_defaults(true, seed))
+            .unwrap();
+        first.run(id, 4).unwrap();
+        drop(first); // no save_all, no snapshot — only wal-<id>/ exists
+
+        let second = SessionHub::with_spill_dir(1, &dir);
+        assert_eq!(second.load_all().unwrap(), vec![id]);
+        assert_eq!(second.status(id).unwrap().iteration, 4);
+        second.run(id, 2).unwrap();
+        let report = second.evaluate(id).unwrap();
+        let mut solo = Engine::builder(spec(seed).generate().unwrap())
+            .config(SessionConfig::paper_defaults(true, seed))
+            .build()
+            .unwrap();
+        solo.run(6).unwrap();
+        assert_eq!(
+            report.test_accuracy.to_bits(),
+            solo.evaluate_downstream().unwrap().test_accuracy.to_bits()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_wal_spill_dirs_still_load_and_become_journalled() {
+        // MIGRATION guarantee: a spill directory written before the WAL
+        // existed (snapshot files only) keeps working; loading starts a
+        // fresh journal checkpointed at the snapshot.
+        let dir = unique_tempdir("prewal");
+        let first = SessionHub::with_spill_dir(1, &dir);
+        let id = first
+            .open_spec(spec(13), SessionConfig::paper_defaults(true, 13))
+            .unwrap();
+        first.run(id, 3).unwrap();
+        first.save(id).unwrap();
+        drop(first);
+        fs::remove_dir_all(wal_dir(&dir, id.raw())).unwrap(); // pre-WAL layout
+
+        let second = SessionHub::with_spill_dir(1, &dir);
+        assert_eq!(second.load_all().unwrap(), vec![id]);
+        assert_eq!(second.status(id).unwrap().iteration, 3);
+        let d = second.status(id).unwrap().durability.expect("journalled");
+        assert_eq!(d.checkpoint_iteration, 3);
+        second.run(id, 1).unwrap();
+        assert_eq!(
+            second
+                .status(id)
+                .unwrap()
+                .durability
+                .unwrap()
+                .durable_iteration,
+            4
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_rebuilds_any_commit_point_live_or_dead() {
+        let dir = unique_tempdir("recover");
+        let seed = 14;
+        let hub = SessionHub::with_spill_dir(1, &dir);
+        let id = hub
+            .open_spec(spec(seed), SessionConfig::paper_defaults(true, seed))
+            .unwrap();
+        hub.run(id, 6).unwrap();
+
+        // Live source: rebuild iteration 3 as a new session, step it to 6,
+        // and the full snapshot must be identical to the original's.
+        let rec = hub.recover(id, 3).unwrap();
+        assert_ne!(rec, id);
+        assert_eq!(hub.status(rec).unwrap().iteration, 3);
+        hub.run(rec, 3).unwrap();
+        assert_eq!(hub.snapshot(rec).unwrap(), hub.snapshot(id).unwrap());
+        // The source session is untouched.
+        assert_eq!(hub.status(id).unwrap().iteration, 6);
+
+        // Dead source: close the original; its files remain, so any of its
+        // commit points is still recoverable from disk.
+        hub.close(id).unwrap();
+        let ghost = hub.recover(id, 5).unwrap();
+        assert_eq!(hub.status(ghost).unwrap().iteration, 5);
+
+        // A mid-nothing iteration is a typed replay error.
+        assert!(hub.recover(ghost, 99).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journals_are_rejected_with_typed_errors() {
+        let dir = unique_tempdir("badwal");
+        let hub = SessionHub::with_spill_dir(1, &dir);
+        let id = hub
+            .open_spec(spec(15), SessionConfig::paper_defaults(true, 15))
+            .unwrap();
+        hub.run(id, 3).unwrap();
+        hub.save(id).unwrap();
+        hub.run(id, 2).unwrap();
+        drop(hub);
+
+        // A flipped byte in the manifest magic is WAL corruption.
+        let manifest = wal_dir(&dir, id.raw()).join("manifest.adpwman");
+        let good = fs::read(&manifest).unwrap();
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        fs::write(&manifest, &bad).unwrap();
+        let fresh = SessionHub::with_spill_dir(1, &dir);
+        assert!(matches!(fresh.load_all(), Err(ServeError::Wal(_))));
+        assert_eq!(fresh.session_count(), 0, "partial load must roll back");
+        fs::write(&manifest, &good).unwrap();
+
+        // A checkpoint with no covering snapshot on disk cannot recover.
+        let snap = spill_file(&dir, id.raw());
+        let snap_bytes = fs::read(&snap).unwrap();
+        fs::remove_file(&snap).unwrap();
+        assert!(matches!(
+            fresh.load_all(),
+            Err(ServeError::CorruptJournal { .. })
+        ));
+        fs::write(&snap, &snap_bytes).unwrap();
+
+        // Intact again: the rejection was the files, not the loader.
+        assert_eq!(fresh.load_all().unwrap(), vec![id]);
+        assert_eq!(fresh.status(id).unwrap().iteration, 5);
         let _ = fs::remove_dir_all(&dir);
     }
 

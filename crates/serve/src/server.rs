@@ -18,7 +18,15 @@
 //! | `{"cmd":"evaluate","session":0}`                                | `{"ok":true,"test_accuracy":0.6,…}`        |
 //! | `{"cmd":"snapshot","session":0}`                                | `{"ok":true,"path":"…/session-0.adpsnap"}` |
 //! | `{"cmd":"save_all"}`                                            | `{"ok":true,"saved":[0,1]}`                |
+//! | `{"cmd":"recover","session":0,"iteration":8}`                   | `{"ok":true,"session":3,"iteration":8}`    |
 //! | `{"cmd":"close","session":0}`                                   | `{"ok":true}`                              |
+//!
+//! When the requested session is journalled (the hub has a spill directory
+//! and the engine snapshots), the `open` reply also carries
+//! `checkpoint_iteration`, `durable_iteration` and `live_segments` — the
+//! [`DurabilityStatus`](crate::journal::DurabilityStatus) fields. `recover`
+//! rebuilds the state `session` had at any journalled commit point as a
+//! **new** session and returns its id; the source session is untouched.
 //!
 //! Sessions created here are opened through [`SessionHub::open_spec`], so
 //! they persist across restarts: `save_all` (or per-session `snapshot`)
@@ -126,12 +134,23 @@ fn dispatch(hub: &SessionHub, request: &Json) -> Result<Json, String> {
         "open" => {
             let id = session_field(request)?;
             let status = hub.status(id).map_err(serve_err)?;
-            Ok(ok_reply([
+            let mut fields = vec![
                 ("session", Json::int(id.raw())),
                 ("iteration", Json::int(status.iteration as u64)),
                 ("n_lfs", Json::int(status.n_lfs as u64)),
                 ("n_selected", Json::int(status.n_selected as u64)),
-            ]))
+            ];
+            if let Some(d) = status.durability {
+                fields.extend([
+                    (
+                        "checkpoint_iteration",
+                        Json::int(d.checkpoint_iteration as u64),
+                    ),
+                    ("durable_iteration", Json::int(d.durable_iteration as u64)),
+                    ("live_segments", Json::int(d.live_segments as u64)),
+                ]);
+            }
+            Ok(ok_reply(fields))
         }
         "step" => {
             let id = session_field(request)?;
@@ -178,6 +197,15 @@ fn dispatch(hub: &SessionHub, request: &Json) -> Result<Json, String> {
                 "saved",
                 Json::Arr(saved.iter().map(|id| Json::int(id.raw())).collect()),
             )]))
+        }
+        "recover" => {
+            let id = session_field(request)?;
+            let iteration = u64_field(request, "iteration")? as usize;
+            let recovered = hub.recover(id, iteration).map_err(serve_err)?;
+            Ok(ok_reply([
+                ("session", Json::int(recovered.raw())),
+                ("iteration", Json::int(iteration as u64)),
+            ]))
         }
         "close" => {
             let id = session_field(request)?;
@@ -436,6 +464,55 @@ mod tests {
             assert!(reply.get("error").is_some(), "{bad}");
         }
         assert_eq!(hub.session_count(), 0);
+    }
+
+    #[test]
+    fn recover_and_durability_ride_the_protocol() {
+        let dir = std::env::temp_dir().join(format!(
+            "adp-served-recover-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let hub = SessionHub::with_shards_and_spill(2, Some(dir.clone()));
+        let reply = handle_line(&hub, &create_line(5));
+        let session = reply.get("session").unwrap().as_u64().unwrap();
+        // Single steps: each iteration is its own commit point (a batch
+        // commits only at its end).
+        handle_line(
+            &hub,
+            &format!(r#"{{"cmd":"run","session":{session},"iterations":4}}"#),
+        );
+
+        // A journalled session's `open` reply reports durability.
+        let open = handle_line(&hub, &format!(r#"{{"cmd":"open","session":{session}}}"#));
+        assert_eq!(open.get("durable_iteration").unwrap().as_u64(), Some(4));
+        assert_eq!(open.get("checkpoint_iteration").unwrap().as_u64(), Some(0));
+        assert!(open.get("live_segments").unwrap().as_u64().unwrap() >= 1);
+
+        // Recover iteration 2 as a new session and check it reports it.
+        let rec = handle_line(
+            &hub,
+            &format!(r#"{{"cmd":"recover","session":{session},"iteration":2}}"#),
+        );
+        assert_eq!(rec.get("ok").unwrap().as_bool(), Some(true), "{rec}");
+        assert_eq!(rec.get("iteration").unwrap().as_u64(), Some(2));
+        let recovered = rec.get("session").unwrap().as_u64().unwrap();
+        assert_ne!(recovered, session);
+        let open = handle_line(&hub, &format!(r#"{{"cmd":"open","session":{recovered}}}"#));
+        assert_eq!(open.get("iteration").unwrap().as_u64(), Some(2));
+
+        // A non-commit target is a typed error, not a panic.
+        let bad = handle_line(
+            &hub,
+            &format!(r#"{{"cmd":"recover","session":{session},"iteration":99}}"#),
+        );
+        assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+
+        drop(hub);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -147,6 +147,106 @@ fn kill_reload_resume_cycle_is_bitwise_transparent() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A real `adp-served` child process; killed hard (SIGKILL, no shutdown
+/// path) when dropped so a failing assertion never leaks a server.
+struct ServedProc {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl ServedProc {
+    fn spawn(spill_dir: &std::path::Path) -> ServedProc {
+        use std::io::BufRead;
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_adp-served"))
+            .args(["--addr", "127.0.0.1:0", "--shards", "2", "--spill-dir"])
+            .arg(spill_dir)
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawns adp-served");
+        // The binary prints its bound address once it is serving.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("adp-served exited before listening")
+                .expect("readable stdout");
+            if let Some(addr) = line.strip_prefix("adp-served listening on ") {
+                break addr.to_string();
+            }
+        };
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        ServedProc { child, addr }
+    }
+
+    fn kill(mut self) {
+        let _ = self.child.kill(); // SIGKILL: no destructors, no final save
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServedProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn sigkill_crash_recovers_to_the_durable_tip() {
+    // The hard-crash sibling of the kill/reload test above: the server is
+    // SIGKILLed with NO save_all — the write-ahead log alone must carry
+    // the session. A restarted server over the same spill directory
+    // replays the journal, serves the session under the same id at the
+    // last committed iteration, and the completed trajectory matches an
+    // uninterrupted solo run bit for bit.
+    const SPLIT: u64 = 4;
+    const SEED: u64 = 3;
+    let dir = unique_tempdir("sigkill");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let first = ServedProc::spawn(&dir);
+    let mut client = Client::connect(&first.addr).unwrap();
+    let session = client
+        .create(DATASET, "tiny", DATA_SEED, SEED, None)
+        .unwrap();
+    let first_half: Vec<StepReply> = (0..SPLIT).map(|_| client.step(session).unwrap()).collect();
+    // Every single step is a durable commit point; the client confirms.
+    let opened = client.open(session).unwrap();
+    assert_eq!(
+        opened.durability.expect("journalled").durable_iteration,
+        SPLIT
+    );
+    drop(client);
+    first.kill(); // no graceful path: snapshot never written
+
+    let second = ServedProc::spawn(&dir);
+    let mut client = Client::connect(&second.addr).unwrap();
+    let opened = client.open(session).expect("crashed session came back");
+    assert_eq!(opened.iteration, SPLIT, "recovered to the durable tip");
+    let second_half: Vec<StepReply> = (SPLIT..ITERS)
+        .map(|_| client.step(session).unwrap())
+        .collect();
+    let eval = client.evaluate(session).unwrap();
+    let mut all = first_half;
+    all.extend(second_half);
+    assert_eq!(
+        served_fingerprint(&all, eval.test_accuracy),
+        solo_fingerprint(SEED, ITERS),
+        "recovered trajectory diverged from the uninterrupted run"
+    );
+
+    // Point-in-time recovery over the wire: any pre-crash commit point is
+    // still reachable as a new session.
+    let rec = client.recover(session, 2).unwrap();
+    assert_ne!(rec, session);
+    assert_eq!(client.open(rec).unwrap().iteration, 2);
+
+    second.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn one_connection_can_multiplex_sessions_and_batches() {
     let server = Server::bind("127.0.0.1:0", Arc::new(SessionHub::new(2))).unwrap();

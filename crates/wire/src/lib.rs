@@ -24,6 +24,8 @@
 
 use std::fmt;
 
+pub mod atomic;
+
 /// Errors surfaced while decoding (encoding is infallible).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {

@@ -13,6 +13,8 @@
 //! * [`serve`] — the concurrent [`serve::SessionHub`]: many sessions by
 //!   id, sharded over worker threads, with snapshot persistence and the
 //!   `adp-served` JSON-lines network front end;
+//! * [`wal`] — the per-step write-ahead log behind the hub's
+//!   point-in-time recovery;
 //! * [`wire`] — the dependency-free versioned binary codec snapshots are
 //!   encoded with;
 //! * [`data`] — the eight synthetic benchmark datasets of Table 2;
@@ -66,4 +68,5 @@ pub use adp_linalg as linalg;
 pub use adp_sampler as sampler;
 pub use adp_serve as serve;
 pub use adp_text as text;
+pub use adp_wal as wal;
 pub use adp_wire as wire;
