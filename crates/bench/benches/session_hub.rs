@@ -2,12 +2,13 @@
 //! sessions stepped through the sharded registry, versus the same work on
 //! one engine, and single-step versus batched stepping.
 
-use activedp::Engine;
+use activedp::{Engine, SessionConfig};
 use adp_bench::bench_dataset;
-use adp_data::{DatasetId, SharedDataset};
-use adp_serve::SessionHub;
+use adp_data::{DatasetId, DatasetSpec, Scale, SharedDataset};
+use adp_serve::{HubMetrics, Op, SessionHub};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 const SESSIONS: u64 = 8;
 const STEPS: usize = 10;
@@ -36,7 +37,7 @@ fn bench_hub_throughput(c: &mut Criterion) {
                     black_box(hub.step(id).expect("step succeeds"));
                 }
             }
-            black_box(hub.session_count())
+            black_box(hub.session_count().expect("all shards alive"))
         })
     });
 
@@ -59,7 +60,7 @@ fn bench_hub_throughput(c: &mut Criterion) {
                     });
                 }
             });
-            black_box(hub.session_count())
+            black_box(hub.session_count().expect("all shards alive"))
         })
     });
 
@@ -92,12 +93,69 @@ fn bench_hub_throughput(c: &mut Criterion) {
                     black_box(hub.step_batch(id, 5).expect("batch succeeds"));
                 }
             }
-            black_box(hub.session_count())
+            black_box(hub.session_count().expect("all shards alive"))
         })
     });
 
     group.finish();
 }
 
-criterion_group!(session_hub, bench_hub_throughput);
+/// One evict → resume-on-touch roundtrip: snapshot + atomic spill write +
+/// WAL checkpoint + engine drop, then spill read + rebuild + journal
+/// re-attach. This is the latency a cold session adds to its next touch.
+fn bench_evict_resume(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("adp-bench-evict-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let hub = SessionHub::with_spill_dir(1, &dir);
+    let id = hub
+        .open_spec(
+            DatasetSpec {
+                id: DatasetId::Youtube,
+                scale: Scale::Tiny,
+                seed: 7,
+            },
+            SessionConfig::paper_defaults(true, 1),
+        )
+        .expect("session opens");
+    hub.run(id, 5).expect("warms up");
+
+    let mut group = c.benchmark_group("session_hub");
+    group.sample_size(10);
+    group.bench_function("hub_evict_resume_roundtrip", |b| {
+        b.iter(|| {
+            assert!(hub.evict(id).expect("evicts"));
+            // Snapshot touches the session, resuming it from the spill
+            // without advancing the trajectory — a pure resume.
+            black_box(hub.snapshot(id).expect("resumes"));
+        })
+    });
+    group.finish();
+    drop(hub);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The metrics layer alone: what one `record` (two atomic counters + a
+/// histogram observe) costs on the hub's hot path, and what a full
+/// Prometheus render costs a scraper.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let metrics = HubMetrics::new();
+    for k in 0..10_000u64 {
+        metrics.record(Op::Step, Duration::from_micros(k % 3000), k % 64 == 0);
+    }
+    let mut group = c.benchmark_group("session_hub");
+    group.bench_function("metrics_overhead_record", |b| {
+        b.iter(|| metrics.record(Op::Step, black_box(Duration::from_micros(180)), false))
+    });
+    group.bench_function("metrics_overhead_render", |b| {
+        b.iter(|| black_box(metrics.render()).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    session_hub,
+    bench_hub_throughput,
+    bench_evict_resume,
+    bench_metrics_overhead
+);
 criterion_main!(session_hub);

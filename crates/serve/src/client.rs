@@ -100,6 +100,36 @@ pub struct OpenReply {
     pub durability: Option<DurabilityReply>,
 }
 
+/// One shard's liveness as reported by `health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealthReply {
+    /// Shard index.
+    pub shard: u64,
+    /// Whether the shard's worker thread is still serving.
+    pub alive: bool,
+    /// Hot sessions resident on this shard.
+    pub resident: u64,
+}
+
+/// The hub's health and tiering counters as reported by `health`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReply {
+    /// Whether every shard worker is alive.
+    pub healthy: bool,
+    /// Per-shard liveness.
+    pub shards: Vec<ShardHealthReply>,
+    /// Hot (in-memory) sessions across all shards.
+    pub resident: u64,
+    /// Cold (evicted-to-spill) sessions.
+    pub cold: u64,
+    /// The memory budget, `None` when unbudgeted.
+    pub max_resident: Option<u64>,
+    /// Sessions evicted to their spill files, ever.
+    pub evicted_total: u64,
+    /// Cold sessions resumed on touch, ever.
+    pub resumed_total: u64,
+}
+
 /// A blocking `adp-served` connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -319,6 +349,49 @@ impl Client {
             ("iteration", Json::int(iteration)),
         ]))?;
         Self::expect_u64(&reply, "session")
+    }
+
+    /// The server's metrics in the Prometheus text exposition format.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let reply = self.call(Json::obj([("cmd", Json::Str("metrics".into()))]))?;
+        reply
+            .get("text")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol(format!("missing text: {reply}")))
+    }
+
+    /// The hub's health: per-shard liveness plus tiering counters.
+    pub fn health(&mut self) -> Result<HealthReply, ClientError> {
+        let reply = self.call(Json::obj([("cmd", Json::Str("health".into()))]))?;
+        let shards = reply
+            .get("shards")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol(format!("missing shards: {reply}")))?
+            .iter()
+            .map(|s| {
+                Ok(ShardHealthReply {
+                    shard: Self::expect_u64(s, "shard")?,
+                    alive: s
+                        .get("alive")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| ClientError::Protocol(format!("missing alive: {s}")))?,
+                    resident: Self::expect_u64(s, "resident")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ClientError>>()?;
+        Ok(HealthReply {
+            healthy: reply
+                .get("healthy")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ClientError::Protocol(format!("missing healthy: {reply}")))?,
+            shards,
+            resident: Self::expect_u64(&reply, "resident")?,
+            cold: Self::expect_u64(&reply, "cold")?,
+            max_resident: reply.get("max_resident").and_then(Json::as_u64),
+            evicted_total: Self::expect_u64(&reply, "evicted_total")?,
+            resumed_total: Self::expect_u64(&reply, "resumed_total")?,
+        })
     }
 
     /// Closes the session server-side.

@@ -1,19 +1,44 @@
 //! The sharded session registry: engines behind ids, one worker thread per
-//! shard.
+//! shard, with hot/cold tiering under a configurable memory budget.
+//!
+//! Sessions are **hot** (engine resident in its shard worker's map) or
+//! **cold** (engine dropped, state spilled to `session-<id>.adpsnap`, WAL
+//! checkpointed behind the snapshot). When a memory budget is set
+//! ([`SessionHub::with_memory_budget`] / `ADP_MAX_RESIDENT`) the hub keeps
+//! at most that many sessions hot, evicting the least-recently-touched
+//! first. Cold sessions resume transparently on their next touch — inside
+//! the shard worker, so callers never observe eviction: an
+//! `evict → touch → run-to-end` trajectory is bitwise identical to the
+//! uninterrupted run, post-run snapshot bytes included (the same parity
+//! bar as snapshot/resume and WAL replay).
 
 use crate::journal::{new_journal_slot, DurabilityStatus, JournalObserver, SharedJournal};
+use crate::metrics::{HubMetrics, Op};
+use crate::persist::{checkpoint_behind, spill_file, write_spill_record, SpillRecord};
 use activedp::{
     ActiveDpError, Engine, EngineBuilder, EvalReport, ScenarioSpec, SessionConfig, SessionSnapshot,
     StepOutcome,
 };
 use adp_data::{DatasetId, DatasetSpec, SharedDataset};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Locks `m`, recovering from poison instead of propagating the panic.
+///
+/// Every mutex behind this helper guards a registry (datasets, journals,
+/// residency slots) whose invariants hold between operations — a panic on
+/// one thread mid-operation leaves at worst a stale entry, never a torn
+/// one, so the right response to poison is to keep serving, not to turn
+/// every subsequent hub call into a panic cascade.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Opaque handle to one session inside a [`SessionHub`].
 ///
@@ -91,7 +116,18 @@ pub enum ServeError {
         /// What was inconsistent.
         reason: String,
     },
-    /// The hub's workers are gone (the hub was dropped mid-call).
+    /// The hub is at its memory budget and no resident session can be
+    /// evicted to make room (no spill directory, or every resident session
+    /// is unevictable) — backpressure, not failure: retry after closing or
+    /// evicting something.
+    Saturated {
+        /// Resident sessions at rejection time.
+        resident: usize,
+        /// The configured budget.
+        cap: usize,
+    },
+    /// The hub's workers are gone (the hub was dropped mid-call, or a
+    /// shard worker died).
     HubClosed,
 }
 
@@ -121,6 +157,12 @@ impl fmt::Display for ServeError {
             ServeError::Wal(source) => write!(f, "{source}"),
             ServeError::CorruptJournal { path, reason } => {
                 write!(f, "corrupt journal {}: {reason}", path.display())
+            }
+            ServeError::Saturated { resident, cap } => {
+                write!(
+                    f,
+                    "hub saturated: {resident} resident sessions at budget {cap} and none evictable"
+                )
             }
             ServeError::HubClosed => write!(f, "session hub is shut down"),
         }
@@ -161,6 +203,221 @@ pub struct SessionStatus {
     pub durability: Option<DurabilityStatus>,
 }
 
+/// One shard's liveness and occupancy (see [`SessionHub::health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index (ids route to `id % n_shards`).
+    pub shard: usize,
+    /// Whether the shard's worker thread is alive and answering.
+    pub alive: bool,
+    /// Resident sessions on this shard (0 when dead).
+    pub resident: usize,
+}
+
+/// A point-in-time health report (see [`SessionHub::health`]). Unlike
+/// [`SessionHub::session_count`], building it never fails — a dead shard
+/// is the report, not an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HubHealth {
+    /// Per-shard liveness and occupancy.
+    pub shards: Vec<ShardHealth>,
+    /// Sessions with an engine in memory.
+    pub resident: usize,
+    /// Sessions spilled cold, resumable on touch.
+    pub cold: usize,
+    /// The memory budget, when one is set.
+    pub max_resident: Option<usize>,
+    /// Evictions since the hub started.
+    pub evicted_total: u64,
+    /// Cold-session resumes since the hub started.
+    pub resumed_total: u64,
+}
+
+impl HubHealth {
+    /// Whether every shard worker is alive.
+    pub fn all_alive(&self) -> bool {
+        self.shards.iter().all(|s| s.alive)
+    }
+}
+
+/// One session's residency bookkeeping in [`HubShared::slots`].
+#[derive(Debug, Clone, Copy)]
+struct SessionSlot {
+    /// Whether the engine is in memory (hot) or spilled (cold).
+    resident: bool,
+    /// Monotone touch sequence number; the LRU victim is the resident
+    /// session with the smallest value.
+    last_touch: u64,
+    /// Cleared when an eviction attempt finds the session cannot spill
+    /// (no snapshot support), so the LRU scan stops proposing it.
+    evictable: bool,
+}
+
+/// State shared between the hub front end and its shard workers: the
+/// residency map the tiering policy reads, the registries the resume path
+/// needs (datasets, journals), and the metric surface. Holds **no channel
+/// senders**, so workers owning an `Arc` of it never keep each other —
+/// or the hub's drop — alive.
+pub(crate) struct HubShared {
+    /// Where snapshots spill (explicit, else `ADP_SPILL_DIR`, else none).
+    spill_dir: Option<PathBuf>,
+    /// Resident-session cap; 0 means no budget (never evict).
+    max_resident: AtomicUsize,
+    /// Source of `last_touch` values.
+    touch_seq: AtomicU64,
+    /// Every open session, hot or cold, by raw id.
+    slots: Mutex<HashMap<u64, SessionSlot>>,
+    /// Generated splits by spec, so every session naming the same spec —
+    /// including all sessions re-opened by `load_all` — shares one
+    /// `SharedDataset` allocation.
+    pub(crate) datasets: Mutex<HashMap<(DatasetId, u64, u64), SharedDataset>>,
+    /// Each journalled session's journal slot, shared with the
+    /// `JournalObserver` registered on its engine (which appends from the
+    /// shard thread while the hub checkpoints/inspects from callers).
+    pub(crate) journals: Mutex<HashMap<u64, SharedJournal>>,
+    /// Counters, gauges and latency histograms for every hub operation.
+    pub(crate) metrics: HubMetrics,
+}
+
+impl HubShared {
+    fn next_touch(&self) -> u64 {
+        self.touch_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a fresh (resident) slot; `false` when the id is already
+    /// taken by a session, hot or cold.
+    fn note_inserted(&self, id: u64) -> bool {
+        let mut slots = lock_clean(&self.slots);
+        if slots.contains_key(&id) {
+            return false;
+        }
+        slots.insert(
+            id,
+            SessionSlot {
+                resident: true,
+                last_touch: self.next_touch(),
+                evictable: true,
+            },
+        );
+        self.metrics.resident.inc();
+        true
+    }
+
+    /// Bumps the session's LRU position.
+    fn touch(&self, id: u64) {
+        let seq = self.next_touch();
+        if let Some(slot) = lock_clean(&self.slots).get_mut(&id) {
+            slot.last_touch = seq;
+        }
+    }
+
+    /// `Some(resident?)` for an open session, `None` for an unknown id.
+    fn residency(&self, id: u64) -> Option<bool> {
+        lock_clean(&self.slots).get(&id).map(|s| s.resident)
+    }
+
+    fn note_evicted(&self, id: u64) {
+        if let Some(slot) = lock_clean(&self.slots).get_mut(&id) {
+            slot.resident = false;
+        }
+        self.metrics.resident.dec();
+        self.metrics.cold.inc();
+        self.metrics.evicted_total.inc();
+    }
+
+    fn note_resumed(&self, id: u64) {
+        let seq = self.next_touch();
+        if let Some(slot) = lock_clean(&self.slots).get_mut(&id) {
+            slot.resident = true;
+            slot.last_touch = seq;
+        }
+        self.metrics.cold.dec();
+        self.metrics.resident.inc();
+        self.metrics.resumed_total.inc();
+    }
+
+    fn mark_unevictable(&self, id: u64) {
+        if let Some(slot) = lock_clean(&self.slots).get_mut(&id) {
+            slot.evictable = false;
+        }
+    }
+
+    /// Removes the session's slot; `Some(was_resident)` when it existed.
+    fn note_closed(&self, id: u64) -> Option<bool> {
+        let removed = lock_clean(&self.slots).remove(&id)?;
+        if removed.resident {
+            self.metrics.resident.dec();
+        } else {
+            self.metrics.cold.dec();
+        }
+        Some(removed.resident)
+    }
+
+    fn resident_count(&self) -> usize {
+        lock_clean(&self.slots)
+            .values()
+            .filter(|s| s.resident)
+            .count()
+    }
+
+    fn slot_count(&self) -> usize {
+        lock_clean(&self.slots).len()
+    }
+
+    fn all_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = lock_clean(&self.slots).keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn ids_where(&self, resident: bool) -> Vec<u64> {
+        let mut ids: Vec<u64> = lock_clean(&self.slots)
+            .iter()
+            .filter(|(_, s)| s.resident == resident)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The least-recently-touched resident, evictable session outside
+    /// `skip`, if any.
+    fn lru_victim(&self, skip: &HashSet<u64>) -> Option<u64> {
+        lock_clean(&self.slots)
+            .iter()
+            .filter(|(id, s)| s.resident && s.evictable && !skip.contains(id))
+            .min_by_key(|(_, s)| s.last_touch)
+            .map(|(&id, _)| id)
+    }
+
+    /// The identified session's shared journal slot, if it has one.
+    pub(crate) fn journal_slot(&self, id: u64) -> Option<SharedJournal> {
+        lock_clean(&self.journals).get(&id).cloned()
+    }
+
+    /// The shared split for `spec`, generated once per hub. The cache lock
+    /// is *not* held across generation (which can take seconds at paper
+    /// scale), so concurrent `open_spec` calls for different specs generate
+    /// in parallel; a racing duplicate generation of the same spec is
+    /// resolved by keeping the first insert (both copies are
+    /// bitwise-identical anyway — generation is deterministic in the spec).
+    pub(crate) fn dataset_for(&self, spec: DatasetSpec) -> Result<SharedDataset, ServeError> {
+        if let Some(data) = lock_clean(&self.datasets).get(&spec.cache_key()) {
+            return Ok(data.clone());
+        }
+        let data = spec
+            .generate()
+            .map_err(|e| {
+                ServeError::Engine(ActiveDpError::BadConfig {
+                    reason: format!("dataset spec failed to generate: {e}"),
+                })
+            })?
+            .into_shared();
+        let mut cache = lock_clean(&self.datasets);
+        Ok(cache.entry(spec.cache_key()).or_insert(data).clone())
+    }
+}
+
 /// One request to a shard worker. Every variant carries its own reply
 /// channel, so concurrent callers never contend on a shared reply path.
 enum Command {
@@ -178,9 +435,6 @@ enum Command {
     Status {
         id: u64,
         reply: Sender<Result<SessionStatus, ServeError>>,
-    },
-    List {
-        reply: Sender<Vec<u64>>,
     },
     Step {
         id: u64,
@@ -200,6 +454,10 @@ enum Command {
         id: u64,
         reply: Sender<Result<EvalReport, ServeError>>,
     },
+    Evict {
+        id: u64,
+        reply: Sender<Result<bool, ServeError>>,
+    },
     Close {
         id: u64,
         reply: Sender<Result<(), ServeError>>,
@@ -218,29 +476,36 @@ enum Command {
 /// sessions on the same shard serialise in arrival order — within one
 /// session that is exactly the engine's own sequential semantics, so
 /// per-session trajectories are deterministic regardless of hub load.
+///
+/// With a memory budget set, the hub additionally keeps only the
+/// `max_resident` most-recently-touched sessions hot; the rest are spilled
+/// cold and resume transparently on their next touch (see the module
+/// docs). Without a budget — the default — nothing is ever evicted and the
+/// hub behaves exactly as before.
 pub struct SessionHub {
     shards: Vec<Sender<Command>>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
-    /// Where snapshots spill (explicit, else `ADP_SPILL_DIR`, else none).
-    spill_dir: Option<PathBuf>,
-    /// Generated splits by spec, so every session naming the same spec —
-    /// including all sessions re-opened by `load_all` — shares one
-    /// `SharedDataset` allocation.
-    datasets: Mutex<HashMap<(DatasetId, u64, u64), SharedDataset>>,
-    /// Each journalled session's journal slot, shared with the
-    /// `JournalObserver` registered on its engine (which appends from the
-    /// shard thread while the hub checkpoints/inspects from callers).
-    pub(crate) journals: Mutex<HashMap<u64, SharedJournal>>,
+    pub(crate) shared: Arc<HubShared>,
 }
 
 impl SessionHub {
     /// A hub with `n_shards` worker threads (at least one). Snapshots spill
     /// to `ADP_SPILL_DIR` when that variable is set; use
-    /// [`SessionHub::with_spill_dir`] to pick the directory explicitly.
+    /// [`SessionHub::with_spill_dir`] to pick the directory explicitly. A
+    /// memory budget is taken from `ADP_MAX_RESIDENT` when set (and
+    /// parseable); use [`SessionHub::with_memory_budget`] to pick it
+    /// explicitly.
     pub fn new(n_shards: usize) -> Self {
         let spill = std::env::var_os("ADP_SPILL_DIR").map(PathBuf::from);
-        Self::with_shards_and_spill(n_shards, spill)
+        let hub = Self::with_shards_and_spill(n_shards, spill);
+        if let Some(cap) = std::env::var("ADP_MAX_RESIDENT")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            hub.set_memory_budget(Some(cap));
+        }
+        hub
     }
 
     /// A hub whose [`SessionHub::save_all`]/[`SessionHub::load_all`] use
@@ -249,17 +514,35 @@ impl SessionHub {
         Self::with_shards_and_spill(n_shards, Some(spill_dir.into()))
     }
 
+    /// A hub with **no** spill directory, regardless of `ADP_SPILL_DIR`:
+    /// sessions are purely in-memory, snapshot/save requests report the
+    /// missing directory, and a memory budget can only refuse admissions
+    /// (nothing is evictable without somewhere to spill).
+    pub fn in_memory(n_shards: usize) -> Self {
+        Self::with_shards_and_spill(n_shards, None)
+    }
+
     pub(crate) fn with_shards_and_spill(n_shards: usize, spill_dir: Option<PathBuf>) -> Self {
         let n = n_shards.max(1);
+        let shared = Arc::new(HubShared {
+            spill_dir,
+            max_resident: AtomicUsize::new(0),
+            touch_seq: AtomicU64::new(0),
+            slots: Mutex::new(HashMap::new()),
+            datasets: Mutex::new(HashMap::new()),
+            journals: Mutex::new(HashMap::new()),
+            metrics: HubMetrics::new(),
+        });
         let mut shards = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for k in 0..n {
             let (tx, rx) = channel();
             shards.push(tx);
+            let shared = shared.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("adp-serve-shard-{k}"))
-                    .spawn(move || shard_worker(rx))
+                    .spawn(move || shard_worker(rx, shared))
                     .expect("shard worker spawns"),
             );
         }
@@ -267,9 +550,33 @@ impl SessionHub {
             shards,
             workers,
             next_id: AtomicU64::new(0),
-            spill_dir,
-            datasets: Mutex::new(HashMap::new()),
-            journals: Mutex::new(HashMap::new()),
+            shared,
+        }
+    }
+
+    /// Caps resident sessions at `max_resident` (clamped to at least 1):
+    /// once more sessions than that are hot, the least-recently-touched
+    /// are evicted to their spill files. Builder-style; see also
+    /// [`SessionHub::set_memory_budget`].
+    pub fn with_memory_budget(self, max_resident: usize) -> Self {
+        self.set_memory_budget(Some(max_resident));
+        self
+    }
+
+    /// Sets (or with `None` clears) the resident-session budget at
+    /// runtime. A budget of 0 is clamped to 1 — a hub that could hold
+    /// nothing hot could never run anything.
+    pub fn set_memory_budget(&self, max_resident: Option<usize>) {
+        let cap = max_resident.map_or(0, |c| c.max(1));
+        self.shared.max_resident.store(cap, Ordering::Relaxed);
+        self.enforce_budget();
+    }
+
+    /// The resident-session budget, when one is set.
+    pub fn memory_budget(&self) -> Option<usize> {
+        match self.shared.max_resident.load(Ordering::Relaxed) {
+            0 => None,
+            cap => Some(cap),
         }
     }
 
@@ -280,7 +587,23 @@ impl SessionHub {
 
     /// The directory snapshots spill to, when one is configured.
     pub fn spill_dir(&self) -> Option<&std::path::Path> {
-        self.spill_dir.as_deref()
+        self.shared.spill_dir.as_deref()
+    }
+
+    /// The hub's metric surface (counters, gauges, latency histograms) —
+    /// render with [`HubMetrics::render`] for a Prometheus scrape.
+    pub fn metrics(&self) -> &HubMetrics {
+        &self.shared.metrics
+    }
+
+    /// Times `f` into the per-operation histogram.
+    fn timed<T>(&self, op: Op, f: impl FnOnce() -> Result<T, ServeError>) -> Result<T, ServeError> {
+        let start = Instant::now();
+        let out = f();
+        self.shared
+            .metrics
+            .record(op, start.elapsed(), out.is_err());
+        out
     }
 
     /// Registers a ready-built engine and returns its session id.
@@ -295,7 +618,16 @@ impl SessionHub {
     /// into a write-ahead log under `wal-<id>/`, making the session
     /// recoverable to its last committed iteration after a crash — and to
     /// any earlier commit point via [`SessionHub::recover`].
+    ///
+    /// Under a memory budget, a create that cannot be absorbed — the hub
+    /// is at the cap and nothing resident can be evicted — is rejected
+    /// with [`ServeError::Saturated`] before any id is allocated.
     pub fn create(&self, engine: Engine) -> Result<SessionId, ServeError> {
+        self.timed(Op::Open, || self.create_inner(engine))
+    }
+
+    fn create_inner(&self, engine: Engine) -> Result<SessionId, ServeError> {
+        self.admit()?;
         // Decide journalability before the engine is moved: exactly the
         // sessions that can snapshot can journal (the snapshot doubles as
         // the journal's checkpoint description).
@@ -335,7 +667,62 @@ impl SessionHub {
                 return Err(e);
             }
         }
+        self.enforce_budget();
         Ok(id)
+    }
+
+    /// Admission control: under a budget, a create is rejected when the
+    /// hub is at the cap and eviction cannot make room (no spill
+    /// directory, or every resident session is unevictable). When an
+    /// eviction *can* absorb the new session, the create is admitted and
+    /// `enforce_budget` spills the LRU victim right after the insert.
+    fn admit(&self) -> Result<(), ServeError> {
+        let Some(cap) = self.memory_budget() else {
+            return Ok(());
+        };
+        let resident = self.shared.resident_count();
+        if resident < cap {
+            return Ok(());
+        }
+        if self.spill_dir().is_some() && self.shared.lru_victim(&HashSet::new()).is_some() {
+            return Ok(());
+        }
+        self.shared.metrics.saturated_total.inc();
+        Err(ServeError::Saturated { resident, cap })
+    }
+
+    /// Evicts least-recently-touched sessions until the resident count is
+    /// back inside the budget. Victims that turn out unevictable are
+    /// marked and skipped, so the loop always terminates.
+    fn enforce_budget(&self) {
+        let Some(cap) = self.memory_budget() else {
+            return;
+        };
+        let mut skip = HashSet::new();
+        while self.shared.resident_count() > cap {
+            let Some(victim) = self.shared.lru_victim(&skip) else {
+                break;
+            };
+            match self.evict(SessionId(victim)) {
+                Ok(true) => {}
+                // Unevictable, already cold, or the spill failed — do not
+                // retry it this sweep.
+                Ok(false) | Err(_) => {
+                    skip.insert(victim);
+                }
+            }
+        }
+    }
+
+    /// Spills the identified session cold: snapshot → spill file → WAL
+    /// checkpoint → engine dropped. Returns `Ok(true)` when the session
+    /// went cold, `Ok(false)` when it already was — or cannot be evicted
+    /// (no spill directory, or its engine cannot snapshot; such sessions
+    /// are marked and the LRU policy leaves them alone). The session stays
+    /// fully serviceable either way: its next touch resumes it in place,
+    /// on the exact trajectory it would have had uninterrupted.
+    pub fn evict(&self, id: SessionId) -> Result<bool, ServeError> {
+        self.call(id.0, |reply| Command::Evict { id: id.0, reply })?
     }
 
     /// Builds the engine from `builder` and registers it — the one-call
@@ -388,35 +775,48 @@ impl SessionHub {
     }
 
     /// Captures the identified session's [`SessionSnapshot`] (the session
-    /// keeps running; snapshots are read-only).
+    /// keeps running; snapshots are read-only). A cold session is resumed
+    /// first — this is a touch like any other engine operation.
     pub fn snapshot(&self, id: SessionId) -> Result<SessionSnapshot, ServeError> {
-        self.call(id.0, |reply| Command::Snapshot { id: id.0, reply })?
+        let out = self.call(id.0, |reply| Command::Snapshot { id: id.0, reply })?;
+        self.enforce_budget();
+        out
     }
 
     /// Cheap progress probe for the identified session (the network
     /// front end's `open` verb — a reconnecting client learns where its
-    /// session left off without pulling a full snapshot).
+    /// session left off without pulling a full snapshot). A pure probe:
+    /// a cold session answers from its spill file without being resumed,
+    /// and no LRU position changes.
     pub fn status(&self, id: SessionId) -> Result<SessionStatus, ServeError> {
-        let mut status = self.call(id.0, |reply| Command::Status { id: id.0, reply })??;
-        status.durability = self.durability(id.0);
-        Ok(status)
+        self.timed(Op::Open, || {
+            let mut status = self.call(id.0, |reply| Command::Status { id: id.0, reply })??;
+            status.durability = self.durability(id.0);
+            Ok(status)
+        })
     }
 
-    /// Ids of every live session, ascending.
+    /// Ids of every open session — resident or cold — ascending.
     pub fn session_ids(&self) -> Vec<SessionId> {
-        let mut ids: Vec<u64> = self
-            .shards
-            .iter()
-            .flat_map(|shard| {
-                let (reply, rx) = channel();
-                if shard.send(Command::List { reply }).is_err() {
-                    return vec![];
-                }
-                rx.recv().unwrap_or_default()
-            })
-            .collect();
-        ids.sort_unstable();
-        ids.into_iter().map(SessionId).collect()
+        self.shared.all_ids().into_iter().map(SessionId).collect()
+    }
+
+    /// Ids of the sessions currently hot (engine in memory), ascending.
+    pub fn resident_ids(&self) -> Vec<SessionId> {
+        self.shared
+            .ids_where(true)
+            .into_iter()
+            .map(SessionId)
+            .collect()
+    }
+
+    /// Ids of the sessions currently cold (spilled, resumable), ascending.
+    pub fn cold_ids(&self) -> Vec<SessionId> {
+        self.shared
+            .ids_where(false)
+            .into_iter()
+            .map(SessionId)
+            .collect()
     }
 
     /// Registers `engine` under a *specific* id (the `load_all` path, which
@@ -436,31 +836,8 @@ impl SessionHub {
         }
     }
 
-    /// The shared split for `spec`, generated once per hub. The cache lock
-    /// is *not* held across generation (which can take seconds at paper
-    /// scale), so concurrent `open_spec` calls for different specs generate
-    /// in parallel; a racing duplicate generation of the same spec is
-    /// resolved by keeping the first insert (both copies are
-    /// bitwise-identical anyway — generation is deterministic in the spec).
     pub(crate) fn dataset_for(&self, spec: DatasetSpec) -> Result<SharedDataset, ServeError> {
-        if let Some(data) = self
-            .datasets
-            .lock()
-            .expect("datasets lock")
-            .get(&spec.cache_key())
-        {
-            return Ok(data.clone());
-        }
-        let data = spec
-            .generate()
-            .map_err(|e| {
-                ServeError::Engine(ActiveDpError::BadConfig {
-                    reason: format!("dataset spec failed to generate: {e}"),
-                })
-            })?
-            .into_shared();
-        let mut cache = self.datasets.lock().expect("datasets lock");
-        Ok(cache.entry(spec.cache_key()).or_insert(data).clone())
+        self.shared.dataset_for(spec)
     }
 
     /// Routes an insert to `id`'s shard; the inner `Err` returns the
@@ -475,7 +852,11 @@ impl SessionHub {
 
     /// One training iteration of the identified session.
     pub fn step(&self, id: SessionId) -> Result<StepOutcome, ServeError> {
-        self.call(id.0, |reply| Command::Step { id: id.0, reply })?
+        let out = self.timed(Op::Step, || {
+            self.call(id.0, |reply| Command::Step { id: id.0, reply })?
+        });
+        self.enforce_budget();
+        out
     }
 
     /// Batched stepping: up to `k` queries, one refit (see
@@ -485,52 +866,96 @@ impl SessionHub {
         if k == 0 {
             return Err(ServeError::EmptyBatch);
         }
-        self.call(id.0, |reply| Command::StepBatch { id: id.0, k, reply })?
+        let out = self.timed(Op::StepBatch, || {
+            self.call(id.0, |reply| Command::StepBatch { id: id.0, k, reply })?
+        });
+        self.enforce_budget();
+        out
     }
 
     /// Runs `iterations` single steps on the identified session.
     pub fn run(&self, id: SessionId, iterations: usize) -> Result<(), ServeError> {
-        self.call(id.0, |reply| Command::Run {
+        let out = self.call(id.0, |reply| Command::Run {
             id: id.0,
             iterations,
             reply,
-        })?
+        })?;
+        self.enforce_budget();
+        out
     }
 
     /// Inference-phase evaluation of the identified session.
     pub fn evaluate(&self, id: SessionId) -> Result<EvalReport, ServeError> {
-        self.call(id.0, |reply| Command::Evaluate { id: id.0, reply })?
+        let out = self.timed(Op::Evaluate, || {
+            self.call(id.0, |reply| Command::Evaluate { id: id.0, reply })?
+        });
+        self.enforce_budget();
+        out
     }
 
     /// Drops the identified session, freeing its engine (a closed session
-    /// is not re-saved). Its journal handle is released too; the journal
-    /// *files* stay on disk, so the session remains recoverable (and is
-    /// reloaded by a later [`SessionHub::load_all`]) until the operator
-    /// removes them.
+    /// is not re-saved). Closing a cold session just forgets it — nothing
+    /// is resumed. Its journal handle is released too; the journal *files*
+    /// stay on disk, so the session remains recoverable (and is reloaded
+    /// by a later [`SessionHub::load_all`]) until the operator removes
+    /// them.
     pub fn close(&self, id: SessionId) -> Result<(), ServeError> {
         let result: Result<(), ServeError> =
             self.call(id.0, |reply| Command::Close { id: id.0, reply })?;
         if result.is_ok() {
-            self.journals
-                .lock()
-                .expect("journal registry")
-                .remove(&id.0);
+            lock_clean(&self.shared.journals).remove(&id.0);
         }
         result
     }
 
-    /// Number of live sessions across all shards.
-    pub fn session_count(&self) -> usize {
-        self.shards
+    /// Number of open sessions (resident plus cold). A dead shard worker
+    /// is surfaced as [`ServeError::HubClosed`] instead of silently
+    /// undercounting; [`SessionHub::health`] says *which* shard died.
+    pub fn session_count(&self) -> Result<usize, ServeError> {
+        // Ping every shard: the count itself comes from the residency map,
+        // but a hub with a dead worker must not pretend to know it.
+        for shard in &self.shards {
+            let (reply, rx) = channel();
+            shard
+                .send(Command::Count { reply })
+                .map_err(|_| ServeError::HubClosed)?;
+            rx.recv().map_err(|_| ServeError::HubClosed)?;
+        }
+        Ok(self.shared.slot_count())
+    }
+
+    /// A point-in-time health report: per-shard liveness and occupancy,
+    /// residency totals and tiering counters. Never fails — a dead shard
+    /// shows up as `alive: false`, which is exactly what a health endpoint
+    /// is for.
+    pub fn health(&self) -> HubHealth {
+        let shards = self
+            .shards
             .iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(k, shard)| {
                 let (reply, rx) = channel();
-                if shard.send(Command::Count { reply }).is_err() {
-                    return 0;
+                let resident = if shard.send(Command::Count { reply }).is_ok() {
+                    rx.recv().ok()
+                } else {
+                    None
+                };
+                ShardHealth {
+                    shard: k,
+                    alive: resident.is_some(),
+                    resident: resident.unwrap_or(0),
                 }
-                rx.recv().unwrap_or(0)
             })
-            .sum()
+            .collect();
+        let resident = self.shared.resident_count();
+        HubHealth {
+            shards,
+            resident,
+            cold: self.shared.slot_count().saturating_sub(resident),
+            max_resident: self.memory_budget(),
+            evicted_total: self.shared.metrics.evicted_total.get(),
+            resumed_total: self.shared.metrics.resumed_total.get(),
+        }
     }
 
     /// Routes one command to the owning shard and blocks on its reply.
@@ -545,7 +970,8 @@ impl SessionHub {
 impl Drop for SessionHub {
     fn drop(&mut self) {
         // Closing the senders ends each worker's receive loop; join so no
-        // worker outlives the hub.
+        // worker outlives the hub. (Workers hold only `Arc<HubShared>`,
+        // which has no senders in it, so this cannot cycle.)
         self.shards.clear();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -553,90 +979,219 @@ impl Drop for SessionHub {
     }
 }
 
-fn shard_worker(rx: Receiver<Command>) {
-    let mut sessions: HashMap<u64, Engine> = HashMap::new();
+/// One shard worker's state: the engines it owns plus the shared hub
+/// state the tiering policy lives in.
+struct ShardState {
+    sessions: HashMap<u64, Engine>,
+    shared: Arc<HubShared>,
+}
+
+impl ShardState {
+    /// Runs `f` over the session's engine, resuming it from its spill
+    /// file first when it is cold — the transparent-resume path. Bumps
+    /// the session's LRU position.
+    fn touch<T>(
+        &mut self,
+        id: u64,
+        f: impl FnOnce(&mut Engine) -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        if !self.sessions.contains_key(&id) {
+            match self.shared.residency(id) {
+                Some(false) => {
+                    let start = Instant::now();
+                    let resumed = self.resume_session(id);
+                    self.shared
+                        .metrics
+                        .record(Op::Resume, start.elapsed(), resumed.is_err());
+                    let engine = resumed?;
+                    self.sessions.insert(id, engine);
+                    self.shared.note_resumed(id);
+                }
+                // `Some(true)` cannot happen — a resident slot's engine
+                // lives in this very map (same id, same shard) — but a
+                // defensive UnknownSession beats a panic on the worker.
+                Some(true) | None => return Err(ServeError::UnknownSession(SessionId(id))),
+            }
+        }
+        self.shared.touch(id);
+        f(self.sessions.get_mut(&id).expect("engine just ensured"))
+    }
+
+    /// Rebuilds a cold session's engine from its spill file and re-arms
+    /// its journal observer. The spill is written at eviction time and the
+    /// session cannot step while cold, so the file is always current.
+    fn resume_session(&self, id: u64) -> Result<Engine, ServeError> {
+        let dir = self
+            .shared
+            .spill_dir
+            .clone()
+            .ok_or(ServeError::NoSpillDir)?;
+        let path = spill_file(&dir, id);
+        let bytes = std::fs::read(&path).map_err(|source| ServeError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let record =
+            SpillRecord::from_bytes(&bytes).map_err(|source| ServeError::CorruptSnapshot {
+                path: path.clone(),
+                source,
+            })?;
+        if record.session != id {
+            return Err(ServeError::CorruptSnapshot {
+                path,
+                source: ActiveDpError::BadConfig {
+                    reason: format!("spill file records session {}", record.session),
+                },
+            });
+        }
+        let data = self.shared.dataset_for(record.spec)?;
+        let mut engine = Engine::builder(data)
+            .resume(record.snapshot)
+            .map_err(|source| ServeError::CorruptSnapshot { path, source })?;
+        // The journal stayed live (and checkpointed) across the eviction;
+        // re-arm the observer so post-resume steps keep appending to it.
+        if let Some(slot) = self.shared.journal_slot(id) {
+            engine.add_observer(JournalObserver::new(slot));
+        }
+        Ok(engine)
+    }
+
+    /// Spills a resident session cold; see [`SessionHub::evict`].
+    fn evict_session(&mut self, id: u64) -> Result<bool, ServeError> {
+        let Some(engine) = self.sessions.get(&id) else {
+            return match self.shared.residency(id) {
+                // Already cold: nothing to do, not an error.
+                Some(_) => Ok(false),
+                None => Err(ServeError::UnknownSession(SessionId(id))),
+            };
+        };
+        let Some(dir) = self.shared.spill_dir.clone() else {
+            self.shared.mark_unevictable(id);
+            return Ok(false);
+        };
+        let snapshot = match engine.snapshot() {
+            Ok(snapshot) => snapshot,
+            Err(ActiveDpError::SnapshotUnsupported { .. }) => {
+                self.shared.mark_unevictable(id);
+                return Ok(false);
+            }
+            Err(e) => return Err(ServeError::Engine(e)),
+        };
+        let iteration = snapshot.state.iteration;
+        write_spill_record(&dir, id, snapshot)?;
+        // Same discipline as `save`: snapshot on disk first, checkpoint
+        // second, so a crash between the two leaves the snapshot *ahead*
+        // of the checkpoint — recovery just skips the covered events.
+        if let Some(slot) = self.shared.journal_slot(id) {
+            checkpoint_behind(&slot, iteration)?;
+        }
+        self.sessions.remove(&id);
+        self.shared.note_evicted(id);
+        Ok(true)
+    }
+
+    /// Status without residency side effects: a hot session answers from
+    /// its engine, a cold one from its spill file — no resume, no touch.
+    fn probe_status(&mut self, id: u64) -> Result<SessionStatus, ServeError> {
+        if let Some(engine) = self.sessions.get(&id) {
+            return Ok(SessionStatus {
+                iteration: engine.state().iteration,
+                n_lfs: engine.state().lfs.len(),
+                n_selected: engine.state().selected.len(),
+                // The shard worker has no view of the journal registry;
+                // the hub fills this in on the way out.
+                durability: None,
+            });
+        }
+        if self.shared.residency(id).is_none() {
+            return Err(ServeError::UnknownSession(SessionId(id)));
+        }
+        let dir = self
+            .shared
+            .spill_dir
+            .clone()
+            .ok_or(ServeError::NoSpillDir)?;
+        let path = spill_file(&dir, id);
+        let bytes = std::fs::read(&path).map_err(|source| ServeError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let record = SpillRecord::from_bytes(&bytes)
+            .map_err(|source| ServeError::CorruptSnapshot { path, source })?;
+        Ok(SessionStatus {
+            iteration: record.snapshot.state.iteration,
+            n_lfs: record.snapshot.state.lfs.len(),
+            n_selected: record.snapshot.state.selected.len(),
+            durability: None,
+        })
+    }
+}
+
+fn shard_worker(rx: Receiver<Command>, shared: Arc<HubShared>) {
+    let mut state = ShardState {
+        sessions: HashMap::new(),
+        shared,
+    };
     // Replies may fail only when the caller gave up (hub dropped mid-call);
     // the worker just moves on.
     for command in rx {
         match command {
             Command::Insert { id, engine, reply } => {
-                let _ = reply.send(match sessions.entry(id) {
-                    std::collections::hash_map::Entry::Occupied(_) => Err(engine),
-                    std::collections::hash_map::Entry::Vacant(slot) => {
-                        slot.insert(*engine);
-                        Ok(())
-                    }
+                let _ = reply.send(if state.shared.note_inserted(id) {
+                    state.sessions.insert(id, *engine);
+                    Ok(())
+                } else {
+                    Err(engine)
                 });
             }
             Command::Snapshot { id, reply } => {
-                let _ = reply.send(with_session(&mut sessions, id, |e| {
-                    e.snapshot().map_err(ServeError::Engine)
-                }));
+                let _ = reply.send(state.touch(id, |e| e.snapshot().map_err(ServeError::Engine)));
             }
             Command::Status { id, reply } => {
-                let _ = reply.send(with_session(&mut sessions, id, |e| {
-                    Ok(SessionStatus {
-                        iteration: e.state().iteration,
-                        n_lfs: e.state().lfs.len(),
-                        n_selected: e.state().selected.len(),
-                        // The shard worker has no view of the journal
-                        // registry; the hub fills this in on the way out.
-                        durability: None,
-                    })
-                }));
-            }
-            Command::List { reply } => {
-                let mut ids: Vec<u64> = sessions.keys().copied().collect();
-                ids.sort_unstable();
-                let _ = reply.send(ids);
+                let _ = reply.send(state.probe_status(id));
             }
             Command::Step { id, reply } => {
-                let _ = reply.send(with_session(&mut sessions, id, |e| {
-                    e.step().map_err(ServeError::Engine)
-                }));
+                let _ = reply.send(state.touch(id, |e| e.step().map_err(ServeError::Engine)));
             }
             Command::StepBatch { id, k, reply } => {
-                let _ = reply.send(with_session(&mut sessions, id, |e| {
-                    e.step_batch(k).map_err(ServeError::Engine)
-                }));
+                let _ =
+                    reply.send(state.touch(id, |e| e.step_batch(k).map_err(ServeError::Engine)));
             }
             Command::Run {
                 id,
                 iterations,
                 reply,
             } => {
-                let _ = reply.send(with_session(&mut sessions, id, |e| {
-                    e.run(iterations).map_err(ServeError::Engine)
-                }));
+                let _ =
+                    reply.send(state.touch(id, |e| e.run(iterations).map_err(ServeError::Engine)));
             }
             Command::Evaluate { id, reply } => {
-                let _ = reply.send(with_session(&mut sessions, id, |e| {
-                    e.evaluate_downstream().map_err(ServeError::Engine)
-                }));
+                let _ = reply
+                    .send(state.touch(id, |e| e.evaluate_downstream().map_err(ServeError::Engine)));
+            }
+            Command::Evict { id, reply } => {
+                let start = Instant::now();
+                let result = state.evict_session(id);
+                state
+                    .shared
+                    .metrics
+                    .record(Op::Evict, start.elapsed(), result.is_err());
+                let _ = reply.send(result);
             }
             Command::Close { id, reply } => {
-                let _ = reply.send(
-                    sessions
-                        .remove(&id)
-                        .map(|_| ())
-                        .ok_or(ServeError::UnknownSession(SessionId(id))),
-                );
+                let existed = state.sessions.remove(&id).is_some();
+                let _ = reply.send(match state.shared.note_closed(id) {
+                    Some(_) => Ok(()),
+                    None => {
+                        debug_assert!(!existed, "engine without a residency slot");
+                        Err(ServeError::UnknownSession(SessionId(id)))
+                    }
+                });
             }
             Command::Count { reply } => {
-                let _ = reply.send(sessions.len());
+                let _ = reply.send(state.sessions.len());
             }
         }
-    }
-}
-
-fn with_session<T>(
-    sessions: &mut HashMap<u64, Engine>,
-    id: u64,
-    f: impl FnOnce(&mut Engine) -> Result<T, ServeError>,
-) -> Result<T, ServeError> {
-    match sessions.get_mut(&id) {
-        Some(engine) => f(engine),
-        None => Err(ServeError::UnknownSession(SessionId(id))),
     }
 }
 
@@ -653,6 +1208,16 @@ mod tests {
 
     fn engine(data: &SharedDataset, seed: u64) -> Engine {
         Engine::builder(data.clone()).seed(seed).build().unwrap()
+    }
+
+    fn unique_tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "adp-hub-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     /// The trajectory fingerprint compared between hub and solo runs.
@@ -672,9 +1237,9 @@ mod tests {
         hub.run(id, 4).unwrap();
         let report = hub.evaluate(id).unwrap();
         assert!((0.0..=1.0).contains(&report.test_accuracy));
-        assert_eq!(hub.session_count(), 1);
+        assert_eq!(hub.session_count().unwrap(), 1);
         hub.close(id).unwrap();
-        assert_eq!(hub.session_count(), 0);
+        assert_eq!(hub.session_count().unwrap(), 0);
         assert!(matches!(hub.step(id), Err(ServeError::UnknownSession(_))));
     }
 
@@ -686,7 +1251,7 @@ mod tests {
         // Build errors surface synchronously, no id leaked.
         let err = hub.open(Engine::builder(tiny()).alpha(7.0));
         assert!(matches!(err, Err(ServeError::Engine(_))));
-        assert_eq!(hub.session_count(), 1);
+        assert_eq!(hub.session_count().unwrap(), 1);
     }
 
     #[test]
@@ -705,7 +1270,7 @@ mod tests {
         for seed in 0..6 {
             hub.create(engine(&data, seed)).unwrap();
         }
-        assert_eq!(hub.session_count(), 6);
+        assert_eq!(hub.session_count().unwrap(), 6);
         assert_eq!(hub.n_shards(), 3);
     }
 
@@ -777,11 +1342,15 @@ mod tests {
             Err(ServeError::UnknownSession(_))
         ));
         assert!(matches!(
+            hub.evict(foreign),
+            Err(ServeError::UnknownSession(_))
+        ));
+        assert!(matches!(
             hub.close(foreign),
             Err(ServeError::UnknownSession(_))
         ));
         // The failed calls must not have created state as a side effect.
-        assert_eq!(hub.session_count(), 0);
+        assert_eq!(hub.session_count().unwrap(), 0);
     }
 
     #[test]
@@ -798,7 +1367,7 @@ mod tests {
         let fresh = hub.create(engine(&tiny(), 2)).unwrap();
         assert_ne!(fresh, id);
         assert!(matches!(hub.step(id), Err(ServeError::UnknownSession(_))));
-        assert_eq!(hub.session_count(), 1);
+        assert_eq!(hub.session_count().unwrap(), 1);
     }
 
     #[test]
@@ -883,7 +1452,7 @@ mod tests {
             hub.create_from_spec(unknown_dataset),
             Err(ServeError::Engine(ActiveDpError::BadConfig { .. }))
         ));
-        assert_eq!(hub.session_count(), 0);
+        assert_eq!(hub.session_count().unwrap(), 0);
     }
 
     #[test]
@@ -894,6 +1463,12 @@ mod tests {
         let unknown = hub.step(id).unwrap_err();
         assert!(unknown.to_string().contains("unknown session-"));
         assert!(ServeError::EmptyBatch.to_string().contains("k >= 1"));
+        assert!(ServeError::Saturated {
+            resident: 4,
+            cap: 4
+        }
+        .to_string()
+        .contains("saturated"));
     }
 
     #[test]
@@ -902,5 +1477,208 @@ mod tests {
         let id = hub.create(engine(&tiny(), 1)).unwrap();
         hub.step(id).unwrap();
         drop(hub); // must not hang or panic
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_sessions_resume_transparently() {
+        let dir = unique_tempdir("lru");
+        let hub = SessionHub::with_spill_dir(1, &dir).with_memory_budget(2);
+        let a = hub
+            .open_spec(spec_of(1), SessionConfig::paper_defaults(true, 1))
+            .unwrap();
+        let b = hub
+            .open_spec(spec_of(2), SessionConfig::paper_defaults(true, 2))
+            .unwrap();
+        hub.step(a).unwrap(); // a is now more recently touched than b
+        let c = hub
+            .open_spec(spec_of(3), SessionConfig::paper_defaults(true, 3))
+            .unwrap();
+        // Creating c pushed residency to 3; the LRU victim is b.
+        assert_eq!(hub.resident_ids(), vec![a, c]);
+        assert_eq!(hub.cold_ids(), vec![b]);
+        assert_eq!(hub.session_count().unwrap(), 3);
+        // Status probes the cold session from disk without resuming it.
+        assert_eq!(hub.status(b).unwrap().iteration, 0);
+        assert_eq!(hub.cold_ids(), vec![b]);
+        // Touching b resumes it; someone else (now the LRU: a) goes cold.
+        assert_eq!(hub.step(b).unwrap().iteration, 1);
+        assert_eq!(hub.resident_ids(), vec![b, c]);
+        assert_eq!(hub.cold_ids(), vec![a]);
+        // Every session still serves, cold or hot.
+        hub.run(a, 1).unwrap();
+        hub.run(b, 1).unwrap();
+        hub.run(c, 1).unwrap();
+        assert!(hub.metrics().evicted_total.get() >= 2);
+        assert!(hub.metrics().resumed_total.get() >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saturation_is_a_typed_backpressure_error() {
+        // Budget of 1 and no spill directory: nothing can be evicted, so
+        // the second create must be rejected, typed, with the first
+        // session untouched.
+        let hub = SessionHub::with_shards_and_spill(1, None).with_memory_budget(1);
+        let id = hub.create(engine(&tiny(), 1)).unwrap();
+        let err = hub.create(engine(&tiny(), 2)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Saturated {
+                resident: 1,
+                cap: 1
+            }
+        ));
+        assert_eq!(hub.metrics().saturated_total.get(), 1);
+        assert_eq!(hub.step(id).unwrap().iteration, 1);
+        // Closing the resident session makes room again.
+        hub.close(id).unwrap();
+        assert!(hub.create(engine(&tiny(), 3)).is_ok());
+    }
+
+    #[test]
+    fn unevictable_sessions_saturate_a_spilling_hub() {
+        // Provenance-stripped datasets cannot snapshot, so their sessions
+        // cannot spill: with every resident slot pinned by one, a budgeted
+        // hub must refuse further creates even though it has a spill dir.
+        let dir = unique_tempdir("pinned");
+        let hub = SessionHub::with_spill_dir(1, &dir).with_memory_budget(1);
+        let adhoc = || {
+            let mut data = spec_of(1).generate().unwrap();
+            data.provenance = None;
+            Engine::builder(data).seed(1).build().unwrap()
+        };
+        let pinned = hub.create(adhoc()).unwrap();
+        // The second create is admitted optimistically (the slot still
+        // looks evictable), the budget sweep discovers both are pinned…
+        let second = hub.create(adhoc()).unwrap();
+        // …and from then on the hub reports saturation.
+        assert!(matches!(
+            hub.create(adhoc()),
+            Err(ServeError::Saturated { .. })
+        ));
+        assert!(hub.metrics().saturated_total.get() >= 1);
+        // Pinned sessions keep serving; explicit evict says "no" politely.
+        assert_eq!(hub.step(pinned).unwrap().iteration, 1);
+        assert!(matches!(hub.evict(pinned), Ok(false)));
+        assert!(matches!(hub.evict(second), Ok(false)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_evict_roundtrips_without_a_budget() {
+        let dir = unique_tempdir("evict");
+        let hub = SessionHub::with_spill_dir(2, &dir);
+        let id = hub
+            .open_spec(spec_of(4), SessionConfig::paper_defaults(true, 4))
+            .unwrap();
+        hub.run(id, 3).unwrap();
+        assert!(matches!(hub.evict(id), Ok(true)));
+        assert_eq!(hub.cold_ids(), vec![id]);
+        // Double-evict is a no-op, not an error.
+        assert!(matches!(hub.evict(id), Ok(false)));
+        // The next touch resumes exactly where the session left off.
+        assert_eq!(hub.step(id).unwrap().iteration, 4);
+        assert_eq!(hub.cold_ids(), vec![]);
+        // Closing a cold session forgets it without resuming.
+        assert!(matches!(hub.evict(id), Ok(true)));
+        hub.close(id).unwrap();
+        assert_eq!(hub.session_count().unwrap(), 0);
+        assert!(matches!(hub.step(id), Err(ServeError::UnknownSession(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_registries_recover_instead_of_cascading() {
+        // Regression: the shared registries used `.expect("… lock")`, so
+        // one panicking thread holding a guard poisoned the mutex and
+        // turned every later hub call into a panic. Poison now recovers.
+        let dir = unique_tempdir("poison");
+        let hub = SessionHub::with_spill_dir(1, &dir);
+        let id = hub
+            .open_spec(spec_of(5), SessionConfig::paper_defaults(true, 5))
+            .unwrap();
+        let shared = hub.shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _datasets = shared.datasets.lock().unwrap();
+            let _journals = shared.journals.lock().unwrap();
+            let _slots = shared.slots.lock().unwrap();
+            panic!("poison all hub registries");
+        })
+        .join();
+        assert!(hub.shared.datasets.is_poisoned());
+        // Every path that takes those locks still serves.
+        assert_eq!(hub.step(id).unwrap().iteration, 1);
+        let second = hub
+            .open_spec(spec_of(5), SessionConfig::paper_defaults(true, 6))
+            .unwrap();
+        assert!(hub.status(second).unwrap().durability.is_some());
+        assert_eq!(hub.session_count().unwrap(), 2);
+        hub.close(id).unwrap();
+        hub.close(second).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_shard_surfaces_hub_closed_not_a_silent_undercount() {
+        let hub = SessionHub::new(2);
+        // One session per shard; arm shard `bomb.0 % 2` with an observer
+        // that detonates on its first step.
+        let data = tiny();
+        let healthy = hub.create(engine(&data, 1)).unwrap();
+        let mut rigged = engine(&data, 2);
+        rigged.add_observer(|_o: &StepOutcome| panic!("rigged session"));
+        let bomb = hub.create(rigged).unwrap();
+        assert_ne!(
+            healthy.raw() % 2,
+            bomb.raw() % 2,
+            "sessions must land on different shards"
+        );
+        assert_eq!(hub.session_count().unwrap(), 2);
+        // Stepping the rigged session kills its shard worker mid-command.
+        assert!(matches!(hub.step(bomb), Err(ServeError::HubClosed)));
+        // Regression: session_count used `unwrap_or(0)`, silently
+        // reporting 1 here. A dead shard is now a typed error…
+        assert!(matches!(hub.session_count(), Err(ServeError::HubClosed)));
+        // …and health says which shard died while the other keeps serving.
+        let health = hub.health();
+        assert!(!health.all_alive());
+        let dead = health.shards.iter().find(|s| !s.alive).unwrap();
+        assert_eq!(dead.shard, (bomb.raw() % 2) as usize);
+        assert!(health.shards.iter().any(|s| s.alive));
+        assert_eq!(hub.step(healthy).unwrap().iteration, 1);
+        drop(hub); // joining a panicked worker must not hang or re-panic
+    }
+
+    #[test]
+    fn health_reports_shards_and_tiering_counters() {
+        let dir = unique_tempdir("health");
+        let hub = SessionHub::with_spill_dir(2, &dir).with_memory_budget(1);
+        let a = hub
+            .open_spec(spec_of(6), SessionConfig::paper_defaults(true, 6))
+            .unwrap();
+        let b = hub
+            .open_spec(spec_of(7), SessionConfig::paper_defaults(true, 7))
+            .unwrap();
+        let _ = (a, b);
+        let health = hub.health();
+        assert!(health.all_alive());
+        assert_eq!(health.shards.len(), 2);
+        assert_eq!(health.max_resident, Some(1));
+        assert_eq!(health.resident, 1);
+        assert_eq!(health.cold, 1);
+        assert_eq!(health.evicted_total, 1);
+        assert_eq!(
+            health.shards.iter().map(|s| s.resident).sum::<usize>(),
+            health.resident
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn spec_of(seed: u64) -> adp_data::DatasetSpec {
+        adp_data::DatasetSpec {
+            id: DatasetId::Youtube,
+            scale: Scale::Tiny,
+            seed,
+        }
     }
 }

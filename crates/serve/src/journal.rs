@@ -107,11 +107,7 @@ pub(crate) fn corrupt_journal(path: &Path, reason: impl Into<String>) -> ServeEr
 impl SessionHub {
     /// The identified session's shared journal slot, if it has one.
     pub(crate) fn journal_slot(&self, id: u64) -> Option<SharedJournal> {
-        self.journals
-            .lock()
-            .expect("journal registry")
-            .get(&id)
-            .cloned()
+        self.shared.journal_slot(id)
     }
 
     /// Durability of the identified session, `None` when it is not
@@ -119,7 +115,7 @@ impl SessionHub {
     /// journal).
     pub(crate) fn durability(&self, id: u64) -> Option<DurabilityStatus> {
         let slot = self.journal_slot(id)?;
-        let guard = slot.lock().ok()?;
+        let guard = crate::hub::lock_clean(&slot);
         let journal = guard.as_ref()?;
         Some(DurabilityStatus {
             checkpoint_iteration: journal.checkpoint_iteration(),
@@ -143,11 +139,8 @@ impl SessionHub {
         let iteration = snapshot.state.iteration;
         let journal = Journal::create(&dir, id.raw(), snapshot.spec.clone(), iteration)
             .map_err(ServeError::Wal)?;
-        *slot.lock().expect("journal slot") = Some(journal);
-        self.journals
-            .lock()
-            .expect("journal registry")
-            .insert(id.raw(), slot.clone());
+        *crate::hub::lock_clean(slot) = Some(journal);
+        crate::hub::lock_clean(&self.shared.journals).insert(id.raw(), slot.clone());
         if iteration > 0 {
             self.save(id)?;
         }
@@ -168,10 +161,7 @@ impl SessionHub {
         }
         self.insert_preserving_id(id, engine)?;
         if let Some(slot) = slot {
-            self.journals
-                .lock()
-                .expect("journal registry")
-                .insert(id, slot);
+            crate::hub::lock_clean(&self.shared.journals).insert(id, slot);
         }
         Ok(SessionId::from_raw(id))
     }
@@ -202,14 +192,15 @@ impl SessionHub {
         let wal_path = wal_dir(&spill, id.raw());
         let mut journal_state: Option<(ScenarioSpec, usize, Vec<StepEvent>)> = None;
         if let Some(slot) = self.journal_slot(id.raw()) {
-            if let Ok(guard) = slot.lock() {
-                if let Some(journal) = guard.as_ref() {
-                    journal_state = Some((
-                        journal.spec().clone(),
-                        journal.checkpoint_iteration(),
-                        journal.events().map_err(ServeError::Wal)?,
-                    ));
-                }
+            // Poison-safe: skipping a *live* journal here would re-open a
+            // single-writer directory underneath its owner.
+            let guard = crate::hub::lock_clean(&slot);
+            if let Some(journal) = guard.as_ref() {
+                journal_state = Some((
+                    journal.spec().clone(),
+                    journal.checkpoint_iteration(),
+                    journal.events().map_err(ServeError::Wal)?,
+                ));
             }
         }
         if journal_state.is_none() && wal_path.is_dir() {

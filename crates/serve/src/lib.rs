@@ -27,7 +27,17 @@
 //! * [`server`] — the `adp-served` JSON-lines TCP front end
 //!   (thread-per-connection over a shared hub) and its protocol;
 //! * [`client`] — a tiny blocking client for that protocol;
-//! * [`json`] — the dependency-free JSON value the protocol rides on.
+//! * [`json`] — the dependency-free JSON value the protocol rides on;
+//! * [`metrics`] — the hub's hand-rolled observability surface: atomic
+//!   counters and fixed-bucket latency histograms per operation, rendered
+//!   in the Prometheus text format for the server's `metrics` command.
+//!
+//! The hub also tiers sessions hot/cold under a memory budget
+//! ([`SessionHub::with_memory_budget`](hub::SessionHub::with_memory_budget)
+//! / `ADP_MAX_RESIDENT`): least-recently-touched sessions are evicted to
+//! their spill files and resume transparently on the next touch, with
+//! bitwise-identical trajectories. Without a budget (the default) nothing
+//! is ever evicted.
 //!
 //! A true async runtime front end stays on the ROADMAP until crates.io
 //! access lands; the protocol (newline-framed request/response) is
@@ -37,14 +47,19 @@ pub mod client;
 pub mod hub;
 pub mod journal;
 pub mod json;
+pub mod metrics;
 pub mod persist;
 pub mod server;
 pub mod spec_json;
 
-pub use client::{Client, ClientError, DurabilityReply, EvalReply, OpenReply, StepReply};
-pub use hub::{ServeError, SessionHub, SessionId, SessionStatus};
+pub use client::{
+    Client, ClientError, DurabilityReply, EvalReply, HealthReply, OpenReply, ShardHealthReply,
+    StepReply,
+};
+pub use hub::{HubHealth, ServeError, SessionHub, SessionId, SessionStatus, ShardHealth};
 pub use journal::DurabilityStatus;
 pub use json::Json;
+pub use metrics::{HubMetrics, Op};
 pub use persist::{SpillRecord, SPILL_MAGIC, SPILL_VERSION};
 pub use server::Server;
 pub use spec_json::{scenario_from_json, scenario_to_json};

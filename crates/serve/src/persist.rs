@@ -100,6 +100,52 @@ pub(crate) fn spill_file(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("session-{id}.adpsnap"))
 }
 
+/// Writes one session's spill file (atomic write; creates the directory).
+/// Shared by [`SessionHub::save`] and the shard workers' eviction path.
+pub(crate) fn write_spill_record(
+    dir: &Path,
+    id: u64,
+    snapshot: SessionSnapshot,
+) -> Result<PathBuf, ServeError> {
+    let record = SpillRecord {
+        session: id,
+        spec: snapshot.spec.dataset,
+        snapshot,
+    };
+    fs::create_dir_all(dir).map_err(|source| ServeError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let path = spill_file(dir, id);
+    // One copy of the staging + fsync + rename discipline, shared with
+    // the WAL's segments and manifests.
+    adp_wire::atomic::atomic_write(&path, &record.to_bytes()).map_err(|source| ServeError::Io {
+        path: path.clone(),
+        source,
+    })?;
+    Ok(path)
+}
+
+/// Advances a journal's checkpoint to `iteration` after its covering
+/// snapshot landed on disk, compacting covered segments. A checkpoint
+/// already further ahead (a concurrent save won the race) is fine; an
+/// empty slot (degraded journal) is a no-op.
+pub(crate) fn checkpoint_behind(
+    slot: &crate::journal::SharedJournal,
+    iteration: usize,
+) -> Result<(), ServeError> {
+    let mut guard = crate::hub::lock_clean(slot);
+    if let Some(journal) = guard.as_mut() {
+        match journal.checkpoint(iteration) {
+            // A concurrent save already checkpointed further ahead; its
+            // snapshot covers ours, nothing to record.
+            Err(adp_wal::WalError::OutOfOrder { .. }) | Ok(()) => {}
+            Err(e) => return Err(ServeError::Wal(e)),
+        }
+    }
+    Ok(())
+}
+
 impl SessionHub {
     pub(crate) fn require_spill_dir(&self) -> Result<PathBuf, ServeError> {
         self.spill_dir()
@@ -114,6 +160,17 @@ impl SessionHub {
     /// custom oracles — fail with [`ServeError::NotPersistable`].
     pub fn save(&self, id: SessionId) -> Result<PathBuf, ServeError> {
         let dir = self.require_spill_dir()?;
+        // A cold session's spill file IS its current state — eviction
+        // wrote it and a cold session cannot step — so saving it again
+        // must not drag the engine back into memory. (If the session
+        // resumes between this check and the snapshot call below, the
+        // normal path simply takes over.)
+        if self.cold_ids().contains(&id) {
+            let path = spill_file(&dir, id.raw());
+            if path.is_file() {
+                return Ok(path);
+            }
+        }
         let snapshot = match self.snapshot(id) {
             Ok(snapshot) => snapshot,
             Err(ServeError::Engine(ActiveDpError::SnapshotUnsupported { .. })) => {
@@ -122,39 +179,14 @@ impl SessionHub {
             Err(e) => return Err(e),
         };
         let iteration = snapshot.state.iteration;
-        let record = SpillRecord {
-            session: id.raw(),
-            spec: snapshot.spec.dataset,
-            snapshot,
-        };
-        fs::create_dir_all(&dir).map_err(|source| ServeError::Io {
-            path: dir.clone(),
-            source,
-        })?;
-        let path = spill_file(&dir, id.raw());
-        // One copy of the staging + fsync + rename discipline, shared with
-        // the WAL's segments and manifests.
-        adp_wire::atomic::atomic_write(&path, &record.to_bytes()).map_err(|source| {
-            ServeError::Io {
-                path: path.clone(),
-                source,
-            }
-        })?;
+        let path = write_spill_record(&dir, id.raw(), snapshot)?;
         // The snapshot on disk now covers the log prefix: advance the
         // session's journal checkpoint, compacting covered segments. The
         // order (snapshot first, checkpoint second) means a crash between
         // the two leaves a snapshot *ahead* of the checkpoint — recovery
         // replays from the snapshot and simply skips the covered events.
         if let Some(slot) = self.journal_slot(id.raw()) {
-            let mut guard = slot.lock().expect("journal slot");
-            if let Some(journal) = guard.as_mut() {
-                match journal.checkpoint(iteration) {
-                    // A concurrent save already checkpointed further ahead;
-                    // its snapshot covers ours, nothing to record.
-                    Err(adp_wal::WalError::OutOfOrder { .. }) | Ok(()) => {}
-                    Err(e) => return Err(ServeError::Wal(e)),
-                }
-            }
+            checkpoint_behind(&slot, iteration)?;
         }
         Ok(path)
     }
@@ -664,12 +696,16 @@ mod tests {
             fresh.load_all(),
             Err(ServeError::CorruptSnapshot { .. })
         ));
-        assert_eq!(fresh.session_count(), 0, "partial load must roll back");
+        assert_eq!(
+            fresh.session_count().unwrap(),
+            0,
+            "partial load must roll back"
+        );
         // …so that fixing the file and retrying on the SAME hub succeeds.
         fs::write(&bad, &good_bytes).unwrap();
         let loaded = fresh.load_all().unwrap();
         assert_eq!(loaded.len(), 2);
-        assert_eq!(fresh.session_count(), 2);
+        assert_eq!(fresh.session_count().unwrap(), 2);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -860,7 +896,11 @@ mod tests {
         fs::write(&manifest, &bad).unwrap();
         let fresh = SessionHub::with_spill_dir(1, &dir);
         assert!(matches!(fresh.load_all(), Err(ServeError::Wal(_))));
-        assert_eq!(fresh.session_count(), 0, "partial load must roll back");
+        assert_eq!(
+            fresh.session_count().unwrap(),
+            0,
+            "partial load must roll back"
+        );
         fs::write(&manifest, &good).unwrap();
 
         // A checkpoint with no covering snapshot on disk cannot recover.

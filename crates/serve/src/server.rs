@@ -20,6 +20,22 @@
 //! | `{"cmd":"save_all"}`                                            | `{"ok":true,"saved":[0,1]}`                |
 //! | `{"cmd":"recover","session":0,"iteration":8}`                   | `{"ok":true,"session":3,"iteration":8}`    |
 //! | `{"cmd":"close","session":0}`                                   | `{"ok":true}`                              |
+//! | `{"cmd":"metrics"}`                                             | `{"ok":true,"text":"# HELP adp_…"}`        |
+//! | `{"cmd":"health"}`                                              | `{"ok":true,"healthy":true,"shards":[…]}`  |
+//!
+//! `metrics` returns the hub's Prometheus text exposition (see
+//! [`crate::metrics`]) inside the JSON reply; `health` reports per-shard
+//! liveness and the hot/cold tiering gauges. Both are also served over a
+//! minimal **HTTP shim**: a connection whose first line is an HTTP
+//! request (`GET /metrics`, `GET /health`, or `HEAD` of either) gets a
+//! one-shot `HTTP/1.1` response and the connection closes — enough for
+//! `curl` and a Prometheus scrape config, no HTTP stack required.
+//!
+//! Connections are guarded by a **read timeout** (`ADP_READ_TIMEOUT_SECS`,
+//! default 900, `0` disables; or [`Server::bind_with_timeout`]): a client
+//! that goes silent past it receives one final
+//! `{"ok":false,"error":"idle timeout…"}` line and is disconnected, so a
+//! stalled peer cannot pin a handler thread forever.
 //!
 //! When the requested session is journalled (the hub has a spill directory
 //! and the engine snapshots), the `open` reply also carries
@@ -35,7 +51,7 @@
 //! [`SessionHub::load_all`] — the kill/reload/resume cycle the integration
 //! test drives.
 
-use crate::hub::{ServeError, SessionHub, SessionId};
+use crate::hub::{HubHealth, ServeError, SessionHub, SessionId};
 use crate::json::Json;
 use crate::spec_json::scenario_from_json;
 use activedp::{ScenarioSpec, StepOutcome};
@@ -45,6 +61,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Executes one protocol request against the hub. Pure request→response —
 /// the socket loop just frames lines around this, and tests can drive it
@@ -212,8 +229,39 @@ fn dispatch(hub: &SessionHub, request: &Json) -> Result<Json, String> {
             hub.close(id).map_err(serve_err)?;
             Ok(ok_reply([]))
         }
+        "metrics" => Ok(ok_reply([("text", Json::Str(hub.metrics().render()))])),
+        "health" => Ok(ok_reply(health_fields(&hub.health()))),
         other => Err(format!("unknown cmd {other:?}")),
     }
+}
+
+fn health_fields(health: &HubHealth) -> Vec<(&'static str, Json)> {
+    let shards = health
+        .shards
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("shard", Json::int(s.shard as u64)),
+                ("alive", Json::Bool(s.alive)),
+                ("resident", Json::int(s.resident as u64)),
+            ])
+        })
+        .collect();
+    vec![
+        ("healthy", Json::Bool(health.all_alive())),
+        ("shards", Json::Arr(shards)),
+        ("resident", Json::int(health.resident as u64)),
+        ("cold", Json::int(health.cold as u64)),
+        (
+            "max_resident",
+            health
+                .max_resident
+                .map(|c| Json::int(c as u64))
+                .unwrap_or(Json::Null),
+        ),
+        ("evicted_total", Json::int(health.evicted_total)),
+        ("resumed_total", Json::int(health.resumed_total)),
+    ]
 }
 
 fn outcome_fields(o: &StepOutcome) -> Vec<(&'static str, Json)> {
@@ -243,10 +291,40 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
 }
 
+/// Default idle read timeout: 15 minutes, generous for an interactive
+/// client, finite for a stalled one.
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(900);
+
+/// The configured connection read timeout: `ADP_READ_TIMEOUT_SECS` when
+/// set (0 disables), else 15 minutes.
+fn read_timeout_from_env() -> Option<Duration> {
+    match std::env::var("ADP_READ_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        Some(0) => None,
+        Some(secs) => Some(Duration::from_secs(secs)),
+        None => Some(DEFAULT_READ_TIMEOUT),
+    }
+}
+
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-    /// accepting connections against `hub`.
+    /// accepting connections against `hub`. Connections idle past the
+    /// `ADP_READ_TIMEOUT_SECS` read timeout (default 900 s; `0` disables)
+    /// are disconnected; see [`Server::bind_with_timeout`] to set it
+    /// programmatically.
     pub fn bind(addr: impl ToSocketAddrs, hub: Arc<SessionHub>) -> std::io::Result<Server> {
+        Self::bind_with_timeout(addr, hub, read_timeout_from_env())
+    }
+
+    /// [`Server::bind`] with an explicit per-connection read timeout
+    /// (`None` waits forever, the pre-timeout behaviour).
+    pub fn bind_with_timeout(
+        addr: impl ToSocketAddrs,
+        hub: Arc<SessionHub>,
+        read_timeout: Option<Duration>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -254,7 +332,7 @@ impl Server {
         let accept_stop = stop.clone();
         let accept_thread = std::thread::Builder::new()
             .name("adp-served-accept".into())
-            .spawn(move || accept_loop(listener, accept_hub, accept_stop))?;
+            .spawn(move || accept_loop(listener, accept_hub, accept_stop, read_timeout))?;
         Ok(Server {
             addr,
             hub,
@@ -298,7 +376,12 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, hub: Arc<SessionHub>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    hub: Arc<SessionHub>,
+    stop: Arc<AtomicBool>,
+    read_timeout: Option<Duration>,
+) {
     // Handler threads park their handles here (only this thread touches
     // the list); finished ones are reaped opportunistically so a
     // long-lived server doesn't accumulate them.
@@ -311,7 +394,7 @@ fn accept_loop(listener: TcpListener, hub: Arc<SessionHub>, stop: Arc<AtomicBool
         let hub = hub.clone();
         if let Ok(handle) = std::thread::Builder::new()
             .name("adp-served-conn".into())
-            .spawn(move || connection_loop(stream, &hub))
+            .spawn(move || connection_loop(stream, &hub, read_timeout))
         {
             handlers.retain(|h| !h.is_finished());
             handlers.push(handle);
@@ -327,7 +410,10 @@ fn accept_loop(listener: TcpListener, hub: Arc<SessionHub>, stop: Arc<AtomicBool
 /// a line buffer without bound.
 const MAX_LINE_BYTES: u64 = 1 << 20;
 
-fn connection_loop(stream: TcpStream, hub: &SessionHub) {
+fn connection_loop(stream: TcpStream, hub: &SessionHub, read_timeout: Option<Duration>) {
+    // The timeout applies to the shared socket, so it covers both the
+    // reader clone below and (harmlessly) writes.
+    let _ = stream.set_read_timeout(read_timeout);
     let Ok(reader_stream) = stream.try_clone() else {
         return;
     };
@@ -342,7 +428,32 @@ fn connection_loop(stream: TcpStream, hub: &SessionHub) {
             Ok(0) => break,
             Ok(_) if !line.ends_with('\n') && line.len() as u64 == MAX_LINE_BYTES => break,
             Ok(_) => {}
+            // The typed idle-disconnect path: a peer silent past the read
+            // timeout gets one final error line, then the connection ends
+            // — its handler thread is reclaimed instead of pinned forever.
+            // (Unix reports a timed-out read as WouldBlock, Windows as
+            // TimedOut.)
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let timeout = read_timeout.unwrap_or_default();
+                let reply = error_reply(format!(
+                    "idle timeout: no request within {} s",
+                    timeout.as_secs()
+                ));
+                let _ = writeln!(writer, "{reply}");
+                break;
+            }
             Err(_) => break,
+        }
+        // HTTP shim: a connection whose first line is an HTTP request is a
+        // scrape, not a protocol client — answer it one-shot and close.
+        if line.starts_with("GET ") || line.starts_with("HEAD ") {
+            serve_http(&mut reader, &mut writer, hub, &line);
+            break;
         }
         if line.trim().is_empty() {
             continue;
@@ -351,6 +462,57 @@ fn connection_loop(stream: TcpStream, hub: &SessionHub) {
         if writeln!(writer, "{reply}").is_err() {
             break;
         }
+    }
+}
+
+/// Answers one HTTP request on a connection that turned out to be a
+/// scraper: `GET`/`HEAD` of `/metrics` (Prometheus text) or `/health`
+/// (the health JSON; `503` when a shard is dead), `404` for anything
+/// else. Always `Connection: close` — the shim serves exactly one
+/// response.
+fn serve_http(reader: &mut impl BufRead, writer: &mut TcpStream, hub: &SessionHub, first: &str) {
+    // Drain the request headers (bounded — a scraper sends a handful).
+    let mut header = String::new();
+    for _ in 0..100 {
+        header.clear();
+        match std::io::Read::take(&mut *reader, 8192).read_line(&mut header) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+        }
+    }
+    let mut parts = first.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            hub.metrics().render(),
+        ),
+        "/health" => {
+            let health = hub.health();
+            let status = if health.all_alive() {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            let body = format!("{}\n", Json::obj(health_fields(&health)));
+            (status, "application/json; charset=utf-8", body)
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    if method != "HEAD" {
+        let _ = writer.write_all(body.as_bytes());
     }
 }
 
@@ -443,7 +605,7 @@ mod tests {
             let reply = handle_line(&hub, bad);
             assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false), "{bad}");
         }
-        assert_eq!(hub.session_count(), 1);
+        assert_eq!(hub.session_count().unwrap(), 1);
     }
 
     #[test]
@@ -463,7 +625,7 @@ mod tests {
             assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false), "{bad}");
             assert!(reply.get("error").is_some(), "{bad}");
         }
-        assert_eq!(hub.session_count(), 0);
+        assert_eq!(hub.session_count().unwrap(), 0);
     }
 
     #[test]
@@ -513,6 +675,90 @@ mod tests {
 
         drop(hub);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn metrics_and_health_ride_the_protocol() {
+        let hub = hub();
+        let reply = handle_line(&hub, &create_line(3));
+        let session = reply.get("session").unwrap().as_u64().unwrap();
+        handle_line(&hub, &format!(r#"{{"cmd":"step","session":{session}}}"#));
+
+        let metrics = handle_line(&hub, r#"{"cmd":"metrics"}"#);
+        assert_eq!(metrics.get("ok").unwrap().as_bool(), Some(true));
+        let text = metrics.get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("adp_requests_total{op=\"open\"} 1"), "{text}");
+        assert!(text.contains("adp_requests_total{op=\"step\"} 1"), "{text}");
+        assert!(text.contains("adp_sessions_resident 1"), "{text}");
+
+        let health = handle_line(&hub, r#"{"cmd":"health"}"#);
+        assert_eq!(health.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(health.get("healthy").unwrap().as_bool(), Some(true));
+        assert_eq!(health.get("resident").unwrap().as_u64(), Some(1));
+        assert_eq!(health.get("cold").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            health.get("shards").unwrap().as_array().unwrap().len(),
+            hub.n_shards()
+        );
+    }
+
+    #[test]
+    fn http_shim_serves_metrics_and_health_to_curl() {
+        use std::io::Read;
+        let server = Server::bind("127.0.0.1:0", Arc::new(hub())).unwrap();
+        let addr = server.addr();
+        let fetch = |request: &str| {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(request.as_bytes()).unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        };
+        let metrics = fetch("GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("Content-Length:"), "{metrics}");
+        assert!(metrics.contains("# TYPE adp_requests_total counter"));
+        let health = fetch("GET /health HTTP/1.1\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.contains("\"healthy\":true"), "{health}");
+        let head = fetch("HEAD /metrics HTTP/1.1\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(!head.contains("adp_requests_total{"), "HEAD has no body");
+        let missing = fetch("GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        // The shim did not disturb the protocol: a JSON client still works.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"{\"cmd\":\"health\"}\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_disconnected_with_a_typed_reply() {
+        use std::io::Read;
+        let server = Server::bind_with_timeout(
+            "127.0.0.1:0",
+            Arc::new(hub()),
+            Some(Duration::from_millis(150)),
+        )
+        .unwrap();
+        // A connection that sends nothing: after the timeout it must get
+        // the final error line and EOF — not hold its thread forever.
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.contains("idle timeout"), "{response:?}");
+        // An active client on the same server is untouched mid-exchange.
+        let mut active = TcpStream::connect(server.addr()).unwrap();
+        active.write_all(b"{\"cmd\":\"health\"}\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(active.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        server.shutdown();
     }
 
     #[test]

@@ -81,7 +81,7 @@ fn concurrent_clients_reproduce_solo_trajectories() {
             "client seed {seed} diverged from the solo engine"
         );
     }
-    assert_eq!(server.hub().session_count(), CLIENTS as usize);
+    assert_eq!(server.hub().session_count().unwrap(), CLIENTS as usize);
 }
 
 #[test]
