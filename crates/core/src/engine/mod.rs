@@ -82,6 +82,19 @@ pub struct StepOutcome {
     pub n_selected: usize,
 }
 
+/// What a bounded [`Engine::run_schedule_batches`] call accomplished.
+#[derive(Debug, Clone)]
+pub struct ScheduleRun {
+    /// Every outcome the slice produced, in iteration order.
+    pub outcomes: Vec<StepOutcome>,
+    /// Schedule batches actually run (≤ the requested maximum).
+    pub batches: usize,
+    /// Whether the run is over: budget spent or pool exhausted. A
+    /// not-done engine continues from its current batch boundary —
+    /// directly, or via snapshot/resume on another host.
+    pub done: bool,
+}
+
 /// Per-step instrumentation hook.
 ///
 /// Observers registered on an [`Engine`] (via
@@ -461,21 +474,55 @@ impl Engine {
     /// iteration numbers, so a session resumed at a refit boundary
     /// continues the schedule exactly where it stopped.
     pub fn run_schedule(&mut self) -> Result<Vec<StepOutcome>, ActiveDpError> {
-        let mut outcomes = Vec::with_capacity(self.budget.min(self.data.train.len() + 1));
-        loop {
+        Ok(self.run_schedule_batches(usize::MAX)?.outcomes)
+    }
+
+    /// Runs at most `max_batches` schedule batches — the bounded slice of
+    /// [`Engine::run_schedule`] the distributed sweep is built on: a
+    /// worker runs a slice, snapshots at the batch boundary it stopped on,
+    /// and ships the checkpoint back; a resumed engine continues the
+    /// schedule exactly where it stopped because batch boundaries are
+    /// aligned to absolute iteration numbers. Slicing is invisible to the
+    /// trajectory: any partition of a run into `run_schedule_batches`
+    /// calls (with snapshot/resume between them or not) is bitwise
+    /// identical to one uninterrupted [`Engine::run_schedule`].
+    ///
+    /// `done` is `true` once the budget is spent or the pool is exhausted
+    /// — after which further calls run zero batches.
+    pub fn run_schedule_batches(
+        &mut self,
+        max_batches: usize,
+    ) -> Result<ScheduleRun, ActiveDpError> {
+        let mut run = ScheduleRun {
+            outcomes: Vec::with_capacity(self.budget.min(self.data.train.len() + 1)),
+            batches: 0,
+            done: false,
+        };
+        while run.batches < max_batches {
             let k = self
                 .schedule
                 .next_batch_at(self.state.iteration, self.budget);
             if k == 0 {
-                return Ok(outcomes);
+                run.done = true;
+                return Ok(run);
             }
             let batch = self.step_batch(k)?;
+            run.batches += 1;
             let exhausted = batch.last().is_some_and(|o| o.query.is_none());
-            outcomes.extend(batch);
+            run.outcomes.extend(batch);
             if exhausted {
-                return Ok(outcomes);
+                run.done = true;
+                return Ok(run);
             }
         }
+        // The batch cap hit first; the budget may still be unspent. Probe
+        // so a slice that happened to end exactly on the budget reports
+        // `done` without costing the caller another round trip.
+        run.done = self
+            .schedule
+            .next_batch_at(self.state.iteration, self.budget)
+            == 0;
+        Ok(run)
     }
 
     /// Captures everything needed to resume this session later — the full
@@ -641,6 +688,61 @@ mod tests {
             assert_eq!(o.n_selected, last.n_selected);
         }
         assert!(batched.evaluate_downstream().is_ok());
+    }
+
+    #[test]
+    fn run_schedule_batches_slices_are_bitwise_equal_to_one_run() {
+        let spec = {
+            let mut s = ScenarioSpec::new(adp_data::DatasetSpec {
+                id: DatasetId::Youtube,
+                scale: Scale::Tiny,
+                seed: 7,
+            });
+            s.session.seed = 5;
+            s.schedule = crate::BudgetSchedule::FixedBatch { k: 4 };
+            s.budget = 12;
+            s
+        };
+        let data = spec.dataset.generate().unwrap().into_shared();
+        let mut solo = Engine::from_spec_over(spec.clone(), data.clone()).unwrap();
+        solo.run_schedule().unwrap();
+        let solo_acc = solo.evaluate_downstream().unwrap().test_accuracy;
+
+        // Same schedule driven in 1-batch slices with a snapshot/resume
+        // round trip between every slice — the distributed worker's view.
+        let mut sliced = Engine::from_spec_over(spec, data.clone()).unwrap();
+        let mut slices = 0;
+        loop {
+            let run = sliced.run_schedule_batches(1).unwrap();
+            slices += 1;
+            if run.done {
+                assert!(run.batches <= 1);
+                break;
+            }
+            let snapshot = sliced.snapshot().unwrap();
+            sliced = Engine::builder(data.clone()).resume(snapshot).unwrap();
+        }
+        assert_eq!(slices, 3, "12 budget / k=4 = 3 batches");
+        assert_eq!(sliced.state().iteration, solo.state().iteration);
+        let sliced_acc = sliced.evaluate_downstream().unwrap().test_accuracy;
+        assert_eq!(sliced_acc.to_bits(), solo_acc.to_bits());
+
+        // A spent engine reports done without running anything.
+        let run = sliced.run_schedule_batches(1).unwrap();
+        assert!(run.done);
+        assert_eq!(run.batches, 0);
+        assert!(run.outcomes.is_empty());
+    }
+
+    #[test]
+    fn run_schedule_batches_reports_done_on_exact_final_slice() {
+        let data = tiny(7);
+        let mut e = Engine::builder(data).seed(5).budget(8).build().unwrap();
+        // 8 budget under the default FixedStep schedule = 8 batches; a
+        // max_batches that lands exactly on the budget must say done.
+        let run = e.run_schedule_batches(8).unwrap();
+        assert_eq!(run.batches, 8);
+        assert!(run.done);
     }
 
     #[test]

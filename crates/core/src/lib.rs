@@ -63,8 +63,8 @@ pub use config::{
 };
 pub use confusion::{aggregate, tune_threshold, AggregatedLabels};
 pub use engine::{
-    Engine, EngineBuilder, EvalReport, QueryingStage, SamplingStage, SessionState, Stage,
-    StepObserver, StepOutcome, TrainingStage,
+    Engine, EngineBuilder, EvalReport, QueryingStage, SamplingStage, ScheduleRun, SessionState,
+    Stage, StepObserver, StepOutcome, TrainingStage,
 };
 pub use error::ActiveDpError;
 pub use event::StepEvent;

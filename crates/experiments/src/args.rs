@@ -123,6 +123,10 @@ pub struct SweepOpts {
     pub grid: crate::sweep::SweepGrid,
     /// Output directory for the artefact CSV.
     pub out_dir: String,
+    /// Local worker threads (`None` = all available cores).
+    pub jobs: Option<usize>,
+    /// Zero the wall-clock column so artefacts byte-compare across runs.
+    pub zero_wall: bool,
 }
 
 impl Default for SweepOpts {
@@ -130,6 +134,8 @@ impl Default for SweepOpts {
         SweepOpts {
             grid: crate::sweep::SweepGrid::default_study(DatasetId::Youtube),
             out_dir: "results".into(),
+            jobs: None,
+            zero_wall: false,
         }
     }
 }
@@ -138,7 +144,8 @@ impl SweepOpts {
     /// Parses `--dataset <name>`*, `--scale <name>`, `--data-seed N`,
     /// `--sampler <name>`*, `--label-model <name>`*, `--k N`*,
     /// `--budget N`, `--seeds N`,
-    /// `--candidates <exact|ann:NPROBE[,REFRESH]>`, `--out DIR`
+    /// `--candidates <exact|ann:NPROBE[,REFRESH]>`, `--out DIR`,
+    /// `--jobs N`, `--zero-wall`
     /// (`*` = repeatable, replacing that axis's default). Unknown names
     /// abort with the typed errors' valid-option lists.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<SweepOpts, String> {
@@ -197,11 +204,21 @@ impl SweepOpts {
                         .map_err(|e: activedp::UnknownCandidateStrategy| e.to_string())?;
                 }
                 "--out" => opts.out_dir = value("--out")?,
+                "--jobs" => {
+                    let n = value("--jobs")?;
+                    let jobs: usize = n.parse().map_err(|_| format!("bad --jobs {n}"))?;
+                    if jobs == 0 {
+                        return Err("--jobs must be >= 1".into());
+                    }
+                    opts.jobs = Some(jobs);
+                }
+                "--zero-wall" => opts.zero_wall = true,
                 other => {
                     return Err(format!(
                         "unknown flag {other}; supported: --dataset <name> --scale <name> \
                          --data-seed N --sampler <name> --label-model <name> --k N \
-                         --budget N --seeds N --candidates <exact|ann:NPROBE[,REFRESH]> --out DIR"
+                         --budget N --seeds N --candidates <exact|ann:NPROBE[,REFRESH]> --out DIR \
+                         --jobs N --zero-wall"
                     ));
                 }
             }
@@ -364,6 +381,19 @@ mod tests {
         assert!(parse_sweep(&["--k", "0"]).is_err());
         assert!(parse_sweep(&["--seeds", "0"]).is_err());
         assert!(parse_sweep(&["--warp", "9"]).is_err());
+    }
+
+    #[test]
+    fn sweep_jobs_and_zero_wall_flags_parse() {
+        let opts = parse_sweep(&[]).unwrap();
+        assert_eq!(opts.jobs, None);
+        assert!(!opts.zero_wall);
+        let opts = parse_sweep(&["--jobs", "4", "--zero-wall"]).unwrap();
+        assert_eq!(opts.jobs, Some(4));
+        assert!(opts.zero_wall);
+        assert!(parse_sweep(&["--jobs", "0"]).is_err());
+        assert!(parse_sweep(&["--jobs", "four"]).is_err());
+        assert!(parse_sweep(&["--jobs"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! `adp-coord` — the distributed budget/latency sweep: the same grid
+//! `adp-sweep` runs locally, dispatched across a fleet of `adp-served`
+//! workers with work-stealing and fault-tolerant rescheduling (see
+//! [`adp_experiments::coord`]).
+//!
+//! ```text
+//! adp-served --addr 127.0.0.1:7777 &
+//! adp-served --addr 127.0.0.1:7778 &
+//! adp-coord --worker 127.0.0.1:7777 --worker 127.0.0.1:7778 \
+//!           --sampler us --sampler adp --label-model triplet \
+//!           --k 1 --k 4 --budget 12 --zero-wall --out results
+//! ```
+//!
+//! Coordinator flags: `--worker ADDR` (repeatable, required),
+//! `--checkpoint-every N` (refit batches per slice; `0` = no
+//! checkpointing), `--retries N` (re-queues per cell after worker
+//! deaths), `--spool DIR` (persist finished rows; a restart skips them).
+//! Every other flag is the sweep grid's, exactly as `adp-sweep` takes
+//! them.
+//!
+//! Writes the same `<out>/sweep_budget_latency.csv` artefact as
+//! `adp-sweep` — byte-identical to a local run under `--zero-wall`, no
+//! matter how many workers served it or which of them died.
+
+use adp_experiments::{grid_table, run_distributed, write_csv, CoordOpts, SweepOpts};
+use std::path::Path;
+
+fn usage(e: impl std::fmt::Display) -> ! {
+    eprintln!("{e}");
+    eprintln!(
+        "coordinator flags: --worker ADDR (repeatable, required) --checkpoint-every N \
+         --retries N --spool DIR; every other flag is adp-sweep's"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut workers: Vec<String> = Vec::new();
+    let mut coord = CoordOpts::default();
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => usage(format!("{flag} needs a value")),
+        };
+        match arg.as_str() {
+            "--worker" => workers.push(value("--worker")),
+            "--checkpoint-every" => {
+                let n = value("--checkpoint-every");
+                coord.checkpoint_batches = match n.parse() {
+                    Ok(n) => n,
+                    Err(_) => usage(format!("bad --checkpoint-every {n}")),
+                };
+            }
+            "--retries" => {
+                let n = value("--retries");
+                coord.max_attempts = match n.parse() {
+                    Ok(n) => n,
+                    Err(_) => usage(format!("bad --retries {n}")),
+                };
+            }
+            "--spool" => coord.spool = Some(value("--spool").into()),
+            _ => rest.push(arg),
+        }
+    }
+    if workers.is_empty() {
+        usage("at least one --worker ADDR is required");
+    }
+    let opts = match SweepOpts::parse(rest.into_iter()) {
+        Ok(o) => o,
+        Err(e) => usage(e),
+    };
+    if opts.grid.is_empty() {
+        usage("the sweep grid is empty (every axis needs at least one value)");
+    }
+    println!(
+        "Distributed sweep: {} cells over {} worker(s), checkpoint every {} batch(es)",
+        opts.grid.len(),
+        workers.len(),
+        coord.checkpoint_batches,
+    );
+
+    let report = match run_distributed(&opts.grid, &workers, &coord) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("distributed sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for worker in &report.workers {
+        println!(
+            "  worker {}: {} cell(s){}",
+            worker.addr,
+            worker.cells,
+            if worker.alive { "" } else { " [died]" },
+        );
+    }
+    if report.requeued > 0 {
+        println!(
+            "  rescheduled {} cell(s) after worker deaths ({} resumed from a checkpoint)",
+            report.requeued, report.resumed,
+        );
+    }
+    if report.spooled_skips > 0 {
+        println!("  skipped {} cell(s) already spooled", report.spooled_skips);
+    }
+    if report.spool_write_errors > 0 {
+        eprintln!("  {} spool write(s) failed", report.spool_write_errors);
+    }
+    println!();
+
+    let mut outcome = report.outcome;
+    if opts.zero_wall {
+        outcome.zero_wall();
+    }
+    let table = grid_table(&outcome.rows);
+    println!("{}", table.render());
+
+    let out = Path::new(&opts.out_dir).join("sweep_budget_latency.csv");
+    match write_csv(&out, &table) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+    if !outcome.is_clean() {
+        eprintln!("{} cell(s) failed:", outcome.failures.len());
+        for failure in &outcome.failures {
+            eprintln!(
+                "  cell {} ({} / {} / {} / {}): {}",
+                failure.cell,
+                failure.spec.dataset.id,
+                failure.spec.session.sampler,
+                failure.spec.session.label_model,
+                failure.spec.schedule.label(),
+                failure.error,
+            );
+        }
+        std::process::exit(1);
+    }
+}

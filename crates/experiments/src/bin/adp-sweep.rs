@@ -9,14 +9,22 @@
 //! ```text
 //! adp-sweep --dataset youtube --scale tiny --sampler us --sampler adp \
 //!           --label-model triplet --k 1 --k 4 --budget 12 --seeds 2 \
-//!           --out results
+//!           --jobs 4 --out results
 //! ```
+//!
+//! Cells run over `--jobs N` local worker threads (default: every
+//! available core); the artefact is bitwise identical for every `--jobs`
+//! value because rows are merged in expand order. `--zero-wall` zeroes
+//! the one non-deterministic column so two artefacts byte-compare. A
+//! degenerate cell fails alone: its typed error is reported at the end
+//! and the exit code is non-zero, but every healthy cell still lands in
+//! the CSV.
 //!
 //! Writes `<out>/sweep_budget_latency.csv` next to the rendered table.
 //!
 //! [`ScenarioSpec`]: activedp::ScenarioSpec
 
-use adp_experiments::{grid_table, run_grid, write_csv, SweepOpts};
+use adp_experiments::{grid_table, run_grid_jobs, write_csv, SweepOpts};
 use std::path::Path;
 
 fn main() {
@@ -31,8 +39,13 @@ fn main() {
         eprintln!("the sweep grid is empty (every axis needs at least one value)");
         std::process::exit(2);
     }
+    let jobs = opts.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     println!(
-        "Budget/latency sweep: {} runs ({} datasets x {} samplers x {} label models x {} schedules x {} seeds), budget {}, scale {}",
+        "Budget/latency sweep: {} runs ({} datasets x {} samplers x {} label models x {} schedules x {} seeds), budget {}, scale {}, {} jobs",
         opts.grid.len(),
         opts.grid.datasets.len(),
         opts.grid.samplers.len(),
@@ -41,17 +54,15 @@ fn main() {
         opts.grid.seeds.len(),
         opts.grid.budget,
         opts.grid.scale,
+        jobs,
     );
     println!();
 
-    let rows = match run_grid(&opts.grid) {
-        Ok(rows) => rows,
-        Err(e) => {
-            eprintln!("sweep failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    let table = grid_table(&rows);
+    let mut outcome = run_grid_jobs(&opts.grid, jobs);
+    if opts.zero_wall {
+        outcome.zero_wall();
+    }
+    let table = grid_table(&outcome.rows);
     println!("{}", table.render());
 
     let out = Path::new(&opts.out_dir).join("sweep_budget_latency.csv");
@@ -61,5 +72,20 @@ fn main() {
             eprintln!("could not write {}: {e}", out.display());
             std::process::exit(1);
         }
+    }
+    if !outcome.is_clean() {
+        eprintln!("{} cell(s) failed:", outcome.failures.len());
+        for failure in &outcome.failures {
+            eprintln!(
+                "  cell {} ({} / {} / {} / {}): {}",
+                failure.cell,
+                failure.spec.dataset.id,
+                failure.spec.session.sampler,
+                failure.spec.session.label_model,
+                failure.spec.schedule.label(),
+                failure.error,
+            );
+        }
+        std::process::exit(1);
     }
 }

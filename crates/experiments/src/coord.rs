@@ -1,0 +1,414 @@
+//! The distributed sweep coordinator: a [`SweepGrid`] fanned out over a
+//! fleet of `adp-served` workers.
+//!
+//! [`run_distributed`] expands the grid into stable-id cells
+//! ([`SweepGrid::cells`]), then runs one dispatcher thread per worker
+//! address. Dispatch is **work-stealing**: threads pull the next
+//! unclaimed cell from a shared queue the moment they go idle, so a slow
+//! cell never stalls the rest of the fleet, and adding a worker mid-grid
+//! just drains the queue faster. Each cell runs over the serving layer's
+//! `run_spec` command — by default in checkpointed slices
+//! ([`CoordOpts::checkpoint_batches`] refit batches per slice), so the
+//! coordinator always holds a recent engine snapshot for every in-flight
+//! cell.
+//!
+//! **Fault tolerance.** A worker that dies mid-cell (connection drop,
+//! crash, SIGKILL) loses at most its current slice: the dispatcher thread
+//! that owned it re-queues the cell *with its latest checkpoint* and
+//! retires; a surviving worker picks the cell up and resumes from the
+//! snapshot instead of from scratch. Engine slices are bitwise identical
+//! to uninterrupted runs (pinned in `activedp` and `adp-serve`), so the
+//! merged artefact does not depend on which worker ran what, how many
+//! workers there were, or which of them died — the coordinator's CSV is
+//! byte-identical to a single-process [`run_grid`](crate::sweep::run_grid)
+//! (wall-clock aside; see [`SweepOutcome::zero_wall`]).
+//!
+//! A typed *server* error (a degenerate spec failing validation) is not a
+//! worker death: the cell is recorded as a [`CellFailure`] and never
+//! retried — a spec that fails on one healthy worker fails on all of
+//! them.
+//!
+//! **Merge determinism.** Results land in a slot vector indexed by cell
+//! id; after the queue drains, rows and failures are read out in
+//! expand order regardless of completion order.
+//!
+//! With `--spool DIR`, every finished row is also persisted as a
+//! versioned `cell-<id>.adprow` artefact ([`SweepRow::to_bytes`]); a
+//! restarted coordinator decodes the spool first and only enqueues the
+//! cells that are still missing.
+
+use crate::sweep::{CellFailure, SweepCell, SweepGrid, SweepOutcome, SweepRow};
+use activedp::ActiveDpError;
+use adp_serve::{CellProgressReply, CellRowReply, Client, ClientError};
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+
+/// Coordinator policy knobs.
+#[derive(Debug, Clone)]
+pub struct CoordOpts {
+    /// Refit batches per `run_spec` slice. `0` runs each cell in one
+    /// uncheckpointed shot (fastest, but a worker death loses the whole
+    /// cell's progress).
+    pub checkpoint_batches: u64,
+    /// Times a cell may be re-queued after worker deaths before it is
+    /// recorded as failed.
+    pub max_attempts: usize,
+    /// Directory finished rows are spooled to (and recovered from), when
+    /// set.
+    pub spool: Option<PathBuf>,
+}
+
+impl Default for CoordOpts {
+    fn default() -> Self {
+        CoordOpts {
+            checkpoint_batches: 4,
+            max_attempts: 3,
+            spool: None,
+        }
+    }
+}
+
+/// Coordinator-level failures (cell-level failures land in
+/// [`SweepOutcome::failures`] instead).
+#[derive(Debug)]
+pub enum CoordError {
+    /// No worker addresses were given.
+    NoWorkers,
+    /// Every worker died (or never answered) with cells still unfinished.
+    AllWorkersDead {
+        /// Cells left without a result.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::NoWorkers => write!(f, "distributed sweep needs at least one worker"),
+            CoordError::AllWorkersDead { missing } => write!(
+                f,
+                "every worker died with {missing} cell(s) still unfinished"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// One worker's tally after the sweep.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The worker's address as given.
+    pub addr: String,
+    /// Cells this worker completed.
+    pub cells: usize,
+    /// `false` when the worker died (or never connected) during the
+    /// sweep.
+    pub alive: bool,
+}
+
+/// Everything [`run_distributed`] produced.
+#[derive(Debug)]
+pub struct CoordReport {
+    /// Rows and per-cell failures, merged in expand order.
+    pub outcome: SweepOutcome,
+    /// Cells re-queued after a worker death.
+    pub requeued: usize,
+    /// Re-queued cells that resumed from a checkpoint (rather than from
+    /// scratch).
+    pub resumed: usize,
+    /// Cells skipped because the spool already held their row.
+    pub spooled_skips: usize,
+    /// Spool writes that failed (best-effort; never fatal).
+    pub spool_write_errors: usize,
+    /// Per-worker tallies, in the order the addresses were given.
+    pub workers: Vec<WorkerReport>,
+}
+
+/// A unit of dispatch: a cell plus the progress rescheduling preserves.
+struct Task {
+    cell: SweepCell,
+    /// Latest boundary snapshot, once a slice has completed.
+    checkpoint: Option<Vec<u8>>,
+    /// Wall-clock already accumulated across completed slices.
+    wall_ms: f64,
+    /// Dispatch attempts so far.
+    attempts: usize,
+}
+
+struct State {
+    queue: VecDeque<Task>,
+    in_flight: usize,
+    /// One slot per cell, indexed by cell id — the deterministic merge.
+    slots: Vec<Option<Result<SweepRow, ActiveDpError>>>,
+    requeued: usize,
+    resumed: usize,
+    spool_write_errors: usize,
+}
+
+/// Why a dispatcher thread gave a task back.
+enum TaskEnd {
+    /// The cell finished; its row is ready.
+    Row(SweepRow),
+    /// The server rejected the cell with a typed error — permanent.
+    Rejected(String),
+    /// The worker died mid-cell; the task carries the latest checkpoint.
+    WorkerDied(Task),
+}
+
+fn run_task(client: &mut Client, mut task: Task, opts: &CoordOpts) -> TaskEnd {
+    loop {
+        let progress = match (&task.checkpoint, opts.checkpoint_batches) {
+            (None, 0) => client
+                .run_spec(&task.cell.spec)
+                .map(CellProgressReply::Done),
+            (None, cap) => client.run_spec_batches(&task.cell.spec, cap),
+            (Some(snapshot), cap) => client.resume_spec_batches(snapshot, cap.max(1)),
+        };
+        match progress {
+            Ok(CellProgressReply::Done(CellRowReply {
+                iterations,
+                refits,
+                test_accuracy,
+                wall_ms,
+            })) => {
+                return TaskEnd::Row(SweepRow {
+                    cell: task.cell.id,
+                    spec: task.cell.spec,
+                    iterations: iterations as usize,
+                    refits: refits as usize,
+                    test_accuracy,
+                    wall_ms: task.wall_ms + wall_ms,
+                });
+            }
+            Ok(CellProgressReply::Partial {
+                wall_ms, snapshot, ..
+            }) => {
+                task.wall_ms += wall_ms;
+                task.checkpoint = Some(snapshot);
+            }
+            Err(ClientError::Server(e)) => return TaskEnd::Rejected(e),
+            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {
+                return TaskEnd::WorkerDied(task);
+            }
+        }
+    }
+}
+
+fn spool_path(dir: &Path, cell: u64) -> PathBuf {
+    dir.join(format!("cell-{cell}.adprow"))
+}
+
+/// Best-effort atomic spool write: temp file + rename, errors reported to
+/// the caller's counter rather than aborting the sweep.
+fn spool_row(dir: &Path, row: &SweepRow) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(".cell-{}.tmp", row.cell));
+    std::fs::write(&tmp, row.to_bytes())?;
+    std::fs::rename(&tmp, spool_path(dir, row.cell))
+}
+
+/// Loads the rows an earlier (interrupted) coordinator already spooled
+/// for this grid. A spooled row only counts when its spec matches the
+/// cell's — a stale spool from a different grid is ignored, not trusted.
+fn spooled_rows(dir: &Path, cells: &[SweepCell]) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for cell in cells {
+        let Ok(bytes) = std::fs::read(spool_path(dir, cell.id)) else {
+            continue;
+        };
+        match SweepRow::from_bytes(&bytes) {
+            Ok(row) if row.cell == cell.id && row.spec == cell.spec => rows.push(row),
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Runs the grid over the worker fleet (see the module docs).
+pub fn run_distributed(
+    grid: &SweepGrid,
+    workers: &[String],
+    opts: &CoordOpts,
+) -> Result<CoordReport, CoordError> {
+    if workers.is_empty() {
+        return Err(CoordError::NoWorkers);
+    }
+    let cells = grid.cells();
+    let n_cells = cells.len();
+    let mut slots: Vec<Option<Result<SweepRow, ActiveDpError>>> = Vec::new();
+    slots.resize_with(n_cells, || None);
+
+    // Recover spooled rows before enqueuing anything.
+    let mut spooled_skips = 0;
+    if let Some(dir) = &opts.spool {
+        for row in spooled_rows(dir, &cells) {
+            let slot = row.cell as usize;
+            slots[slot] = Some(Ok(row));
+            spooled_skips += 1;
+        }
+    }
+    let queue: VecDeque<Task> = cells
+        .into_iter()
+        .filter(|cell| slots[cell.id as usize].is_none())
+        .map(|cell| Task {
+            cell,
+            checkpoint: None,
+            wall_ms: 0.0,
+            attempts: 0,
+        })
+        .collect();
+
+    let state = Mutex::new(State {
+        queue,
+        in_flight: 0,
+        slots,
+        requeued: 0,
+        resumed: 0,
+        spool_write_errors: 0,
+    });
+    let idle = Condvar::new();
+    let tallies: Vec<Mutex<WorkerReport>> = workers
+        .iter()
+        .map(|addr| {
+            Mutex::new(WorkerReport {
+                addr: addr.clone(),
+                cells: 0,
+                alive: true,
+            })
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (addr, tally) in workers.iter().zip(&tallies) {
+            let state = &state;
+            let idle = &idle;
+            scope.spawn(move || dispatch_loop(addr, tally, state, idle, opts));
+        }
+    });
+
+    let state = state.into_inner().unwrap_or_else(|e| e.into_inner());
+    let missing = state.slots.iter().filter(|s| s.is_none()).count();
+    if missing > 0 {
+        return Err(CoordError::AllWorkersDead { missing });
+    }
+    let mut outcome = SweepOutcome::default();
+    let specs = grid.expand();
+    for (slot, (id, spec)) in state.slots.into_iter().zip(specs.into_iter().enumerate()) {
+        match slot.expect("checked above") {
+            Ok(row) => outcome.rows.push(row),
+            Err(error) => outcome.failures.push(CellFailure {
+                cell: id as u64,
+                spec,
+                error,
+            }),
+        }
+    }
+    Ok(CoordReport {
+        outcome,
+        requeued: state.requeued,
+        resumed: state.resumed,
+        spooled_skips,
+        spool_write_errors: state.spool_write_errors,
+        workers: tallies
+            .into_iter()
+            .map(|t| t.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect(),
+    })
+}
+
+/// One worker's dispatcher: connect, then pull-run-record until the queue
+/// drains or the worker dies.
+fn dispatch_loop(
+    addr: &str,
+    tally: &Mutex<WorkerReport>,
+    state: &Mutex<State>,
+    idle: &Condvar,
+    opts: &CoordOpts,
+) {
+    let mark_dead = || {
+        tally.lock().unwrap_or_else(|e| e.into_inner()).alive = false;
+        // Other dispatchers may be waiting on work this one will never
+        // produce; wake them so they can re-check the exit condition.
+        idle.notify_all();
+    };
+    // A worker that never answers a health probe takes no cells at all.
+    let mut client = match Client::connect(addr).and_then(|mut c| c.health().map(|_| c)) {
+        Ok(client) => client,
+        Err(_) => return mark_dead(),
+    };
+    loop {
+        let task = {
+            let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(task) = st.queue.pop_front() {
+                    st.in_flight += 1;
+                    break task;
+                }
+                if st.in_flight == 0 {
+                    return;
+                }
+                st = idle.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Probe before dispatch: a dead worker must not claim a cell it
+        // cannot run (the queue would stall until another thread's error
+        // path noticed).
+        if client.health().is_err() {
+            let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+            st.in_flight -= 1;
+            st.queue.push_front(task);
+            drop(st);
+            return mark_dead();
+        }
+        let resumed = task.checkpoint.is_some();
+        let cell = task.cell.id;
+        match run_task(&mut client, task, opts) {
+            TaskEnd::Row(row) => {
+                let mut spool_err = false;
+                if let Some(dir) = &opts.spool {
+                    spool_err = spool_row(dir, &row).is_err();
+                }
+                let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                st.slots[cell as usize] = Some(Ok(row));
+                st.in_flight -= 1;
+                if resumed {
+                    st.resumed += 1;
+                }
+                if spool_err {
+                    st.spool_write_errors += 1;
+                }
+                drop(st);
+                tally.lock().unwrap_or_else(|e| e.into_inner()).cells += 1;
+                idle.notify_all();
+            }
+            TaskEnd::Rejected(reason) => {
+                let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                st.slots[cell as usize] = Some(Err(ActiveDpError::BadConfig { reason }));
+                st.in_flight -= 1;
+                drop(st);
+                idle.notify_all();
+            }
+            TaskEnd::WorkerDied(mut task) => {
+                task.attempts += 1;
+                let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                st.in_flight -= 1;
+                if task.attempts > opts.max_attempts {
+                    st.slots[cell as usize] = Some(Err(ActiveDpError::BadConfig {
+                        reason: format!(
+                            "cell {cell} abandoned after {} worker deaths",
+                            task.attempts
+                        ),
+                    }));
+                } else {
+                    st.requeued += 1;
+                    st.queue.push_front(task);
+                }
+                drop(st);
+                return mark_dead();
+            }
+        }
+    }
+}

@@ -17,7 +17,10 @@ use activedp::{
     ScenarioSpec,
 };
 use adp_data::{DatasetId, DatasetSpec, Scale, SharedDataset};
+use adp_wire::{read_envelope, write_envelope};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The spec grid a sweep expands (see the module docs).
 #[derive(Debug, Clone)]
@@ -111,11 +114,44 @@ impl SweepGrid {
         }
         specs
     }
+
+    /// [`SweepGrid::expand`] with stable cell ids attached: a cell's id is
+    /// its position in expand order, so the same grid always names the
+    /// same cell the same way — the identity the distributed coordinator
+    /// dispatches, reschedules and merges by.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        self.expand()
+            .into_iter()
+            .enumerate()
+            .map(|(id, spec)| SweepCell {
+                id: id as u64,
+                spec,
+            })
+            .collect()
+    }
 }
+
+/// One grid cell: a stable id (the cell's position in
+/// [`SweepGrid::expand`] order) plus the spec it runs.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Position in expand order — stable across runs of the same grid.
+    pub id: u64,
+    /// The cell's scenario.
+    pub spec: ScenarioSpec,
+}
+
+/// Magic prefix of an encoded [`SweepRow`].
+pub const SWEEP_ROW_MAGIC: &[u8; 8] = b"ADPSWROW";
+/// Current [`SweepRow`] encoding version.
+pub const SWEEP_ROW_VERSION: u32 = 1;
 
 /// One finished run of the sweep.
 #[derive(Debug, Clone)]
 pub struct SweepRow {
+    /// The cell that produced the row (its [`SweepGrid::expand`] index;
+    /// 0 for standalone [`run_spec`]/[`run_spec_over`] runs).
+    pub cell: u64,
     /// The spec that produced the row.
     pub spec: ScenarioSpec,
     /// Loop iterations actually consumed (≤ budget when the pool ran dry).
@@ -134,6 +170,81 @@ impl SweepRow {
     pub fn accuracy_per_refit(&self) -> f64 {
         self.test_accuracy / self.refits.max(1) as f64
     }
+
+    /// Encodes the row as a versioned artefact (`ADPSWROW` v1) — the form
+    /// `adp-coord --spool` persists per completed cell, so an interrupted
+    /// coordinator restart skips cells already computed.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = write_envelope(SWEEP_ROW_MAGIC, SWEEP_ROW_VERSION);
+        w.put_u64(self.cell);
+        let spec = self.spec.to_bytes();
+        w.put_u64(spec.len() as u64);
+        w.put_bytes(&spec);
+        w.put_usize(self.iterations);
+        w.put_usize(self.refits);
+        w.put_f64(self.test_accuracy);
+        w.put_f64(self.wall_ms);
+        w.into_bytes()
+    }
+
+    /// Decodes a row written by [`SweepRow::to_bytes`], rejecting foreign
+    /// magic, newer versions, truncation and trailing garbage.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SweepRow, ActiveDpError> {
+        let (mut r, _version) = read_envelope(bytes, SWEEP_ROW_MAGIC, SWEEP_ROW_VERSION)?;
+        let cell = r.get_u64()?;
+        let spec_len = r.get_len("sweep row spec", 1)?;
+        let spec = ScenarioSpec::from_bytes(r.get_bytes(spec_len)?)?;
+        let row = SweepRow {
+            cell,
+            spec,
+            iterations: r.get_usize()?,
+            refits: r.get_usize()?,
+            test_accuracy: r.get_f64()?,
+            wall_ms: r.get_f64()?,
+        };
+        r.finish()?;
+        Ok(row)
+    }
+}
+
+/// A cell the sweep could not run: a degenerate spec, or a dataset that
+/// failed to generate. Failures are collected, not propagated — one bad
+/// cell must not abort a 2,880-cell sweep.
+#[derive(Debug)]
+pub struct CellFailure {
+    /// The cell's stable id (expand-order index).
+    pub cell: u64,
+    /// The spec that failed.
+    pub spec: ScenarioSpec,
+    /// The typed engine error.
+    pub error: ActiveDpError,
+}
+
+/// Everything a grid run produced: the successful rows (in expand order)
+/// plus every per-cell failure (also in expand order).
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// Rows of the cells that ran, ordered by cell id.
+    pub rows: Vec<SweepRow>,
+    /// Cells that failed, ordered by cell id.
+    pub failures: Vec<CellFailure>,
+}
+
+impl SweepOutcome {
+    /// `true` when every cell produced a row.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Zeroes every row's wall-clock column — the `--zero-wall` mode that
+    /// makes the rendered artefact byte-comparable across runs, worker
+    /// counts and failure interleavings (wall time is the one
+    /// non-deterministic column).
+    pub fn zero_wall(&mut self) {
+        for row in &mut self.rows {
+            row.wall_ms = 0.0;
+        }
+    }
 }
 
 /// Runs one spec over an already-generated split (provenance must match;
@@ -147,6 +258,7 @@ pub fn run_spec_over(spec: ScenarioSpec, data: SharedDataset) -> Result<SweepRow
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let iterations = engine.state().iteration;
     Ok(SweepRow {
+        cell: 0,
         spec,
         iterations,
         // Boundaries are absolute, so the batches covering the consumed
@@ -169,30 +281,83 @@ pub fn run_spec(spec: ScenarioSpec) -> Result<SweepRow, ActiveDpError> {
     run_spec_over(spec, data)
 }
 
-/// Expands and runs a whole grid, generating each distinct dataset spec
-/// once and sharing the split across every run that names it. Rows come
-/// back in [`SweepGrid::expand`] order.
-pub fn run_grid(grid: &SweepGrid) -> Result<Vec<SweepRow>, ActiveDpError> {
-    let mut cache: HashMap<(DatasetId, u64, u64), SharedDataset> = HashMap::new();
-    let mut rows = Vec::with_capacity(grid.len());
-    for spec in grid.expand() {
-        let data = match cache.get(&spec.dataset.cache_key()) {
-            Some(data) => data.clone(),
-            None => {
-                let data = spec
-                    .dataset
-                    .generate()
-                    .map_err(|e| ActiveDpError::BadConfig {
-                        reason: format!("dataset spec failed to generate: {e}"),
-                    })?
-                    .into_shared();
-                cache.insert(spec.dataset.cache_key(), data.clone());
-                data
-            }
-        };
-        rows.push(run_spec_over(spec, data)?);
+/// Expands and runs a whole grid serially, generating each distinct
+/// dataset spec once and sharing the split across every run that names
+/// it. Rows come back in [`SweepGrid::expand`] order; failing cells land
+/// in [`SweepOutcome::failures`] instead of aborting the sweep.
+pub fn run_grid(grid: &SweepGrid) -> SweepOutcome {
+    run_grid_jobs(grid, 1)
+}
+
+/// Fetches (or generates exactly once) the split a spec names. The lock
+/// is held across generation on purpose: two cells racing for the same
+/// dataset must not both pay the generator — the loser blocks and reuses
+/// the winner's split, exactly like the serving hub's dataset cache.
+fn cached_dataset(
+    cache: &Mutex<HashMap<(DatasetId, u64, u64), SharedDataset>>,
+    spec: &ScenarioSpec,
+) -> Result<SharedDataset, ActiveDpError> {
+    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(data) = cache.get(&spec.dataset.cache_key()) {
+        return Ok(data.clone());
     }
-    Ok(rows)
+    let data = spec
+        .dataset
+        .generate()
+        .map_err(|e| ActiveDpError::BadConfig {
+            reason: format!("dataset spec failed to generate: {e}"),
+        })?
+        .into_shared();
+    cache.insert(spec.dataset.cache_key(), data.clone());
+    Ok(data)
+}
+
+/// [`run_grid`] over `jobs` worker threads. Workers pull the next
+/// unclaimed cell from a shared counter (work-stealing: a slow cell never
+/// stalls the rest of the grid), runs are independent and deterministic
+/// in the spec, and results are reassembled by cell id afterwards — so
+/// the outcome is bitwise identical (wall-clock aside) for every `jobs`
+/// value, pinned by this module's tests.
+pub fn run_grid_jobs(grid: &SweepGrid, jobs: usize) -> SweepOutcome {
+    let cells = grid.cells();
+    let cache: Mutex<HashMap<(DatasetId, u64, u64), SharedDataset>> = Mutex::new(HashMap::new());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(u64, Result<SweepRow, ActiveDpError>)>> =
+        Mutex::new(Vec::with_capacity(cells.len()));
+    let workers = jobs.max(1).min(cells.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let result = cached_dataset(&cache, &cell.spec).and_then(|data| {
+                    run_spec_over(cell.spec.clone(), data).map(|mut row| {
+                        row.cell = cell.id;
+                        row
+                    })
+                });
+                results
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((cell.id, result));
+            });
+        }
+    });
+    let mut results = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    results.sort_by_key(|(id, _)| *id);
+    let mut outcome = SweepOutcome::default();
+    for ((id, result), cell) in results.into_iter().zip(cells) {
+        debug_assert_eq!(id, cell.id);
+        match result {
+            Ok(row) => outcome.rows.push(row),
+            Err(error) => outcome.failures.push(CellFailure {
+                cell: cell.id,
+                spec: cell.spec,
+                error,
+            }),
+        }
+    }
+    outcome
 }
 
 /// Renders sweep rows as the budget/latency artefact table, averaging the
@@ -303,8 +468,13 @@ mod tests {
     #[test]
     fn run_grid_emits_one_row_per_spec_and_rows_parse() {
         let grid = tiny_grid();
-        let rows = run_grid(&grid).unwrap();
+        let out = run_grid(&grid);
+        assert!(out.is_clean());
+        let rows = out.rows;
         assert_eq!(rows.len(), 4);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.cell, i as u64);
+        }
         for row in &rows {
             assert_eq!(row.iterations, 6);
             let expected_refits = row.spec.schedule.n_batches(6);
@@ -346,11 +516,100 @@ mod tests {
         grid.samplers = vec![SamplerChoice::Uncertainty];
         grid.ks = vec![4];
         grid.seeds = vec![1, 2];
-        let rows = run_grid(&grid).unwrap();
+        let out = run_grid(&grid);
+        assert!(out.is_clean());
+        let rows = out.rows;
         assert_eq!(rows.len(), 2);
         let table = grid_table(&rows);
         let csv = table.to_csv();
         assert_eq!(csv.lines().count(), 2, "{csv}");
         assert!(csv.lines().nth(1).unwrap().contains(",2,"), "{csv}");
+    }
+
+    #[test]
+    fn parallel_grid_is_bitwise_identical_to_serial() {
+        let grid = tiny_grid();
+        let mut serial = run_grid_jobs(&grid, 1);
+        let mut parallel = run_grid_jobs(&grid, 4);
+        assert!(serial.is_clean() && parallel.is_clean());
+        assert_eq!(serial.rows.len(), parallel.rows.len());
+        for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.refits, b.refits);
+            assert_eq!(a.test_accuracy.to_bits(), b.test_accuracy.to_bits());
+        }
+        // With wall-clock zeroed the rendered artefacts byte-compare.
+        serial.zero_wall();
+        parallel.zero_wall();
+        assert_eq!(
+            grid_table(&serial.rows).to_csv(),
+            grid_table(&parallel.rows).to_csv()
+        );
+        // More workers than cells degrades gracefully too.
+        let crowd = run_grid_jobs(&grid, 64);
+        assert_eq!(crowd.rows.len(), serial.rows.len());
+    }
+
+    #[test]
+    fn a_degenerate_cell_fails_alone_without_aborting_the_sweep() {
+        let mut grid = tiny_grid();
+        grid.ks = vec![1, 0]; // k = 0 fails BudgetSchedule validation.
+        let out = run_grid(&grid);
+        assert!(!out.is_clean());
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.failures.len(), 2);
+        // Failures keep their cell identity and a typed error.
+        for failure in &out.failures {
+            assert_eq!(failure.spec.schedule, BudgetSchedule::FixedBatch { k: 0 });
+            assert!(
+                matches!(failure.error, ActiveDpError::BadConfig { .. }),
+                "{:?}",
+                failure.error
+            );
+        }
+        assert_eq!(out.failures[0].cell, 1);
+        assert_eq!(out.failures[1].cell, 3);
+        // The healthy cells still ran to completion.
+        for row in &out.rows {
+            assert_eq!(row.iterations, 6);
+        }
+    }
+
+    #[test]
+    fn sweep_rows_roundtrip_through_the_codec() {
+        let grid = tiny_grid();
+        let out = run_grid(&grid);
+        for row in &out.rows {
+            let bytes = row.to_bytes();
+            let back = SweepRow::from_bytes(&bytes).unwrap();
+            assert_eq!(back.cell, row.cell);
+            assert_eq!(back.spec, row.spec);
+            assert_eq!(back.iterations, row.iterations);
+            assert_eq!(back.refits, row.refits);
+            assert_eq!(back.test_accuracy.to_bits(), row.test_accuracy.to_bits());
+            assert_eq!(back.wall_ms.to_bits(), row.wall_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_row_codec_rejects_corruption() {
+        let row = run_spec(tiny_grid().expand().swap_remove(0)).unwrap();
+        let bytes = row.to_bytes();
+        // Foreign magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(SweepRow::from_bytes(&bad).is_err());
+        // Truncation.
+        assert!(SweepRow::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SweepRow::from_bytes(&long).is_err());
+        // Future version.
+        let mut newer = bytes;
+        newer[8] = 0xFF;
+        assert!(SweepRow::from_bytes(&newer).is_err());
     }
 }

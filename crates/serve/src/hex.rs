@@ -1,0 +1,61 @@
+//! Lowercase hex encoding for binary payloads riding the JSON-lines
+//! protocol (the `run_spec` command ships snapshot bytes in a string
+//! field). Hand-rolled for the offline-vendor constraint; two nibbles per
+//! byte, strict decoding (even length, `[0-9a-fA-F]` only).
+
+/// Encodes `bytes` as lowercase hex, two characters per byte.
+pub fn encode(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string produced by [`encode`] (either nibble case).
+/// Rejects odd lengths and non-hex characters with a description of the
+/// offending position.
+pub fn decode(hex: &str) -> Result<Vec<u8>, String> {
+    if hex.len() % 2 != 0 {
+        return Err(format!("hex payload has odd length {}", hex.len()));
+    }
+    let nibble = |c: u8, at: usize| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("non-hex byte {:?} at offset {at}", c as char)),
+        }
+    };
+    let raw = hex.as_bytes();
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for i in (0..raw.len()).step_by(2) {
+        out.push((nibble(raw[i], i)? << 4) | nibble(raw[i + 1], i + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_all_byte_values() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = encode(&bytes);
+        assert_eq!(hex.len(), 512);
+        assert_eq!(decode(&hex).unwrap(), bytes);
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn decode_accepts_uppercase_and_rejects_garbage() {
+        assert_eq!(decode("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert!(decode("abc").unwrap_err().contains("odd length"));
+        assert!(decode("zz").unwrap_err().contains("offset 0"));
+        assert!(decode("0g").unwrap_err().contains("offset 1"));
+    }
+}

@@ -467,6 +467,55 @@ enum Command {
     },
 }
 
+/// Where one [`SessionHub::run_cell`] call starts from: a fresh spec, or
+/// a checkpoint a previous slice (possibly on another worker) shipped
+/// back.
+#[derive(Debug, Clone)]
+pub enum CellStart {
+    /// Build the cell's engine from scratch (boxed to keep the enum
+    /// slim — clippy's large-variant lint).
+    Spec(Box<ScenarioSpec>),
+    /// Resume the cell from a boundary snapshot; the dataset regenerates
+    /// (or is served from cache) from the provenance the snapshot embeds.
+    /// Boxed: a snapshot dwarfs a spec.
+    Resume(Box<SessionSnapshot>),
+}
+
+/// A finished sweep cell as computed by [`SessionHub::run_cell`] — the
+/// same quantities the local sweep's `SweepRow` carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellResult {
+    /// Loop iterations consumed (≤ budget when the pool ran dry).
+    pub iterations: usize,
+    /// Refit batches the consumed iterations span (absolute boundaries,
+    /// so this is independent of how the cell was sliced).
+    pub refits: usize,
+    /// Final downstream test accuracy.
+    pub test_accuracy: f64,
+    /// This slice's wall clock, milliseconds (dataset generation
+    /// excluded). For a sliced cell the coordinator sums slice walls.
+    pub wall_ms: f64,
+}
+
+/// What one [`SessionHub::run_cell`] slice produced.
+#[derive(Debug, Clone)]
+pub enum CellProgress {
+    /// The cell ran to completion (budget spent or pool exhausted) and
+    /// was evaluated.
+    Done(CellResult),
+    /// The batch cap stopped the slice first; the checkpoint resumes the
+    /// cell on any worker.
+    Partial {
+        /// Iterations consumed so far.
+        iteration: usize,
+        /// This slice's wall clock, milliseconds.
+        wall_ms: f64,
+        /// Boundary snapshot to resume from (boxed: it dwarfs the other
+        /// variant).
+        snapshot: Box<SessionSnapshot>,
+    },
+}
+
 /// A registry of concurrent labelling sessions, sharded over worker
 /// threads.
 ///
@@ -772,6 +821,71 @@ impl SessionHub {
     ) -> Result<SessionId, ServeError> {
         let engine = Engine::builder(data).resume(snapshot)?;
         self.create(engine)
+    }
+
+    /// Runs one sweep cell (or a bounded slice of one) to serve the
+    /// `run_spec` protocol command — the distributed sweep's unit of work.
+    ///
+    /// The engine is **ephemeral**: built fresh from the spec (or resumed
+    /// from a shipped checkpoint), run for at most `max_batches` schedule
+    /// batches on the *calling* thread, and dropped when the call returns.
+    /// No session id is allocated and no shard worker is involved — cells
+    /// carry their whole state in the request/response, which is what
+    /// makes a dead worker rescheduable: the coordinator holds the last
+    /// returned checkpoint and replays it on any other worker. Only the
+    /// dataset split is shared, through the hub's generate-once cache.
+    ///
+    /// Slicing is bitwise-invisible (schedule batch boundaries are
+    /// absolute): any partition of a cell into `run_cell` calls — across
+    /// any mix of workers — produces the same iterations/refits/accuracy
+    /// as one uninterrupted local run.
+    pub fn run_cell(
+        &self,
+        start: CellStart,
+        max_batches: Option<usize>,
+    ) -> Result<CellProgress, ServeError> {
+        self.timed(Op::RunSpec, || {
+            let mut engine = match start {
+                CellStart::Spec(spec) => {
+                    spec.validate().map_err(ServeError::Engine)?;
+                    let data = self.shared.dataset_for(spec.dataset)?;
+                    Engine::from_spec_over(*spec, data)?
+                }
+                CellStart::Resume(snapshot) => {
+                    let data = self.shared.dataset_for(snapshot.spec.dataset)?;
+                    Engine::builder(data).resume(*snapshot)?
+                }
+            };
+            // The clock starts after dataset generation, matching the
+            // local sweep's convention (the artefact times the loop).
+            let wall = Instant::now();
+            let run = engine.run_schedule_batches(max_batches.unwrap_or(usize::MAX))?;
+            let metrics = &self.shared.metrics;
+            if !run.done {
+                let snapshot = engine.snapshot()?;
+                metrics.sweep_cell_latency.observe(wall.elapsed());
+                return Ok(CellProgress::Partial {
+                    iteration: engine.state().iteration,
+                    wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+                    snapshot: Box::new(snapshot),
+                });
+            }
+            let report = engine.evaluate_downstream()?;
+            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+            let iterations = engine.state().iteration;
+            // Boundaries are absolute, so the batches covering the
+            // consumed iterations are exactly the batches that ran —
+            // whether this worker ran them all or only the tail.
+            let refits = engine.schedule().batch_sizes(iterations).len();
+            metrics.sweep_cells_total.inc();
+            metrics.sweep_cell_latency.observe(wall.elapsed());
+            Ok(CellProgress::Done(CellResult {
+                iterations,
+                refits,
+                test_accuracy: report.test_accuracy,
+                wall_ms,
+            }))
+        })
     }
 
     /// Captures the identified session's [`SessionSnapshot`] (the session

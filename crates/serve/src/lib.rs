@@ -44,6 +44,7 @@
 //! deliberately trivial to re-host on one.
 
 pub mod client;
+pub mod hex;
 pub mod hub;
 pub mod journal;
 pub mod json;
@@ -53,10 +54,13 @@ pub mod server;
 pub mod spec_json;
 
 pub use client::{
-    Client, ClientError, DurabilityReply, EvalReply, HealthReply, OpenReply, ShardHealthReply,
-    StepReply,
+    CellProgressReply, CellRowReply, Client, ClientError, DurabilityReply, EvalReply, HealthReply,
+    OpenReply, ShardHealthReply, StepReply,
 };
-pub use hub::{HubHealth, ServeError, SessionHub, SessionId, SessionStatus, ShardHealth};
+pub use hub::{
+    CellProgress, CellResult, CellStart, HubHealth, ServeError, SessionHub, SessionId,
+    SessionStatus, ShardHealth,
+};
 pub use journal::DurabilityStatus;
 pub use json::Json;
 pub use metrics::{HubMetrics, Op};
