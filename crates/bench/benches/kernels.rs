@@ -221,6 +221,7 @@ fn bench_wal(c: &mut Criterion) {
             }),
             sampler_rng: [iteration as u64; 4],
             oracle_rng: [!(iteration as u64); 4],
+            route: None,
             commit: iteration == EVENTS,
         })
         .collect();
@@ -253,6 +254,63 @@ fn bench_wal(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Dual-oracle routing throughput: 1000 consults through an
+/// `OracleRouter` under the uncertainty policy, hints alternating so both
+/// the cheap noisy oracle and the expensive simulated user answer — the
+/// per-query overhead the router adds to a labelling session.
+fn bench_oracle_route(c: &mut Criterion) {
+    use activedp::{ConfusionSpec, LatencyModel, NoisyOracle, Oracle, OracleRouter, RoutePolicy};
+    use adp_lf::SimulatedUser;
+
+    const QUERIES: usize = 1000;
+    let split = bench_dataset(DatasetId::Youtube);
+    let space = CandidateSpace::build(&split.train);
+    let n = split.train.labels.len();
+    c.bench_function("oracle_route_1k", |b| {
+        b.iter_batched(
+            || {
+                OracleRouter::new(
+                    SimulatedUser::with_defaults(7),
+                    NoisyOracle::new(ConfusionSpec::Uniform { accuracy: 0.8 }, 0.6, 8),
+                    RoutePolicy::UncertaintyThreshold { tau: 0.3 },
+                    LatencyModel::default(),
+                )
+            },
+            |mut router| {
+                for q in 0..QUERIES {
+                    let hint = Some(if q % 2 == 0 { 0.1 } else { 0.45 });
+                    let (lf, choice) =
+                        router.respond_routed(&space, &split.train, &split.train, q % n, hint);
+                    black_box((lf, choice));
+                }
+                black_box(router.stats().total_cost())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+/// Drift application over a dense pool: the per-boundary cost of
+/// regenerating the drifted splits when a `covariate:AT,ROT` spec fires
+/// (`DriftSpec::apply` clones and rotates train/valid/test).
+fn bench_drift_regen(c: &mut Criterion) {
+    use adp_data::DriftSpec;
+
+    let base = bench_dataset(DatasetId::Census);
+    let drift = DriftSpec::CovariateDrift {
+        at: 6,
+        rotation: 0.4,
+    };
+    c.bench_function("drift_regen_pool", |b| {
+        b.iter(|| {
+            let drifted = black_box(&drift)
+                .apply(black_box(&base))
+                .expect("covariate drift rewrites the split");
+            black_box(drifted.train.labels.len())
+        })
+    });
+}
+
 /// Expansion of a full-size sweep grid into concrete `ScenarioSpec`s —
 /// the `adp-sweep` planner (8 datasets × 6 samplers × 3 label models ×
 /// 4 schedules × 5 seeds = 2880 specs), plus each spec's wire encoding
@@ -272,6 +330,8 @@ fn bench_sweep_expand_grid(c: &mut Criterion) {
         budget: 300,
         seeds: vec![1, 2, 3, 4, 5],
         candidates: activedp::CandidateStrategy::Exact,
+        oracles: vec![activedp::OracleKind::Simulated],
+        drifts: vec![adp_data::DriftSpec::None],
     };
     assert_eq!(grid.len(), 2880);
     c.bench_function("sweep_expand_grid_2880", |b| {
@@ -410,6 +470,8 @@ criterion_group!(
         bench_glasso_sweep_parallel,
         bench_snapshot_roundtrip,
         bench_wal,
+        bench_oracle_route,
+        bench_drift_regen,
         bench_sweep_expand_grid,
         bench_sampler_pool,
         bench_index_build,

@@ -24,6 +24,8 @@ fn bench_grid() -> SweepGrid {
         budget: 6,
         seeds: vec![1],
         candidates: CandidateStrategy::Exact,
+        oracles: vec![activedp::OracleKind::Simulated],
+        drifts: vec![adp_data::DriftSpec::None],
     }
 }
 

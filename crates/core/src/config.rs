@@ -6,6 +6,7 @@ use crate::labelpick::LabelPickConfig;
 use adp_classifier::LogRegConfig;
 use adp_labelmodel::LabelModelKind;
 use adp_lf::{SimulatedUser, UserConfig};
+use adp_oracle::{NoisyOracle, Oracle, OracleKind, OracleRouter};
 
 /// XOR mask separating the oracle's RNG stream from the master seed.
 ///
@@ -22,6 +23,11 @@ const SEED_STREAM_SAMPLER: u64 = 0x5EED_0002;
 /// XOR mask separating the candidate index's RNG stream (k-means
 /// initialisation under [`CandidateStrategy::Ann`]) from the master seed.
 const SEED_STREAM_INDEX: u64 = 0x5EED_0003;
+
+/// XOR mask separating the cheap noisy oracle's RNG stream (under
+/// [`OracleKind::Noisy`]) from the master seed — distinct from the
+/// expensive user's stream so routing never entangles the two.
+const SEED_STREAM_CHEAP_ORACLE: u64 = 0x5EED_0004;
 
 /// Which sample selector drives the training loop (Table 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -258,6 +264,11 @@ pub struct SessionConfig {
     /// [`CandidateStrategy::Exact`] (paper behaviour, the default) or the
     /// sublinear [`CandidateStrategy::Ann`] index path.
     pub candidates: CandidateStrategy,
+    /// Which oracle answers queries: [`OracleKind::Simulated`] (the paper's
+    /// single expensive user, the default) or [`OracleKind::Noisy`] — the
+    /// expensive user plus a cheap confusion-structured labeller behind a
+    /// budget-aware router.
+    pub oracle: OracleKind,
     /// AL-model training hyperparameters.
     pub al_logreg: LogRegConfig,
     /// Downstream-model training hyperparameters.
@@ -289,6 +300,7 @@ impl SessionConfig {
             labelpick: LabelPickConfig::default(),
             sampler: SamplerChoice::Adp,
             candidates: CandidateStrategy::Exact,
+            oracle: OracleKind::Simulated,
             al_logreg: LogRegConfig::default(),
             downstream_logreg: LogRegConfig {
                 max_iters: 150,
@@ -354,6 +366,12 @@ impl SessionConfig {
         self.seed ^ SEED_STREAM_INDEX
     }
 
+    /// Seed of the cheap noisy oracle's RNG stream (under
+    /// [`OracleKind::Noisy`]), derived from the master seed.
+    pub fn cheap_oracle_seed(&self) -> u64 {
+        self.seed ^ SEED_STREAM_CHEAP_ORACLE
+    }
+
     /// The simulated user of §4.1.4 for this configuration: candidate
     /// accuracy threshold and noise rate from the config, RNG seeded from
     /// [`SessionConfig::oracle_seed`].
@@ -365,6 +383,28 @@ impl SessionConfig {
             },
             self.oracle_seed(),
         )
+    }
+
+    /// The label source [`SessionConfig::oracle`] describes:
+    /// the plain simulated user under [`OracleKind::Simulated`], or an
+    /// [`OracleRouter`] over the user and a [`NoisyOracle`] (seeded from
+    /// [`SessionConfig::cheap_oracle_seed`]) under [`OracleKind::Noisy`].
+    /// The single construction path for the engine, the builder and resume,
+    /// so the seed derivations can never drift apart.
+    pub fn build_oracle(&self) -> Box<dyn Oracle> {
+        match self.oracle {
+            OracleKind::Simulated => Box::new(self.simulated_user()),
+            OracleKind::Noisy {
+                confusion,
+                latency,
+                policy,
+            } => Box::new(OracleRouter::new(
+                self.simulated_user(),
+                NoisyOracle::new(confusion, self.acc_threshold, self.cheap_oracle_seed()),
+                policy,
+                latency,
+            )),
+        }
     }
 
     pub(crate) fn validate(&self) -> Result<(), ActiveDpError> {
@@ -390,6 +430,9 @@ impl SessionConfig {
                 });
             }
         }
+        self.oracle
+            .validate()
+            .map_err(|reason| ActiveDpError::BadConfig { reason })?;
         Ok(())
     }
 }
@@ -404,13 +447,49 @@ mod tests {
         assert_eq!(cfg.oracle_seed(), 7 ^ SEED_STREAM_ORACLE);
         assert_eq!(cfg.sampler_seed(), 7 ^ SEED_STREAM_SAMPLER);
         assert_eq!(cfg.index_seed(), 7 ^ SEED_STREAM_INDEX);
+        assert_eq!(cfg.cheap_oracle_seed(), 7 ^ SEED_STREAM_CHEAP_ORACLE);
         // The streams never collide with each other or the master seed.
-        assert_ne!(cfg.oracle_seed(), cfg.sampler_seed());
-        assert_ne!(cfg.oracle_seed(), cfg.index_seed());
-        assert_ne!(cfg.sampler_seed(), cfg.index_seed());
-        assert_ne!(cfg.oracle_seed(), cfg.seed);
-        assert_ne!(cfg.sampler_seed(), cfg.seed);
-        assert_ne!(cfg.index_seed(), cfg.seed);
+        let streams = [
+            cfg.oracle_seed(),
+            cfg.sampler_seed(),
+            cfg.index_seed(),
+            cfg.cheap_oracle_seed(),
+            cfg.seed,
+        ];
+        for (i, a) in streams.iter().enumerate() {
+            for b in &streams[i + 1..] {
+                assert_ne!(a, b, "seed streams collide");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_oracle_specs() {
+        let mut cfg = SessionConfig::paper_defaults(true, 7);
+        cfg.oracle = OracleKind::Noisy {
+            confusion: adp_oracle::ConfusionSpec::Uniform { accuracy: 2.0 },
+            latency: adp_oracle::LatencyModel::default(),
+            policy: adp_oracle::RoutePolicy::CheapThenEscalate,
+        };
+        assert!(cfg.validate().is_err());
+        cfg.oracle = OracleKind::noisy();
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn build_oracle_matches_the_kind() {
+        let mut cfg = SessionConfig::paper_defaults(true, 7);
+        let plain = cfg.build_oracle();
+        assert!(
+            plain.route_stats().is_none(),
+            "simulated user does not route"
+        );
+        cfg.oracle = OracleKind::noisy();
+        let routed = cfg.build_oracle();
+        assert_eq!(routed.route_stats(), Some(Default::default()));
+        assert!(routed.cheap_rng_words().is_some());
+        // The expensive side is seeded exactly as the plain user is.
+        assert_eq!(routed.rng_words(), plain.rng_words());
     }
 
     #[test]

@@ -12,9 +12,9 @@
 use super::{Engine, StepObserver};
 use crate::config::{CandidateStrategy, SamplerChoice, SessionConfig};
 use crate::error::ActiveDpError;
-use crate::oracle::Oracle;
+use crate::oracle::{Oracle, OracleKind};
 use crate::scenario::{BudgetSchedule, ScenarioSpec, DEFAULT_BUDGET};
-use adp_data::SharedDataset;
+use adp_data::{DriftSpec, SharedDataset};
 use adp_labelmodel::LabelModelKind;
 
 /// Builder for [`Engine`]: `Engine::builder(data).seed(7).build()?`.
@@ -33,6 +33,7 @@ pub struct EngineBuilder {
     config: SessionConfig,
     schedule: BudgetSchedule,
     budget: usize,
+    drift: DriftSpec,
     oracle: Option<Box<dyn Oracle>>,
     observers: Vec<Box<dyn StepObserver>>,
 }
@@ -48,6 +49,7 @@ impl EngineBuilder {
             config,
             schedule: BudgetSchedule::FixedStep,
             budget: DEFAULT_BUDGET,
+            drift: DriftSpec::None,
             oracle: None,
             observers: Vec::new(),
         }
@@ -61,6 +63,7 @@ impl EngineBuilder {
             session: self.config.clone(),
             schedule: self.schedule.clone(),
             budget: self.budget,
+            drift: self.drift,
         })
     }
 
@@ -147,6 +150,38 @@ impl EngineBuilder {
         self
     }
 
+    /// Which oracle answers queries: [`OracleKind::Simulated`] (the
+    /// default, the paper's §4.1.4 user) or [`OracleKind::Noisy`], which
+    /// routes each query between that user and a cheap confusion-matrix
+    /// oracle under a budget-aware policy.
+    ///
+    /// ```
+    /// use activedp::{Engine, OracleKind};
+    /// use adp_data::{generate, DatasetId, Scale};
+    ///
+    /// let data = generate(DatasetId::Youtube, Scale::Tiny, 7).unwrap();
+    /// let mut engine = Engine::builder(data)
+    ///     .seed(7)
+    ///     .oracle_kind(OracleKind::noisy())
+    ///     .build()
+    ///     .unwrap();
+    /// engine.run(3).unwrap();
+    /// assert!(engine.route_stats().unwrap().total_cost() > 0.0);
+    /// ```
+    pub fn oracle_kind(mut self, kind: OracleKind) -> Self {
+        self.config.oracle = kind;
+        self
+    }
+
+    /// How (and whether) the pool drifts mid-run (see
+    /// [`DriftSpec`]; default [`DriftSpec::None`]). Mutating drifts must
+    /// land on a refit boundary of the [`schedule`](Self::schedule) —
+    /// validated at build time.
+    pub fn drift(mut self, drift: DriftSpec) -> Self {
+        self.drift = drift;
+        self
+    }
+
     /// How [`Engine::run_schedule`] spends the labelling budget (validated
     /// at build time; default [`BudgetSchedule::FixedStep`]).
     pub fn schedule(mut self, schedule: BudgetSchedule) -> Self {
@@ -191,6 +226,7 @@ impl EngineBuilder {
             self.config,
             self.schedule,
             self.budget,
+            self.drift,
             self.oracle,
             self.observers,
         )
@@ -221,6 +257,7 @@ impl EngineBuilder {
             state,
             sampler_rng,
             oracle,
+            routed,
         } = snapshot;
         if let Some(provenance) = self.data.provenance {
             if provenance != spec.dataset {
@@ -237,10 +274,12 @@ impl EngineBuilder {
             session,
             schedule,
             budget,
+            drift,
         } = spec;
         self.config = session;
         self.schedule = schedule;
         self.budget = budget;
+        self.drift = drift;
         let mut engine = self.build()?;
         // A provenance-less split that nevertheless passed the shape check
         // below is the snapshot's split as far as anyone can tell; record
@@ -254,6 +293,19 @@ impl EngineBuilder {
                 reason: "the session's oracle cannot replay snapshot state".into(),
             });
         }
+        if let Some(routed) = &routed {
+            if !engine.querying.restore_routed(routed) {
+                return Err(ActiveDpError::SnapshotUnsupported {
+                    reason: "the session's oracle cannot replay routed state".into(),
+                });
+            }
+        }
+        // Re-derive the drift swap before the refit: a snapshot taken past
+        // the boundary carries state computed against the mutated pool, so
+        // the refit below must run against it too. (A snapshot exactly at
+        // the boundary stays on the base pool — the uninterrupted run's
+        // boundary refit did as well.)
+        engine.sync_drift()?;
         // Rebuild the fitted models. The refit consumes no RNG and resets
         // every parameter, so it reproduces exactly the state the models
         // were in when the snapshot was taken (`state.selected` and the

@@ -39,9 +39,10 @@ pub use training::TrainingStage;
 use crate::config::SessionConfig;
 use crate::error::ActiveDpError;
 use crate::event::StepEvent;
+use crate::oracle::{RouteChoice, RoutedStep};
 use crate::scenario::{BudgetSchedule, ScenarioSpec};
-use adp_data::{DatasetSpec, SharedDataset, SplitDataset};
-use adp_lf::LabelFunction;
+use adp_data::{DatasetSpec, DriftSpec, SharedDataset, SplitDataset};
+use adp_lf::{LabelFunction, LabelMatrix};
 
 /// One phase of the loop: a named transformation of the shared state.
 ///
@@ -80,6 +81,10 @@ pub struct StepOutcome {
     pub n_lfs: usize,
     /// LFs currently selected by LabelPick.
     pub n_selected: usize,
+    /// Which oracle answered, for dual-oracle sessions
+    /// ([`OracleKind::Noisy`](crate::OracleKind)); `None` on plain
+    /// simulated-user sessions and on pool-exhausted steps.
+    pub route: Option<RouteChoice>,
 }
 
 /// What a bounded [`Engine::run_schedule_batches`] call accomplished.
@@ -146,6 +151,12 @@ pub struct Engine {
     config: SessionConfig,
     schedule: BudgetSchedule,
     budget: usize,
+    /// The scenario's streaming mutation, if any (see
+    /// [`DriftSpec`]). Applied lazily at its refit boundary: `data` holds
+    /// the base split until then, the mutated one after.
+    drift: DriftSpec,
+    /// Whether the drift boundary has been crossed and `data` swapped.
+    drift_applied: bool,
     /// Dataset provenance, when the split was generated from a spec — what
     /// makes the session describable as a [`ScenarioSpec`] and therefore
     /// snapshottable.
@@ -222,27 +233,54 @@ impl Engine {
             session,
             schedule,
             budget,
+            drift,
         } = spec;
-        Engine::assemble(data, Some(dataset), session, schedule, budget, None, vec![])
+        Engine::assemble(
+            data,
+            Some(dataset),
+            session,
+            schedule,
+            budget,
+            drift,
+            None,
+            vec![],
+        )
     }
 
     /// The single assembly point underneath every constructor: validates,
-    /// defaults the oracle to [`SessionConfig::simulated_user`], and wires
-    /// the stages.
+    /// defaults the oracle to [`SessionConfig::build_oracle`] (the
+    /// simulated user, or the router over it under
+    /// [`OracleKind::Noisy`](crate::OracleKind)), and wires the stages.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         data: SharedDataset,
         dataset_spec: Option<DatasetSpec>,
         config: SessionConfig,
         schedule: BudgetSchedule,
         budget: usize,
+        drift: DriftSpec,
         oracle: Option<Box<dyn crate::oracle::Oracle>>,
         observers: Vec<Box<dyn StepObserver>>,
     ) -> Result<Engine, ActiveDpError> {
         config.validate()?;
         schedule.validate()?;
+        drift
+            .validate(data.is_textual())
+            .map_err(|reason| ActiveDpError::BadConfig { reason })?;
+        if let Some(at) = drift.boundary() {
+            if !schedule.is_batch_boundary(at, budget) {
+                return Err(ActiveDpError::BadConfig {
+                    reason: format!(
+                        "drift boundary {at} is not a refit boundary of schedule {} under budget \
+                         {budget}",
+                        schedule.label()
+                    ),
+                });
+            }
+        }
         let oracle = match oracle {
             Some(oracle) => oracle,
-            None => Box::new(config.simulated_user()),
+            None => config.build_oracle(),
         };
         Ok(Engine {
             state: SessionState::new(&data),
@@ -253,6 +291,8 @@ impl Engine {
             config,
             schedule,
             budget,
+            drift,
+            drift_applied: false,
             dataset_spec,
             observers,
         })
@@ -353,7 +393,21 @@ impl Engine {
             session: self.config.clone(),
             schedule: self.schedule.clone(),
             budget: self.budget,
+            drift: self.drift,
         })
+    }
+
+    /// The scenario's streaming mutation (see [`DriftSpec`]).
+    pub fn drift(&self) -> DriftSpec {
+        self.drift
+    }
+
+    /// The router's accumulated per-oracle cost ledger, when the session
+    /// routes between two oracles
+    /// ([`OracleKind::Noisy`](crate::OracleKind)); `None` for plain
+    /// simulated-user sessions.
+    pub fn route_stats(&self) -> Option<crate::oracle::RouteStats> {
+        self.querying.route_stats()
     }
 
     /// The shared loop state (read-only; the stages own mutation).
@@ -369,25 +423,30 @@ impl Engine {
     /// One training iteration of Figure 1 (left): sampling → querying →
     /// training.
     pub fn step(&mut self) -> Result<StepOutcome, ActiveDpError> {
+        self.maybe_apply_drift()?;
         self.state.iteration += 1;
-        let query = self
-            .sampling
-            .select(&self.data, self.querying.space(), &mut self.state);
+        let visible = self.visible_len();
+        let query =
+            self.sampling
+                .select(&self.data, self.querying.space(), &mut self.state, visible);
         let Some(query) = query else {
-            let event = self.capture_event(self.state.iteration, None, None, true);
-            let outcome = self.outcome(self.state.iteration, None, None);
+            let event = self.capture_event(self.state.iteration, None, None, true, None);
+            let outcome = self.outcome(self.state.iteration, None, None, None);
             self.notify(std::slice::from_ref(&outcome));
             self.notify_events(event.as_slice());
             return Ok(outcome);
         };
-        let lf = self.querying.query(&self.data, &mut self.state, query)?;
+        let hint = self.uncertainty_hint(query);
+        let (lf, route) = self
+            .querying
+            .query(&self.data, &mut self.state, query, hint)?;
         // RNG positions are already final here: the refit below draws none.
-        let event = self.capture_event(self.state.iteration, Some(query), lf.as_ref(), true);
+        let event = self.capture_event(self.state.iteration, Some(query), lf.as_ref(), true, route);
         if lf.is_some() {
             self.training.refit(&self.data, &mut self.state)?;
             self.sampling.note_refit();
         }
-        let outcome = self.outcome(self.state.iteration, Some(query), lf);
+        let outcome = self.outcome(self.state.iteration, Some(query), lf, route);
         self.notify(std::slice::from_ref(&outcome));
         self.notify_events(event.as_slice());
         Ok(outcome)
@@ -409,21 +468,31 @@ impl Engine {
         // The batch can never outgrow the pool (plus one exhaustion
         // outcome), so cap the pre-allocation — callers may pass huge `k`
         // to mean "run to exhaustion".
-        let mut drawn: Vec<(usize, Option<usize>, Option<LabelFunction>)> =
-            Vec::with_capacity(k.min(self.data.train.len() + 1));
+        #[allow(clippy::type_complexity)]
+        let mut drawn: Vec<(
+            usize,
+            Option<usize>,
+            Option<LabelFunction>,
+            Option<RouteChoice>,
+        )> = Vec::with_capacity(k.min(self.data.train.len() + 1));
         let mut events: Vec<StepEvent> = Vec::new();
         let mut collected_lf = false;
         for _ in 0..k {
+            self.maybe_apply_drift()?;
             self.state.iteration += 1;
-            let query = self
-                .sampling
-                .select(&self.data, self.querying.space(), &mut self.state);
+            let visible = self.visible_len();
+            let query =
+                self.sampling
+                    .select(&self.data, self.querying.space(), &mut self.state, visible);
             let Some(query) = query else {
-                events.extend(self.capture_event(self.state.iteration, None, None, false));
-                drawn.push((self.state.iteration, None, None));
+                events.extend(self.capture_event(self.state.iteration, None, None, false, None));
+                drawn.push((self.state.iteration, None, None, None));
                 break;
             };
-            let lf = self.querying.query(&self.data, &mut self.state, query)?;
+            let hint = self.uncertainty_hint(query);
+            let (lf, route) = self
+                .querying
+                .query(&self.data, &mut self.state, query, hint)?;
             collected_lf |= lf.is_some();
             // Events capture the RNG positions *at this iteration* — the
             // end-of-batch refit below draws none, so the last event's
@@ -433,8 +502,9 @@ impl Engine {
                 Some(query),
                 lf.as_ref(),
                 false,
+                route,
             ));
-            drawn.push((self.state.iteration, Some(query), lf));
+            drawn.push((self.state.iteration, Some(query), lf, route));
         }
         if collected_lf {
             self.training.refit(&self.data, &mut self.state)?;
@@ -447,7 +517,7 @@ impl Engine {
         }
         let outcomes: Vec<StepOutcome> = drawn
             .into_iter()
-            .map(|(iteration, query, lf)| self.outcome(iteration, query, lf))
+            .map(|(iteration, query, lf, route)| self.outcome(iteration, query, lf, route))
             .collect();
         self.notify(&outcomes);
         self.notify_events(&events);
@@ -556,6 +626,7 @@ impl Engine {
             state: self.state.clone(),
             sampler_rng: self.sampling.rng_state(),
             oracle,
+            routed: self.querying.routed_state(),
         })
     }
 
@@ -578,6 +649,7 @@ impl Engine {
         iteration: usize,
         query: Option<usize>,
         lf: Option<LabelFunction>,
+        route: Option<RouteChoice>,
     ) -> StepOutcome {
         StepOutcome {
             iteration,
@@ -585,7 +657,94 @@ impl Engine {
             lf,
             n_lfs: self.state.lfs.len(),
             n_selected: self.state.selected.len(),
+            route,
         }
+    }
+
+    /// The arrival window under [`DriftSpec::ArrivingPool`] — how many
+    /// leading pool instances the sampler may see at the current iteration
+    /// (see [`DriftSpec::visible_len`]); `None` for every other scenario.
+    /// Called after the iteration increment, so "completed" counts the
+    /// iterations before the one being sampled.
+    fn visible_len(&self) -> Option<usize> {
+        self.drift.visible_len(
+            self.data.train.len(),
+            self.schedule
+                .batches_completed_at(self.state.iteration.saturating_sub(1), self.budget),
+        )
+    }
+
+    /// The AL model's uncertainty about `query` — `1 − max p(y|x)`, the
+    /// quantity [`RoutePolicy::UncertaintyThreshold`](crate::RoutePolicy)
+    /// splits on. `None` before the first fit (threshold policies then
+    /// route to the expensive oracle).
+    fn uncertainty_hint(&self, query: usize) -> Option<f64> {
+        self.state.al_probs_train.as_ref().map(|probs| {
+            1.0 - probs[query]
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+    }
+
+    /// Swaps in the drifted pool once the boundary is crossed: called
+    /// before each iteration increment, so the first iteration *after*
+    /// `at` completed ones samples from the mutated pool — and the refit
+    /// that closed iteration `at`'s batch still ran against the base pool,
+    /// which is what makes a snapshot taken exactly at the boundary
+    /// resume bitwise (see [`Engine::sync_drift`]).
+    fn maybe_apply_drift(&mut self) -> Result<(), ActiveDpError> {
+        if self.drift_applied {
+            return Ok(());
+        }
+        let Some(at) = self.drift.boundary() else {
+            return Ok(());
+        };
+        if self.state.iteration < at {
+            return Ok(());
+        }
+        self.apply_drift()
+    }
+
+    /// Re-derives drift application when resuming a snapshot or replaying
+    /// a journal: a session past its boundary swaps the pool before the
+    /// resume refit, one at or before it stays on the base pool (the
+    /// swap happens lazily on its next step, exactly as it would have).
+    pub(crate) fn sync_drift(&mut self) -> Result<(), ActiveDpError> {
+        if let Some(at) = self.drift.boundary() {
+            if !self.drift_applied && self.state.iteration > at {
+                self.apply_drift()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_drift(&mut self) -> Result<(), ActiveDpError> {
+        let drifted = self
+            .drift
+            .apply(&self.data)
+            .expect("a drift with a boundary always mutates the pool");
+        self.data = drifted.into_shared();
+        self.querying.rebuild_space(&self.data);
+        self.training.refresh_balance(&self.data);
+        if matches!(self.drift, DriftSpec::CovariateDrift { .. }) {
+            // Feature drift changes every LF's votes; rebuild both vote
+            // matrices against the rotated features. (Label shift leaves
+            // votes untouched — LFs read features only.) Pushing the LFs
+            // in collection order is idempotent: a later rebuild from the
+            // same LF list reproduces the matrices column for column,
+            // which is what lets resume re-derive them.
+            let mut train_matrix = LabelMatrix::empty(self.data.train.len());
+            let mut valid_matrix = LabelMatrix::empty(self.data.valid.len());
+            for lf in &self.state.lfs {
+                train_matrix.push_lf(lf, &self.data.train)?;
+                valid_matrix.push_lf(lf, &self.data.valid)?;
+            }
+            self.state.train_matrix = train_matrix;
+            self.state.valid_matrix = valid_matrix;
+        }
+        self.drift_applied = true;
+        Ok(())
     }
 
     fn notify(&mut self, outcomes: &[StepOutcome]) {
@@ -610,11 +769,19 @@ impl Engine {
         query: Option<usize>,
         lf: Option<&LabelFunction>,
         commit: bool,
+        route: Option<RouteChoice>,
     ) -> Option<StepEvent> {
         if !self.events_wanted() {
             return None;
         }
         let oracle_rng = self.querying.oracle_rng_words()?;
+        // Which oracle answered, and where the cheap stream ended up — what
+        // replay needs to reposition both sides of the router bitwise.
+        let route = route.and_then(|choice| {
+            self.querying
+                .cheap_rng_words()
+                .map(|cheap_rng| RoutedStep { choice, cheap_rng })
+        });
         Some(StepEvent {
             iteration,
             query,
@@ -622,6 +789,7 @@ impl Engine {
             sampler_rng: self.sampling.rng_state(),
             oracle_rng,
             commit,
+            route,
         })
     }
 

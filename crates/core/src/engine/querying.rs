@@ -5,7 +5,7 @@
 use super::state::SessionState;
 use super::Stage;
 use crate::error::ActiveDpError;
-use crate::oracle::Oracle;
+use crate::oracle::{Oracle, RouteChoice, RouteStats, RoutedState};
 use adp_data::SplitDataset;
 use adp_lf::{CandidateSpace, LabelFunction, ABSTAIN};
 
@@ -30,6 +30,14 @@ impl QueryingStage {
         &self.space
     }
 
+    /// Rebuilds the candidate-LF space from `data` — called by the engine
+    /// when a drift boundary mutates the pool (the space precomputes
+    /// label- and feature-dependent statistics, so it must track the
+    /// active dataset).
+    pub(crate) fn rebuild_space(&mut self, data: &SplitDataset) {
+        self.space = CandidateSpace::build(&data.train);
+    }
+
     /// The oracle's snapshotable state, when it has one (see
     /// [`Oracle::save_state`]).
     pub(crate) fn oracle_state(&self) -> Option<adp_lf::UserState> {
@@ -49,18 +57,45 @@ impl QueryingStage {
         self.oracle.rng_words()
     }
 
+    /// The routed-oracle snapshot state, when the oracle is a router (see
+    /// [`Oracle::save_routed`]).
+    pub(crate) fn routed_state(&self) -> Option<RoutedState> {
+        self.oracle.save_routed()
+    }
+
+    /// Replays routed-oracle state captured by
+    /// [`QueryingStage::routed_state`]; `false` when the oracle cannot.
+    pub(crate) fn restore_routed(&mut self, state: &RoutedState) -> bool {
+        self.oracle.load_routed(state)
+    }
+
+    /// The cheap oracle's RNG stream position, when the session routes
+    /// between two oracles (see [`Oracle::cheap_rng_words`]).
+    pub(crate) fn cheap_rng_words(&self) -> Option<[u64; 4]> {
+        self.oracle.cheap_rng_words()
+    }
+
+    /// The router's accumulated cost ledger, when the oracle is a router.
+    pub(crate) fn route_stats(&self) -> Option<RouteStats> {
+        self.oracle.route_stats()
+    }
+
     /// Asks the oracle about `query`. When an LF comes back, appends its
     /// votes to both matrices and pseudo-labels the query instance with the
-    /// LF's own vote. Returns the LF (already recorded in `state`).
+    /// LF's own vote. Returns the LF (already recorded in `state`) plus the
+    /// routing decision, when the oracle routes (see
+    /// [`Oracle::respond_routed`]); `uncertainty` is the AL model's
+    /// uncertainty about the query, the hint threshold policies split on.
     pub fn query(
         &mut self,
         data: &SplitDataset,
         state: &mut SessionState,
         query: usize,
-    ) -> Result<Option<LabelFunction>, ActiveDpError> {
-        let lf = self
-            .oracle
-            .respond(&self.space, &data.train, &data.train, query);
+        uncertainty: Option<f64>,
+    ) -> Result<(Option<LabelFunction>, Option<RouteChoice>), ActiveDpError> {
+        let (lf, route) =
+            self.oracle
+                .respond_routed(&self.space, &data.train, &data.train, query, uncertainty);
         if let Some(lf) = &lf {
             state.seen_keys.insert(lf.key());
             state.train_matrix.push_lf(lf, &data.train)?;
@@ -73,7 +108,7 @@ impl QueryingStage {
             state.query_indices.push(query);
             state.pseudo_labels.push(vote as usize);
         }
-        Ok(lf)
+        Ok((lf, route))
     }
 }
 
@@ -91,7 +126,7 @@ impl Stage for QueryingStage {
         state: &mut SessionState,
         query: usize,
     ) -> Result<Option<LabelFunction>, ActiveDpError> {
-        self.query(data, state, query)
+        Ok(self.query(data, state, query, None)?.0)
     }
 }
 
@@ -118,8 +153,12 @@ mod tests {
         let mut q = stage(&data, 5);
         let mut state = SessionState::new(&data);
         // Find a query the simulated user answers.
-        let answered = (0..data.train.len())
-            .find_map(|i| q.query(&data, &mut state, i).unwrap().map(|lf| (i, lf)));
+        let answered = (0..data.train.len()).find_map(|i| {
+            q.query(&data, &mut state, i, None)
+                .unwrap()
+                .0
+                .map(|lf| (i, lf))
+        });
         let (query, lf) = answered.expect("user answers some instance");
         assert_eq!(state.lfs.last().unwrap().key(), lf.key());
         assert!(state.seen_keys.contains(&lf.key()));
@@ -160,7 +199,7 @@ mod tests {
         );
         let mut q = QueryingStage::new(&data, Box::new(user));
         let mut state = SessionState::new(&data);
-        assert!(q.query(&data, &mut state, 0).unwrap().is_none());
+        assert!(q.query(&data, &mut state, 0, None).unwrap().0.is_none());
         assert!(state.lfs.is_empty());
         assert_eq!(state.train_matrix.n_lfs(), 0);
         assert!(state.pseudo_labelled().next().is_none());

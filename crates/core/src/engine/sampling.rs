@@ -202,16 +202,36 @@ impl SamplingStage {
     /// Selects the next query instance given the shared `space` of
     /// candidate LFs, marking it queried in `state`. Returns `None` when
     /// the pool is exhausted.
+    ///
+    /// `visible` caps the candidate pool to the first `visible` instances —
+    /// the streaming-arrival window of
+    /// [`DriftSpec::ArrivingPool`](adp_data::DriftSpec): instances past the
+    /// cap have not "arrived" yet and cannot be sampled. `None` (every
+    /// static scenario) leaves the pool untouched. A `Some` cap whose
+    /// visible prefix is fully queried returns `None` like an exhausted
+    /// pool does, even if later refits would widen the window.
     pub fn select(
         &mut self,
         data: &SplitDataset,
         space: &CandidateSpace,
         state: &mut SessionState,
+        visible: Option<usize>,
     ) -> Option<usize> {
         if let SessionSampler::Qbc(qbc) = &mut self.sampler {
             qbc.set_labeled(&state.query_indices, &state.pseudo_labels);
         }
-        let candidates = self.ann_candidates(data, state);
+        let mut candidates = self.ann_candidates(data, state);
+        if let Some(v) = visible {
+            candidates = Some(match candidates {
+                Some(c) => c.into_iter().filter(|&row| row < v).collect(),
+                None => (0..v.min(data.train.len()))
+                    .filter(|&row| !state.queried[row])
+                    .collect(),
+            });
+            if candidates.as_ref().is_some_and(Vec::is_empty) {
+                return None;
+            }
+        }
         let query = {
             let ctx = SamplerContext {
                 train: &data.train,
@@ -246,7 +266,7 @@ impl Stage for SamplingStage {
         state: &mut SessionState,
         space: &CandidateSpace,
     ) -> Result<Option<usize>, ActiveDpError> {
-        Ok(self.select(data, space, state))
+        Ok(self.select(data, space, state, None))
     }
 }
 
@@ -270,9 +290,9 @@ mod tests {
     fn selects_unqueried_instances_and_marks_them() {
         let (data, space, mut stage) = stage_with(SamplerChoice::Adp);
         let mut state = SessionState::new(&data);
-        let q = stage.select(&data, &space, &mut state).unwrap();
+        let q = stage.select(&data, &space, &mut state, None).unwrap();
         assert!(state.queried[q]);
-        let q2 = stage.select(&data, &space, &mut state).unwrap();
+        let q2 = stage.select(&data, &space, &mut state, None).unwrap();
         assert_ne!(q, q2, "second pick must avoid the queried instance");
     }
 
@@ -281,7 +301,21 @@ mod tests {
         let (data, space, mut stage) = stage_with(SamplerChoice::Passive);
         let mut state = SessionState::new(&data);
         state.queried = vec![true; data.train.len()];
-        assert!(stage.select(&data, &space, &mut state).is_none());
+        assert!(stage.select(&data, &space, &mut state, None).is_none());
+    }
+
+    #[test]
+    fn visibility_cap_restricts_selection_to_the_arrived_prefix() {
+        let (data, space, mut stage) = stage_with(SamplerChoice::Adp);
+        let mut state = SessionState::new(&data);
+        for _ in 0..4 {
+            let q = stage.select(&data, &space, &mut state, Some(5)).unwrap();
+            assert!(q < 5, "query {q} is past the visibility cap");
+        }
+        // A fully-queried visible prefix reads as exhaustion.
+        let mut capped = SessionState::new(&data);
+        capped.queried[..3].fill(true);
+        assert!(stage.select(&data, &space, &mut capped, Some(3)).is_none());
     }
 
     #[test]
@@ -297,7 +331,7 @@ mod tests {
             let (data, space, mut stage) = stage_with(choice);
             let mut state = SessionState::new(&data);
             assert!(
-                stage.select(&data, &space, &mut state).is_some(),
+                stage.select(&data, &space, &mut state, None).is_some(),
                 "{choice:?}"
             );
         }

@@ -50,6 +50,15 @@ impl TrainingStage {
         }
     }
 
+    /// Re-reads the dataset-derived fit inputs after a drift boundary
+    /// mutated the pool: the class balance tracks the (possibly
+    /// re-labelled) validation split. Model parameters are untouched — the
+    /// next [`TrainingStage::refit`] resets them against the new data
+    /// anyway.
+    pub(crate) fn refresh_balance(&mut self, data: &SplitDataset) {
+        self.class_balance = data.valid.class_balance();
+    }
+
     /// Refits LabelPick, the label model and the AL model after the LF set
     /// or pseudo-labelled set changed.
     pub fn refit(

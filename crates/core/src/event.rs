@@ -22,6 +22,7 @@
 //! [`SessionSnapshot`]: crate::SessionSnapshot
 
 use adp_lf::LabelFunction;
+use adp_oracle::{RouteChoice, RoutedStep};
 use adp_wire::{Decode, Encode, Reader, WireError, Writer};
 
 /// What one loop iteration did, as replayable data (see the
@@ -44,6 +45,13 @@ pub struct StepEvent {
     /// `true` for the last event of every `step()`/`step_batch()` call
     /// (the refit has run), `false` for events inside an open batch.
     pub commit: bool,
+    /// Which oracle answered and where the cheap oracle's RNG stream ended
+    /// up, when the session routes between two oracles
+    /// ([`OracleKind::Noisy`](crate::OracleKind)). `None` for plain
+    /// simulated-user sessions — and for every event written before the
+    /// dual-oracle subsystem existed: the field rides as a lenient trailer,
+    /// so pre-routing journals decode with `route: None`.
+    pub route: Option<RoutedStep>,
 }
 
 impl Encode for StepEvent {
@@ -60,6 +68,17 @@ impl Encode for StepEvent {
         w.put(&self.sampler_rng);
         w.put(&self.oracle_rng);
         w.put_bool(self.commit);
+        // Lenient trailer (see the `route` field docs): always written by
+        // current encoders, tolerated as absent by the decoder so journals
+        // that predate oracle routing keep replaying.
+        match &self.route {
+            None => w.put_bool(false),
+            Some(step) => {
+                w.put_bool(true);
+                w.put_u8(step.choice.tag());
+                w.put(&step.cheap_rng);
+            }
+        }
     }
 }
 
@@ -76,6 +95,19 @@ impl Decode for StepEvent {
             sampler_rng: r.get()?,
             oracle_rng: r.get()?,
             commit: r.get_bool()?,
+            route: if r.remaining() > 0 && r.get_bool()? {
+                let tag = r.get_u8()?;
+                let choice = RouteChoice::from_tag(tag).ok_or(WireError::BadTag {
+                    what: "route choice",
+                    tag,
+                })?;
+                Some(RoutedStep {
+                    choice,
+                    cheap_rng: r.get()?,
+                })
+            } else {
+                None
+            },
         })
     }
 }
@@ -96,6 +128,7 @@ mod tests {
             sampler_rng: [1, 2, 3, 4],
             oracle_rng: [5, 6, 7, 8],
             commit: true,
+            route: None,
         }
     }
 
@@ -115,6 +148,13 @@ mod tests {
                     threshold: -0.125,
                     op: StumpOp::Ge,
                     label: 0,
+                }),
+                ..sample()
+            },
+            StepEvent {
+                route: Some(RoutedStep {
+                    choice: RouteChoice::Escalated,
+                    cheap_rng: [9, 10, 11, 12],
                 }),
                 ..sample()
             },
@@ -138,8 +178,18 @@ mod tests {
         let mut w = Writer::new();
         w.put(&sample());
         let bytes = w.into_bytes();
+        // The route trailer is lenient by design, so cutting it off
+        // entirely is the one valid truncation — it decodes as a
+        // pre-routing event. Every other cut is a typed error.
+        let legacy_len = bytes.len() - 1;
         for cut in 0..bytes.len() {
             let mut r = Reader::new(&bytes[..cut]);
+            if cut == legacy_len {
+                let back: StepEvent = r.get().unwrap();
+                r.finish().unwrap();
+                assert_eq!(back, sample());
+                continue;
+            }
             assert!(r.get::<StepEvent>().is_err() || r.finish().is_err());
         }
         // An LF-presence byte that is neither 0 nor 1.
@@ -150,5 +200,50 @@ mod tests {
         let garbled = w.into_bytes();
         let mut r = Reader::new(&garbled);
         assert!(matches!(r.get::<StepEvent>(), Err(WireError::BadBool(9))));
+    }
+
+    #[test]
+    fn routed_trailer_truncation_and_bad_choice_are_typed_errors() {
+        let routed = StepEvent {
+            route: Some(RoutedStep {
+                choice: RouteChoice::Cheap,
+                cheap_rng: [13, 14, 15, 16],
+            }),
+            ..sample()
+        };
+        let mut w = Writer::new();
+        w.put(&routed);
+        let bytes = w.into_bytes();
+        let legacy_len = bytes.len() - (1 + 1 + 32);
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            if cut == legacy_len {
+                // The whole trailer gone: a valid pre-routing event.
+                let back: StepEvent = r.get().unwrap();
+                r.finish().unwrap();
+                assert_eq!(
+                    back,
+                    StepEvent {
+                        route: None,
+                        ..routed.clone()
+                    }
+                );
+                continue;
+            }
+            // Partial trailers are corruption, not leniency.
+            assert!(r.get::<StepEvent>().is_err() || r.finish().is_err());
+        }
+        // A route-choice tag outside the enum.
+        let mut garbled = bytes.clone();
+        let tag_at = legacy_len + 1;
+        garbled[tag_at] = 9;
+        let mut r = Reader::new(&garbled);
+        assert!(matches!(
+            r.get::<StepEvent>(),
+            Err(WireError::BadTag {
+                what: "route choice",
+                tag: 9
+            })
+        ));
     }
 }

@@ -69,7 +69,10 @@ pub use engine::{
 pub use error::ActiveDpError;
 pub use event::StepEvent;
 pub use labelpick::{LabelPick, LabelPickConfig};
-pub use oracle::Oracle;
+pub use oracle::{
+    ConfusionSpec, LatencyModel, NoisyOracle, Oracle, OracleKind, OracleRouter, RouteChoice,
+    RoutePolicy, RouteStats, RoutedState, RoutedStep, UnknownOracleKind,
+};
 pub use replay::replay_snapshot;
 pub use scenario::{
     BudgetSchedule, PhaseSegment, ScenarioSpec, DEFAULT_BUDGET, SCENARIO_MAGIC, SCENARIO_VERSION,

@@ -1,102 +1,15 @@
 //! The user abstraction: anything that can answer a query instance with a
 //! label function.
 //!
-//! The evaluation protocol plugs in the simulated user of §4.1.4
-//! ([`adp_lf::SimulatedUser`]); an interactive deployment would implement
-//! [`Oracle`] over a real UI.
+//! The trait and its implementations live in the `adp-oracle` crate since
+//! the dual-oracle subsystem landed; this module re-exports them so
+//! `activedp::oracle::Oracle` and `activedp::Oracle` keep working. The
+//! evaluation protocol plugs in the simulated user of §4.1.4
+//! ([`adp_lf::SimulatedUser`]) or the budget-aware [`OracleRouter`] over
+//! it and the cheap [`NoisyOracle`]; an interactive deployment would
+//! implement [`Oracle`] over a real UI.
 
-use adp_data::Dataset;
-use adp_lf::{CandidateSpace, LabelFunction, SimulatedUser, UserState};
-
-/// A source of label functions in response to query instances.
-pub trait Oracle: Send {
-    /// Inspects instance `idx` of `query_dataset` and (optionally) returns
-    /// a new label function. `None` still consumes the iteration's budget,
-    /// mirroring a user who cannot think of a rule for the instance.
-    fn respond(
-        &mut self,
-        space: &CandidateSpace,
-        train: &Dataset,
-        query_dataset: &Dataset,
-        idx: usize,
-    ) -> Option<LabelFunction>;
-
-    /// Captures the oracle's mutable state for a session snapshot, when the
-    /// oracle supports it. The default is `None`: a custom oracle (a human
-    /// behind a UI, say) has no replayable state, and `Engine::snapshot`
-    /// reports `SnapshotUnsupported` for such sessions instead of silently
-    /// writing one that cannot resume faithfully.
-    fn save_state(&self) -> Option<UserState> {
-        None
-    }
-
-    /// Restores state captured by [`Oracle::save_state`]. Returns `false`
-    /// (the default) when the oracle cannot replay it, which makes resuming
-    /// fail loudly rather than continue with a desynchronised oracle.
-    fn load_state(&mut self, state: &UserState) -> bool {
-        let _ = state;
-        false
-    }
-
-    /// The oracle's RNG stream position alone — what a per-step
-    /// [`StepEvent`](crate::StepEvent) records (the rest of the oracle's
-    /// state is reconstructed from the logged LFs at replay time). The
-    /// default derives it from [`Oracle::save_state`]; oracles with a
-    /// cheaper accessor should override it, since this runs once per
-    /// journalled step.
-    fn rng_words(&self) -> Option<[u64; 4]> {
-        self.save_state().map(|s| s.rng)
-    }
-}
-
-impl Oracle for SimulatedUser {
-    fn respond(
-        &mut self,
-        space: &CandidateSpace,
-        train: &Dataset,
-        query_dataset: &Dataset,
-        idx: usize,
-    ) -> Option<LabelFunction> {
-        SimulatedUser::respond(self, space, train, query_dataset, idx)
-    }
-
-    fn save_state(&self) -> Option<UserState> {
-        Some(SimulatedUser::state(self))
-    }
-
-    fn load_state(&mut self, state: &UserState) -> bool {
-        // The config (thresholds, noise rate) stays whatever this user was
-        // constructed with — the snapshot's `SessionConfig` rebuilds it —
-        // so only the mutable parts are replayed here.
-        *self = SimulatedUser::from_state(self.config(), state);
-        true
-    }
-
-    fn rng_words(&self) -> Option<[u64; 4]> {
-        Some(SimulatedUser::rng_state(self))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use adp_data::{FeatureSet, Task};
-    use adp_linalg::CsrMatrix;
-
-    #[test]
-    fn simulated_user_implements_oracle() {
-        let d = Dataset {
-            name: "t".into(),
-            task: Task::SpamClassification,
-            n_classes: 2,
-            features: FeatureSet::Sparse(CsrMatrix::empty(2, 1)),
-            labels: vec![1, 0],
-            texts: None,
-            encoded_docs: Some(vec![vec![0], vec![0]]),
-        };
-        let space = CandidateSpace::build(&d);
-        let mut user: Box<dyn Oracle> = Box::new(SimulatedUser::with_defaults(0));
-        // Token 0 has accuracy 0.5 on each label -> below threshold -> None.
-        assert!(user.respond(&space, &d, &d, 0).is_none());
-    }
-}
+pub use adp_oracle::{
+    ConfusionSpec, LatencyModel, NoisyOracle, Oracle, OracleKind, OracleRouter, RouteChoice,
+    RoutePolicy, RouteStats, RoutedState, RoutedStep, UnknownOracleKind,
+};

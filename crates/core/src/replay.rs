@@ -19,8 +19,10 @@
 
 use crate::error::ActiveDpError;
 use crate::event::StepEvent;
+use crate::oracle::{LatencyModel, OracleKind, RouteChoice};
 use crate::snapshot::SessionSnapshot;
-use adp_data::SplitDataset;
+use adp_data::{DriftSpec, SplitDataset};
+use adp_lf::LabelMatrix;
 
 fn replay_err(reason: String) -> ActiveDpError {
     ActiveDpError::Replay { reason }
@@ -108,12 +110,53 @@ pub fn replay_snapshot(
             "iteration {k} is not a commit point (mid-batch state is not resumable)"
         )));
     }
-    for event in tail {
-        apply_event(&mut snapshot, data, event)?;
+    // Routed sessions bill each event's oracle choice against the spec's
+    // latency model, exactly as the live router did.
+    let latency = match snapshot.spec.session.oracle {
+        OracleKind::Noisy { latency, .. } => Some(latency),
+        OracleKind::Simulated => None,
+    };
+    // Drifting sessions re-derive the mutated pool: it is a pure function
+    // of the base split, so the fold applies it at the same boundary the
+    // live run did. A checkpoint already past the boundary starts drifted
+    // (its state was rebuilt at crossing time, so no rebuild here).
+    let drift = snapshot.spec.drift;
+    let boundary = drift.boundary();
+    let mut drifted: Option<SplitDataset> = None;
+    if boundary.is_some_and(|at| j > at) {
+        drifted = drift.apply(data);
     }
-    // The oracle's returned-set is canonical (sorted) in snapshots; the
-    // fold appends keys in arrival order, so restore the invariant here.
+    for event in tail {
+        if let Some(at) = boundary {
+            if drifted.is_none() && event.iteration > at {
+                let mutated = drift
+                    .apply(data)
+                    .expect("a drift with a boundary always mutates the pool");
+                if matches!(drift, DriftSpec::CovariateDrift { .. }) {
+                    // Feature drift changes every LF's votes — rebuild the
+                    // vote matrices at the crossing, as the engine did.
+                    let state = &mut snapshot.state;
+                    let mut train_matrix = LabelMatrix::empty(mutated.train.len());
+                    let mut valid_matrix = LabelMatrix::empty(mutated.valid.len());
+                    for lf in &state.lfs {
+                        train_matrix.push_lf(lf, &mutated.train)?;
+                        valid_matrix.push_lf(lf, &mutated.valid)?;
+                    }
+                    state.train_matrix = train_matrix;
+                    state.valid_matrix = valid_matrix;
+                }
+                drifted = Some(mutated);
+            }
+        }
+        let active: &SplitDataset = drifted.as_ref().unwrap_or(data);
+        apply_event(&mut snapshot, active, event, latency)?;
+    }
+    // Returned-LF sets are canonical (sorted) in snapshots; the fold
+    // appends keys in arrival order, so restore the invariant here.
     snapshot.oracle.returned.sort_unstable();
+    if let Some(routed) = snapshot.routed.as_mut() {
+        routed.cheap.returned.sort_unstable();
+    }
     Ok(snapshot)
 }
 
@@ -123,7 +166,43 @@ fn apply_event(
     snapshot: &mut SessionSnapshot,
     data: &SplitDataset,
     event: &StepEvent,
+    latency: Option<LatencyModel>,
 ) -> Result<(), ActiveDpError> {
+    if let Some(route) = &event.route {
+        let Some(latency) = latency else {
+            return Err(replay_err(format!(
+                "iteration {}: a routed event in a simulated-oracle session",
+                event.iteration
+            )));
+        };
+        let Some(routed) = snapshot.routed.as_mut() else {
+            return Err(replay_err(format!(
+                "iteration {}: a routed event, but the checkpoint carries no routed state",
+                event.iteration
+            )));
+        };
+        routed.cheap.rng = route.cheap_rng;
+        // Mirror the router's billing: an escalation consults (and bills)
+        // both oracles.
+        match route.choice {
+            RouteChoice::Cheap => {
+                routed.stats.cheap_queries += 1;
+                routed.stats.cheap_cost += latency.cheap_cost;
+            }
+            RouteChoice::Expensive => {
+                routed.stats.expensive_queries += 1;
+                routed.stats.expensive_cost += latency.expensive_cost;
+            }
+            RouteChoice::Escalated => {
+                routed.stats.cheap_queries += 1;
+                routed.stats.cheap_cost += latency.cheap_cost;
+                routed.stats.escalations += 1;
+                routed.stats.expensive_queries += 1;
+                routed.stats.expensive_cost += latency.expensive_cost;
+            }
+        }
+    }
+    let mut answered = None;
     let state = &mut snapshot.state;
     state.iteration = event.iteration;
     match event.query {
@@ -164,8 +243,16 @@ fn apply_event(
                 }
                 state.query_indices.push(q);
                 state.pseudo_labels.push(vote as usize);
-                snapshot.oracle.returned.push(lf.key());
+                answered = Some(lf.key());
             }
+        }
+    }
+    if let Some(key) = answered {
+        // The router syncs each answer into *both* returned sets (see
+        // `OracleRouter`), so the fold does too.
+        snapshot.oracle.returned.push(key);
+        if let Some(routed) = snapshot.routed.as_mut() {
+            routed.cheap.returned.push(key);
         }
     }
     snapshot.sampler_rng = event.sampler_rng;

@@ -40,26 +40,34 @@
 
 use crate::config::{CandidateStrategy, SessionConfig};
 use crate::error::ActiveDpError;
-use adp_data::DatasetSpec;
+use adp_data::{DatasetSpec, DriftSpec};
+use adp_oracle::{ConfusionSpec, LatencyModel, OracleKind, RoutePolicy};
 use adp_wire::{read_envelope, write_envelope, Decode, Encode, Reader, WireError, Writer};
 
 /// Magic bytes opening every encoded scenario spec.
 pub const SCENARIO_MAGIC: &[u8; 8] = b"ADPSCEN\0";
 
 /// Current scenario wire-format version. Bump deliberately: the
-/// golden-bytes fixture (`tests/fixtures/scenario_v2.bin`) pins the
+/// golden-bytes fixture (`tests/fixtures/scenario_v3.bin`) pins the
 /// encoding, and decoders reject *future* versions with
 /// [`WireError::UnknownVersion`]. Prior versions stay decodable: v1
 /// (everything before the candidate strategy; pinned by
 /// `tests/fixtures/scenario_v1.bin`) decodes with
-/// [`CandidateStrategy::Exact`], which is exactly what every v1 spec ran.
+/// [`CandidateStrategy::Exact`], and v2 (pre oracle/drift; pinned by
+/// `tests/fixtures/scenario_v2.bin`) with [`OracleKind::Simulated`] +
+/// [`DriftSpec::None`] — exactly what those specs ran.
 ///
 /// [`CandidateStrategy::Exact`]: crate::config::CandidateStrategy::Exact
-pub const SCENARIO_VERSION: u32 = 2;
+pub const SCENARIO_VERSION: u32 = 3;
 
 /// First version carrying [`SessionConfig::candidates`] after the master
 /// seed; older bodies decode with the `Exact` default.
 const SCENARIO_VERSION_CANDIDATES: u32 = 2;
+
+/// First version carrying [`SessionConfig::oracle`] (after the candidate
+/// strategy, inside the config block) and [`ScenarioSpec::drift`] (after
+/// the budget); older bodies decode with `Simulated` + `None`.
+const SCENARIO_VERSION_ORACLE_DRIFT: u32 = 3;
 
 /// Default labelling budget for [`ScenarioSpec::new`] — the reduced
 /// protocol's iteration count (the paper's full protocol uses
@@ -221,6 +229,43 @@ impl BudgetSchedule {
         self.batch_sizes(budget).len()
     }
 
+    /// How many refit batches are *complete* at iteration `done` — the
+    /// arriving-pool drift's clock: instances arrive per completed refit,
+    /// and because alignment is absolute this is the same number whether
+    /// the run was interrupted or not.
+    pub fn batches_completed_at(&self, done: usize, budget: usize) -> usize {
+        let mut pos = 0;
+        let mut completed = 0;
+        loop {
+            let k = self.next_batch_at(pos, budget);
+            if k == 0 || pos + k > done {
+                return completed;
+            }
+            pos += k;
+            completed += 1;
+        }
+    }
+
+    /// Whether iteration `at` is a refit (batch) boundary of this schedule
+    /// under `budget` — where a mid-run drift is allowed to land. Iteration
+    /// 0 (the start) never counts.
+    pub fn is_batch_boundary(&self, at: usize, budget: usize) -> bool {
+        if at == 0 {
+            return false;
+        }
+        let mut pos = 0;
+        loop {
+            let k = self.next_batch_at(pos, budget);
+            if k == 0 {
+                return false;
+            }
+            pos += k;
+            if pos >= at {
+                return pos == at;
+            }
+        }
+    }
+
     /// Compact artefact label (`step`, `batch4`, `double16`,
     /// `phased-2x1-3x8`).
     pub fn label(&self) -> String {
@@ -305,6 +350,10 @@ pub struct ScenarioSpec {
     /// Total labelling budget (loop iterations
     /// [`Engine::run_schedule`](crate::Engine::run_schedule) drives).
     pub budget: usize,
+    /// How (and whether) the pool drifts mid-run: [`DriftSpec::None`] (the
+    /// paper's static i.i.d. setting, the default) or a streaming scenario
+    /// whose boundary lands on a refit boundary of [`ScenarioSpec::schedule`].
+    pub drift: DriftSpec,
 }
 
 impl ScenarioSpec {
@@ -317,6 +366,7 @@ impl ScenarioSpec {
             session: SessionConfig::paper_defaults(dataset.id.is_textual(), 0),
             schedule: BudgetSchedule::FixedStep,
             budget: DEFAULT_BUDGET,
+            drift: DriftSpec::None,
         }
     }
 
@@ -331,11 +381,30 @@ impl ScenarioSpec {
     }
 
     /// Validates the whole description: session ranges
-    /// (`SessionConfig::validate`) and schedule shape
-    /// ([`BudgetSchedule::validate`]).
+    /// (`SessionConfig::validate`), schedule shape
+    /// ([`BudgetSchedule::validate`]), and the drift scenario — numeric
+    /// ranges, modality (covariate rotation needs dense features), and
+    /// boundary alignment (a mutating drift must land on a refit boundary
+    /// within the budget, so the label model never refits against a pool
+    /// it half-saw).
     pub fn validate(&self) -> Result<(), ActiveDpError> {
         self.session.validate()?;
-        self.schedule.validate()
+        self.schedule.validate()?;
+        self.drift
+            .validate(self.dataset.id.is_textual())
+            .map_err(|reason| ActiveDpError::BadConfig { reason })?;
+        if let Some(at) = self.drift.boundary() {
+            if !self.schedule.is_batch_boundary(at, self.budget) {
+                return Err(ActiveDpError::BadConfig {
+                    reason: format!(
+                        "drift boundary {at} is not a refit boundary of schedule {} under budget {}",
+                        self.schedule.label(),
+                        self.budget
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Encodes the spec into its canonical, versioned byte form.
@@ -348,14 +417,31 @@ impl ScenarioSpec {
     /// Decodes a spec written by [`ScenarioSpec::to_bytes`], rejecting
     /// foreign magic, future format versions, truncation and trailing
     /// bytes with typed errors. Version 1 bodies (pre-candidate-strategy)
-    /// decode with [`CandidateStrategy::Exact`].
+    /// decode with [`CandidateStrategy::Exact`]; version 2 bodies (pre
+    /// oracle/drift) with [`OracleKind::Simulated`] + [`DriftSpec::None`].
     ///
     /// [`CandidateStrategy::Exact`]: crate::config::CandidateStrategy::Exact
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ActiveDpError> {
         let (mut r, version) = read_envelope(bytes, SCENARIO_MAGIC, SCENARIO_VERSION)?;
-        let spec = dec_spec_body(&mut r, version >= SCENARIO_VERSION_CANDIDATES)?;
+        let spec = dec_spec_body(
+            &mut r,
+            version >= SCENARIO_VERSION_CANDIDATES,
+            version >= SCENARIO_VERSION_ORACLE_DRIFT,
+        )?;
         r.finish()?;
         Ok(spec)
+    }
+
+    /// Decodes a spec body embedded in an *older enclosing format* that
+    /// predates the oracle/drift fields — e.g. a v1 WAL manifest, whose
+    /// own version stamp is the only record of which spec layout it
+    /// holds. The missing fields default to what those sessions ran
+    /// ([`OracleKind::Simulated`], [`DriftSpec::None`]). Current formats
+    /// embed the spec with the ordinary [`Decode`] impl instead.
+    ///
+    /// [`OracleKind::Simulated`]: adp_oracle::OracleKind::Simulated
+    pub fn decode_pre_oracle_body(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        dec_spec_body(r, true, false)
     }
 }
 
@@ -365,29 +451,40 @@ impl Encode for ScenarioSpec {
         enc_config(w, &self.session);
         w.put(&self.schedule);
         w.put_usize(self.budget);
+        // v3: drift, appended after the budget so v2 bodies are an exact
+        // prefix of v3 bodies.
+        w.put(&self.drift);
     }
 }
 
 impl Decode for ScenarioSpec {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        dec_spec_body(r, true)
+        dec_spec_body(r, true, true)
     }
 }
 
 /// Spec body decode with explicit back-compat control: `with_candidates`
 /// is false when the enclosing envelope predates the candidate-strategy
-/// field (scenario v1 / snapshot v2 bodies), in which case the field
-/// defaults to `Exact`. The snapshot codec shares this so both formats
-/// migrate identically.
+/// field (scenario v1 / snapshot v2 bodies), `with_oracle_drift` when it
+/// predates the oracle kind + drift fields (scenario v1–v2 / snapshot
+/// v2–v3 bodies); the missing fields default to what those sessions ran
+/// (`Exact`, `Simulated`, `None`). The snapshot codec shares this so both
+/// formats migrate identically.
 pub(crate) fn dec_spec_body(
     r: &mut Reader<'_>,
     with_candidates: bool,
+    with_oracle_drift: bool,
 ) -> Result<ScenarioSpec, WireError> {
     Ok(ScenarioSpec {
         dataset: r.get()?,
-        session: dec_config(r, with_candidates)?,
+        session: dec_config(r, with_candidates, with_oracle_drift)?,
         schedule: r.get()?,
         budget: r.get_usize()?,
+        drift: if with_oracle_drift {
+            r.get()?
+        } else {
+            DriftSpec::None
+        },
     })
 }
 
@@ -437,11 +534,45 @@ pub(crate) fn enc_config(w: &mut Writer, c: &SessionConfig) {
             w.put_usize(refresh_every);
         }
     }
+    // v3: oracle kind, appended after the candidate strategy so v2 bodies
+    // are an exact prefix of v3 bodies.
+    match c.oracle {
+        OracleKind::Simulated => w.put_u8(0),
+        OracleKind::Noisy {
+            confusion,
+            latency,
+            policy,
+        } => {
+            w.put_u8(1);
+            match confusion {
+                ConfusionSpec::Uniform { accuracy } => {
+                    w.put_u8(0);
+                    w.put_f64(accuracy);
+                }
+                ConfusionSpec::Biased { accuracy, bias } => {
+                    w.put_u8(1);
+                    w.put_f64(accuracy);
+                    w.put_usize(bias);
+                }
+            }
+            w.put_f64(latency.cheap_cost);
+            w.put_f64(latency.expensive_cost);
+            match policy {
+                RoutePolicy::AlwaysCheap => w.put_u8(0),
+                RoutePolicy::UncertaintyThreshold { tau } => {
+                    w.put_u8(1);
+                    w.put_f64(tau);
+                }
+                RoutePolicy::CheapThenEscalate => w.put_u8(2),
+            }
+        }
+    }
 }
 
 pub(crate) fn dec_config(
     r: &mut Reader<'_>,
     with_candidates: bool,
+    with_oracle_drift: bool,
 ) -> Result<SessionConfig, WireError> {
     use crate::config::SamplerChoice;
     use crate::labelpick::LabelPickConfig;
@@ -506,6 +637,57 @@ pub(crate) fn dec_config(
         // Pre-v2 body: every session scored the full pool.
         CandidateStrategy::Exact
     };
+    let oracle = if with_oracle_drift {
+        match r.get_u8()? {
+            0 => OracleKind::Simulated,
+            1 => {
+                let confusion = match r.get_u8()? {
+                    0 => ConfusionSpec::Uniform {
+                        accuracy: r.get_f64()?,
+                    },
+                    1 => ConfusionSpec::Biased {
+                        accuracy: r.get_f64()?,
+                        bias: r.get_usize()?,
+                    },
+                    tag => {
+                        return Err(WireError::BadTag {
+                            what: "confusion spec",
+                            tag,
+                        })
+                    }
+                };
+                let latency = LatencyModel {
+                    cheap_cost: r.get_f64()?,
+                    expensive_cost: r.get_f64()?,
+                };
+                let policy = match r.get_u8()? {
+                    0 => RoutePolicy::AlwaysCheap,
+                    1 => RoutePolicy::UncertaintyThreshold { tau: r.get_f64()? },
+                    2 => RoutePolicy::CheapThenEscalate,
+                    tag => {
+                        return Err(WireError::BadTag {
+                            what: "route policy",
+                            tag,
+                        })
+                    }
+                };
+                OracleKind::Noisy {
+                    confusion,
+                    latency,
+                    policy,
+                }
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "oracle kind",
+                    tag,
+                })
+            }
+        }
+    } else {
+        // Pre-v3 body: every query went to the simulated user.
+        OracleKind::Simulated
+    };
     Ok(SessionConfig {
         alpha,
         acc_threshold,
@@ -516,6 +698,7 @@ pub(crate) fn dec_config(
         labelpick,
         sampler,
         candidates,
+        oracle,
         al_logreg,
         downstream_logreg,
         parallel,
@@ -710,18 +893,91 @@ mod tests {
 
     #[test]
     fn v1_bodies_decode_with_exact_candidates() {
-        // A v1 body is a v2 body with the `Exact` tag byte excised (the
-        // field was appended after the seed, inside the config block):
-        // remove it, rewrite the envelope version, and the decoder must
-        // accept the result unchanged.
+        // A v1 body is a v3 body with every appended field excised: the
+        // `Exact` candidates tag and `Simulated` oracle tag (both inside
+        // the config block, after the seed) and the trailing `None` drift
+        // tag. Remove them, rewrite the envelope version, and the decoder
+        // must accept the result unchanged.
         let spec = ScenarioSpec::new(dataset());
         assert_eq!(spec.session.candidates, CandidateStrategy::Exact);
         let tag_at = candidate_tag_offset(&spec);
         let mut bytes = spec.to_bytes();
+        assert_eq!(bytes.pop(), Some(0), "the None drift tag");
         assert_eq!(bytes.remove(tag_at), 0, "the Exact tag");
+        assert_eq!(bytes.remove(tag_at), 0, "the Simulated tag");
         bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
         let back = ScenarioSpec::from_bytes(&bytes).expect("v1 decodes");
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn v2_bodies_decode_with_simulated_oracle_and_no_drift() {
+        // A v2 body is a v3 body minus the oracle tag (after the
+        // candidates field, inside the config block) and the trailing
+        // drift tag; sessions written then always queried the simulated
+        // user over a static pool, so the defaults reproduce them.
+        let mut spec = ScenarioSpec::new(dataset());
+        let candidates_at = candidate_tag_offset(&spec);
+        spec.session.candidates = CandidateStrategy::ann();
+        let mut bytes = spec.to_bytes();
+        assert_eq!(bytes.pop(), Some(0), "the None drift tag");
+        // The Ann encoding is tag + 2 usize params; the oracle tag
+        // follows them.
+        let tag_at = candidates_at + 1 + 16;
+        assert_eq!(bytes.remove(tag_at), 0, "the Simulated tag");
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let back = ScenarioSpec::from_bytes(&bytes).expect("v2 decodes");
+        assert_eq!(back, spec);
+        assert_eq!(back.session.oracle, OracleKind::Simulated);
+        assert_eq!(back.drift, DriftSpec::None);
+    }
+
+    #[test]
+    fn oracle_and_drift_round_trip_through_the_codec() {
+        let mut spec = ScenarioSpec::paper(dataset(), 5);
+        spec.session.oracle = OracleKind::Noisy {
+            confusion: ConfusionSpec::Biased {
+                accuracy: 0.75,
+                bias: 1,
+            },
+            latency: LatencyModel {
+                cheap_cost: 0.5,
+                expensive_cost: 24.0,
+            },
+            policy: RoutePolicy::UncertaintyThreshold { tau: 0.3 },
+        };
+        spec.drift = DriftSpec::LabelShift { at: 10, prior: 0.8 };
+        let bytes = spec.to_bytes();
+        let back = ScenarioSpec::from_bytes(&bytes).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(bytes, back.to_bytes());
+        // Every oracle shape survives.
+        for policy in [
+            RoutePolicy::AlwaysCheap,
+            RoutePolicy::CheapThenEscalate,
+            RoutePolicy::UncertaintyThreshold { tau: 0.0 },
+        ] {
+            spec.session.oracle = OracleKind::Noisy {
+                confusion: ConfusionSpec::Uniform { accuracy: 0.9 },
+                latency: LatencyModel::default(),
+                policy,
+            };
+            let back = ScenarioSpec::from_bytes(&spec.to_bytes()).unwrap();
+            assert_eq!(spec, back);
+        }
+        // And every drift shape.
+        for drift in [
+            DriftSpec::None,
+            DriftSpec::CovariateDrift {
+                at: 4,
+                rotation: 0.5,
+            },
+            DriftSpec::ArrivingPool { per_refit: 3 },
+        ] {
+            spec.drift = drift;
+            let back = ScenarioSpec::from_bytes(&spec.to_bytes()).unwrap();
+            assert_eq!(spec, back);
+        }
     }
 
     #[test]

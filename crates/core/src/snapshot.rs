@@ -39,6 +39,7 @@ use crate::engine::SessionState;
 use crate::error::ActiveDpError;
 use crate::scenario::ScenarioSpec;
 use adp_lf::{LabelFunction, LabelMatrix, LfKey, StumpOp, UserState};
+use adp_oracle::{RouteStats, RoutedState};
 use adp_wire::{read_envelope, write_envelope, Reader, WireError, Writer};
 
 /// Magic bytes opening every encoded session snapshot.
@@ -46,16 +47,24 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ADPSNAP\0";
 
 /// Current snapshot format version. Bumped to 2 when snapshots started
 /// embedding the whole [`ScenarioSpec`] (dataset provenance and budget
-/// schedule included) instead of a bare session config, and to 3 when the
-/// embedded spec gained the candidate strategy. Bump deliberately: the
-/// golden-bytes test pins the encoding, and decoders reject *future*
-/// versions with [`WireError::UnknownVersion`]. v2 spill files stay
-/// decodable (their specs ran exact scoring, so the strategy defaults to
-/// `Exact`); the pre-scenario v1 remains rejected.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// schedule included) instead of a bare session config, to 3 when the
+/// embedded spec gained the candidate strategy, and to 4 when the spec
+/// gained the oracle kind + drift scenario and the snapshot grew the
+/// optional routed-oracle state (cheap-oracle RNG stream + cost ledger).
+/// Bump deliberately: the golden-bytes test pins the encoding, and
+/// decoders reject *future* versions with [`WireError::UnknownVersion`].
+/// v2/v3 spill files stay decodable (their specs ran exact scoring against
+/// the simulated user on a static pool, so the missing fields default to
+/// `Exact`/`Simulated`/`None` and no routed state); the pre-scenario v1
+/// remains rejected.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// First version whose embedded spec body carries the candidate strategy.
 const SNAPSHOT_VERSION_CANDIDATES: u32 = 3;
+
+/// First version whose embedded spec carries the oracle kind + drift
+/// scenario and whose payload carries optional routed-oracle state.
+const SNAPSHOT_VERSION_ORACLE: u32 = 4;
 
 /// Oldest decodable version: v1 predates embedded scenario specs and was
 /// deliberately never migrated (see the module docs).
@@ -71,8 +80,13 @@ pub struct SessionSnapshot {
     pub state: SessionState,
     /// The sampler's RNG stream position.
     pub sampler_rng: [u64; 4],
-    /// The oracle's mutable state (RNG stream + returned-LF set).
+    /// The expensive oracle's mutable state (RNG stream + returned-LF set).
     pub oracle: UserState,
+    /// The router's mutable state when the session runs a dual-oracle
+    /// configuration ([`OracleKind::Noisy`](crate::OracleKind)): the cheap
+    /// oracle's RNG stream + returned-LF set and the accumulated cost
+    /// ledger. `None` for plain simulated-user sessions.
+    pub routed: Option<RoutedState>,
 }
 
 impl SessionSnapshot {
@@ -90,6 +104,21 @@ impl SessionSnapshot {
         w.put(&self.sampler_rng);
         w.put(&self.oracle.rng);
         enc_keys(&mut w, &self.oracle.returned);
+        // v4: optional routed-oracle state, appended so v3 payloads are an
+        // exact prefix of routerless v4 payloads.
+        match &self.routed {
+            None => w.put_bool(false),
+            Some(routed) => {
+                w.put_bool(true);
+                w.put(&routed.cheap.rng);
+                enc_keys(&mut w, &routed.cheap.returned);
+                w.put_u64(routed.stats.cheap_queries);
+                w.put_u64(routed.stats.expensive_queries);
+                w.put_u64(routed.stats.escalations);
+                w.put_f64(routed.stats.cheap_cost);
+                w.put_f64(routed.stats.expensive_cost);
+            }
+        }
         w.into_bytes()
     }
 
@@ -108,11 +137,34 @@ impl SessionSnapshot {
             }
             .into());
         }
-        let spec = crate::scenario::dec_spec_body(&mut r, version >= SNAPSHOT_VERSION_CANDIDATES)?;
+        let spec = crate::scenario::dec_spec_body(
+            &mut r,
+            version >= SNAPSHOT_VERSION_CANDIDATES,
+            version >= SNAPSHOT_VERSION_ORACLE,
+        )?;
         let state = dec_state(&mut r)?;
         let sampler_rng: [u64; 4] = r.get()?;
         let oracle_rng: [u64; 4] = r.get()?;
         let returned = dec_keys(&mut r)?;
+        let routed = if version >= SNAPSHOT_VERSION_ORACLE && r.get_bool()? {
+            let cheap_rng: [u64; 4] = r.get()?;
+            let cheap_returned = dec_keys(&mut r)?;
+            Some(RoutedState {
+                cheap: UserState {
+                    rng: cheap_rng,
+                    returned: cheap_returned,
+                },
+                stats: RouteStats {
+                    cheap_queries: r.get_u64()?,
+                    expensive_queries: r.get_u64()?,
+                    escalations: r.get_u64()?,
+                    cheap_cost: r.get_f64()?,
+                    expensive_cost: r.get_f64()?,
+                },
+            })
+        } else {
+            None
+        };
         r.finish()?;
         Ok(SessionSnapshot {
             spec,
@@ -122,6 +174,7 @@ impl SessionSnapshot {
                 rng: oracle_rng,
                 returned,
             },
+            routed,
         })
     }
 }

@@ -1,0 +1,472 @@
+//! Streaming scenarios: deterministic drift applied to a generated
+//! dataset at refit boundaries.
+//!
+//! A [`DriftSpec`] describes how the world changes mid-run. Drift is a
+//! *pure function* of the pristine base dataset and the spec — no RNG, no
+//! mutable drift state — so a resumed or replayed session re-derives the
+//! exact post-drift pool from the scenario bytes alone, and serial and
+//! parallel runs see identical data.
+//!
+//! The `at` boundaries are expressed in absolute iterations and must land
+//! on a refit (batch) boundary of the session's `BudgetSchedule`; the
+//! engine validates that when it assembles, so drift never lands mid-batch
+//! where the label model would be refit against a pool it half-saw.
+
+use crate::dataset::{Dataset, FeatureSet, SplitDataset};
+use adp_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// How (and whether) the data stream drifts mid-session.
+///
+/// The grammar round-trips through `Display`/`FromStr`: `none`,
+/// `label-shift:AT,PRIOR`, `covariate:AT,ROT`, `arriving:PER`.
+///
+/// ```
+/// use adp_data::DriftSpec;
+///
+/// assert_eq!(DriftSpec::default(), DriftSpec::None);
+/// let shift: DriftSpec = "label-shift:20,0.8".parse().unwrap();
+/// assert_eq!(shift, DriftSpec::LabelShift { at: 20, prior: 0.8 });
+/// assert_eq!(shift.to_string(), "label-shift:20,0.8");
+/// let pool: DriftSpec = "arriving:50".parse().unwrap();
+/// assert_eq!(pool, DriftSpec::ArrivingPool { per_refit: 50 });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DriftSpec {
+    /// Static i.i.d. pool — the paper's setting and the default, pinned
+    /// bitwise to the golden trajectory.
+    #[default]
+    None,
+    /// At iteration `at`, the class prior shifts: labels flip
+    /// deterministically (evenly spread through the donor class) until the
+    /// empirical `P(y = 1)` reaches `prior`, on every split.
+    LabelShift {
+        /// Absolute iteration of the shift; must be a refit boundary.
+        at: usize,
+        /// Target positive-class prior in `(0, 1)`.
+        prior: f64,
+    },
+    /// At iteration `at`, the input distribution moves: each consecutive
+    /// feature pair rotates by `rotation` radians (labels untouched), on
+    /// every split. Dense (tabular) features only.
+    CovariateDrift {
+        /// Absolute iteration of the drift; must be a refit boundary.
+        at: usize,
+        /// Rotation angle in radians.
+        rotation: f64,
+    },
+    /// The pool streams in: only the first half of the training instances
+    /// are visible at the start, and `per_refit` more arrive at every
+    /// completed refit. Candidate selection is gated; the data itself is
+    /// untouched.
+    ArrivingPool {
+        /// Instances arriving per completed refit batch.
+        per_refit: usize,
+    },
+}
+
+impl DriftSpec {
+    /// The absolute iteration this drift mutates the dataset at, when it
+    /// has one (`None` and `ArrivingPool` never mutate the data).
+    pub fn boundary(&self) -> Option<usize> {
+        match *self {
+            DriftSpec::LabelShift { at, .. } | DriftSpec::CovariateDrift { at, .. } => Some(at),
+            DriftSpec::None | DriftSpec::ArrivingPool { .. } => None,
+        }
+    }
+
+    /// Checks numeric ranges; `textual` gates the dense-only covariate
+    /// rotation.
+    pub fn validate(&self, textual: bool) -> Result<(), String> {
+        match *self {
+            DriftSpec::None => Ok(()),
+            DriftSpec::LabelShift { at, prior } => {
+                if at == 0 {
+                    return Err("label-shift boundary must be > 0".into());
+                }
+                if !(prior > 0.0 && prior < 1.0) {
+                    return Err(format!("label-shift prior {prior} outside (0,1)"));
+                }
+                Ok(())
+            }
+            DriftSpec::CovariateDrift { at, rotation } => {
+                if at == 0 {
+                    return Err("covariate-drift boundary must be > 0".into());
+                }
+                if !rotation.is_finite() || rotation == 0.0 {
+                    return Err(format!(
+                        "covariate rotation {rotation} must be finite and non-zero"
+                    ));
+                }
+                if textual {
+                    return Err(
+                        "covariate drift rotates dense features; textual datasets have none".into(),
+                    );
+                }
+                Ok(())
+            }
+            DriftSpec::ArrivingPool { per_refit } => {
+                if per_refit == 0 {
+                    return Err("arriving pool must deliver at least 1 instance per refit".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The post-drift dataset, when this drift mutates one: a fresh
+    /// `SplitDataset` derived from the pristine `base` (provenance kept).
+    /// `None` for the non-mutating kinds.
+    pub fn apply(&self, base: &SplitDataset) -> Option<SplitDataset> {
+        match *self {
+            DriftSpec::None | DriftSpec::ArrivingPool { .. } => None,
+            DriftSpec::LabelShift { prior, .. } => {
+                let mut drifted = base.clone();
+                for split in [&mut drifted.train, &mut drifted.valid, &mut drifted.test] {
+                    shift_labels(split, prior);
+                }
+                Some(drifted)
+            }
+            DriftSpec::CovariateDrift { rotation, .. } => {
+                let mut drifted = base.clone();
+                for split in [&mut drifted.train, &mut drifted.valid, &mut drifted.test] {
+                    rotate_features(split, rotation);
+                }
+                Some(drifted)
+            }
+        }
+    }
+
+    /// How many training instances are visible to the sampler after
+    /// `batches_done` completed refit batches, for a pool of `n`. `None`
+    /// when this drift does not gate visibility (everything is visible).
+    pub fn visible_len(&self, n: usize, batches_done: usize) -> Option<usize> {
+        match *self {
+            DriftSpec::ArrivingPool { per_refit } => {
+                let initial = n.div_ceil(2);
+                Some((initial + per_refit.saturating_mul(batches_done)).min(n))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Flips labels of donor-class instances, evenly spread through the donor
+/// list, until the empirical positive prior reaches `prior`. Deterministic
+/// and RNG-free: the flipped set is a pure function of the labels and the
+/// target.
+fn shift_labels(split: &mut Dataset, prior: f64) {
+    let n = split.labels.len();
+    if n == 0 {
+        return;
+    }
+    debug_assert!(split.n_classes == 2, "label shift assumes binary");
+    let target_ones = ((prior * n as f64).round() as usize).min(n);
+    let ones = split.labels.iter().filter(|&&y| y == 1).count();
+    let (donor, flips) = if target_ones > ones {
+        (0usize, target_ones - ones)
+    } else {
+        (1usize, ones - target_ones)
+    };
+    let donors: Vec<usize> = (0..n).filter(|&i| split.labels[i] == donor).collect();
+    let flips = flips.min(donors.len());
+    if flips == 0 {
+        return;
+    }
+    for j in 0..flips {
+        let idx = donors[(j * donors.len()) / flips];
+        split.labels[idx] = 1 - donor;
+    }
+}
+
+/// Rotates each consecutive feature pair `(2i, 2i+1)` by `rotation`
+/// radians in every row. Dense features only; an odd trailing column is
+/// left untouched.
+fn rotate_features(split: &mut Dataset, rotation: f64) {
+    let FeatureSet::Dense(matrix) = &mut split.features else {
+        debug_assert!(false, "covariate drift requires dense features");
+        return;
+    };
+    let (c, s) = (rotation.cos(), rotation.sin());
+    let pairs = matrix.ncols() / 2;
+    for i in 0..matrix.nrows() {
+        let row = matrix.row_mut(i);
+        for p in 0..pairs {
+            let (x, y) = (row[2 * p], row[2 * p + 1]);
+            row[2 * p] = c * x - s * y;
+            row[2 * p + 1] = s * x + c * y;
+        }
+    }
+}
+
+impl std::fmt::Display for DriftSpec {
+    /// `none`, `label-shift:AT,PRIOR`, `covariate:AT,ROT`, or
+    /// `arriving:PER` — what [`DriftSpec::from_str`] parses back.
+    ///
+    /// [`DriftSpec::from_str`]: std::str::FromStr::from_str
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DriftSpec::None => f.write_str("none"),
+            DriftSpec::LabelShift { at, prior } => write!(f, "label-shift:{at},{prior}"),
+            DriftSpec::CovariateDrift { at, rotation } => write!(f, "covariate:{at},{rotation}"),
+            DriftSpec::ArrivingPool { per_refit } => write!(f, "arriving:{per_refit}"),
+        }
+    }
+}
+
+/// A drift spec that failed to parse; [`Display`] shows the accepted
+/// grammar.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownDrift {
+    /// The string that failed to parse.
+    pub given: String,
+}
+
+impl std::fmt::Display for UnknownDrift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown drift {:?}; expected none, label-shift:AT,PRIOR, covariate:AT,ROT, or arriving:PER",
+            self.given
+        )
+    }
+}
+
+impl std::error::Error for UnknownDrift {}
+
+impl std::str::FromStr for DriftSpec {
+    type Err = UnknownDrift;
+
+    /// Parses the `Display` grammar, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let err = || UnknownDrift { given: s.into() };
+        if lower == "none" {
+            return Ok(DriftSpec::None);
+        }
+        if let Some(rest) = lower.strip_prefix("arriving:") {
+            return Ok(DriftSpec::ArrivingPool {
+                per_refit: rest.trim().parse().map_err(|_| err())?,
+            });
+        }
+        let (kind, rest) = lower.split_once(':').ok_or_else(err)?;
+        let (at, value) = rest.split_once(',').ok_or_else(err)?;
+        let at: usize = at.trim().parse().map_err(|_| err())?;
+        let value: f64 = value.trim().parse().map_err(|_| err())?;
+        let spec = match kind {
+            "label-shift" => DriftSpec::LabelShift { at, prior: value },
+            "covariate" => DriftSpec::CovariateDrift {
+                at,
+                rotation: value,
+            },
+            _ => return Err(err()),
+        };
+        spec.validate(false).map_err(|_| err())?;
+        Ok(spec)
+    }
+}
+
+impl Encode for DriftSpec {
+    /// Stable tags: `None = 0`, `LabelShift = 1`, `CovariateDrift = 2`,
+    /// `ArrivingPool = 3`.
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            DriftSpec::None => w.put_u8(0),
+            DriftSpec::LabelShift { at, prior } => {
+                w.put_u8(1);
+                w.put_usize(at);
+                w.put_f64(prior);
+            }
+            DriftSpec::CovariateDrift { at, rotation } => {
+                w.put_u8(2);
+                w.put_usize(at);
+                w.put_f64(rotation);
+            }
+            DriftSpec::ArrivingPool { per_refit } => {
+                w.put_u8(3);
+                w.put_usize(per_refit);
+            }
+        }
+    }
+}
+
+impl Decode for DriftSpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => DriftSpec::None,
+            1 => DriftSpec::LabelShift {
+                at: r.get_usize()?,
+                prior: r.get_f64()?,
+            },
+            2 => DriftSpec::CovariateDrift {
+                at: r.get_usize()?,
+                rotation: r.get_f64()?,
+            },
+            3 => DriftSpec::ArrivingPool {
+                per_refit: r.get_usize()?,
+            },
+            tag => return Err(WireError::BadTag { what: "drift", tag }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{generate, DatasetId, Scale};
+
+    #[test]
+    fn grammar_roundtrips() {
+        for spec in [
+            DriftSpec::None,
+            DriftSpec::LabelShift { at: 20, prior: 0.8 },
+            DriftSpec::CovariateDrift {
+                at: 12,
+                rotation: 0.5,
+            },
+            DriftSpec::ArrivingPool { per_refit: 50 },
+        ] {
+            assert_eq!(spec.to_string().parse::<DriftSpec>().unwrap(), spec);
+        }
+        for bad in [
+            "drift",
+            "label-shift:20",
+            "label-shift:0,0.8",
+            "label-shift:20,1.5",
+            "covariate:20,0",
+            "arriving:x",
+            "arriving:",
+        ] {
+            let err = bad.parse::<DriftSpec>().unwrap_err();
+            assert_eq!(err.given, bad);
+            assert!(err.to_string().contains("label-shift:AT"), "{err}");
+        }
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        for spec in [
+            DriftSpec::None,
+            DriftSpec::LabelShift { at: 20, prior: 0.8 },
+            DriftSpec::CovariateDrift {
+                at: 12,
+                rotation: -0.25,
+            },
+            DriftSpec::ArrivingPool { per_refit: 3 },
+        ] {
+            let mut w = Writer::new();
+            w.put(&spec);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back: DriftSpec = r.get().unwrap();
+            r.finish().unwrap();
+            assert_eq!(spec, back);
+        }
+        let mut r = Reader::new(&[9u8]);
+        assert!(matches!(
+            DriftSpec::decode(&mut r),
+            Err(WireError::BadTag { what: "drift", .. })
+        ));
+    }
+
+    #[test]
+    fn label_shift_hits_the_target_prior_deterministically() {
+        let base = generate(DatasetId::Youtube, Scale::Tiny, 7).unwrap();
+        let spec = DriftSpec::LabelShift { at: 10, prior: 0.8 };
+        let a = spec.apply(&base).unwrap();
+        let b = spec.apply(&base).unwrap();
+        for (da, db) in [
+            (&a.train, &b.train),
+            (&a.valid, &b.valid),
+            (&a.test, &b.test),
+        ] {
+            assert_eq!(da.labels, db.labels, "shift must be deterministic");
+        }
+        for split in [&a.train, &a.valid, &a.test] {
+            let ones = split.labels.iter().filter(|&&y| y == 1).count();
+            let target = (0.8 * split.len() as f64).round() as usize;
+            assert_eq!(ones, target, "{}", split.name);
+        }
+        // Features and texts are untouched; only labels moved.
+        assert_eq!(
+            base.train.encoded_docs, a.train.encoded_docs,
+            "label shift must not touch the docs"
+        );
+        assert!(a.provenance.is_some());
+    }
+
+    #[test]
+    fn covariate_drift_rotates_pairs_and_keeps_labels() {
+        let base = generate(DatasetId::Occupancy, Scale::Tiny, 7).unwrap();
+        let spec = DriftSpec::CovariateDrift {
+            at: 10,
+            rotation: std::f64::consts::FRAC_PI_2,
+        };
+        let drifted = spec.apply(&base).unwrap();
+        assert_eq!(base.train.labels, drifted.train.labels);
+        let before = base.train.features.as_dense();
+        let after = drifted.train.features.as_dense();
+        // A π/2 rotation maps (x, y) -> (-y, x) exactly.
+        for i in 0..before.nrows().min(10) {
+            let (b, a) = (before.row(i), after.row(i));
+            for p in 0..before.ncols() / 2 {
+                assert!((a[2 * p] - (-b[2 * p + 1])).abs() < 1e-12);
+                assert!((a[2 * p + 1] - b[2 * p]).abs() < 1e-12);
+            }
+        }
+        // A full 2π rotation is (numerically) the identity.
+        let full = DriftSpec::CovariateDrift {
+            at: 10,
+            rotation: std::f64::consts::TAU,
+        };
+        let back = full.apply(&base).unwrap();
+        let round = back.train.features.as_dense();
+        for i in 0..before.nrows().min(10) {
+            for (x, y) in before.row(i).iter().zip(round.row(i)) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn arriving_pool_visibility_grows_to_the_full_pool() {
+        let spec = DriftSpec::ArrivingPool { per_refit: 10 };
+        assert_eq!(spec.visible_len(101, 0), Some(51));
+        assert_eq!(spec.visible_len(101, 1), Some(61));
+        assert_eq!(spec.visible_len(101, 5), Some(101));
+        assert_eq!(spec.visible_len(101, 50), Some(101));
+        assert_eq!(DriftSpec::None.visible_len(101, 3), None);
+        assert_eq!(
+            DriftSpec::LabelShift { at: 5, prior: 0.5 }.visible_len(101, 3),
+            None
+        );
+    }
+
+    #[test]
+    fn validate_gates_modality_and_ranges() {
+        assert!(DriftSpec::None.validate(true).is_ok());
+        assert!(DriftSpec::LabelShift { at: 5, prior: 0.7 }
+            .validate(true)
+            .is_ok());
+        assert!(DriftSpec::CovariateDrift {
+            at: 5,
+            rotation: 0.3
+        }
+        .validate(false)
+        .is_ok());
+        assert!(DriftSpec::CovariateDrift {
+            at: 5,
+            rotation: 0.3
+        }
+        .validate(true)
+        .unwrap_err()
+        .contains("textual"));
+        assert!(DriftSpec::ArrivingPool { per_refit: 0 }
+            .validate(false)
+            .is_err());
+        assert!(DriftSpec::LabelShift { at: 0, prior: 0.7 }
+            .validate(false)
+            .is_err());
+    }
+}

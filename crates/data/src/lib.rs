@@ -16,6 +16,7 @@
 //! * [`split::split_indices`] — the 80/10/10 shuffled partition helper.
 
 pub mod dataset;
+pub mod drift;
 pub mod error;
 pub mod registry;
 pub mod split;
@@ -23,6 +24,7 @@ pub mod synth;
 pub mod wire;
 
 pub use dataset::{Dataset, FeatureSet, SharedDataset, SplitDataset, Task};
+pub use drift::{DriftSpec, UnknownDrift};
 pub use error::DataError;
 pub use registry::{generate, DatasetId, DatasetSpec, Scale};
 pub use split::split_indices;

@@ -144,8 +144,10 @@ impl SweepOpts {
     /// Parses `--dataset <name>`*, `--scale <name>`, `--data-seed N`,
     /// `--sampler <name>`*, `--label-model <name>`*, `--k N`*,
     /// `--budget N`, `--seeds N`,
-    /// `--candidates <exact|ann:NPROBE[,REFRESH]>`, `--out DIR`,
-    /// `--jobs N`, `--zero-wall`
+    /// `--candidates <exact|ann:NPROBE[,REFRESH]>`,
+    /// `--oracle <simulated|noisy:ACC[>BIAS][@POLICY][!CHEAP/EXP]>`*,
+    /// `--drift <none|label-shift:AT,PRIOR|covariate:AT,ROT|arriving:PER>`*,
+    /// `--out DIR`, `--jobs N`, `--zero-wall`
     /// (`*` = repeatable, replacing that axis's default). Unknown names
     /// abort with the typed errors' valid-option lists.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<SweepOpts, String> {
@@ -154,6 +156,8 @@ impl SweepOpts {
         let mut samplers: Vec<SamplerChoice> = Vec::new();
         let mut label_models: Vec<LabelModelKind> = Vec::new();
         let mut ks: Vec<usize> = Vec::new();
+        let mut oracles: Vec<activedp::OracleKind> = Vec::new();
+        let mut drifts: Vec<adp_data::DriftSpec> = Vec::new();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
             let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -203,6 +207,16 @@ impl SweepOpts {
                         .parse()
                         .map_err(|e: activedp::UnknownCandidateStrategy| e.to_string())?;
                 }
+                "--oracle" => oracles.push(
+                    value("--oracle")?
+                        .parse()
+                        .map_err(|e: activedp::UnknownOracleKind| e.to_string())?,
+                ),
+                "--drift" => drifts.push(
+                    value("--drift")?
+                        .parse()
+                        .map_err(|e: adp_data::UnknownDrift| e.to_string())?,
+                ),
                 "--out" => opts.out_dir = value("--out")?,
                 "--jobs" => {
                     let n = value("--jobs")?;
@@ -217,8 +231,9 @@ impl SweepOpts {
                     return Err(format!(
                         "unknown flag {other}; supported: --dataset <name> --scale <name> \
                          --data-seed N --sampler <name> --label-model <name> --k N \
-                         --budget N --seeds N --candidates <exact|ann:NPROBE[,REFRESH]> --out DIR \
-                         --jobs N --zero-wall"
+                         --budget N --seeds N --candidates <exact|ann:NPROBE[,REFRESH]> \
+                         --oracle <simulated|noisy:...> --drift <none|label-shift:AT,PRIOR|\
+                         covariate:AT,ROT|arriving:PER> --out DIR --jobs N --zero-wall"
                     ));
                 }
             }
@@ -234,6 +249,12 @@ impl SweepOpts {
         }
         if !ks.is_empty() {
             opts.grid.ks = ks;
+        }
+        if !oracles.is_empty() {
+            opts.grid.oracles = oracles;
+        }
+        if !drifts.is_empty() {
+            opts.grid.drifts = drifts;
         }
         Ok(opts)
     }
@@ -394,6 +415,46 @@ mod tests {
         assert!(parse_sweep(&["--jobs", "0"]).is_err());
         assert!(parse_sweep(&["--jobs", "four"]).is_err());
         assert!(parse_sweep(&["--jobs"]).is_err());
+    }
+
+    #[test]
+    fn sweep_oracle_and_drift_flags_replace_their_axes() {
+        let opts = parse_sweep(&[]).unwrap();
+        assert_eq!(opts.grid.oracles, vec![activedp::OracleKind::Simulated]);
+        assert_eq!(opts.grid.drifts, vec![adp_data::DriftSpec::None]);
+
+        let opts = parse_sweep(&[
+            "--oracle",
+            "simulated",
+            "--oracle",
+            "noisy:0.85",
+            "--drift",
+            "label-shift:8,0.8",
+            "--drift",
+            "none",
+        ])
+        .unwrap();
+        assert_eq!(opts.grid.oracles.len(), 2);
+        assert_eq!(opts.grid.oracles[0], activedp::OracleKind::Simulated);
+        assert!(matches!(
+            opts.grid.oracles[1],
+            activedp::OracleKind::Noisy { .. }
+        ));
+        assert_eq!(
+            opts.grid.drifts,
+            vec![
+                adp_data::DriftSpec::LabelShift { at: 8, prior: 0.8 },
+                adp_data::DriftSpec::None
+            ]
+        );
+
+        // Unknown names abort with the grammars' option lists.
+        let err = parse_sweep(&["--oracle", "psychic"]).unwrap_err();
+        assert!(err.contains("noisy:ACC"), "{err}");
+        let err = parse_sweep(&["--drift", "tectonic"]).unwrap_err();
+        assert!(err.contains("label-shift:AT"), "{err}");
+        assert!(parse_sweep(&["--oracle"]).is_err());
+        assert!(parse_sweep(&["--drift"]).is_err());
     }
 
     #[test]

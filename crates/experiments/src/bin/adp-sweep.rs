@@ -4,27 +4,31 @@
 //! combination, k vs. accuracy, accuracy-per-refit and wall-clock.
 //!
 //! Default grid: {US, QBC, ADP} × {Triplet, DawidSkene} × k ∈ {1, 4, 16}
-//! on Youtube at tiny scale, budget 48. Every axis is a flag:
+//! on Youtube at tiny scale, budget 48. Every axis is a flag, including
+//! the scenario-diversity axes `--oracle` and `--drift`:
 //!
 //! ```text
 //! adp-sweep --dataset youtube --scale tiny --sampler us --sampler adp \
 //!           --label-model triplet --k 1 --k 4 --budget 12 --seeds 2 \
+//!           --oracle simulated --oracle noisy:0.85 \
+//!           --drift none --drift label-shift:8,0.8 \
 //!           --jobs 4 --out results
 //! ```
 //!
 //! Cells run over `--jobs N` local worker threads (default: every
-//! available core); the artefact is bitwise identical for every `--jobs`
-//! value because rows are merged in expand order. `--zero-wall` zeroes
-//! the one non-deterministic column so two artefacts byte-compare. A
-//! degenerate cell fails alone: its typed error is reported at the end
-//! and the exit code is non-zero, but every healthy cell still lands in
-//! the CSV.
+//! available core). Each row is echoed the moment its cell finishes — in
+//! completion order, so a long cell doesn't hold back the others — while
+//! the artefact still merges rows in expand order, making it bitwise
+//! identical for every `--jobs` value. `--zero-wall` zeroes the one
+//! non-deterministic column so two artefacts byte-compare. A degenerate
+//! cell fails alone: its typed error is reported at the end and the exit
+//! code is non-zero, but every healthy cell still lands in the CSV.
 //!
 //! Writes `<out>/sweep_budget_latency.csv` next to the rendered table.
 //!
 //! [`ScenarioSpec`]: activedp::ScenarioSpec
 
-use adp_experiments::{grid_table, run_grid_jobs, write_csv, SweepOpts};
+use adp_experiments::{grid_table, run_grid_jobs_streaming, write_csv, SweepOpts};
 use std::path::Path;
 
 fn main() {
@@ -45,12 +49,14 @@ fn main() {
             .unwrap_or(1)
     });
     println!(
-        "Budget/latency sweep: {} runs ({} datasets x {} samplers x {} label models x {} schedules x {} seeds), budget {}, scale {}, {} jobs",
+        "Budget/latency sweep: {} runs ({} datasets x {} samplers x {} label models x {} schedules x {} oracles x {} drifts x {} seeds), budget {}, scale {}, {} jobs",
         opts.grid.len(),
         opts.grid.datasets.len(),
         opts.grid.samplers.len(),
         opts.grid.label_models.len(),
         opts.grid.ks.len(),
+        opts.grid.oracles.len(),
+        opts.grid.drifts.len(),
         opts.grid.seeds.len(),
         opts.grid.budget,
         opts.grid.scale,
@@ -58,7 +64,25 @@ fn main() {
     );
     println!();
 
-    let mut outcome = run_grid_jobs(&opts.grid, jobs);
+    // Rows stream out as cells finish (completion order); the table and
+    // CSV below still merge in expand order, byte-identical to a silent
+    // run.
+    let mut outcome = run_grid_jobs_streaming(&opts.grid, jobs, |done, total, row| {
+        println!(
+            "[{done}/{total}] cell {}: {} / {} / {} / {} / {} / {} -> acc {:.4}, cheap {:.2}, recovery {:+.4}",
+            row.cell,
+            row.spec.dataset.id,
+            row.spec.session.sampler,
+            row.spec.session.label_model,
+            row.spec.schedule.label(),
+            row.spec.session.oracle,
+            row.spec.drift,
+            row.test_accuracy,
+            row.cheap_fraction,
+            row.recovery,
+        );
+    });
+    println!();
     if opts.zero_wall {
         outcome.zero_wall();
     }

@@ -173,6 +173,9 @@ fn run_task(client: &mut Client, mut task: Task, opts: &CoordOpts) -> TaskEnd {
                 refits,
                 test_accuracy,
                 wall_ms,
+                cheap_fraction,
+                routed_cost,
+                recovery,
             })) => {
                 return TaskEnd::Row(SweepRow {
                     cell: task.cell.id,
@@ -181,6 +184,9 @@ fn run_task(client: &mut Client, mut task: Task, opts: &CoordOpts) -> TaskEnd {
                     refits: refits as usize,
                     test_accuracy,
                     wall_ms: task.wall_ms + wall_ms,
+                    cheap_fraction,
+                    routed_cost,
+                    recovery,
                 });
             }
             Ok(CellProgressReply::Partial {

@@ -24,7 +24,8 @@ pub use args::{RunOpts, SweepOpts};
 pub use coord::{run_distributed, CoordError, CoordOpts, CoordReport, WorkerReport};
 pub use protocol::{run_framework_curve, run_session_curve, Curve, Method, ProtocolConfig};
 pub use sweep::{
-    grid_table, run_grid, run_grid_jobs, run_spec, run_spec_over, CellFailure, SweepCell,
-    SweepGrid, SweepOutcome, SweepRow, SWEEP_ROW_MAGIC, SWEEP_ROW_VERSION,
+    grid_table, run_grid, run_grid_jobs, run_grid_jobs_streaming, run_spec, run_spec_over,
+    CellFailure, SweepCell, SweepGrid, SweepOutcome, SweepRow, SWEEP_ROW_MAGIC, SWEEP_ROW_VERSION,
+    SWEEP_ROW_VERSION_ROUTING,
 };
 pub use tables::{format_row, write_csv, TableWriter};

@@ -13,10 +13,10 @@
 //! reproduce bit-for-bit (wall-clock aside) across invocations.
 
 use activedp::{
-    ActiveDpError, BudgetSchedule, CandidateStrategy, Engine, LabelModelKind, SamplerChoice,
-    ScenarioSpec,
+    ActiveDpError, BudgetSchedule, CandidateStrategy, Engine, LabelModelKind, OracleKind,
+    SamplerChoice, ScenarioSpec,
 };
-use adp_data::{DatasetId, DatasetSpec, Scale, SharedDataset};
+use adp_data::{DatasetId, DatasetSpec, DriftSpec, Scale, SharedDataset};
 use adp_wire::{read_envelope, write_envelope};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -44,6 +44,11 @@ pub struct SweepGrid {
     /// Candidate strategy every run scores with (`Exact` replays the
     /// paper's loop; `Ann` exercises the sublinear large-pool path).
     pub candidates: CandidateStrategy,
+    /// Label oracles to sweep (`Simulated` is the paper's user;
+    /// `Noisy` routes between it and a cheap confusion-matrix oracle).
+    pub oracles: Vec<OracleKind>,
+    /// Streaming scenarios to sweep (`None` is the paper's static pool).
+    pub drifts: Vec<DriftSpec>,
 }
 
 impl SweepGrid {
@@ -64,6 +69,8 @@ impl SweepGrid {
             budget: 48,
             seeds: vec![1],
             candidates: CandidateStrategy::Exact,
+            oracles: vec![OracleKind::Simulated],
+            drifts: vec![DriftSpec::None],
         }
     }
 
@@ -73,6 +80,8 @@ impl SweepGrid {
             * self.samplers.len()
             * self.label_models.len()
             * self.ks.len()
+            * self.oracles.len()
+            * self.drifts.len()
             * self.seeds.len()
     }
 
@@ -82,31 +91,39 @@ impl SweepGrid {
     }
 
     /// Expands the cartesian product into concrete specs, outermost axis
-    /// first: dataset → sampler → label model → k → seed. The order is
-    /// part of the artefact contract (rows land in this order).
+    /// first: dataset → sampler → label model → k → oracle → drift →
+    /// seed. The order is part of the artefact contract (rows land in
+    /// this order); single-entry oracle/drift axes — the defaults —
+    /// reproduce the pre-routing expansion exactly.
     pub fn expand(&self) -> Vec<ScenarioSpec> {
         let mut specs = Vec::with_capacity(self.len());
         for &dataset in &self.datasets {
             for &sampler in &self.samplers {
                 for &label_model in &self.label_models {
                     for &k in &self.ks {
-                        for &seed in &self.seeds {
-                            let mut spec = ScenarioSpec::new(DatasetSpec {
-                                id: dataset,
-                                scale: self.scale,
-                                seed: self.data_seed,
-                            });
-                            spec.session.seed = seed;
-                            spec.session.sampler = sampler;
-                            spec.session.label_model = label_model;
-                            spec.session.candidates = self.candidates;
-                            spec.schedule = if k == 1 {
-                                BudgetSchedule::FixedStep
-                            } else {
-                                BudgetSchedule::FixedBatch { k }
-                            };
-                            spec.budget = self.budget;
-                            specs.push(spec);
+                        for &oracle in &self.oracles {
+                            for &drift in &self.drifts {
+                                for &seed in &self.seeds {
+                                    let mut spec = ScenarioSpec::new(DatasetSpec {
+                                        id: dataset,
+                                        scale: self.scale,
+                                        seed: self.data_seed,
+                                    });
+                                    spec.session.seed = seed;
+                                    spec.session.sampler = sampler;
+                                    spec.session.label_model = label_model;
+                                    spec.session.candidates = self.candidates;
+                                    spec.session.oracle = oracle;
+                                    spec.schedule = if k == 1 {
+                                        BudgetSchedule::FixedStep
+                                    } else {
+                                        BudgetSchedule::FixedBatch { k }
+                                    };
+                                    spec.budget = self.budget;
+                                    spec.drift = drift;
+                                    specs.push(spec);
+                                }
+                            }
                         }
                     }
                 }
@@ -143,8 +160,12 @@ pub struct SweepCell {
 
 /// Magic prefix of an encoded [`SweepRow`].
 pub const SWEEP_ROW_MAGIC: &[u8; 8] = b"ADPSWROW";
-/// Current [`SweepRow`] encoding version.
-pub const SWEEP_ROW_VERSION: u32 = 1;
+/// Current [`SweepRow`] encoding version: v2 appended the routing/drift
+/// columns (cheap fraction, routed cost, recovery); v1 rows decode with
+/// those at 0 — exactly what every v1 run measured.
+pub const SWEEP_ROW_VERSION: u32 = 2;
+/// First version carrying the routing/drift columns.
+pub const SWEEP_ROW_VERSION_ROUTING: u32 = 2;
 
 /// One finished run of the sweep.
 #[derive(Debug, Clone)]
@@ -163,6 +184,16 @@ pub struct SweepRow {
     /// Training + evaluation wall-clock, milliseconds (dataset generation
     /// excluded — the artefact measures the loop, not the generator).
     pub wall_ms: f64,
+    /// Fraction of oracle queries the cheap noisy oracle answered
+    /// (escalations excluded); 0 for simulated-user runs.
+    pub cheap_fraction: f64,
+    /// Total routed cost under the spec's latency model (cheap +
+    /// expensive spend); 0 for simulated-user runs.
+    pub routed_cost: f64,
+    /// Post-drift accuracy recovery: final test accuracy minus the
+    /// accuracy evaluated at the drift boundary (negative when the run
+    /// never recovers); 0 for drift-free runs.
+    pub recovery: f64,
 }
 
 impl SweepRow {
@@ -184,24 +215,37 @@ impl SweepRow {
         w.put_usize(self.refits);
         w.put_f64(self.test_accuracy);
         w.put_f64(self.wall_ms);
+        // v2: routing/drift columns, appended so v1 bodies are an exact
+        // prefix of v2 bodies.
+        w.put_f64(self.cheap_fraction);
+        w.put_f64(self.routed_cost);
+        w.put_f64(self.recovery);
         w.into_bytes()
     }
 
     /// Decodes a row written by [`SweepRow::to_bytes`], rejecting foreign
     /// magic, newer versions, truncation and trailing garbage.
     pub fn from_bytes(bytes: &[u8]) -> Result<SweepRow, ActiveDpError> {
-        let (mut r, _version) = read_envelope(bytes, SWEEP_ROW_MAGIC, SWEEP_ROW_VERSION)?;
+        let (mut r, version) = read_envelope(bytes, SWEEP_ROW_MAGIC, SWEEP_ROW_VERSION)?;
         let cell = r.get_u64()?;
         let spec_len = r.get_len("sweep row spec", 1)?;
         let spec = ScenarioSpec::from_bytes(r.get_bytes(spec_len)?)?;
-        let row = SweepRow {
+        let mut row = SweepRow {
             cell,
             spec,
             iterations: r.get_usize()?,
             refits: r.get_usize()?,
             test_accuracy: r.get_f64()?,
             wall_ms: r.get_f64()?,
+            cheap_fraction: 0.0,
+            routed_cost: 0.0,
+            recovery: 0.0,
         };
+        if version >= SWEEP_ROW_VERSION_ROUTING {
+            row.cheap_fraction = r.get_f64()?;
+            row.routed_cost = r.get_f64()?;
+            row.recovery = r.get_f64()?;
+        }
         r.finish()?;
         Ok(row)
     }
@@ -253,10 +297,22 @@ pub fn run_spec_over(spec: ScenarioSpec, data: SharedDataset) -> Result<SweepRow
     let schedule = spec.schedule.clone();
     let mut engine = Engine::from_spec_over(spec.clone(), data)?;
     let start = std::time::Instant::now();
+    // For mutating drift, pause at the boundary and evaluate once against
+    // the still-pristine pool — the baseline the recovery column measures
+    // from. Evaluation is read-only (no session RNG), so the trajectory is
+    // bitwise the run that never paused.
+    let boundary_accuracy = match spec.drift.boundary().filter(|&at| at < spec.budget) {
+        Some(at) => {
+            engine.run_schedule_batches(schedule.n_batches(at))?;
+            Some(engine.evaluate_downstream()?.test_accuracy)
+        }
+        None => None,
+    };
     engine.run_schedule()?;
     let report = engine.evaluate_downstream()?;
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let iterations = engine.state().iteration;
+    let stats = engine.route_stats();
     Ok(SweepRow {
         cell: 0,
         spec,
@@ -266,6 +322,9 @@ pub fn run_spec_over(spec: ScenarioSpec, data: SharedDataset) -> Result<SweepRow
         refits: schedule.batch_sizes(iterations).len(),
         test_accuracy: report.test_accuracy,
         wall_ms,
+        cheap_fraction: stats.map_or(0.0, |s| s.cheap_fraction()),
+        routed_cost: stats.map_or(0.0, |s| s.total_cost()),
+        recovery: boundary_accuracy.map_or(0.0, |a| report.test_accuracy - a),
     })
 }
 
@@ -319,7 +378,22 @@ fn cached_dataset(
 /// the outcome is bitwise identical (wall-clock aside) for every `jobs`
 /// value, pinned by this module's tests.
 pub fn run_grid_jobs(grid: &SweepGrid, jobs: usize) -> SweepOutcome {
+    run_grid_jobs_streaming(grid, jobs, |_, _, _| {})
+}
+
+/// [`run_grid_jobs`] with a partial-result hook: `on_row(done, total,
+/// row)` fires for every successful cell **in completion order** — which
+/// worker count and cell latency interleave freely — while the returned
+/// outcome still merges rows in expand order, so anything derived from it
+/// (the CSV artefact included) is byte-identical to the hook-free run.
+/// The hook runs under the results lock; keep it cheap (a progress line).
+pub fn run_grid_jobs_streaming(
+    grid: &SweepGrid,
+    jobs: usize,
+    on_row: impl Fn(usize, usize, &SweepRow) + Sync,
+) -> SweepOutcome {
     let cells = grid.cells();
+    let total = cells.len();
     let cache: Mutex<HashMap<(DatasetId, u64, u64), SharedDataset>> = Mutex::new(HashMap::new());
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(u64, Result<SweepRow, ActiveDpError>)>> =
@@ -336,10 +410,12 @@ pub fn run_grid_jobs(grid: &SweepGrid, jobs: usize) -> SweepOutcome {
                         row
                     })
                 });
-                results
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((cell.id, result));
+                let mut results = results.lock().unwrap_or_else(|e| e.into_inner());
+                results.push((cell.id, result));
+                let done = results.len();
+                if let Some((_, Ok(row))) = results.last() {
+                    on_row(done, total, row);
+                }
             });
         }
     });
@@ -368,12 +444,17 @@ pub fn grid_table(rows: &[SweepRow]) -> crate::tables::TableWriter {
         "Sampler",
         "LabelModel",
         "Schedule",
+        "Oracle",
+        "Drift",
         "Budget",
         "Seeds",
         "Iterations",
         "Refits",
         "Accuracy",
         "AccPerRefit",
+        "CheapFrac",
+        "RoutedCost",
+        "Recovery",
         "WallMs",
     ]);
     // Group rows by combination, preserving first-appearance order (rows
@@ -381,11 +462,13 @@ pub fn grid_table(rows: &[SweepRow]) -> crate::tables::TableWriter {
     let mut groups: Vec<(String, Vec<&SweepRow>)> = Vec::new();
     for row in rows {
         let key = format!(
-            "{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}",
             row.spec.dataset.id,
             row.spec.session.sampler,
             row.spec.session.label_model,
             row.spec.schedule.label(),
+            row.spec.session.oracle,
+            row.spec.drift,
         );
         match groups.last_mut() {
             Some((last, members)) if *last == key => members.push(row),
@@ -401,12 +484,17 @@ pub fn grid_table(rows: &[SweepRow]) -> crate::tables::TableWriter {
             first.spec.session.sampler.to_string(),
             first.spec.session.label_model.to_string(),
             first.spec.schedule.label(),
+            first.spec.session.oracle.to_string(),
+            first.spec.drift.to_string(),
             first.spec.budget.to_string(),
             members.len().to_string(),
             format!("{:.1}", mean(&|r| r.iterations as f64)),
             format!("{:.1}", mean(&|r| r.refits as f64)),
             format!("{:.4}", mean(&|r| r.test_accuracy)),
             format!("{:.4}", mean(&|r| r.accuracy_per_refit())),
+            format!("{:.4}", mean(&|r| r.cheap_fraction)),
+            format!("{:.2}", mean(&|r| r.routed_cost)),
+            format!("{:+.4}", mean(&|r| r.recovery)),
             format!("{:.1}", mean(&|r| r.wall_ms)),
         ]);
     }
@@ -428,6 +516,8 @@ mod tests {
             budget: 6,
             seeds: vec![1],
             candidates: CandidateStrategy::Exact,
+            oracles: vec![OracleKind::Simulated],
+            drifts: vec![DriftSpec::None],
         }
     }
 
@@ -492,11 +582,19 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 1 + 4, "{csv}");
         for line in &lines[1..] {
+            // Default rows ("simulated"/"none") contain no quoted cells,
+            // so a naive split is still exact here.
             let cells: Vec<&str> = line.split(',').collect();
-            assert_eq!(cells.len(), 11, "{line}");
-            assert!(cells[8].parse::<f64>().is_ok(), "{line}");
-            assert!(cells[9].parse::<f64>().is_ok(), "{line}");
-            assert!(cells[10].parse::<f64>().is_ok(), "{line}");
+            assert_eq!(cells.len(), 16, "{line}");
+            assert_eq!(cells[4], "simulated", "{line}");
+            assert_eq!(cells[5], "none", "{line}");
+            for numeric in [10, 11, 12, 13, 14, 15] {
+                assert!(cells[numeric].parse::<f64>().is_ok(), "{line}");
+            }
+            // Simulated cells route nothing and measure no recovery.
+            assert_eq!(cells[12].parse::<f64>().unwrap(), 0.0, "{line}");
+            assert_eq!(cells[13].parse::<f64>().unwrap(), 0.0, "{line}");
+            assert_eq!(cells[14].parse::<f64>().unwrap(), 0.0, "{line}");
         }
     }
 
@@ -590,6 +688,9 @@ mod tests {
             assert_eq!(back.refits, row.refits);
             assert_eq!(back.test_accuracy.to_bits(), row.test_accuracy.to_bits());
             assert_eq!(back.wall_ms.to_bits(), row.wall_ms.to_bits());
+            assert_eq!(back.cheap_fraction.to_bits(), row.cheap_fraction.to_bits());
+            assert_eq!(back.routed_cost.to_bits(), row.routed_cost.to_bits());
+            assert_eq!(back.recovery.to_bits(), row.recovery.to_bits());
         }
     }
 
@@ -611,5 +712,127 @@ mod tests {
         let mut newer = bytes;
         newer[8] = 0xFF;
         assert!(SweepRow::from_bytes(&newer).is_err());
+    }
+
+    #[test]
+    fn v1_row_bodies_decode_with_zeroed_routing_columns() {
+        let row = run_spec(tiny_grid().expand().swap_remove(0)).unwrap();
+        let mut bytes = row.to_bytes();
+        // A v1 body is the exact prefix of a v2 body: drop the three
+        // appended routing f64s and rewind the version stamp.
+        bytes.truncate(bytes.len() - 24);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let back = SweepRow::from_bytes(&bytes).unwrap();
+        assert_eq!(back.spec, row.spec);
+        assert_eq!(back.test_accuracy.to_bits(), row.test_accuracy.to_bits());
+        assert_eq!(back.cheap_fraction, 0.0);
+        assert_eq!(back.routed_cost, 0.0);
+        assert_eq!(back.recovery, 0.0);
+    }
+
+    /// A routed, drifted grid for the oracle/drift axis tests: one cell
+    /// per (oracle, drift) pair on tiny Youtube.
+    fn routed_grid() -> SweepGrid {
+        let mut grid = tiny_grid();
+        grid.samplers = vec![SamplerChoice::Uncertainty];
+        grid.ks = vec![1];
+        grid.budget = 8;
+        grid.oracles = vec![OracleKind::Simulated, OracleKind::noisy()];
+        grid.drifts = vec![DriftSpec::None, DriftSpec::LabelShift { at: 4, prior: 0.8 }];
+        grid
+    }
+
+    #[test]
+    fn oracle_and_drift_axes_multiply_the_grid() {
+        let grid = routed_grid();
+        let specs = grid.expand();
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs.len(), grid.len());
+        // drift is the inner axis of the pair.
+        assert_eq!(specs[0].session.oracle, OracleKind::Simulated);
+        assert_eq!(specs[0].drift, DriftSpec::None);
+        assert_eq!(specs[1].drift, DriftSpec::LabelShift { at: 4, prior: 0.8 });
+        assert_eq!(specs[2].session.oracle, OracleKind::noisy());
+        for spec in &specs {
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn routed_drifted_cells_fill_the_new_columns() {
+        let out = run_grid(&routed_grid());
+        assert!(out.is_clean());
+        let rows = out.rows;
+        assert_eq!(rows.len(), 4);
+        // Simulated cells: no routing, no cost.
+        assert_eq!(rows[0].cheap_fraction, 0.0);
+        assert_eq!(rows[0].routed_cost, 0.0);
+        assert_eq!(rows[0].recovery, 0.0);
+        // Noisy cells route every query somewhere and pay for it.
+        for row in &rows[2..] {
+            assert!(row.cheap_fraction > 0.0, "{row:?}");
+            assert!(row.cheap_fraction <= 1.0, "{row:?}");
+            assert!(row.routed_cost > 0.0, "{row:?}");
+        }
+        // Drift-free cells report zero recovery; drifted cells report
+        // final minus boundary accuracy, which is finite either way.
+        assert_eq!(rows[2].recovery, 0.0);
+        assert!(rows[1].recovery.is_finite());
+        assert!(rows[3].recovery.is_finite());
+
+        // The drifted rows render with their comma-bearing drift label
+        // quoted, keeping the CSV parseable.
+        let csv = grid_table(&rows).to_csv();
+        assert!(csv.contains("\"label-shift:4,0.8\""), "{csv}");
+
+        // And routed runs stay deterministic: a rerun is bitwise equal.
+        let again = run_grid(&routed_grid());
+        for (a, b) in rows.iter().zip(&again.rows) {
+            assert_eq!(a.test_accuracy.to_bits(), b.test_accuracy.to_bits());
+            assert_eq!(a.cheap_fraction.to_bits(), b.cheap_fraction.to_bits());
+            assert_eq!(a.routed_cost.to_bits(), b.routed_cost.to_bits());
+            assert_eq!(a.recovery.to_bits(), b.recovery.to_bits());
+        }
+    }
+
+    #[test]
+    fn recovery_pause_does_not_perturb_the_trajectory() {
+        // A drifted cell's paused-and-evaluated run must equal the same
+        // spec run straight through (evaluation is read-only).
+        let spec = routed_grid().expand().swap_remove(3);
+        assert_ne!(spec.drift, DriftSpec::None);
+        let row = run_spec(spec.clone()).unwrap();
+        let mut engine = Engine::from_spec(spec).unwrap();
+        engine.run_schedule().unwrap();
+        let unpaused = engine.evaluate_downstream().unwrap().test_accuracy;
+        assert_eq!(row.test_accuracy.to_bits(), unpaused.to_bits());
+    }
+
+    #[test]
+    fn streaming_rows_arrive_per_cell_and_leave_the_outcome_unchanged() {
+        use std::sync::Mutex;
+        let grid = tiny_grid();
+        let seen: Mutex<Vec<(usize, usize, u64)>> = Mutex::new(Vec::new());
+        let streamed = run_grid_jobs_streaming(&grid, 2, |done, total, row| {
+            seen.lock().unwrap().push((done, total, row.cell));
+        });
+        assert!(streamed.is_clean());
+        let seen = seen.into_inner().unwrap();
+        // Every cell reported exactly once, with a monotone done count.
+        assert_eq!(seen.len(), 4);
+        let mut cells: Vec<u64> = seen.iter().map(|&(_, _, c)| c).collect();
+        cells.sort_unstable();
+        assert_eq!(cells, vec![0, 1, 2, 3]);
+        for (i, &(done, total, _)) in seen.iter().enumerate() {
+            assert_eq!(done, i + 1);
+            assert_eq!(total, 4);
+        }
+        // The merged outcome is the hook-free one.
+        let plain = run_grid_jobs(&grid, 2);
+        assert_eq!(streamed.rows.len(), plain.rows.len());
+        for (a, b) in streamed.rows.iter().zip(&plain.rows) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.test_accuracy.to_bits(), b.test_accuracy.to_bits());
+        }
     }
 }

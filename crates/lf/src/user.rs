@@ -116,6 +116,14 @@ impl SimulatedUser {
         self.returned.len()
     }
 
+    /// Marks `key` as already returned without consuming any RNG. A router
+    /// placing this user alongside a second labeller calls this when the
+    /// *other* oracle answers, so neither source ever re-proposes an LF the
+    /// session already holds.
+    pub fn note_returned(&mut self, key: LfKey) {
+        self.returned.insert(key);
+    }
+
     /// Responds to a query on instance `idx` of `query_dataset` (ground
     /// truth comes from `query_dataset.labels`, as in the paper's
     /// simulation). Returns `None` when every candidate was already

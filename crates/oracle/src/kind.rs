@@ -1,0 +1,380 @@
+//! The serializable oracle spec: which label sources a session runs and
+//! how queries route between them.
+
+/// How the cheap oracle corrupts labels, as a row-structured confusion
+/// matrix over the (binary) classes: with probability `accuracy` the drawn
+/// label is the true one, otherwise it falls to the off-diagonal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfusionSpec {
+    /// Off-diagonal mass goes to the other class — symmetric noise.
+    Uniform {
+        /// Diagonal mass: probability the drawn label is the true label.
+        accuracy: f64,
+    },
+    /// Off-diagonal mass all lands on one class — the systematic bias an
+    /// LLM labeller shows toward a salient class.
+    Biased {
+        /// Diagonal mass: probability the drawn label is the true label.
+        accuracy: f64,
+        /// The class every miss falls to.
+        bias: usize,
+    },
+}
+
+impl ConfusionSpec {
+    /// The diagonal mass, whichever shape the off-diagonal takes.
+    pub fn accuracy(&self) -> f64 {
+        match *self {
+            ConfusionSpec::Uniform { accuracy } | ConfusionSpec::Biased { accuracy, .. } => {
+                accuracy
+            }
+        }
+    }
+}
+
+/// Per-query cost of each label source, in abstract budget units. The
+/// defaults (1 cheap, 10 expensive) make one human answer worth ten LLM
+/// answers, the ballpark DALL reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Cost of one cheap-oracle consult.
+    pub cheap_cost: f64,
+    /// Cost of one expensive-user consult.
+    pub expensive_cost: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            cheap_cost: 1.0,
+            expensive_cost: 10.0,
+        }
+    }
+}
+
+/// Which source a routed query consults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutePolicy {
+    /// Every query goes to the cheap oracle; the expensive user is never
+    /// consulted.
+    AlwaysCheap,
+    /// Queries the model is *uncertain* about (uncertainty ≥ `tau`, or no
+    /// model fit yet) go to the expensive user; confident ones go cheap —
+    /// spend the human where the model most needs a reliable rule.
+    UncertaintyThreshold {
+        /// Uncertainty cut-point in `[0, 1]`; the engine's hint is
+        /// `1 − max p(y|x)`, so binary tasks live in `[0, 0.5]`.
+        tau: f64,
+    },
+    /// Consult the cheap oracle first and escalate to the expensive user
+    /// only when it has no fresh candidate — both costs accrue on an
+    /// escalated query.
+    CheapThenEscalate,
+}
+
+/// Which oracle answers a session's queries — the serializable spec that
+/// `ScenarioSpec` carries and the engine builds its label source from.
+///
+/// The grammar round-trips through `Display`/`FromStr`:
+/// `simulated`, or `noisy:ACC[>BIAS][@POLICY][!CHEAP/EXPENSIVE]` with
+/// `POLICY` one of `always-cheap`, `uncertainty:TAU`, `escalate`
+/// (the default). Non-default parts only are printed.
+///
+/// ```
+/// use adp_oracle::{ConfusionSpec, LatencyModel, OracleKind, RoutePolicy};
+///
+/// assert_eq!(OracleKind::default(), OracleKind::Simulated);
+/// let kind: OracleKind = "noisy:0.8>1@uncertainty:0.3!1/25".parse().unwrap();
+/// assert_eq!(
+///     kind,
+///     OracleKind::Noisy {
+///         confusion: ConfusionSpec::Biased { accuracy: 0.8, bias: 1 },
+///         latency: LatencyModel { cheap_cost: 1.0, expensive_cost: 25.0 },
+///         policy: RoutePolicy::UncertaintyThreshold { tau: 0.3 },
+///     }
+/// );
+/// assert_eq!(kind.to_string(), "noisy:0.8>1@uncertainty:0.3!1/25");
+/// assert_eq!("noisy:0.85".parse::<OracleKind>().unwrap().to_string(), "noisy:0.85");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum OracleKind {
+    /// The single expensive simulated user of §4.1.4 — the paper's setting
+    /// and the default, pinned bitwise to the golden trajectory.
+    #[default]
+    Simulated,
+    /// The expensive user *plus* a cheap confusion-structured labeller,
+    /// routed per query by `policy` and billed by `latency`.
+    Noisy {
+        /// How the cheap labeller corrupts labels.
+        confusion: ConfusionSpec,
+        /// Per-query costs of the two sources.
+        latency: LatencyModel,
+        /// Which source each query consults.
+        policy: RoutePolicy,
+    },
+}
+
+impl OracleKind {
+    /// `Noisy` with the defaults the sweeps use: uniform 0.7-accurate
+    /// confusion, default costs, cheap-then-escalate routing.
+    pub fn noisy() -> Self {
+        OracleKind::Noisy {
+            confusion: ConfusionSpec::Uniform { accuracy: 0.7 },
+            latency: LatencyModel::default(),
+            policy: RoutePolicy::CheapThenEscalate,
+        }
+    }
+
+    /// Checks the spec is usable on a binary task: accuracy in `(0, 1]`,
+    /// bias a valid class, `tau` in `[0, 1]`, costs finite and positive.
+    pub fn validate(&self) -> Result<(), String> {
+        let OracleKind::Noisy {
+            confusion,
+            latency,
+            policy,
+        } = self
+        else {
+            return Ok(());
+        };
+        let accuracy = confusion.accuracy();
+        if !(accuracy > 0.0 && accuracy <= 1.0) {
+            return Err(format!("oracle accuracy {accuracy} outside (0,1]"));
+        }
+        if let ConfusionSpec::Biased { bias, .. } = confusion {
+            if *bias > 1 {
+                return Err(format!(
+                    "oracle bias class {bias} outside the binary label set"
+                ));
+            }
+        }
+        if let RoutePolicy::UncertaintyThreshold { tau } = policy {
+            if !(0.0..=1.0).contains(tau) {
+                return Err(format!("oracle routing tau {tau} outside [0,1]"));
+            }
+        }
+        for (name, cost) in [
+            ("cheap", latency.cheap_cost),
+            ("expensive", latency.expensive_cost),
+        ] {
+            if !(cost.is_finite() && cost > 0.0) {
+                return Err(format!(
+                    "oracle {name} cost {cost} must be finite and positive"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for OracleKind {
+    /// `simulated`, or `noisy:ACC[>BIAS][@POLICY][!CHEAP/EXPENSIVE]` — what
+    /// [`OracleKind::from_str`] parses back; default policy and latency are
+    /// omitted.
+    ///
+    /// [`OracleKind::from_str`]: std::str::FromStr::from_str
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleKind::Simulated => f.write_str("simulated"),
+            OracleKind::Noisy {
+                confusion,
+                latency,
+                policy,
+            } => {
+                match confusion {
+                    ConfusionSpec::Uniform { accuracy } => write!(f, "noisy:{accuracy}")?,
+                    ConfusionSpec::Biased { accuracy, bias } => {
+                        write!(f, "noisy:{accuracy}>{bias}")?
+                    }
+                }
+                match policy {
+                    RoutePolicy::CheapThenEscalate => {}
+                    RoutePolicy::AlwaysCheap => f.write_str("@always-cheap")?,
+                    RoutePolicy::UncertaintyThreshold { tau } => write!(f, "@uncertainty:{tau}")?,
+                }
+                if *latency != LatencyModel::default() {
+                    write!(f, "!{}/{}", latency.cheap_cost, latency.expensive_cost)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An oracle spec that failed to parse; [`Display`] shows the accepted
+/// grammar.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownOracleKind {
+    /// The string that failed to parse.
+    pub given: String,
+}
+
+impl std::fmt::Display for UnknownOracleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown oracle kind {:?}; expected simulated, noisy, or \
+             noisy:ACC[>BIAS][@always-cheap|@uncertainty:TAU|@escalate][!CHEAP/EXPENSIVE]",
+            self.given
+        )
+    }
+}
+
+impl std::error::Error for UnknownOracleKind {}
+
+impl std::str::FromStr for OracleKind {
+    type Err = UnknownOracleKind;
+
+    /// Parses `simulated`, `noisy` (defaults), or the full
+    /// `noisy:ACC[>BIAS][@POLICY][!CHEAP/EXPENSIVE]` form,
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let err = || UnknownOracleKind { given: s.into() };
+        match lower.as_str() {
+            "simulated" => return Ok(OracleKind::Simulated),
+            "noisy" => return Ok(OracleKind::noisy()),
+            _ => {}
+        }
+        let rest = lower.strip_prefix("noisy:").ok_or_else(err)?;
+        let (rest, latency) = match rest.split_once('!') {
+            None => (rest, LatencyModel::default()),
+            Some((head, costs)) => {
+                let (cheap, expensive) = costs.split_once('/').ok_or_else(err)?;
+                let cheap_cost: f64 = cheap.trim().parse().map_err(|_| err())?;
+                let expensive_cost: f64 = expensive.trim().parse().map_err(|_| err())?;
+                (
+                    head,
+                    LatencyModel {
+                        cheap_cost,
+                        expensive_cost,
+                    },
+                )
+            }
+        };
+        let (rest, policy) = match rest.split_once('@') {
+            None => (rest, RoutePolicy::CheapThenEscalate),
+            Some((head, policy)) => {
+                let policy = match policy {
+                    "always-cheap" => RoutePolicy::AlwaysCheap,
+                    "escalate" => RoutePolicy::CheapThenEscalate,
+                    _ => {
+                        let tau = policy.strip_prefix("uncertainty:").ok_or_else(err)?;
+                        RoutePolicy::UncertaintyThreshold {
+                            tau: tau.trim().parse().map_err(|_| err())?,
+                        }
+                    }
+                };
+                (head, policy)
+            }
+        };
+        let confusion = match rest.split_once('>') {
+            None => ConfusionSpec::Uniform {
+                accuracy: rest.trim().parse().map_err(|_| err())?,
+            },
+            Some((acc, bias)) => ConfusionSpec::Biased {
+                accuracy: acc.trim().parse().map_err(|_| err())?,
+                bias: bias.trim().parse().map_err(|_| err())?,
+            },
+        };
+        let kind = OracleKind::Noisy {
+            confusion,
+            latency,
+            policy,
+        };
+        kind.validate().map_err(|_| err())?;
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_roundtrips() {
+        let kinds = [
+            OracleKind::Simulated,
+            OracleKind::noisy(),
+            OracleKind::Noisy {
+                confusion: ConfusionSpec::Biased {
+                    accuracy: 0.9,
+                    bias: 0,
+                },
+                latency: LatencyModel::default(),
+                policy: RoutePolicy::AlwaysCheap,
+            },
+            OracleKind::Noisy {
+                confusion: ConfusionSpec::Uniform { accuracy: 0.65 },
+                latency: LatencyModel {
+                    cheap_cost: 0.5,
+                    expensive_cost: 40.0,
+                },
+                policy: RoutePolicy::UncertaintyThreshold { tau: 0.25 },
+            },
+        ];
+        for kind in kinds {
+            assert_eq!(kind.to_string().parse::<OracleKind>().unwrap(), kind);
+        }
+        assert_eq!("noisy".parse::<OracleKind>().unwrap(), OracleKind::noisy());
+        assert_eq!(
+            "noisy:0.7@escalate".parse::<OracleKind>().unwrap(),
+            OracleKind::noisy()
+        );
+        assert_eq!(
+            "SIMULATED".parse::<OracleKind>().unwrap(),
+            OracleKind::Simulated
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        for bad in [
+            "llm",
+            "noisy:",
+            "noisy:x",
+            "noisy:0.7>2",
+            "noisy:0.7@maybe",
+            "noisy:0.7@uncertainty:",
+            "noisy:0.7!3",
+            "noisy:0.7!0/10",
+            "noisy:1.5",
+            "noisy:0",
+        ] {
+            let err = bad.parse::<OracleKind>().unwrap_err();
+            assert_eq!(err.given, bad);
+            assert!(err.to_string().contains("noisy:ACC"), "{err}");
+        }
+    }
+
+    #[test]
+    fn validate_checks_ranges() {
+        assert!(OracleKind::Simulated.validate().is_ok());
+        assert!(OracleKind::noisy().validate().is_ok());
+        let bad_tau = OracleKind::Noisy {
+            confusion: ConfusionSpec::Uniform { accuracy: 0.7 },
+            latency: LatencyModel::default(),
+            policy: RoutePolicy::UncertaintyThreshold { tau: 1.5 },
+        };
+        assert!(bad_tau.validate().unwrap_err().contains("tau"));
+        let bad_cost = OracleKind::Noisy {
+            confusion: ConfusionSpec::Uniform { accuracy: 0.7 },
+            latency: LatencyModel {
+                cheap_cost: f64::NAN,
+                expensive_cost: 10.0,
+            },
+            policy: RoutePolicy::CheapThenEscalate,
+        };
+        assert!(bad_cost.validate().unwrap_err().contains("cost"));
+        let bad_bias = OracleKind::Noisy {
+            confusion: ConfusionSpec::Biased {
+                accuracy: 0.7,
+                bias: 9,
+            },
+            latency: LatencyModel::default(),
+            policy: RoutePolicy::CheapThenEscalate,
+        };
+        assert!(bad_bias.validate().unwrap_err().contains("bias"));
+    }
+}

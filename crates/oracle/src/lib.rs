@@ -1,0 +1,304 @@
+//! Labelling oracles for ActiveDP sessions.
+//!
+//! The original evaluation protocol has exactly one label source: the
+//! expensive simulated user of paper §4.1.4 ([`adp_lf::SimulatedUser`]).
+//! This crate generalises that into a small subsystem:
+//!
+//! * the [`Oracle`] trait — anything that can answer a query instance with
+//!   a label function (an interactive deployment would implement it over a
+//!   real UI);
+//! * [`NoisyOracle`] — a cheap, biased, confusion-matrix-structured
+//!   labeller standing in for an LLM: it answers from the candidate set of
+//!   a label *drawn from a confusion row* of the true label, the way the
+//!   original Data Programming paper models noisy sources;
+//! * [`OracleRouter`] — budget-aware routing between the two, with
+//!   per-query cost accounting ([`RouteStats`]) under a [`RoutePolicy`];
+//! * [`OracleKind`] — the serializable spec (`simulated` |
+//!   `noisy:ACC[>BIAS][@POLICY][!CHEAP/EXPENSIVE]`) that scenario files
+//!   carry and `SessionConfig` embeds.
+//!
+//! Everything is deterministic given a seed: the cheap oracle owns its own
+//! RNG stream (derived from the master seed in `activedp::config`), the
+//! router consumes no randomness of its own, and both oracles' mutable
+//! state round-trips through plain-data snapshots ([`RoutedState`]).
+
+mod kind;
+mod noisy;
+mod router;
+
+pub use kind::{ConfusionSpec, LatencyModel, OracleKind, RoutePolicy, UnknownOracleKind};
+pub use noisy::NoisyOracle;
+pub use router::OracleRouter;
+
+use adp_data::Dataset;
+use adp_lf::{CandidateSpace, LabelFunction, SimulatedUser, UserState};
+
+/// Which label source answered one routed query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// The cheap noisy oracle answered.
+    Cheap,
+    /// The expensive simulated user answered directly.
+    Expensive,
+    /// The cheap oracle came up empty and the query escalated to the
+    /// expensive user; both costs accrued.
+    Escalated,
+}
+
+impl RouteChoice {
+    /// Stable wire tag (`Cheap = 0`, `Expensive = 1`, `Escalated = 2`).
+    pub fn tag(self) -> u8 {
+        match self {
+            RouteChoice::Cheap => 0,
+            RouteChoice::Expensive => 1,
+            RouteChoice::Escalated => 2,
+        }
+    }
+
+    /// Inverse of [`RouteChoice::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(RouteChoice::Cheap),
+            1 => Some(RouteChoice::Expensive),
+            2 => Some(RouteChoice::Escalated),
+            _ => None,
+        }
+    }
+}
+
+/// What a per-step event records about routing: which source answered and
+/// where the cheap oracle's RNG stream landed (the expensive user's stream
+/// is already journalled as the event's `oracle_rng`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutedStep {
+    /// Which label source answered.
+    pub choice: RouteChoice,
+    /// Cheap-oracle RNG words *after* the query.
+    pub cheap_rng: [u64; 4],
+}
+
+/// Per-session routing totals: how many queries each source answered and
+/// what they cost under the session's [`LatencyModel`]. Consults are
+/// counted even when the oracle returns no LF — the budget is spent either
+/// way, mirroring how iterations spend the labelling budget.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RouteStats {
+    /// Queries answered by the cheap oracle (escalated queries count here
+    /// too: the cheap consult happened).
+    pub cheap_queries: u64,
+    /// Queries answered by the expensive user (direct + escalated).
+    pub expensive_queries: u64,
+    /// Queries that consulted the cheap oracle first and escalated.
+    pub escalations: u64,
+    /// Total cost accrued on the cheap oracle.
+    pub cheap_cost: f64,
+    /// Total cost accrued on the expensive user.
+    pub expensive_cost: f64,
+}
+
+impl RouteStats {
+    /// Total routed cost across both sources.
+    pub fn total_cost(&self) -> f64 {
+        self.cheap_cost + self.expensive_cost
+    }
+
+    /// Fraction of consults the cheap oracle handled (0 when nothing was
+    /// consulted). An escalated query consults both sources and counts on
+    /// both sides.
+    pub fn cheap_fraction(&self) -> f64 {
+        let total = self.cheap_queries + self.expensive_queries;
+        if total == 0 {
+            0.0
+        } else {
+            self.cheap_queries as f64 / total as f64
+        }
+    }
+}
+
+/// Everything mutable about a routed oracle beyond the expensive user's
+/// [`UserState`]: the cheap oracle's own state plus the accumulated
+/// [`RouteStats`]. Appended to session snapshots so a resumed routed
+/// session continues bitwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedState {
+    /// Cheap-oracle RNG stream + returned-LF set, canonical (keys sorted).
+    pub cheap: UserState,
+    /// Accumulated routing totals.
+    pub stats: RouteStats,
+}
+
+/// A source of label functions in response to query instances.
+pub trait Oracle: Send {
+    /// Inspects instance `idx` of `query_dataset` and (optionally) returns
+    /// a new label function. `None` still consumes the iteration's budget,
+    /// mirroring a user who cannot think of a rule for the instance.
+    fn respond(
+        &mut self,
+        space: &CandidateSpace,
+        train: &Dataset,
+        query_dataset: &Dataset,
+        idx: usize,
+    ) -> Option<LabelFunction>;
+
+    /// Routed variant of [`Oracle::respond`]: `uncertainty` is the model's
+    /// uncertainty hint for the query instance (`None` before any model is
+    /// fit), and the second return names which source answered. The default
+    /// delegates to `respond` and reports no route — single-oracle sessions
+    /// stay byte-for-byte what they were.
+    fn respond_routed(
+        &mut self,
+        space: &CandidateSpace,
+        train: &Dataset,
+        query_dataset: &Dataset,
+        idx: usize,
+        uncertainty: Option<f64>,
+    ) -> (Option<LabelFunction>, Option<RouteChoice>) {
+        let _ = uncertainty;
+        (self.respond(space, train, query_dataset, idx), None)
+    }
+
+    /// Captures the oracle's mutable state for a session snapshot, when the
+    /// oracle supports it. The default is `None`: a custom oracle (a human
+    /// behind a UI, say) has no replayable state, and `Engine::snapshot`
+    /// reports `SnapshotUnsupported` for such sessions instead of silently
+    /// writing one that cannot resume faithfully.
+    fn save_state(&self) -> Option<UserState> {
+        None
+    }
+
+    /// Restores state captured by [`Oracle::save_state`]. Returns `false`
+    /// (the default) when the oracle cannot replay it, which makes resuming
+    /// fail loudly rather than continue with a desynchronised oracle.
+    fn load_state(&mut self, state: &UserState) -> bool {
+        let _ = state;
+        false
+    }
+
+    /// The oracle's RNG stream position alone — what a per-step event
+    /// records (the rest of the oracle's state is reconstructed from the
+    /// logged LFs at replay time). The default derives it from
+    /// [`Oracle::save_state`]; oracles with a cheaper accessor should
+    /// override it, since this runs once per journalled step.
+    fn rng_words(&self) -> Option<[u64; 4]> {
+        self.save_state().map(|s| s.rng)
+    }
+
+    /// Routing state beyond [`Oracle::save_state`] — `None` (the default)
+    /// for single-source oracles, the cheap side + stats for a router.
+    fn save_routed(&self) -> Option<RoutedState> {
+        None
+    }
+
+    /// Restores state captured by [`Oracle::save_routed`]. `false` (the
+    /// default) means this oracle has no routed side to restore.
+    fn load_routed(&mut self, state: &RoutedState) -> bool {
+        let _ = state;
+        false
+    }
+
+    /// The cheap side's RNG words, when there is one.
+    fn cheap_rng_words(&self) -> Option<[u64; 4]> {
+        None
+    }
+
+    /// Accumulated routing totals, when this oracle routes.
+    fn route_stats(&self) -> Option<RouteStats> {
+        None
+    }
+}
+
+impl Oracle for SimulatedUser {
+    fn respond(
+        &mut self,
+        space: &CandidateSpace,
+        train: &Dataset,
+        query_dataset: &Dataset,
+        idx: usize,
+    ) -> Option<LabelFunction> {
+        SimulatedUser::respond(self, space, train, query_dataset, idx)
+    }
+
+    fn save_state(&self) -> Option<UserState> {
+        Some(SimulatedUser::state(self))
+    }
+
+    fn load_state(&mut self, state: &UserState) -> bool {
+        // The config (thresholds, noise rate) stays whatever this user was
+        // constructed with — the snapshot's `SessionConfig` rebuilds it —
+        // so only the mutable parts are replayed here.
+        *self = SimulatedUser::from_state(self.config(), state);
+        true
+    }
+
+    fn rng_words(&self) -> Option<[u64; 4]> {
+        Some(SimulatedUser::rng_state(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_data::{FeatureSet, Task};
+    use adp_linalg::CsrMatrix;
+
+    fn tiny_text() -> Dataset {
+        Dataset {
+            name: "t".into(),
+            task: Task::SpamClassification,
+            n_classes: 2,
+            features: FeatureSet::Sparse(CsrMatrix::empty(2, 1)),
+            labels: vec![1, 0],
+            texts: None,
+            encoded_docs: Some(vec![vec![0], vec![0]]),
+        }
+    }
+
+    #[test]
+    fn simulated_user_implements_oracle() {
+        let d = tiny_text();
+        let space = CandidateSpace::build(&d);
+        let mut user: Box<dyn Oracle> = Box::new(SimulatedUser::with_defaults(0));
+        // Token 0 has accuracy 0.5 on each label -> below threshold -> None.
+        assert!(user.respond(&space, &d, &d, 0).is_none());
+        // A plain user has no routed side.
+        assert!(user.save_routed().is_none());
+        assert!(user.cheap_rng_words().is_none());
+        assert!(user.route_stats().is_none());
+    }
+
+    #[test]
+    fn default_routed_respond_reports_no_route() {
+        let d = tiny_text();
+        let space = CandidateSpace::build(&d);
+        let mut user = SimulatedUser::with_defaults(0);
+        let (lf, route) = user.respond_routed(&space, &d, &d, 0, Some(0.4));
+        assert!(lf.is_none());
+        assert!(route.is_none());
+    }
+
+    #[test]
+    fn route_choice_tags_roundtrip() {
+        for choice in [
+            RouteChoice::Cheap,
+            RouteChoice::Expensive,
+            RouteChoice::Escalated,
+        ] {
+            assert_eq!(RouteChoice::from_tag(choice.tag()), Some(choice));
+        }
+        assert_eq!(RouteChoice::from_tag(3), None);
+    }
+
+    #[test]
+    fn route_stats_fractions() {
+        let stats = RouteStats {
+            cheap_queries: 3,
+            expensive_queries: 1,
+            escalations: 1,
+            cheap_cost: 3.0,
+            expensive_cost: 10.0,
+        };
+        assert_eq!(stats.total_cost(), 13.0);
+        assert_eq!(stats.cheap_fraction(), 0.75);
+        assert_eq!(RouteStats::default().cheap_fraction(), 0.0);
+    }
+}

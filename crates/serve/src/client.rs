@@ -84,6 +84,13 @@ pub struct CellRowReply {
     pub test_accuracy: f64,
     /// The final slice's wall clock, milliseconds.
     pub wall_ms: f64,
+    /// Fraction of routed queries the cheap oracle answered (0 for
+    /// simulated sessions, and when the server predates routing).
+    pub cheap_fraction: f64,
+    /// Total routed labelling cost (0 under the same conditions).
+    pub routed_cost: f64,
+    /// Post-drift accuracy recovery; 0 for drift-free and sliced cells.
+    pub recovery: f64,
 }
 
 /// One `run_spec` slice's outcome: the finished row, or a checkpoint to
@@ -217,6 +224,12 @@ impl Client {
             .get(key)
             .and_then(Json::as_f64)
             .ok_or_else(|| ClientError::Protocol(format!("missing number \"{key}\": {reply}")))
+    }
+
+    /// A numeric field newer servers emit and older ones omit; absent
+    /// means zero rather than a protocol error.
+    fn optional_f64(reply: &Json, key: &str) -> f64 {
+        reply.get(key).and_then(Json::as_f64).unwrap_or(0.0)
     }
 
     fn step_reply(value: &Json) -> Result<StepReply, ClientError> {
@@ -392,6 +405,10 @@ impl Client {
                 refits: Self::expect_u64(reply, "refits")?,
                 test_accuracy: Self::expect_f64(reply, "test_accuracy")?,
                 wall_ms: Self::expect_f64(reply, "wall_ms")?,
+                // Absent on pre-routing servers: default, don't reject.
+                cheap_fraction: Self::optional_f64(reply, "cheap_fraction"),
+                routed_cost: Self::optional_f64(reply, "routed_cost"),
+                recovery: Self::optional_f64(reply, "recovery"),
             })),
             Some(false) => {
                 let hex = reply

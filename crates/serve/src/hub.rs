@@ -16,8 +16,8 @@ use crate::journal::{new_journal_slot, DurabilityStatus, JournalObserver, Shared
 use crate::metrics::{HubMetrics, Op};
 use crate::persist::{checkpoint_behind, spill_file, write_spill_record, SpillRecord};
 use activedp::{
-    ActiveDpError, Engine, EngineBuilder, EvalReport, ScenarioSpec, SessionConfig, SessionSnapshot,
-    StepOutcome,
+    ActiveDpError, Engine, EngineBuilder, EvalReport, RouteChoice, RouteStats, ScenarioSpec,
+    SessionConfig, SessionSnapshot, StepOutcome,
 };
 use adp_data::{DatasetId, DatasetSpec, SharedDataset};
 use std::collections::{HashMap, HashSet};
@@ -188,7 +188,7 @@ impl From<ActiveDpError> for ServeError {
 }
 
 /// Where a session currently stands (see [`SessionHub::status`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionStatus {
     /// Completed loop iterations.
     pub iteration: usize,
@@ -201,6 +201,12 @@ pub struct SessionStatus {
     /// `None` when the session is not journalled (no spill directory,
     /// unsnapshotable engine, or a degraded journal).
     pub durability: Option<DurabilityStatus>,
+    /// The dual-oracle cost ledger — per-oracle query counts and accrued
+    /// spend — for sessions routing between a simulated user and a noisy
+    /// oracle ([`activedp::OracleKind::Noisy`]); `None` on plain
+    /// simulated-user sessions. Answered for hot sessions from the live
+    /// router and for cold ones from the spill file's routed block.
+    pub route: Option<RouteStats>,
 }
 
 /// One shard's liveness and occupancy (see [`SessionHub::health`]).
@@ -495,6 +501,17 @@ pub struct CellResult {
     /// This slice's wall clock, milliseconds (dataset generation
     /// excluded). For a sliced cell the coordinator sums slice walls.
     pub wall_ms: f64,
+    /// Fraction of routed queries the cheap oracle answered; 0 for plain
+    /// simulated sessions. Survives slicing — the route ledger rides the
+    /// checkpoint snapshot.
+    pub cheap_fraction: f64,
+    /// Total routed labelling cost across both oracles; 0 for simulated
+    /// sessions. Also slice-invariant.
+    pub routed_cost: f64,
+    /// Post-drift accuracy recovery (final minus at-boundary accuracy).
+    /// Measured only by *uncapped* cells: a sliced cell cannot carry the
+    /// boundary evaluation across workers, so capped slices report 0.
+    pub recovery: f64,
 }
 
 /// What one [`SessionHub::run_cell`] slice produced.
@@ -859,6 +876,22 @@ impl SessionHub {
             // The clock starts after dataset generation, matching the
             // local sweep's convention (the artefact times the loop).
             let wall = Instant::now();
+            // An uncapped cell pauses at the drift boundary to capture
+            // the recovery baseline, exactly like the local sweep; the
+            // boundary is a batch boundary (validated), so the paused
+            // trajectory is bitwise the uninterrupted one.
+            let boundary = engine.drift().boundary().filter(|&at| at < engine.budget());
+            let boundary_accuracy = match (max_batches, boundary) {
+                // `n_batches(at)` counts from iteration zero, so only a
+                // fresh engine can pause there; a resumed uncapped cell
+                // may already be past the boundary.
+                (None, Some(at)) if engine.state().iteration == 0 => {
+                    let n = engine.schedule().n_batches(at);
+                    engine.run_schedule_batches(n)?;
+                    Some(engine.evaluate_downstream()?.test_accuracy)
+                }
+                _ => None,
+            };
             let run = engine.run_schedule_batches(max_batches.unwrap_or(usize::MAX))?;
             let metrics = &self.shared.metrics;
             if !run.done {
@@ -879,11 +912,15 @@ impl SessionHub {
             let refits = engine.schedule().batch_sizes(iterations).len();
             metrics.sweep_cells_total.inc();
             metrics.sweep_cell_latency.observe(wall.elapsed());
+            let stats = engine.route_stats();
             Ok(CellProgress::Done(CellResult {
                 iterations,
                 refits,
                 test_accuracy: report.test_accuracy,
                 wall_ms,
+                cheap_fraction: stats.map_or(0.0, |s| s.cheap_fraction()),
+                routed_cost: stats.map_or(0.0, |s| s.total_cost()),
+                recovery: boundary_accuracy.map_or(0.0, |a| report.test_accuracy - a),
             }))
         })
     }
@@ -969,8 +1006,22 @@ impl SessionHub {
         let out = self.timed(Op::Step, || {
             self.call(id.0, |reply| Command::Step { id: id.0, reply })?
         });
+        if let Ok(outcome) = &out {
+            self.note_route(outcome.route);
+        }
         self.enforce_budget();
         out
+    }
+
+    /// Bumps the routed-query counter matching one step outcome's route.
+    fn note_route(&self, route: Option<RouteChoice>) {
+        let metrics = &self.shared.metrics;
+        match route {
+            Some(RouteChoice::Cheap) => metrics.routed_cheap_total.inc(),
+            Some(RouteChoice::Expensive) => metrics.routed_expensive_total.inc(),
+            Some(RouteChoice::Escalated) => metrics.routed_escalated_total.inc(),
+            None => {}
+        }
     }
 
     /// Batched stepping: up to `k` queries, one refit (see
@@ -983,6 +1034,11 @@ impl SessionHub {
         let out = self.timed(Op::StepBatch, || {
             self.call(id.0, |reply| Command::StepBatch { id: id.0, k, reply })?
         });
+        if let Ok(outcomes) = &out {
+            for outcome in outcomes {
+                self.note_route(outcome.route);
+            }
+        }
         self.enforce_budget();
         out
     }
@@ -1215,6 +1271,7 @@ impl ShardState {
                 // The shard worker has no view of the journal registry;
                 // the hub fills this in on the way out.
                 durability: None,
+                route: engine.route_stats(),
             });
         }
         if self.shared.residency(id).is_none() {
@@ -1237,6 +1294,7 @@ impl ShardState {
             n_lfs: record.snapshot.state.lfs.len(),
             n_selected: record.snapshot.state.selected.len(),
             durability: None,
+            route: record.snapshot.routed.as_ref().map(|r| r.stats),
         })
     }
 }

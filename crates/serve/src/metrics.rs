@@ -267,6 +267,16 @@ pub struct HubMetrics {
     /// Whole-cell `run_spec` wall clock: engine build/resume through the
     /// final evaluation (or the boundary snapshot, for a partial slice).
     pub sweep_cell_latency: Histogram,
+    /// Dual-oracle queries answered by the cheap noisy oracle, across the
+    /// step/step_batch outcomes this hub served (escalated queries count
+    /// under `routed_escalated_total` only).
+    pub routed_cheap_total: Counter,
+    /// Dual-oracle queries answered directly by the expensive simulated
+    /// user.
+    pub routed_expensive_total: Counter,
+    /// Dual-oracle queries that consulted the cheap oracle first and
+    /// escalated to the simulated user.
+    pub routed_escalated_total: Counter,
 }
 
 impl HubMetrics {
@@ -338,6 +348,19 @@ impl HubMetrics {
         );
         out.push_str("# TYPE adp_saturated_total counter\n");
         let _ = writeln!(out, "adp_saturated_total {}", self.saturated_total.get());
+        out.push_str("# HELP adp_routed_queries_total Dual-oracle queries by answering oracle.\n");
+        out.push_str("# TYPE adp_routed_queries_total counter\n");
+        for (label, counter) in [
+            ("cheap", &self.routed_cheap_total),
+            ("expensive", &self.routed_expensive_total),
+            ("escalated", &self.routed_escalated_total),
+        ] {
+            let _ = writeln!(
+                out,
+                "adp_routed_queries_total{{oracle=\"{label}\"}} {}",
+                counter.get()
+            );
+        }
         out.push_str("# HELP adp_sweep_cells_total Sweep cells completed via run_spec.\n");
         out.push_str("# TYPE adp_sweep_cells_total counter\n");
         let _ = writeln!(

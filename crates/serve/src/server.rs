@@ -179,6 +179,15 @@ fn dispatch(hub: &SessionHub, request: &Json) -> Result<Json, String> {
                     ("live_segments", Json::int(d.live_segments as u64)),
                 ]);
             }
+            if let Some(r) = status.route {
+                fields.extend([
+                    ("cheap_queries", Json::int(r.cheap_queries)),
+                    ("expensive_queries", Json::int(r.expensive_queries)),
+                    ("escalations", Json::int(r.escalations)),
+                    ("cheap_cost", Json::Num(r.cheap_cost)),
+                    ("expensive_cost", Json::Num(r.expensive_cost)),
+                ]);
+            }
             Ok(ok_reply(fields))
         }
         "step" => {
@@ -273,6 +282,9 @@ fn dispatch(hub: &SessionHub, request: &Json) -> Result<Json, String> {
                     ("refits", Json::int(cell.refits as u64)),
                     ("test_accuracy", Json::Num(cell.test_accuracy)),
                     ("wall_ms", Json::Num(cell.wall_ms)),
+                    ("cheap_fraction", Json::Num(cell.cheap_fraction)),
+                    ("routed_cost", Json::Num(cell.routed_cost)),
+                    ("recovery", Json::Num(cell.recovery)),
                 ])),
                 CellProgress::Partial {
                     iteration,
@@ -339,6 +351,15 @@ fn outcome_fields(o: &StepOutcome) -> Vec<(&'static str, Json)> {
         ),
         ("n_lfs", Json::int(o.n_lfs as u64)),
         ("n_selected", Json::int(o.n_selected as u64)),
+        (
+            "route",
+            match o.route {
+                Some(activedp::RouteChoice::Cheap) => Json::Str("cheap".into()),
+                Some(activedp::RouteChoice::Expensive) => Json::Str("expensive".into()),
+                Some(activedp::RouteChoice::Escalated) => Json::Str("escalated".into()),
+                None => Json::Null,
+            },
+        ),
     ]
 }
 

@@ -16,22 +16,29 @@
 //!  "session":  {"seed": 5, "sampler": "US", "label_model": "DawidSkene",
 //!               "alpha": 0.4, "labelpick": true, "confusion": true,
 //!               "noise_rate": 0.0, "parallel": false,
-//!               "candidates": "ann:8,4"},
+//!               "candidates": "ann:8,4",
+//!               "oracle": "noisy:0.85@escalate"},
 //!  "schedule": {"kind": "fixed_batch", "k": 16},
-//!  "budget":   64}
+//!  "budget":   64,
+//!  "drift":    "label-shift:32,0.8"}
 //! ```
 //!
 //! Schedule kinds: `"fixed_step"`, `"fixed_batch"` (`k`), `"doubling"`
 //! (`cap`), `"phased"` (`segments: [{"k": …, "batches": …}, …]`). Names
 //! parse through the same `FromStr` impls the CLIs use
 //! ([`SamplerChoice`]/[`LabelModelKind`]/`DatasetId`/`Scale`/
-//! [`CandidateStrategy`]), so the valid-option lists in error messages
-//! stay in one place (`"candidates"` is `"exact"`, `"ann"`, or
-//! `"ann:NPROBE[,REFRESH]"`).
+//! [`CandidateStrategy`]/[`OracleKind`]/[`DriftSpec`]), so the
+//! valid-option lists in error messages stay in one place (`"candidates"`
+//! is `"exact"`, `"ann"`, or `"ann:NPROBE[,REFRESH]"`; `"oracle"` is
+//! `"simulated"` or `"noisy:ACC[>BIAS][@POLICY][!CHEAP/EXPENSIVE]"`;
+//! `"drift"` is `"none"`, `"label-shift:AT,PRIOR"`, `"covariate:AT,ROT"`
+//! or `"arriving:PER"`).
 //!
 //! [`SamplerChoice`]: activedp::SamplerChoice
 //! [`LabelModelKind`]: adp_labelmodel::LabelModelKind
 //! [`CandidateStrategy`]: activedp::CandidateStrategy
+//! [`OracleKind`]: activedp::OracleKind
+//! [`DriftSpec`]: adp_data::DriftSpec
 
 use crate::json::Json;
 use activedp::{BudgetSchedule, LabelPickConfig, LogRegConfig, PhaseSegment, ScenarioSpec};
@@ -110,6 +117,7 @@ pub fn scenario_to_json(spec: &ScenarioSpec) -> Json {
                 ("alpha", Json::Num(spec.session.alpha)),
                 ("acc_threshold", Json::Num(spec.session.acc_threshold)),
                 ("candidates", Json::Str(spec.session.candidates.to_string())),
+                ("oracle", Json::Str(spec.session.oracle.to_string())),
                 ("labelpick", Json::Bool(spec.session.use_labelpick)),
                 ("confusion", Json::Bool(spec.session.use_confusion)),
                 ("noise_rate", Json::Num(spec.session.noise_rate)),
@@ -127,6 +135,7 @@ pub fn scenario_to_json(spec: &ScenarioSpec) -> Json {
         ),
         ("schedule", schedule),
         ("budget", Json::int(spec.budget as u64)),
+        ("drift", Json::Str(spec.drift.to_string())),
     ])
 }
 
@@ -242,6 +251,13 @@ pub fn scenario_from_json(v: &Json) -> Result<ScenarioSpec, String> {
                 .parse()
                 .map_err(|e| format!("{e}"))?;
         }
+        if let Some(oracle) = session.get("oracle") {
+            spec.session.oracle = oracle
+                .as_str()
+                .ok_or("\"session.oracle\" must be a string")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+        }
         opt_bool(
             session,
             "labelpick",
@@ -319,6 +335,13 @@ pub fn scenario_from_json(v: &Json) -> Result<ScenarioSpec, String> {
             .as_u64()
             .ok_or("\"budget\" must be a non-negative integer")? as usize;
     }
+    if let Some(drift) = v.get("drift") {
+        spec.drift = drift
+            .as_str()
+            .ok_or("\"drift\" must be a string")?
+            .parse()
+            .map_err(|e| format!("{e}"))?;
+    }
     Ok(spec)
 }
 
@@ -356,6 +379,18 @@ mod tests {
         spec.session.al_logreg.max_iters = 93;
         spec.session.downstream_logreg.tol = 1e-7;
         spec.session.downstream_logreg.parallel = false;
+        spec.session.oracle = activedp::OracleKind::Noisy {
+            confusion: activedp::ConfusionSpec::Biased {
+                accuracy: 0.8,
+                bias: 1,
+            },
+            latency: activedp::LatencyModel {
+                cheap_cost: 0.25,
+                expensive_cost: 16.0,
+            },
+            policy: activedp::RoutePolicy::UncertaintyThreshold { tau: 0.35 },
+        };
+        spec.drift = adp_data::DriftSpec::LabelShift { at: 9, prior: 0.75 };
         spec.schedule = BudgetSchedule::Phased {
             segments: vec![
                 PhaseSegment { k: 1, batches: 4 },
@@ -436,6 +471,45 @@ mod tests {
         .unwrap();
         let err = scenario_from_json(&bad_candidates).unwrap_err();
         assert!(err.contains("ann:NPROBE"), "{err}");
+
+        let bad_oracle = Json::parse(
+            r#"{"dataset":{"id":"youtube","scale":"tiny","seed":1},
+                "session":{"oracle":"psychic"}}"#,
+        )
+        .unwrap();
+        let err = scenario_from_json(&bad_oracle).unwrap_err();
+        assert!(err.contains("noisy:ACC"), "{err}");
+
+        let bad_drift = Json::parse(
+            r#"{"dataset":{"id":"youtube","scale":"tiny","seed":1},
+                "drift":"tectonic"}"#,
+        )
+        .unwrap();
+        let err = scenario_from_json(&bad_drift).unwrap_err();
+        assert!(err.contains("label-shift:AT"), "{err}");
+    }
+
+    #[test]
+    fn every_oracle_and_drift_shape_roundtrips() {
+        for (oracle, drift) in [
+            ("simulated", "none"),
+            ("noisy:0.9", "label-shift:8,0.7"),
+            ("noisy:0.85>1@always-cheap", "covariate:4,0.5"),
+            ("noisy:0.8@uncertainty:0.4!0.5/20", "arriving:3"),
+            ("noisy:0.95@escalate", "none"),
+        ] {
+            let text = format!(
+                r#"{{"dataset":{{"id":"census","scale":"tiny","seed":1}},
+                    "session":{{"oracle":"{oracle}"}},"drift":"{drift}"}}"#
+            );
+            let spec = scenario_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(spec.session.oracle, oracle.parse().unwrap());
+            assert_eq!(spec.drift, drift.parse().unwrap());
+            let back =
+                scenario_from_json(&Json::parse(&scenario_to_json(&spec).to_string()).unwrap())
+                    .unwrap();
+            assert_eq!(back, spec);
+        }
     }
 
     #[test]

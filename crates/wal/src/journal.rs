@@ -482,6 +482,7 @@ mod tests {
             sampler_rng: [iteration as u64; 4],
             oracle_rng: [!(iteration as u64); 4],
             commit,
+            route: None,
         }
     }
 

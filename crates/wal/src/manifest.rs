@@ -18,8 +18,12 @@ use std::path::Path;
 
 /// Magic bytes opening the manifest file.
 pub const MANIFEST_MAGIC: &[u8; 8] = b"ADPWMAN\0";
-/// Current manifest format version.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Current manifest format version: v2 embeds the current scenario body
+/// (oracle + drift fields); v1 manifests embed the pre-oracle body and
+/// decode with the simulated-oracle defaults — the manifest's own version
+/// stamp is the only record of which spec layout it holds, since the
+/// embedded body carries no envelope of its own.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// The decoded manifest (see the [module docs](self)).
 #[derive(Debug, Clone, PartialEq)]
@@ -63,10 +67,14 @@ impl Manifest {
             path: path.to_path_buf(),
             reason,
         };
-        let (mut r, _version) =
+        let (mut r, version) =
             read_envelope(bytes, MANIFEST_MAGIC, MANIFEST_VERSION).map_err(codec)?;
         let session = r.get_u64().map_err(codec)?;
-        let spec: ScenarioSpec = r.get().map_err(codec)?;
+        let spec: ScenarioSpec = if version >= 2 {
+            r.get().map_err(codec)?
+        } else {
+            ScenarioSpec::decode_pre_oracle_body(&mut r).map_err(codec)?
+        };
         let checkpoint = r.get_usize().map_err(codec)?;
         let n = r
             .get_len("manifest sealed-segment list", 16)

@@ -150,6 +150,7 @@ mod tests {
             sampler_rng: [iteration as u64; 4],
             oracle_rng: [iteration as u64 + 1; 4],
             commit,
+            route: None,
         }
     }
 

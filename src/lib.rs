@@ -65,6 +65,7 @@ pub use adp_glasso as glasso;
 pub use adp_labelmodel as labelmodel;
 pub use adp_lf as lf;
 pub use adp_linalg as linalg;
+pub use adp_oracle as oracle;
 pub use adp_sampler as sampler;
 pub use adp_serve as serve;
 pub use adp_text as text;

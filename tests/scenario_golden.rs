@@ -1,20 +1,23 @@
 //! Golden-bytes pin of the scenario wire format.
 //!
-//! `tests/fixtures/scenario_v2.bin` is a committed encoding of a fixed,
+//! `tests/fixtures/scenario_v3.bin` is a committed encoding of a fixed,
 //! fully non-default [`ScenarioSpec`] (Census · custom scale · QBC ·
-//! Dawid-Skene · phased schedule · ANN candidate strategy). Today's
-//! encoder must reproduce it **byte for byte** — the codec is
-//! deterministic and platform-independent — so any diff is a format
-//! change and must come with a deliberate `SCENARIO_VERSION` bump plus a
-//! regenerated fixture, never as an accident. The spec is the serving
-//! protocol's and the snapshot format's shared vocabulary: silently
-//! re-encoding it would orphan every spill file and every stored sweep
-//! description at once.
+//! Dawid-Skene · phased schedule · ANN candidate strategy · routed noisy
+//! oracle · covariate drift). Today's encoder must reproduce it **byte
+//! for byte** — the codec is deterministic and platform-independent — so
+//! any diff is a format change and must come with a deliberate
+//! `SCENARIO_VERSION` bump plus a regenerated fixture, never as an
+//! accident. The spec is the serving protocol's and the snapshot format's
+//! shared vocabulary: silently re-encoding it would orphan every spill
+//! file and every stored sweep description at once.
 //!
-//! `tests/fixtures/scenario_v1.bin` is the same spec in the previous
-//! format (no candidate-strategy field) and pins the back-compat decode
-//! path: v1 bytes must keep decoding, with the strategy defaulting to
-//! `Exact`.
+//! `tests/fixtures/scenario_v2.bin` (no oracle/drift fields) and
+//! `tests/fixtures/scenario_v1.bin` (no candidate-strategy field either)
+//! are the same spec in the previous formats and pin the back-compat
+//! decode paths: old bytes must keep decoding, with each missing field at
+//! the default every old run effectively used (`Exact` candidates,
+//! `Simulated` oracle, no drift). They are never regenerated — old bytes
+//! don't change.
 //!
 //! Regenerate the current fixture after an intentional bump with:
 //! `ADP_REGEN_FIXTURES=1 cargo test --test scenario_golden`.
@@ -22,17 +25,20 @@
 //! [`ScenarioSpec`]: activedp_repro::core::ScenarioSpec
 
 use activedp_repro::core::{
-    BudgetSchedule, CandidateStrategy, LabelModelKind, PhaseSegment, SamplerChoice, ScenarioSpec,
-    SCENARIO_VERSION,
+    BudgetSchedule, CandidateStrategy, ConfusionSpec, LabelModelKind, LatencyModel, OracleKind,
+    PhaseSegment, RoutePolicy, SamplerChoice, ScenarioSpec, SCENARIO_VERSION,
 };
-use activedp_repro::data::{DatasetId, DatasetSpec, Scale};
+use activedp_repro::data::{DatasetId, DatasetSpec, DriftSpec, Scale};
 use std::path::PathBuf;
 
-const FIXTURE: &str = "tests/fixtures/scenario_v2.bin";
+const FIXTURE: &str = "tests/fixtures/scenario_v3.bin";
 
-/// The previous-format encoding of the same spec (minus the field that
-/// didn't exist), committed when `SCENARIO_VERSION` was 1. Never
-/// regenerated — old bytes don't change.
+/// The spec in the v2 format (no oracle/drift), committed when
+/// `SCENARIO_VERSION` was 2. Never regenerated — old bytes don't change.
+const FIXTURE_V2: &str = "tests/fixtures/scenario_v2.bin";
+
+/// The spec in the v1 format (no candidate strategy either), committed
+/// when `SCENARIO_VERSION` was 1.
 const FIXTURE_V1: &str = "tests/fixtures/scenario_v1.bin";
 
 fn fixture_path() -> PathBuf {
@@ -41,8 +47,31 @@ fn fixture_path() -> PathBuf {
 
 /// A spec exercising the non-default corners: tabular dataset, custom
 /// scale, QBC + Dawid-Skene, ablations off, noise on, serial execution,
-/// phased schedule, ANN candidate strategy.
+/// phased schedule, ANN candidate strategy, a fully non-default routed
+/// oracle and a covariate drift at a phase-2 batch boundary.
 fn fixture_spec() -> ScenarioSpec {
+    let mut spec = v2_fixture_spec();
+    spec.session.oracle = OracleKind::Noisy {
+        confusion: ConfusionSpec::Biased {
+            accuracy: 0.75,
+            bias: 1,
+        },
+        latency: LatencyModel {
+            cheap_cost: 0.5,
+            expensive_cost: 24.0,
+        },
+        policy: RoutePolicy::UncertaintyThreshold { tau: 0.3 },
+    };
+    spec.drift = DriftSpec::CovariateDrift {
+        at: 26,
+        rotation: 0.35,
+    };
+    spec
+}
+
+/// What the committed v2 fixture described — everything above except the
+/// oracle and drift fields, which v2 could not express.
+fn v2_fixture_spec() -> ScenarioSpec {
     let mut spec = v1_fixture_spec();
     spec.session.candidates = CandidateStrategy::Ann {
         nprobe: 8,
@@ -51,8 +80,8 @@ fn fixture_spec() -> ScenarioSpec {
     spec
 }
 
-/// What the committed v1 fixture described — everything above except the
-/// candidate strategy, which v1 could not express.
+/// What the committed v1 fixture described — no candidate strategy, no
+/// oracle, no drift.
 fn v1_fixture_spec() -> ScenarioSpec {
     let mut spec = ScenarioSpec::new(DatasetSpec {
         id: DatasetId::Census,
@@ -111,15 +140,29 @@ fn committed_fixture_still_decodes_and_validates() {
 }
 
 #[test]
-fn previous_format_bytes_still_decode_with_exact_candidates() {
-    // The committed v1 bytes predate the candidate-strategy field; they
-    // must keep decoding, with the field at its `Exact` default — exactly
-    // what every v1 spec ran.
+fn v2_format_bytes_still_decode_with_simulated_oracle_and_no_drift() {
+    // The committed v2 bytes predate the oracle and drift fields; they
+    // must keep decoding with both at their defaults — exactly the
+    // scenario every v2 spec ran.
+    let old = std::fs::read(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE_V2))
+        .expect("committed v2 fixture exists");
+    let spec = ScenarioSpec::from_bytes(&old).expect("v2 decodes");
+    assert_eq!(spec, v2_fixture_spec());
+    assert_eq!(spec.session.oracle, OracleKind::Simulated);
+    assert_eq!(spec.drift, DriftSpec::None);
+    spec.validate().expect("v2 fixture spec is valid");
+}
+
+#[test]
+fn v1_format_bytes_still_decode_with_exact_candidates() {
+    // The committed v1 bytes predate the candidate-strategy field too.
     let old = std::fs::read(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE_V1))
         .expect("committed v1 fixture exists");
     let spec = ScenarioSpec::from_bytes(&old).expect("v1 decodes");
     assert_eq!(spec, v1_fixture_spec());
     assert_eq!(spec.session.candidates, CandidateStrategy::Exact);
+    assert_eq!(spec.session.oracle, OracleKind::Simulated);
+    assert_eq!(spec.drift, DriftSpec::None);
     spec.validate().expect("v1 fixture spec is valid");
 }
 

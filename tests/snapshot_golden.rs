@@ -1,39 +1,69 @@
 //! Golden-bytes pin of the snapshot wire format.
 //!
-//! `tests/fixtures/snapshot_v3.bin` is a committed encoding of a fixed
-//! mid-run session (Youtube · Tiny · dataset seed 7 · session seed 7 ·
-//! 6 steps). Today's encoder must reproduce it **byte for byte**: the
-//! whole pipeline — dataset generation, trajectory, RNG streams, codec —
-//! is deterministic and platform-independent (explicit little-endian,
-//! sorted key sets), so any diff here is a *format or behaviour change*,
-//! and either must come with a deliberate `SNAPSHOT_VERSION` bump plus a
+//! `tests/fixtures/snapshot_v4.bin` is a committed encoding of a fixed
+//! mid-run *routed, drifted* session (Youtube · Tiny · dataset seed 7 ·
+//! session seed 7 · noisy oracle · label shift at 4 · 6 steps — so the
+//! bytes exercise the router ledger and the post-drift pool state).
+//! Today's encoder must reproduce it **byte for byte**: the whole
+//! pipeline — dataset generation, trajectory, RNG streams, codec — is
+//! deterministic and platform-independent (explicit little-endian, sorted
+//! key sets), so any diff here is a *format or behaviour change*, and
+//! either must come with a deliberate `SNAPSHOT_VERSION` bump plus a
 //! regenerated fixture — never as an accident.
 //!
-//! `tests/fixtures/snapshot_v2.bin` is the same session in the previous
-//! format (before the spec carried a candidate strategy) and pins the
-//! back-compat decode path: old spill files must keep resuming, with the
-//! strategy defaulting to `Exact`. (v1, the pre-scenario format without
-//! embedded dataset provenance, stays retired.)
+//! `tests/fixtures/snapshot_v3.bin` (before the spec carried an oracle or
+//! drift and the snapshot a router ledger) and
+//! `tests/fixtures/snapshot_v2.bin` (before the candidate strategy
+//! either) pin the back-compat decode paths: old spill files must keep
+//! resuming, with each missing field at the default every old session
+//! effectively ran. They are never regenerated — old bytes don't change.
+//! (v1, the pre-scenario format without embedded dataset provenance,
+//! stays retired.)
 //!
 //! Regenerate the current fixture after an intentional bump with:
 //! `ADP_REGEN_FIXTURES=1 cargo test --test snapshot_golden`.
 
 use activedp_repro::core::{
-    CandidateStrategy, Engine, SessionConfig, SessionSnapshot, SNAPSHOT_VERSION,
+    CandidateStrategy, Engine, OracleKind, ScenarioSpec, SessionConfig, SessionSnapshot,
+    SNAPSHOT_VERSION,
 };
-use activedp_repro::data::{generate, DatasetId, Scale};
+use activedp_repro::data::{generate, DatasetId, DatasetSpec, DriftSpec, Scale};
 use std::path::PathBuf;
 
-const FIXTURE: &str = "tests/fixtures/snapshot_v3.bin";
+const FIXTURE: &str = "tests/fixtures/snapshot_v4.bin";
 
-/// The previous-format encoding of the same session, committed when
-/// `SNAPSHOT_VERSION` was 2. Never regenerated — old bytes don't change.
+/// The previous-format encoding of the *plain* session, committed when
+/// `SNAPSHOT_VERSION` was 3. Never regenerated — old bytes don't change.
+const FIXTURE_V3: &str = "tests/fixtures/snapshot_v3.bin";
+
+/// The format before that (no candidate strategy), committed when
+/// `SNAPSHOT_VERSION` was 2.
 const FIXTURE_V2: &str = "tests/fixtures/snapshot_v2.bin";
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
 }
 
+/// The current fixture session: routed between the simulated user and a
+/// cheap noisy oracle, with a label shift applied mid-run — the snapshot
+/// carries the router's cost ledger and the post-drift loop state.
+fn routed_fixture_snapshot() -> SessionSnapshot {
+    let mut spec = ScenarioSpec::new(DatasetSpec {
+        id: DatasetId::Youtube,
+        scale: Scale::Tiny,
+        seed: 7,
+    });
+    spec.session.seed = 7;
+    spec.session.oracle = "noisy:0.8>1@uncertainty:0.3".parse().expect("grammar");
+    spec.drift = DriftSpec::LabelShift { at: 4, prior: 0.8 };
+    spec.budget = 12;
+    let mut engine = Engine::from_spec(spec).expect("engine builds");
+    engine.run(6).expect("fixture trajectory");
+    engine.snapshot().expect("snapshot captures")
+}
+
+/// The plain session the v2/v3 fixtures froze: simulated oracle, no
+/// drift — what every pre-v4 session ran.
 fn fixture_snapshot() -> SessionSnapshot {
     let data = generate(DatasetId::Youtube, Scale::Tiny, 7).expect("dataset generates");
     let mut engine = Engine::builder(data)
@@ -46,7 +76,7 @@ fn fixture_snapshot() -> SessionSnapshot {
 
 #[test]
 fn encoder_reproduces_the_committed_fixture_byte_for_byte() {
-    let bytes = fixture_snapshot().to_bytes();
+    let bytes = routed_fixture_snapshot().to_bytes();
     if std::env::var_os("ADP_REGEN_FIXTURES").is_some() {
         std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
         std::fs::write(fixture_path(), &bytes).unwrap();
@@ -77,6 +107,17 @@ fn committed_fixture_still_decodes_and_resumes() {
     assert_eq!(snapshot.state.iteration, 6);
     assert_eq!(snapshot.config().seed, 7);
     assert_eq!(snapshot.spec.dataset.seed, 7);
+    assert!(matches!(
+        snapshot.spec.session.oracle,
+        OracleKind::Noisy { .. }
+    ));
+    assert_eq!(
+        snapshot.spec.drift,
+        DriftSpec::LabelShift { at: 4, prior: 0.8 }
+    );
+    // The router's cost ledger rode along.
+    let routed = snapshot.routed.as_ref().expect("routed state captured");
+    assert!(routed.stats.cheap_queries + routed.stats.expensive_queries > 0);
     // And it is a *live* artefact: the embedded spec regenerates the
     // dataset, so the bytes alone resume into a running session.
     let mut engine = Engine::resume(snapshot).unwrap();
@@ -85,16 +126,44 @@ fn committed_fixture_still_decodes_and_resumes() {
 }
 
 #[test]
-fn previous_format_spill_files_still_resume() {
-    // The committed v2 bytes (written before the candidate strategy
-    // existed) must decode with `Exact` — what every v2 session ran — and
-    // resume onto the *identical* trajectory: stepping the resumed session
-    // must reproduce today's same-seed run bit for bit.
+fn v3_format_spill_files_still_resume() {
+    // The committed v3 bytes (written before the oracle, drift and router
+    // fields) must decode with the simulated-oracle defaults — what every
+    // v3 session ran — and resume onto the *identical* trajectory:
+    // stepping the resumed session must reproduce today's same-seed run
+    // bit for bit.
+    let old = std::fs::read(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE_V3))
+        .expect("committed v3 fixture exists");
+    let snapshot = SessionSnapshot::from_bytes(&old).expect("v3 decodes");
+    assert_eq!(snapshot.state.iteration, 6);
+    assert_eq!(snapshot.spec.session.oracle, OracleKind::Simulated);
+    assert_eq!(snapshot.spec.drift, DriftSpec::None);
+    assert!(snapshot.routed.is_none());
+    let mut resumed = Engine::resume(snapshot).unwrap();
+    resumed.step().unwrap();
+    let fresh = {
+        let snapshot = fixture_snapshot();
+        let mut engine = Engine::resume(snapshot).unwrap();
+        engine.step().unwrap();
+        engine
+    };
+    assert_eq!(
+        resumed.snapshot().unwrap().to_bytes(),
+        fresh.snapshot().unwrap().to_bytes(),
+        "a v3 spill file must resume onto today's exact trajectory"
+    );
+}
+
+#[test]
+fn v2_format_spill_files_still_resume() {
+    // Two formats back: no candidate strategy either.
     let old = std::fs::read(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE_V2))
         .expect("committed v2 fixture exists");
     let snapshot = SessionSnapshot::from_bytes(&old).expect("v2 decodes");
     assert_eq!(snapshot.state.iteration, 6);
     assert_eq!(snapshot.config().candidates, CandidateStrategy::Exact);
+    assert_eq!(snapshot.spec.session.oracle, OracleKind::Simulated);
+    assert!(snapshot.routed.is_none());
     let mut resumed = Engine::resume(snapshot).unwrap();
     resumed.step().unwrap();
     let fresh = {
@@ -112,7 +181,7 @@ fn previous_format_spill_files_still_resume() {
 
 #[test]
 fn unknown_versions_are_rejected_with_a_typed_error_not_a_panic() {
-    let mut future = fixture_snapshot().to_bytes();
+    let mut future = routed_fixture_snapshot().to_bytes();
     let next = SNAPSHOT_VERSION + 1;
     future[8..12].copy_from_slice(&next.to_le_bytes());
     let err = SessionSnapshot::from_bytes(&future).unwrap_err();
@@ -126,7 +195,7 @@ fn unknown_versions_are_rejected_with_a_typed_error_not_a_panic() {
         other => panic!("expected UnknownVersion, got {other:?}"),
     }
     // The retired pre-scenario v1 is also still rejected.
-    let mut ancient = fixture_snapshot().to_bytes();
+    let mut ancient = routed_fixture_snapshot().to_bytes();
     ancient[8..12].copy_from_slice(&1u32.to_le_bytes());
     assert!(SessionSnapshot::from_bytes(&ancient).is_err());
 }

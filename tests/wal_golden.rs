@@ -1,14 +1,23 @@
 //! Golden-bytes pin of the on-disk write-ahead-log format.
 //!
-//! `tests/fixtures/wal_v1.bin` is a committed encoding of a fixed journal:
-//! session 7 over Youtube · Tiny · dataset seed 7 · session seed 7,
+//! `tests/fixtures/wal_v2.bin` is a committed encoding of a fixed
+//! journal: session 7 over Youtube · Tiny · dataset seed 7 · session
+//! seed 7 with a **routed noisy oracle and a label shift at iteration 4**,
 //! journalled from iteration 0 through 6 single steps (6 commit points,
 //! all in the open segment — the default cap is far larger). The fixture
 //! concatenates the two files a fresh journal writes,
-//! `[u32 manifest_len | manifest.adpwman | open.adpwal]`, so it pins both
-//! the manifest format and the length/payload/CRC record framing.
+//! `[u32 manifest_len | manifest.adpwman | open.adpwal]`, so it pins the
+//! manifest format (embedding a current-version scenario), the
+//! length/payload/CRC record framing, and the per-event route tag that
+//! keeps replays of routed sessions bitwise.
 //!
-//! Today's writer must reproduce those bytes **exactly**: the event
+//! `tests/fixtures/wal_v1.bin` is the previous format — plain simulated
+//! session, events without the route tag, manifest embedding a v2
+//! scenario — and pins the back-compat path: old journals must keep
+//! opening and replaying. It is never regenerated — old bytes don't
+//! change.
+//!
+//! Today's writer must reproduce the current bytes **exactly**: the event
 //! stream, the codec and the CRC are all deterministic and
 //! platform-independent, so any diff is a format or behaviour change and
 //! must come with a deliberate version bump plus a regenerated fixture —
@@ -18,14 +27,19 @@
 //! `ADP_REGEN_FIXTURES=1 cargo test --test wal_golden`.
 
 use activedp_repro::core::{
-    Engine, ScenarioSpec, SessionConfig, StepEvent, StepObserver, StepOutcome,
+    Engine, OracleKind, ScenarioSpec, SessionConfig, StepEvent, StepObserver, StepOutcome,
 };
-use activedp_repro::data::{DatasetId, DatasetSpec, Scale};
+use activedp_repro::data::{DatasetId, DatasetSpec, DriftSpec, Scale};
 use activedp_repro::wal::Journal;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 
-const FIXTURE: &str = "tests/fixtures/wal_v1.bin";
+const FIXTURE: &str = "tests/fixtures/wal_v2.bin";
+
+/// The previous-format journal (simulated session, pre-route events).
+/// Never regenerated — old bytes don't change.
+const FIXTURE_V1: &str = "tests/fixtures/wal_v1.bin";
+
 const STEPS: usize = 6;
 
 fn fixture_path() -> PathBuf {
@@ -42,6 +56,7 @@ fn unique_tempdir(tag: &str) -> PathBuf {
     dir
 }
 
+/// The current fixture scenario: routed noisy oracle, label shift at 4.
 fn fixture_spec() -> ScenarioSpec {
     let mut spec = ScenarioSpec::new(DatasetSpec {
         id: DatasetId::Youtube,
@@ -49,6 +64,9 @@ fn fixture_spec() -> ScenarioSpec {
         seed: 7,
     });
     spec.session = SessionConfig::paper_defaults(true, 7);
+    spec.session.oracle = "noisy:0.8>1@uncertainty:0.3".parse().expect("grammar");
+    spec.drift = DriftSpec::LabelShift { at: 4, prior: 0.8 };
+    spec.budget = 12;
     spec
 }
 
@@ -93,6 +111,42 @@ fn write_fixture_journal(dir: &Path) -> Vec<u8> {
     bytes
 }
 
+/// Splits fixture framing back into journal files under `dir`.
+fn unpack_fixture(golden: &[u8], dir: &Path) {
+    let manifest_len = u32::from_le_bytes(golden[..4].try_into().unwrap()) as usize;
+    let (manifest, open) = golden[4..].split_at(manifest_len);
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join("manifest.adpwman"), manifest).unwrap();
+    std::fs::write(dir.join("open.adpwal"), open).unwrap();
+}
+
+/// Opens `dir`, replays its events from the spec-synthesised iteration-0
+/// base, and asserts the result is bitwise the uninterrupted run.
+fn assert_replays_bitwise(dir: &Path) {
+    let journal = Journal::open(dir).expect("fixture journal opens");
+    assert_eq!(journal.session(), 7);
+    assert_eq!(journal.checkpoint_iteration(), 0);
+    assert_eq!(journal.durable_iteration(), STEPS);
+    let events = journal.events().expect("events decode");
+    assert_eq!(events.len(), STEPS);
+    assert!(events.iter().all(|e| e.commit));
+
+    let spec = journal.spec().clone();
+    let data = spec.dataset.generate().unwrap().into_shared();
+    let base = Engine::from_spec_over(spec.clone(), data.clone())
+        .unwrap()
+        .snapshot()
+        .unwrap();
+    let replayed = Engine::replay_to_over(&base, &events, STEPS, data.clone()).unwrap();
+    let mut straight = Engine::from_spec_over(spec, data).unwrap();
+    straight.run(STEPS).unwrap();
+    assert_eq!(
+        replayed.snapshot().unwrap().to_bytes(),
+        straight.snapshot().unwrap().to_bytes(),
+        "fixture replay diverged from the uninterrupted run"
+    );
+}
+
 #[test]
 fn journal_reproduces_the_committed_fixture_byte_for_byte() {
     let dir = unique_tempdir("write");
@@ -125,38 +179,41 @@ fn journal_reproduces_the_committed_fixture_byte_for_byte() {
 fn committed_fixture_still_opens_and_replays() {
     // The committed bytes are a *live* artefact: splitting them back into
     // the two journal files must open, report the right coordinates, and
-    // replay onto the exact state an uninterrupted run reaches.
+    // replay onto the exact state an uninterrupted run reaches — route
+    // tags included (the cheap oracle's RNG replays from the journal).
     let golden = std::fs::read(fixture_path()).expect("fixture file exists");
-    let manifest_len = u32::from_le_bytes(golden[..4].try_into().unwrap()) as usize;
-    let (manifest, open) = golden[4..].split_at(manifest_len);
     let dir = unique_tempdir("open");
-    std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(dir.join("manifest.adpwman"), manifest).unwrap();
-    std::fs::write(dir.join("open.adpwal"), open).unwrap();
-
+    unpack_fixture(&golden, &dir);
     let journal = Journal::open(&dir).expect("fixture journal opens");
-    assert_eq!(journal.session(), 7);
-    assert_eq!(journal.checkpoint_iteration(), 0);
-    assert_eq!(journal.durable_iteration(), STEPS);
-    let events = journal.events().expect("events decode");
-    assert_eq!(events.len(), STEPS);
-    assert!(events.iter().all(|e| e.commit));
-
-    // Replay from the spec-synthesised iteration-0 base to the tip and
-    // compare against a fresh uninterrupted run, snapshot bytes and all.
-    let spec = journal.spec().clone();
-    let data = spec.dataset.generate().unwrap().into_shared();
-    let base = Engine::from_spec_over(spec.clone(), data.clone())
-        .unwrap()
-        .snapshot()
-        .unwrap();
-    let replayed = Engine::replay_to_over(&base, &events, STEPS, data.clone()).unwrap();
-    let mut straight = Engine::from_spec_over(spec, data).unwrap();
-    straight.run(STEPS).unwrap();
+    assert!(matches!(
+        journal.spec().session.oracle,
+        OracleKind::Noisy { .. }
+    ));
     assert_eq!(
-        replayed.snapshot().unwrap().to_bytes(),
-        straight.snapshot().unwrap().to_bytes(),
-        "fixture replay diverged from the uninterrupted run"
+        journal.spec().drift,
+        DriftSpec::LabelShift { at: 4, prior: 0.8 }
     );
+    drop(journal);
+    assert_replays_bitwise(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn previous_format_journals_still_open_and_replay() {
+    // The committed v1 bytes predate the route tag and embed a v2-era
+    // scenario in the manifest; both must keep decoding — the spec with
+    // the simulated-oracle defaults, the events with no route — and the
+    // replay must still land bitwise on the uninterrupted run.
+    let golden = std::fs::read(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE_V1))
+        .expect("committed v1 fixture exists");
+    let dir = unique_tempdir("v1");
+    unpack_fixture(&golden, &dir);
+    let journal = Journal::open(&dir).expect("v1 journal opens");
+    assert_eq!(journal.spec().session.oracle, OracleKind::Simulated);
+    assert_eq!(journal.spec().drift, DriftSpec::None);
+    let events = journal.events().expect("v1 events decode");
+    assert!(events.iter().all(|e| e.route.is_none()));
+    drop(journal);
+    assert_replays_bitwise(&dir);
     let _ = std::fs::remove_dir_all(&dir);
 }
